@@ -1,0 +1,28 @@
+PYTHON ?= python
+
+.PHONY: install test bench figures report examples clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro.bench all --csv out/
+
+report:
+	$(PYTHON) -m repro.bench report
+
+experiments:
+	$(PYTHON) -m repro.bench write-experiments
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+clean:
+	rm -rf out/ .pytest_cache .hypothesis src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

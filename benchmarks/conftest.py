@@ -1,0 +1,63 @@
+"""Shared helpers for the wall-clock benchmark suite.
+
+The virtual-clock figure regeneration lives in ``python -m repro.bench``;
+this suite measures the *real* Python-work cost of each code path with
+pytest-benchmark, confirming the relative ordering is genuine work, not an
+artifact of the cost model.  Benchmarked callables run complete two-rank
+ping-pong sessions (wall-clock mode) or isolated subsystem operations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import mpiexec
+from repro.workloads.adapters import make_adapter
+
+
+def pingpong_session(flavor: str, size: int, iters: int, channel: str = "shm"):
+    """One complete buffer ping-pong run; returns rank-0 payload check."""
+
+    def main(ctx):
+        ad = make_adapter(flavor, ctx)
+        buf = ad.alloc(size)
+        me, peer = ctx.rank, 1 - ctx.rank
+        if me == 0:
+            ad.fill(buf, bytes(size % 251 for _ in range(size)))
+        ad.barrier()
+        for _ in range(iters):
+            if me == 0:
+                ad.send(buf, peer, 1)
+                ad.recv(buf, peer, 2)
+            else:
+                ad.recv(buf, peer, 1)
+                ad.send(buf, peer, 2)
+        return True
+
+    return lambda: mpiexec(2, main, channel=channel, clock_mode="wall")
+
+
+def tree_session(flavor: str, elements: int, iters: int, channel: str = "shm"):
+    """One complete object-tree ping-pong run."""
+
+    def main(ctx):
+        ad = make_adapter(flavor, ctx)
+        me, peer = ctx.rank, 1 - ctx.rank
+        tree = ad.build_tree(elements, 4096) if me == 0 else None
+        ad.barrier()
+        for _ in range(iters):
+            if me == 0:
+                ad.send_tree(tree, peer, 1)
+                ad.recv_tree(peer, 2)
+            else:
+                got = ad.recv_tree(peer, 1)
+                ad.send_tree(got, peer, 2)
+        return True
+
+    return lambda: mpiexec(2, main, channel=channel, clock_mode="wall")
+
+
+@pytest.fixture
+def bench_rounds():
+    """Keep wall benchmarks quick but stable."""
+    return dict(rounds=3, warmup_rounds=1, iterations=1)

@@ -1,0 +1,47 @@
+"""A1 (wall clock): the three managed-to-native gates, measured directly.
+
+The real Python work behind each gate — nothing for FCall, marshalling +
+a security stack walk for P/Invoke, marshalling + JNIEnv indirection +
+automatic pin/unpin for JNI.
+"""
+
+import pytest
+
+from repro.runtime.runtime import ManagedRuntime, RuntimeConfig
+from repro.simtime import HOST_PROFILES
+
+
+def _noop(*args):
+    return None
+
+
+@pytest.fixture
+def runtime():
+    return ManagedRuntime(RuntimeConfig())
+
+
+@pytest.mark.benchmark(group="ablate-calls")
+def test_fcall_gate(benchmark, runtime):
+    gate = runtime.gate("fcall")
+    benchmark(lambda: gate.call(_noop, 1, 2.0, None))
+
+
+@pytest.mark.benchmark(group="ablate-calls")
+def test_pinvoke_gate(benchmark, runtime):
+    gate = runtime.gate("pinvoke", HOST_PROFILES["sscli-free"])
+    benchmark(lambda: gate.call(_noop, 1, 2.0, None))
+
+
+@pytest.mark.benchmark(group="ablate-calls")
+def test_jni_gate(benchmark, runtime):
+    gate = runtime.gate("jni", HOST_PROFILES["jvm"])
+    ref = runtime.new_array("byte", 64)
+    benchmark(lambda: gate.call(_noop, ref, 1, 2.0))
+
+
+@pytest.mark.benchmark(group="ablate-calls-buffer-arg")
+def test_pinvoke_gate_with_buffer(benchmark, runtime):
+    """Marshalling a buffer descriptor costs more than scalars."""
+    gate = runtime.gate("pinvoke", HOST_PROFILES["sscli-free"])
+    payload = bytes(1024)
+    benchmark(lambda: gate.call(_noop, payload, 0, 1024))

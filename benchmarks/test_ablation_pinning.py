@@ -1,0 +1,65 @@
+"""A2 + A3 (wall clock): pinning policy vs pin-per-op; build-type costs."""
+
+import pytest
+
+from conftest import pingpong_session
+from repro.runtime.runtime import ManagedRuntime, RuntimeConfig
+from repro.simtime import HOST_PROFILES
+
+
+@pytest.mark.parametrize("flavor", ["motor", "motor-pin-always"])
+@pytest.mark.benchmark(group="ablate-pinning-policy")
+def test_policy_vs_pin_always(benchmark, flavor, bench_rounds):
+    """The A2 ablation: the same Motor stack with the policy disabled."""
+    benchmark.pedantic(pingpong_session(flavor, 4096, 20), **bench_rounds)
+
+
+@pytest.mark.benchmark(group="ablate-pinning-micro")
+def test_pin_unpin_pair(benchmark):
+    rt = ManagedRuntime(RuntimeConfig())
+    buf = rt.new_array("byte", 4096)
+
+    def pair():
+        rt.gc.unpin(rt.gc.pin(buf))
+
+    benchmark(pair)
+
+
+@pytest.mark.benchmark(group="ablate-pinning-micro")
+def test_generation_check_only(benchmark):
+    """What the policy pays instead of a pin for elder objects."""
+    from repro.motor.pinpolicy import PinningPolicy
+
+    rt = ManagedRuntime(RuntimeConfig())
+    policy = PinningPolicy(rt)
+    buf = rt.new_array("byte", 4096)
+    rt.collect(0)  # promote: the policy will skip the pin
+    benchmark(lambda: policy.pre_blocking(buf))
+
+
+@pytest.mark.parametrize("profile", ["sscli-free", "sscli-fastchecked", "dotnet"])
+@pytest.mark.benchmark(group="ablate-buildtype")
+def test_pin_cost_by_build_type(benchmark, profile):
+    """Footnote 4: the fastchecked build's pin multiplier (A3)."""
+    rt = ManagedRuntime(RuntimeConfig())
+    mult = HOST_PROFILES[profile].pin_mult
+    buf = rt.new_array("byte", 4096)
+
+    def pair():
+        rt.gc.unpin(rt.gc.pin(buf, cost_mult=mult), cost_mult=mult)
+
+    benchmark(pair)
+
+
+@pytest.mark.benchmark(group="ablate-conditional-pin")
+def test_conditional_pin_register(benchmark):
+    """Registering Motor's status-dependent pin is a cheap list append;
+    resolution happens inside the collector's mark phase."""
+    rt = ManagedRuntime(RuntimeConfig(heap_capacity=64 << 20))
+    buf = rt.new_array("byte", 256)
+
+    def register():
+        rt.gc.register_conditional_pin(buf, lambda: False)
+
+    benchmark(register)
+    rt.collect(0)  # drop them all

@@ -1,0 +1,48 @@
+"""A6 + A7 (wall clock): transfer protocol and the pure-managed path."""
+
+import pytest
+
+from conftest import pingpong_session
+from repro.cluster import mpiexec
+from repro.workloads.adapters import make_adapter
+
+SIZE = 64 * 1024
+
+
+def _threshold_session(eager_threshold: int):
+    def main(ctx):
+        ad = make_adapter("cpp", ctx)
+        buf = ad.alloc(SIZE)
+        me, peer = ctx.rank, 1 - ctx.rank
+        ad.barrier()
+        for _ in range(8):
+            if me == 0:
+                ad.send(buf, peer, 1)
+                ad.recv(buf, peer, 2)
+            else:
+                ad.recv(buf, peer, 1)
+                ad.send(buf, peer, 2)
+        return True
+
+    return lambda: mpiexec(
+        2, main, channel="shm", clock_mode="wall", eager_threshold=eager_threshold
+    )
+
+
+@pytest.mark.benchmark(group="ablate-protocol-64KiB")
+def test_eager_path(benchmark, bench_rounds):
+    """64 KiB below the threshold: single eager packet per message."""
+    benchmark.pedantic(_threshold_session(128 * 1024), **bench_rounds)
+
+
+@pytest.mark.benchmark(group="ablate-protocol-64KiB")
+def test_rendezvous_path(benchmark, bench_rounds):
+    """Same payload above the threshold: RTS/CTS plus packetized DATA."""
+    benchmark.pedantic(_threshold_session(16 * 1024), **bench_rounds)
+
+
+@pytest.mark.parametrize("flavor", ["cpp", "motor", "jmpi"])
+@pytest.mark.benchmark(group="ablate-pure-managed")
+def test_pure_managed_vs_integrated(benchmark, flavor, bench_rounds):
+    """A7: JMPI pays RMI serialization on every transfer (paper §2.1)."""
+    benchmark.pedantic(pingpong_session(flavor, 1024, 10), **bench_rounds)

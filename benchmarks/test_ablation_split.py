@@ -1,0 +1,62 @@
+"""A5 (wall clock): split representation vs N separate serializations.
+
+Root-side preparation of an object-array scatter over four ranks: Motor's
+single-pass split against the sub-array-per-destination workaround that
+atomic serializers force (paper §2.4)."""
+
+import pytest
+
+from repro.baselines.serializers import ClrBinarySerializer
+from repro.motor.serialization import MotorSerializer
+from repro.runtime.runtime import ManagedRuntime, RuntimeConfig
+from repro.simtime import HOST_PROFILES
+
+NRANKS = 4
+LENGTH = 64
+
+
+def _array(rt: ManagedRuntime):
+    if "Cell" not in rt.registry:
+        rt.define_class("Cell", [("data", "int32[]", True)], transportable_class=True)
+    arr = rt.new_array("Cell", LENGTH)
+    for i in range(LENGTH):
+        cell = rt.new("Cell")
+        rt.set_ref(cell, "data", rt.new_array("int32", 8, values=[i] * 8))
+        rt.set_elem_ref(arr, i, cell)
+    return arr
+
+
+@pytest.mark.benchmark(group="ablate-split")
+def test_motor_split_representation(benchmark):
+    rt = ManagedRuntime(RuntimeConfig(heap_capacity=64 << 20))
+    ser = MotorSerializer(rt)
+    arr = _array(rt)
+    per = LENGTH // NRANKS
+
+    def scatter_prep():
+        name, parts = ser.serialize_array_split(arr)
+        return [
+            ser.frame_parts(name, parts[i * per : (i + 1) * per])
+            for i in range(NRANKS)
+        ]
+
+    benchmark(scatter_prep)
+
+
+@pytest.mark.benchmark(group="ablate-split")
+def test_standard_atomic_subarrays(benchmark):
+    rt = ManagedRuntime(RuntimeConfig(heap_capacity=64 << 20))
+    clr = ClrBinarySerializer(rt, HOST_PROFILES["sscli-free"])
+    arr = _array(rt)
+    per = LENGTH // NRANKS
+
+    def scatter_prep():
+        out = []
+        for i in range(NRANKS):
+            sub = rt.new_array("Cell", per)  # N new sub-arrays...
+            for j in range(per):
+                rt.set_elem_ref(sub, j, rt.get_elem(arr, i * per + j))
+            out.append(clr.serialize(sub))  # ...serialized individually
+        return out
+
+    benchmark(scatter_prep)

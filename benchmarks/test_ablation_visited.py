@@ -1,0 +1,45 @@
+"""A4 (wall clock): linear vs hashed visited-object record.
+
+The real quadratic scan of the paper's linear structure vs the announced
+hash-based fix, measured on pure serialization (no transport)."""
+
+import pytest
+
+from repro.motor.serialization import MotorSerializer
+from repro.runtime.runtime import ManagedRuntime, RuntimeConfig
+from repro.workloads.linkedlist import build_linked_list, define_linked_array
+
+
+def _setup(elements: int):
+    rt = ManagedRuntime(RuntimeConfig(heap_capacity=64 << 20))
+    define_linked_array(rt)
+    head = build_linked_list(rt, elements, 4096)
+    return rt, head
+
+
+@pytest.mark.parametrize("visited", ["linear", "hashed"])
+@pytest.mark.benchmark(group="ablate-visited-256-objects")
+def test_serialize_small(benchmark, visited):
+    rt, head = _setup(128)
+    ser = MotorSerializer(rt, visited=visited)
+    benchmark(lambda: ser.serialize(head))
+
+
+@pytest.mark.parametrize("visited", ["linear", "hashed"])
+@pytest.mark.benchmark(group="ablate-visited-4096-objects")
+def test_serialize_large(benchmark, visited):
+    """Where the paper's degradation lives: >2048 objects."""
+    rt, head = _setup(2048)
+    ser = MotorSerializer(rt, visited=visited)
+    benchmark(lambda: ser.serialize(head))
+
+
+@pytest.mark.parametrize("visited", ["linear", "hashed"])
+@pytest.mark.benchmark(group="ablate-visited-deserialize")
+def test_deserialize(benchmark, visited):
+    rt, head = _setup(512)
+    data = bytes(MotorSerializer(rt, visited=visited).serialize(head))
+    rt2 = ManagedRuntime(RuntimeConfig(heap_capacity=64 << 20))
+    define_linked_array(rt2)
+    ser2 = MotorSerializer(rt2, visited=visited)
+    benchmark(lambda: ser2.deserialize(data))

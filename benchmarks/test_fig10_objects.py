@@ -1,0 +1,34 @@
+"""Figure 10 (wall clock): object-tree ping-pong including serialization.
+
+Each benchmark ships a LinkedArray list (4096-byte payload, paper §8)
+back and forth; the serialization cost is intentionally included.  The
+deterministic figure series comes from ``python -m repro.bench fig10``.
+"""
+
+import pytest
+
+from conftest import tree_session
+
+ITERS = 6
+
+SYSTEMS = ["motor", "mpijava", "indiana-dotnet", "indiana-sscli"]
+
+
+@pytest.mark.parametrize("flavor", SYSTEMS)
+@pytest.mark.benchmark(group="fig10-32-objects")
+def test_tree_small(benchmark, flavor, bench_rounds):
+    benchmark.pedantic(tree_session(flavor, elements=16, iters=ITERS), **bench_rounds)
+
+
+@pytest.mark.parametrize("flavor", SYSTEMS)
+@pytest.mark.benchmark(group="fig10-512-objects")
+def test_tree_medium(benchmark, flavor, bench_rounds):
+    benchmark.pedantic(tree_session(flavor, elements=256, iters=ITERS), **bench_rounds)
+
+
+@pytest.mark.parametrize("flavor", ["motor", "indiana-dotnet", "indiana-sscli"])
+@pytest.mark.benchmark(group="fig10-4096-objects")
+def test_tree_large(benchmark, flavor, bench_rounds):
+    """Above mpiJava's stack-overflow point, so it cannot appear here —
+    exactly as its series ends in the paper's figure."""
+    benchmark.pedantic(tree_session(flavor, elements=2048, iters=2), **bench_rounds)

@@ -1,0 +1,46 @@
+"""Figure 9 (wall clock): regular MPI ping-pong, every system.
+
+Regenerates the paper's headline comparison as real measured work.  Each
+benchmark runs a complete two-rank session of 20 round trips; compare
+within a group (``--benchmark-group-by=group``) to see the ordering
+C++ < Motor < Indiana (.NET) < Indiana (SSCLI) < mpiJava < JMPI.
+
+The deterministic per-iteration series (the actual figure) comes from
+``python -m repro.bench fig9``.
+"""
+
+import pytest
+
+from conftest import pingpong_session
+
+ITERS = 20
+
+SYSTEMS = ["cpp", "motor", "indiana-dotnet", "indiana-sscli", "mpijava", "jmpi"]
+
+
+@pytest.mark.parametrize("flavor", SYSTEMS)
+@pytest.mark.benchmark(group="fig9-small-4B")
+def test_pingpong_small(benchmark, flavor, bench_rounds):
+    benchmark.pedantic(pingpong_session(flavor, 4, ITERS), **bench_rounds)
+
+
+@pytest.mark.parametrize("flavor", SYSTEMS)
+@pytest.mark.benchmark(group="fig9-medium-4KiB")
+def test_pingpong_medium(benchmark, flavor, bench_rounds):
+    benchmark.pedantic(pingpong_session(flavor, 4096, ITERS), **bench_rounds)
+
+
+@pytest.mark.parametrize("flavor", ["cpp", "motor", "indiana-sscli"])
+@pytest.mark.benchmark(group="fig9-large-256KiB")
+def test_pingpong_large_rendezvous(benchmark, flavor, bench_rounds):
+    """Above the eager threshold: the rendezvous path."""
+    benchmark.pedantic(pingpong_session(flavor, 256 * 1024, 4), **bench_rounds)
+
+
+@pytest.mark.parametrize("channel", ["shm", "sock", "ssm", "ib"])
+@pytest.mark.benchmark(group="fig9-channels")
+def test_pingpong_channels(benchmark, channel, bench_rounds):
+    """Motor over each channel implementation (the portability story)."""
+    benchmark.pedantic(
+        pingpong_session("motor", 1024, ITERS, channel=channel), **bench_rounds
+    )

@@ -1,0 +1,60 @@
+"""OO transport end-to-end (wall clock): Motor's O-ops vs the wrappers'
+serialize-into-byte[]-and-Send workaround, plus the PAL backends."""
+
+import pytest
+
+from conftest import tree_session
+from repro.cluster import mpiexec
+from repro.motor import motor_session
+from repro.workloads.linkedlist import build_linked_list, define_linked_array
+
+
+@pytest.mark.parametrize("flavor", ["motor", "indiana-sscli", "mpijava"])
+@pytest.mark.benchmark(group="oo-transport-roundtrip")
+def test_oo_roundtrip(benchmark, flavor, bench_rounds):
+    benchmark.pedantic(tree_session(flavor, elements=64, iters=4), **bench_rounds)
+
+
+@pytest.mark.benchmark(group="oo-scatter-gather")
+def test_oscatter_ogather_4_ranks(benchmark, bench_rounds):
+    """The operation only Motor supports: object-array scatter/gather."""
+
+    def main(ctx):
+        vm = ctx.session
+        rt = vm.runtime
+        define_linked_array(rt)
+        comm = vm.comm_world
+        if comm.Rank == 0:
+            arr = rt.new_array("LinkedArray", 16)
+            for i in range(16):
+                node = rt.new("LinkedArray")
+                rt.set_ref(node, "array", rt.new_array("int32", 8, values=[i] * 8))
+                rt.set_elem_ref(arr, i, node)
+            sub = comm.OScatter(arr, 0)
+        else:
+            sub = comm.OScatter(None, 0)
+        comm.OGather(sub, 0)
+        return True
+
+    benchmark.pedantic(
+        lambda: mpiexec(4, main, channel="shm", session_factory=motor_session),
+        **bench_rounds,
+    )
+
+
+@pytest.mark.parametrize("backend", ["windows", "unix"])
+@pytest.mark.benchmark(group="pal-backends")
+def test_pal_backend_cost(benchmark, backend):
+    """A8 under wall clock: the UNIX PAL's emulation work is real work."""
+    from repro.pal import PAL
+    from repro.simtime import CostModel, VirtualClock
+
+    pal = PAL(backend, clock=VirtualClock(), costs=CostModel())
+
+    def calls():
+        ev = pal.create_event()
+        pal.set_event(ev)
+        pal.wait_for_single_object(ev, timeout_ms=1)
+        pal.reset_event(ev)
+
+    benchmark(calls)

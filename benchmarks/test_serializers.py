@@ -1,0 +1,63 @@
+"""Serializer shoot-out (wall clock): Motor custom vs CLI binary vs Java.
+
+The pure serialization cost behind Figure 10's curves, isolated from the
+transport: Motor reads the FieldDesc Transportable bit; the standard
+serializers go through metadata and emit verbose name-tagged records.
+"""
+
+import pytest
+
+from repro.baselines.serializers import ClrBinarySerializer, JavaSerializer
+from repro.motor.serialization import MotorSerializer
+from repro.runtime.runtime import ManagedRuntime, RuntimeConfig
+from repro.simtime import HOST_PROFILES
+from repro.workloads.linkedlist import build_linked_list, define_linked_array
+
+ELEMENTS = 128  # 256 objects: mid-range of Figure 10
+
+
+def _rt():
+    rt = ManagedRuntime(RuntimeConfig(heap_capacity=64 << 20))
+    define_linked_array(rt)
+    return rt
+
+
+@pytest.mark.benchmark(group="serializers-serialize")
+def test_motor_serialize(benchmark):
+    rt = _rt()
+    head = build_linked_list(rt, ELEMENTS, 4096)
+    ser = MotorSerializer(rt, visited="hashed")
+    benchmark(lambda: ser.serialize(head))
+
+
+@pytest.mark.benchmark(group="serializers-serialize")
+def test_clr_binary_serialize(benchmark):
+    rt = _rt()
+    head = build_linked_list(rt, ELEMENTS, 4096)
+    ser = ClrBinarySerializer(rt, HOST_PROFILES["sscli-free"])
+    benchmark(lambda: ser.serialize(head))
+
+
+@pytest.mark.benchmark(group="serializers-serialize")
+def test_java_serialize(benchmark):
+    rt = _rt()
+    head = build_linked_list(rt, ELEMENTS, 4096)
+    ser = JavaSerializer(rt, HOST_PROFILES["jvm"])
+    benchmark(lambda: ser.serialize(head))
+
+
+@pytest.mark.benchmark(group="serializers-stream-size")
+def test_stream_sizes_not_a_benchmark_artifact(benchmark):
+    """Motor's table-referenced format is more compact than the verbose
+    name-tagged standard records; assert while benchmarking Motor's
+    end-to-end round trip."""
+    rt = _rt()
+    head = build_linked_list(rt, ELEMENTS, 4096)
+    motor_len = len(MotorSerializer(rt).serialize(head))
+    clr_len = len(ClrBinarySerializer(rt, HOST_PROFILES["sscli-free"]).serialize(head))
+    assert motor_len < clr_len
+
+    rt2 = _rt()
+    ser = MotorSerializer(rt2, visited="hashed")
+    data = bytes(MotorSerializer(rt).serialize(head))
+    benchmark(lambda: ser.deserialize(data))

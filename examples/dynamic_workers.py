@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Dynamic process management: spawn workers, merge, compute, retire.
+
+The paper implemented "selected MPI-2 functionality such as dynamic
+process management and dynamic intercommunication routines" (§7) and
+named transparent process management as future work (§9).  This example
+exercises both: a 2-rank parent world spawns 3 workers at runtime, merges
+everyone into one intracommunicator, runs a Monte-Carlo estimate of π
+across the merged world, and reduces the result at the original rank 0.
+
+Run:  python examples/dynamic_workers.py
+"""
+
+from repro.cluster import mpiexec
+from repro.motor import motor_session
+from repro.mp.datatypes import DOUBLE, INT
+
+SAMPLES_PER_RANK = 20_000
+WORKERS = 3
+
+
+def monte_carlo_hits(rank: int, samples: int) -> int:
+    """Deterministic per-rank LCG sampling of the unit square."""
+    state = 0x9E3779B9 ^ (rank * 0x85EBCA6B)
+    hits = 0
+    for _ in range(samples):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        x = state / 0x7FFFFFFF
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        y = state / 0x7FFFFFFF
+        if x * x + y * y <= 1.0:
+            hits += 1
+    return hits
+
+
+def estimate_over(vm, comm) -> float | None:
+    """Allreduce-based π estimate over any Motor communicator."""
+    hits = monte_carlo_hits(comm.Rank, SAMPLES_PER_RANK)
+    send = vm.new_array("int64", 2, values=[hits, SAMPLES_PER_RANK])
+    recv = vm.new_array("int64", 2)
+    from repro.mp.datatypes import LONG
+
+    comm.Allreduce(send, recv, LONG, "sum")
+    return 4.0 * recv[0] / recv[1]
+
+
+def worker_main(ctx):
+    vm = ctx.session
+    parents = vm.parent_comm()
+    merged = parents.Merge(high=True)  # workers sort after the parents
+    pi = estimate_over(vm, merged)
+    return ("worker", merged.Rank, round(pi, 4))
+
+
+def parent_main(ctx):
+    vm = ctx.session
+    comm = vm.comm_world
+    if comm.Rank == 0:
+        print(f"[parents] world of {comm.Size}, spawning {WORKERS} workers...")
+    inter = vm.spawn(worker_main, WORKERS)
+    merged = inter.Merge(high=False)
+    pi = estimate_over(vm, merged)
+    if merged.Rank == 0:
+        print(f"[merged world of {merged.Size}] pi ~= {pi:.4f}")
+    return ("parent", merged.Rank, round(pi, 4))
+
+
+if __name__ == "__main__":
+    results = mpiexec(2, parent_main, session_factory=motor_session)
+    estimates = {r[2] for r in results}
+    assert len(estimates) == 1, "merged ranks disagree on the estimate"
+    pi = estimates.pop()
+    print(f"parents saw: {results}")
+    assert abs(pi - 3.1416) < 0.05, f"estimate too far off: {pi}"
+    print(f"OK: {2 + WORKERS} merged ranks agreed on pi ~= {pi}")

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""2-D Jacobi stencil on a Cartesian process grid with NumPy views.
+
+Combines three library layers the other examples use separately:
+
+* ``repro.mp.topology`` — a 2x2 Cartesian grid with neighbour shifts;
+* ``repro.runtime.numpy_interop`` — vectorised stencil updates on
+  zero-copy views over managed arrays (pinned for the compute block);
+* Motor ``Send``/``Recv`` — halo rows/columns exchanged per step.
+
+Checks the distributed result against a serial NumPy reference.
+
+Run:  python examples/grid_stencil_2d.py
+"""
+
+import numpy as np
+
+from repro.cluster import mpiexec
+from repro.motor import motor_session
+from repro.mp.topology import cart_create
+from repro.runtime.numpy_interop import as_numpy, pinned_numpy
+
+N = 32  # global grid is N x N, split over a PX x PY process grid
+STEPS = 25
+PX = PY = 2
+
+
+def serial_reference() -> np.ndarray:
+    grid = np.zeros((N, N))
+    grid[0, :] = 100.0  # hot north edge; all boundaries held fixed
+    for _ in range(STEPS):
+        nxt = grid.copy()
+        nxt[1:-1, 1:-1] = 0.25 * (
+            grid[:-2, 1:-1] + grid[2:, 1:-1] + grid[1:-1, :-2] + grid[1:-1, 2:]
+        )
+        grid = nxt
+    return grid
+
+
+def main(ctx):
+    vm = ctx.session
+    comm = vm.comm_world
+    cart = cart_create(comm.native, (PX, PY))
+    px, py = cart.coords()
+    ln = N // PX
+    side = ln + 2  # halo ring
+
+    tile = vm.new_array("float64", side * side)
+    vm.runtime.collect(0)  # promote: stable address for the long-lived view
+    halo_buf = vm.new_array("float64", ln)
+
+    def fix_boundaries(grid):
+        """Re-impose the global Dirichlet boundary inside my tile."""
+        if py == 0:
+            grid[1:-1, 1] = 0.0
+        if py == PY - 1:
+            grid[1:-1, -2] = 0.0
+        if px == PX - 1:
+            grid[-2, 1:-1] = 0.0
+        if px == 0:
+            grid[1, 1:-1] = 100.0  # hot edge wins at the corners (as serial)
+
+    def exchange(grid):
+        up, down = cart.shift(0, 1)
+        left, right = cart.shift(1, 1)
+        plan = [
+            (up, grid[1, 1:-1], grid[0, 1:-1], 1, 2),
+            (down, grid[-2, 1:-1], grid[-1, 1:-1], 2, 1),
+            (left, grid[1:-1, 1], grid[1:-1, 0], 3, 4),
+            (right, grid[1:-1, -2], grid[1:-1, -1], 4, 3),
+        ]
+        for nbr, send_slice, _recv, send_tag, _rt in plan:
+            if nbr is not None:
+                buf = vm.new_array("float64", ln, values=list(send_slice))
+                comm.Send(buf, nbr, send_tag)
+        for nbr, _send, recv_slice, _st, recv_tag in plan:
+            if nbr is not None:
+                comm.Recv(halo_buf, nbr, recv_tag)
+                recv_slice[:] = as_numpy(vm.runtime, halo_buf.ref, allow_young=True)
+
+    with pinned_numpy(vm.runtime, tile.ref) as flat:
+        grid = flat.reshape(side, side)
+        grid[:] = 0.0
+        fix_boundaries(grid)
+        for _ in range(STEPS):
+            exchange(grid)
+            nxt = grid.copy()
+            nxt[1:-1, 1:-1] = 0.25 * (
+                grid[:-2, 1:-1] + grid[2:, 1:-1] + grid[1:-1, :-2] + grid[1:-1, 2:]
+            )
+            grid[:] = nxt
+            fix_boundaries(grid)
+        local = grid[1:-1, 1:-1].copy()
+    comm.Barrier()
+    return (px, py, local)
+
+
+if __name__ == "__main__":
+    tiles = mpiexec(PX * PY, main, session_factory=motor_session)
+    ln = N // PX
+    got = np.zeros((N, N))
+    for px, py, local in tiles:
+        got[px * ln : (px + 1) * ln, py * ln : (py + 1) * ln] = local
+    ref = serial_reference()
+    err = float(np.max(np.abs(got - ref)))
+    print(f"grid {N}x{N} over a {PX}x{PY} process grid, {STEPS} steps")
+    print(f"hot edge mean: {got[0].mean():.1f}, row 4 mean: {got[4].mean():.2f}")
+    print(f"max |distributed - serial| = {err:.3e}")
+    assert err < 1e-9
+    print("OK: 2-D Cartesian halo exchange matches the serial stencil")

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""1-D heat diffusion with halo exchange — a classic e-Science workload.
+
+Four Motor ranks each own a strip of a 1-D rod and iterate the explicit
+finite-difference stencil, exchanging one-cell halos with their
+neighbours through regular Motor `Send`/`Recv` each step (non-blocking
+variants on even steps to exercise the conditional-pin path).  The
+distributed result is checked against a serial reference computed in
+plain Python.
+
+Run:  python examples/heat_diffusion.py
+"""
+
+from repro.cluster import mpiexec
+from repro.motor import motor_session
+
+N = 96  # rod cells
+STEPS = 60
+ALPHA = 0.24
+RANKS = 4
+
+
+def serial_reference() -> list[float]:
+    u = [0.0] * N
+    u[N // 2] = 100.0  # hot spot in the middle
+    for _ in range(STEPS):
+        nxt = u[:]
+        for i in range(1, N - 1):
+            nxt[i] = u[i] + ALPHA * (u[i - 1] - 2 * u[i] + u[i + 1])
+        u = nxt
+    return u
+
+
+def main(ctx):
+    vm = ctx.session
+    comm = vm.comm_world
+    me, n = comm.Rank, comm.Size
+    local_n = N // n
+    lo = me * local_n
+
+    # local strip with two ghost cells: [ghost_left, cells..., ghost_right]
+    u = vm.new_array("float64", local_n + 2)
+    for i in range(local_n):
+        u[i + 1] = 100.0 if lo + i == N // 2 else 0.0
+    nxt = vm.new_array("float64", local_n + 2)
+    halo = vm.new_array("float64", 1)
+
+    for step in range(STEPS):
+        # --- halo exchange ---------------------------------------------------
+        if me > 0:
+            halo[0] = u[1]
+            if step % 2 == 0:
+                req = comm.Isend(halo, me - 1, tag=10)
+                req.Wait()
+            else:
+                comm.Send(halo, me - 1, tag=10)
+        if me < n - 1:
+            recv = vm.new_array("float64", 1)
+            comm.Recv(recv, me + 1, tag=10)
+            u[local_n + 1] = recv[0]
+            recv[0] = u[local_n]
+            comm.Send(recv, me + 1, tag=11)
+        if me > 0:
+            recv = vm.new_array("float64", 1)
+            comm.Recv(recv, me - 1, tag=11)
+            u[0] = recv[0]
+
+        # --- stencil update ---------------------------------------------------
+        for i in range(1, local_n + 1):
+            gi = lo + i - 1
+            if gi == 0 or gi == N - 1:
+                nxt[i] = u[i]  # fixed boundary
+            else:
+                nxt[i] = u[i] + ALPHA * (u[i - 1] - 2 * u[i] + u[i + 1])
+        u, nxt = nxt, u
+
+    comm.Barrier()
+    return [u[i + 1] for i in range(local_n)]
+
+
+if __name__ == "__main__":
+    strips = mpiexec(RANKS, main, session_factory=motor_session)
+    distributed = [v for strip in strips for v in strip]
+    reference = serial_reference()
+    err = max(abs(a - b) for a, b in zip(distributed, reference))
+    mid = N // 2
+    print(f"cells={N} steps={STEPS} ranks={RANKS}")
+    print(f"peak temperature: {max(distributed):.4f} at the hot spot")
+    print(f"profile around the hot spot: "
+          f"{[round(distributed[i], 2) for i in range(mid - 3, mid + 4)]}")
+    print(f"max |distributed - serial| = {err:.3e}")
+    assert err < 1e-9, "distributed result diverged from the serial reference"
+    print("OK: halo exchange over Motor matches the serial computation")

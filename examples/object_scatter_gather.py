@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Scatter/gather of OBJECT ARRAYS — the operation only Motor can do.
+
+The paper (§2.4) observes that standard serializers produce one atomic
+stream, so scattering an array of objects over N hosts needs N separate
+sub-array constructions and serializations.  Motor's custom serializer
+emits a *split representation* — one independently-deserializable part per
+element — so `OScatter`/`OGather` work directly on object arrays.
+
+This example distributes a bag of "simulation jobs" (each a small object
+tree: job -> parameter array) across four ranks, runs them, and gathers
+the finished jobs back at the root.
+
+Run:  python examples/object_scatter_gather.py
+"""
+
+from repro.cluster import mpiexec
+from repro.motor import motor_session
+
+NJOBS = 10
+
+
+def define_types(vm):
+    vm.define_class(
+        "Job",
+        [
+            ("job_id", "int32", True),
+            ("params", "float64[]", True),
+            ("result", "float64", True),
+            ("done", "int32", True),
+        ],
+        transportable_class=True,
+    )
+
+
+def main(ctx):
+    vm = ctx.session
+    rt = vm.runtime
+    comm = vm.comm_world
+    define_types(vm)
+
+    if comm.Rank == 0:
+        # Build the job array: each job carries its own parameter tree.
+        jobs = rt.new_array("Job", NJOBS)
+        for i in range(NJOBS):
+            job = vm.new("Job", job_id=i)
+            job.params = vm.new_array(
+                "float64", 4, values=[i + 1.0, 0.5, 2.0, float(i % 3)]
+            )
+            rt.set_elem_ref(jobs, i, job.ref)
+        print(f"[root] scattering {NJOBS} job objects over {comm.Size} ranks")
+        mine = comm.OScatter(jobs, 0)
+    else:
+        mine = comm.OScatter(None, 0)
+
+    # Every rank now owns a managed sub-array of complete job trees.
+    count = rt.array_length(mine)
+    for i in range(count):
+        job = vm.proxy(rt.get_elem(mine, i))
+        p = job.params
+        # the "simulation": a weighted sum of the parameters
+        job.result = sum(p[k] * (k + 1) for k in range(len(p)))
+        job.done = 1
+    print(f"[rank {comm.Rank}] ran {count} jobs")
+
+    gathered = comm.OGather(mine, 0)
+    if comm.Rank == 0:
+        out = []
+        for i in range(rt.array_length(gathered)):
+            job = vm.proxy(rt.get_elem(gathered, i))
+            assert job.done == 1, f"job {job.job_id} came back unfinished"
+            out.append((job.job_id, round(job.result, 2)))
+        return sorted(out)
+    return count
+
+
+if __name__ == "__main__":
+    results = mpiexec(4, main, session_factory=motor_session)
+    finished = results[0]
+    print(f"[root] gathered {len(finished)} finished jobs:")
+    for job_id, result in finished:
+        print(f"  job {job_id:2d} -> {result}")
+    expected = [
+        (i, round((i + 1.0) * 1 + 0.5 * 2 + 2.0 * 3 + (i % 3) * 4, 2))
+        for i in range(NJOBS)
+    ]
+    assert finished == expected
+    per_rank = results[1:]
+    print(f"jobs per non-root rank: {per_rank}")
+    print("OK: object-array scatter/gather round-tripped every job tree")

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Quickstart: a two-rank Motor program.
+
+Launches two simulated ranks, each with its own managed runtime (heap +
+garbage collector) and Motor's integrated message passing:
+
+* regular MPI operations on a primitive array (object-to-object,
+  zero-copy, pinning policy applied automatically);
+* extended object-oriented operations (`OSend`/`ORecv`) transporting a
+  linked structure with `[Transportable]` semantics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cluster import mpiexec
+from repro.motor import motor_session
+
+
+def define_types(vm):
+    """Classes must be defined identically on every rank (SPMD)."""
+    vm.define_class(
+        "Reading",
+        [
+            ("sensor", "int32", True),  # [Transportable]
+            ("values", "float64[]", True),  # [Transportable]
+            ("next", "Reading", True),  # [Transportable]
+            ("cache", "Reading", False),  # not transportable -> nulled
+        ],
+        transportable_class=True,
+    )
+
+
+def main(ctx):
+    vm = ctx.session  # this rank's MotorVM
+    comm = vm.comm_world
+    me, peer = comm.Rank, 1 - comm.Rank
+    define_types(vm)
+
+    # --- regular MPI: a float64 array, no counts, no datatypes ------------
+    if me == 0:
+        data = vm.new_array("float64", 100, values=[i * 0.5 for i in range(100)])
+        comm.Send(data, peer, tag=1)
+        print("[rank 0] sent 100 float64s")
+    else:
+        data = vm.new_array("float64", 100)
+        status = comm.Recv(data, peer, tag=1)
+        print(f"[rank 1] received {status.count} bytes from rank {status.source}")
+        assert data[10] == 5.0
+
+    # --- array slice overload: offset/count exist for arrays only ---------
+    if me == 0:
+        window = vm.new_array("int32", 10, values=list(range(10)))
+        comm.Send(window, peer, tag=2, offset=4, length=3)
+    else:
+        got = vm.new_array("int32", 3)
+        comm.Recv(got, peer, tag=2)
+        print(f"[rank 1] array slice: {[got[i] for i in range(3)]}")
+        assert [got[i] for i in range(3)] == [4, 5, 6]
+
+    # --- OO operations: whole object trees, serialized automatically ------
+    if me == 0:
+        head = vm.new("Reading", sensor=1)
+        head.values = vm.new_array("float64", 3, values=[1.0, 2.0, 3.0])
+        tail = vm.new("Reading", sensor=2)
+        tail.values = vm.new_array("float64", 2, values=[4.0, 5.0])
+        head.next = tail
+        head.cache = tail  # NOT transportable: arrives as null
+        comm.OSend(head.ref, peer, tag=3)
+        print("[rank 0] OSent a 2-node Reading chain")
+    else:
+        tree = comm.ORecv(peer, tag=3)
+        node = vm.proxy(tree)
+        print(
+            f"[rank 1] ORecv: sensor={node.sensor}, "
+            f"next.sensor={node.next.sensor}, cache={node.cache}"
+        )
+        assert node.next.values[1] == 5.0
+        assert node.cache is None  # the opt-in semantics at work
+
+    comm.Barrier()
+    # Each rank ran its own collector during all of this:
+    stats = vm.runtime.gc.stats
+    return f"rank {me}: {stats.gen0_collections} collections, " \
+           f"{vm.policy.stats.checks} pin-policy checks"
+
+
+if __name__ == "__main__":
+    for line in mpiexec(2, main, session_factory=motor_session):
+        print(line)

@@ -1,0 +1,39 @@
+"""Motor: A Virtual Machine for High Performance Computing — reproduction.
+
+A full-system Python reproduction of Goscinski & Abramson's Motor (HPDC
+2006): a CLI-like managed runtime with an MPICH2-style message-passing
+library integrated *inside* the virtual machine, next to the garbage
+collector — plus every baseline the paper compares against and a harness
+that regenerates both evaluation figures.
+
+Quick start::
+
+    from repro.cluster import mpiexec
+    from repro.motor import motor_session
+
+    def main(ctx):
+        vm = ctx.session
+        comm = vm.comm_world
+        if comm.Rank == 0:
+            data = vm.new_array("float64", 1000, values=[0.5] * 1000)
+            comm.Send(data, dest=1, tag=7)
+        else:
+            data = vm.new_array("float64", 1000)
+            comm.Recv(data, source=0, tag=7)
+        return comm.Rank
+
+    mpiexec(2, main, session_factory=motor_session)
+
+Package map (bottom-up): :mod:`repro.simtime` (clocks + cost model),
+:mod:`repro.pal` (platform adaptation layer), :mod:`repro.runtime` (the
+managed runtime: heap, GC, type system, interop gates), :mod:`repro.il`
+(the intermediate language + engines), :mod:`repro.mp` (the MPICH2-like
+substrate), :mod:`repro.cluster` (rank threads + launcher),
+:mod:`repro.motor` (the paper's contribution), :mod:`repro.baselines`
+(Indiana / mpiJava / JMPI / native C++), :mod:`repro.workloads` (the §8
+drivers) and :mod:`repro.bench` (figure regeneration).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

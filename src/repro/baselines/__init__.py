@@ -1,0 +1,47 @@
+"""The comparison systems of the paper's evaluation (§8).
+
+Every baseline runs over the *same* MPICH2-like substrate as Motor — the
+paper levelled the field the same way ("to provide a fair comparison, they
+were reimplemented over MPICH2 v1.0.2").  What differs is the architecture
+above the substrate, which is exactly the experiment:
+
+* :mod:`repro.baselines.native_cpp` — the C++ application: no managed
+  runtime, no gates, no pinning; buffers are native memory.
+* :mod:`repro.baselines.indiana` — the Indiana C# bindings: a managed
+  wrapper crossing P/Invoke per call, pinning the buffer for *every*
+  operation, hosted by a selectable runtime profile (SSCLI free /
+  fastchecked, commercial .NET).
+* :mod:`repro.baselines.mpijava` — mpiJava: a JNI wrapper with automatic
+  pin/unpin, Java's arrays-of-arrays model, and the JDK-style recursive
+  object serializer (which genuinely overflows on long linked lists).
+* :mod:`repro.baselines.jmpi` — JMPI: pure managed MPI over an RMI
+  simulation; fully portable, no native anything, and slow.
+* :mod:`repro.baselines.serializers` — the standard atomic serializers
+  (CLI binary, Java object serialization) that the wrapper bindings use
+  for object trees; both read type information through the slow metadata
+  path and neither can produce a split representation.
+"""
+
+from repro.baselines.indiana import IndianaComm, indiana_session
+from repro.baselines.jmpi import JmpiComm, jmpi_session
+from repro.baselines.mpijava import MpiJavaComm, mpijava_session
+from repro.baselines.native_cpp import NativeComm, native_session
+from repro.baselines.serializers import (
+    ClrBinarySerializer,
+    JavaSerializer,
+    SerializationStackOverflow,
+)
+
+__all__ = [
+    "NativeComm",
+    "native_session",
+    "IndianaComm",
+    "indiana_session",
+    "MpiJavaComm",
+    "mpijava_session",
+    "JmpiComm",
+    "jmpi_session",
+    "ClrBinarySerializer",
+    "JavaSerializer",
+    "SerializationStackOverflow",
+]

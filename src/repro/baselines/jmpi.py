@@ -1,0 +1,123 @@
+"""The JMPI baseline: pure managed MPI over RMI (paper ref [2], §2.1).
+
+"JMPI is a pure Java implementation of a subset of MPI.  Communication in
+JMPI is implemented over Java Remote Method Invocation.  This results in
+a completely portable MPI library, but offers relatively low performance."
+
+Everything stays managed: even primitive buffers are serialized into an
+RMI envelope (method name + argument stream), dispatched through a
+simulated remote-invocation layer (extra staging copies + per-call RMI
+overhead), and deserialized on the far side.  No pinning is ever needed —
+and no zero-copy is ever possible, which is the cost.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.baselines.serializers import ClrBinarySerializer
+from repro.cluster.world import RankContext
+from repro.mp.buffers import BufferDesc
+from repro.mp.status import Status
+from repro.runtime.handles import ObjRef
+from repro.runtime.runtime import ManagedRuntime, RuntimeConfig
+from repro.simtime import HOST_PROFILES
+
+
+class JmpiComm:
+    """Pure managed message passing over simulated RMI."""
+
+    name = "jmpi"
+
+    #: RMI dispatch runs on the collective context with this tag
+    _RMI_TAG = (1 << 20) + 900
+
+    def __init__(self, ctx: RankContext, profile: str = "jvm") -> None:
+        self.ctx = ctx
+        self.engine = ctx.engine
+        self.comm = ctx.engine.comm_world
+        self.profile = HOST_PROFILES[profile]
+        self.runtime = ManagedRuntime(
+            RuntimeConfig(), clock=ctx.clock, costs=ctx.world.costs
+        )
+        self.serializer = ClrBinarySerializer(self.runtime, self.profile)
+
+    @property
+    def rank(self) -> int:
+        return self.comm.rank
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    # -- buffers (managed byte[]) ----------------------------------------------------
+
+    def alloc_buffer(self, nbytes: int) -> ObjRef:
+        return self.runtime.new_array("byte", nbytes)
+
+    def fill_buffer(self, buf: ObjRef, data: bytes) -> None:
+        self.runtime.fill_array_bytes(buf, data)
+
+    def buffer_bytes(self, buf: ObjRef) -> bytes:
+        return self.runtime.array_bytes(buf)
+
+    # -- RMI layer -------------------------------------------------------------------
+
+    def _rmi_invoke(self, dest: int, method: str, payload: bytes) -> None:
+        """Marshal an RMI call: method string + payload, extra copies."""
+        rt = self.runtime
+        rt.clock.charge(rt.costs.rmi_call_ns)
+        rt.clock.charge(rt.costs.rmi_per_byte_ns * len(payload))
+        m = method.encode()
+        envelope = struct.pack("<H", len(m)) + m + struct.pack("<q", len(payload)) + payload
+        # staging copy into the 'socket' buffer RMI maintains
+        staged = bytearray(envelope)
+        hdr = BufferDesc.from_bytes(struct.pack("<q", len(staged)))
+        self.engine.send(hdr, dest, self._RMI_TAG, self.comm, _internal=True)
+        self.engine.send(BufferDesc(staged, 0, len(staged)), dest, self._RMI_TAG + 1, self.comm, _internal=True)
+
+    def _rmi_accept(self, source: int) -> tuple[str, bytes, int]:
+        rt = self.runtime
+        rt.clock.charge(rt.costs.rmi_call_ns)
+        hdr = bytearray(8)
+        st = self.engine.recv(BufferDesc(hdr, 0, 8), source, self._RMI_TAG, self.comm, _internal=True)
+        (n,) = struct.unpack("<q", hdr)
+        staged = bytearray(n)
+        self.engine.recv(BufferDesc(staged, 0, n), st.source, self._RMI_TAG + 1, self.comm, _internal=True)
+        (mlen,) = struct.unpack_from("<H", staged, 0)
+        method = bytes(staged[2 : 2 + mlen]).decode()
+        (plen,) = struct.unpack_from("<q", staged, 2 + mlen)
+        payload = bytes(staged[2 + mlen + 8 : 2 + mlen + 8 + plen])
+        rt.clock.charge(rt.costs.rmi_per_byte_ns * plen)
+        return method, payload, st.source
+
+    # -- MPI subset over RMI -----------------------------------------------------------
+
+    def send(self, buf: ObjRef, dest: int, tag: int) -> None:
+        blob = self.serializer.serialize(buf)  # even byte[] gets serialized
+        self._rmi_invoke(dest, f"MPI.recvFrom({self.rank},{tag})", blob)
+
+    def recv(self, buf: ObjRef, source: int, tag: int) -> Status:
+        method, payload, src = self._rmi_accept(source)
+        got = self.serializer.deserialize(payload)
+        data = self.runtime.array_bytes(got)
+        n = min(len(data), self.runtime.om.array_data_range(buf.require())[1])
+        self.runtime.fill_array_bytes(buf, data[:n])
+        return Status(source=src, tag=tag, count=n)
+
+    def barrier(self) -> None:
+        self.engine.barrier(self.comm)
+
+    # -- object trees (trivially: everything is serialized anyway) ---------------------
+
+    def send_tree(self, root: ObjRef, dest: int, tag: int) -> None:
+        blob = self.serializer.serialize(root)
+        self._rmi_invoke(dest, f"MPI.recvObject({self.rank},{tag})", blob)
+
+    def recv_tree(self, source: int, tag: int) -> ObjRef | None:
+        _method, payload, _src = self._rmi_accept(source)
+        return self.serializer.deserialize(payload)
+
+
+def jmpi_session(ctx: RankContext) -> JmpiComm:
+    return JmpiComm(ctx)

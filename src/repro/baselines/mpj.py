@@ -1,0 +1,147 @@
+"""The MPJ API face (paper refs [16]/[17], §2.1).
+
+"The MPJ API is an API specification for Java MPI bindings.  Developed by
+the Message-Passing Working Group of the Java Grande Forum ... it does
+represent the most significant attempt to formalize such a binding.  MPJ
+describes a Java-oriented adaptation of the official C++ object oriented
+bindings."  mpiJava's bindings are based on it.
+
+This module exposes the MPJ signature shape —
+
+    Comm.Send(Object buf, int offset, int count, Datatype type, int dest, int tag)
+
+— over the mpiJava machinery, including the ``MPI.OBJECT`` datatype that
+routes through standard Java serialization.  The contrast with Motor's
+simplified bindings (no offset into plain objects, no count, no datatype)
+is the paper's §4.2.1 design argument, which the tests exercise directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.mpijava import MpiJavaComm
+from repro.cluster.world import RankContext
+from repro.mp.buffers import BufferDesc
+from repro.mp.errors import MpiErrCount, MpiErrType
+from repro.runtime.errors import ObjectModelViolation
+from repro.runtime.handles import ObjRef
+from repro.runtime.typesys import ARRAY_DATA_OFFSET
+
+
+@dataclass(frozen=True)
+class MpjDatatype:
+    """MPJ datatype constant (MPI.INT, MPI.DOUBLE, MPI.OBJECT, ...)."""
+
+    name: str
+    elem: str | None  # managed primitive name; None for OBJECT
+
+
+BYTE = MpjDatatype("MPI.BYTE", "byte")
+CHAR = MpjDatatype("MPI.CHAR", "char")
+INT = MpjDatatype("MPI.INT", "int32")
+LONG = MpjDatatype("MPI.LONG", "int64")
+FLOAT = MpjDatatype("MPI.FLOAT", "float32")
+DOUBLE = MpjDatatype("MPI.DOUBLE", "float64")
+#: the OBJECT datatype: elements go through Java serialization
+OBJECT = MpjDatatype("MPI.OBJECT", None)
+
+_BY_ELEM = {d.elem: d for d in (BYTE, CHAR, INT, LONG, FLOAT, DOUBLE)}
+
+
+class MpjComm:
+    """An MPJ-style Comm over the mpiJava wrapper machinery."""
+
+    def __init__(self, ctx: RankContext) -> None:
+        self._impl = MpiJavaComm(ctx)
+        self.runtime = self._impl.runtime
+
+    @property
+    def rank(self) -> int:
+        return self._impl.rank
+
+    @property
+    def size(self) -> int:
+        return self._impl.size
+
+    # -- MPJ buffer access checks -------------------------------------------------
+
+    def _window(self, buf: ObjRef, offset: int, count: int, datatype: MpjDatatype) -> BufferDesc:
+        """MPJ semantics: (array, offset, count, datatype) — the caller can
+        name any slice, and a mismatch between the declared datatype and
+        the actual array is only caught here, at call time."""
+        rt = self.runtime
+        mt = rt.om.method_table(buf.require())
+        if not mt.is_array or mt.element_is_ref:
+            raise ObjectModelViolation(
+                "MPJ buffer operations need a primitive array"
+            )
+        if datatype.elem != mt.element_type.name:
+            raise MpiErrType(
+                f"buffer is {mt.element_type.name}[], datatype says {datatype.name}"
+            )
+        length = rt.om.array_length(buf.addr)
+        if offset < 0 or count < 0 or offset + count > length:
+            raise MpiErrCount(
+                f"[{offset}:{offset + count}] out of range for length {length}"
+            )
+        es = mt.element_size
+        return BufferDesc.from_heap(
+            rt.heap, buf.addr + ARRAY_DATA_OFFSET + offset * es, count * es
+        )
+
+    # -- the MPJ signatures ------------------------------------------------------
+
+    def Send(self, buf: ObjRef, offset: int, count: int, datatype: MpjDatatype, dest: int, tag: int) -> None:
+        if datatype is OBJECT:
+            # each element of the object array is serialized (mpiJava's
+            # MPI.OBJECT path); we ship the slice as one serialized array
+            self._send_object_slice(buf, offset, count, dest, tag)
+            return
+        desc = self._window(buf, offset, count, datatype)
+        self._impl.gate.call(
+            lambda _b: self._impl.engine.send(desc, dest, tag, self._impl.comm), buf
+        )
+
+    def Recv(self, buf: ObjRef, offset: int, count: int, datatype: MpjDatatype, source: int, tag: int):
+        if datatype is OBJECT:
+            return self._recv_object_slice(buf, offset, count, source, tag)
+        desc = self._window(buf, offset, count, datatype)
+        return self._impl.gate.call(
+            lambda _b: self._impl.engine.recv(desc, source, tag, self._impl.comm), buf
+        )
+
+    # -- MPI.OBJECT: the standard-serialization path ------------------------------
+
+    def _send_object_slice(self, buf: ObjRef, offset: int, count: int, dest: int, tag: int) -> None:
+        rt = self.runtime
+        mt = rt.om.method_table(buf.require())
+        if not mt.is_array or not mt.element_is_ref:
+            raise MpiErrType("MPI.OBJECT needs an array of objects")
+        # build the sub-array (the copy the paper's §2.4 complains about)
+        sub = rt.new_array(mt.element_type.name, count)
+        for i in range(count):
+            rt.set_elem_ref(sub, i, rt.get_elem(buf, offset + i))
+        self._impl.send_tree(sub, dest, tag)
+
+    def _recv_object_slice(self, buf: ObjRef, offset: int, count: int, source: int, tag: int):
+        rt = self.runtime
+        got = self._impl.recv_tree(source, tag)
+        n = min(count, rt.om.array_length(got.require()))
+        for i in range(n):
+            rt.set_elem_ref(buf, offset + i, rt.get_elem(got, i))
+        return n
+
+    def Barrier(self) -> None:
+        self._impl.barrier()
+
+
+def datatype_for(elem_name: str) -> MpjDatatype:
+    try:
+        return _BY_ELEM[elem_name]
+    except KeyError:
+        raise MpiErrType(f"no MPJ datatype for {elem_name}") from None
+
+
+def mpj_session(ctx: RankContext) -> MpjComm:
+    return MpjComm(ctx)

@@ -1,0 +1,84 @@
+"""``python -m repro.bench`` — regenerate the paper's figures as text.
+
+Examples::
+
+    python -m repro.bench fig9            # Figure 9, quick protocol
+    python -m repro.bench fig10 --paper   # full 200/100/x3 protocol
+    python -m repro.bench all --csv out/  # everything, plus CSV dumps
+    python -m repro.bench report          # paper-vs-measured claim report
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.bench.figures import EXPERIMENTS
+from repro.bench.report import build_report, render_claims, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the Motor paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "report", "write-experiments"],
+        help="which experiment to run (or 'all' / 'report' / "
+        "'write-experiments' to refresh EXPERIMENTS.md's data section)",
+    )
+    parser.add_argument(
+        "--paper",
+        action="store_true",
+        help="run the full paper protocol (200 iterations, last 100 timed, "
+        "mean of 3) instead of the quick deterministic one",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="also write <experiment>.csv files into DIR",
+    )
+    args = parser.parse_args(argv)
+    quick = not args.paper
+
+    if args.experiment == "report":
+        print("# Motor reproduction: paper vs measured\n")
+        print(build_report(quick=quick))
+        return 0
+
+    if args.experiment == "write-experiments":
+        path = os.path.join(os.getcwd(), "EXPERIMENTS.md")
+        try:
+            with open(path) as fh:
+                current = fh.read()
+            header, _sep, _old = current.partition(
+                "# Regenerated series and claim checks"
+            )
+        except FileNotFoundError:
+            header = "# EXPERIMENTS — paper vs measured\n\n"
+        body = build_report(quick=quick)
+        with open(path, "w") as fh:
+            fh.write(header + "# Regenerated series and claim checks\n\n" + body)
+        print(f"rewrote {path}", file=sys.stderr)
+        return 0
+
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for exp_id in ids:
+        series, claims = run_experiment(exp_id, quick=quick)
+        print(series.render_table())
+        if claims:
+            print(render_claims(claims))
+            print()
+        if args.csv:
+            os.makedirs(args.csv, exist_ok=True)
+            path = os.path.join(args.csv, f"{exp_id}.csv")
+            with open(path, "w") as fh:
+                fh.write(series.to_csv())
+            print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

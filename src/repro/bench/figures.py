@@ -1,0 +1,395 @@
+"""Experiment implementations: one function per figure/ablation.
+
+Each function regenerates one row of DESIGN.md's experiment index and
+returns a :class:`SeriesSet`.  ``quick=True`` (the default) runs a reduced
+iteration protocol — the virtual clock is deterministic, so per-iteration
+results match the full paper protocol (200 iterations, last 100 timed,
+mean of 3 runs) to within a ~1% warm-up transient; ``quick=False`` runs
+the full protocol for rigour.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.serializers import ClrBinarySerializer
+from repro.bench.harness import SeriesSet
+from repro.motor.serialization import MotorSerializer
+from repro.runtime.runtime import ManagedRuntime, RuntimeConfig
+from repro.simtime import HOST_PROFILES, CostModel, VirtualClock
+from repro.workloads.pingpong import (
+    FIG9_SIZES,
+    FIG10_OBJECT_COUNTS,
+    sweep_buffer_pingpong,
+    sweep_tree_pingpong,
+)
+
+#: the paper's series labels, mapped to our adapter names
+FIG9_SERIES = [
+    ("Java", "mpijava"),
+    ("Indiana SSCLI", "indiana-sscli"),
+    ("Indiana .NET", "indiana-dotnet"),
+    ("Motor", "motor"),
+    ("C++", "cpp"),
+]
+
+FIG10_SERIES = [
+    ("Motor", "motor"),
+    ("mpiJava", "mpijava"),
+    ("Indiana (.NET)", "indiana-dotnet"),
+    ("Indiana (SSCLI)", "indiana-sscli"),
+]
+
+
+def _protocol(quick: bool) -> dict:
+    if quick:
+        return {"iterations": 20, "timed": 10, "runs": 1}
+    return {"iterations": 200, "timed": 100, "runs": 3}
+
+
+def _tree_protocol(quick: bool) -> dict:
+    # the virtual clock makes per-iteration times deterministic, so the
+    # quick tree protocol can be very short without changing the series
+    if quick:
+        return {"iterations": 8, "timed": 4, "runs": 1}
+    return {"iterations": 200, "timed": 100, "runs": 3}
+
+
+def figure9(quick: bool = True, channel: str = "sock") -> SeriesSet:
+    """Figure 9: ping-pong of regular MPI operations, time per iteration."""
+    out = SeriesSet(
+        experiment="fig9",
+        title="Ping-pong comparison of regular MPI operations",
+        x_label="bytes",
+        y_label="time per iteration (us)",
+    )
+    for label, flavor in FIG9_SERIES:
+        out.add(
+            label,
+            sweep_buffer_pingpong(flavor, FIG9_SIZES, channel=channel, **_protocol(quick)),
+        )
+    out.notes.append(
+        "expected shape: C++ fastest, Motor second, then Indiana .NET, "
+        "Indiana SSCLI, Java (paper Figure 9)"
+    )
+    return out
+
+
+def figure10(quick: bool = True, channel: str = "sock") -> SeriesSet:
+    """Figure 10: ping-pong of a linked list of objects (incl. serialization)."""
+    out = SeriesSet(
+        experiment="fig10",
+        title="Ping-pong transport of a linked list of objects",
+        x_label="objects",
+        y_label="time per iteration (us)",
+    )
+    for label, flavor in FIG10_SERIES:
+        out.add(
+            label,
+            sweep_tree_pingpong(
+                flavor, FIG10_OBJECT_COUNTS, channel=channel, **_tree_protocol(quick)
+            ),
+        )
+    out.notes.append(
+        "mpiJava stops at 1024 objects: longer lists overflow the Java "
+        "serializer's stack (paper Figure 10 caption)"
+    )
+    out.notes.append(
+        "Motor is fastest below 2048 objects and degrades beyond it: the "
+        "linear visited-object record (paper §8)"
+    )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# ablations
+# ---------------------------------------------------------------------------
+
+
+def ablate_calls(quick: bool = True) -> SeriesSet:
+    """A1: per-call cost of FCall vs P/Invoke vs JNI gates."""
+    n = 200 if quick else 2000
+    out = SeriesSet(
+        experiment="ablate-calls",
+        title="Managed-to-native call gate cost",
+        x_label="args",
+        y_label="ns per call",
+    )
+    gates = [
+        ("FCall", "fcall", None),
+        ("P/Invoke", "pinvoke", HOST_PROFILES["sscli-free"]),
+        ("JNI", "jni", HOST_PROFILES["jvm"]),
+    ]
+    for label, kind, profile in gates:
+        points: dict[int, float] = {}
+        for nargs in (0, 2, 6):
+            rt = ManagedRuntime(RuntimeConfig(), clock=VirtualClock())
+            gate = rt.gate(kind, profile)
+            args = tuple(range(nargs))
+            t0 = rt.clock.now()
+            for _ in range(n):
+                gate.call(lambda *a: None, *args)
+            points[nargs] = (rt.clock.now() - t0) / n
+        out.add(label, points)
+    out.notes.append(
+        "FCalls skip marshalling and security checks (paper §5.1); the gap "
+        "is the per-MPI-call overhead wrapper bindings pay"
+    )
+    return out
+
+
+def ablate_pinning(quick: bool = True, channel: str = "sock") -> SeriesSet:
+    """A2: Motor's pinning policy vs pin-per-operation."""
+    sizes = [4, 256, 4096, 65536, 262144] if quick else FIG9_SIZES
+    out = SeriesSet(
+        experiment="ablate-pinning",
+        title="Pinning policy vs per-operation pinning (Motor)",
+        x_label="bytes",
+        y_label="time per iteration (us)",
+    )
+    for label, flavor in (("policy", "motor"), ("pin-always", "motor-pin-always")):
+        out.add(
+            label,
+            sweep_buffer_pingpong(flavor, sizes, channel=channel, **_protocol(quick)),
+        )
+    out.notes.append(
+        "the policy skips elder-generation objects and defers young pins to "
+        "the polling-wait (paper §7.4)"
+    )
+    return out
+
+
+def ablate_buildtype(quick: bool = True) -> SeriesSet:
+    """A3 (footnote 4): pin/unpin cost under different host build types."""
+    n = 200 if quick else 2000
+    out = SeriesSet(
+        experiment="ablate-buildtype",
+        title="Pin/unpin pair cost by host build type",
+        x_label="bytes",
+        y_label="ns per pin/unpin pair",
+    )
+    for pname in ("sscli-free", "sscli-fastchecked", "dotnet"):
+        profile = HOST_PROFILES[pname]
+        points: dict[int, float] = {}
+        for size in (64, 4096, 262144):
+            rt = ManagedRuntime(RuntimeConfig(), clock=VirtualClock())
+            buf = rt.new_array("byte", size)
+            t0 = rt.clock.now()
+            for _ in range(n):
+                cookie = rt.gc.pin(buf, cost_mult=profile.pin_mult)
+                rt.gc.unpin(cookie, cost_mult=profile.pin_mult)
+            points[size] = (rt.clock.now() - t0) / n
+        out.add(pname, points)
+    out.notes.append(
+        "fastchecked builds pin several times more expensively than free "
+        "builds — why [7] measured a larger pinning overhead (footnote 4)"
+    )
+    return out
+
+
+def ablate_visited(quick: bool = True, channel: str = "sock") -> SeriesSet:
+    """A4: linear vs hashed visited-object record in Motor's serializer."""
+    counts = [2, 64, 512, 2048, 8192] if quick else FIG10_OBJECT_COUNTS
+    out = SeriesSet(
+        experiment="ablate-visited",
+        title="Visited-object record: linear (paper) vs hashed (future work)",
+        x_label="objects",
+        y_label="time per iteration (us)",
+    )
+    for label, flavor in (("linear", "motor"), ("hashed", "motor-hashed")):
+        out.add(
+            label,
+            sweep_tree_pingpong(flavor, counts, channel=channel, **_tree_protocol(quick)),
+        )
+    out.notes.append(
+        "the hashed record removes the quadratic search the paper blames "
+        "for Motor's degradation above 2048 objects (§8)"
+    )
+    return out
+
+
+def ablate_split(quick: bool = True) -> SeriesSet:
+    """A5: split representation vs N separate standard serializations.
+
+    Root-side cost of preparing an object-array scatter over 4 ranks:
+    Motor produces one split representation in a single pass; a standard
+    atomic serializer must construct N sub-arrays and serialize each
+    (paper §2.4).
+    """
+    lengths = [8, 64, 256] if quick else [8, 64, 256, 1024]
+    nranks = 4
+    out = SeriesSet(
+        experiment="ablate-split",
+        title="Object-array scatter preparation: split vs atomic",
+        x_label="array length",
+        y_label="us per scatter preparation",
+    )
+
+    def build(rt: ManagedRuntime, length: int):
+        if "Cell" not in rt.registry:
+            rt.define_class("Cell", [("data", "int32[]", True)], transportable_class=True)
+        arr = rt.new_array("Cell", length)
+        for i in range(length):
+            cell = rt.new("Cell")
+            rt.set_ref(cell, "data", rt.new_array("int32", 8, values=[i] * 8))
+            rt.set_elem_ref(arr, i, cell)
+        return arr
+
+    split_pts: dict[int, float] = {}
+    atomic_pts: dict[int, float] = {}
+    for length in lengths:
+        # Motor split: one pass.
+        rt = ManagedRuntime(RuntimeConfig(), clock=VirtualClock())
+        ser = MotorSerializer(rt)
+        arr = build(rt, length)
+        t0 = rt.clock.now()
+        name, parts = ser.serialize_array_split(arr)
+        per = length // nranks
+        for i in range(nranks):
+            ser.frame_parts(name, parts[i * per : (i + 1) * per])
+        split_pts[length] = (rt.clock.now() - t0) / 1e3
+
+        # Standard: build sub-arrays, serialize each atomically.
+        rt = ManagedRuntime(RuntimeConfig(), clock=VirtualClock())
+        clr = ClrBinarySerializer(rt, HOST_PROFILES["sscli-free"])
+        arr = build(rt, length)
+        t0 = rt.clock.now()
+        for i in range(nranks):
+            sub = rt.new_array("Cell", per)
+            for j in range(per):
+                rt.set_elem_ref(sub, j, rt.get_elem(arr, i * per + j))
+            clr.serialize(sub)
+        atomic_pts[length] = (rt.clock.now() - t0) / 1e3
+    out.add("motor-split", split_pts)
+    out.add("standard-atomic", atomic_pts)
+    out.notes.append(
+        "atomic serializers must create N new sub-arrays and serialize them "
+        "individually (paper §2.4); the split representation is one pass"
+    )
+    return out
+
+
+def ablate_protocol(quick: bool = True, channel: str = "sock") -> SeriesSet:
+    """A6: the eager/rendezvous crossover in the transfer curve."""
+    sizes = [16384, 65536, 131072, 262144] if quick else FIG9_SIZES[8:]
+    out = SeriesSet(
+        experiment="ablate-protocol",
+        title="Eager/rendezvous threshold and the curve knee (native)",
+        x_label="bytes",
+        y_label="time per iteration (us)",
+    )
+    for label, threshold in (("eager@16K", 16 * 1024), ("eager@128K", 128 * 1024)):
+        out.add(
+            label,
+            sweep_buffer_pingpong(
+                "cpp", sizes, channel=channel, eager_threshold=threshold,
+                **_protocol(quick),
+            ),
+        )
+    out.notes.append(
+        "messages above the threshold pay the RTS/CTS handshake; moving the "
+        "threshold moves the knee (MPICH2 protocol, paper §6)"
+    )
+    return out
+
+
+def ablate_pure_managed(quick: bool = True, channel: str = "sock") -> SeriesSet:
+    """A7: pure managed MPI (JMPI over RMI) vs Motor vs native."""
+    sizes = [4, 1024, 65536, 262144] if quick else FIG9_SIZES
+    out = SeriesSet(
+        experiment="ablate-pure-managed",
+        title="Pure managed MPI (JMPI/RMI) vs Motor vs native",
+        x_label="bytes",
+        y_label="time per iteration (us)",
+    )
+    for label, flavor in (("C++", "cpp"), ("Motor", "motor"), ("JMPI", "jmpi")):
+        out.add(
+            label,
+            sweep_buffer_pingpong(flavor, sizes, channel=channel, **_protocol(quick)),
+        )
+    out.notes.append(
+        "pure managed implementations are portable but slow (paper §2.1): "
+        "every transfer is serialized through the RMI stack"
+    )
+    return out
+
+
+def ablate_pal(quick: bool = True) -> SeriesSet:
+    """A8: thin (Windows) vs thick (UNIX) PAL backends (paper §5.4).
+
+    The same PAL call sequence costs more through the UNIX emulation —
+    the porting asymmetry the paper describes ("the Windows implementation
+    is thin, while ... the UNIX PAL, is thicker").
+    """
+    from repro.pal import PAL
+
+    n = 300 if quick else 3000
+    out = SeriesSet(
+        experiment="ablate-pal",
+        title="PAL backend cost: thin Windows vs thick UNIX emulation",
+        x_label="calls",
+        y_label="ns per PAL call",
+    )
+    for backend in ("windows", "unix"):
+        points: dict[int, float] = {}
+        for ncalls in (1, 10, 100):
+            clock = VirtualClock()
+            pal = PAL(backend, clock=clock, costs=CostModel())
+            t0 = clock.now()
+            for _ in range(n):
+                ev = pal.create_event()
+                pal.set_event(ev)
+                pal.reset_event(ev)
+            points[ncalls] = (clock.now() - t0) / (n * 3)
+        out.add(backend, points)
+    out.notes.append(
+        "porting the runtime = re-implementing the PAL; the UNIX PAL pays "
+        "Win32-emulation overhead on every call (paper §5.4)"
+    )
+    return out
+
+
+def ablate_interconnect(quick: bool = True, **_: object) -> SeriesSet:
+    """A9: the future-work interconnect port (paper §9).
+
+    Motor and the native baseline run unmodified over the RDMA-flavoured
+    ``ib`` channel; only the channel changed, and the Motor-vs-native gap
+    stays small while absolute times drop.
+    """
+    sizes = [4, 4096, 65536] if quick else FIG9_SIZES[::4]
+    out = SeriesSet(
+        experiment="ablate-interconnect",
+        title="Channel swap: sock vs ib, same stack above",
+        x_label="bytes",
+        y_label="time per iteration (us)",
+    )
+    for label, flavor, channel in (
+        ("C++ / sock", "cpp", "sock"),
+        ("Motor / sock", "motor", "sock"),
+        ("C++ / ib", "cpp", "ib"),
+        ("Motor / ib", "motor", "ib"),
+    ):
+        out.add(
+            label,
+            sweep_buffer_pingpong(flavor, sizes, channel=channel, **_protocol(quick)),
+        )
+    out.notes.append(
+        "'The layered Motor architecture will allow us to port Motor to "
+        "other platforms and interconnects' (paper §9) — nothing above the "
+        "five-function channel interface changed"
+    )
+    return out
+
+
+#: experiment registry: id -> (title, callable)
+EXPERIMENTS = {
+    "fig9": ("Figure 9: regular MPI ping-pong", figure9),
+    "fig10": ("Figure 10: object-tree ping-pong", figure10),
+    "ablate-calls": ("A1: call mechanisms", ablate_calls),
+    "ablate-pinning": ("A2: pinning policy", ablate_pinning),
+    "ablate-buildtype": ("A3: build-type pinning cost", ablate_buildtype),
+    "ablate-visited": ("A4: visited structure", ablate_visited),
+    "ablate-split": ("A5: split vs atomic serialization", ablate_split),
+    "ablate-protocol": ("A6: eager/rendezvous crossover", ablate_protocol),
+    "ablate-pure-managed": ("A7: pure managed MPI", ablate_pure_managed),
+    "ablate-pal": ("A8: PAL backend thickness", ablate_pal),
+    "ablate-interconnect": ("A9: interconnect port (future work)", ablate_interconnect),
+}

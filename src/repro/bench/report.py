@@ -1,0 +1,340 @@
+"""Paper-claim checking and EXPERIMENTS.md generation.
+
+Every quantitative claim the paper's evaluation makes is encoded here as
+a checkable predicate over the regenerated series; ``build_report`` runs
+the experiments, evaluates the claims and renders the paper-vs-measured
+record that EXPERIMENTS.md carries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bench.figures import EXPERIMENTS
+from repro.bench.harness import SeriesSet, mean
+
+
+@dataclass
+class ClaimResult:
+    claim: str
+    paper: str
+    measured: str
+    holds: bool
+
+
+def _ratio_pct(a: float, b: float) -> float:
+    return (a / b - 1.0) * 100.0
+
+
+def check_fig9(s: SeriesSet) -> list[ClaimResult]:
+    out = []
+    xs = s.xs()
+    motor = s.series["Motor"]
+    sscli = s.series["Indiana SSCLI"]
+    # ordering claim
+    order_ok = all(
+        s.value("C++", x) <= s.value("Motor", x) <= s.value("Indiana .NET", x)
+        <= s.value("Indiana SSCLI", x) <= s.value("Java", x)
+        for x in xs
+    )
+    out.append(
+        ClaimResult(
+            claim="series ordering per iteration",
+            paper="C++ < Motor < Indiana .NET < Indiana SSCLI < Java",
+            measured="same ordering at every buffer size" if order_ok else "ordering differs",
+            holds=order_ok,
+        )
+    )
+    ratios = {x: _ratio_pct(sscli[x], motor[x]) for x in xs}
+    peak = max(ratios.values())
+    avg = mean(ratios.values())
+    big = mean(v for x, v in ratios.items() if x > 65536)
+    out.append(
+        ClaimResult(
+            claim="Motor vs Indiana-SSCLI, peak",
+            paper="16%",
+            measured=f"{peak:.1f}%",
+            holds=10.0 <= peak <= 22.0,
+        )
+    )
+    out.append(
+        ClaimResult(
+            claim="Motor vs Indiana-SSCLI, average over all sizes",
+            paper="8%",
+            measured=f"{avg:.1f}%",
+            holds=5.0 <= avg <= 13.0,
+        )
+    )
+    out.append(
+        ClaimResult(
+            claim="Motor vs Indiana-SSCLI, average above 64 KiB",
+            paper="3%",
+            measured=f"{big:.1f}%",
+            holds=1.0 <= big <= 6.0,
+        )
+    )
+    return out
+
+
+def check_fig10(s: SeriesSet) -> list[ClaimResult]:
+    out = []
+    xs = s.xs()
+    motor = s.series["Motor"]
+    below = [x for x in xs if x < 2048]
+    best_below = all(
+        motor[x] <= min(v for name, pts in s.series.items() if name != "Motor"
+                        for xx, v in pts.items() if xx == x and v is not None)
+        for x in below
+    )
+    out.append(
+        ClaimResult(
+            claim="Motor fastest below 2048 objects",
+            paper="best for object counts < 2048",
+            measured="Motor lowest at every point below 2048" if best_below else "not lowest somewhere",
+            holds=best_below,
+        )
+    )
+    # degradation: Motor grows superlinearly past 2048 (linear visited record)
+    degr = motor[8192] / motor[2048] if motor.get(8192) and motor.get(2048) else 0
+    out.append(
+        ClaimResult(
+            claim="Motor degrades beyond 2048 objects (linear visited record)",
+            paper="poorer results for large numbers of objects",
+            measured=f"{degr:.1f}x from 2048 to 8192 objects (4x would be linear)",
+            holds=degr > 5.0,
+        )
+    )
+    java = s.series["mpiJava"]
+    stopped = all(java.get(x) is None for x in xs if x > 1024) and java.get(1024) is not None
+    out.append(
+        ClaimResult(
+            claim="mpiJava series stops at 1024 objects",
+            paper="longer lists caused a stack overflow in Java serialization",
+            measured="no data points above 1024 objects" if stopped else "points exist above 1024",
+            holds=stopped,
+        )
+    )
+    dotnet, sscli = s.series["Indiana (.NET)"], s.series["Indiana (SSCLI)"]
+    gap = mean(_ratio_pct(sscli[x], dotnet[x]) for x in xs if sscli.get(x) and dotnet.get(x))
+    out.append(
+        ClaimResult(
+            claim=".NET serializer faster than SSCLI serializer",
+            paper="interesting ... difference in performance of the .Net and SSCLI serialization mechanisms",
+            measured=f"SSCLI slower by {gap:.0f}% on average",
+            holds=gap > 30.0,
+        )
+    )
+    # the mpiJava bump: mid-range points sit above the line interpolated
+    # between the small- and large-count ends
+    if java.get(32) and java.get(1024) and java.get(256):
+        import math
+
+        lo, hi = math.log(java[32]), math.log(java[1024])
+        interp = math.exp(lo + (hi - lo) * (math.log(256 / 32) / math.log(1024 / 32)))
+        bump = _ratio_pct(java[256], interp)
+        out.append(
+            ClaimResult(
+                claim="mpiJava mid-range bump",
+                paper="the bump in mpiJava is consistent",
+                measured=f"256-object point {bump:+.0f}% vs log-log interpolation",
+                holds=bump > 5.0,
+            )
+        )
+    return out
+
+
+def check_ablate_calls(s: SeriesSet) -> list[ClaimResult]:
+    f = mean(s.series["FCall"].values())
+    p = mean(s.series["P/Invoke"].values())
+    j = mean(s.series["JNI"].values())
+    return [
+        ClaimResult(
+            claim="FCall much cheaper than P/Invoke and JNI",
+            paper="FCalls ... are more efficient than P/Invoke calls because they do not have parameter marshalling and security checks (§5.1)",
+            measured=f"FCall {f:.0f} ns, P/Invoke {p:.0f} ns, JNI {j:.0f} ns per call",
+            holds=f * 5 < p and p < j,
+        )
+    ]
+
+
+def check_ablate_pinning(s: SeriesSet) -> list[ClaimResult]:
+    pol = s.series["policy"]
+    always = s.series["pin-always"]
+    worse = mean(_ratio_pct(always[x], pol[x]) for x in s.xs())
+    return [
+        ClaimResult(
+            claim="pinning policy beats pin-per-operation",
+            paper="pinning is performed only when necessary, reducing overhead (§8)",
+            measured=f"pin-always slower by {worse:.1f}% on average",
+            holds=worse > 1.0,
+        )
+    ]
+
+
+def check_ablate_buildtype(s: SeriesSet) -> list[ClaimResult]:
+    free = mean(s.series["sscli-free"].values())
+    fast = mean(s.series["sscli-fastchecked"].values())
+    return [
+        ClaimResult(
+            claim="fastchecked pinning much more expensive than free builds",
+            paper="fastchecked builds ... impose a greater pinning overhead than the Free build (footnote 4)",
+            measured=f"fastchecked/free pin cost ratio {fast / free:.1f}x",
+            holds=fast / free > 2.0,
+        )
+    ]
+
+
+def check_ablate_visited(s: SeriesSet) -> list[ClaimResult]:
+    lin = s.series["linear"]
+    hsh = s.series["hashed"]
+    big = max(x for x in s.xs() if lin.get(x) and hsh.get(x))
+    small = min(s.xs())
+    return [
+        ClaimResult(
+            claim="hashed visited record fixes the large-N degradation",
+            paper="will be improved when we implement an efficient structure to record objects visited (§8)",
+            measured=(
+                f"at {big} objects linear/hashed = {lin[big] / hsh[big]:.1f}x; "
+                f"at {small} objects = {lin[small] / hsh[small]:.2f}x"
+            ),
+            holds=lin[big] / hsh[big] > 1.5 and lin[small] / hsh[small] < 1.2,
+        )
+    ]
+
+
+def check_ablate_split(s: SeriesSet) -> list[ClaimResult]:
+    sp = s.series["motor-split"]
+    at = s.series["standard-atomic"]
+    adv = mean(_ratio_pct(at[x], sp[x]) for x in s.xs())
+    return [
+        ClaimResult(
+            claim="split representation beats N separate serializations",
+            paper="inefficient considering a custom serialization mechanism could ... create a split representation (§2.4)",
+            measured=f"atomic approach slower by {adv:.0f}% on average",
+            holds=adv > 20.0,
+        )
+    ]
+
+
+def check_ablate_protocol(s: SeriesSet) -> list[ClaimResult]:
+    lo = s.series["eager@16K"]
+    hi = s.series["eager@128K"]
+    mid = 65536  # between the two thresholds
+    return [
+        ClaimResult(
+            claim="threshold placement moves the rendezvous knee",
+            paper="implicit in MPICH2's protocol design (§6)",
+            measured=(
+                f"at 64 KiB: eager@16K {lo[mid]:.0f} us vs eager@128K {hi[mid]:.0f} us"
+            ),
+            holds=lo[mid] > hi[mid],
+        )
+    ]
+
+
+def check_ablate_pure_managed(s: SeriesSet) -> list[ClaimResult]:
+    j = s.series["JMPI"]
+    m = s.series["Motor"]
+    slowdown = mean(j[x] / m[x] for x in s.xs())
+    return [
+        ClaimResult(
+            claim="pure managed MPI is much slower",
+            paper="completely portable ... but offers relatively low performance (§2.1)",
+            measured=f"JMPI {slowdown:.1f}x Motor on average",
+            holds=slowdown > 2.0,
+        )
+    ]
+
+
+def check_ablate_pal(s: SeriesSet) -> list[ClaimResult]:
+    win = mean(s.series["windows"].values())
+    unix = mean(s.series["unix"].values())
+    return [
+        ClaimResult(
+            claim="UNIX PAL thicker than Windows PAL",
+            paper="the Windows implementation is thin, while ... the UNIX PAL, is thicker (§5.4)",
+            measured=f"unix/windows per-call cost ratio {unix / win:.1f}x",
+            holds=unix / win > 1.5,
+        )
+    ]
+
+
+def check_ablate_interconnect(s: SeriesSet) -> list[ClaimResult]:
+    xs = s.xs()
+    faster = all(
+        s.value("Motor / ib", x) < s.value("Motor / sock", x) for x in xs
+    )
+    gaps_ok = all(
+        s.value("Motor / ib", x) / s.value("C++ / ib", x) < 1.25 for x in xs
+    )
+    return [
+        ClaimResult(
+            claim="channel swap ports the whole stack",
+            paper="the layered architecture will allow us to port Motor to other interconnects (§9)",
+            measured=(
+                "Motor runs unmodified over ib, faster at every size"
+                if faster
+                else "ib not faster somewhere"
+            ),
+            holds=faster,
+        ),
+        ClaimResult(
+            claim="Motor stays close to native on the new interconnect",
+            paper="implicit: the integration overhead is interconnect-independent",
+            measured="Motor within 25% of native C++ over ib at every size"
+            if gaps_ok
+            else "gap exceeded 25%",
+            holds=gaps_ok,
+        ),
+    ]
+
+
+CHECKS: dict[str, Callable[[SeriesSet], list[ClaimResult]]] = {
+    "fig9": check_fig9,
+    "fig10": check_fig10,
+    "ablate-calls": check_ablate_calls,
+    "ablate-pinning": check_ablate_pinning,
+    "ablate-buildtype": check_ablate_buildtype,
+    "ablate-visited": check_ablate_visited,
+    "ablate-split": check_ablate_split,
+    "ablate-protocol": check_ablate_protocol,
+    "ablate-pure-managed": check_ablate_pure_managed,
+    "ablate-pal": check_ablate_pal,
+    "ablate-interconnect": check_ablate_interconnect,
+}
+
+
+def run_experiment(exp_id: str, quick: bool = True) -> tuple[SeriesSet, list[ClaimResult]]:
+    title, fn = EXPERIMENTS[exp_id]
+    series = fn(quick=quick)
+    checker = CHECKS.get(exp_id)
+    claims = checker(series) if checker else []
+    return series, claims
+
+
+def render_claims(claims: list[ClaimResult]) -> str:
+    lines = []
+    for c in claims:
+        mark = "HOLDS" if c.holds else "DIFFERS"
+        lines.append(f"[{mark}] {c.claim}")
+        lines.append(f"    paper:    {c.paper}")
+        lines.append(f"    measured: {c.measured}")
+    return "\n".join(lines)
+
+
+def build_report(quick: bool = True, experiments: list[str] | None = None) -> str:
+    """Run experiments and render the EXPERIMENTS.md body."""
+    ids = experiments or list(EXPERIMENTS)
+    parts = []
+    for exp_id in ids:
+        series, claims = run_experiment(exp_id, quick=quick)
+        parts.append(f"## {EXPERIMENTS[exp_id][0]}\n")
+        parts.append("```")
+        parts.append(series.render_table().rstrip())
+        parts.append("```\n")
+        if claims:
+            parts.append("```")
+            parts.append(render_claims(claims))
+            parts.append("```\n")
+    return "\n".join(parts)

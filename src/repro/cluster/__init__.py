@@ -1,0 +1,18 @@
+"""Simulated cluster: rank processes, the launcher and dynamic spawning.
+
+The paper's evaluation runs two MPI processes on one node; here each rank
+is a Python thread with its **own** managed runtime (own heap, own
+collector, own safepoint state) connected to its peers through a channel
+fabric.  Isolated per-rank heaps keep the GC/pinning semantics honest: a
+peer's in-flight data lands in *my* heap while *my* collector may be
+moving objects — the exact interplay the paper studies.
+
+:func:`mpiexec` is the launcher; :meth:`World.spawn` provides the MPI-2
+dynamic process management Motor implemented (paper §7: "selected MPI-2
+functionality such as dynamic process management and dynamic
+intercommunication routines").
+"""
+
+from repro.cluster.world import RankContext, World, mpiexec
+
+__all__ = ["World", "RankContext", "mpiexec"]

@@ -1,0 +1,246 @@
+"""World construction, the mpiexec launcher and dynamic process spawning."""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.mp.channels import FABRICS
+from repro.mp.communicator import Communicator, Group
+from repro.mp.mpi import MpiEngine
+from repro.simtime import Clock, CostModel, VirtualClock, WallClock
+
+
+@dataclass
+class RankContext:
+    """What a rank's main function receives."""
+
+    world: "World"
+    rank: int
+    engine: MpiEngine
+    clock: Clock
+    #: populated for spawned children: the intercommunicator to the parents
+    parent_comm: Communicator | None = None
+    #: free-form slot for session layers (Motor VM, baseline bindings, ...)
+    session: Any = None
+
+    @property
+    def size(self) -> int:
+        return self.engine.world_size
+
+    @property
+    def comm_world(self) -> Communicator:
+        return self.engine.comm_world
+
+
+class _RankThread(threading.Thread):
+    def __init__(self, name: str, fn: Callable, ctx: RankContext) -> None:
+        super().__init__(name=name, daemon=True)
+        self.fn = fn
+        self.ctx = ctx
+        self.result: Any = None
+        self.error: BaseException | None = None
+
+    def run(self) -> None:  # noqa: D102
+        try:
+            self.result = self.fn(self.ctx)
+        except BaseException as exc:  # propagate to the launcher
+            self.error = exc
+
+
+class World:
+    """One simulated machine: a channel fabric plus per-rank stacks."""
+
+    def __init__(
+        self,
+        size: int,
+        channel: str = "shm",
+        clock_mode: str = "wall",
+        costs: CostModel | None = None,
+        eager_threshold: int | None = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError("world size must be >= 1")
+        if channel not in FABRICS:
+            raise ValueError(f"unknown channel {channel!r} (have {sorted(FABRICS)})")
+        if clock_mode not in ("wall", "virtual"):
+            raise ValueError(f"unknown clock mode {clock_mode!r}")
+        self.size = size
+        self.channel_name = channel
+        self.clock_mode = clock_mode
+        self.costs = costs if costs is not None else CostModel()
+        self.eager_threshold = eager_threshold
+        self.fabric = FABRICS[channel](size)
+        self._clocks: dict[int, Clock] = {}
+        self._spawn_lock = threading.Lock()
+        self._spawn_contexts = 1 << 16
+        self._spawned_threads: list[_RankThread] = []
+        self._next_rank = size
+
+    # -- per-rank construction ----------------------------------------------------
+
+    def clock_for(self, rank: int) -> Clock:
+        if rank not in self._clocks:
+            self._clocks[rank] = (
+                VirtualClock() if self.clock_mode == "virtual" else WallClock()
+            )
+        return self._clocks[rank]
+
+    def engine_for(self, rank: int, yield_fn: Callable[[], None] | None = None) -> MpiEngine:
+        clock = self.clock_for(rank)
+        ch = self.fabric.endpoint(rank, clock, self.costs)
+        return MpiEngine(
+            rank,
+            self.size,
+            ch,
+            clock=clock,
+            costs=self.costs,
+            yield_fn=yield_fn,
+            eager_threshold=self.eager_threshold,
+        )
+
+    def context_for(self, rank: int, yield_fn: Callable[[], None] | None = None) -> RankContext:
+        return RankContext(
+            world=self,
+            rank=rank,
+            engine=self.engine_for(rank, yield_fn),
+            clock=self.clock_for(rank),
+        )
+
+    # -- MPI-2 dynamic process management ----------------------------------------
+
+    def spawn(
+        self,
+        parent_ctx: RankContext,
+        child_main: Callable[[RankContext], Any],
+        nprocs: int,
+        session_factory: Callable[[RankContext], Any] | None = None,
+    ) -> Communicator:
+        """Spawn ``nprocs`` child ranks; returns the parent-side intercomm.
+
+        Collective over the parent communicator: every parent rank calls,
+        rank 0 performs the actual thread creation, and all parents get an
+        intercommunicator whose remote group is the children.
+        """
+        from repro.mp import collectives
+
+        parent_comm = parent_ctx.comm_world
+        # Agree on child ranks and a context id (rank 0 decides, bcasts).
+        if parent_comm.rank == 0:
+            with self._spawn_lock:
+                base = self._next_rank
+                self._next_rank += nprocs
+                ctx_id = self._spawn_contexts
+                self._spawn_contexts += 4
+            info = f"{base},{ctx_id}".encode()
+        else:
+            info = None
+        info = collectives.bcast_bytes(parent_ctx.engine, parent_comm, info, 0)
+        base, ctx_id = (int(x) for x in info.decode().split(","))
+        child_ranks = list(range(base, base + nprocs))
+        parent_group = Group(
+            parent_comm.group.world_rank(i) for i in range(parent_comm.size)
+        )
+        child_group = Group(child_ranks)
+
+        if parent_comm.rank == 0:
+            if not getattr(self.fabric, "supports_dynamic_ranks", False):
+                raise RuntimeError(
+                    f"{self.channel_name} fabric does not support dynamic "
+                    "spawn (existing endpoints cannot reach new ranks); use "
+                    "the shm or ib channel"
+                )
+            for r in child_ranks:
+                self.fabric.add_rank(r)
+            for i, r in enumerate(child_ranks):
+                ctx = RankContext(
+                    world=self,
+                    rank=r,
+                    engine=self._child_engine(r, child_group, i),
+                    clock=self.clock_for(r),
+                )
+                ctx.parent_comm = Communicator(
+                    engine=ctx.engine,
+                    context_id=ctx_id,
+                    group=child_group,
+                    rank=i,
+                    remote_group=parent_group,
+                )
+                if session_factory is not None:
+                    ctx.session = session_factory(ctx)
+                t = _RankThread(f"spawned-{r}", child_main, ctx)
+                self._spawned_threads.append(t)
+                t.start()
+
+        return Communicator(
+            engine=parent_ctx.engine,
+            context_id=ctx_id,
+            group=parent_comm.group,
+            rank=parent_comm.rank,
+            remote_group=child_group,
+        )
+
+    def _child_engine(self, rank: int, child_group: Group, local: int) -> MpiEngine:
+        clock = self.clock_for(rank)
+        ch = self.fabric.endpoint(rank, clock, self.costs)
+        eng = MpiEngine(
+            rank,
+            self._next_rank,
+            ch,
+            clock=clock,
+            costs=self.costs,
+            eager_threshold=self.eager_threshold,
+        )
+        # Children's COMM_WORLD spans the spawned set only (MPI-2 semantics).
+        eng.comm_world = Communicator(
+            engine=eng, context_id=0, group=child_group, rank=local
+        )
+        return eng
+
+    def join_spawned(self, timeout: float = 30.0) -> None:
+        for t in self._spawned_threads:
+            t.join(timeout)
+            if t.error is not None:
+                raise t.error
+
+    def shutdown(self) -> None:
+        self.fabric.shutdown()
+
+
+def mpiexec(
+    n: int,
+    main: Callable[[RankContext], Any],
+    channel: str = "shm",
+    clock_mode: str = "wall",
+    costs: CostModel | None = None,
+    eager_threshold: int | None = None,
+    session_factory: Callable[[RankContext], Any] | None = None,
+    timeout: float = 120.0,
+) -> list[Any]:
+    """Launch ``n`` ranks running ``main`` and return their results by rank.
+
+    ``session_factory`` builds the per-rank programming environment (a
+    Motor VM, a set of wrapper bindings, a bare native engine, ...) and is
+    stored on ``ctx.session``.  The first rank exception is re-raised.
+    """
+    world = World(n, channel=channel, clock_mode=clock_mode, costs=costs,
+                  eager_threshold=eager_threshold)
+    threads: list[_RankThread] = []
+    for rank in range(n):
+        ctx = world.context_for(rank)
+        if session_factory is not None:
+            ctx.session = session_factory(ctx)
+        threads.append(_RankThread(f"rank-{rank}", main, ctx))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+        if t.is_alive():
+            raise TimeoutError(f"{t.name} did not finish within {timeout}s")
+    world.join_spawned(timeout)
+    world.shutdown()
+    for t in threads:
+        if t.error is not None:
+            raise t.error
+    return [t.result for t in threads]

@@ -1,0 +1,37 @@
+"""A CIL-like intermediate language and execution engine.
+
+The defining feature of the runtime family Motor extends: "a virtual
+runtime which Just-In-Time compiles a processor-agnostic intermediary
+language" (paper §2).  This package provides the pieces the SSCLI has:
+
+* a stack-based IL with a typed opcode set (:mod:`repro.il.opcodes`);
+* an assembly format — classes + methods — and a text assembler
+  (:mod:`repro.il.assembly`, :mod:`repro.il.assembler`);
+* a verifier that rejects stack-unbalanced or ill-typed methods before
+  they ever execute (:mod:`repro.il.verifier`);
+* two execution engines that must agree on every verified method: a
+  baseline **interpreter** and a **JIT** that compiles IL to Python
+  closures with safepoint polls on loop back-edges
+  (:mod:`repro.il.engine`).
+
+Managed applications written in IL call into the runtime's internal
+services — including Motor's System.MP — through ``callintern``, the IL
+face of the FCall mechanism.
+"""
+
+from repro.il.assembler import AssembleError, assemble
+from repro.il.assembly import Assembly, ILMethod
+from repro.il.engine import ExecutionEngine, ILRuntimeError
+from repro.il.verifier import VerifyError, verify_assembly, verify_method
+
+__all__ = [
+    "assemble",
+    "AssembleError",
+    "Assembly",
+    "ILMethod",
+    "ExecutionEngine",
+    "ILRuntimeError",
+    "verify_method",
+    "verify_assembly",
+    "VerifyError",
+]

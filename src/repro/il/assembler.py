@@ -1,0 +1,175 @@
+"""Text assembler for the IL.
+
+Syntax (one construct per line; ``//`` comments)::
+
+    .class LinkedArray transportable {
+        int32[] array transportable
+        LinkedArray next transportable
+        LinkedArray next2
+    }
+
+    .method sumto(n) returns {
+        .locals 2
+        ldc.i4 0
+        stloc 0            // acc
+        ldc.i4 0
+        stloc 1            // i
+    loop:
+        ldloc 1
+        ldarg 0
+        clt
+        brfalse done
+        ldloc 0
+        ldloc 1
+        add
+        stloc 0
+        ldloc 1
+        ldc.i4 1
+        add
+        stloc 1
+        br loop
+    done:
+        ldloc 0
+        ret
+    }
+"""
+
+from __future__ import annotations
+
+from repro.il.assembly import Assembly, ILClassDef, ILMethod
+from repro.il.opcodes import OP_FLOAT, OP_IDX, OP_INT, OP_LABEL, OP_NAME, OP_NONE, OPCODES, Instr
+
+
+class AssembleError(Exception):
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+def _strip(line: str) -> str:
+    if "//" in line:
+        line = line[: line.index("//")]
+    return line.strip()
+
+
+def assemble(source: str, name: str = "app") -> Assembly:
+    """Assemble a text module into an :class:`Assembly`."""
+    asm = Assembly(name)
+    lines = source.splitlines()
+    i = 0
+    while i < len(lines):
+        raw = _strip(lines[i])
+        i += 1
+        if not raw:
+            continue
+        if raw.startswith(".class"):
+            i = _parse_class(asm, lines, raw, i)
+        elif raw.startswith(".method"):
+            i = _parse_method(asm, lines, raw, i)
+        else:
+            raise AssembleError(i, f"expected .class or .method, got {raw!r}")
+    return asm
+
+
+def _parse_class(asm: Assembly, lines: list[str], header: str, i: int) -> int:
+    parts = header.replace("{", " ").split()
+    if len(parts) < 2:
+        raise AssembleError(i, ".class needs a name")
+    cls = ILClassDef(name=parts[1], transportable="transportable" in parts[2:])
+    if "{" not in header:
+        raise AssembleError(i, ".class needs an opening '{'")
+    while i < len(lines):
+        raw = _strip(lines[i])
+        i += 1
+        if not raw:
+            continue
+        if raw == "}":
+            asm.add_class(cls)
+            return i
+        toks = raw.split()
+        if len(toks) < 2:
+            raise AssembleError(i, f"bad field declaration {raw!r}")
+        ftype, fname = toks[0], toks[1]
+        cls.fields.append((fname, ftype, "transportable" in toks[2:]))
+    raise AssembleError(i, f"unterminated .class {cls.name}")
+
+
+def _parse_method(asm: Assembly, lines: list[str], header: str, i: int) -> int:
+    body = header[len(".method") :].strip()
+    if "(" not in body or ")" not in body:
+        raise AssembleError(i, ".method needs name(params...)")
+    mname = body[: body.index("(")].strip()
+    if not mname.isidentifier():
+        raise AssembleError(i, f"bad method name {mname!r}")
+    params_src = body[body.index("(") + 1 : body.rindex(")")]
+    params = [p for p in (x.strip() for x in params_src.split(",")) if p]
+    tail = body[body.rindex(")") + 1 :].replace("{", " ").split()
+    returns = "returns" in tail
+    method = ILMethod(name=mname, nparams=len(params), nlocals=0, returns=returns)
+    while i < len(lines):
+        raw = _strip(lines[i])
+        i += 1
+        if not raw:
+            continue
+        if raw == "}":
+            asm.add_method(method)
+            return i
+        if raw.startswith(".locals"):
+            try:
+                method.nlocals = int(raw.split()[1])
+            except (IndexError, ValueError):
+                raise AssembleError(i, ".locals needs a count") from None
+            continue
+        # labels: "name:" optionally followed by an instruction
+        while raw.endswith(":") or (":" in raw and raw.split(":")[0].isidentifier()
+                                    and not raw.split()[0] in OPCODES):
+            label, _, rest = raw.partition(":")
+            label = label.strip()
+            if not label.isidentifier():
+                break
+            if label in method.labels:
+                raise AssembleError(i, f"duplicate label {label!r}")
+            method.labels[label] = len(method.code)
+            raw = rest.strip()
+            if not raw:
+                break
+        if not raw:
+            continue
+        method.code.append(_parse_instr(raw, i))
+    raise AssembleError(i, f"unterminated .method {mname}")
+
+
+def _parse_instr(raw: str, line_no: int) -> Instr:
+    toks = raw.split(None, 1)
+    op = toks[0]
+    spec = OPCODES.get(op)
+    if spec is None:
+        raise AssembleError(line_no, f"unknown opcode {op!r}")
+    arg = toks[1].strip() if len(toks) > 1 else None
+    if spec.operand == OP_NONE:
+        if arg is not None:
+            raise AssembleError(line_no, f"{op} takes no operand")
+        return Instr(op, None, line_no)
+    if arg is None:
+        raise AssembleError(line_no, f"{op} needs an operand")
+    if spec.operand == OP_INT:
+        try:
+            return Instr(op, int(arg, 0), line_no)
+        except ValueError:
+            raise AssembleError(line_no, f"{op}: bad integer {arg!r}") from None
+    if spec.operand == OP_FLOAT:
+        try:
+            return Instr(op, float(arg), line_no)
+        except ValueError:
+            raise AssembleError(line_no, f"{op}: bad float {arg!r}") from None
+    if spec.operand == OP_IDX:
+        try:
+            idx = int(arg)
+        except ValueError:
+            raise AssembleError(line_no, f"{op}: bad index {arg!r}") from None
+        if idx < 0:
+            raise AssembleError(line_no, f"{op}: negative index")
+        return Instr(op, idx, line_no)
+    if spec.operand in (OP_LABEL, OP_NAME):
+        return Instr(op, arg, line_no)
+    raise AssembleError(line_no, f"unhandled operand kind for {op}")

@@ -1,0 +1,72 @@
+"""Assemblies: the unit of loading — class definitions plus IL methods."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.il.opcodes import Instr
+from repro.runtime.errors import TypeLoadError
+
+
+@dataclass
+class ILMethod:
+    """One static IL method."""
+
+    name: str
+    nparams: int
+    nlocals: int
+    returns: bool
+    code: list[Instr] = field(default_factory=list)
+    #: label name -> instruction index (resolved by the assembler)
+    labels: dict[str, int] = field(default_factory=dict)
+
+    def target(self, label: str) -> int:
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise TypeLoadError(f"{self.name}: undefined label {label!r}") from None
+
+
+@dataclass
+class ILClassDef:
+    """A class declaration carried by the assembly."""
+
+    name: str
+    #: (field name, type name, transportable)
+    fields: list[tuple[str, str, bool]] = field(default_factory=list)
+    transportable: bool = False
+
+
+class Assembly:
+    """A loadable module: classes + methods, like a tiny .dll."""
+
+    def __init__(self, name: str = "app") -> None:
+        self.name = name
+        self.methods: dict[str, ILMethod] = {}
+        self.classes: dict[str, ILClassDef] = {}
+
+    def add_method(self, method: ILMethod) -> None:
+        if method.name in self.methods:
+            raise TypeLoadError(f"duplicate method {method.name!r}")
+        self.methods[method.name] = method
+
+    def add_class(self, cls: ILClassDef) -> None:
+        if cls.name in self.classes:
+            raise TypeLoadError(f"duplicate class {cls.name!r}")
+        self.classes[cls.name] = cls
+
+    def method(self, name: str) -> ILMethod:
+        try:
+            return self.methods[name]
+        except KeyError:
+            raise TypeLoadError(f"no method {name!r} in assembly {self.name}") from None
+
+    def load_types_into(self, runtime) -> None:
+        """Register this assembly's classes with a runtime (idempotent)."""
+        for cls in self.classes.values():
+            if cls.name not in runtime.registry:
+                runtime.define_class(
+                    cls.name,
+                    [(fn, ft, tr) for fn, ft, tr in cls.fields],
+                    transportable_class=cls.transportable,
+                )

@@ -1,0 +1,112 @@
+"""The IL opcode set: names, operand kinds and stack effects.
+
+Stack slots are verification-typed as ``I`` (integer), ``F`` (float) or
+``O`` (object reference).  ``*`` in a stack effect means "same as popped".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# verification types
+T_INT = "I"
+T_FLOAT = "F"
+T_OBJ = "O"
+
+# operand kinds
+OP_NONE = "none"
+OP_INT = "int"  # immediate integer
+OP_FLOAT = "float"  # immediate float
+OP_IDX = "idx"  # local/arg index
+OP_LABEL = "label"  # branch target
+OP_NAME = "name"  # method / class / field / type name
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    name: str
+    operand: str
+    pops: tuple[str, ...]  # verification types popped (top last)
+    pushes: tuple[str, ...]
+    is_branch: bool = False
+    is_terminator: bool = False
+
+
+def _op(name, operand=OP_NONE, pops=(), pushes=(), branch=False, term=False):
+    return OpSpec(name, operand, tuple(pops), tuple(pushes), branch, term)
+
+
+#: numeric ops accept I,I->I or F,F->F; the verifier specialises them.
+NUMERIC = "N"
+
+OPCODES: dict[str, OpSpec] = {
+    s.name: s
+    for s in [
+        _op("nop"),
+        _op("pop", pops=("?",)),
+        _op("dup", pops=("?",), pushes=("?", "?")),
+        _op("ldc.i4", OP_INT, pushes=(T_INT,)),
+        _op("ldc.r8", OP_FLOAT, pushes=(T_FLOAT,)),
+        _op("ldnull", pushes=(T_OBJ,)),
+        _op("ldloc", OP_IDX, pushes=("?",)),
+        _op("stloc", OP_IDX, pops=("?",)),
+        _op("ldarg", OP_IDX, pushes=("?",)),
+        _op("starg", OP_IDX, pops=("?",)),
+        # arithmetic (numeric-polymorphic)
+        _op("add", pops=(NUMERIC, NUMERIC), pushes=(NUMERIC,)),
+        _op("sub", pops=(NUMERIC, NUMERIC), pushes=(NUMERIC,)),
+        _op("mul", pops=(NUMERIC, NUMERIC), pushes=(NUMERIC,)),
+        _op("div", pops=(NUMERIC, NUMERIC), pushes=(NUMERIC,)),
+        _op("rem", pops=(NUMERIC, NUMERIC), pushes=(NUMERIC,)),
+        _op("neg", pops=(NUMERIC,), pushes=(NUMERIC,)),
+        # comparisons -> int
+        _op("ceq", pops=(NUMERIC, NUMERIC), pushes=(T_INT,)),
+        _op("cgt", pops=(NUMERIC, NUMERIC), pushes=(T_INT,)),
+        _op("clt", pops=(NUMERIC, NUMERIC), pushes=(T_INT,)),
+        # bitwise (ints only)
+        _op("and", pops=(T_INT, T_INT), pushes=(T_INT,)),
+        _op("or", pops=(T_INT, T_INT), pushes=(T_INT,)),
+        _op("xor", pops=(T_INT, T_INT), pushes=(T_INT,)),
+        _op("not", pops=(T_INT,), pushes=(T_INT,)),
+        _op("shl", pops=(T_INT, T_INT), pushes=(T_INT,)),
+        _op("shr", pops=(T_INT, T_INT), pushes=(T_INT,)),
+        # conversions
+        _op("conv.i8", pops=(NUMERIC,), pushes=(T_INT,)),
+        _op("conv.r8", pops=(NUMERIC,), pushes=(T_FLOAT,)),
+        # control flow
+        _op("br", OP_LABEL, branch=True, term=True),
+        _op("switch", OP_NAME, pops=(T_INT,), branch=True),
+        _op("brtrue", OP_LABEL, pops=(T_INT,), branch=True),
+        _op("brfalse", OP_LABEL, pops=(T_INT,), branch=True),
+        _op("ret", term=True),  # pops checked against method signature
+        # calls (stack effect resolved from the callee signature)
+        _op("call", OP_NAME),
+        _op("callintern", OP_NAME),
+        # objects and arrays
+        _op("newobj", OP_NAME, pushes=(T_OBJ,)),
+        _op("ldfld", OP_NAME, pops=(T_OBJ,), pushes=("?",)),
+        _op("stfld", OP_NAME, pops=(T_OBJ, "?")),
+        _op("newarr", OP_NAME, pops=(T_INT,), pushes=(T_OBJ,)),
+        _op("ldlen", pops=(T_OBJ,), pushes=(T_INT,)),
+        _op("ldelem", pops=(T_OBJ, T_INT), pushes=("?",)),
+        _op("stelem", pops=(T_OBJ, T_INT, "?")),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One decoded instruction."""
+
+    op: str
+    operand: object = None
+    line: int = 0
+
+    @property
+    def spec(self) -> OpSpec:
+        return OPCODES[self.op]
+
+    def __repr__(self) -> str:
+        if self.operand is None:
+            return f"<{self.op}>"
+        return f"<{self.op} {self.operand!r}>"

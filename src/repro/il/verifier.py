@@ -1,0 +1,197 @@
+"""IL verification: reject stack-unbalanced / ill-typed methods.
+
+Abstract interpretation over verification types (``I``, ``F``, ``O``,
+``?`` = statically unknown).  The rules:
+
+* stack never underflows; depth (and mergeable types) agree wherever two
+  control paths join;
+* numeric ops need numeric (or unknown) operands; bitwise ops need ints;
+  object ops (``ldfld``, ``ldlen``, ...) need references;
+* ``ret`` sees exactly the method's declared return arity;
+* every branch target exists; control cannot fall off the end;
+* ``call`` effects come from the callee's signature in the same assembly;
+  ``callintern`` carries its arity in the operand (``name/arity`` or
+  ``name/arity:r`` when it returns a value).
+
+Verification happens before execution, as in the CLI: the execution
+engines refuse unverified methods unless explicitly asked.
+"""
+
+from __future__ import annotations
+
+from repro.il.assembly import Assembly, ILMethod
+from repro.il.opcodes import NUMERIC, OPCODES, T_FLOAT, T_INT, T_OBJ
+
+
+class VerifyError(Exception):
+    def __init__(self, method: str, pc: int, message: str) -> None:
+        super().__init__(f"{method}@{pc}: {message}")
+        self.method = method
+        self.pc = pc
+
+
+def parse_intern(operand: str) -> tuple[str, int, bool]:
+    """``name/arity`` or ``name/arity:r`` -> (name, arity, returns)."""
+    name, _, rest = operand.partition("/")
+    if not rest:
+        raise ValueError(f"callintern operand {operand!r} needs /arity")
+    returns = rest.endswith(":r")
+    if returns:
+        rest = rest[:-2]
+    return name, int(rest), returns
+
+
+def _merge(a: str, b: str) -> str:
+    return a if a == b else "?"
+
+
+def _compat(have: str, want: str) -> bool:
+    if want == "?" or have == "?":
+        return True
+    if want == NUMERIC:
+        return have in (T_INT, T_FLOAT)
+    return have == want
+
+
+def verify_method(asm: Assembly, method: ILMethod) -> None:
+    """Raise :class:`VerifyError` unless the method is well-formed."""
+    code = method.code
+    n = len(code)
+    if n == 0:
+        raise VerifyError(method.name, 0, "empty method body")
+    states: dict[int, tuple[str, ...]] = {0: ()}
+    work = [0]
+    visited: set[int] = set()
+
+    def flow_to(pc: int, stack: tuple[str, ...], from_pc: int) -> None:
+        if pc >= n:
+            raise VerifyError(method.name, from_pc, "control flows off the end")
+        prev = states.get(pc)
+        if prev is None:
+            states[pc] = stack
+            work.append(pc)
+            return
+        if len(prev) != len(stack):
+            raise VerifyError(
+                method.name,
+                pc,
+                f"stack depth mismatch at join: {len(prev)} vs {len(stack)}",
+            )
+        merged = tuple(_merge(a, b) for a, b in zip(prev, stack))
+        if merged != prev:
+            states[pc] = merged
+            work.append(pc)
+
+    while work:
+        pc = work.pop()
+        stack = list(states[pc])
+        instr = code[pc]
+        spec = OPCODES.get(instr.op)
+        if spec is None:
+            raise VerifyError(method.name, pc, f"unknown opcode {instr.op}")
+
+        # ---- operand sanity -------------------------------------------------
+        if instr.op in ("ldloc", "stloc") and instr.operand >= method.nlocals:
+            raise VerifyError(
+                method.name, pc, f"local {instr.operand} out of range ({method.nlocals})"
+            )
+        if instr.op in ("ldarg", "starg") and instr.operand >= method.nparams:
+            raise VerifyError(
+                method.name, pc, f"arg {instr.operand} out of range ({method.nparams})"
+            )
+
+        # ---- pops / pushes ---------------------------------------------------
+        def pop(want: str) -> str:
+            if not stack:
+                raise VerifyError(method.name, pc, f"stack underflow in {instr.op}")
+            have = stack.pop()
+            if not _compat(have, want):
+                raise VerifyError(
+                    method.name, pc, f"{instr.op} expected {want}, found {have}"
+                )
+            return have
+
+        if instr.op == "ret":
+            want = 1 if method.returns else 0
+            if len(stack) != want:
+                raise VerifyError(
+                    method.name,
+                    pc,
+                    f"ret with stack depth {len(stack)} (method returns={method.returns})",
+                )
+            continue
+        if instr.op == "call":
+            callee = asm.methods.get(instr.operand)
+            if callee is None:
+                raise VerifyError(method.name, pc, f"call to unknown {instr.operand!r}")
+            for _ in range(callee.nparams):
+                pop("?")
+            if callee.returns:
+                stack.append("?")
+        elif instr.op == "callintern":
+            try:
+                _name, arity, returns = parse_intern(instr.operand)
+            except ValueError as exc:
+                raise VerifyError(method.name, pc, str(exc)) from None
+            for _ in range(arity):
+                pop("?")
+            if returns:
+                stack.append("?")
+        elif instr.op == "dup":
+            t = pop("?")
+            stack += [t, t]
+        elif instr.op == "ceq":
+            # ceq compares two numbers OR two references (CIL semantics);
+            # mixing the kinds is ill-typed
+            b = pop("?")
+            a = pop("?")
+            if "?" not in (a, b) and (a == T_OBJ) != (b == T_OBJ):
+                raise VerifyError(
+                    method.name, pc, f"ceq cannot compare {a} with {b}"
+                )
+            stack.append(T_INT)
+        elif spec.pops and NUMERIC in spec.pops:
+            # numeric-polymorphic: result type is the merge of the inputs
+            operands = [pop(NUMERIC) for _ in spec.pops]
+            result = operands[0]
+            for t in operands[1:]:
+                result = _merge(result, t)
+            for p in spec.pushes:
+                stack.append(
+                    result if p == NUMERIC else (T_INT if p == T_INT else p)
+                )
+        else:
+            for want in reversed(spec.pops):
+                pop(want)
+            for p in spec.pushes:
+                stack.append("?" if p == "?" else p)
+
+        out = tuple(stack)
+
+        # ---- control flow ---------------------------------------------------
+        if instr.op == "switch":
+            for label in str(instr.operand).split(","):
+                target = method.labels.get(label.strip())
+                if target is None:
+                    raise VerifyError(
+                        method.name, pc, f"undefined label {label.strip()!r}"
+                    )
+                flow_to(target, out, pc)
+            flow_to(pc + 1, out, pc)
+            continue
+        if spec.is_branch:
+            target = method.labels.get(instr.operand)
+            if target is None:
+                raise VerifyError(method.name, pc, f"undefined label {instr.operand!r}")
+            flow_to(target, out, pc)
+            if instr.op == "br":
+                continue
+        flow_to(pc + 1, out, pc)
+
+    method_attr_ok = True  # reserved for future attribute checks
+    assert method_attr_ok
+
+
+def verify_assembly(asm: Assembly) -> None:
+    for m in asm.methods.values():
+        verify_method(asm, m)

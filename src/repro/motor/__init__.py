@@ -1,0 +1,43 @@
+"""Motor: the MPI-integrated virtual machine (the paper's contribution).
+
+The Message Passing Core lives *inside* the runtime, next to the collector
+and the object model (paper Figure 2/7).  That placement buys exactly what
+the paper claims:
+
+* the managed ``System.MP`` library (:mod:`repro.motor.system_mp`)
+  reaches the core through cheap FCalls instead of P/Invoke or JNI;
+* the core applies a **pinning policy** (:mod:`repro.motor.pinpolicy`)
+  using collector internals — the young-generation boundary test, pinning
+  deferred to the polling-wait for blocking operations, and conditional
+  pin requests the collector resolves itself for non-blocking operations;
+* the restricted MPI bindings guarantee **object-model integrity**: only
+  reference-free objects and primitive arrays may cross the wire, counts
+  and datatypes are gone, offsets exist only for arrays
+  (:mod:`repro.motor.mpcore`);
+* structured data travels through the extended object-oriented operations
+  (`OSend`/`ORecv`/`OBcast`/`OScatter`/`OGather`) over a custom serializer
+  that reads the FieldDesc **Transportable bit** (never slow metadata) and
+  can emit a **split representation** so object arrays scatter and gather
+  without N separate serializations (:mod:`repro.motor.serialization`);
+* OO-operation buffers come from a static runtime pool that the collector
+  sweeps when idle (:mod:`repro.motor.buffers`).
+"""
+
+from repro.motor.buffers import BufferPool
+from repro.motor.pinpolicy import PinDecision, PinningPolicy
+from repro.motor.serialization import MotorSerializer, SerializationError
+from repro.motor.system_mp import MotorCommunicator, MotorRequest, MPStatus
+from repro.motor.vm import MotorVM, motor_session
+
+__all__ = [
+    "MotorVM",
+    "motor_session",
+    "MotorCommunicator",
+    "MotorRequest",
+    "MPStatus",
+    "PinningPolicy",
+    "PinDecision",
+    "MotorSerializer",
+    "SerializationError",
+    "BufferPool",
+]

@@ -1,0 +1,77 @@
+"""The OO-operation buffer pool (paper §7.5).
+
+"Motor provides buffers for object oriented message passing operations,
+which are allocated from static runtime memory.  They are created on
+demand and stored in a stack for later use.  At garbage collection the
+stack is checked for buffers which are unused since the last garbage
+collection and these are unallocated."
+
+Because these buffers are *native* (outside the managed heap), the OO
+operations never pin anything — the serialized representation cannot move
+(§7.4 last paragraph).
+"""
+
+from __future__ import annotations
+
+from repro.mp.buffers import NativeMemory
+
+
+class _PooledBuffer:
+    __slots__ = ("native", "last_used_gc")
+
+    def __init__(self, native: NativeMemory, gc_epoch: int) -> None:
+        self.native = native
+        self.last_used_gc = gc_epoch
+
+    @property
+    def size(self) -> int:
+        return len(self.native)
+
+
+class BufferPool:
+    """A stack of reusable native buffers swept by the collector."""
+
+    def __init__(self, runtime) -> None:
+        self.runtime = runtime
+        self._stack: list[_PooledBuffer] = []
+        self._gc_epoch = 0
+        self.created = 0
+        self.reused = 0
+        self.swept = 0
+        # The collector calls back after every collection.
+        runtime.gc.post_collect_hooks.append(self._on_gc)
+
+    # -- acquire / release -------------------------------------------------------
+
+    def acquire(self, size: int) -> NativeMemory:
+        """Pop the first pooled buffer large enough, or create one."""
+        for i, pb in enumerate(self._stack):
+            if pb.size >= size:
+                self._stack.pop(i)
+                self.reused += 1
+                return pb.native
+        self.created += 1
+        self.runtime.clock.charge(self.runtime.costs.alloc_ns)
+        # Round up so slightly-growing messages keep reusing one buffer.
+        cap = 1 << max(6, (size - 1).bit_length())
+        return NativeMemory(cap)
+
+    def release(self, native: NativeMemory) -> None:
+        self._stack.append(_PooledBuffer(native, self._gc_epoch))
+
+    # -- GC integration -------------------------------------------------------------
+
+    def _on_gc(self, gen: int) -> None:  # noqa: ARG002 - hook signature
+        """Unallocate buffers untouched since the previous collection."""
+        keep: list[_PooledBuffer] = []
+        for pb in self._stack:
+            if pb.last_used_gc < self._gc_epoch:
+                self.swept += 1  # dropped: the GC reclaims it
+            else:
+                keep.append(pb)
+        self._stack = keep
+        self._gc_epoch += 1
+
+    @property
+    def pooled(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,442 @@
+"""The Message Passing Core: MPI implemented *inside* the runtime.
+
+These are the FCall implementations of Figure 8 (``MP_Recv`` etc.).  Each
+regular MPI entry point performs the tasks the paper lists in §7.3:
+
+* check parameters;
+* evaluate object size (there is no count/datatype — the object knows);
+* ensure the send or receive object does not contain object references
+  (protecting the object model, §4.2.1);
+* apply the pinning policy and perform the operation over the ported
+  MPICH2 core, polling the collector in the polling-wait.
+
+The extended OO entry points check parameters, serialize/deserialize via
+the custom mechanism, and move the flat representation through static
+buffers (no pinning needed).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.motor.buffers import BufferPool
+from repro.motor.pinpolicy import PinDecision, PinningPolicy
+from repro.motor.serialization import MotorSerializer
+from repro.mp import collectives
+from repro.mp.buffers import BufferDesc
+from repro.mp.communicator import Communicator
+from repro.mp.datatypes import Datatype
+from repro.mp.matching import ANY_SOURCE
+from repro.mp.mpi import MpiEngine
+from repro.mp.request import Request
+from repro.mp.status import Status
+from repro.runtime.errors import InvalidOperation, ObjectModelViolation
+from repro.runtime.gcollector import PinCookie
+from repro.runtime.handles import ObjRef
+
+#: reserved tags for the OO operations' internal traffic (they ride the
+#: collective context id, so they can never match user receives).  Each
+#: user tag (mod 64) gets a disjoint (size, data) tag pair.
+_TAG_OO_BASE = (1 << 20) + 256
+_TAG_OO_COLL = (1 << 20) + 512
+
+
+def _oo_tags(tag: int) -> tuple[int, int]:
+    slot = _TAG_OO_BASE + 2 * (tag % 64)
+    return slot, slot + 1
+
+_SIZE_HDR = 8
+
+
+class NativeRequestHandle:
+    """What MP_Isend/MP_Irecv hand back up to the managed layer."""
+
+    __slots__ = ("req", "guard", "comm")
+
+    def __init__(self, req: Request, guard, comm: Communicator) -> None:
+        self.req = req
+        self.guard = guard  # ConditionalPin | PinCookie | None
+        self.comm = comm
+
+
+class MessagePassingCore:
+    """Runtime-internal MPI core bound to one rank."""
+
+    def __init__(
+        self,
+        runtime,
+        engine: MpiEngine,
+        serializer: MotorSerializer,
+        pool: BufferPool,
+        policy: PinningPolicy,
+    ) -> None:
+        self.runtime = runtime
+        self.engine = engine
+        self.serializer = serializer
+        self.pool = pool
+        self.policy = policy
+
+    # ------------------------------------------------------------- validation
+
+    def _data_window(self, obj: ObjRef, offset: int | None, count: int | None):
+        """Check the object and evaluate its transferable data window."""
+        rt = self.runtime
+        addr = obj.require()
+        mt = rt.om.method_table(addr)
+        if mt.has_references:
+            raise ObjectModelViolation(
+                f"{mt.name} contains object references; only reference-free "
+                "objects and arrays of simple types may use the MPI "
+                "operations — use the extended OO operations for structured "
+                "data (paper §4.2.1)"
+            )
+        if (offset is not None or count is not None) and not mt.is_array:
+            raise ObjectModelViolation(
+                "offset/count overloads apply to arrays only: there is no "
+                "safe way to refer to a subset of an object"
+            )
+        data_addr, nbytes = rt.om.array_data_range(
+            addr, offset or 0, count
+        )
+        return BufferDesc.from_heap(rt.heap, data_addr, nbytes)
+
+    # ------------------------------------------------------------- blocking ops
+
+    def _run_blocking(self, obj: ObjRef, start: Callable[[], Request]) -> Request:
+        """The §7.4 blocking discipline around one operation."""
+        policy = self.policy
+        decision = policy.pre_blocking(obj)
+        cookie: PinCookie | None = None
+        if decision is PinDecision.PIN_NOW:
+            cookie = policy.pin_now(obj)
+        try:
+            req = start()
+            if not req.completed:
+                if cookie is None:
+                    # Deferred pin: we are about to enter the polling-wait.
+                    cookie = policy.on_enter_wait(decision, obj)
+                self.engine.progress.wait(req)
+        finally:
+            # parameter errors inside start() must not leak the pin either
+            policy.release(cookie)
+        return req
+
+    def mp_send(
+        self,
+        obj: ObjRef,
+        dest: int,
+        tag: int,
+        comm: Communicator,
+        offset: int | None = None,
+        count: int | None = None,
+        sync: bool = False,
+    ) -> None:
+        buf = self._data_window(obj, offset, count)
+        self._run_blocking(
+            obj, lambda: self.engine.isend(buf, dest, tag, comm, sync=sync)
+        )
+
+    def mp_recv(
+        self,
+        obj: ObjRef,
+        source: int,
+        tag: int,
+        comm: Communicator,
+        offset: int | None = None,
+        count: int | None = None,
+    ) -> Status:
+        buf = self._data_window(obj, offset, count)
+        req = self._run_blocking(
+            obj, lambda: self.engine.irecv(buf, source, tag, comm)
+        )
+        return self.engine._finish_recv(req, comm)
+
+    # ------------------------------------------------------------- non-blocking
+
+    def mp_isend(
+        self,
+        obj: ObjRef,
+        dest: int,
+        tag: int,
+        comm: Communicator,
+        offset: int | None = None,
+        count: int | None = None,
+    ) -> NativeRequestHandle:
+        buf = self._data_window(obj, offset, count)
+        req = self.engine.isend(buf, dest, tag, comm)
+        guard = None
+        if not req.completed:
+            guard = self.policy.pre_nonblocking(obj, req.in_flight)
+        return NativeRequestHandle(req, guard, comm)
+
+    def mp_irecv(
+        self,
+        obj: ObjRef,
+        source: int,
+        tag: int,
+        comm: Communicator,
+        offset: int | None = None,
+        count: int | None = None,
+    ) -> NativeRequestHandle:
+        buf = self._data_window(obj, offset, count)
+        req = self.engine.irecv(buf, source, tag, comm)
+        guard = None
+        if not req.completed:
+            guard = self.policy.pre_nonblocking(obj, req.in_flight)
+        return NativeRequestHandle(req, guard, comm)
+
+    def mp_wait(self, handle: NativeRequestHandle) -> Status:
+        st = self.engine.wait(handle.req, handle.comm)
+        self._release_guard(handle)
+        return st
+
+    def mp_test(self, handle: NativeRequestHandle) -> bool:
+        done = self.engine.test(handle.req)
+        if done:
+            self._release_guard(handle)
+        return done
+
+    def _release_guard(self, handle: NativeRequestHandle) -> None:
+        # Conditional pins need no release — the collector drops them when
+        # the operation is no longer in flight.  Hard cookies (policy
+        # disabled) must be unpinned here.
+        if isinstance(handle.guard, PinCookie) and not handle.guard.released:
+            self.policy.release(handle.guard)
+        handle.guard = None
+
+    # ------------------------------------------------------------- collectives
+
+    def _pin_for_collective(self, objs: list[ObjRef]) -> list[PinCookie]:
+        """Collectives block for their whole duration: young buffers are
+        pinned up front (the polling-wait starts immediately)."""
+        cookies = []
+        for obj in objs:
+            decision = self.policy.pre_blocking(obj)
+            if decision is PinDecision.PIN_NOW:
+                cookies.append(self.policy.pin_now(obj))
+            else:
+                cookie = self.policy.on_enter_wait(decision, obj)
+                if cookie is not None:
+                    cookies.append(cookie)
+        return cookies
+
+    def mp_barrier(self, comm: Communicator) -> None:
+        collectives.barrier(self.engine, comm)
+
+    def mp_bcast(self, obj: ObjRef, root: int, comm: Communicator) -> None:
+        buf = self._data_window(obj, None, None)
+        cookies = self._pin_for_collective([obj])
+        try:
+            collectives.bcast(self.engine, comm, buf, root)
+        finally:
+            for c in cookies:
+                self.policy.release(c)
+
+    def mp_scatter(
+        self, sendobj: ObjRef | None, recvobj: ObjRef, root: int, comm: Communicator
+    ) -> None:
+        recvbuf = self._data_window(recvobj, None, None)
+        objs = [recvobj]
+        sendbuf = None
+        if comm.rank == root:
+            if sendobj is None:
+                raise InvalidOperation("scatter root requires a send array")
+            sendbuf = self._data_window(sendobj, None, None)
+            objs.append(sendobj)
+        cookies = self._pin_for_collective(objs)
+        try:
+            collectives.scatter(self.engine, comm, sendbuf, recvbuf, root)
+        finally:
+            for c in cookies:
+                self.policy.release(c)
+
+    def mp_gather(
+        self, sendobj: ObjRef, recvobj: ObjRef | None, root: int, comm: Communicator
+    ) -> None:
+        sendbuf = self._data_window(sendobj, None, None)
+        objs = [sendobj]
+        recvbuf = None
+        if comm.rank == root:
+            if recvobj is None:
+                raise InvalidOperation("gather root requires a receive array")
+            recvbuf = self._data_window(recvobj, None, None)
+            objs.append(recvobj)
+        cookies = self._pin_for_collective(objs)
+        try:
+            collectives.gather(self.engine, comm, sendbuf, recvbuf, root)
+        finally:
+            for c in cookies:
+                self.policy.release(c)
+
+    def mp_reduce(
+        self,
+        sendobj: ObjRef,
+        recvobj: ObjRef | None,
+        datatype: Datatype,
+        op: str,
+        root: int,
+        comm: Communicator,
+    ) -> None:
+        sendbuf = self._data_window(sendobj, None, None)
+        objs = [sendobj]
+        recvbuf = None
+        if comm.rank == root:
+            if recvobj is None:
+                raise InvalidOperation("reduce root requires a receive array")
+            recvbuf = self._data_window(recvobj, None, None)
+            objs.append(recvobj)
+        cookies = self._pin_for_collective(objs)
+        try:
+            collectives.reduce(self.engine, comm, sendbuf, recvbuf, datatype, op, root)
+        finally:
+            for c in cookies:
+                self.policy.release(c)
+
+    def mp_allreduce(
+        self,
+        sendobj: ObjRef,
+        recvobj: ObjRef,
+        datatype: Datatype,
+        op: str,
+        comm: Communicator,
+    ) -> None:
+        sendbuf = self._data_window(sendobj, None, None)
+        recvbuf = self._data_window(recvobj, None, None)
+        cookies = self._pin_for_collective([sendobj, recvobj])
+        try:
+            collectives.allreduce(self.engine, comm, sendbuf, recvbuf, datatype, op)
+        finally:
+            for c in cookies:
+                self.policy.release(c)
+
+    # ------------------------------------------------------------- OO operations
+
+    def _send_blob(self, blob, dest: int, comm: Communicator, tag_size: int, tag_data: int) -> None:
+        """Size first, then payload — paper §7.5: "Before sending the
+        serialized buffer, Motor sends the size of the buffer"."""
+        size = len(blob)
+        hdr = BufferDesc.from_bytes(size.to_bytes(_SIZE_HDR, "little"))
+        self.engine.send(hdr, dest, tag_size, comm, _internal=True)
+        self.engine.send(BufferDesc(blob, 0, size), dest, tag_data, comm, _internal=True)
+
+    def _recv_blob(self, source: int, comm: Communicator, tag_size: int, tag_data: int):
+        """Returns (pooled NativeMemory, nbytes, Status of size message)."""
+        hdr_mem = bytearray(_SIZE_HDR)
+        st = self.engine.recv(
+            BufferDesc(hdr_mem, 0, _SIZE_HDR), source, tag_size, comm, _internal=True
+        )
+        size = int.from_bytes(hdr_mem, "little")
+        native = self.pool.acquire(size)
+        if len(native.mem) < size:
+            native.mem.extend(bytes(size - len(native.mem)))
+        # The payload must come from whoever sent the size header.
+        self.engine.recv(
+            BufferDesc(native.mem, 0, size), st.source, tag_data, comm, _internal=True
+        )
+        return native, size, st
+
+    def mp_osend(
+        self,
+        obj: ObjRef | None,
+        dest: int,
+        tag: int,
+        comm: Communicator,
+        offset: int | None = None,
+        numcomponents: int | None = None,
+    ) -> None:
+        if offset is not None or numcomponents is not None:
+            # Array-subset overload: serialize only the slice, as a split
+            # set framed into one representation.
+            name, parts = self.serializer.serialize_array_split(
+                obj, offset or 0, numcomponents
+            )
+            blob = bytearray(self.serializer.frame_parts(name, parts))
+        else:
+            blob = self.serializer.serialize(obj)
+        tsize, tdata = _oo_tags(tag)
+        self._send_blob(blob, dest, comm, tsize, tdata)
+
+    def mp_orecv(
+        self, source: int, tag: int, comm: Communicator
+    ) -> tuple[ObjRef | None, Status]:
+        tsize, tdata = _oo_tags(tag)
+        native, size, st = self._recv_blob(source, comm, tsize, tdata)
+        try:
+            data = native.view(0, size)
+            head = bytes(data[:4])
+            if int.from_bytes(head, "little") == 0x4D53504C:  # split frame
+                name, parts = self.serializer.unframe_parts(data)
+                ref = self.serializer.build_array_from_parts(name, parts)
+            else:
+                ref = self.serializer.deserialize(data)
+        finally:
+            self.pool.release(native)
+        st.count = size
+        return ref, st
+
+    def mp_obcast(self, obj: ObjRef | None, root: int, comm: Communicator) -> ObjRef | None:
+        if comm.rank == root:
+            blob = bytes(self.serializer.serialize(obj))
+            collectives.bcast_bytes(self.engine, comm, blob, root)
+            return obj
+        blob = collectives.bcast_bytes(self.engine, comm, None, root)
+        return self.serializer.deserialize(blob)
+
+    def mp_oscatter(
+        self, array: ObjRef | None, root: int, comm: Communicator
+    ) -> ObjRef:
+        """Scatter an array of objects: rank i receives sub-array i.
+
+        The root produces a *single* split representation in one pass and
+        deals the parts out — the operation atomic standard serializers
+        cannot support without N separate serializations (§2.4).
+        """
+        n = comm.size
+        if comm.rank == root:
+            if array is None:
+                raise InvalidOperation("OScatter root requires an array")
+            name, parts = self.serializer.serialize_array_split(array)
+            counts = [len(parts) // n + (1 if i < len(parts) % n else 0) for i in range(n)]
+            start = 0
+            my_blob = None
+            for i in range(n):
+                chunk = parts[start : start + counts[i]]
+                start += counts[i]
+                framed = self.serializer.frame_parts(name, chunk)
+                if i == root:
+                    my_blob = framed
+                else:
+                    self._send_blob(bytearray(framed), i, comm, _TAG_OO_COLL, _TAG_OO_COLL + 1)
+            name, mine = self.serializer.unframe_parts(my_blob)
+            return self.serializer.build_array_from_parts(name, mine)
+        native, size, _st = self._recv_blob(root, comm, _TAG_OO_COLL, _TAG_OO_COLL + 1)
+        try:
+            name, mine = self.serializer.unframe_parts(native.view(0, size))
+        finally:
+            self.pool.release(native)
+        return self.serializer.build_array_from_parts(name, mine)
+
+    def mp_ogather(
+        self, array: ObjRef, root: int, comm: Communicator
+    ) -> ObjRef | None:
+        """Gather per-rank object arrays into one array at the root."""
+        n = comm.size
+        name, parts = self.serializer.serialize_array_split(array)
+        if comm.rank != root:
+            framed = self.serializer.frame_parts(name, parts)
+            self._send_blob(bytearray(framed), root, comm, _TAG_OO_COLL + 2, _TAG_OO_COLL + 3)
+            return None
+        all_parts: list[bytes] = []
+        elem_name = name
+        for i in range(n):
+            if i == root:
+                all_parts.extend(parts)
+                continue
+            native, size, _st = self._recv_blob(i, comm, _TAG_OO_COLL + 2, _TAG_OO_COLL + 3)
+            try:
+                pname, pparts = self.serializer.unframe_parts(native.view(0, size))
+            finally:
+                self.pool.release(native)
+            elem_name = pname
+            all_parts.extend(pparts)
+        return self.serializer.build_array_from_parts(elem_name, all_parts)

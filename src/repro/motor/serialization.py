@@ -1,0 +1,456 @@
+"""Motor's custom serialization mechanism (paper §7.5).
+
+The flat object-tree representation has two parts:
+
+* a **type table** detailing every class used (name, kind, field layout),
+  resolved by the receiver against its own registry (SPMD ranks define the
+  same classes); and
+* **object data**: the objects laid out side by side, each prefixed with an
+  internal type reference; object references are exchanged for local
+  internal ids, and references to objects not included in the
+  serialization are swapped to null.
+
+Propagation follows the FieldDesc **Transportable bit** — never the slow
+metadata/reflection path.  Object arrays propagate their elements by
+default; plain reference fields propagate only when marked.
+
+Visited-object tracking is pluggable, reproducing the paper's own
+performance note: "at the time of writing we employ a linear structure to
+record objects visited.  This causes excessive search times with large
+numbers of objects and will be improved when we implement an efficient
+structure" — :class:`LinearVisited` is that linear structure (and the
+source of Motor's degradation above ~2048 objects in Figure 10);
+:class:`HashedVisited` is the announced fix, benchmarked in ablation A4.
+
+The **split representation** (one independently-deserializable part per
+array element) enables the OScatter/OGather operations no standard
+serializer supports; see :meth:`MotorSerializer.serialize_array_split`.
+
+Safety: serialization touches raw heap addresses but never allocates
+managed memory or polls a safepoint, so no collection can move objects
+mid-walk.  Deserialization *does* allocate (and may therefore trigger
+collections), so it works in two passes holding only GC-updated handles.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable
+
+from repro.runtime.errors import ObjectModelViolation
+from repro.runtime.handles import ObjRef
+from repro.runtime.typesys import (
+    ARRAY_DATA_OFFSET,
+    PRIMITIVES,
+    MethodTable,
+    PrimitiveType,
+)
+
+MAGIC = 0x4D534552  # "MSER"
+SPLIT_MAGIC = 0x4D53504C  # "MSPL"
+
+_K_CLASS = 0
+_K_PRIM_ARRAY = 1
+_K_REF_ARRAY = 2
+
+_u32 = struct.Struct("<I")
+_i64 = struct.Struct("<q")
+
+
+class SerializationError(ObjectModelViolation):
+    """Malformed representation or type-table mismatch at the receiver."""
+
+
+# ---------------------------------------------------------------------------
+# visited-object records
+# ---------------------------------------------------------------------------
+
+
+class LinearVisited:
+    """The paper's linear visited record: a list scanned per lookup.
+
+    The scan is a real linear search (``list.index`` — C-speed, but
+    genuinely O(n) per lookup and O(n^2) per serialization); the
+    ``comparisons`` counter feeds the virtual clock so the quadratic cost
+    appears at paper-era per-comparison rates.
+    """
+
+    name = "linear"
+
+    def __init__(self) -> None:
+        self._addrs: list[int] = []
+        self.comparisons = 0
+
+    def lookup(self, addr: int) -> int | None:
+        try:
+            idx = self._addrs.index(addr)
+        except ValueError:
+            self.comparisons += len(self._addrs)
+            return None
+        self.comparisons += idx + 1
+        return idx
+
+    def add(self, addr: int) -> int:
+        self._addrs.append(addr)
+        return len(self._addrs) - 1
+
+    def __len__(self) -> int:
+        return len(self._addrs)
+
+
+class HashedVisited:
+    """The 'efficient structure' the paper promises as future work."""
+
+    name = "hashed"
+
+    def __init__(self) -> None:
+        self._map: dict[int, int] = {}
+        self.probes = 0
+
+    def lookup(self, addr: int) -> int | None:
+        self.probes += 1
+        return self._map.get(addr)
+
+    def add(self, addr: int) -> int:
+        idx = len(self._map)
+        self._map[addr] = idx
+        return idx
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+
+VISITED_KINDS = {"linear": LinearVisited, "hashed": HashedVisited}
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _w_str(out: bytearray, s: str) -> None:
+    enc = s.encode("utf-8")
+    out += struct.pack("<H", len(enc))
+    out += enc
+
+
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data) -> None:
+        self.data = memoryview(data)
+        self.pos = 0
+
+    def u8(self) -> int:
+        v = self.data[self.pos]
+        self.pos += 1
+        return v
+
+    def u16(self) -> int:
+        v = struct.unpack_from("<H", self.data, self.pos)[0]
+        self.pos += 2
+        return v
+
+    def u32(self) -> int:
+        v = struct.unpack_from("<I", self.data, self.pos)[0]
+        self.pos += 4
+        return v
+
+    def i64(self) -> int:
+        v = struct.unpack_from("<q", self.data, self.pos)[0]
+        self.pos += 8
+        return v
+
+    def raw(self, n: int) -> memoryview:
+        v = self.data[self.pos : self.pos + n]
+        if len(v) != n:
+            raise SerializationError("truncated representation")
+        self.pos += n
+        return v
+
+    def text(self) -> str:
+        return bytes(self.raw(self.u16())).decode("utf-8")
+
+
+# ---------------------------------------------------------------------------
+# the serializer
+# ---------------------------------------------------------------------------
+
+
+class MotorSerializer:
+    """Flatten / reconstruct object trees over one runtime's heap."""
+
+    def __init__(self, runtime, visited: str = "linear") -> None:
+        if visited not in VISITED_KINDS:
+            raise ValueError(f"unknown visited structure {visited!r}")
+        self.runtime = runtime
+        self.visited_kind = visited
+        self.objects_serialized = 0
+        self.objects_deserialized = 0
+
+    # -- serialize ---------------------------------------------------------------
+
+    def serialize(self, ref: ObjRef | None, out: bytearray | None = None) -> bytearray:
+        """Produce a regular (non-split) representation of ``ref``'s tree."""
+        out = out if out is not None else bytearray()
+        self._serialize_root(ref, out)
+        return out
+
+    def _serialize_root(self, ref: ObjRef | None, out: bytearray) -> None:
+        rt = self.runtime
+        om, heap = rt.om, rt.heap
+        clock, costs = rt.clock, rt.costs
+
+        visited = VISITED_KINDS[self.visited_kind]()
+        type_refs: dict[int, int] = {}  # mt_id -> index in type table
+        type_order: list[MethodTable] = []
+        queue: list[int] = []
+
+        def visit(addr: int) -> int:
+            if addr == 0:
+                return -1
+            idx = visited.lookup(addr)
+            if idx is not None:
+                return idx
+            idx = visited.add(addr)
+            queue.append(addr)
+            return idx
+
+        def type_ref(mt: MethodTable) -> int:
+            idx = type_refs.get(mt.mt_id)
+            if idx is None:
+                idx = len(type_order)
+                type_refs[mt.mt_id] = idx
+                type_order.append(mt)
+            return idx
+
+        records = bytearray()
+        nrecords = 0
+        if ref is not None and not ref.is_null:
+            visit(ref.addr)
+        qi = 0
+        while qi < len(queue):
+            addr = queue[qi]
+            qi += 1
+            nrecords += 1
+            self.objects_serialized += 1
+            clock.charge(costs.motor_ser_per_obj_ns)
+            mt = om.method_table(addr)
+            records += _u32.pack(type_ref(mt))
+            if mt.is_array:
+                length = om.array_length(addr)
+                records += _u32.pack(length)
+                if mt.element_is_ref:
+                    # Arrays are transported together with the array-entry
+                    # objects they reference (paper §4.2.2).
+                    base = addr + ARRAY_DATA_OFFSET
+                    for i in range(length):
+                        child = heap.read_u64(base + 8 * i)
+                        records += _i64.pack(visit(child))
+                else:
+                    nbytes = length * mt.element_size
+                    records += heap.view(addr + ARRAY_DATA_OFFSET, nbytes)
+                    clock.charge(costs.motor_ser_per_byte_ns * nbytes)
+            else:
+                for fd in mt.fields:
+                    if fd.is_ref:
+                        child = heap.read_u64(addr + fd.offset)
+                        # Only Transportable references propagate; others
+                        # are swapped to null (§4.2.2).
+                        if fd.is_transportable:
+                            records += _i64.pack(visit(child))
+                        else:
+                            records += _i64.pack(-1)
+                    else:
+                        records += heap.view(addr + fd.offset, fd.ftype.size)
+                        clock.charge(costs.motor_ser_per_byte_ns * fd.ftype.size)
+
+        # Charge the visited-structure search cost.
+        if isinstance(visited, LinearVisited):
+            clock.charge(costs.visited_linear_cmp_ns * visited.comparisons)
+        else:
+            clock.charge(costs.visited_hash_probe_ns * visited.probes)
+
+        # Header + type table + object data.
+        out += _u32.pack(MAGIC)
+        out += _u32.pack(0)
+        out += _u32.pack(len(type_order))
+        for mt in type_order:
+            self._write_type_entry(out, mt)
+        out += _u32.pack(nrecords)
+        out += records
+
+    @staticmethod
+    def _write_type_entry(out: bytearray, mt: MethodTable) -> None:
+        if mt.is_array:
+            if mt.element_is_ref:
+                out.append(_K_REF_ARRAY)
+                _w_str(out, mt.element_type.name)
+            else:
+                out.append(_K_PRIM_ARRAY)
+                _w_str(out, mt.element_type.name)
+        else:
+            out.append(_K_CLASS)
+            _w_str(out, mt.name)
+            out += struct.pack("<H", len(mt.fields))
+            for fd in mt.fields:
+                _w_str(out, fd.name)
+                out.append(1 if fd.is_ref else 0)
+                _w_str(out, "" if fd.is_ref else fd.ftype.name)
+
+    # -- deserialize ---------------------------------------------------------------
+
+    def deserialize(self, data) -> ObjRef | None:
+        """Reconstruct the object tree; returns the root (or None)."""
+        rt = self.runtime
+        rd = _Reader(data)
+        if rd.u32() != MAGIC:
+            raise SerializationError("bad magic")
+        rd.u32()  # flags
+        ntypes = rd.u32()
+        mts: list[MethodTable] = []
+        for _ in range(ntypes):
+            mts.append(self._read_type_entry(rd))
+        nrecords = rd.u32()
+        if nrecords == 0:
+            return None
+
+        # Pass 1: allocate every object (may trigger collections — we keep
+        # only handles), remembering where each record's payload begins.
+        refs: list[ObjRef] = []
+        payloads: list[tuple[MethodTable, int, int]] = []  # (mt, length, payload pos)
+        for _ in range(nrecords):
+            self.objects_deserialized += 1
+            rt.clock.charge(rt.costs.motor_deser_per_obj_ns)
+            mt = mts[rd.u32()]
+            if mt.is_array:
+                length = rd.u32()
+                ref = rt.new_array(
+                    mt.element_type.name
+                    if isinstance(mt.element_type, PrimitiveType)
+                    else mt.element_type.name,
+                    length,
+                )
+                payloads.append((mt, length, rd.pos))
+                rd.raw(length * (8 if mt.element_is_ref else mt.element_size))
+            else:
+                ref = rt.new(mt)
+                payloads.append((mt, 0, rd.pos))
+                size = sum(8 if fd.is_ref else fd.ftype.size for fd in mt.fields)
+                rd.raw(size)
+            refs.append(ref)
+
+        # Pass 2: fill payloads and wire references through the barrier.
+        for ref, (mt, length, pos) in zip(refs, payloads):
+            rd.pos = pos
+            if mt.is_array:
+                if mt.element_is_ref:
+                    for i in range(length):
+                        rid = rd.i64()
+                        rt.set_elem_ref(ref, i, None if rid < 0 else refs[rid])
+                else:
+                    nbytes = length * mt.element_size
+                    rt.heap.write_bytes(
+                        ref.addr + ARRAY_DATA_OFFSET, rd.raw(nbytes)
+                    )
+                    rt.clock.charge(rt.costs.motor_ser_per_byte_ns * nbytes)
+            else:
+                for fd in mt.fields:
+                    if fd.is_ref:
+                        rid = rd.i64()
+                        rt.set_ref(ref, fd.name, None if rid < 0 else refs[rid])
+                    else:
+                        rt.heap.write_bytes(
+                            ref.addr + fd.offset, rd.raw(fd.ftype.size)
+                        )
+        return refs[0]
+
+    def _read_type_entry(self, rd: _Reader) -> MethodTable:
+        rt = self.runtime
+        kind = rd.u8()
+        if kind in (_K_PRIM_ARRAY, _K_REF_ARRAY):
+            return rt.registry.array_of(rd.text())
+        name = rd.text()
+        mt = rt.registry.resolve(name)
+        if not isinstance(mt, MethodTable) or mt.is_array:
+            raise SerializationError(f"{name} is not a class at the receiver")
+        nfields = rd.u16()
+        if nfields != len(mt.fields):
+            raise SerializationError(
+                f"type-table mismatch for {name}: sender has {nfields} fields, "
+                f"receiver has {len(mt.fields)}"
+            )
+        for fd in mt.fields:
+            fname = rd.text()
+            is_ref = bool(rd.u8())
+            prim = rd.text()
+            if fname != fd.name or is_ref != fd.is_ref or (
+                not is_ref and prim != fd.ftype.name
+            ):
+                raise SerializationError(
+                    f"field layout mismatch for {name}.{fd.name}"
+                )
+        return mt
+
+    # -- split representation (paper §7.5) ---------------------------------------
+
+    def serialize_array_split(
+        self, array_ref: ObjRef, offset: int = 0, count: int | None = None
+    ) -> tuple[str, list[bytes]]:
+        """One independently-deserializable part per array element.
+
+        Returns ``(element_type_name, parts)``.  Each part is a regular
+        representation of that element's tree (shared substructure between
+        elements is duplicated across parts — the price of independent
+        deserializability, and why gather can reassemble on any rank).
+        """
+        rt = self.runtime
+        mt = rt.om.method_table(array_ref.require())
+        if not mt.is_array or not mt.element_is_ref:
+            raise SerializationError(
+                "split representation requires an array of objects"
+            )
+        length = rt.om.array_length(array_ref.addr)
+        if count is None:
+            count = length - offset
+        if offset < 0 or count < 0 or offset + count > length:
+            raise SerializationError(
+                f"split slice [{offset}:{offset + count}] exceeds length {length}"
+            )
+        parts: list[bytes] = []
+        for i in range(offset, offset + count):
+            elem = rt.get_elem(array_ref, i)
+            parts.append(bytes(self.serialize(elem)))
+        return mt.element_type.name, parts
+
+    def build_array_from_parts(self, element_type_name: str, parts: Iterable[bytes]) -> ObjRef:
+        """Gather-side reassembly: parts -> one array of objects."""
+        rt = self.runtime
+        elems = [self.deserialize(p) for p in parts]
+        arr = rt.new_array(element_type_name, len(elems))
+        for i, e in enumerate(elems):
+            rt.set_elem_ref(arr, i, e)
+        return arr
+
+    # -- split framing helpers (used by OScatter/OGather wire format) -----------
+
+    @staticmethod
+    def frame_parts(element_type_name: str, parts: list[bytes]) -> bytes:
+        out = bytearray()
+        out += _u32.pack(SPLIT_MAGIC)
+        _w_str(out, element_type_name)
+        out += _u32.pack(len(parts))
+        for p in parts:
+            out += _u32.pack(len(p))
+            out += p
+        return bytes(out)
+
+    @staticmethod
+    def unframe_parts(data) -> tuple[str, list[bytes]]:
+        rd = _Reader(data)
+        if rd.u32() != SPLIT_MAGIC:
+            raise SerializationError("bad split magic")
+        name = rd.text()
+        nparts = rd.u32()
+        parts = [bytes(rd.raw(rd.u32())) for _ in range(nparts)]
+        return name, parts

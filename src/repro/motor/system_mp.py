@@ -1,0 +1,229 @@
+"""System.MP — the managed message-passing library (paper §7.2).
+
+The user-facing, object-oriented API modelled on the official MPI-2 C++
+bindings with the paper's simplifications (§4.2.1): no counts, no
+datatypes, single-object buffers, array-only offset/count overloads.
+Every method crosses into the Message Passing Core through the FCall
+gate, matching the three-layer chain of Figure 8::
+
+    System.MP  Recv(...)            (managed, this module)
+      -> MPDirect InternalCall      (the FCall gate)
+        -> MP_Recv FCIMPL           (MessagePassingCore.mp_recv)
+
+The extended object-oriented operations carry the ``O`` prefix
+(``OSend``/``ORecv``/``OBcast``/``OScatter``/``OGather``), per §4.2.2.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.motor.mpcore import MessagePassingCore, NativeRequestHandle
+from repro.mp.communicator import Communicator
+from repro.mp.datatypes import Datatype
+from repro.mp.matching import ANY_SOURCE, ANY_TAG
+from repro.mp.status import Status
+from repro.runtime.handles import ObjRef
+from repro.runtime.proxy import ManagedProxy
+
+
+class MPStatus:
+    """Managed MPI status (System.MP.Status)."""
+
+    __slots__ = ("source", "tag", "count")
+
+    def __init__(self, source: int = -1, tag: int = -1, count: int = 0) -> None:
+        self.source = source
+        self.tag = tag
+        self.count = count
+
+    def _fill(self, native: Status) -> "MPStatus":
+        self.source = native.source
+        self.tag = native.tag
+        self.count = native.count
+        return self
+
+    def __repr__(self) -> str:
+        return f"<MPStatus src={self.source} tag={self.tag} count={self.count}>"
+
+
+class MotorRequest:
+    """Managed request handle for Isend/Irecv."""
+
+    __slots__ = ("_comm", "_handle")
+
+    def __init__(self, comm: "MotorCommunicator", handle: NativeRequestHandle) -> None:
+        self._comm = comm
+        self._handle = handle
+
+    def Wait(self, status: MPStatus | None = None) -> MPStatus:
+        native = self._comm._fcall(self._comm._core.mp_wait, self._handle)
+        return (status or MPStatus())._fill(native)
+
+    def Test(self) -> bool:
+        return self._comm._fcall(self._comm._core.mp_test, self._handle)
+
+    @property
+    def completed(self) -> bool:
+        return self._handle.req.completed
+
+
+def _unwrap(obj) -> ObjRef | None:
+    if obj is None:
+        return None
+    if isinstance(obj, ManagedProxy):
+        return obj.ref
+    if isinstance(obj, ObjRef):
+        return obj
+    raise TypeError(f"expected a managed object, got {type(obj).__name__}")
+
+
+class MotorCommunicator:
+    """System.MP.Communicator (the MPI-2 C++ binding shape)."""
+
+    ANY_SOURCE = ANY_SOURCE
+    ANY_TAG = ANY_TAG
+
+    def __init__(self, vm, comm: Communicator) -> None:
+        self._vm = vm
+        self._core: MessagePassingCore = vm.core
+        self._comm = comm
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _fcall(self, fn, *args, **kw):
+        return self._vm.fcall.call(fn, *args, **kw)
+
+    @property
+    def Rank(self) -> int:
+        return self._comm.rank
+
+    @property
+    def Size(self) -> int:
+        return self._comm.size
+
+    @property
+    def native(self) -> Communicator:
+        return self._comm
+
+    # -- regular MPI operations (object-to-object, §4.2.1) ---------------------
+
+    def Send(self, obj, dest: int, tag: int, offset: int | None = None, length: int | None = None) -> None:
+        self._fcall(
+            self._core.mp_send, _unwrap(obj), dest, tag, self._comm,
+            offset, length,
+        )
+
+    def Ssend(self, obj, dest: int, tag: int) -> None:
+        self._fcall(
+            self._core.mp_send, _unwrap(obj), dest, tag, self._comm,
+            None, None, True,
+        )
+
+    def Recv(
+        self,
+        obj,
+        source: int,
+        tag: int,
+        status: MPStatus | None = None,
+        offset: int | None = None,
+        length: int | None = None,
+    ) -> MPStatus:
+        native = self._fcall(
+            self._core.mp_recv, _unwrap(obj), source, tag, self._comm,
+            offset, length,
+        )
+        return (status or MPStatus())._fill(native)
+
+    def Isend(self, obj, dest: int, tag: int, offset: int | None = None, length: int | None = None) -> MotorRequest:
+        handle = self._fcall(
+            self._core.mp_isend, _unwrap(obj), dest, tag, self._comm,
+            offset, length,
+        )
+        return MotorRequest(self, handle)
+
+    def Irecv(self, obj, source: int, tag: int, offset: int | None = None, length: int | None = None) -> MotorRequest:
+        handle = self._fcall(
+            self._core.mp_irecv, _unwrap(obj), source, tag, self._comm,
+            offset, length,
+        )
+        return MotorRequest(self, handle)
+
+    # -- collectives ---------------------------------------------------------------
+
+    def Barrier(self) -> None:
+        self._fcall(self._core.mp_barrier, self._comm)
+
+    def Bcast(self, obj, root: int = 0) -> None:
+        self._fcall(self._core.mp_bcast, _unwrap(obj), root, self._comm)
+
+    def Scatter(self, sendarr, recvarr, root: int = 0) -> None:
+        self._fcall(
+            self._core.mp_scatter, _unwrap(sendarr), _unwrap(recvarr), root, self._comm
+        )
+
+    def Gather(self, sendarr, recvarr, root: int = 0) -> None:
+        self._fcall(
+            self._core.mp_gather, _unwrap(sendarr), _unwrap(recvarr), root, self._comm
+        )
+
+    def Reduce(self, sendarr, recvarr, datatype: Datatype, op: str = "sum", root: int = 0) -> None:
+        self._fcall(
+            self._core.mp_reduce,
+            _unwrap(sendarr),
+            _unwrap(recvarr),
+            datatype,
+            op,
+            root,
+            self._comm,
+        )
+
+    def Allreduce(self, sendarr, recvarr, datatype: Datatype, op: str = "sum") -> None:
+        self._fcall(
+            self._core.mp_allreduce,
+            _unwrap(sendarr),
+            _unwrap(recvarr),
+            datatype,
+            op,
+            self._comm,
+        )
+
+    # -- extended object-oriented operations (§4.2.2) ---------------------------
+
+    def OSend(self, obj, dest: int, tag: int, offset: int | None = None, numcomponents: int | None = None) -> None:
+        self._fcall(
+            self._core.mp_osend, _unwrap(obj), dest, tag, self._comm,
+            offset, numcomponents,
+        )
+
+    def ORecv(self, source: int, tag: int, status: MPStatus | None = None):
+        ref, native = self._fcall(self._core.mp_orecv, source, tag, self._comm)
+        if status is not None:
+            status._fill(native)
+        return ref
+
+    def OBcast(self, obj=None, root: int = 0):
+        return self._fcall(self._core.mp_obcast, _unwrap(obj), root, self._comm)
+
+    def OScatter(self, array=None, root: int = 0):
+        return self._fcall(self._core.mp_oscatter, _unwrap(array), root, self._comm)
+
+    def OGather(self, array, root: int = 0):
+        return self._fcall(self._core.mp_ogather, _unwrap(array), root, self._comm)
+
+    # -- communicator management ---------------------------------------------------
+
+    def Dup(self) -> "MotorCommunicator":
+        return MotorCommunicator(self._vm, self._vm.engine.comm_dup(self._comm))
+
+    def Split(self, color: int, key: int) -> "MotorCommunicator | None":
+        sub = self._vm.engine.comm_split(self._comm, color, key)
+        return None if sub is None else MotorCommunicator(self._vm, sub)
+
+    def Merge(self, high: bool = False) -> "MotorCommunicator":
+        """MPI_Intercomm_merge over this inter-communicator (MPI-2)."""
+        merged = self._vm.engine.intercomm_merge(self._comm, high)
+        return MotorCommunicator(self._vm, merged)
+
+    def __repr__(self) -> str:
+        return f"<System.MP.Communicator rank={self.Rank} size={self.Size}>"

@@ -1,0 +1,348 @@
+"""The CH3 device: queuing, matching, packetizing and data transfer.
+
+This is the ADI-3 "device" layer of MPICH2 (paper §6): it owns the posted
+and unexpected queues, decides eager vs. rendezvous per message, packetizes
+large payloads, and moves bytes **directly** between the latched buffer
+descriptors and the channel — no staging except for unexpected eager
+messages, which are held in native memory until their receive is posted
+(the extra copy real MPIs also pay).
+
+Protocol:
+
+* ``total <= eager_threshold`` — one EAGER packet carrying the payload;
+  the send completes locally on hand-off (buffered semantics), or on FIN
+  for synchronous sends.
+* larger — RTS to the receiver; the receiver matches, latches its
+  destination buffer and replies CTS; the sender then streams DATA chunks
+  of ``packet_size`` bytes, a bounded number per progress poll, and
+  completes when the last chunk is handed off.  The receive completes when
+  every byte has landed.
+
+The bounded per-poll pump on both sides means a large transfer spans many
+progress polls; a garbage collection at any intervening safepoint will
+move an unpinned buffer and the remaining chunks will hit a stale address
+— the corruption scenario of paper §2.3, reproduced for real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mp.buffers import BufferDesc, NativeMemory
+from repro.mp.channels.base import Channel
+from repro.mp.errors import MpiErrInternal
+from repro.mp.matching import MessageQueues, UnexpectedMsg
+from repro.mp.packets import CTS, DATA, EAGER, FIN, RTS, Packet
+from repro.mp.request import RECV, SEND, Request
+from repro.mp.status import Status
+from repro.simtime import Clock, CostModel
+
+
+@dataclass
+class _SendState:
+    """A rendezvous send in progress."""
+
+    req: Request
+    dst: int
+    cursor: int = 0
+    cleared: bool = False  # CTS received
+
+
+class CH3Device:
+    """One rank's device instance."""
+
+    def __init__(
+        self,
+        rank: int,
+        channel: Channel,
+        clock: Clock,
+        costs: CostModel,
+        eager_threshold: int | None = None,
+        packet_size: int | None = None,
+        max_packets_per_poll: int = 8,
+        max_stream_per_poll: int = 4,
+    ) -> None:
+        self.rank = rank
+        self.channel = channel
+        self.clock = clock
+        self.costs = costs
+        self.eager_threshold = (
+            costs.eager_threshold if eager_threshold is None else eager_threshold
+        )
+        self.packet_size = costs.packet_size if packet_size is None else packet_size
+        self.max_packets_per_poll = max_packets_per_poll
+        self.max_stream_per_poll = max_stream_per_poll
+
+        self.queues = MessageQueues()
+        self._rndv_sends: dict[int, _SendState] = {}
+        # (src_rank, send_op_id) -> streaming receive request
+        self._rndv_recvs: dict[tuple[int, int], Request] = {}
+        # sync (Ssend) requests awaiting FIN, by op_id
+        self._awaiting_fin: dict[int, Request] = {}
+        self._outbox: list[Packet] = []
+        self.stats = {"eager": 0, "rndv": 0, "unexpected": 0, "truncated": 0}
+
+    # ------------------------------------------------------------------ send
+
+    def start_send(self, req: Request, dst: int) -> None:
+        total = req.buf.nbytes
+        self.clock.charge(self.costs.posting_ns)
+        if total <= self.eager_threshold:
+            self.stats["eager"] += 1
+            pkt = Packet(
+                ptype=EAGER,
+                src=self.rank,
+                dst=dst,
+                tag=req.tag,
+                comm_id=req.comm_id,
+                op_id=req.op_id,
+                total=total,
+                sync=req.sync,
+                payload=bytes(req.buf.view()),
+            )
+            req.started = True
+            req.bytes_moved = total
+            self._emit(pkt)
+            if req.sync:
+                self._awaiting_fin[req.op_id] = req
+            else:
+                req.complete()
+        else:
+            self.stats["rndv"] += 1
+            self._rndv_sends[req.op_id] = _SendState(req, dst)
+            self._emit(
+                Packet(
+                    ptype=RTS,
+                    src=self.rank,
+                    dst=dst,
+                    tag=req.tag,
+                    comm_id=req.comm_id,
+                    op_id=req.op_id,
+                    total=total,
+                    sync=req.sync,
+                )
+            )
+
+    def _emit(self, pkt: Packet) -> None:
+        if not self.channel.send_packet(pkt):
+            self._outbox.append(pkt)
+
+    # ------------------------------------------------------------------ recv
+
+    def post_recv(self, req: Request) -> None:
+        self.clock.charge(self.costs.posting_ns)
+        msg = self.queues.match_unexpected(req.peer, req.tag, req.comm_id)
+        if msg is None:
+            self.queues.post_recv(req)
+            return
+        self.clock.merge(msg.ts)
+        if msg.eager:
+            self._deliver_staged(req, msg)
+        else:
+            # Rendezvous RTS arrived before the receive was posted: latch
+            # the destination now and clear the sender to stream.
+            self._accept_rndv(req, msg.src, msg.tag, msg.send_op_id, msg.total)
+
+    def _deliver_staged(self, req: Request, msg: UnexpectedMsg) -> None:
+        n = min(msg.total, req.buf.nbytes)
+        self.clock.charge(self.costs.copy_per_byte_ns * n)
+        req.buf.write(0, msg.staged.view(0, n))
+        status = Status(source=msg.src, tag=msg.tag, count=n)
+        if msg.total > req.buf.nbytes:
+            self.stats["truncated"] += 1
+            status.error = "MPI_ERR_TRUNCATE"
+        req.started = True
+        req.bytes_moved = n
+        req.complete(status)
+
+    def _accept_rndv(self, req: Request, src: int, tag: int, send_op_id: int, total: int) -> None:
+        if total > req.buf.nbytes:
+            # Report truncation immediately; receive what fits.
+            self.stats["truncated"] += 1
+            req.status.error = "MPI_ERR_TRUNCATE"
+        req.total = total
+        req.started = True
+        self._rndv_recvs[(src, send_op_id)] = req
+        # remember real source/tag for the final status
+        req.status.source = src
+        req.status.tag = tag
+        self._emit(
+            Packet(ptype=CTS, src=self.rank, dst=src, op_id=send_op_id)
+        )
+
+    # ------------------------------------------------------------------ probe
+
+    def iprobe(self, src_sel: int, tag_sel: int, comm_id: int) -> Status | None:
+        msg = self.queues.peek_unexpected(src_sel, tag_sel, comm_id)
+        if msg is None:
+            return None
+        return Status(source=msg.src, tag=msg.tag, count=msg.total)
+
+    def cancel_recv(self, req: Request) -> bool:
+        ok = self.queues.cancel_posted(req)
+        if ok:
+            req.status.cancelled = True
+            req.complete()
+        return ok
+
+    # ------------------------------------------------------------------ poll
+
+    def poll(self) -> int:
+        """One progress step; returns the number of packets handled."""
+        for pkt in list(self._outbox):
+            if self.channel.send_packet(pkt):
+                self._outbox.remove(pkt)
+        handled = 0
+        for pkt in self.channel.recv_packets(self.max_packets_per_poll):
+            self._handle(pkt)
+            handled += 1
+        self._pump_streams()
+        return handled
+
+    def _handle(self, pkt: Packet) -> None:
+        self.clock.merge(pkt.ts)
+        if pkt.ptype == EAGER:
+            self._on_eager(pkt)
+        elif pkt.ptype == RTS:
+            self._on_rts(pkt)
+        elif pkt.ptype == CTS:
+            self._on_cts(pkt)
+        elif pkt.ptype == DATA:
+            self._on_data(pkt)
+        elif pkt.ptype == FIN:
+            self._on_fin(pkt)
+        else:
+            raise MpiErrInternal(f"unknown packet type {pkt.ptype}")
+
+    def _on_eager(self, pkt: Packet) -> None:
+        req = self.queues.match_posted(pkt.src, pkt.tag, pkt.comm_id)
+        if req is None:
+            self.stats["unexpected"] += 1
+            # Stage in native memory: the unavoidable extra copy for
+            # unexpected messages.
+            self.clock.charge(self.costs.copy_per_byte_ns * len(pkt.payload))
+            self.queues.add_unexpected(
+                UnexpectedMsg(
+                    src=pkt.src,
+                    tag=pkt.tag,
+                    comm_id=pkt.comm_id,
+                    total=pkt.total,
+                    staged=NativeMemory(pkt.payload),
+                    send_op_id=pkt.op_id,
+                    eager=True,
+                    ts=pkt.ts,
+                )
+            )
+            if pkt.sync:
+                # FIN is deferred until delivery for strict Ssend semantics;
+                # simplification: send it now that the data is buffered at
+                # the receiver (MPICH2's eager ssync behaves likewise once
+                # the message is matched; we note the divergence).
+                self._emit(Packet(ptype=FIN, src=self.rank, dst=pkt.src, op_id=pkt.op_id))
+            return
+        n = min(pkt.total, req.buf.nbytes)
+        req.buf.write(0, memoryview(pkt.payload)[:n])
+        status = Status(source=pkt.src, tag=pkt.tag, count=n)
+        if pkt.total > req.buf.nbytes:
+            self.stats["truncated"] += 1
+            status.error = "MPI_ERR_TRUNCATE"
+        req.started = True
+        req.bytes_moved = n
+        req.complete(status)
+        if pkt.sync:
+            self._emit(Packet(ptype=FIN, src=self.rank, dst=pkt.src, op_id=pkt.op_id))
+
+    def _on_rts(self, pkt: Packet) -> None:
+        req = self.queues.match_posted(pkt.src, pkt.tag, pkt.comm_id)
+        if req is None:
+            self.stats["unexpected"] += 1
+            self.queues.add_unexpected(
+                UnexpectedMsg(
+                    src=pkt.src,
+                    tag=pkt.tag,
+                    comm_id=pkt.comm_id,
+                    total=pkt.total,
+                    staged=None,
+                    send_op_id=pkt.op_id,
+                    eager=False,
+                    ts=pkt.ts,
+                )
+            )
+            return
+        self._accept_rndv(req, pkt.src, pkt.tag, pkt.op_id, pkt.total)
+
+    def _on_cts(self, pkt: Packet) -> None:
+        state = self._rndv_sends.get(pkt.op_id)
+        if state is None:
+            raise MpiErrInternal(f"CTS for unknown send op {pkt.op_id}")
+        state.cleared = True
+        state.req.started = True
+
+    def _on_data(self, pkt: Packet) -> None:
+        key = (pkt.src, pkt.op_id)
+        req = self._rndv_recvs.get(key)
+        if req is None:
+            raise MpiErrInternal(f"DATA for unknown recv {key}")
+        # Zero-copy landing: write straight into the latched destination.
+        writable = max(0, min(len(pkt.payload), req.buf.nbytes - pkt.offset))
+        if writable:
+            req.buf.write(pkt.offset, memoryview(pkt.payload)[:writable])
+        req.bytes_moved += len(pkt.payload)
+        if req.bytes_moved >= req.total:
+            del self._rndv_recvs[key]
+            status = Status(
+                source=req.status.source,
+                tag=req.status.tag,
+                count=min(req.total, req.buf.nbytes),
+                error=req.status.error,
+            )
+            req.complete(status)
+
+    def _on_fin(self, pkt: Packet) -> None:
+        req = self._awaiting_fin.pop(pkt.op_id, None)
+        if req is not None:
+            req.complete()
+
+    def _pump_streams(self) -> None:
+        """Advance cleared rendezvous sends, a bounded number of chunks."""
+        budget = self.max_stream_per_poll
+        for op_id, state in list(self._rndv_sends.items()):
+            if not state.cleared:
+                continue
+            req = state.req
+            total = req.total
+            while budget > 0 and state.cursor < total:
+                n = min(self.packet_size, total - state.cursor)
+                # Read straight from the latched source buffer: if the
+                # object moved, this reads stale memory (the real hazard).
+                chunk = bytes(req.buf.read(state.cursor, n))
+                self._emit(
+                    Packet(
+                        ptype=DATA,
+                        src=self.rank,
+                        dst=state.dst,
+                        op_id=op_id,
+                        offset=state.cursor,
+                        total=total,
+                        payload=chunk,
+                    )
+                )
+                state.cursor += n
+                req.bytes_moved = state.cursor
+                budget -= 1
+            if state.cursor >= total:
+                del self._rndv_sends[op_id]
+                req.complete()
+
+    # ------------------------------------------------------------------ misc
+
+    @property
+    def quiescent(self) -> bool:
+        return (
+            not self._rndv_sends
+            and not self._rndv_recvs
+            and not self._awaiting_fin
+            and not self._outbox
+            and not self.queues.posted
+            and not self.queues.unexpected
+        )

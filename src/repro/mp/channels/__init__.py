@@ -1,0 +1,38 @@
+"""Channel implementations (the lowest MPICH2 layer).
+
+"Implementing MPICH2 with a new transport requires developing a new
+channel ... the simplest port requires implementation of five functions
+which define the simplest functionality required to move a message from
+one address space to another" (paper §6).  :class:`repro.mp.channels.base.
+Channel` is that five-function interface; the concrete channels are
+``sock`` (framed packets over simulated loopback sockets + IOCP, the
+configuration Motor shipped with), ``shm`` (shared-memory queue) and
+``ssm`` (sockets + shared memory, picking shm for local peers).
+"""
+
+from repro.mp.channels.base import Channel, ChannelFabric
+from repro.mp.channels.ib import IbChannel, IbFabric
+from repro.mp.channels.shm import ShmChannel, ShmFabric
+from repro.mp.channels.sock import SockChannel, SockFabric
+from repro.mp.channels.ssm import SsmChannel, SsmFabric
+
+FABRICS = {
+    "shm": ShmFabric,
+    "sock": SockFabric,
+    "ssm": SsmFabric,
+    "ib": IbFabric,
+}
+
+__all__ = [
+    "Channel",
+    "ChannelFabric",
+    "ShmChannel",
+    "ShmFabric",
+    "SockChannel",
+    "SockFabric",
+    "SsmChannel",
+    "SsmFabric",
+    "IbChannel",
+    "IbFabric",
+    "FABRICS",
+]

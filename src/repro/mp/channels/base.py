@@ -1,0 +1,118 @@
+"""The five-function channel interface and the fabric that wires ranks.
+
+Per Gropp & Lusk's channel-device note (paper ref [19]/[20]), the minimal
+channel port implements five entry points; everything above (matching,
+protocol, collectives) is channel-independent.  Swapping the channel is
+how Motor would move from Windows sockets to shared memory or InfiniBand
+(paper §4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.mp.packets import Packet
+from repro.simtime import Clock, CostModel
+
+
+class Channel:
+    """One rank's endpoint into the interconnect.
+
+    The five functions of the minimal channel port:
+
+    ``init``          — bind this endpoint to its rank and peers;
+    ``send_packet``   — enqueue one packet toward a destination rank
+                        (non-blocking; returns False if the transport
+                        cannot accept it right now);
+    ``recv_packets``  — drain every packet currently deliverable here;
+    ``has_incoming``  — cheap readiness test (progress-engine fast path);
+    ``finalize``      — tear the endpoint down.
+    """
+
+    name = "abstract"
+
+    def __init__(self, rank: int, clock: Clock, costs: CostModel) -> None:
+        self.rank = rank
+        self.clock = clock
+        self.costs = costs
+        self.packets_sent = 0
+        self.packets_received = 0
+        self.bytes_sent = 0
+        #: virtual-clock link model: when each outgoing link drains
+        self._link_busy_until: dict[int, float] = {}
+
+    # -- the five functions ----------------------------------------------------
+
+    def init(self, world_size: int) -> None:
+        raise NotImplementedError
+
+    def send_packet(self, pkt: Packet) -> bool:
+        raise NotImplementedError
+
+    def recv_packets(self, limit: int | None = None) -> list[Packet]:
+        raise NotImplementedError
+
+    def has_incoming(self) -> bool:
+        raise NotImplementedError
+
+    def finalize(self) -> None:
+        raise NotImplementedError
+
+    # -- shared accounting -------------------------------------------------------
+
+    def _stamp_and_charge(
+        self,
+        pkt: Packet,
+        latency_ns: float | None = None,
+        per_byte_ns: float | None = None,
+    ) -> None:
+        """Charge the submit cost and stamp the virtual arrival time.
+
+        The link to each destination serialises bandwidth: a packet enters
+        the wire when the link is free, occupies it for its byte time, and
+        arrives one latency later.  Back-to-back packets of a rendezvous
+        stream therefore queue instead of travelling in parallel.
+        """
+        nbytes = len(pkt.payload)
+        self.clock.charge(self.costs.packet_overhead_ns)
+        if latency_ns is None:
+            latency_ns = self.costs.message_latency_ns
+        if per_byte_ns is None:
+            per_byte_ns = self.costs.per_byte_ns
+        enter = max(self.clock.now(), self._link_busy_until.get(pkt.dst, 0.0))
+        drain = enter + self.costs.packet_overhead_ns + per_byte_ns * nbytes
+        self._link_busy_until[pkt.dst] = drain
+        pkt.ts = drain + latency_ns
+        self.packets_sent += 1
+        self.bytes_sent += nbytes
+
+
+class ChannelFabric:
+    """Constructs and wires one channel endpoint per rank."""
+
+    channel_cls: type[Channel] = Channel
+    #: True when ranks can be added after endpoints exist (the shared-queue
+    #: fabrics); pipe-snapshot fabrics like sock cannot retrofit peers
+    supports_dynamic_ranks: bool = False
+
+    def __init__(self, world_size: int) -> None:
+        self.world_size = world_size
+        self._endpoints: dict[int, Channel] = {}
+
+    def endpoint(self, rank: int, clock: Clock, costs: CostModel) -> Channel:
+        if rank in self._endpoints:
+            return self._endpoints[rank]
+        ch = self._make(rank, clock, costs)
+        ch.init(self.world_size)
+        self._endpoints[rank] = ch
+        return ch
+
+    def _make(self, rank: int, clock: Clock, costs: CostModel) -> Channel:
+        raise NotImplementedError
+
+    def endpoints(self) -> Iterable[Channel]:
+        return self._endpoints.values()
+
+    def shutdown(self) -> None:
+        for ch in self._endpoints.values():
+            ch.finalize()

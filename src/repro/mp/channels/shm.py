@@ -1,0 +1,100 @@
+"""Shared-memory channel: packets through a bounded shared queue.
+
+Stands in for MPICH2's ``shm`` channel.  Packets cross between rank
+threads as objects (the payload bytes are copied once at enqueue, the
+"write into the shared segment"), through a lock-protected bounded deque
+per destination rank.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.mp.channels.base import Channel, ChannelFabric
+from repro.mp.packets import Packet
+from repro.simtime import Clock, CostModel
+
+
+class _SharedQueue:
+    """A bounded multi-producer single-consumer packet queue."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.capacity = capacity
+        self._q: deque[Packet] = deque()
+        self._lock = threading.Lock()
+
+    def put(self, pkt: Packet) -> bool:
+        with self._lock:
+            if len(self._q) >= self.capacity:
+                return False
+            self._q.append(pkt)
+            return True
+
+    def drain(self, limit: int | None = None) -> list[Packet]:
+        with self._lock:
+            if limit is None or limit >= len(self._q):
+                out = list(self._q)
+                self._q.clear()
+            else:
+                out = [self._q.popleft() for _ in range(limit)]
+            return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._q)
+
+
+class ShmChannel(Channel):
+    name = "shm"
+
+    def __init__(self, rank: int, clock: Clock, costs: CostModel, queues: dict[int, _SharedQueue]) -> None:
+        super().__init__(rank, clock, costs)
+        self._queues = queues  # dest rank -> its inbound queue
+
+    def init(self, world_size: int) -> None:
+        self.world_size = world_size
+
+    def send_packet(self, pkt: Packet) -> bool:
+        # shared-memory transport: a quarter of the socket latency, twice
+        # the effective bandwidth
+        self._stamp_and_charge(
+            pkt,
+            latency_ns=self.costs.message_latency_ns * 0.25,
+            per_byte_ns=self.costs.per_byte_ns * 0.5,
+        )
+        # copy into the 'shared segment'
+        pkt.payload = bytes(pkt.payload)
+        ok = self._queues[pkt.dst].put(pkt)
+        if not ok:
+            self.packets_sent -= 1
+        return ok
+
+    def recv_packets(self, limit: int | None = None) -> list[Packet]:
+        pkts = self._queues[self.rank].drain(limit)
+        self.packets_received += len(pkts)
+        return pkts
+
+    def has_incoming(self) -> bool:
+        return len(self._queues[self.rank]) > 0
+
+    def finalize(self) -> None:
+        pass
+
+
+class ShmFabric(ChannelFabric):
+    channel_cls = ShmChannel
+    supports_dynamic_ranks = True
+
+    def __init__(self, world_size: int, queue_capacity: int = 4096) -> None:
+        super().__init__(world_size)
+        self._queues = {r: _SharedQueue(queue_capacity) for r in range(world_size)}
+
+    def _make(self, rank: int, clock: Clock, costs: CostModel) -> ShmChannel:
+        return ShmChannel(rank, clock, costs, self._queues)
+
+    def add_rank(self, rank: int, queue_capacity: int = 4096) -> None:
+        """Dynamic process management support: grow the fabric."""
+        if rank not in self._queues:
+            self._queues[rank] = _SharedQueue(queue_capacity)
+            self.world_size = max(self.world_size, rank + 1)

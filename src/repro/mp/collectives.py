@@ -1,0 +1,372 @@
+"""Collective operations built on point-to-point (MPICH2's approach).
+
+Algorithms are the classic small-message ones MPICH2 uses at these scales:
+binomial-tree broadcast, dissemination barrier, linear scatter/gather at
+the root, reduce as gather-and-combine.  All collective traffic runs on
+the communicator's odd (collective) context id with reserved tags, so it
+can never match user receives.
+
+Byte-counted interfaces take :class:`BufferDesc`; the ``*_bytes`` helpers
+exchange variable-length blobs (used by comm_split and the object layers
+above).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable
+
+from repro.mp.buffers import BufferDesc, NativeMemory
+from repro.mp.datatypes import Datatype
+from repro.mp.errors import MpiErrCount, MpiErrRoot
+
+#: reserved tag space for collectives (above MPI_TAG_UB)
+_TAG_BARRIER = (1 << 20) + 1
+_TAG_BCAST = (1 << 20) + 2
+_TAG_SCATTER = (1 << 20) + 3
+_TAG_GATHER = (1 << 20) + 4
+_TAG_REDUCE = (1 << 20) + 5
+_TAG_ALLTOALL = (1 << 20) + 6
+_TAG_VARLEN = (1 << 20) + 7
+_TAG_SENDRECV = (1 << 20) + 8
+_TAG_SCAN = (1 << 20) + 9
+
+# -- reduction operators ------------------------------------------------------
+
+OPS: dict[str, Callable] = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "max": max,
+    "min": min,
+    "land": lambda a, b: bool(a) and bool(b),
+    "lor": lambda a, b: bool(a) or bool(b),
+    "band": lambda a, b: a & b,
+    "bor": lambda a, b: a | b,
+    "bxor": lambda a, b: a ^ b,
+}
+
+
+def _check_root(comm, root: int) -> None:
+    if not 0 <= root < comm.size:
+        raise MpiErrRoot(f"root {root} invalid for communicator of size {comm.size}")
+
+
+# -- barrier ------------------------------------------------------------------
+
+
+def barrier(engine, comm) -> None:
+    """Dissemination barrier: ceil(log2 n) rounds of empty messages."""
+    n = comm.size
+    if n == 1:
+        return
+    rank = comm.rank
+    empty = BufferDesc.from_bytes(b"")
+    k = 1
+    while k < n:
+        dst = (rank + k) % n
+        src = (rank - k) % n
+        sreq = engine.isend(empty, dst, _TAG_BARRIER, comm, _internal=True)
+        rbuf = BufferDesc.from_bytes(b"")
+        rreq = engine.irecv(rbuf, src, _TAG_BARRIER, comm, _internal=True)
+        engine.progress.wait(sreq)
+        engine.progress.wait(rreq)
+        k <<= 1
+
+
+# -- broadcast ------------------------------------------------------------------
+
+
+def bcast(engine, comm, buf: BufferDesc, root: int = 0) -> None:
+    """Binomial-tree broadcast of ``buf`` bytes from ``root``."""
+    _check_root(comm, root)
+    n = comm.size
+    if n == 1:
+        return
+    # Rotate so the root is virtual rank 0.
+    vrank = (comm.rank - root) % n
+    mask = 1
+    # Receive phase: find parent.
+    while mask < n:
+        if vrank & mask:
+            parent = ((vrank & ~mask) + root) % n
+            engine.progress.wait(
+                engine.irecv(buf, parent, _TAG_BCAST, comm, _internal=True)
+            )
+            break
+        mask <<= 1
+    # Send phase: forward to children below the found bit.
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < n:
+            child = ((vrank + mask) + root) % n
+            engine.progress.wait(
+                engine.isend(buf, child, _TAG_BCAST, comm, _internal=True)
+            )
+        mask >>= 1
+
+
+# -- scatter / gather ------------------------------------------------------------
+
+
+def scatter(engine, comm, sendbuf: BufferDesc | None, recvbuf: BufferDesc, root: int = 0) -> None:
+    """Equal-slice scatter: rank i gets slice i of the root's buffer."""
+    _check_root(comm, root)
+    n = comm.size
+    each = recvbuf.nbytes
+    if comm.rank == root:
+        if sendbuf is None or sendbuf.nbytes != each * n:
+            raise MpiErrCount(
+                f"scatter: root buffer must be {each * n} bytes, "
+                f"got {None if sendbuf is None else sendbuf.nbytes}"
+            )
+        reqs = []
+        for i in range(n):
+            if i == root:
+                recvbuf.write(0, sendbuf.read(i * each, each))
+            else:
+                piece = BufferDesc(sendbuf.base, sendbuf.addr + i * each, each)
+                reqs.append(engine.isend(piece, i, _TAG_SCATTER, comm, _internal=True))
+        engine.progress.wait_all(reqs)
+    else:
+        engine.progress.wait(
+            engine.irecv(recvbuf, root, _TAG_SCATTER, comm, _internal=True)
+        )
+
+
+def scatterv(engine, comm, sendbuf, counts, displs, recvbuf: BufferDesc, root: int = 0) -> None:
+    """Variable-slice scatter (MPI_Scatterv), counts/displs in bytes."""
+    _check_root(comm, root)
+    n = comm.size
+    if comm.rank == root:
+        if len(counts) != n or len(displs) != n:
+            raise MpiErrCount("scatterv: counts/displs must have one entry per rank")
+        reqs = []
+        for i in range(n):
+            piece = BufferDesc(sendbuf.base, sendbuf.addr + displs[i], counts[i])
+            if i == root:
+                recvbuf.write(0, piece.view())
+            else:
+                reqs.append(engine.isend(piece, i, _TAG_SCATTER, comm, _internal=True))
+        engine.progress.wait_all(reqs)
+    else:
+        engine.progress.wait(
+            engine.irecv(recvbuf, root, _TAG_SCATTER, comm, _internal=True)
+        )
+
+
+def gather(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc | None, root: int = 0) -> None:
+    """Equal-slice gather into the root's buffer."""
+    _check_root(comm, root)
+    n = comm.size
+    each = sendbuf.nbytes
+    if comm.rank == root:
+        if recvbuf is None or recvbuf.nbytes != each * n:
+            raise MpiErrCount(
+                f"gather: root buffer must be {each * n} bytes, "
+                f"got {None if recvbuf is None else recvbuf.nbytes}"
+            )
+        reqs = []
+        for i in range(n):
+            if i == root:
+                recvbuf.write(root * each, sendbuf.view())
+            else:
+                piece = BufferDesc(recvbuf.base, recvbuf.addr + i * each, each)
+                reqs.append(engine.irecv(piece, i, _TAG_GATHER, comm, _internal=True))
+        engine.progress.wait_all(reqs)
+    else:
+        engine.progress.wait(
+            engine.isend(sendbuf, root, _TAG_GATHER, comm, _internal=True)
+        )
+
+
+def gatherv(engine, comm, sendbuf: BufferDesc, recvbuf, counts, displs, root: int = 0) -> None:
+    """Variable-slice gather (MPI_Gatherv), counts/displs in bytes."""
+    _check_root(comm, root)
+    n = comm.size
+    if comm.rank == root:
+        if len(counts) != n or len(displs) != n:
+            raise MpiErrCount("gatherv: counts/displs must have one entry per rank")
+        reqs = []
+        for i in range(n):
+            if i == root:
+                recvbuf.write(displs[i], sendbuf.view())
+            else:
+                piece = BufferDesc(recvbuf.base, recvbuf.addr + displs[i], counts[i])
+                reqs.append(engine.irecv(piece, i, _TAG_GATHER, comm, _internal=True))
+        engine.progress.wait_all(reqs)
+    else:
+        engine.progress.wait(
+            engine.isend(sendbuf, root, _TAG_GATHER, comm, _internal=True)
+        )
+
+
+def allgather(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc) -> None:
+    """gather to rank 0 then broadcast (fine at these scales)."""
+    gather(engine, comm, sendbuf, recvbuf if comm.rank == 0 else None, 0)
+    bcast(engine, comm, recvbuf, 0)
+
+
+def alltoall(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc) -> None:
+    """Pairwise exchange of equal slices."""
+    n = comm.size
+    if sendbuf.nbytes != recvbuf.nbytes or sendbuf.nbytes % n:
+        raise MpiErrCount("alltoall: buffers must be equal and divisible by size")
+    each = sendbuf.nbytes // n
+    rank = comm.rank
+    recvbuf.write(rank * each, sendbuf.read(rank * each, each))
+    reqs = []
+    for i in range(n):
+        if i == rank:
+            continue
+        rpiece = BufferDesc(recvbuf.base, recvbuf.addr + i * each, each)
+        reqs.append(engine.irecv(rpiece, i, _TAG_ALLTOALL, comm, _internal=True))
+    for i in range(n):
+        if i == rank:
+            continue
+        spiece = BufferDesc(sendbuf.base, sendbuf.addr + i * each, each)
+        reqs.append(engine.isend(spiece, i, _TAG_ALLTOALL, comm, _internal=True))
+    engine.progress.wait_all(reqs)
+
+
+# -- reductions ------------------------------------------------------------------
+
+
+def reduce(
+    engine,
+    comm,
+    sendbuf: BufferDesc,
+    recvbuf: BufferDesc | None,
+    datatype: Datatype,
+    op: str = "sum",
+    root: int = 0,
+) -> None:
+    """Element-wise reduction at the root (linear combine)."""
+    _check_root(comm, root)
+    combine = OPS[op]
+    n = comm.size
+    if comm.rank == root:
+        if recvbuf is None or recvbuf.nbytes != sendbuf.nbytes:
+            raise MpiErrCount("reduce: recv buffer must match send buffer size")
+        acc = list(datatype.unpack_values(sendbuf.tobytes()))
+        tmp = BufferDesc.from_native(NativeMemory(sendbuf.nbytes))
+        for i in range(n):
+            if i == root:
+                continue
+            engine.progress.wait(
+                engine.irecv(tmp, i, _TAG_REDUCE, comm, _internal=True)
+            )
+            vals = datatype.unpack_values(tmp.tobytes())
+            acc = [combine(a, b) for a, b in zip(acc, vals)]
+        recvbuf.write(0, datatype.pack_values(acc))
+    else:
+        engine.progress.wait(
+            engine.isend(sendbuf, root, _TAG_REDUCE, comm, _internal=True)
+        )
+
+
+def allreduce(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc, datatype: Datatype, op: str = "sum") -> None:
+    reduce(engine, comm, sendbuf, recvbuf, datatype, op, 0)
+    bcast(engine, comm, recvbuf, 0)
+
+
+def sendrecv(
+    engine,
+    comm,
+    sendbuf: BufferDesc,
+    dest: int,
+    recvbuf: BufferDesc,
+    source: int,
+    sendtag: int | None = None,
+    recvtag: int | None = None,
+):
+    """MPI_Sendrecv: simultaneous send and receive, deadlock-free.
+
+    Posts the receive, starts the send, then progresses both — the classic
+    shift-exchange building block for halo patterns.
+    """
+    stag = _TAG_SENDRECV if sendtag is None else sendtag
+    rtag = _TAG_SENDRECV if recvtag is None else recvtag
+    internal = sendtag is None
+    rreq = engine.irecv(recvbuf, source, rtag, comm, _internal=internal)
+    sreq = engine.isend(sendbuf, dest, stag, comm, _internal=internal)
+    engine.progress.wait(sreq)
+    engine.progress.wait(rreq)
+    return rreq.status
+
+
+def scan(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc, datatype: Datatype, op: str = "sum") -> None:
+    """MPI_Scan: inclusive prefix reduction (rank i gets op over 0..i).
+
+    Linear pipeline: each rank combines its predecessor's prefix with its
+    own contribution and forwards the result.
+    """
+    combine = OPS[op]
+    rank, n = comm.rank, comm.size
+    mine = list(datatype.unpack_values(sendbuf.tobytes()))
+    if rank > 0:
+        prev = BufferDesc.from_native(NativeMemory(sendbuf.nbytes))
+        engine.progress.wait(
+            engine.irecv(prev, rank - 1, _TAG_SCAN, comm, _internal=True)
+        )
+        upstream = datatype.unpack_values(prev.tobytes())
+        mine = [combine(a, b) for a, b in zip(upstream, mine)]
+    packed = datatype.pack_values(mine)
+    if rank < n - 1:
+        engine.progress.wait(
+            engine.isend(BufferDesc.from_bytes(packed), rank + 1, _TAG_SCAN, comm, _internal=True)
+        )
+    recvbuf.write(0, packed)
+
+
+# -- variable-length blob exchange ------------------------------------------------
+
+
+def gather_bytes(engine, comm, data: bytes, root: int = 0) -> list[bytes] | None:
+    """Gather arbitrary-length byte strings at the root."""
+    lenbuf = BufferDesc.from_bytes(struct.pack("<q", len(data)))
+    n = comm.size
+    if comm.rank == root:
+        lens = BufferDesc.from_native(NativeMemory(8 * n))
+        gather(engine, comm, lenbuf, lens, root)
+        counts = list(struct.unpack(f"<{n}q", lens.tobytes()))
+        displs = [sum(counts[:i]) for i in range(n)]
+        blob = BufferDesc.from_native(NativeMemory(sum(counts)))
+        gatherv(engine, comm, BufferDesc.from_bytes(data), blob, counts, displs, root)
+        raw = blob.tobytes()
+        return [raw[displs[i] : displs[i] + counts[i]] for i in range(n)]
+    gather(engine, comm, lenbuf, None, root)
+    gatherv(engine, comm, BufferDesc.from_bytes(data), None, None, None, root)
+    return None
+
+
+def bcast_bytes(engine, comm, data: bytes | None, root: int = 0) -> bytes:
+    """Broadcast an arbitrary-length byte string."""
+    if comm.rank == root:
+        if data is None:
+            raise MpiErrCount("bcast_bytes: root must supply data")
+        lenbuf = BufferDesc.from_bytes(struct.pack("<q", len(data)))
+        bcast(engine, comm, lenbuf, root)
+        payload = BufferDesc.from_bytes(data)
+        bcast(engine, comm, payload, root)
+        return data
+    lenbuf = BufferDesc.from_native(NativeMemory(8))
+    bcast(engine, comm, lenbuf, root)
+    (n,) = struct.unpack("<q", lenbuf.tobytes())
+    payload = BufferDesc.from_native(NativeMemory(n))
+    bcast(engine, comm, payload, root)
+    return payload.tobytes()
+
+
+def allgather_obj(engine, comm, triple: tuple[int, int, int]) -> list[tuple[int, int, int]]:
+    """Allgather of (color, key, world_rank) triples for comm_split."""
+    mine = struct.pack("<3q", *triple)
+    blobs = gather_bytes(engine, comm, mine, 0)
+    if comm.rank == 0:
+        flat = b"".join(blobs)
+    else:
+        flat = b""
+    flat = bcast_bytes(engine, comm, flat if comm.rank == 0 else None, 0)
+    out = []
+    for i in range(0, len(flat), 24):
+        out.append(struct.unpack("<3q", flat[i : i + 24]))
+    return out

@@ -1,0 +1,135 @@
+"""Process groups and communicators.
+
+Context-id allocation is deterministic and identical across ranks, which
+(as in a real MPI) requires communicator-creating calls to be collective:
+every rank must perform the same sequence of dup/split/spawn operations.
+Each communicator owns two context ids: an even one for point-to-point
+traffic and the next odd one for collectives, so collective traffic can
+never match user receives (MPICH2 uses the same trick).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mp.errors import MpiErrComm, MpiErrRank
+
+
+class Group:
+    """An ordered set of world ranks (MPI_Group)."""
+
+    def __init__(self, ranks) -> None:
+        self.ranks = tuple(ranks)
+        if len(set(self.ranks)) != len(self.ranks):
+            raise MpiErrRank(f"duplicate ranks in group: {self.ranks}")
+        self._index = {r: i for i, r in enumerate(self.ranks)}
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def world_rank(self, local: int) -> int:
+        try:
+            return self.ranks[local]
+        except IndexError:
+            raise MpiErrRank(f"rank {local} out of range for group of {self.size}") from None
+
+    def local_rank(self, world: int) -> int:
+        try:
+            return self._index[world]
+        except KeyError:
+            raise MpiErrRank(f"world rank {world} not in group") from None
+
+    def contains(self, world: int) -> bool:
+        return world in self._index
+
+    # -- set operations (MPI_Group_*) ------------------------------------------
+
+    def incl(self, locals_) -> "Group":
+        return Group(self.world_rank(i) for i in locals_)
+
+    def excl(self, locals_) -> "Group":
+        drop = {self.world_rank(i) for i in locals_}
+        return Group(r for r in self.ranks if r not in drop)
+
+    def union(self, other: "Group") -> "Group":
+        seen = list(self.ranks)
+        for r in other.ranks:
+            if r not in self._index:
+                seen.append(r)
+        return Group(seen)
+
+    def intersection(self, other: "Group") -> "Group":
+        return Group(r for r in self.ranks if other.contains(r))
+
+    def difference(self, other: "Group") -> "Group":
+        return Group(r for r in self.ranks if not other.contains(r))
+
+    @staticmethod
+    def translate_ranks(g1: "Group", ranks, g2: "Group") -> list[int]:
+        out = []
+        for r in ranks:
+            w = g1.world_rank(r)
+            out.append(g2.local_rank(w) if g2.contains(w) else -1)
+        return out
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Group) and self.ranks == other.ranks
+
+    def __hash__(self) -> int:
+        return hash(self.ranks)
+
+    def __repr__(self) -> str:
+        return f"<Group {self.ranks}>"
+
+
+@dataclass
+class Communicator:
+    """An intra- or inter-communicator bound to one rank's engine."""
+
+    engine: object  # MpiEngine (forward ref; avoids the import cycle)
+    context_id: int
+    group: Group
+    rank: int  # local rank within group
+    #: inter-communicator remote group (None for intracomms)
+    remote_group: Group | None = None
+
+    @property
+    def size(self) -> int:
+        return self.group.size
+
+    @property
+    def coll_context_id(self) -> int:
+        return self.context_id + 1
+
+    @property
+    def is_inter(self) -> bool:
+        return self.remote_group is not None
+
+    @property
+    def remote_size(self) -> int:
+        if self.remote_group is None:
+            raise MpiErrComm("not an inter-communicator")
+        return self.remote_group.size
+
+    def world_rank_of(self, local: int) -> int:
+        """Destination resolution: remote group for intercomms."""
+        g = self.remote_group if self.remote_group is not None else self.group
+        return g.world_rank(local)
+
+    def local_rank_of_world(self, world: int) -> int:
+        g = self.remote_group if self.remote_group is not None else self.group
+        return g.local_rank(world)
+
+    def check_rank(self, r: int, allow_any: bool = False) -> None:
+        from repro.mp.matching import ANY_SOURCE
+
+        if allow_any and r == ANY_SOURCE:
+            return
+        limit = self.remote_size if self.is_inter else self.size
+        if not 0 <= r < limit:
+            raise MpiErrRank(f"rank {r} invalid for communicator of size {limit}")
+
+    def __repr__(self) -> str:
+        kind = "inter" if self.is_inter else "intra"
+        return f"<{kind}Comm ctx={self.context_id} rank={self.rank}/{self.size}>"

@@ -1,0 +1,55 @@
+"""MPI error classes (the MPI_ERR_* taxonomy, raised as exceptions)."""
+
+from __future__ import annotations
+
+
+class MpiError(Exception):
+    """Base of all MPI-layer failures."""
+
+    mpi_class = "MPI_ERR_OTHER"
+
+
+class MpiErrRank(MpiError):
+    mpi_class = "MPI_ERR_RANK"
+
+
+class MpiErrTag(MpiError):
+    mpi_class = "MPI_ERR_TAG"
+
+
+class MpiErrCount(MpiError):
+    mpi_class = "MPI_ERR_COUNT"
+
+
+class MpiErrType(MpiError):
+    mpi_class = "MPI_ERR_TYPE"
+
+
+class MpiErrComm(MpiError):
+    mpi_class = "MPI_ERR_COMM"
+
+
+class MpiErrBuffer(MpiError):
+    mpi_class = "MPI_ERR_BUFFER"
+
+
+class MpiErrTruncate(MpiError):
+    """Receive buffer too small for the matched message."""
+
+    mpi_class = "MPI_ERR_TRUNCATE"
+
+
+class MpiErrRequest(MpiError):
+    mpi_class = "MPI_ERR_REQUEST"
+
+
+class MpiErrPending(MpiError):
+    mpi_class = "MPI_ERR_PENDING"
+
+
+class MpiErrRoot(MpiError):
+    mpi_class = "MPI_ERR_ROOT"
+
+
+class MpiErrInternal(MpiError):
+    mpi_class = "MPI_ERR_INTERN"

@@ -1,0 +1,92 @@
+"""ADI-level message matching: posted-receive and unexpected queues.
+
+MPI matching semantics: a receive matches the *earliest* message from a
+matching (source, tag, communicator), with MPI_ANY_SOURCE / MPI_ANY_TAG
+wildcards on the receive side only; order between a given pair on a given
+communicator is non-overtaking.  Both queues are plain FIFOs searched
+linearly, as in MPICH2's CH3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mp.buffers import NativeMemory
+from repro.mp.request import Request
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass
+class UnexpectedMsg:
+    """A message that arrived before its receive was posted."""
+
+    src: int
+    tag: int
+    comm_id: int
+    total: int
+    #: eager: payload staged in native memory. rendezvous: None (RTS only).
+    staged: NativeMemory | None
+    #: sender-side op id (needed to send CTS for rendezvous)
+    send_op_id: int
+    eager: bool = True
+    #: virtual-clock arrival timestamp (merged when consumed)
+    ts: float = 0.0
+
+
+def _match(src_sel: int, tag_sel: int, comm_sel: int, src: int, tag: int, comm_id: int) -> bool:
+    return (
+        comm_sel == comm_id
+        and (src_sel == ANY_SOURCE or src_sel == src)
+        and (tag_sel == ANY_TAG or tag_sel == tag)
+    )
+
+
+class MessageQueues:
+    """The device's two matching queues for one rank."""
+
+    def __init__(self) -> None:
+        self.posted: list[Request] = []
+        self.unexpected: list[UnexpectedMsg] = []
+
+    # -- posted receives ----------------------------------------------------
+
+    def post_recv(self, req: Request) -> None:
+        self.posted.append(req)
+
+    def match_posted(self, src: int, tag: int, comm_id: int) -> Request | None:
+        """Arriving message looks for its receive (recv side has wildcards)."""
+        for i, req in enumerate(self.posted):
+            if _match(req.peer, req.tag, req.comm_id, src, tag, comm_id):
+                return self.posted.pop(i)
+        return None
+
+    def cancel_posted(self, req: Request) -> bool:
+        try:
+            self.posted.remove(req)
+            return True
+        except ValueError:
+            return False
+
+    # -- unexpected messages ----------------------------------------------------
+
+    def add_unexpected(self, msg: UnexpectedMsg) -> None:
+        self.unexpected.append(msg)
+
+    def match_unexpected(self, src_sel: int, tag_sel: int, comm_sel: int) -> UnexpectedMsg | None:
+        """A newly posted receive (or probe) looks for an earlier arrival."""
+        for i, msg in enumerate(self.unexpected):
+            if _match(src_sel, tag_sel, comm_sel, msg.src, msg.tag, msg.comm_id):
+                return self.unexpected.pop(i)
+        return None
+
+    def peek_unexpected(self, src_sel: int, tag_sel: int, comm_sel: int) -> UnexpectedMsg | None:
+        """Probe without consuming."""
+        for msg in self.unexpected:
+            if _match(src_sel, tag_sel, comm_sel, msg.src, msg.tag, msg.comm_id):
+                return msg
+        return None
+
+    def __repr__(self) -> str:
+        return f"<MessageQueues posted={len(self.posted)} unexpected={len(self.unexpected)}>"

@@ -1,0 +1,284 @@
+"""The MPI interface layer: parameter checking over the CH3 device.
+
+This is MPICH2's top layer (paper Figure 6/7: "Parameter Checking &
+Collective Operations").  It is deliberately buffer-oriented and C-like:
+``send(buf_desc, dest, tag, comm)``.  The managed bindings (Motor's
+System.MP, the Indiana wrapper, mpiJava) all sit *above* this layer and
+differ only in how they cross into it — which is the paper's experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.mp.buffers import BufferDesc
+from repro.mp.ch3 import CH3Device
+from repro.mp.channels.base import Channel
+from repro.mp.communicator import Communicator, Group
+from repro.mp.errors import (
+    MpiErrBuffer,
+    MpiErrComm,
+    MpiErrRank,
+    MpiErrRequest,
+    MpiErrTag,
+    MpiErrTruncate,
+)
+from repro.mp.matching import ANY_SOURCE, ANY_TAG
+from repro.mp.progress import ProgressEngine
+from repro.mp.request import RECV, SEND, Request
+from repro.mp.status import Status
+from repro.simtime import Clock, CostModel, WallClock
+
+#: MPI_TAG_UB for user tags; higher tags are reserved for collectives.
+TAG_UB = (1 << 20) - 1
+
+
+class MpiEngine:
+    """One rank's complete MPI stack over a channel endpoint."""
+
+    def __init__(
+        self,
+        rank: int,
+        world_size: int,
+        channel: Channel,
+        clock: Clock | None = None,
+        costs: CostModel | None = None,
+        yield_fn: Callable[[], None] | None = None,
+        eager_threshold: int | None = None,
+    ) -> None:
+        self.rank = rank
+        self.world_size = world_size
+        self.clock = clock if clock is not None else WallClock()
+        self.costs = costs if costs is not None else CostModel()
+        self.device = CH3Device(
+            rank, channel, self.clock, self.costs, eager_threshold=eager_threshold
+        )
+        self.progress = ProgressEngine(self.device, yield_fn)
+        self.comm_world = Communicator(
+            engine=self, context_id=0, group=Group(range(world_size)), rank=rank
+        )
+        self.comm_self = Communicator(
+            engine=self, context_id=2, group=Group([rank]), rank=0
+        )
+        self._next_context = 16
+        self.finalized = False
+
+    # ------------------------------------------------------------- checking
+
+    @staticmethod
+    def _check_comm(comm: Communicator) -> None:
+        if not isinstance(comm, Communicator):
+            raise MpiErrComm(f"not a communicator: {comm!r}")
+
+    @staticmethod
+    def _check_tag(tag: int, allow_any: bool = False) -> None:
+        if allow_any and tag == ANY_TAG:
+            return
+        if not 0 <= tag <= TAG_UB:
+            raise MpiErrTag(f"tag {tag} outside [0, {TAG_UB}]")
+
+    @staticmethod
+    def _check_buf(buf: BufferDesc) -> None:
+        if not isinstance(buf, BufferDesc):
+            raise MpiErrBuffer(f"not a buffer descriptor: {buf!r}")
+
+    # ------------------------------------------------------------- point-to-point
+
+    def isend(
+        self,
+        buf: BufferDesc,
+        dest: int,
+        tag: int,
+        comm: Communicator | None = None,
+        sync: bool = False,
+        _internal: bool = False,
+    ) -> Request:
+        comm = comm or self.comm_world
+        self._check_comm(comm)
+        self._check_buf(buf)
+        if not _internal:
+            self._check_tag(tag)
+        comm.check_rank(dest)
+        ctx = comm.coll_context_id if _internal else comm.context_id
+        req = Request(SEND, buf, dest, tag, ctx, total=buf.nbytes, sync=sync)
+        self.device.start_send(req, comm.world_rank_of(dest))
+        return req
+
+    def irecv(
+        self,
+        buf: BufferDesc,
+        source: int,
+        tag: int,
+        comm: Communicator | None = None,
+        _internal: bool = False,
+    ) -> Request:
+        comm = comm or self.comm_world
+        self._check_comm(comm)
+        self._check_buf(buf)
+        if not _internal:
+            self._check_tag(tag, allow_any=True)
+        comm.check_rank(source, allow_any=True)
+        ctx = comm.coll_context_id if _internal else comm.context_id
+        src_world = (
+            ANY_SOURCE if source == ANY_SOURCE else comm.world_rank_of(source)
+        )
+        req = Request(RECV, buf, src_world, tag, ctx, total=buf.nbytes)
+        self.device.post_recv(req)
+        return req
+
+    def send(self, buf: BufferDesc, dest: int, tag: int, comm: Communicator | None = None, **kw) -> None:
+        req = self.isend(buf, dest, tag, comm, **kw)
+        self.progress.wait(req)
+
+    def ssend(self, buf: BufferDesc, dest: int, tag: int, comm: Communicator | None = None) -> None:
+        req = self.isend(buf, dest, tag, comm, sync=True)
+        self.progress.wait(req)
+
+    def recv(self, buf: BufferDesc, source: int, tag: int, comm: Communicator | None = None, **kw) -> Status:
+        req = self.irecv(buf, source, tag, comm, **kw)
+        self.progress.wait(req)
+        return self._finish_recv(req, comm or self.comm_world)
+
+    def _finish_recv(self, req: Request, comm: Communicator) -> Status:
+        status = req.status
+        if status.error == "MPI_ERR_TRUNCATE":
+            raise MpiErrTruncate(
+                f"message of {req.total} bytes truncated to {req.buf.nbytes}"
+            )
+        # Translate world source back to communicator-local rank.
+        if status.source >= 0:
+            try:
+                status.source = comm.local_rank_of_world(status.source)
+            except MpiErrRank:
+                pass  # intercomm FIN paths may not translate; keep world rank
+        return status
+
+    def wait(self, req: Request, comm: Communicator | None = None) -> Status:
+        req.check_usable()
+        self.progress.wait(req)
+        if req.kind == RECV:
+            return self._finish_recv(req, comm or self.comm_world)
+        return req.status
+
+    def wait_all(self, reqs, comm: Communicator | None = None) -> list[Status]:
+        return [self.wait(r, comm) for r in reqs]
+
+    def test(self, req: Request) -> bool:
+        req.check_usable()
+        return self.progress.test(req)
+
+    def test_all(self, reqs) -> bool:
+        """MPI_Testall: one progress step, True iff every request is done."""
+        self.progress.poll()
+        return all(r.completed for r in reqs)
+
+    def wait_any(self, reqs) -> int:
+        """MPI_Waitany: block until one request completes; returns its index."""
+        if not reqs:
+            raise MpiErrRequest("wait_any on an empty request list")
+        import time as _time
+
+        spin = 0
+        while True:
+            for i, r in enumerate(reqs):
+                if r.completed:
+                    return i
+            if self.progress.poll() == 0:
+                spin += 1
+                if spin & 0x3F == 0:
+                    _time.sleep(0)
+
+    def wait_some(self, reqs) -> list[int]:
+        """MPI_Waitsome: block until >= 1 completes; returns their indices."""
+        first = self.wait_any(reqs)
+        self.progress.poll()
+        return [i for i, r in enumerate(reqs) if r.completed] or [first]
+
+    def iprobe(self, source: int, tag: int, comm: Communicator | None = None) -> Status | None:
+        comm = comm or self.comm_world
+        self.progress.poll()
+        src_world = ANY_SOURCE if source == ANY_SOURCE else comm.world_rank_of(source)
+        st = self.device.iprobe(src_world, tag, comm.context_id)
+        if st is not None and st.source >= 0:
+            st.source = comm.local_rank_of_world(st.source)
+        return st
+
+    def probe(self, source: int, tag: int, comm: Communicator | None = None) -> Status:
+        while True:
+            st = self.iprobe(source, tag, comm)
+            if st is not None:
+                return st
+
+    def cancel(self, req: Request) -> bool:
+        return self.device.cancel_recv(req)
+
+    # ------------------------------------------------------------- comm mgmt
+
+    def _alloc_context(self) -> int:
+        ctx = self._next_context
+        self._next_context += 4  # even user ctx + odd collective ctx, spare
+        return ctx
+
+    def comm_dup(self, comm: Communicator) -> Communicator:
+        """Collective: every rank of ``comm`` must call in the same order."""
+        from repro.mp import collectives
+
+        newcomm = Communicator(
+            engine=self,
+            context_id=self._alloc_context(),
+            group=comm.group,
+            rank=comm.rank,
+        )
+        collectives.barrier(self, comm)
+        return newcomm
+
+    def comm_split(self, comm: Communicator, color: int, key: int) -> Communicator | None:
+        """Collective split; color < 0 (MPI_UNDEFINED) yields None."""
+        from repro.mp import collectives
+
+        # Exchange (color, key, world_rank) triples via allgather.
+        mine = (color, key, comm.group.world_rank(comm.rank))
+        triples = collectives.allgather_obj(self, comm, mine)
+        ctx = self._alloc_context()
+        if color < 0:
+            return None
+        members = sorted(
+            [t for t in triples if t[0] == color], key=lambda t: (t[1], t[2])
+        )
+        ranks = [t[2] for t in members]
+        return Communicator(
+            engine=self,
+            context_id=ctx,
+            group=Group(ranks),
+            rank=ranks.index(mine[2]),
+        )
+
+    def intercomm_merge(self, inter: Communicator, high: bool) -> Communicator:
+        """MPI_Intercomm_merge: one intracommunicator spanning both groups.
+
+        Collective over the intercommunicator; every member of each side
+        must pass the same ``high`` flag per side.  The low side's ranks
+        come first in the merged group.  The merged context id is derived
+        deterministically from the intercomm's (spawn allocates context
+        ids in strides of 4, leaving room).
+        """
+        if not inter.is_inter:
+            raise MpiErrComm("intercomm_merge needs an inter-communicator")
+        local, remote = inter.group, inter.remote_group
+        first, second = (remote, local) if high else (local, remote)
+        merged = Group(tuple(first.ranks) + tuple(second.ranks))
+        me_world = local.world_rank(inter.rank)
+        return Communicator(
+            engine=self,
+            context_id=inter.context_id + 2,
+            group=merged,
+            rank=merged.local_rank(me_world),
+        )
+
+    def barrier(self, comm: Communicator | None = None) -> None:
+        from repro.mp import collectives
+
+        collectives.barrier(self, comm or self.comm_world)
+
+    def finalize(self) -> None:
+        self.finalized = True

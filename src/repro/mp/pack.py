@@ -1,0 +1,81 @@
+"""MPI_Pack / MPI_Unpack for the native baseline.
+
+Motor's managed bindings *abandoned* pack/unpack — structured data goes
+through the extended object-oriented operations instead (paper §4.2.1).
+The native C-like layer keeps them, both for completeness and because the
+baseline comparison in the ablations needs the classic manual
+pack-transport-unpack workflow to compare against.
+"""
+
+from __future__ import annotations
+
+from repro.mp.buffers import BufferDesc, NativeMemory
+from repro.mp.datatypes import Datatype, VectorType
+from repro.mp.errors import MpiErrBuffer, MpiErrCount
+
+
+def pack_size(count: int, datatype: Datatype) -> int:
+    """MPI_Pack_size: bytes needed to pack ``count`` elements."""
+    return count * datatype.size
+
+
+def pack(
+    inbuf: BufferDesc,
+    count: int,
+    datatype: Datatype,
+    outbuf: BufferDesc,
+    position: int,
+) -> int:
+    """MPI_Pack: append ``count`` elements to ``outbuf`` at ``position``.
+
+    Returns the new position.  Derived vector types gather their strided
+    blocks; contiguous types copy straight through.
+    """
+    if count < 0:
+        raise MpiErrCount(f"negative count {count}")
+    if isinstance(datatype, VectorType):
+        data = b"".join(
+            datatype.gather_from(inbuf.view(), i * datatype.stride * datatype.base.size * datatype.count)
+            for i in range(count)
+        )
+    else:
+        need = count * datatype.size
+        if need > inbuf.nbytes:
+            raise MpiErrBuffer(f"pack: input buffer too small ({inbuf.nbytes} < {need})")
+        data = bytes(inbuf.read(0, need))
+    if position + len(data) > outbuf.nbytes:
+        raise MpiErrBuffer("pack: output buffer overflow")
+    outbuf.write(position, data)
+    return position + len(data)
+
+
+def unpack(
+    inbuf: BufferDesc,
+    position: int,
+    outbuf: BufferDesc,
+    count: int,
+    datatype: Datatype,
+) -> int:
+    """MPI_Unpack: extract ``count`` elements from ``inbuf`` at ``position``.
+
+    Returns the new position.
+    """
+    if count < 0:
+        raise MpiErrCount(f"negative count {count}")
+    if isinstance(datatype, VectorType):
+        per = datatype.size
+        raw = bytes(inbuf.read(position, count * per))
+        for i in range(count):
+            datatype.scatter_to(
+                outbuf.view(),
+                raw[i * per : (i + 1) * per],
+                i * datatype.stride * datatype.base.size * datatype.count,
+            )
+        return position + count * per
+    need = count * datatype.size
+    if position + need > inbuf.nbytes:
+        raise MpiErrBuffer("unpack: ran off the end of the packed buffer")
+    if need > outbuf.nbytes:
+        raise MpiErrBuffer("unpack: output buffer too small")
+    outbuf.write(0, inbuf.read(position, need))
+    return position + need

@@ -1,0 +1,95 @@
+"""Wire packets and the eager/rendezvous protocol constants.
+
+CH3 moves five packet kinds:
+
+* ``EAGER``   — small message, header + full payload in one packet;
+* ``RTS``     — request-to-send, announces a large message (rendezvous);
+* ``CTS``     — clear-to-send, the receiver matched and is ready;
+* ``DATA``    — one packetized chunk of a rendezvous payload;
+* ``FIN``     — sender-side completion notice for synchronous sends.
+
+The sock channel frames these over a byte pipe; the shm channel passes
+them as objects through a shared queue.  ``ts`` carries the virtual-clock
+arrival timestamp (ignored in wall-clock mode).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+EAGER = 1
+RTS = 2
+CTS = 3
+DATA = 4
+FIN = 5
+
+_NAMES = {EAGER: "EAGER", RTS: "RTS", CTS: "CTS", DATA: "DATA", FIN: "FIN"}
+
+#: frame header: type, src, dst, tag, comm_id, op_id, offset, total, sync,
+#: ts, payload_len
+_HEADER = struct.Struct("<BiiiiqqqBdI")
+HEADER_SIZE = _HEADER.size
+
+
+@dataclass
+class Packet:
+    ptype: int
+    src: int
+    dst: int
+    tag: int = 0
+    comm_id: int = 0
+    op_id: int = 0  # sender-side request id (rendezvous correlation)
+    offset: int = 0  # DATA: byte offset into the destination buffer
+    total: int = 0  # message length in bytes
+    sync: bool = False  # EAGER/RTS: sender wants a FIN (MPI_Ssend)
+    ts: float = 0.0  # virtual-clock arrival time
+    payload: bytes = b""
+
+    @property
+    def kind(self) -> str:
+        return _NAMES.get(self.ptype, f"?{self.ptype}")
+
+    # -- framing (sock channel) ------------------------------------------------
+
+    def encode(self) -> bytes:
+        head = _HEADER.pack(
+            self.ptype,
+            self.src,
+            self.dst,
+            self.tag,
+            self.comm_id,
+            self.op_id,
+            self.offset,
+            self.total,
+            1 if self.sync else 0,
+            self.ts,
+            len(self.payload),
+        )
+        return head + self.payload
+
+    @classmethod
+    def decode_header(cls, head: bytes) -> tuple["Packet", int]:
+        (ptype, src, dst, tag, comm_id, op_id, offset, total, sync, ts, plen) = _HEADER.unpack(head)
+        return (
+            cls(
+                ptype=ptype,
+                src=src,
+                dst=dst,
+                tag=tag,
+                comm_id=comm_id,
+                op_id=op_id,
+                offset=offset,
+                total=total,
+                sync=bool(sync),
+                ts=ts,
+            ),
+            plen,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Pkt {self.kind} {self.src}->{self.dst} tag={self.tag} "
+            f"op={self.op_id} off={self.offset} total={self.total} "
+            f"len={len(self.payload)}>"
+        )

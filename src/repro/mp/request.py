@@ -1,0 +1,105 @@
+"""Request objects: the handle for a (possibly non-blocking) operation.
+
+A request's ``in_flight`` predicate is exactly what Motor's conditional
+pin registers with the collector (paper §4.3): during the mark phase the
+GC asks "is the underlying transport operation still ongoing?" and pins
+the buffer only if the answer is yes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Callable
+
+from repro.mp.buffers import BufferDesc
+from repro.mp.errors import MpiErrRequest
+from repro.mp.status import Status
+
+_ids = itertools.count(1)
+
+SEND = "send"
+RECV = "recv"
+
+
+class Request:
+    """One outstanding point-to-point operation."""
+
+    __slots__ = (
+        "op_id",
+        "kind",
+        "buf",
+        "peer",
+        "tag",
+        "comm_id",
+        "total",
+        "_done",
+        "status",
+        "started",
+        "bytes_moved",
+        "on_complete",
+        "_lock",
+        "freed",
+        "sync",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        buf: BufferDesc | None,
+        peer: int,
+        tag: int,
+        comm_id: int,
+        total: int,
+        sync: bool = False,
+    ) -> None:
+        self.op_id = next(_ids)
+        self.kind = kind
+        self.buf = buf
+        self.peer = peer
+        self.tag = tag
+        self.comm_id = comm_id
+        self.total = total
+        self._done = False
+        self.status = Status()
+        #: transport has actually begun moving bytes (the paper's deferred
+        #: pinning decision hinges on this)
+        self.started = False
+        self.bytes_moved = 0
+        self.on_complete: list[Callable[["Request"], None]] = []
+        self._lock = threading.Lock()
+        self.freed = False
+        #: synchronous-mode send (MPI_Ssend): completes only on match
+        self.sync = sync
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def completed(self) -> bool:
+        return self._done
+
+    def in_flight(self) -> bool:
+        """True while the transport may still touch the buffer."""
+        return not self._done
+
+    def complete(self, status: Status | None = None) -> None:
+        with self._lock:
+            if self._done:
+                return
+            if status is not None:
+                self.status = status
+            self._done = True
+        for cb in self.on_complete:
+            cb(self)
+
+    def check_usable(self) -> None:
+        if self.freed:
+            raise MpiErrRequest(f"request {self.op_id} already freed")
+
+    def free(self) -> None:
+        self.freed = True
+        self.buf = None
+
+    def __repr__(self) -> str:
+        state = "done" if self._done else ("active" if self.started else "queued")
+        return f"<Request #{self.op_id} {self.kind} peer={self.peer} tag={self.tag} {state}>"

@@ -1,0 +1,32 @@
+"""MPI_Status."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mp.errors import MpiError
+
+
+@dataclass
+class Status:
+    """Receive-side completion information (MPI_Status).
+
+    ``count`` is in **bytes** at this layer; datatype-element counts are a
+    presentation concern of the binding above (MPI_Get_count).
+    """
+
+    source: int = -1
+    tag: int = -1
+    count: int = 0
+    error: str | None = None
+    cancelled: bool = False
+
+    def get_count(self, datatype) -> int:
+        """MPI_Get_count: received elements of ``datatype`` (or -1)."""
+        if self.count % datatype.size:
+            return -1  # MPI_UNDEFINED
+        return self.count // datatype.size
+
+    def raise_if_error(self) -> None:
+        if self.error is not None:
+            raise MpiError(self.error)

@@ -1,0 +1,143 @@
+"""Cartesian process topologies (MPI_Cart_* subset).
+
+Part of the "representative range of MPI-1 functionality" (paper §7):
+grid topologies with row-major rank ordering, coordinate translation and
+neighbour shifts — the building block for stencil codes like
+``examples/heat_diffusion.py``'s 2-D sibling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mp.communicator import Communicator, Group
+from repro.mp.errors import MpiErrComm, MpiErrRank
+
+
+def dims_create(nnodes: int, ndims: int) -> list[int]:
+    """MPI_Dims_create: balanced dims whose product is ``nnodes``."""
+    if nnodes < 1 or ndims < 1:
+        raise MpiErrComm("dims_create needs positive nodes and dims")
+    dims = [1] * ndims
+    remaining = nnodes
+    # factor greedily, largest factors onto the smallest dimension
+    f = 2
+    factors: list[int] = []
+    while f * f <= remaining:
+        while remaining % f == 0:
+            factors.append(f)
+            remaining //= f
+        f += 1
+    if remaining > 1:
+        factors.append(remaining)
+    for factor in sorted(factors, reverse=True):
+        dims[dims.index(min(dims))] *= factor
+    return sorted(dims, reverse=True)
+
+
+@dataclass
+class CartComm:
+    """A Cartesian view over a communicator (row-major ordering)."""
+
+    comm: Communicator
+    dims: tuple[int, ...]
+    periods: tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        total = 1
+        for d in self.dims:
+            total *= d
+        if total != self.comm.size:
+            raise MpiErrComm(
+                f"cartesian grid {self.dims} needs {total} ranks, "
+                f"communicator has {self.comm.size}"
+            )
+        if len(self.periods) != len(self.dims):
+            raise MpiErrComm("periods must match dims")
+
+    @property
+    def ndims(self) -> int:
+        return len(self.dims)
+
+    # -- coordinate translation ----------------------------------------------
+
+    def coords(self, rank: int | None = None) -> tuple[int, ...]:
+        """MPI_Cart_coords: rank -> grid coordinates."""
+        r = self.comm.rank if rank is None else rank
+        if not 0 <= r < self.comm.size:
+            raise MpiErrRank(f"rank {r} outside communicator")
+        out = []
+        for d in reversed(self.dims):
+            out.append(r % d)
+            r //= d
+        return tuple(reversed(out))
+
+    def rank_of(self, coords) -> int:
+        """MPI_Cart_rank: coordinates -> rank (periodic wrap applied)."""
+        if len(coords) != self.ndims:
+            raise MpiErrRank(f"need {self.ndims} coordinates")
+        rank = 0
+        for c, d, p in zip(coords, self.dims, self.periods):
+            if not 0 <= c < d:
+                if not p:
+                    raise MpiErrRank(f"coordinate {c} outside [0,{d}) and not periodic")
+                c %= d
+            rank = rank * d + c
+        return rank
+
+    # -- shifts ---------------------------------------------------------------
+
+    def shift(self, dimension: int, displacement: int = 1) -> tuple[int | None, int | None]:
+        """MPI_Cart_shift: (source, dest) ranks for a shift along a dim.
+
+        ``None`` stands for MPI_PROC_NULL at a non-periodic edge.
+        """
+        if not 0 <= dimension < self.ndims:
+            raise MpiErrRank(f"dimension {dimension} out of range")
+        me = list(self.coords())
+
+        def neighbour(delta: int) -> int | None:
+            c = me[dimension] + delta
+            if not 0 <= c < self.dims[dimension]:
+                if not self.periods[dimension]:
+                    return None
+                c %= self.dims[dimension]
+            coords = list(me)
+            coords[dimension] = c
+            return self.rank_of(coords)
+
+        return neighbour(-displacement), neighbour(+displacement)
+
+    # -- sub-grids ---------------------------------------------------------------
+
+    def sub(self, remain_dims) -> "CartComm":
+        """MPI_Cart_sub: collapse dimensions with remain=False.
+
+        Collective: every rank must call with the same ``remain_dims``.
+        Returns the sub-grid communicator containing this rank.
+        """
+        if len(remain_dims) != self.ndims:
+            raise MpiErrComm("remain_dims must match dims")
+        engine = self.comm.engine
+        # color = the coordinates along the dropped dimensions
+        me = self.coords()
+        color = 0
+        for c, d, keep in zip(me, self.dims, remain_dims):
+            if not keep:
+                color = color * d + c
+        key = self.rank_of(me)
+        sub_comm = engine.comm_split(self.comm, color, key)
+        new_dims = tuple(d for d, keep in zip(self.dims, remain_dims) if keep)
+        new_periods = tuple(p for p, keep in zip(self.periods, remain_dims) if keep)
+        return CartComm(sub_comm, new_dims or (1,), new_periods or (False,))
+
+
+def cart_create(
+    comm: Communicator,
+    dims,
+    periods=None,
+) -> CartComm:
+    """MPI_Cart_create (reorder unsupported: ranks keep their order)."""
+    dims = tuple(dims)
+    periods = tuple(periods) if periods is not None else (False,) * len(dims)
+    return CartComm(comm, dims, periods)

@@ -1,0 +1,48 @@
+"""Win32-style event kernel objects (manual- and auto-reset)."""
+
+from __future__ import annotations
+
+import threading
+
+
+class Event:
+    """A Win32 event: signalled/unsignalled, manual- or auto-reset.
+
+    Auto-reset events release exactly one waiter per ``set`` and reset
+    themselves; manual-reset events stay signalled until ``reset``.
+    """
+
+    __slots__ = ("_cond", "_signalled", "manual_reset", "name")
+
+    def __init__(self, manual_reset: bool = True, initial: bool = False, name: str = "") -> None:
+        self._cond = threading.Condition()
+        self._signalled = bool(initial)
+        self.manual_reset = bool(manual_reset)
+        self.name = name
+
+    def set(self) -> None:
+        with self._cond:
+            self._signalled = True
+            if self.manual_reset:
+                self._cond.notify_all()
+            else:
+                self._cond.notify()
+
+    def reset(self) -> None:
+        with self._cond:
+            self._signalled = False
+
+    def is_set(self) -> bool:
+        with self._cond:
+            return self._signalled
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until signalled.  Returns False on timeout (seconds)."""
+        with self._cond:
+            if not self._signalled:
+                ok = self._cond.wait_for(lambda: self._signalled, timeout)
+                if not ok:
+                    return False
+            if not self.manual_reset:
+                self._signalled = False
+            return True

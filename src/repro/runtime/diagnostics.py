@@ -1,0 +1,113 @@
+"""Heap and runtime diagnostics: the `!dumpheap`-style inspection tools.
+
+A runtime release needs a way to answer "what is on my heap and why" —
+these helpers walk the live object graph from the roots and aggregate by
+type, report generation occupancy and fragmentation, and render a text
+report.  Read-only: nothing here mutates runtime state.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TypeStats:
+    count: int = 0
+    bytes: int = 0
+
+
+@dataclass
+class HeapReport:
+    live_objects: int
+    live_bytes: int
+    by_type: dict[str, TypeStats]
+    gen0_used: int
+    gen0_capacity: int
+    gen1_segments: int
+    gen1_allocated: int
+    free_list_bytes: int
+    fragmentation_bytes: int
+    handles: int
+    pins: int
+    conditional_pins: int
+
+    def render(self) -> str:
+        buf = io.StringIO()
+        print("=== managed heap report ===", file=buf)
+        print(
+            f"live: {self.live_objects} objects, {self.live_bytes} bytes",
+            file=buf,
+        )
+        print(
+            f"gen0: {self.gen0_used}/{self.gen0_capacity} bytes used",
+            file=buf,
+        )
+        print(
+            f"gen1: {self.gen1_segments} segments, {self.gen1_allocated} bytes "
+            f"allocated, {self.free_list_bytes} bytes on the free list, "
+            f"{self.fragmentation_bytes} bytes pinned-block fragmentation",
+            file=buf,
+        )
+        print(
+            f"roots: {self.handles} handles, {self.pins} pins, "
+            f"{self.conditional_pins} conditional pins",
+            file=buf,
+        )
+        print("by type (live):", file=buf)
+        for name, st in sorted(
+            self.by_type.items(), key=lambda kv: -kv[1].bytes
+        ):
+            print(f"  {name:<32} {st.count:>8} objs {st.bytes:>12} bytes", file=buf)
+        return buf.getvalue()
+
+
+def walk_live(runtime) -> dict[int, str]:
+    """Addresses of every reachable object, mapped to its type name."""
+    heap, om, handles = runtime.heap, runtime.om, runtime.handles
+    seen: dict[int, str] = {}
+    stack: list[int] = []
+    for slot in handles.live_slots():
+        addr = handles.get(slot)
+        if addr and addr not in seen:
+            stack.append(addr)
+    while stack:
+        addr = stack.pop()
+        if addr in seen:
+            continue
+        mt = om.method_table(addr)
+        seen[addr] = mt.name
+        for slot_addr in om.ref_slots(addr):
+            child = heap.read_u64(slot_addr)
+            if child and child not in seen:
+                stack.append(child)
+    return seen
+
+
+def heap_report(runtime) -> HeapReport:
+    """Aggregate diagnostics for one runtime's heap."""
+    heap, om = runtime.heap, runtime.om
+    live = walk_live(runtime)
+    by_type: dict[str, TypeStats] = {}
+    total_bytes = 0
+    for addr, name in live.items():
+        size = om.object_size(addr)
+        st = by_type.setdefault(name, TypeStats())
+        st.count += 1
+        st.bytes += size
+        total_bytes += size
+    return HeapReport(
+        live_objects=len(live),
+        live_bytes=total_bytes,
+        by_type=by_type,
+        gen0_used=heap.nursery.alloc_ptr - heap.nursery.base,
+        gen0_capacity=heap.nursery.size,
+        gen1_segments=len(heap.gen1_segments),
+        gen1_allocated=sum(heap.gen1_allocs.values()),
+        free_list_bytes=sum(size for _a, size in heap.free_list),
+        fragmentation_bytes=heap.stats.fragmentation_bytes,
+        handles=len(runtime.handles),
+        pins=runtime.gc.active_pin_count,
+        conditional_pins=runtime.gc.pending_conditional_count,
+    )

@@ -1,0 +1,45 @@
+"""Managed-runtime exceptions."""
+
+from __future__ import annotations
+
+
+class ManagedError(Exception):
+    """Base class for all simulated-runtime failures."""
+
+
+class OutOfManagedMemory(ManagedError):
+    """The managed heap cannot satisfy an allocation even after collection."""
+
+
+class NullReferenceError_(ManagedError):
+    """A null object reference was dereferenced.
+
+    Trailing underscore avoids shadowing anything resembling the built-in
+    ``ReferenceError`` while matching the CLI's NullReferenceException.
+    """
+
+
+class InvalidCastError(ManagedError):
+    """An object was accessed through an incompatible MethodTable."""
+
+
+class ObjectModelViolation(ManagedError):
+    """An operation would corrupt the runtime object model.
+
+    Raised where Motor's restricted MPI bindings refuse an operation that
+    plain MPI semantics would have allowed — e.g. receiving into an object
+    that contains references, or writing past the end of an object (paper
+    §2.4, §4.2.1).
+    """
+
+
+class InvalidOperation(ManagedError):
+    """API misuse detected by parameter checking."""
+
+
+class TypeLoadError(ManagedError):
+    """A class or array type could not be found or defined."""
+
+
+class GcInvariantError(ManagedError):
+    """Internal consistency check failure inside the collector."""

@@ -1,0 +1,109 @@
+"""Zero-copy NumPy views over managed primitive arrays.
+
+Scientific Python lives on NumPy; this module maps managed primitive
+arrays to ``ndarray`` views over the *same heap bytes* — no copy in
+either direction.  This is exactly the buffer discipline of the
+mpi4py/NumPy idiom (uppercase buffer operations over array data), hosted
+on Motor's managed heap.
+
+The views carry the same hazard the paper's §2.3 describes: a view
+latches the array's current address, and the collector may move a young
+array.  :func:`as_numpy` therefore refuses unpinned young arrays by
+default — callers either pin, pass ``allow_young=True`` (and accept the
+staleness hazard knowingly), or let :func:`pinned_numpy` manage the pin
+for the view's lifetime.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.runtime.errors import InvalidOperation, ObjectModelViolation
+from repro.runtime.handles import ObjRef
+from repro.runtime.typesys import ARRAY_DATA_OFFSET
+
+#: managed primitive name -> numpy dtype
+DTYPES = {
+    "bool": np.bool_,
+    "byte": np.uint8,
+    "sbyte": np.int8,
+    "char": np.uint16,
+    "int16": np.int16,
+    "uint16": np.uint16,
+    "int32": np.int32,
+    "uint32": np.uint32,
+    "int64": np.int64,
+    "uint64": np.uint64,
+    "float32": np.float32,
+    "float64": np.float64,
+}
+
+
+def _array_info(runtime, ref: ObjRef):
+    mt = runtime.om.method_table(ref.require())
+    if not mt.is_array or mt.element_is_ref:
+        raise ObjectModelViolation(
+            "numpy views require a primitive-element managed array"
+        )
+    dtype = DTYPES.get(mt.element_type.name)
+    if dtype is None:
+        raise InvalidOperation(f"no numpy dtype for {mt.element_type.name}")
+    length = runtime.om.array_length(ref.addr)
+    return dtype, length
+
+
+def as_numpy(runtime, ref: ObjRef, allow_young: bool = False) -> np.ndarray:
+    """A zero-copy ndarray over the array's heap bytes.
+
+    The view aliases the heap at the array's *current* address.  For young
+    arrays the collector may move the data out from under the view, so
+    they are refused unless ``allow_young=True`` (or pinned — see
+    :func:`pinned_numpy`).
+    """
+    dtype, length = _array_info(runtime, ref)
+    if not allow_young and runtime.heap.in_gen0(ref.addr):
+        if ref.addr not in runtime.gc.pinned_addresses():
+            raise InvalidOperation(
+                "array lives in the nursery and may move: pin it (see "
+                "pinned_numpy) or promote it, or pass allow_young=True"
+            )
+    data_addr = ref.addr + ARRAY_DATA_OFFSET
+    nbytes = length * np.dtype(dtype).itemsize
+    return np.frombuffer(runtime.heap.view(data_addr, nbytes), dtype=dtype)
+
+
+@contextmanager
+def pinned_numpy(runtime, ref: ObjRef):
+    """Context manager: pin the array, yield a safe view, unpin on exit.
+
+    The managed-memory equivalent of the fixed-buffer pattern: the view
+    is valid for the block's duration no matter what the collector does.
+    """
+    cookie = runtime.gc.pin(ref)
+    try:
+        yield as_numpy(runtime, ref, allow_young=True)
+    finally:
+        runtime.gc.unpin(cookie)
+
+
+def from_numpy(runtime, array: np.ndarray) -> ObjRef:
+    """Allocate a managed array holding a copy of ``array``'s data."""
+    if array.ndim != 1:
+        raise InvalidOperation(
+            "managed arrays are one-dimensional; flatten first (the CLI's "
+            "true multidimensional arrays are future work here)"
+        )
+    name = None
+    for prim, dt in DTYPES.items():
+        if np.dtype(dt) == array.dtype:
+            name = prim
+            break
+    if name is None:
+        raise InvalidOperation(f"unsupported dtype {array.dtype}")
+    ref = runtime.new_array(name, len(array))
+    runtime.heap.write_bytes(
+        ref.addr + ARRAY_DATA_OFFSET, np.ascontiguousarray(array).tobytes()
+    )
+    return ref

@@ -1,0 +1,85 @@
+"""Type metadata and the (slow) reflection path.
+
+The SSCLI exposes type information two ways (paper §5.3): the optimised
+runtime structures (MethodTable / FieldDesc) and "type metadata, a far less
+efficient repository of all class information" consumed by the reflection
+library.  Motor deliberately avoids metadata when serializing — it reads a
+Transportable *bit* on the FieldDesc instead — while a naive implementation
+(and our baseline serializers) must query custom attributes through
+metadata.
+
+The metadata store here is string-keyed and scanned linearly, so the
+fast-path/slow-path asymmetry is real measured work, not a modelled
+constant.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.typesys import MethodTable, PrimitiveType, TypeRegistry
+
+
+class Metadata:
+    """String-keyed metadata tables built from a registry."""
+
+    def __init__(self, registry: TypeRegistry) -> None:
+        self.registry = registry
+        self._type_rows: list[dict] = []
+        self._field_rows: list[dict] = []
+        self._attr_rows: list[dict] = []
+        self._built_for: set[int] = set()
+
+    def _ensure(self, mt: MethodTable) -> None:
+        if mt.mt_id in self._built_for:
+            return
+        self._built_for.add(mt.mt_id)
+        self._type_rows.append(
+            {
+                "name": mt.name,
+                "base": mt.base.name if mt.base else None,
+                "is_array": mt.is_array,
+            }
+        )
+        if mt.transportable_class:
+            self._attr_rows.append(
+                {"target": mt.name, "field": None, "attribute": "Transportable"}
+            )
+        for fd in mt.fields:
+            tname = fd.ftype.name if isinstance(fd.ftype, (PrimitiveType, MethodTable)) else "?"
+            self._field_rows.append(
+                {"type": mt.name, "name": fd.name, "field_type": tname, "is_ref": fd.is_ref}
+            )
+            if fd.is_transportable:
+                self._attr_rows.append(
+                    {"target": mt.name, "field": fd.name, "attribute": "Transportable"}
+                )
+
+    # -- queries (all deliberately linear scans over string-keyed rows) --------
+
+    def get_type_row(self, name: str) -> dict | None:
+        self._ensure(self.registry.resolve(name)) if name in self.registry else None
+        for row in self._type_rows:
+            if row["name"] == name:
+                return row
+        return None
+
+    def get_fields(self, type_name: str) -> list[dict]:
+        mt = self.registry.resolve(type_name)
+        if isinstance(mt, MethodTable):
+            self._ensure(mt)
+        return [row for row in self._field_rows if row["type"] == type_name]
+
+    def get_custom_attributes(self, type_name: str, field_name: str | None = None) -> list[str]:
+        """Custom attributes on a type or field — the reflection path the
+        paper calls 'relatively slow ... because it accesses type
+        metadata' (§7.5)."""
+        mt = self.registry.resolve(type_name)
+        if isinstance(mt, MethodTable):
+            self._ensure(mt)
+        out = []
+        for row in self._attr_rows:
+            if row["target"] == type_name and row["field"] == field_name:
+                out.append(row["attribute"])
+        return out
+
+    def is_field_transportable_via_metadata(self, type_name: str, field_name: str) -> bool:
+        return "Transportable" in self.get_custom_attributes(type_name, field_name)

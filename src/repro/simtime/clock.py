@@ -1,0 +1,89 @@
+"""Per-rank clocks: wall time for benchmarking, virtual time for figures.
+
+The virtual clock is a Lamport clock specialised for message passing: each
+rank advances its own clock by charging primitive costs, and synchronises
+with a peer when a message arrives (``merge``).  For a ping-pong this gives
+the textbook round-trip decomposition
+
+    t_iter = 2 * (software overhead + latency + bytes / bandwidth)
+
+without needing a discrete-event scheduler: the two ranks strictly
+alternate, so the merge at each receive carries the full causal time.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Abstract clock interface shared by wall and virtual clocks."""
+
+    #: True when charges actually advance the clock (virtual mode).
+    virtual: bool = False
+
+    def now(self) -> float:
+        """Current time in nanoseconds."""
+        raise NotImplementedError
+
+    def charge(self, ns: float) -> None:
+        """Account ``ns`` nanoseconds of simulated work."""
+        raise NotImplementedError
+
+    def merge(self, ts_ns: float) -> None:
+        """Synchronise with a causally-preceding event (message receive)."""
+        raise NotImplementedError
+
+    def elapsed_since(self, start_ns: float) -> float:
+        """Nanoseconds elapsed since ``start_ns`` (a prior ``now()``)."""
+        return self.now() - start_ns
+
+
+class WallClock(Clock):
+    """Real time.  ``charge`` is a no-op: the work itself is the cost."""
+
+    virtual = False
+
+    def now(self) -> float:
+        return float(time.perf_counter_ns())
+
+    def charge(self, ns: float) -> None:  # noqa: ARG002 - interface parity
+        return None
+
+    def merge(self, ts_ns: float) -> None:  # noqa: ARG002
+        return None
+
+
+class VirtualClock(Clock):
+    """Deterministic per-rank logical clock measured in nanoseconds.
+
+    Thread-safety: each rank thread owns exactly one ``VirtualClock`` and is
+    the only writer; ``merge`` is called from the owning thread when it
+    *consumes* a message, so no locking is required.
+    """
+
+    virtual = True
+
+    __slots__ = ("_now_ns", "charges")
+
+    def __init__(self, start_ns: float = 0.0) -> None:
+        self._now_ns = float(start_ns)
+        #: number of charge() calls, useful for cost-model audits in tests
+        self.charges = 0
+
+    def now(self) -> float:
+        return self._now_ns
+
+    def charge(self, ns: float) -> None:
+        if ns < 0:
+            raise ValueError(f"negative charge: {ns}")
+        self._now_ns += ns
+        self.charges += 1
+
+    def merge(self, ts_ns: float) -> None:
+        if ts_ns > self._now_ns:
+            self._now_ns = ts_ns
+
+    def reset(self, start_ns: float = 0.0) -> None:
+        self._now_ns = float(start_ns)
+        self.charges = 0

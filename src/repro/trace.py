@@ -1,0 +1,172 @@
+"""Event tracing: message and GC timelines for debugging and analysis.
+
+A release-grade runtime needs observability.  ``Tracer`` hooks one rank's
+device and collector, recording a timestamped event stream:
+
+* ``send`` / ``recv-post`` / ``recv-complete`` — message lifecycle with
+  peer, tag, bytes and protocol (eager / rendezvous);
+* ``gc`` — collections with generation, promoted bytes and pin counts;
+* ``pin`` / ``unpin`` / ``conditional-pin`` — the §7.4 policy in action.
+
+The stream renders as an aligned text timeline (`render_timeline`) or
+aggregates (`summary`).  Attach with :func:`attach_tracer`; it wraps the
+device and GC methods non-invasively and restores them on ``detach``.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class TraceEvent:
+    ts_ns: float
+    rank: int
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def fmt(self, t0: float = 0.0) -> str:
+        args = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"{(self.ts_ns - t0) / 1e3:12.1f}us  r{self.rank}  {self.kind:<14} {args}"
+
+
+class Tracer:
+    """Per-rank event recorder."""
+
+    def __init__(self, rank: int, clock) -> None:
+        self.rank = rank
+        self.clock = clock
+        self.events: list[TraceEvent] = []
+        self.enabled = True
+        self._detach_fns: list = []
+
+    def emit(self, kind: str, **detail) -> None:
+        if self.enabled:
+            self.events.append(
+                TraceEvent(self.clock.now(), self.rank, kind, detail)
+            )
+
+    # -- attachment -----------------------------------------------------------
+
+    def attach_device(self, device) -> None:
+        orig_send = device.start_send
+        orig_post = device.post_recv
+
+        def traced_send(req, dst):
+            proto = "eager" if req.buf.nbytes <= device.eager_threshold else "rndv"
+            self.emit("send", dst=dst, tag=req.tag, bytes=req.buf.nbytes, proto=proto)
+            return orig_send(req, dst)
+
+        def traced_post(req):
+            self.emit("recv-post", src=req.peer, tag=req.tag, cap=req.buf.nbytes)
+            req.on_complete.append(
+                lambda r: self.emit(
+                    "recv-complete", src=r.status.source, tag=r.status.tag,
+                    bytes=r.status.count,
+                )
+            )
+            return orig_post(req)
+
+        device.start_send = traced_send
+        device.post_recv = traced_post
+        self._detach_fns.append(
+            lambda: (setattr(device, "start_send", orig_send),
+                     setattr(device, "post_recv", orig_post))
+        )
+
+    def attach_gc(self, gc) -> None:
+        orig_collect = gc.collect
+        orig_pin = gc.pin
+        orig_unpin = gc.unpin
+        orig_cond = gc.register_conditional_pin
+
+        def traced_collect(gen=0):
+            before = gc.stats.bytes_promoted
+            result = orig_collect(gen)
+            self.emit(
+                "gc",
+                gen=gen,
+                promoted=gc.stats.bytes_promoted - before,
+                pins=gc.active_pin_count,
+                cond=gc.pending_conditional_count,
+            )
+            return result
+
+        def traced_pin(ref, cost_mult=1.0):
+            self.emit("pin", addr=hex(ref.addr))
+            return orig_pin(ref, cost_mult)
+
+        def traced_unpin(cookie, cost_mult=1.0):
+            self.emit("unpin", slot=cookie.slot)
+            return orig_unpin(cookie, cost_mult)
+
+        def traced_cond(ref, is_active):
+            self.emit("conditional-pin", addr=hex(ref.addr))
+            return orig_cond(ref, is_active)
+
+        gc.collect = traced_collect
+        gc.pin = traced_pin
+        gc.unpin = traced_unpin
+        gc.register_conditional_pin = traced_cond
+        self._detach_fns.append(
+            lambda: (
+                setattr(gc, "collect", orig_collect),
+                setattr(gc, "pin", orig_pin),
+                setattr(gc, "unpin", orig_unpin),
+                setattr(gc, "register_conditional_pin", orig_cond),
+            )
+        )
+
+    def detach(self) -> None:
+        for fn in self._detach_fns:
+            fn()
+        self._detach_fns.clear()
+
+    # -- reporting -----------------------------------------------------------
+
+    def render_timeline(self, limit: int | None = None) -> str:
+        buf = io.StringIO()
+        events = self.events if limit is None else self.events[:limit]
+        t0 = events[0].ts_ns if events else 0.0
+        print(f"# rank {self.rank}: {len(self.events)} events", file=buf)
+        for ev in events:
+            print(ev.fmt(t0), file=buf)
+        if limit is not None and len(self.events) > limit:
+            print(f"... {len(self.events) - limit} more", file=buf)
+        return buf.getvalue()
+
+    def summary(self) -> dict[str, Any]:
+        counts: dict[str, int] = {}
+        bytes_sent = 0
+        bytes_recv = 0
+        for ev in self.events:
+            counts[ev.kind] = counts.get(ev.kind, 0) + 1
+            if ev.kind == "send":
+                bytes_sent += ev.detail.get("bytes", 0)
+            elif ev.kind == "recv-complete":
+                bytes_recv += ev.detail.get("bytes", 0)
+        return {
+            "rank": self.rank,
+            "events": len(self.events),
+            "counts": counts,
+            "bytes_sent": bytes_sent,
+            "bytes_received": bytes_recv,
+        }
+
+
+def attach_tracer(ctx_or_vm) -> Tracer:
+    """Attach a tracer to a RankContext (native) or a MotorVM."""
+    # MotorVM: has .engine and .runtime
+    if hasattr(ctx_or_vm, "runtime") and hasattr(ctx_or_vm, "engine"):
+        vm = ctx_or_vm
+        tracer = Tracer(vm.engine.rank, vm.runtime.clock)
+        tracer.attach_device(vm.engine.device)
+        tracer.attach_gc(vm.runtime.gc)
+        return tracer
+    # RankContext
+    ctx = ctx_or_vm
+    tracer = Tracer(ctx.rank, ctx.clock)
+    tracer.attach_device(ctx.engine.device)
+    return tracer

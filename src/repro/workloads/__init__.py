@@ -1,0 +1,29 @@
+"""Workload generators and drivers for the paper's evaluation.
+
+* :mod:`repro.workloads.pingpong` — the §8 protocol: two processes take
+  turns sending and receiving; one iteration is a round trip; 200
+  iterations with the last 100 timed; each point is the mean of 3 runs.
+* :mod:`repro.workloads.linkedlist` — the Figure 5/10 structure: a linked
+  list whose elements each reference an int array, the 4096-byte payload
+  evenly distributed; total objects = 2 × elements.
+* :mod:`repro.workloads.adapters` — a uniform five-verb interface
+  (alloc/fill/send/recv + tree variants) over Motor and every baseline, so
+  the same driver measures every system.
+"""
+
+from repro.workloads.adapters import ADAPTERS, make_adapter
+from repro.workloads.linkedlist import build_linked_list, list_payload_ints, verify_linked_list
+from repro.workloads.pingpong import (
+    sweep_buffer_pingpong,
+    sweep_tree_pingpong,
+)
+
+__all__ = [
+    "ADAPTERS",
+    "make_adapter",
+    "build_linked_list",
+    "verify_linked_list",
+    "list_payload_ints",
+    "sweep_buffer_pingpong",
+    "sweep_tree_pingpong",
+]

@@ -1,0 +1,169 @@
+"""The §8 ping-pong drivers.
+
+"Two processes take turns to send and receive a piece of data.  A single
+iteration is the time for a round trip.  Each experiment performed 200
+iterations, the last 100 of which were timed.  A range of buffer sizes
+were tested.  Each buffer size was tested three times.  The average time
+in microseconds per iteration was calculated for all three experiments."
+
+The drivers time on rank 0's clock: in wall mode that is real elapsed
+time; in virtual mode the Lamport merges at each receive carry the full
+causal round-trip time, so the same code measures both.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.world import mpiexec
+from repro.simtime import CostModel
+from repro.workloads.adapters import make_adapter
+
+ITERATIONS = 200
+TIMED = 100
+RUNS = 3
+
+#: Figure 9's buffer sizes: 4 B .. 256 KiB in powers of two
+FIG9_SIZES = [4 << i for i in range(17)]  # 4 .. 262144
+
+#: Figure 10's x-axis is total objects (2 per list element): 2 .. 8192
+FIG10_OBJECT_COUNTS = [2 << i for i in range(13)]  # 2 .. 8192
+
+
+def _pattern(nbytes: int) -> bytes:
+    return bytes((i * 37 + 11) % 256 for i in range(nbytes))
+
+
+def _buffer_main(flavor: str, sizes, iterations: int, timed: int, runs: int, verify: bool):
+    def main(ctx):
+        ad = make_adapter(flavor, ctx)
+        clock = ctx.clock
+        me = ctx.rank
+        peer = 1 - me
+        results: dict[int, list[float]] = {}
+        for size in sizes:
+            buf = ad.alloc(size)
+            if me == 0:
+                ad.fill(buf, _pattern(size))
+            per_run: list[float] = []
+            for _run in range(runs):
+                ad.barrier()
+                t0 = 0.0
+                for i in range(iterations):
+                    if i == iterations - timed:
+                        t0 = clock.now()
+                    if me == 0:
+                        ad.send(buf, peer, 1)
+                        ad.recv(buf, peer, 2)
+                    else:
+                        ad.recv(buf, peer, 1)
+                        if verify and i == 0:
+                            assert ad.read(buf) == _pattern(size), (
+                                f"{flavor}: ping payload corrupted at size {size}"
+                            )
+                        ad.send(buf, peer, 2)
+                if me == 0:
+                    per_run.append((clock.now() - t0) / timed / 1e3)  # us/iter
+            if me == 0:
+                if verify:
+                    assert ad.read(buf) == _pattern(size), (
+                        f"{flavor}: payload corrupted at size {size}"
+                    )
+                results[size] = per_run
+        return results if me == 0 else None
+
+    return main
+
+
+def sweep_buffer_pingpong(
+    flavor: str,
+    sizes=FIG9_SIZES,
+    iterations: int = ITERATIONS,
+    timed: int = TIMED,
+    runs: int = RUNS,
+    channel: str = "sock",
+    clock_mode: str = "virtual",
+    costs: CostModel | None = None,
+    verify: bool = True,
+    eager_threshold: int | None = None,
+    timeout: float = 900.0,
+) -> dict[int, float]:
+    """Run the Figure 9 protocol for one system; {size: mean us/iter}."""
+    main = _buffer_main(flavor, list(sizes), iterations, timed, runs, verify)
+    results = mpiexec(
+        2, main, channel=channel, clock_mode=clock_mode, costs=costs,
+        eager_threshold=eager_threshold, timeout=timeout,
+    )[0]
+    return {size: sum(vals) / len(vals) for size, vals in results.items()}
+
+
+def _tree_main(flavor: str, counts, total_bytes, iterations, timed, runs, verify):
+    def main(ctx):
+        ad = make_adapter(flavor, ctx)
+        clock = ctx.clock
+        me = ctx.rank
+        peer = 1 - me
+        results: dict[int, list[float] | None] = {}
+        for total_objects in counts:
+            elements = max(1, total_objects // 2)
+            # Both ranks can predict the serializer stack overflow locally
+            # (the paper's mpiJava series stops at 1024 objects for this
+            # reason); the sweep records the gap instead of deadlocking.
+            if ad.tree_will_overflow(elements):
+                if me == 0:
+                    results[total_objects] = None
+                continue
+            tree = ad.build_tree(elements, total_bytes) if me == 0 else None
+            per_run: list[float] = []
+            for _run in range(runs):
+                ad.barrier()
+                t0 = 0.0
+                got = None
+                for i in range(iterations):
+                    if i == iterations - timed:
+                        t0 = clock.now()
+                    if me == 0:
+                        ad.send_tree(tree, peer, 1)
+                        got = ad.recv_tree(peer, 2)
+                    else:
+                        got = ad.recv_tree(peer, 1)
+                        ad.send_tree(got, peer, 2)
+                        got = None
+                if me == 0:
+                    per_run.append((clock.now() - t0) / timed / 1e3)
+                    if verify and got is not None:
+                        ad.verify_tree(got, elements, total_bytes)
+            if me == 0:
+                results[total_objects] = per_run
+        return results if me == 0 else None
+
+    return main
+
+
+def sweep_tree_pingpong(
+    flavor: str,
+    object_counts=FIG10_OBJECT_COUNTS,
+    total_bytes: int = 4096,
+    iterations: int = ITERATIONS,
+    timed: int = TIMED,
+    runs: int = RUNS,
+    channel: str = "sock",
+    clock_mode: str = "virtual",
+    costs: CostModel | None = None,
+    verify: bool = True,
+    timeout: float = 1800.0,
+) -> dict[int, float | None]:
+    """Run the Figure 10 protocol; {total_objects: mean us/iter or None}.
+
+    ``None`` marks points the system could not produce (mpiJava's stack
+    overflow past 1024 objects).
+    """
+    main = _tree_main(
+        flavor, list(object_counts), total_bytes, iterations, timed, runs, verify
+    )
+    results = mpiexec(
+        2, main, channel=channel, clock_mode=clock_mode, costs=costs,
+        timeout=timeout,
+    )[0]
+    return {
+        k: (None if vals is None else sum(vals) / len(vals))
+        for k, vals in results.items()
+    }

@@ -1,0 +1,196 @@
+"""The wrapper baselines end-to-end: Indiana, mpiJava, JMPI, native."""
+
+import pytest
+
+from repro.baselines.indiana import IndianaComm, indiana_session
+from repro.baselines.jmpi import jmpi_session
+from repro.baselines.mpijava import mpijava_session
+from repro.baselines.native_cpp import native_session
+from repro.cluster import mpiexec
+from repro.workloads.linkedlist import build_linked_list, verify_linked_list
+
+SESSIONS = {
+    "native": native_session,
+    "indiana": indiana_session,
+    "mpijava": mpijava_session,
+    "jmpi": jmpi_session,
+}
+
+
+@pytest.mark.parametrize("flavor", list(SESSIONS))
+class TestBufferRoundtrip:
+    def test_pingpong(self, flavor):
+        def main(ctx):
+            comm = ctx.session
+            buf = comm.alloc_buffer(32)
+            if comm.rank == 0:
+                comm.fill_buffer(buf, bytes(range(32)))
+                comm.send(buf, 1, 1)
+                comm.recv(buf, 1, 2)
+                return comm.buffer_bytes(buf)
+            comm.recv(buf, 0, 1)
+            data = bytearray(comm.buffer_bytes(buf))
+            data.reverse()
+            comm.fill_buffer(buf, bytes(data))
+            comm.send(buf, 0, 2)
+            return None
+
+        res = mpiexec(2, main, session_factory=SESSIONS[flavor])
+        assert res[0] == bytes(reversed(range(32)))
+
+    def test_barrier(self, flavor):
+        def main(ctx):
+            ctx.session.barrier()
+            return True
+
+        assert all(mpiexec(2, main, session_factory=SESSIONS[flavor]))
+
+
+@pytest.mark.parametrize("flavor", ["indiana", "mpijava", "jmpi"])
+class TestTreeRoundtrip:
+    def test_tree_transport(self, flavor):
+        def main(ctx):
+            comm = ctx.session
+            from repro.workloads.linkedlist import define_linked_array
+
+            define_linked_array(comm.runtime)
+            if comm.rank == 0:
+                head = build_linked_list(comm.runtime, 5, 200)
+                comm.send_tree(head, 1, 3)
+                return None
+            got = comm.recv_tree(0, 3)
+            verify_linked_list(comm.runtime, got, 5, 200)
+            return True
+
+        res = mpiexec(2, main, session_factory=SESSIONS[flavor])
+        assert res[1] is True
+
+
+class TestIndianaArchitecture:
+    def test_pins_every_operation(self):
+        """'Pinning is performed for each MPI operation' (§8)."""
+
+        def main(ctx):
+            comm = ctx.session
+            buf = comm.alloc_buffer(16)
+            pins_before = comm.runtime.gc.stats.pin_calls
+            if comm.rank == 0:
+                comm.send(buf, 1, 1)
+                comm.send(buf, 1, 2)
+            else:
+                comm.recv(buf, 0, 1)
+                comm.recv(buf, 0, 2)
+            return comm.runtime.gc.stats.pin_calls - pins_before
+
+        assert mpiexec(2, main, session_factory=indiana_session) == [2, 2]
+
+    def test_pins_even_elder_objects(self):
+        """No generation test: the wrapper cannot know, so it always pays."""
+
+        def main(ctx):
+            comm = ctx.session
+            buf = comm.alloc_buffer(16)
+            comm.runtime.collect(0)  # promote the buffer
+            pins_before = comm.runtime.gc.stats.pin_calls
+            if comm.rank == 0:
+                comm.send(buf, 1, 1)
+            else:
+                comm.recv(buf, 0, 1)
+            return comm.runtime.gc.stats.pin_calls - pins_before
+
+        assert mpiexec(2, main, session_factory=indiana_session) == [1, 1]
+
+    def test_crosses_pinvoke_per_call(self):
+        def main(ctx):
+            comm = ctx.session
+            buf = comm.alloc_buffer(8)
+            before = comm.gate.stats.calls
+            if comm.rank == 0:
+                comm.send(buf, 1, 1)
+            else:
+                comm.recv(buf, 0, 1)
+            return comm.gate.stats.calls - before
+
+        assert mpiexec(2, main, session_factory=indiana_session) == [1, 1]
+
+    def test_host_profiles(self):
+        def main(ctx):
+            return ctx.session.profile.name
+
+        from functools import partial
+
+        for prof in ("sscli-free", "sscli-fastchecked", "dotnet"):
+            res = mpiexec(
+                2,
+                main,
+                session_factory=partial(indiana_session, profile=prof),
+            )
+            assert res == [prof, prof]
+
+
+class TestMpiJavaArchitecture:
+    def test_jni_auto_pin(self):
+        def main(ctx):
+            comm = ctx.session
+            buf = comm.alloc_buffer(16)
+            before = comm.gate.stats.auto_pins
+            if comm.rank == 0:
+                comm.send(buf, 1, 1)
+            else:
+                comm.recv(buf, 0, 1)
+            return comm.gate.stats.auto_pins - before
+
+        assert mpiexec(2, main, session_factory=mpijava_session) == [1, 1]
+
+    def test_arrays_of_arrays_model(self):
+        """Java int[2][3]: an object per row — many objects, not one."""
+
+        def main(ctx):
+            comm = ctx.session
+            multi = comm.new_multi_array(2, 3)
+            rt = comm.runtime
+            assert rt.type_of(multi).element_is_ref
+            row = rt.get_elem(multi, 0)
+            assert rt.array_length(row) == 3
+            return True
+
+        assert all(mpiexec(2, main, session_factory=mpijava_session))
+
+
+class TestJmpiArchitecture:
+    def test_no_pinning_ever(self):
+        """Pure managed: nothing native touches the heap, no pins at all."""
+
+        def main(ctx):
+            comm = ctx.session
+            buf = comm.alloc_buffer(16)
+            if comm.rank == 0:
+                comm.send(buf, 1, 1)
+            else:
+                comm.recv(buf, 0, 1)
+            return comm.runtime.gc.stats.pin_calls
+
+        assert mpiexec(2, main, session_factory=jmpi_session) == [0, 0]
+
+    def test_rmi_serializes_everything(self):
+        def main(ctx):
+            comm = ctx.session
+            buf = comm.alloc_buffer(16)
+            before = comm.serializer.objects_serialized
+            if comm.rank == 0:
+                comm.send(buf, 1, 1)
+                return comm.serializer.objects_serialized - before
+            comm.recv(buf, 0, 1)
+            return None
+
+        assert mpiexec(2, main, session_factory=jmpi_session)[0] >= 1
+
+
+class TestNativeArchitecture:
+    def test_no_managed_runtime(self):
+        def main(ctx):
+            comm = ctx.session
+            assert not hasattr(comm, "runtime")
+            return True
+
+        assert all(mpiexec(2, main, session_factory=native_session))

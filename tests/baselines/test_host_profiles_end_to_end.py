@@ -1,0 +1,64 @@
+"""Host-profile effects measured end-to-end (virtual clock).
+
+The paper's §8 matrix hosts the same Indiana binding code on different
+runtimes; these tests assert the profile-level differences surface as
+whole-application differences, not just microbench constants.
+"""
+
+from repro.workloads.pingpong import sweep_buffer_pingpong, sweep_tree_pingpong
+
+QUICK = {"iterations": 8, "timed": 4, "runs": 1}
+
+
+class TestBuildTypeEndToEnd:
+    def test_fastchecked_slower_than_free(self):
+        """Footnote 4's effect on the actual ping-pong numbers."""
+        sizes = [4, 4096, 65536]
+        free = sweep_buffer_pingpong("indiana-sscli", sizes, **QUICK)
+        fast = sweep_buffer_pingpong("indiana-sscli-fastchecked", sizes, **QUICK)
+        for s in sizes:
+            assert fast[s] > free[s], f"fastchecked not slower at {s}B"
+        # the gap is biggest where per-op overheads dominate (small buffers)
+        gap_small = fast[4] / free[4]
+        gap_large = fast[65536] / free[65536]
+        assert gap_small > gap_large
+
+    def test_dotnet_faster_than_sscli_free(self):
+        sizes = [4, 4096]
+        free = sweep_buffer_pingpong("indiana-sscli", sizes, **QUICK)
+        dn = sweep_buffer_pingpong("indiana-dotnet", sizes, **QUICK)
+        for s in sizes:
+            assert dn[s] < free[s]
+
+
+class TestSerializerProfileEndToEnd:
+    def test_tree_transport_orders_by_host_serializer(self):
+        counts = [64, 256]
+        tree = {
+            flavor: sweep_tree_pingpong(flavor, counts, iterations=4, timed=2, runs=1)
+            for flavor in ("indiana-dotnet", "indiana-sscli", "indiana-sscli-fastchecked")
+        }
+        for c in counts:
+            assert (
+                tree["indiana-dotnet"][c]
+                < tree["indiana-sscli"][c]
+                < tree["indiana-sscli-fastchecked"][c]
+            )
+
+
+class TestPolicyAblationEndToEnd:
+    def test_pin_always_costs_more_at_every_size(self):
+        sizes = [4, 4096, 262144]
+        policy = sweep_buffer_pingpong("motor", sizes, **QUICK)
+        always = sweep_buffer_pingpong("motor-pin-always", sizes, **QUICK)
+        for s in sizes:
+            assert always[s] > policy[s]
+
+    def test_hashed_visited_never_hurts_buffers(self):
+        """The visited structure only matters for OO transport; regular
+        buffer operations are identical between the two Motors."""
+        sizes = [4, 4096]
+        lin = sweep_buffer_pingpong("motor", sizes, **QUICK)
+        hsh = sweep_buffer_pingpong("motor-hashed", sizes, **QUICK)
+        for s in sizes:
+            assert abs(lin[s] - hsh[s]) / lin[s] < 0.01

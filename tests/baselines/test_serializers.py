@@ -1,0 +1,154 @@
+"""The standard (atomic) serializer clones: CLI binary and Java."""
+
+import pytest
+
+from repro.baselines.serializers import (
+    ClrBinarySerializer,
+    JavaSerializer,
+    SerializationStackOverflow,
+)
+from repro.runtime.runtime import ManagedRuntime, RuntimeConfig
+from repro.simtime import HOST_PROFILES
+from repro.workloads.linkedlist import (
+    build_linked_list,
+    define_linked_array,
+    verify_linked_list,
+)
+
+
+def rt_pair():
+    a = ManagedRuntime(RuntimeConfig())
+    b = ManagedRuntime(RuntimeConfig())
+    for rt in (a, b):
+        define_linked_array(rt)
+    return a, b
+
+
+@pytest.fixture(params=["clr", "java"])
+def ser_cls(request):
+    return ClrBinarySerializer if request.param == "clr" else JavaSerializer
+
+
+class TestRoundTrip:
+    def test_null(self, ser_cls):
+        a, b = rt_pair()
+        p = HOST_PROFILES["sscli-free"]
+        data = ser_cls(a, p).serialize(None)
+        assert ser_cls(b, p).deserialize(data) is None
+
+    def test_linked_list(self, ser_cls):
+        a, b = rt_pair()
+        p = HOST_PROFILES["sscli-free"]
+        head = build_linked_list(a, 8, 320)
+        got = ser_cls(b, p).deserialize(ser_cls(a, p).serialize(head))
+        verify_linked_list(b, got, 8, 320)
+
+    def test_shared_substructure(self, ser_cls):
+        a, b = rt_pair()
+        p = HOST_PROFILES["sscli-free"]
+        shared = a.new_array("int32", 1, values=[5])
+        n1 = a.new("LinkedArray")
+        n2 = a.new("LinkedArray")
+        a.set_ref(n1, "array", shared)
+        a.set_ref(n2, "array", shared)
+        a.set_ref(n1, "next", n2)
+        got = ser_cls(b, p).deserialize(ser_cls(a, p).serialize(n1))
+        arr1 = b.get_field(got, "array")
+        arr2 = b.get_field(b.get_field(got, "next"), "array")
+        assert arr1.same_object(arr2)
+
+    def test_cycles(self, ser_cls):
+        a, b = rt_pair()
+        p = HOST_PROFILES["sscli-free"]
+        n1 = a.new("LinkedArray")
+        a.set_ref(n1, "next", n1)  # self-cycle
+        got = ser_cls(b, p).deserialize(ser_cls(a, p).serialize(n1))
+        assert b.get_field(got, "next").same_object(got)
+
+
+class TestOptOutSemantics:
+    def test_all_references_propagate(self, ser_cls):
+        """Standard serializers are opt-out: even next2 travels — the
+        contrast with Motor's opt-in Transportable (§4.2.2)."""
+        a, b = rt_pair()
+        p = HOST_PROFILES["sscli-free"]
+        head = build_linked_list(a, 3, 96, wire_next2=True)
+        got = ser_cls(b, p).deserialize(ser_cls(a, p).serialize(head))
+        # next2 was preserved, unlike Motor which nulls it
+        assert b.get_field(got, "next2") is not None
+        assert b.get_field(got, "next2").same_object(b.get_field(got, "next"))
+
+
+class TestAtomicity:
+    def test_stream_is_monolithic(self, ser_cls):
+        """No split representation: one stream, no per-element parts."""
+        a, _ = rt_pair()
+        p = HOST_PROFILES["sscli-free"]
+        arr = a.new_array("LinkedArray", 4)
+        for i in range(4):
+            a.set_elem_ref(arr, i, a.new("LinkedArray"))
+        ser = ser_cls(a, p)
+        assert not hasattr(ser, "serialize_array_split")
+        data = ser.serialize(arr)
+        assert isinstance(data, bytes)
+
+
+class TestJavaSpecific:
+    def test_stack_overflow_on_long_lists(self):
+        """'longer linked lists caused a stack overflow exception in the
+        Java serialization mechanism' (Figure 10 caption)."""
+        a, _ = rt_pair()
+        limit = a.costs.java_recursion_limit
+        head = build_linked_list(a, limit + 10, (limit + 10) * 8)
+        ser = JavaSerializer(a, HOST_PROFILES["jvm"])
+        with pytest.raises(SerializationStackOverflow):
+            ser.serialize(head)
+
+    def test_lists_at_limit_serialize(self):
+        a, b = rt_pair()
+        limit = a.costs.java_recursion_limit
+        head = build_linked_list(a, limit - 2, (limit - 2) * 8)
+        p = HOST_PROFILES["jvm"]
+        got = JavaSerializer(b, p).deserialize(JavaSerializer(a, p).serialize(head))
+        verify_linked_list(b, got, limit - 2, (limit - 2) * 8, expect_next2_null=True)
+
+    def test_handle_table_rehash_preserves_ids(self):
+        """Crossing the rehash threshold must not corrupt the stream."""
+        a, b = rt_pair()
+        p = HOST_PROFILES["jvm"]
+        n = JavaSerializer.HANDLE_REHASH_AT // 2 + 20  # 2 objs per element
+        head = build_linked_list(a, n, n * 8)
+        got = JavaSerializer(b, p).deserialize(JavaSerializer(a, p).serialize(head))
+        verify_linked_list(b, got, n, n * 8)
+
+    def test_bump_charged_only_in_midrange(self):
+        from repro.simtime import VirtualClock
+
+        def cost_for(elements: int) -> float:
+            rt = ManagedRuntime(RuntimeConfig(), clock=VirtualClock())
+            define_linked_array(rt)
+            head = build_linked_list(rt, elements, elements * 8)
+            ser = JavaSerializer(rt, HOST_PROFILES["jvm"])
+            t0 = rt.clock.now()
+            ser.serialize(head)
+            return (rt.clock.now() - t0) / (2 * elements)  # per object
+
+        small = cost_for(16)  # 32 objects: below the bump band
+        mid = cost_for(128)  # 256 objects: inside the band
+        assert mid > small * 1.2
+
+
+class TestDotnetVsSscli:
+    def test_dotnet_serializer_cheaper(self):
+        from repro.simtime import VirtualClock
+
+        def cost(profile_name: str) -> float:
+            rt = ManagedRuntime(RuntimeConfig(), clock=VirtualClock())
+            define_linked_array(rt)
+            head = build_linked_list(rt, 32, 512)
+            ser = ClrBinarySerializer(rt, HOST_PROFILES[profile_name])
+            t0 = rt.clock.now()
+            ser.serialize(head)
+            return rt.clock.now() - t0
+
+        assert cost("dotnet") < cost("sscli-free")

@@ -1,0 +1,132 @@
+"""Figure/ablation experiment functions (tiny protocols; shape checks).
+
+The full regeneration runs via ``python -m repro.bench``; these tests run
+the cheap ablations completely and the figure claims on reduced axes so
+the suite stays fast while still asserting each paper claim's direction.
+"""
+
+import pytest
+
+from repro.bench.figures import (
+    EXPERIMENTS,
+    ablate_buildtype,
+    ablate_calls,
+    ablate_split,
+)
+from repro.bench.report import CHECKS
+from repro.bench.harness import mean
+from repro.workloads.pingpong import sweep_buffer_pingpong, sweep_tree_pingpong
+
+QUICK = {"iterations": 6, "timed": 3, "runs": 1}
+
+
+class TestRegistry:
+    def test_every_figure_and_ablation_present(self):
+        assert {
+            "fig9",
+            "fig10",
+            "ablate-calls",
+            "ablate-pinning",
+            "ablate-buildtype",
+            "ablate-visited",
+            "ablate-split",
+            "ablate-protocol",
+            "ablate-pure-managed",
+            "ablate-pal",
+            "ablate-interconnect",
+        } == set(EXPERIMENTS)
+
+    def test_every_experiment_has_a_claim_check(self):
+        assert set(CHECKS) == set(EXPERIMENTS)
+
+
+class TestCheapAblations:
+    def test_calls(self):
+        s = ablate_calls(quick=True)
+        claims = CHECKS["ablate-calls"](s)
+        assert all(c.holds for c in claims), [c.measured for c in claims]
+
+    def test_buildtype(self):
+        s = ablate_buildtype(quick=True)
+        claims = CHECKS["ablate-buildtype"](s)
+        assert all(c.holds for c in claims)
+        # size-proportional pin cost shows in the series
+        free = s.series["sscli-free"]
+        assert free[262144] > free[64]
+
+    def test_split(self):
+        s = ablate_split(quick=True)
+        claims = CHECKS["ablate-split"](s)
+        assert all(c.holds for c in claims)
+
+
+class TestFigure9Shape:
+    """Reduced-axis versions of the §8 claims."""
+
+    SIZES = [4, 256, 8192, 131072, 262144]
+
+    @pytest.fixture(scope="class")
+    def series(self):
+        return {
+            flavor: sweep_buffer_pingpong(flavor, self.SIZES, **QUICK)
+            for flavor in ("cpp", "motor", "indiana-sscli", "indiana-dotnet", "mpijava")
+        }
+
+    def test_ordering(self, series):
+        for x in self.SIZES:
+            assert (
+                series["cpp"][x]
+                < series["motor"][x]
+                < series["indiana-dotnet"][x]
+                < series["indiana-sscli"][x]
+                < series["mpijava"][x]
+            )
+
+    def test_motor_within_a_few_percent_of_native(self, series):
+        for x in self.SIZES:
+            assert series["motor"][x] / series["cpp"][x] < 1.05
+
+    def test_motor_vs_indiana_band(self, series):
+        ratios = [
+            series["indiana-sscli"][x] / series["motor"][x] - 1 for x in self.SIZES
+        ]
+        assert 0.10 <= max(ratios) <= 0.25  # paper: 16% peak
+        assert ratios[0] == max(ratios)  # peak at the smallest buffer
+
+    def test_monotone_in_size(self, series):
+        for flavor in series:
+            vals = [series[flavor][x] for x in self.SIZES]
+            assert vals == sorted(vals)
+
+
+class TestFigure10Shape:
+    COUNTS = [2, 64, 1024, 2048, 8192]
+
+    @pytest.fixture(scope="class")
+    def series(self):
+        return {
+            flavor: sweep_tree_pingpong(flavor, self.COUNTS, **QUICK)
+            for flavor in ("motor", "indiana-sscli", "indiana-dotnet", "mpijava")
+        }
+
+    def test_motor_best_below_2048(self, series):
+        for x in (2, 64, 1024):
+            others = [
+                series[f][x]
+                for f in ("indiana-sscli", "indiana-dotnet", "mpijava")
+                if series[f][x] is not None
+            ]
+            assert series["motor"][x] < min(others)
+
+    def test_motor_degrades_at_large_counts(self, series):
+        """The linear visited record catches up with Motor (§8)."""
+        assert series["motor"][8192] > series["indiana-dotnet"][8192]
+
+    def test_mpijava_stops_at_1024(self, series):
+        assert series["mpijava"][1024] is not None
+        assert series["mpijava"][2048] is None
+        assert series["mpijava"][8192] is None
+
+    def test_dotnet_beats_sscli_serializer(self, series):
+        for x in (64, 1024, 8192):
+            assert series["indiana-dotnet"][x] < series["indiana-sscli"][x]

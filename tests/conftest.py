@@ -1,0 +1,43 @@
+"""Shared fixtures for the Motor reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.runtime import ManagedRuntime, RuntimeConfig
+from repro.simtime import CostModel, VirtualClock
+
+
+@pytest.fixture
+def runtime() -> ManagedRuntime:
+    """A small, wall-clock managed runtime."""
+    return ManagedRuntime(RuntimeConfig(heap_capacity=8 << 20, nursery_size=64 << 10))
+
+
+@pytest.fixture
+def vruntime() -> ManagedRuntime:
+    """A managed runtime on a virtual clock (for cost assertions)."""
+    return ManagedRuntime(
+        RuntimeConfig(heap_capacity=8 << 20, nursery_size=64 << 10),
+        clock=VirtualClock(),
+        costs=CostModel(),
+    )
+
+
+@pytest.fixture
+def tiny_runtime() -> ManagedRuntime:
+    """A runtime with a very small nursery, so collections happen often."""
+    return ManagedRuntime(RuntimeConfig(heap_capacity=4 << 20, nursery_size=4 << 10))
+
+
+def define_linked(rt: ManagedRuntime):
+    """The Figure 5 class, used all over the serializer tests."""
+    from repro.workloads.linkedlist import define_linked_array
+
+    define_linked_array(rt)
+    return rt.registry.resolve("LinkedArray")
+
+
+@pytest.fixture
+def linked_cls(runtime):
+    return define_linked(runtime)

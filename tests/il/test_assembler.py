@@ -1,0 +1,129 @@
+"""The IL text assembler."""
+
+import pytest
+
+from repro.il import AssembleError, assemble
+
+
+class TestMethods:
+    def test_simple_method(self):
+        asm = assemble(
+            """
+            .method double(x) returns {
+                ldarg 0
+                ldc.i4 2
+                mul
+                ret
+            }
+            """
+        )
+        m = asm.method("double")
+        assert m.nparams == 1
+        assert m.returns
+        assert [i.op for i in m.code] == ["ldarg", "ldc.i4", "mul", "ret"]
+
+    def test_void_method(self):
+        asm = assemble(".method noop() {\n nop \n ret \n}")
+        assert not asm.method("noop").returns
+        assert asm.method("noop").nparams == 0
+
+    def test_multiple_params_with_spaces(self):
+        asm = assemble(".method add3(a, b, c) returns {\n ldarg 0\n ldarg 1\n add\n ldarg 2\n add\n ret\n}")
+        assert asm.method("add3").nparams == 3
+
+    def test_locals_directive(self):
+        asm = assemble(".method m() {\n .locals 5\n ret\n}")
+        assert asm.method("m").nlocals == 5
+
+    def test_labels(self):
+        asm = assemble(
+            """
+            .method m() {
+                br skip
+            skip:
+                ret
+            }
+            """
+        )
+        assert asm.method("m").labels["skip"] == 1
+
+    def test_label_with_instruction_on_same_line(self):
+        asm = assemble(".method m() {\nskip: ret\n}")
+        assert asm.method("m").labels["skip"] == 0
+        assert asm.method("m").code[0].op == "ret"
+
+    def test_comments_stripped(self):
+        asm = assemble(".method m() { // header comment\n ret // tail\n}")
+        assert [i.op for i in asm.method("m").code] == ["ret"]
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssembleError, match="duplicate label"):
+            assemble(".method m() {\nx: nop\nx: ret\n}")
+
+    def test_unknown_opcode(self):
+        with pytest.raises(AssembleError, match="unknown opcode"):
+            assemble(".method m() {\n frobnicate\n ret\n}")
+
+    def test_missing_operand(self):
+        with pytest.raises(AssembleError, match="needs an operand"):
+            assemble(".method m() {\n ldc.i4\n ret\n}")
+
+    def test_spurious_operand(self):
+        with pytest.raises(AssembleError, match="takes no operand"):
+            assemble(".method m() {\n nop 3\n ret\n}")
+
+    def test_bad_integer(self):
+        with pytest.raises(AssembleError, match="bad integer"):
+            assemble(".method m() {\n ldc.i4 banana\n ret\n}")
+
+    def test_hex_literals(self):
+        asm = assemble(".method m() returns {\n ldc.i4 0xff\n ret\n}")
+        assert asm.method("m").code[0].operand == 255
+
+    def test_float_literal(self):
+        asm = assemble(".method m() returns {\n ldc.r8 2.5\n ret\n}")
+        assert asm.method("m").code[0].operand == 2.5
+
+    def test_unterminated_method(self):
+        with pytest.raises(AssembleError, match="unterminated"):
+            assemble(".method m() {\n ret\n")
+
+    def test_garbage_toplevel(self):
+        with pytest.raises(AssembleError):
+            assemble("what is this")
+
+
+class TestClasses:
+    def test_class_with_fields(self):
+        asm = assemble(
+            """
+            .class LinkedArray transportable {
+                int32[] array transportable
+                LinkedArray next transportable
+                LinkedArray next2
+            }
+            """
+        )
+        cls = asm.classes["LinkedArray"]
+        assert cls.transportable
+        assert cls.fields == [
+            ("array", "int32[]", True),
+            ("next", "LinkedArray", True),
+            ("next2", "LinkedArray", False),
+        ]
+
+    def test_load_types_into_runtime(self, runtime):
+        asm = assemble(".class P {\n int32 x\n float64 y\n}")
+        asm.load_types_into(runtime)
+        mt = runtime.registry.resolve("P")
+        assert {f.name for f in mt.fields} == {"x", "y"}
+        # idempotent
+        asm.load_types_into(runtime)
+
+    def test_unterminated_class(self):
+        with pytest.raises(AssembleError, match="unterminated"):
+            assemble(".class C {\n int32 x\n")
+
+    def test_bad_field(self):
+        with pytest.raises(AssembleError, match="bad field"):
+            assemble(".class C {\n lonely\n}")

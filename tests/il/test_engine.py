@@ -1,0 +1,333 @@
+"""Execution engine semantics (both modes) and managed-object interop."""
+
+import pytest
+
+from repro.il import ExecutionEngine, ILRuntimeError, assemble
+from repro.runtime import ManagedRuntime
+from repro.runtime.runtime import RuntimeConfig
+
+FIB = """
+.method fib(n) returns {
+    ldarg 0
+    ldc.i4 2
+    clt
+    brfalse rec
+    ldarg 0
+    ret
+rec:
+    ldarg 0
+    ldc.i4 1
+    sub
+    call fib
+    ldarg 0
+    ldc.i4 2
+    sub
+    call fib
+    add
+    ret
+}
+"""
+
+
+@pytest.fixture(params=["jit", "interp"])
+def mode(request):
+    return request.param
+
+
+def engine_for(src: str, mode: str, internals=None, rt=None) -> ExecutionEngine:
+    return ExecutionEngine(rt or ManagedRuntime(), assemble(src), internals, mode=mode)
+
+
+class TestArithmetic:
+    def test_add_mul(self, mode):
+        eng = engine_for(
+            ".method m(a, b) returns {\n ldarg 0\n ldarg 1\n add\n ldc.i4 3\n mul\n ret\n}",
+            mode,
+        )
+        assert eng.call("m", 2, 5) == 21
+
+    def test_div_truncates_toward_zero(self, mode):
+        eng = engine_for(
+            ".method m(a, b) returns {\n ldarg 0\n ldarg 1\n div\n ret\n}", mode
+        )
+        assert eng.call("m", 7, 2) == 3
+        assert eng.call("m", -7, 2) == -3
+        assert eng.call("m", 7, -2) == -3
+
+    def test_rem_sign_follows_dividend(self, mode):
+        eng = engine_for(
+            ".method m(a, b) returns {\n ldarg 0\n ldarg 1\n rem\n ret\n}", mode
+        )
+        assert eng.call("m", 7, 3) == 1
+        assert eng.call("m", -7, 3) == -1
+
+    def test_div_by_zero(self, mode):
+        eng = engine_for(
+            ".method m(a, b) returns {\n ldarg 0\n ldarg 1\n div\n ret\n}", mode
+        )
+        with pytest.raises(ILRuntimeError):
+            eng.call("m", 1, 0)
+
+    def test_float_arithmetic(self, mode):
+        eng = engine_for(
+            ".method m() returns {\n ldc.r8 1.5\n ldc.r8 2.5\n add\n ret\n}", mode
+        )
+        assert eng.call("m") == 4.0
+
+    def test_conversions(self, mode):
+        eng = engine_for(
+            ".method m() returns {\n ldc.r8 3.7\n conv.i8\n ret\n}", mode
+        )
+        assert eng.call("m") == 3
+
+    def test_bitwise(self, mode):
+        eng = engine_for(
+            ".method m(a, b) returns {\n ldarg 0\n ldarg 1\n xor\n ldc.i4 1\n shl\n ret\n}",
+            mode,
+        )
+        assert eng.call("m", 0b1100, 0b1010) == 0b0110 << 1
+
+    def test_comparisons(self, mode):
+        eng = engine_for(
+            ".method m(a, b) returns {\n ldarg 0\n ldarg 1\n cgt\n ret\n}", mode
+        )
+        assert eng.call("m", 5, 3) == 1
+        assert eng.call("m", 3, 5) == 0
+
+
+class TestControlFlow:
+    def test_recursion(self, mode):
+        eng = engine_for(FIB, mode)
+        assert [eng.call("fib", n) for n in range(10)] == [0, 1, 1, 2, 3, 5, 8, 13, 21, 34]
+
+    def test_loop(self, mode):
+        src = """
+        .method sumto(n) returns {
+            .locals 2
+            ldc.i4 0
+            stloc 0
+            ldc.i4 0
+            stloc 1
+        top:
+            ldloc 1
+            ldarg 0
+            clt
+            brfalse done
+            ldloc 0
+            ldloc 1
+            add
+            stloc 0
+            ldloc 1
+            ldc.i4 1
+            add
+            stloc 1
+            br top
+        done:
+            ldloc 0
+            ret
+        }
+        """
+        eng = engine_for(src, mode)
+        assert eng.call("sumto", 1000) == 499500
+
+    def test_backward_branch_polls_safepoint(self, mode):
+        src = ".method m(n) returns {\n .locals 1\n ldc.i4 0\n stloc 0\ntop:\n ldloc 0\n ldarg 0\n clt\n brfalse out\n ldloc 0\n ldc.i4 1\n add\n stloc 0\n br top\nout:\n ldloc 0\n ret\n}"
+        rt = ManagedRuntime()
+        eng = ExecutionEngine(rt, assemble(src), mode=mode)
+        before = rt.safepoint.polls
+        eng.call("m", 50)
+        assert rt.safepoint.polls - before >= 50
+        assert eng.safepoint_polls >= 50
+
+    def test_loop_yields_to_pending_gc(self, mode):
+        rt = ManagedRuntime(RuntimeConfig())
+        src = ".method spin(n) {\n .locals 1\n ldc.i4 0\n stloc 0\ntop:\n ldloc 0\n ldarg 0\n clt\n brfalse out\n ldloc 0\n ldc.i4 1\n add\n stloc 0\n br top\nout:\n ret\n}"
+        eng = ExecutionEngine(rt, assemble(src), mode=mode)
+        ref = rt.new_array("byte", 8)
+        young = ref.addr
+        rt.safepoint.request(0)
+        eng.call("spin", 5)
+        assert ref.addr != young  # the loop's poll ran the collection
+
+
+class TestObjects:
+    SRC = """
+    .class Acc {
+        int64 total
+        int32[] hist
+    }
+    .method make(n) returns {
+        .locals 1
+        newobj Acc
+        stloc 0
+        ldloc 0
+        ldarg 0
+        newarr int32
+        stfld Acc::hist
+        ldloc 0
+        ret
+    }
+    .method bump(acc, i, v) {
+        ldarg 0
+        ldarg 0
+        ldfld Acc::total
+        ldarg 2
+        add
+        stfld Acc::total
+        ldarg 0
+        ldfld Acc::hist
+        ldarg 1
+        ldarg 2
+        stelem
+        ret
+    }
+    .method total(acc) returns {
+        ldarg 0
+        ldfld Acc::total
+        ret
+    }
+    .method histlen(acc) returns {
+        ldarg 0
+        ldfld Acc::hist
+        ldlen
+        ret
+    }
+    .method histat(acc, i) returns {
+        ldarg 0
+        ldfld Acc::hist
+        ldarg 1
+        ldelem
+        ret
+    }
+    """
+
+    def test_object_lifecycle(self, mode):
+        rt = ManagedRuntime()
+        eng = ExecutionEngine(rt, assemble(self.SRC), mode=mode)
+        acc = eng.call("make", 4)
+        eng.call("bump", acc, 0, 10)
+        eng.call("bump", acc, 3, 32)
+        assert eng.call("total", acc) == 42
+        assert eng.call("histlen", acc) == 4
+        assert eng.call("histat", acc, 3) == 32
+        assert eng.call("histat", acc, 1) == 0
+
+    def test_objects_survive_gc_midrun(self, mode):
+        rt = ManagedRuntime()
+        eng = ExecutionEngine(rt, assemble(self.SRC), mode=mode)
+        acc = eng.call("make", 2)
+        eng.call("bump", acc, 1, 7)
+        rt.collect(1)
+        assert eng.call("histat", acc, 1) == 7
+
+    def test_null_field_access(self, mode):
+        rt = ManagedRuntime()
+        eng = ExecutionEngine(rt, assemble(self.SRC), mode=mode)
+        src2 = ".method bad() returns {\n ldnull\n ldfld Acc::total\n ret\n}"
+        eng2 = ExecutionEngine(rt, assemble(self.SRC + src2), mode=mode)
+        with pytest.raises(ILRuntimeError, match="null"):
+            eng2.call("bad")
+
+
+class TestInternals:
+    def test_callintern(self, mode):
+        log = []
+        eng = engine_for(
+            ".method m(x) returns {\n ldarg 0\n callintern log/1\n callintern rank/0:r\n ret\n}",
+            mode,
+            internals={"log": lambda v: log.append(v), "rank": lambda: 3},
+        )
+        assert eng.call("m", 42) == 3
+        assert log == [42]
+
+    def test_missing_internal(self, mode):
+        eng = engine_for(
+            ".method m() {\n callintern ghost/0\n ret\n}", mode
+        )
+        with pytest.raises(ILRuntimeError, match="no internal call"):
+            eng.call("m")
+
+
+class TestEngineChecks:
+    def test_wrong_arg_count(self, mode):
+        eng = engine_for(FIB, mode)
+        with pytest.raises(ILRuntimeError, match="takes 1 args"):
+            eng.call("fib", 1, 2)
+
+    def test_unverified_rejected_at_construction(self):
+        bad = assemble(".method m() {\n pop\n ret\n}")
+        with pytest.raises(Exception):
+            ExecutionEngine(ManagedRuntime(), bad, mode="jit")
+
+    def test_verify_opt_out(self):
+        bad = assemble(".method m() returns {\n ldc.i4 1\n ldc.i4 2\n pop\n ret\n}")
+        eng = ExecutionEngine(ManagedRuntime(), bad, mode="jit", verify=False)
+        assert eng.call("m") == 1
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            ExecutionEngine(ManagedRuntime(), assemble(FIB), mode="aot")
+
+
+class TestSwitch:
+    SRC = """
+    .method classify(x) returns {
+        ldarg 0
+        switch zero, one, two
+        ldc.i4 99
+        ret
+    zero:
+        ldc.i4 100
+        ret
+    one:
+        ldc.i4 101
+        ret
+    two:
+        ldc.i4 102
+        ret
+    }
+    """
+
+    def test_switch_dispatch(self, mode):
+        eng = engine_for(self.SRC, mode)
+        assert [eng.call("classify", i) for i in (-5, 0, 1, 2, 7)] == [
+            99, 100, 101, 102, 99,
+        ]
+
+    def test_switch_undefined_label_rejected(self):
+        import pytest
+
+        from repro.il import VerifyError, verify_assembly
+
+        bad = assemble(
+            ".method m(x) {\n ldarg 0\n switch nowhere\n ret\n}"
+        )
+        with pytest.raises(VerifyError, match="undefined label"):
+            verify_assembly(bad)
+
+    def test_switch_in_loop_polls_safepoint(self, mode):
+        src = """
+        .method spin(n) returns {
+            .locals 1
+            ldc.i4 0
+            stloc 0
+        top:
+            ldloc 0
+            ldarg 0
+            clt
+            brfalse out
+            ldloc 0
+            ldc.i4 1
+            add
+            stloc 0
+            ldc.i4 0
+            switch top
+        out:
+            ldloc 0
+            ret
+        }
+        """
+        rt = ManagedRuntime()
+        eng = ExecutionEngine(rt, assemble(src), mode=mode)
+        assert eng.call("spin", 10) == 10
+        assert eng.safepoint_polls >= 10

@@ -1,0 +1,142 @@
+"""IL over reference arrays and deeper managed-object interplay."""
+
+import pytest
+
+from repro.il import ExecutionEngine, assemble
+from repro.runtime import ManagedRuntime
+
+SRC = """
+.class Cell {
+    int32 v
+}
+
+// build a Cell[n] with cell i holding i*i
+.method build(n) returns {
+    .locals 3
+    ldarg 0
+    newarr Cell
+    stloc 0
+    ldc.i4 0
+    stloc 1
+loop:
+    ldloc 1
+    ldarg 0
+    clt
+    brfalse done
+    newobj Cell
+    stloc 2
+    ldloc 2
+    ldloc 1
+    ldloc 1
+    mul
+    stfld Cell::v
+    ldloc 0
+    ldloc 1
+    ldloc 2
+    stelem
+    ldloc 1
+    ldc.i4 1
+    add
+    stloc 1
+    br loop
+done:
+    ldloc 0
+    ret
+}
+
+// sum of .v over a Cell[]
+.method total(arr) returns {
+    .locals 2
+    ldc.i4 0
+    stloc 0
+    ldc.i4 0
+    stloc 1
+loop:
+    ldloc 1
+    ldarg 0
+    ldlen
+    clt
+    brfalse done
+    ldloc 0
+    ldarg 0
+    ldloc 1
+    ldelem
+    ldfld Cell::v
+    add
+    stloc 0
+    ldloc 1
+    ldc.i4 1
+    add
+    stloc 1
+    br loop
+done:
+    ldloc 0
+    ret
+}
+
+// null an element, then count non-null cells
+.method sparse(arr, hole) returns {
+    .locals 2
+    ldarg 0
+    ldarg 1
+    ldnull
+    stelem
+    ldc.i4 0
+    stloc 0
+    ldc.i4 0
+    stloc 1
+loop:
+    ldloc 1
+    ldarg 0
+    ldlen
+    clt
+    brfalse done
+    ldarg 0
+    ldloc 1
+    ldelem
+    ldnull
+    ceq
+    brtrue skip
+    ldloc 0
+    ldc.i4 1
+    add
+    stloc 0
+skip:
+    ldloc 1
+    ldc.i4 1
+    add
+    stloc 1
+    br loop
+done:
+    ldloc 0
+    ret
+}
+"""
+
+
+@pytest.fixture(params=["jit", "interp"])
+def engine(request):
+    return ExecutionEngine(ManagedRuntime(), assemble(SRC), mode=request.param)
+
+
+class TestReferenceArrays:
+    def test_build_and_total(self, engine):
+        arr = engine.call("build", 6)
+        assert engine.call("total", arr) == sum(i * i for i in range(6))
+
+    def test_objects_survive_collection(self, engine):
+        arr = engine.call("build", 8)
+        engine.runtime.collect(1)
+        assert engine.call("total", arr) == sum(i * i for i in range(8))
+
+    def test_null_elements(self, engine):
+        arr = engine.call("build", 5)
+        assert engine.call("sparse", arr, 2) == 4
+
+
+class TestCeqOnRefs:
+    def test_null_comparison_semantics(self, engine):
+        # ceq against ldnull inside `sparse` relies on None == None and
+        # ObjRef != None behaving like managed reference equality
+        arr = engine.call("build", 3)
+        assert engine.call("sparse", arr, 0) == 2

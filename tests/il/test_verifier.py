@@ -1,0 +1,180 @@
+"""The IL verifier."""
+
+import pytest
+
+from repro.il import VerifyError, assemble, verify_assembly, verify_method
+
+
+def verify_src(src: str) -> None:
+    asm = assemble(src)
+    verify_assembly(asm)
+
+
+class TestStackDiscipline:
+    def test_balanced_method_passes(self):
+        verify_src(".method m(a) returns {\n ldarg 0\n ldc.i4 1\n add\n ret\n}")
+
+    def test_underflow_rejected(self):
+        with pytest.raises(VerifyError, match="underflow"):
+            verify_src(".method m() {\n pop\n ret\n}")
+
+    def test_ret_with_excess_stack(self):
+        with pytest.raises(VerifyError, match="ret with stack depth"):
+            verify_src(".method m() {\n ldc.i4 1\n ret\n}")
+
+    def test_ret_missing_value(self):
+        with pytest.raises(VerifyError, match="ret with stack depth"):
+            verify_src(".method m() returns {\n ret\n}")
+
+    def test_depth_mismatch_at_join(self):
+        src = """
+        .method m(c) {
+            ldarg 0
+            brtrue a
+            ldc.i4 1
+        a:  ret
+        }
+        """
+        with pytest.raises(VerifyError, match="depth mismatch"):
+            verify_src(src)
+
+    def test_fall_off_end(self):
+        with pytest.raises(VerifyError, match="off the end"):
+            verify_src(".method m() {\n nop\n}")
+
+    def test_empty_body(self):
+        with pytest.raises(VerifyError, match="empty"):
+            verify_src(".method m() {\n}")
+
+
+class TestTypes:
+    def test_bitwise_on_float_rejected(self):
+        with pytest.raises(VerifyError):
+            verify_src(".method m() returns {\n ldc.r8 1.0\n ldc.i4 1\n and\n ret\n}")
+
+    def test_numeric_on_ref_rejected(self):
+        with pytest.raises(VerifyError):
+            verify_src(".method m() returns {\n ldnull\n ldc.i4 1\n add\n ret\n}")
+
+    def test_ldlen_on_int_rejected(self):
+        with pytest.raises(VerifyError):
+            verify_src(".method m() returns {\n ldc.i4 3\n ldlen\n ret\n}")
+
+    def test_brtrue_on_ref_rejected(self):
+        with pytest.raises(VerifyError):
+            verify_src(".method m() {\n ldnull\n brtrue x\nx: ret\n}")
+
+    def test_type_merge_at_join(self):
+        # int on one path, float on the other: merges to unknown, allowed
+        verify_src(
+            """
+            .method m(c) returns {
+                ldarg 0
+                brtrue f
+                ldc.i4 1
+                br out
+            f:  ldc.r8 1.0
+            out: ret
+            }
+            """
+        )
+
+
+class TestOperands:
+    def test_local_out_of_range(self):
+        with pytest.raises(VerifyError, match="local 0 out of range"):
+            verify_src(".method m() {\n ldc.i4 1\n stloc 0\n ret\n}")
+
+    def test_arg_out_of_range(self):
+        with pytest.raises(VerifyError, match="arg 2 out of range"):
+            verify_src(".method m(a, b) {\n ldarg 2\n pop\n ret\n}")
+
+    def test_undefined_label(self):
+        with pytest.raises(VerifyError, match="undefined label"):
+            verify_src(".method m() {\n br nowhere\n}")
+
+    def test_call_unknown_method(self):
+        with pytest.raises(VerifyError, match="unknown"):
+            verify_src(".method m() {\n call ghost\n ret\n}")
+
+    def test_call_stack_effect(self):
+        verify_src(
+            """
+            .method callee(a, b) returns {
+                ldarg 0
+                ldarg 1
+                add
+                ret
+            }
+            .method caller() returns {
+                ldc.i4 1
+                ldc.i4 2
+                call callee
+                ret
+            }
+            """
+        )
+
+    def test_call_underflow(self):
+        with pytest.raises(VerifyError, match="underflow"):
+            verify_src(
+                """
+                .method callee(a, b) returns {
+                    ldarg 0
+                    ldarg 1
+                    add
+                    ret
+                }
+                .method caller() returns {
+                    ldc.i4 1
+                    call callee
+                    ret
+                }
+                """
+            )
+
+    def test_callintern_arity_syntax(self):
+        verify_src(".method m() {\n ldc.i4 1\n callintern print/1\n ret\n}")
+        verify_src(".method m2() returns {\n callintern rank/0:r\n ret\n}")
+
+    def test_callintern_missing_arity(self):
+        with pytest.raises(VerifyError, match="arity"):
+            verify_src(".method m() {\n callintern print\n ret\n}")
+
+
+class TestLoops:
+    def test_loop_verifies(self):
+        verify_src(
+            """
+            .method m(n) returns {
+                .locals 1
+                ldc.i4 0
+                stloc 0
+            top:
+                ldloc 0
+                ldarg 0
+                clt
+                brfalse done
+                ldloc 0
+                ldc.i4 1
+                add
+                stloc 0
+                br top
+            done:
+                ldloc 0
+                ret
+            }
+            """
+        )
+
+    def test_loop_with_growing_stack_rejected(self):
+        src = """
+        .method m() {
+            ldc.i4 0
+        top:
+            ldc.i4 1
+            br top
+        }
+        """
+        with pytest.raises(VerifyError, match="depth mismatch"):
+            verify_src(src)

@@ -1,0 +1,68 @@
+"""The OO-operation static buffer pool (§7.5)."""
+
+from repro.motor.buffers import BufferPool
+
+
+class TestPool:
+    def test_create_on_demand(self, runtime):
+        pool = BufferPool(runtime)
+        buf = pool.acquire(100)
+        assert len(buf.mem) >= 100
+        assert pool.created == 1
+
+    def test_reuse_from_stack(self, runtime):
+        pool = BufferPool(runtime)
+        buf = pool.acquire(100)
+        pool.release(buf)
+        again = pool.acquire(64)
+        assert again is buf
+        assert pool.reused == 1
+        assert pool.created == 1
+
+    def test_too_small_buffers_skipped(self, runtime):
+        pool = BufferPool(runtime)
+        small = pool.acquire(64)
+        pool.release(small)
+        big = pool.acquire(1 << 16)
+        assert big is not small
+        assert pool.created == 2
+
+    def test_rounding_amortises_growth(self, runtime):
+        pool = BufferPool(runtime)
+        buf = pool.acquire(1000)
+        pool.release(buf)
+        # slightly larger request still fits the rounded buffer
+        again = pool.acquire(1024)
+        assert again is buf
+
+    def test_gc_sweeps_stale_buffers(self, runtime):
+        """'At garbage collection the stack is checked for buffers which
+        are unused since the last garbage collection and these are
+        unallocated' (§7.5)."""
+        pool = BufferPool(runtime)
+        buf = pool.acquire(128)
+        pool.release(buf)
+        runtime.collect(0)  # epoch 0 -> 1: buffer used in epoch 0, kept
+        assert pool.pooled == 1
+        runtime.collect(0)  # untouched since the last collection: swept
+        assert pool.pooled == 0
+        assert pool.swept == 1
+
+    def test_recently_used_buffers_survive_one_gc(self, runtime):
+        pool = BufferPool(runtime)
+        buf = pool.acquire(128)
+        pool.release(buf)
+        runtime.collect(0)
+        # touch it again: acquire + release refreshes the epoch
+        b2 = pool.acquire(64)
+        assert b2 is buf
+        pool.release(b2)
+        runtime.collect(0)
+        assert pool.pooled == 1  # still warm
+
+    def test_pool_independent_of_gc_gen(self, runtime):
+        pool = BufferPool(runtime)
+        pool.release(pool.acquire(32))
+        runtime.collect(1)
+        runtime.collect(1)
+        assert pool.pooled == 0

@@ -1,0 +1,149 @@
+"""Cross-layer integration: IL + OO ops, NumPy + collectives, tracing."""
+
+import numpy as np
+
+from repro.cluster import mpiexec
+from repro.il import ExecutionEngine, assemble
+from repro.motor import motor_session
+from repro.runtime.numpy_interop import as_numpy, from_numpy
+from repro.trace import attach_tracer
+from repro.workloads.linkedlist import define_linked_array
+
+
+def motor2(fn, **kw):
+    return mpiexec(2, fn, channel="shm", session_factory=motor_session, **kw)
+
+
+class TestIlWithOOTransport:
+    def test_il_builds_tree_python_transports_it(self):
+        """A managed IL program constructs the object graph; the OO
+        operations ship it — the full VM story in one test."""
+        SRC = """
+        .class Link {
+            int32 v transportable
+            Link next transportable
+        }
+        .method chain(n) returns {
+            .locals 2
+            ldnull
+            stloc 0
+        top:
+            ldarg 0
+            ldc.i4 0
+            cgt
+            brfalse done
+            newobj Link
+            stloc 1
+            ldloc 1
+            ldarg 0
+            stfld Link::v
+            ldloc 1
+            ldloc 0
+            stfld Link::next
+            ldloc 1
+            stloc 0
+            ldarg 0
+            ldc.i4 1
+            sub
+            starg 0
+            br top
+        done:
+            ldloc 0
+            ret
+        }
+        """
+
+        def main(ctx):
+            vm = ctx.session
+            eng = ExecutionEngine(vm.runtime, assemble(SRC), mode="jit")
+            comm = vm.comm_world
+            if comm.Rank == 0:
+                head = eng.call("chain", 5)  # 1 -> 2 -> ... -> 5
+                comm.OSend(head, 1, 1)
+                return None
+            got = comm.ORecv(0, 1)
+            rt = vm.runtime
+            out, node = [], got
+            while node is not None:
+                out.append(rt.get_field(node, "v"))
+                node = rt.get_field(node, "next")
+            return out
+
+        assert motor2(main)[1] == [1, 2, 3, 4, 5]
+
+
+class TestNumpyWithCollectives:
+    def test_allreduce_over_numpy_built_arrays(self):
+        from repro.mp.datatypes import DOUBLE
+
+        def main(ctx):
+            vm = ctx.session
+            comm = vm.comm_world
+            src = np.full(16, float(comm.Rank + 1))
+            send = from_numpy(vm.runtime, src)
+            recv = vm.new_array("float64", 16)
+            comm.Allreduce(vm.proxy(send), recv, DOUBLE, "sum")
+            vm.collect(0)  # promote so the view is GC-safe
+            return float(as_numpy(vm.runtime, recv.ref).sum())
+
+        assert motor2(main) == [48.0, 48.0]  # (1+2)*16
+
+    def test_scatter_numpy_slices(self):
+        def main(ctx):
+            vm = ctx.session
+            comm = vm.comm_world
+            n = comm.Size
+            send = (
+                from_numpy(vm.runtime, np.arange(4.0 * n)) if comm.Rank == 0 else None
+            )
+            recv = vm.new_array("float64", 4)
+            comm.Scatter(None if send is None else vm.proxy(send), recv, 0)
+            return [recv[i] for i in range(4)]
+
+        results = motor2(main)
+        assert results[0] == [0.0, 1.0, 2.0, 3.0]
+        assert results[1] == [4.0, 5.0, 6.0, 7.0]
+
+
+class TestTracedWorkload:
+    def test_trace_summary_of_oo_workload(self):
+        def main(ctx):
+            vm = ctx.session
+            define_linked_array(vm.runtime)
+            tracer = attach_tracer(vm)
+            comm = vm.comm_world
+            from repro.workloads.linkedlist import build_linked_list
+
+            for _ in range(3):
+                if comm.Rank == 0:
+                    comm.OSend(build_linked_list(vm.runtime, 4, 128), 1, 1)
+                else:
+                    comm.ORecv(0, 1)
+            tracer.detach()
+            s = tracer.summary()
+            if comm.Rank == 0:
+                # each OSend = size header + payload = 2 sends
+                return (s["counts"]["send"], s["bytes_sent"] > 0)
+            return (s["counts"]["recv-complete"], s["bytes_received"] > 0)
+
+        sender, receiver = motor2(main)
+        assert sender == (6, True)
+        assert receiver == (6, True)
+
+    def test_timeline_renders_for_real_workload(self):
+        def main(ctx):
+            vm = ctx.session
+            tracer = attach_tracer(vm)
+            comm = vm.comm_world
+            arr = vm.new_array("byte", 64)
+            if comm.Rank == 0:
+                comm.Send(arr, 1, 1)
+            else:
+                comm.Recv(arr, 0, 1)
+            vm.collect(1)
+            tracer.detach()
+            text = tracer.render_timeline()
+            assert "gc" in text
+            return True
+
+        assert all(motor2(main))

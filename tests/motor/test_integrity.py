@@ -1,0 +1,131 @@
+"""Object-model integrity: the restricted bindings refuse unsafe transfers.
+
+Paper §2.4/§4.2.1: the regular MPI operations must make it impossible to
+(a) overwrite the end of an object or (b) overwrite an object reference
+with data — either would crash the runtime at the next collection.
+"""
+
+import pytest
+
+from repro.cluster import mpiexec
+from repro.motor import motor_session
+from repro.runtime.errors import ObjectModelViolation
+
+
+def motor2(fn):
+    return mpiexec(2, fn, channel="shm", session_factory=motor_session)
+
+
+class TestSendRestrictions:
+    def test_object_with_references_refused(self):
+        def main(ctx):
+            vm = ctx.session
+            vm.define_class("HasRef", [("x", "int32"), ("r", "object")])
+            obj = vm.new("HasRef")
+            with pytest.raises(ObjectModelViolation, match="references"):
+                vm.comm_world.Send(obj, 1 - ctx.rank, 1)
+            return True
+
+        assert all(motor2(main))
+
+    def test_reference_array_refused(self):
+        def main(ctx):
+            vm = ctx.session
+            vm.define_class("El", [])
+            arr = vm.new_array("El", 3)
+            with pytest.raises(ObjectModelViolation):
+                vm.comm_world.Send(arr, 1 - ctx.rank, 1)
+            return True
+
+        assert all(motor2(main))
+
+    def test_offset_into_plain_object_refused(self):
+        """'Transporting portions of objects or offsetting into an object
+        is not supported' (§4.2.1)."""
+
+        def main(ctx):
+            vm = ctx.session
+            vm.define_class("Plain", [("a", "int64"), ("b", "int64")])
+            obj = vm.new("Plain")
+            with pytest.raises(ObjectModelViolation, match="subset of an object"):
+                vm.comm_world.Send(obj, 1 - ctx.rank, 1, offset=8, length=8)
+            return True
+
+        assert all(motor2(main))
+
+    def test_array_slice_overrun_refused(self):
+        def main(ctx):
+            vm = ctx.session
+            arr = vm.new_array("int32", 4)
+            with pytest.raises(ObjectModelViolation):
+                vm.comm_world.Send(arr, 1 - ctx.rank, 1, offset=2, length=3)
+            return True
+
+        assert all(motor2(main))
+
+    def test_null_object_refused(self):
+        from repro.runtime.errors import NullReferenceError_
+
+        def main(ctx):
+            vm = ctx.session
+            with pytest.raises(NullReferenceError_):
+                vm.comm_world.Send(vm.runtime.null_ref(), 1 - ctx.rank, 1)
+            return True
+
+        assert all(motor2(main))
+
+
+class TestRecvRestrictions:
+    def test_oversized_message_cannot_overwrite_next_object(self):
+        """A message longer than the receive object must raise, never
+        spill into the neighbouring object."""
+        from repro.mp.errors import MpiErrTruncate
+
+        def main(ctx):
+            vm = ctx.session
+            comm = vm.comm_world
+            if ctx.rank == 0:
+                big = vm.new_array("int32", 8, values=list(range(8)))
+                comm.Send(big, 1, 1)
+                return None
+            small = vm.new_array("int32", 2)
+            sentinel = vm.new_array("int32", 4, values=[111, 222, 333, 444])
+            with pytest.raises(MpiErrTruncate):
+                comm.Recv(small, 0, 1)
+            # the neighbour is untouched regardless of heap layout
+            return [sentinel[i] for i in range(4)]
+
+        assert motor2(main)[1] == [111, 222, 333, 444]
+
+    def test_recv_into_object_with_references_refused(self):
+        def main(ctx):
+            vm = ctx.session
+            vm.define_class("HR", [("r", "object")])
+            obj = vm.new("HR")
+            with pytest.raises(ObjectModelViolation):
+                vm.comm_world.Recv(obj, 1 - ctx.rank, 1)
+            return True
+
+        assert all(motor2(main))
+
+
+class TestCountAndDatatypeGone:
+    def test_no_count_no_datatype_in_signature(self):
+        """The binding surface itself encodes the simplification: Send takes
+        (obj, dest, tag[, offset, length]) — no count, no MPI_Datatype."""
+        import inspect
+
+        from repro.motor.system_mp import MotorCommunicator
+
+        sig = inspect.signature(MotorCommunicator.Send)
+        names = list(sig.parameters)
+        assert "count" not in names
+        assert "datatype" not in names
+        assert names[:4] == ["self", "obj", "dest", "tag"]
+
+    def test_pack_unpack_absent(self):
+        """'The MPI pack and unpack operations have been abandoned'."""
+        from repro.motor.system_mp import MotorCommunicator
+
+        assert not hasattr(MotorCommunicator, "Pack")
+        assert not hasattr(MotorCommunicator, "Unpack")

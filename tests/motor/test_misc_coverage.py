@@ -1,0 +1,115 @@
+"""Cross-cutting coverage: OO traffic isolation, strings, empty shapes."""
+
+from repro.cluster import mpiexec
+from repro.motor import motor_session
+from repro.motor.serialization import MotorSerializer
+from repro.runtime.runtime import ManagedRuntime, RuntimeConfig
+from repro.workloads.linkedlist import build_linked_list, define_linked_array, verify_linked_list
+
+
+def motor2(fn, **kw):
+    return mpiexec(2, fn, channel="shm", session_factory=motor_session, **kw)
+
+
+class TestOOTrafficIsolation:
+    def test_oo_ops_on_dup_do_not_cross(self):
+        """OO traffic rides each communicator's own collective context:
+        the same tag on a Dup'd communicator matches independently."""
+
+        def main(ctx):
+            vm = ctx.session
+            define_linked_array(vm.runtime)
+            world = vm.comm_world
+            dup = world.Dup()
+            if world.Rank == 0:
+                a = build_linked_list(vm.runtime, 1, 16)
+                b = build_linked_list(vm.runtime, 2, 32)
+                dup.OSend(b, 1, 5)  # send on dup FIRST
+                world.OSend(a, 1, 5)
+            else:
+                got_world = world.ORecv(0, 5)
+                got_dup = dup.ORecv(0, 5)
+                verify_linked_list(vm.runtime, got_world, 1, 16)
+                verify_linked_list(vm.runtime, got_dup, 2, 32)
+                return True
+
+        assert motor2(main)[1] is True
+
+    def test_oo_and_split_comm(self):
+        def main(ctx):
+            vm = ctx.session
+            define_linked_array(vm.runtime)
+            world = vm.comm_world
+            # both ranks into one subgroup: a 2-rank comm with new ctx ids
+            sub = world.Split(0, world.Rank)
+            if sub.Rank == 0:
+                sub.OSend(build_linked_list(vm.runtime, 3, 48), 1, 1)
+                return None
+            got = sub.ORecv(0, 1)
+            verify_linked_list(vm.runtime, got, 3, 48)
+            return True
+
+        assert motor2(main)[1] is True
+
+
+class TestStringsAndEmptyShapes:
+    def test_char_array_roundtrip(self):
+        """Strings are char arrays (System.String); they serialize as
+        primitive arrays."""
+        a = ManagedRuntime(RuntimeConfig())
+        b = ManagedRuntime(RuntimeConfig())
+        s = a.new_string("motor runtime ✓")
+        got = MotorSerializer(b).deserialize(MotorSerializer(a).serialize(s))
+        text = "".join(chr(b.get_elem(got, i)) for i in range(b.array_length(got)))
+        assert text == "motor runtime ✓"
+
+    def test_empty_array_roundtrip(self):
+        a = ManagedRuntime(RuntimeConfig())
+        b = ManagedRuntime(RuntimeConfig())
+        arr = a.new_array("float64", 0)
+        got = MotorSerializer(b).deserialize(MotorSerializer(a).serialize(arr))
+        assert b.array_length(got) == 0
+
+    def test_empty_object_array_split(self):
+        a = ManagedRuntime(RuntimeConfig())
+        define_linked_array(a)
+        arr = a.new_array("LinkedArray", 0)
+        name, parts = MotorSerializer(a).serialize_array_split(arr)
+        assert parts == []
+        rebuilt = MotorSerializer(a).build_array_from_parts(name, parts)
+        assert a.array_length(rebuilt) == 0
+
+    def test_send_empty_array_through_bindings(self):
+        def main(ctx):
+            vm = ctx.session
+            comm = vm.comm_world
+            arr = vm.new_array("int32", 0)
+            if comm.Rank == 0:
+                comm.Send(arr, 1, 1)
+            else:
+                st = comm.Recv(arr, 0, 1)
+                return st.count
+
+        assert motor2(main)[1] == 0
+
+
+class TestEngineLifecycle:
+    def test_finalize_flag(self):
+        def main(ctx):
+            ctx.engine.finalize()
+            return ctx.engine.finalized
+
+        assert all(mpiexec(2, main))
+
+    def test_pal_counters_monotonic(self):
+        from repro.pal import PAL
+        from repro.simtime import VirtualClock
+
+        pal = PAL("windows", clock=VirtualClock())
+        t1 = pal.get_tick_count()
+        pal.sleep(2.0)
+        t2 = pal.get_tick_count()
+        assert t2 >= t1 + 2
+        q1 = pal.query_performance_counter()
+        q2 = pal.query_performance_counter()
+        assert q2 >= q1

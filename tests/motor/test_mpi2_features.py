@@ -1,0 +1,151 @@
+"""MPI-2 features: intercomm merge, Reduce root semantics, wait sets."""
+
+import pytest
+
+from repro.cluster import mpiexec
+from repro.motor import motor_session
+from repro.mp.buffers import BufferDesc, NativeMemory
+from repro.mp.datatypes import INT
+from repro.mp.errors import MpiErrComm, MpiErrRequest
+
+
+def motor2(fn, **kw):
+    return mpiexec(2, fn, channel="shm", session_factory=motor_session, **kw)
+
+
+class TestIntercommMerge:
+    def test_merge_spawned_world(self):
+        """Spawn + merge = one intracomm over parents and children — the
+        'transparent process management' direction of paper §9."""
+
+        def child(cctx):
+            cvm = cctx.session
+            merged = cvm.parent_comm().Merge(high=True)
+            send = cvm.new_array("int32", 1, values=[merged.Rank])
+            recv = cvm.new_array("int32", 1)
+            merged.Allreduce(send, recv, INT, "sum")
+            return (merged.Rank, merged.Size, recv[0])
+
+        def main(ctx):
+            vm = ctx.session
+            inter = vm.spawn(child, 2)
+            merged = inter.Merge(high=False)
+            send = vm.new_array("int32", 1, values=[merged.Rank])
+            recv = vm.new_array("int32", 1)
+            merged.Allreduce(send, recv, INT, "sum")
+            return (merged.Rank, merged.Size, recv[0])
+
+        results = motor2(main)
+        # parents are the low side: merged ranks 0 and 1, children 2 and 3
+        assert results[0] == (0, 4, 6)
+        assert results[1] == (1, 4, 6)
+
+    def test_merge_rejects_intracomm(self):
+        def main(ctx):
+            with pytest.raises(MpiErrComm):
+                ctx.engine.intercomm_merge(ctx.engine.comm_world, False)
+            return True
+
+        assert all(mpiexec(2, main))
+
+
+class TestMotorReduce:
+    def test_reduce_to_root(self):
+        def main(ctx):
+            vm = ctx.session
+            comm = vm.comm_world
+            send = vm.new_array("int32", 2, values=[comm.Rank + 1, comm.Rank * 10])
+            recv = vm.new_array("int32", 2) if comm.Rank == 0 else None
+            comm.Reduce(send, recv, INT, "sum", 0)
+            if comm.Rank == 0:
+                return [recv[i] for i in range(2)]
+            return None
+
+        assert motor2(main)[0] == [3, 10]
+
+    def test_reduce_missing_root_buffer(self):
+        from repro.runtime.errors import InvalidOperation
+
+        def main(ctx):
+            vm = ctx.session
+            comm = vm.comm_world
+            send = vm.new_array("int32", 1, values=[1])
+            if comm.Rank == 0:
+                with pytest.raises(InvalidOperation):
+                    comm.Reduce(send, None, INT, "sum", 0)
+            return True
+
+        assert mpiexec(1, main, session_factory=motor_session) == [True]
+
+
+class TestWaitSets:
+    def test_wait_any(self):
+        def main(ctx):
+            eng = ctx.engine
+            if ctx.rank == 0:
+                eng.barrier()
+                eng.send(BufferDesc.from_bytes(b"B"), 1, 21)
+                eng.send(BufferDesc.from_bytes(b"A"), 1, 20)
+            else:
+                b1, b2 = NativeMemory(1), NativeMemory(1)
+                reqs = [
+                    eng.irecv(BufferDesc.from_native(b1), 0, 20),
+                    eng.irecv(BufferDesc.from_native(b2), 0, 21),
+                ]
+                eng.barrier()
+                first = eng.wait_any(reqs)
+                eng.wait_all(reqs)
+                return (first, b1.tobytes(), b2.tobytes())
+
+        first, a, b = mpiexec(2, main)[1]
+        assert (a, b) == (b"A", b"B")
+        assert first in (0, 1)
+
+    def test_wait_any_empty(self):
+        def main(ctx):
+            with pytest.raises(MpiErrRequest):
+                ctx.engine.wait_any([])
+            return True
+
+        assert all(mpiexec(1, main))
+
+    def test_test_all(self):
+        def main(ctx):
+            eng = ctx.engine
+            if ctx.rank == 0:
+                eng.barrier()
+                eng.send(BufferDesc.from_bytes(b"x"), 1, 5)
+                eng.send(BufferDesc.from_bytes(b"y"), 1, 6)
+            else:
+                bufs = [NativeMemory(1), NativeMemory(1)]
+                reqs = [
+                    eng.irecv(BufferDesc.from_native(bufs[0]), 0, 5),
+                    eng.irecv(BufferDesc.from_native(bufs[1]), 0, 6),
+                ]
+                assert not eng.test_all(reqs)  # nothing sent yet
+                eng.barrier()
+                spins = 0
+                while not eng.test_all(reqs) and spins < 200000:
+                    spins += 1
+                return all(r.completed for r in reqs)
+
+        assert mpiexec(2, main)[1] is True
+
+    def test_wait_some(self):
+        def main(ctx):
+            eng = ctx.engine
+            if ctx.rank == 0:
+                eng.send(BufferDesc.from_bytes(b"1"), 1, 7)
+                eng.send(BufferDesc.from_bytes(b"2"), 1, 8)
+            else:
+                bufs = [NativeMemory(1), NativeMemory(1)]
+                reqs = [
+                    eng.irecv(BufferDesc.from_native(bufs[0]), 0, 7),
+                    eng.irecv(BufferDesc.from_native(bufs[1]), 0, 8),
+                ]
+                done = eng.wait_some(reqs)
+                assert done
+                eng.wait_all(reqs)
+                return True
+
+        assert mpiexec(2, main)[1] is True

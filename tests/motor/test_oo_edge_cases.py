@@ -1,0 +1,171 @@
+"""Edge cases for the extended object-oriented operations."""
+
+import pytest
+
+from repro.cluster import mpiexec
+from repro.motor import motor_session
+from repro.workloads.linkedlist import define_linked_array
+
+
+def motorN(n, fn, **kw):
+    return mpiexec(n, fn, channel="shm", session_factory=motor_session, **kw)
+
+
+def _fill_nodes(vm, arr, count):
+    rt = vm.runtime
+    for i in range(count):
+        node = rt.new("LinkedArray")
+        rt.set_ref(node, "array", rt.new_array("int32", 1, values=[i]))
+        rt.set_elem_ref(arr, i, node)
+
+
+class TestOScatterShapes:
+    def test_fewer_elements_than_ranks(self):
+        """A 2-element array over 3 ranks: the tail rank gets an empty
+        sub-array, not an error."""
+
+        def main(ctx):
+            vm = ctx.session
+            define_linked_array(vm.runtime)
+            comm = vm.comm_world
+            if comm.Rank == 0:
+                arr = vm.runtime.new_array("LinkedArray", 2)
+                _fill_nodes(vm, arr, 2)
+                sub = comm.OScatter(arr, 0)
+            else:
+                sub = comm.OScatter(None, 0)
+            return vm.runtime.array_length(sub)
+
+        assert motorN(3, main) == [1, 1, 0]
+
+    def test_uneven_distribution(self):
+        def main(ctx):
+            vm = ctx.session
+            define_linked_array(vm.runtime)
+            comm = vm.comm_world
+            if comm.Rank == 0:
+                arr = vm.runtime.new_array("LinkedArray", 7)
+                _fill_nodes(vm, arr, 7)
+                sub = comm.OScatter(arr, 0)
+            else:
+                sub = comm.OScatter(None, 0)
+            gathered = comm.OGather(sub, 0)
+            if comm.Rank == 0:
+                rt = vm.runtime
+                return [
+                    rt.get_elem(rt.get_field(rt.get_elem(gathered, i), "array"), 0)
+                    for i in range(rt.array_length(gathered))
+                ]
+            return vm.runtime.array_length(sub)
+
+        results = motorN(3, main)
+        assert results[0] == list(range(7))  # order preserved end-to-end
+        assert results[1:] == [2, 2]  # 3+2+2 split
+
+    def test_non_root_scatter_from_other_root(self):
+        def main(ctx):
+            vm = ctx.session
+            define_linked_array(vm.runtime)
+            comm = vm.comm_world
+            root = 1
+            if comm.Rank == root:
+                arr = vm.runtime.new_array("LinkedArray", 4)
+                _fill_nodes(vm, arr, 4)
+                sub = comm.OScatter(arr, root)
+            else:
+                sub = comm.OScatter(None, root)
+            rt = vm.runtime
+            node = rt.get_elem(sub, 0)
+            return rt.get_elem(rt.get_field(node, "array"), 0)
+
+        assert motorN(2, main) == [0, 2]
+
+    def test_root_missing_array(self):
+        from repro.runtime.errors import InvalidOperation
+
+        def main(ctx):
+            vm = ctx.session
+            define_linked_array(vm.runtime)
+            if ctx.rank == 0:
+                with pytest.raises(InvalidOperation):
+                    vm.comm_world.OScatter(None, 0)
+            return True
+
+        assert mpiexec(1, main, session_factory=motor_session) == [True]
+
+
+class TestOSendEdgeCases:
+    def test_osend_null_object(self):
+        def main(ctx):
+            vm = ctx.session
+            comm = vm.comm_world
+            if comm.Rank == 0:
+                comm.OSend(None, 1, 1)
+            else:
+                return comm.ORecv(0, 1)
+
+        assert motorN(2, main)[1] is None
+
+    def test_osend_plain_primitive_array(self):
+        """OO ops accept any object, including reference-free arrays."""
+
+        def main(ctx):
+            vm = ctx.session
+            comm = vm.comm_world
+            if comm.Rank == 0:
+                arr = vm.new_array("float64", 3, values=[1.5, 2.5, 3.5])
+                comm.OSend(arr, 1, 2)
+            else:
+                got = comm.ORecv(0, 2)
+                rt = vm.runtime
+                return [rt.get_elem(got, i) for i in range(3)]
+
+        assert motorN(2, main)[1] == [1.5, 2.5, 3.5]
+
+    def test_interleaved_oo_and_regular_traffic(self):
+        """OO messages ride the collective context: a regular receive with
+        the same tag can never steal an OO size header."""
+
+        def main(ctx):
+            vm = ctx.session
+            define_linked_array(vm.runtime)
+            comm = vm.comm_world
+            tag = 5
+            if comm.Rank == 0:
+                from repro.workloads.linkedlist import build_linked_list
+
+                head = build_linked_list(vm.runtime, 2, 64)
+                plain = vm.new_array("int32", 2, values=[42, 43])
+                comm.Send(plain, 1, tag)
+                comm.OSend(head, 1, tag)
+                return None
+            plain = vm.new_array("int32", 2)
+            comm.Recv(plain, 0, tag)
+            tree = comm.ORecv(0, tag)
+            rt = vm.runtime
+            return (
+                [plain[i] for i in range(2)],
+                rt.get_elem(rt.get_field(tree, "array"), 0),
+            )
+
+        vals, first = motorN(2, main)[1]
+        assert vals == [42, 43]
+
+    def test_repeated_oo_roundtrips_reuse_pool(self):
+        def main(ctx):
+            vm = ctx.session
+            define_linked_array(vm.runtime)
+            comm = vm.comm_world
+            from repro.workloads.linkedlist import build_linked_list
+
+            for i in range(6):
+                if comm.Rank == 0:
+                    comm.OSend(build_linked_list(vm.runtime, 3, 96), 1, 1)
+                else:
+                    comm.ORecv(0, 1)
+            if comm.Rank == 1:
+                # the pool reused its buffer instead of growing
+                return vm.pool.reused >= 4
+            return None
+
+        assert motorN(2, main)[1] is True

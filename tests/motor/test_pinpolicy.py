@@ -1,0 +1,97 @@
+"""Motor's pinning policy in isolation (§4.3, §7.4)."""
+
+import pytest
+
+from repro.motor.pinpolicy import PinDecision, PinningPolicy
+from repro.runtime.gcollector import ConditionalPin, PinCookie
+
+
+class TestBlockingDiscipline:
+    def test_elder_objects_never_pinned(self, runtime):
+        policy = PinningPolicy(runtime)
+        ref = runtime.new_array("byte", 64)
+        runtime.collect(0)  # promote
+        decision = policy.pre_blocking(ref)
+        assert decision is PinDecision.NO_PIN
+        assert policy.on_enter_wait(decision, ref) is None
+        assert policy.stats.elder_skips == 1
+        assert runtime.gc.stats.pin_calls == 0
+
+    def test_young_objects_deferred(self, runtime):
+        policy = PinningPolicy(runtime)
+        ref = runtime.new_array("byte", 64)
+        decision = policy.pre_blocking(ref)
+        assert decision is PinDecision.DEFER
+        # no pin yet: fast-completing ops never pay for one
+        assert runtime.gc.stats.pin_calls == 0
+        cookie = policy.on_enter_wait(decision, ref)
+        assert isinstance(cookie, PinCookie)
+        assert runtime.gc.stats.pin_calls == 1
+        policy.release(cookie)
+        assert runtime.gc.stats.unpin_calls == 1
+
+    def test_release_none_is_noop(self, runtime):
+        PinningPolicy(runtime).release(None)
+
+    def test_disabled_policy_pins_always(self, runtime):
+        policy = PinningPolicy(runtime, enabled=False)
+        ref = runtime.new_array("byte", 64)
+        runtime.collect(0)  # even elder objects get pinned without the policy
+        decision = policy.pre_blocking(ref)
+        assert decision is PinDecision.PIN_NOW
+        cookie = policy.pin_now(ref)
+        assert runtime.gc.stats.pin_calls == 1
+        policy.release(cookie)
+
+
+class TestNonBlockingDiscipline:
+    def test_young_registers_conditional(self, runtime):
+        policy = PinningPolicy(runtime)
+        ref = runtime.new_array("byte", 64)
+        flag = {"active": True}
+        guard = policy.pre_nonblocking(ref, lambda: flag["active"])
+        assert isinstance(guard, ConditionalPin)
+        assert runtime.gc.pending_conditional_count == 1
+        addr = ref.addr
+        runtime.collect(0)
+        assert ref.addr == addr  # held by the conditional pin
+        flag["active"] = False
+        runtime.collect(0)
+        assert runtime.gc.pending_conditional_count == 0
+
+    def test_elder_needs_nothing(self, runtime):
+        policy = PinningPolicy(runtime)
+        ref = runtime.new_array("byte", 64)
+        runtime.collect(0)
+        assert policy.pre_nonblocking(ref, lambda: True) is None
+        assert runtime.gc.pending_conditional_count == 0
+
+    def test_disabled_policy_returns_hard_cookie(self, runtime):
+        policy = PinningPolicy(runtime, enabled=False)
+        ref = runtime.new_array("byte", 64)
+        guard = policy.pre_nonblocking(ref, lambda: True)
+        assert isinstance(guard, PinCookie)
+        policy.release(guard)
+
+
+class TestCosts:
+    def test_generation_check_charged(self, vruntime):
+        policy = PinningPolicy(vruntime)
+        ref = vruntime.new_array("byte", 16)
+        t0 = vruntime.clock.now()
+        policy.pre_blocking(ref)
+        assert vruntime.clock.now() - t0 >= vruntime.costs.generation_check_ns
+
+    def test_policy_cheaper_than_pin_pair(self, vruntime):
+        """The elder-skip saves a full pin/unpin per operation."""
+        policy = PinningPolicy(vruntime)
+        ref = vruntime.new_array("byte", 16)
+        vruntime.collect(0)
+        t0 = vruntime.clock.now()
+        d = policy.pre_blocking(ref)
+        policy.release(policy.on_enter_wait(d, ref))
+        skip_cost = vruntime.clock.now() - t0
+        t0 = vruntime.clock.now()
+        vruntime.gc.unpin(vruntime.gc.pin(ref))
+        pin_cost = vruntime.clock.now() - t0
+        assert skip_cost < pin_cost

@@ -1,0 +1,126 @@
+"""§7.4's polling discipline, asserted precisely.
+
+"A typical blocking MPI operation has polling implemented in three
+places: upon entry to the FCall, before the operation has commenced;
+immediately prior to exiting the FCall, after the operation has been
+completed; and while in a polling-wait state."
+"""
+
+from repro.cluster import mpiexec
+from repro.motor import motor_session
+
+
+def motor2(fn, **kw):
+    return mpiexec(2, fn, channel="shm", session_factory=motor_session, **kw)
+
+
+class TestThreePollSites:
+    def test_fast_send_polls_exactly_entry_and_exit(self):
+        """An eager send completes without a polling-wait: exactly the
+        FCall entry and exit polls happen — and no pin is ever taken
+        (the deferred-pin payoff)."""
+
+        def main(ctx):
+            vm = ctx.session
+            comm = vm.comm_world
+            arr = vm.new_array("byte", 32)
+            if comm.Rank == 0:
+                before = vm.runtime.safepoint.polls
+                pins_before = vm.runtime.gc.stats.pin_calls
+                comm.Send(arr, 1, 1)
+                return (
+                    vm.runtime.safepoint.polls - before,
+                    vm.runtime.gc.stats.pin_calls - pins_before,
+                )
+            comm.Recv(arr, 0, 1)
+            return None
+
+        polls, pins = motor2(main)[0]
+        assert polls == 2  # entry + exit, no wait loop entered
+        assert pins == 0  # §7.4: completed before the polling-wait
+
+    def test_waiting_recv_polls_many_times(self):
+        """A receive that must wait polls inside the wait loop too."""
+
+        def main(ctx):
+            vm = ctx.session
+            comm = vm.comm_world
+            arr = vm.new_array("byte", 32)
+            if comm.Rank == 0:
+                import time
+
+                time.sleep(0.05)  # make the receiver really wait
+                comm.Send(arr, 1, 1)
+                return None
+            before = vm.runtime.safepoint.polls
+            comm.Recv(arr, 0, 1)
+            return vm.runtime.safepoint.polls - before
+
+        polls = motor2(main)[1]
+        assert polls > 2  # entry + exit + polling-wait iterations
+
+    def test_waiting_recv_takes_the_deferred_pin(self):
+        def main(ctx):
+            vm = ctx.session
+            comm = vm.comm_world
+            arr = vm.new_array("byte", 32)
+            if comm.Rank == 0:
+                import time
+
+                time.sleep(0.05)
+                comm.Send(arr, 1, 1)
+                return None
+            assert vm.runtime.heap.in_gen0(arr.ref.addr)
+            before = vm.runtime.gc.stats.pin_calls
+            comm.Recv(arr, 0, 1)
+            return (
+                vm.runtime.gc.stats.pin_calls - before,
+                vm.runtime.gc.stats.unpin_calls,
+                vm.policy.stats.deferred_pins_taken,
+            )
+
+        pins, unpins, deferred = motor2(main)[1]
+        assert pins == 1 and unpins >= 1 and deferred == 1
+
+    def test_elder_buffer_never_pins_even_when_waiting(self):
+        def main(ctx):
+            vm = ctx.session
+            comm = vm.comm_world
+            arr = vm.new_array("byte", 32)
+            vm.collect(0)  # promote
+            if comm.Rank == 0:
+                import time
+
+                time.sleep(0.05)
+                comm.Send(arr, 1, 1)
+                return None
+            before = vm.runtime.gc.stats.pin_calls
+            comm.Recv(arr, 0, 1)
+            return (
+                vm.runtime.gc.stats.pin_calls - before,
+                vm.policy.stats.elder_skips,
+            )
+
+        pins, skips = motor2(main)[1]
+        assert pins == 0 and skips >= 1
+
+
+class TestManualPinningLeak:
+    def test_forgotten_unpin_leaks_memory(self, runtime):
+        """§2.3: 'failing to unpin a memory buffer results in leaking
+        memory' — the hazard of user-managed pinning that Motor's policy
+        removes.  A pinned-and-forgotten object survives full collections
+        forever."""
+        ref = runtime.new_array("byte", 1024)
+        runtime.gc.pin(ref)  # the user forgets the cookie
+        addr_holder = []
+        runtime.collect(0)
+        addr_holder.append(ref.addr)
+        del ref  # even the user's reference is gone...
+        import gc as pygc
+
+        pygc.collect()
+        for _ in range(3):
+            runtime.collect(1)
+        # ...but the object is still occupying elder memory: a leak
+        assert addr_holder[0] in runtime.heap.gen1_allocs

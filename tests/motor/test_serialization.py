@@ -1,0 +1,236 @@
+"""Motor's custom serializer: type table + object data, Transportable bit."""
+
+import pytest
+
+from repro.motor.serialization import (
+    HashedVisited,
+    LinearVisited,
+    MotorSerializer,
+    SerializationError,
+)
+from repro.runtime.runtime import ManagedRuntime, RuntimeConfig
+from repro.workloads.linkedlist import (
+    build_linked_list,
+    define_linked_array,
+    verify_linked_list,
+)
+
+
+def pair() -> tuple[ManagedRuntime, ManagedRuntime]:
+    """Sender and receiver runtimes with identical class registries."""
+    a = ManagedRuntime(RuntimeConfig(heap_capacity=8 << 20, nursery_size=64 << 10))
+    b = ManagedRuntime(RuntimeConfig(heap_capacity=8 << 20, nursery_size=64 << 10))
+    for rt in (a, b):
+        define_linked_array(rt)
+        rt.define_class(
+            "Mixed",
+            [
+                ("i", "int32", True),
+                ("f", "float64", True),
+                ("tagged", "int32[]", True),
+                ("plain", "int32[]", False),
+            ],
+        )
+    return a, b
+
+
+class TestRoundTrip:
+    def test_null_root(self):
+        a, b = pair()
+        data = MotorSerializer(a).serialize(None)
+        assert MotorSerializer(b).deserialize(data) is None
+
+    def test_single_object_primitives(self):
+        a, b = pair()
+        obj = a.new("Mixed", i=42, f=-1.5)
+        got = MotorSerializer(b).deserialize(MotorSerializer(a).serialize(obj))
+        assert b.get_field(got, "i") == 42
+        assert b.get_field(got, "f") == -1.5
+
+    def test_transportable_ref_propagates(self):
+        a, b = pair()
+        obj = a.new("Mixed", i=1)
+        arr = a.new_array("int32", 3, values=[7, 8, 9])
+        a.set_ref(obj, "tagged", arr)
+        got = MotorSerializer(b).deserialize(MotorSerializer(a).serialize(obj))
+        tagged = b.get_field(got, "tagged")
+        assert [b.get_elem(tagged, i) for i in range(3)] == [7, 8, 9]
+
+    def test_non_transportable_ref_swapped_to_null(self):
+        """'References are replaced with null' for unmarked fields (§4.2.2)."""
+        a, b = pair()
+        obj = a.new("Mixed")
+        arr = a.new_array("int32", 2, values=[1, 2])
+        a.set_ref(obj, "plain", arr)
+        got = MotorSerializer(b).deserialize(MotorSerializer(a).serialize(obj))
+        assert b.get_field(got, "plain") is None
+
+    def test_linked_list_roundtrip(self):
+        a, b = pair()
+        head = build_linked_list(a, elements=10, total_bytes=400)
+        got = MotorSerializer(b).deserialize(MotorSerializer(a).serialize(head))
+        verify_linked_list(b, got, elements=10, total_bytes=400)
+
+    def test_next2_not_transported(self):
+        a, b = pair()
+        head = build_linked_list(a, elements=4, total_bytes=64, wire_next2=True)
+        got = MotorSerializer(b).deserialize(MotorSerializer(a).serialize(head))
+        verify_linked_list(b, got, 4, 64, expect_next2_null=True)
+
+    def test_prim_array_root(self):
+        a, b = pair()
+        arr = a.new_array("float64", 4, values=[1.0, 2.0, 3.0, 4.0])
+        got = MotorSerializer(b).deserialize(MotorSerializer(a).serialize(arr))
+        assert [b.get_elem(got, i) for i in range(4)] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_object_array_propagates_elements(self):
+        """Arrays of objects transport their elements by default (§4.2.2)."""
+        a, b = pair()
+        arr = a.new_array("LinkedArray", 3)
+        for i in range(3):
+            node = a.new("LinkedArray")
+            a.set_ref(node, "array", a.new_array("int32", 1, values=[i * 5]))
+            a.set_elem_ref(arr, i, node)
+        got = MotorSerializer(b).deserialize(MotorSerializer(a).serialize(arr))
+        for i in range(3):
+            node = b.get_elem(got, i)
+            assert b.get_elem(b.get_field(node, "array"), 0) == i * 5
+
+    def test_array_with_null_elements(self):
+        a, b = pair()
+        arr = a.new_array("LinkedArray", 3)
+        a.set_elem_ref(arr, 1, a.new("LinkedArray"))
+        got = MotorSerializer(b).deserialize(MotorSerializer(a).serialize(arr))
+        assert b.get_elem(got, 0) is None
+        assert b.get_elem(got, 1) is not None
+        assert b.get_elem(got, 2) is None
+
+    def test_shared_substructure_preserved(self):
+        a, b = pair()
+        shared = a.new_array("int32", 1, values=[99])
+        n1 = a.new("LinkedArray")
+        n2 = a.new("LinkedArray")
+        a.set_ref(n1, "array", shared)
+        a.set_ref(n2, "array", shared)
+        a.set_ref(n1, "next", n2)
+        got = MotorSerializer(b).deserialize(MotorSerializer(a).serialize(n1))
+        arr1 = b.get_field(got, "array")
+        arr2 = b.get_field(b.get_field(got, "next"), "array")
+        assert arr1.same_object(arr2)  # one object, not two copies
+
+    def test_cycle_roundtrip(self):
+        a, b = pair()
+        n1 = a.new("LinkedArray")
+        n2 = a.new("LinkedArray")
+        a.set_ref(n1, "next", n2)
+        a.set_ref(n2, "next", n1)  # cycle
+        got = MotorSerializer(b).deserialize(MotorSerializer(a).serialize(n1))
+        back = b.get_field(b.get_field(got, "next"), "next")
+        assert back.same_object(got)
+
+    def test_deep_list_no_python_recursion_limit(self):
+        a, b = pair()
+        head = build_linked_list(a, elements=3000, total_bytes=12000)
+        data = MotorSerializer(a, visited="hashed").serialize(head)
+        got = MotorSerializer(b, visited="hashed").deserialize(data)
+        # spot-check ends
+        node = got
+        for _ in range(2999):
+            node = b.get_field(node, "next")
+        assert b.get_field(node, "next") is None
+
+    def test_deserialization_under_gc_pressure(self):
+        """Deserialization allocates and may collect mid-build; handles must
+        keep every partially-built object coherent."""
+        a, _ = pair()
+        b = ManagedRuntime(RuntimeConfig(heap_capacity=8 << 20, nursery_size=4 << 10))
+        define_linked_array(b)
+        head = build_linked_list(a, elements=50, total_bytes=2000)
+        data = MotorSerializer(a).serialize(head)
+        before = b.gc.stats.gen0_collections
+        got = MotorSerializer(b).deserialize(data)
+        assert b.gc.stats.gen0_collections > before  # GC really happened
+        verify_linked_list(b, got, 50, 2000)
+
+
+class TestTypeTable:
+    def test_unknown_type_at_receiver(self):
+        a, _ = pair()
+        b = ManagedRuntime()  # LinkedArray not defined here
+        define_linked_array(a)
+        head = build_linked_list(a, elements=1, total_bytes=16)
+        data = MotorSerializer(a).serialize(head)
+        with pytest.raises(Exception):
+            MotorSerializer(b).deserialize(data)
+
+    def test_layout_mismatch_detected(self):
+        a, _ = pair()
+        b = ManagedRuntime()
+        b.define_class(
+            "Mixed",
+            [("i", "int32", True)],  # fewer fields than the sender's Mixed
+        )
+        obj = a.new("Mixed", i=1)
+        data = MotorSerializer(a).serialize(obj)
+        with pytest.raises(SerializationError, match="mismatch"):
+            MotorSerializer(b).deserialize(data)
+
+    def test_bad_magic(self):
+        _, b = pair()
+        with pytest.raises(SerializationError, match="magic"):
+            MotorSerializer(b).deserialize(b"\x00\x00\x00\x00rest")
+
+    def test_truncated_stream(self):
+        a, b = pair()
+        data = MotorSerializer(a).serialize(a.new("Mixed", i=5))
+        with pytest.raises(Exception):
+            MotorSerializer(b).deserialize(bytes(data)[: len(data) // 2])
+
+
+class TestVisitedStructures:
+    def test_linear_counts_comparisons(self):
+        v = LinearVisited()
+        assert v.lookup(100) is None
+        assert v.comparisons == 0  # empty list: no comparisons
+        v.add(100)
+        v.add(200)
+        assert v.lookup(200) == 1
+        assert v.comparisons == 2  # scanned past 100 to find 200
+        assert v.lookup(999) is None
+        assert v.comparisons == 4  # full scan of 2 entries
+
+    def test_hashed_counts_probes(self):
+        v = HashedVisited()
+        v.add(1)
+        v.lookup(1)
+        v.lookup(2)
+        assert v.probes == 2
+
+    def test_same_ids_both_structures(self):
+        a, b = pair()
+        head = build_linked_list(a, elements=8, total_bytes=128)
+        d1 = MotorSerializer(a, visited="linear").serialize(head)
+        d2 = MotorSerializer(a, visited="hashed").serialize(head)
+        assert bytes(d1) == bytes(d2)  # identical representation
+
+    def test_linear_quadratic_charge(self):
+        from repro.simtime import VirtualClock
+
+        rt = ManagedRuntime(
+            RuntimeConfig(heap_capacity=8 << 20, nursery_size=64 << 10),
+            clock=VirtualClock(),
+        )
+        define_linked_array(rt)
+        costs = []
+        for k in (256, 1024):
+            head = build_linked_list(rt, elements=k, total_bytes=k * 8)
+            t0 = rt.clock.now()
+            MotorSerializer(rt, visited="linear").serialize(head)
+            costs.append(rt.clock.now() - t0)
+        # 4x the objects: the quadratic visited term should push the cost
+        # well past 4x (a linear serializer would stay at ~4x)
+        assert costs[1] > costs[0] * 6
+
+    def test_unknown_visited_kind(self):
+        with pytest.raises(ValueError):
+            MotorSerializer(ManagedRuntime(), visited="btree")

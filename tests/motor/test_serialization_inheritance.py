@@ -1,0 +1,89 @@
+"""Serialization across class hierarchies and subtyped references."""
+
+import pytest
+
+from repro.motor.serialization import MotorSerializer, SerializationError
+from repro.runtime.runtime import ManagedRuntime, RuntimeConfig
+
+
+def make_rt() -> ManagedRuntime:
+    rt = ManagedRuntime(RuntimeConfig())
+    rt.define_class("Shape", [("id", "int32", True), ("peer", "Shape", True)])
+    rt.define_class(
+        "Circle", [("radius", "float64", True)], base="Shape"
+    )
+    rt.define_class(
+        "Square", [("side", "float64", True)], base="Shape"
+    )
+    rt.define_class("Canvas", [("main", "Shape", True)])
+    return rt
+
+
+class TestInheritedFields:
+    def test_base_fields_travel_with_subclass(self):
+        a, b = make_rt(), make_rt()
+        c = a.new("Circle", id=7, radius=2.5)
+        got = MotorSerializer(b).deserialize(MotorSerializer(a).serialize(c))
+        assert b.type_of(got).name == "Circle"
+        assert b.get_field(got, "id") == 7  # inherited field preserved
+        assert b.get_field(got, "radius") == 2.5
+
+    def test_transportable_bit_inherited(self):
+        rt = make_rt()
+        circle = rt.registry.resolve("Circle")
+        assert circle.fields_by_name["id"].is_transportable
+        assert circle.fields_by_name["peer"].is_transportable
+
+    def test_polymorphic_reference(self):
+        """A Shape-typed field holding a Circle arrives as a Circle."""
+        a, b = make_rt(), make_rt()
+        canvas = a.new("Canvas")
+        circle = a.new("Circle", id=1, radius=9.0)
+        a.set_ref(canvas, "main", circle)
+        got = MotorSerializer(b).deserialize(MotorSerializer(a).serialize(canvas))
+        main = b.get_field(got, "main")
+        assert b.type_of(main).name == "Circle"
+        assert b.get_field(main, "radius") == 9.0
+
+    def test_heterogeneous_sibling_chain(self):
+        a, b = make_rt(), make_rt()
+        c = a.new("Circle", id=1, radius=1.0)
+        s = a.new("Square", id=2, side=4.0)
+        a.set_ref(c, "peer", s)
+        got = MotorSerializer(b).deserialize(MotorSerializer(a).serialize(c))
+        peer = b.get_field(got, "peer")
+        assert b.type_of(peer).name == "Square"
+        assert b.get_field(peer, "side") == 4.0
+
+    def test_receiver_missing_subclass(self):
+        a = make_rt()
+        b = ManagedRuntime(RuntimeConfig())
+        b.define_class("Shape", [("id", "int32", True), ("peer", "Shape", True)])
+        # no Circle at the receiver
+        c = a.new("Circle", id=1, radius=1.0)
+        data = MotorSerializer(a).serialize(c)
+        with pytest.raises(Exception):
+            MotorSerializer(b).deserialize(data)
+
+    def test_subclass_array_elements(self):
+        a, b = make_rt(), make_rt()
+        arr = a.new_array("Shape", 2)
+        a.set_elem_ref(arr, 0, a.new("Circle", id=1, radius=1.5))
+        a.set_elem_ref(arr, 1, a.new("Square", id=2, side=2.5))
+        got = MotorSerializer(b).deserialize(MotorSerializer(a).serialize(arr))
+        assert b.type_of(b.get_elem(got, 0)).name == "Circle"
+        assert b.type_of(b.get_elem(got, 1)).name == "Square"
+
+
+class TestTypedStoreChecks:
+    def test_deserializer_respects_typed_slots(self):
+        """A stream claiming a Square belongs in a Circle-typed slot would
+        violate the type system; the write barrier catches it."""
+        a = make_rt()
+        b = make_rt()
+        b.define_class("CircleHolder", [("c", "Circle", True)])
+        a.define_class("CircleHolder", [("c", "Circle", True)])
+        holder = a.new("CircleHolder")
+        a.set_ref(holder, "c", a.new("Circle", id=1, radius=1.0))
+        got = MotorSerializer(b).deserialize(MotorSerializer(a).serialize(holder))
+        assert b.type_of(b.get_field(got, "c")).name == "Circle"

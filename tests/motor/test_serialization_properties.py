@@ -1,0 +1,137 @@
+"""Property-based serializer tests: arbitrary graphs round-trip faithfully."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.motor.serialization import MotorSerializer
+from repro.runtime.runtime import ManagedRuntime, RuntimeConfig
+
+
+def make_rt() -> ManagedRuntime:
+    rt = ManagedRuntime(RuntimeConfig(heap_capacity=8 << 20, nursery_size=32 << 10))
+    rt.define_class(
+        "GNode",
+        [
+            ("v", "int64", True),
+            ("a", "GNode", True),  # transportable edge
+            ("b", "GNode", False),  # non-transportable edge -> nulled
+            ("data", "int32[]", True),
+        ],
+    )
+    return rt
+
+
+node_st = st.fixed_dictionaries(
+    {
+        "v": st.integers(min_value=-(2**62), max_value=2**62),
+        "payload": st.lists(st.integers(-(2**31), 2**31 - 1), max_size=6),
+        "a": st.integers(min_value=-1, max_value=11),
+        "b": st.integers(min_value=-1, max_value=11),
+    }
+)
+graph_st = st.lists(node_st, min_size=1, max_size=12)
+
+
+def build(rt, desc):
+    nodes = [rt.new("GNode", v=d["v"]) for d in desc]
+    for node, d in zip(nodes, desc):
+        if d["payload"]:
+            rt.set_ref(
+                node, "data", rt.new_array("int32", len(d["payload"]), values=d["payload"])
+            )
+        for fname in ("a", "b"):
+            idx = d[fname]
+            if 0 <= idx < len(nodes):
+                rt.set_ref(node, fname, nodes[idx])
+    return nodes
+
+
+def transportable_closure_snapshot(rt, root) -> list:
+    """Walk the graph the way the serializer is *supposed* to: only 'a'
+    edges propagate; 'b' edges read as null on the receiver."""
+    seen: dict[int, int] = {}
+    out = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node is None or node.addr in seen:
+            continue
+        seen[node.addr] = len(seen)
+        data = rt.get_field(node, "data")
+        payload = (
+            None
+            if data is None
+            else tuple(rt.get_elem(data, i) for i in range(rt.array_length(data)))
+        )
+        a = rt.get_field(node, "a")
+        out.append((rt.get_field(node, "v"), payload, a is not None))
+        if a is not None:
+            stack.append(a)
+    return out
+
+
+@settings(max_examples=60, deadline=None)
+@given(desc=graph_st, visited=st.sampled_from(["linear", "hashed"]))
+def test_roundtrip_preserves_transportable_closure(desc, visited):
+    a_rt, b_rt = make_rt(), make_rt()
+    nodes = build(a_rt, desc)
+    root = nodes[0]
+    expected = transportable_closure_snapshot(a_rt, root)
+    data = MotorSerializer(a_rt, visited=visited).serialize(root)
+    got_root = MotorSerializer(b_rt, visited=visited).deserialize(data)
+    got = transportable_closure_snapshot(b_rt, got_root)
+    assert got == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(desc=graph_st)
+def test_non_transportable_edges_always_null_at_receiver(desc):
+    a_rt, b_rt = make_rt(), make_rt()
+    nodes = build(a_rt, desc)
+    data = MotorSerializer(a_rt).serialize(nodes[0])
+    got_root = MotorSerializer(b_rt).deserialize(data)
+    stack, seen = [got_root], set()
+    while stack:
+        node = stack.pop()
+        if node is None or node.addr in seen:
+            continue
+        seen.add(node.addr)
+        assert b_rt.get_field(node, "b") is None
+        stack.append(b_rt.get_field(node, "a"))
+
+
+@settings(max_examples=40, deadline=None)
+@given(desc=graph_st)
+def test_serialize_is_deterministic(desc):
+    rt = make_rt()
+    nodes = build(rt, desc)
+    d1 = MotorSerializer(rt).serialize(nodes[0])
+    d2 = MotorSerializer(rt).serialize(nodes[0])
+    assert bytes(d1) == bytes(d2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    lengths=st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=8)
+)
+def test_split_concat_is_identity(lengths):
+    a_rt, b_rt = make_rt(), make_rt()
+    arr = a_rt.new_array("GNode", len(lengths))
+    for i, ln in enumerate(lengths):
+        node = a_rt.new("GNode", v=i)
+        if ln:
+            a_rt.set_ref(node, "data", a_rt.new_array("int32", ln, values=list(range(ln))))
+        a_rt.set_elem_ref(arr, i, node)
+    name, parts = MotorSerializer(a_rt).serialize_array_split(arr)
+    rebuilt = MotorSerializer(b_rt).build_array_from_parts(name, parts)
+    assert b_rt.array_length(rebuilt) == len(lengths)
+    for i, ln in enumerate(lengths):
+        node = b_rt.get_elem(rebuilt, i)
+        assert b_rt.get_field(node, "v") == i
+        data = b_rt.get_field(node, "data")
+        if ln:
+            assert b_rt.array_length(data) == ln
+        else:
+            assert data is None

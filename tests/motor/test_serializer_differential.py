@@ -1,0 +1,134 @@
+"""Differential property: Motor vs the standard serializers.
+
+On graphs where every reference is Transportable, Motor's opt-in
+semantics coincide with the standard serializers' opt-out semantics —
+so the *reconstructed graphs* must be observably identical, even though
+the wire formats differ completely.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.serializers import ClrBinarySerializer, JavaSerializer
+from repro.motor.serialization import MotorSerializer
+from repro.runtime.runtime import ManagedRuntime, RuntimeConfig
+from repro.simtime import HOST_PROFILES
+
+
+def make_rt() -> ManagedRuntime:
+    rt = ManagedRuntime(RuntimeConfig(heap_capacity=8 << 20, nursery_size=32 << 10))
+    rt.define_class(
+        "DNode",
+        [
+            ("v", "int64", True),
+            ("a", "DNode", True),
+            ("b", "DNode", True),
+            ("data", "int32[]", True),
+        ],
+    )
+    return rt
+
+
+node_st = st.fixed_dictionaries(
+    {
+        "v": st.integers(min_value=-(2**40), max_value=2**40),
+        "payload": st.lists(st.integers(-1000, 1000), max_size=4),
+        "a": st.integers(min_value=-1, max_value=9),
+        "b": st.integers(min_value=-1, max_value=9),
+    }
+)
+graph_st = st.lists(node_st, min_size=1, max_size=10)
+
+
+def build(rt, desc):
+    nodes = [rt.new("DNode", v=d["v"]) for d in desc]
+    for node, d in zip(nodes, desc):
+        if d["payload"]:
+            rt.set_ref(
+                node, "data",
+                rt.new_array("int32", len(d["payload"]), values=d["payload"]),
+            )
+        for f in ("a", "b"):
+            if 0 <= d[f] < len(nodes):
+                rt.set_ref(node, f, nodes[d[f]])
+    return nodes[0]
+
+
+def canonical(rt, root) -> list[tuple]:
+    """Order-independent observable form: BFS with stable node ids."""
+    if root is None:
+        return []
+    ids: dict[int, int] = {}
+    order: list = []
+    queue = [root]
+    while queue:
+        node = queue.pop(0)
+        if node is None or node.addr in ids:
+            continue
+        ids[node.addr] = len(ids)
+        order.append(node)
+        for f in ("a", "b"):
+            queue.append(rt.get_field(node, f))
+    out = []
+    for node in order:
+        data = rt.get_field(node, "data")
+        payload = (
+            None
+            if data is None
+            else tuple(rt.get_elem(data, i) for i in range(rt.array_length(data)))
+        )
+        edges = tuple(
+            (ids.get(t.addr) if (t := rt.get_field(node, f)) is not None else None)
+            for f in ("a", "b")
+        )
+        out.append((rt.get_field(node, "v"), payload, edges))
+    return out
+
+
+@settings(max_examples=40, deadline=None)
+@given(desc=graph_st)
+def test_motor_and_clr_reconstruct_identical_graphs(desc):
+    src = make_rt()
+    root = build(src, desc)
+    expected = canonical(src, root)
+
+    dst_m = make_rt()
+    got_m = MotorSerializer(dst_m).deserialize(MotorSerializer(src).serialize(root))
+    assert canonical(dst_m, got_m) == expected
+
+    dst_c = make_rt()
+    clr = ClrBinarySerializer(src, HOST_PROFILES["sscli-free"])
+    got_c = ClrBinarySerializer(dst_c, HOST_PROFILES["sscli-free"]).deserialize(
+        clr.serialize(root)
+    )
+    assert canonical(dst_c, got_c) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(desc=graph_st)
+def test_java_matches_when_within_recursion_budget(desc):
+    src = make_rt()
+    root = build(src, desc)
+    expected = canonical(src, root)
+    dst = make_rt()
+    p = HOST_PROFILES["jvm"]
+    got = JavaSerializer(dst, p).deserialize(JavaSerializer(src, p).serialize(root))
+    assert canonical(dst, got) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(desc=graph_st)
+def test_motor_stream_smaller_once_type_table_amortises(desc):
+    """Motor pays a one-off type table but per-record references beat the
+    standard formats' per-record names — so beyond a handful of objects
+    the Motor stream is the smaller one."""
+    src = make_rt()
+    root = build(src, desc)
+    ser = MotorSerializer(src)
+    motor_data = ser.serialize(root)
+    if ser.objects_serialized < 4:
+        return  # table overhead dominates tiny graphs: no claim there
+    clr_len = len(ClrBinarySerializer(src, HOST_PROFILES["sscli-free"]).serialize(root))
+    assert len(motor_data) <= clr_len

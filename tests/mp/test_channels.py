@@ -1,0 +1,139 @@
+"""Channel implementations: delivery, framing across polls, link model."""
+
+import pytest
+
+from repro.mp.channels import FABRICS, ShmFabric, SockFabric, SsmFabric
+from repro.mp.packets import DATA, EAGER, Packet
+from repro.simtime import CostModel, VirtualClock, WallClock
+
+
+def make_pair(fabric_cls, **kw):
+    fab = fabric_cls(2, **kw)
+    c0 = fab.endpoint(0, WallClock(), CostModel())
+    c1 = fab.endpoint(1, WallClock(), CostModel())
+    return fab, c0, c1
+
+
+@pytest.mark.parametrize("fabric_cls", [ShmFabric, SockFabric, SsmFabric])
+class TestDelivery:
+    def test_single_packet(self, fabric_cls):
+        _, c0, c1 = make_pair(fabric_cls)
+        pkt = Packet(ptype=EAGER, src=0, dst=1, tag=5, payload=b"data!")
+        assert c0.send_packet(pkt)
+        got = c1.recv_packets()
+        assert len(got) == 1
+        assert got[0].payload == b"data!"
+        assert got[0].tag == 5
+
+    def test_order_preserved_per_pair(self, fabric_cls):
+        _, c0, c1 = make_pair(fabric_cls)
+        for i in range(10):
+            c0.send_packet(Packet(ptype=DATA, src=0, dst=1, offset=i, payload=bytes([i])))
+        got = []
+        while len(got) < 10:
+            got.extend(c1.recv_packets())
+        assert [p.offset for p in got] == list(range(10))
+
+    def test_recv_limit(self, fabric_cls):
+        _, c0, c1 = make_pair(fabric_cls)
+        for i in range(6):
+            c0.send_packet(Packet(ptype=DATA, src=0, dst=1, payload=b"x"))
+        first = c1.recv_packets(limit=4)
+        assert len(first) == 4
+        rest = c1.recv_packets()
+        assert len(rest) == 2
+
+    def test_has_incoming(self, fabric_cls):
+        _, c0, c1 = make_pair(fabric_cls)
+        assert not c1.has_incoming()
+        c0.send_packet(Packet(ptype=EAGER, src=0, dst=1, payload=b"z"))
+        assert c1.has_incoming()
+        c1.recv_packets()
+        assert not c1.has_incoming()
+
+    def test_empty_recv(self, fabric_cls):
+        _, _c0, c1 = make_pair(fabric_cls)
+        assert c1.recv_packets() == []
+
+    def test_stats(self, fabric_cls):
+        _, c0, c1 = make_pair(fabric_cls)
+        c0.send_packet(Packet(ptype=EAGER, src=0, dst=1, payload=b"abcd"))
+        c1.recv_packets()
+        assert c0.packets_sent == 1
+        assert c0.bytes_sent == 4
+        assert c1.packets_received == 1
+
+
+class TestSockSpecific:
+    def test_large_payload_streams_across_polls(self):
+        """A payload bigger than the pipe arrives over multiple polls —
+        the flow control the GC-hazard window depends on."""
+        fab = SockFabric(2, pipe_capacity=4096)
+        c0 = fab.endpoint(0, WallClock(), CostModel())
+        c1 = fab.endpoint(1, WallClock(), CostModel())
+        big = bytes(range(256)) * 64  # 16 KiB > 4 KiB pipe
+        c0.send_packet(Packet(ptype=EAGER, src=0, dst=1, payload=big))
+        assert c0.tx_backlog > 0
+        got = []
+        for _ in range(100):
+            got = c1.recv_packets()
+            if got:
+                break
+            c0.flush_all()
+        assert got and got[0].payload == big
+        assert c0.tx_backlog == 0
+
+    def test_interleaved_sources(self):
+        fab = SockFabric(3)
+        cm = CostModel()
+        c0 = fab.endpoint(0, WallClock(), cm)
+        c1 = fab.endpoint(1, WallClock(), cm)
+        c2 = fab.endpoint(2, WallClock(), cm)
+        c0.send_packet(Packet(ptype=EAGER, src=0, dst=2, payload=b"from0"))
+        c1.send_packet(Packet(ptype=EAGER, src=1, dst=2, payload=b"from1"))
+        got = c2.recv_packets()
+        assert {p.payload for p in got} == {b"from0", b"from1"}
+
+
+class TestVirtualLinkModel:
+    def test_bandwidth_serialises(self):
+        """Back-to-back packets queue on the link: the second arrives a
+        full byte-time after the first (regression for the 'infinite
+        pipelining' bug)."""
+        fab = ShmFabric(2)
+        cm = CostModel()
+        clock = VirtualClock()
+        c0 = fab.endpoint(0, clock, cm)
+        fab.endpoint(1, VirtualClock(), cm)
+        nbytes = 16 * 1024
+        c0.send_packet(Packet(ptype=DATA, src=0, dst=1, payload=b"a" * nbytes))
+        c0.send_packet(Packet(ptype=DATA, src=0, dst=1, payload=b"a" * nbytes))
+        q = fab._queues[1]
+        p1, p2 = q.drain()
+        assert p2.ts - p1.ts >= nbytes * cm.per_byte_ns * 0.4  # shm halves per-byte
+
+    def test_arrival_after_send(self):
+        fab = SockFabric(2)
+        cm = CostModel()
+        clock = VirtualClock()
+        c0 = fab.endpoint(0, clock, cm)
+        c1 = fab.endpoint(1, VirtualClock(), cm)
+        c0.send_packet(Packet(ptype=EAGER, src=0, dst=1, payload=b"x" * 100))
+        got = c1.recv_packets()
+        assert got[0].ts >= cm.message_latency_ns
+
+
+class TestSsm:
+    def test_local_peers_use_shm(self):
+        fab = SsmFabric(4, node_of={0: 0, 1: 0, 2: 1, 3: 1})
+        cm = CostModel()
+        c0 = fab.endpoint(0, WallClock(), cm)
+        fab.endpoint(1, WallClock(), cm)
+        fab.endpoint(2, WallClock(), cm)
+        c0.send_packet(Packet(ptype=EAGER, src=0, dst=1, payload=b"local"))
+        c0.send_packet(Packet(ptype=EAGER, src=0, dst=2, payload=b"remote"))
+        assert c0._shm.packets_sent == 1
+        assert c0._sock.packets_sent == 1
+
+    def test_registry(self):
+        assert set(FABRICS) == {"shm", "sock", "ssm", "ib"}

@@ -1,0 +1,121 @@
+"""Property tests: collectives agree with their point-to-point definitions."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import mpiexec
+from repro.mp import collectives
+from repro.mp.buffers import BufferDesc, NativeMemory
+from repro.mp.datatypes import INT
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=5),
+    root=st.integers(min_value=0, max_value=4),
+    payload=st.binary(min_size=1, max_size=4096),
+)
+def test_bcast_delivers_root_bytes_everywhere(n, root, payload):
+    root %= n
+
+    def main(ctx):
+        eng = ctx.engine
+        if ctx.rank == root:
+            buf = BufferDesc.from_bytes(payload)
+        else:
+            buf = BufferDesc.from_native(NativeMemory(len(payload)))
+        collectives.bcast(eng, eng.comm_world, buf, root)
+        return buf.tobytes()
+
+    assert mpiexec(n, main, channel="shm") == [payload] * n
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=4),
+    each=st.integers(min_value=1, max_value=512),
+    root=st.integers(min_value=0, max_value=3),
+)
+def test_scatter_gather_identity(n, each, root):
+    root %= n
+    total = bytes((i * 7 + 1) % 256 for i in range(n * each))
+
+    def main(ctx):
+        eng = ctx.engine
+        world = eng.comm_world
+        send = BufferDesc.from_bytes(total) if ctx.rank == root else None
+        piece = BufferDesc.from_native(NativeMemory(each))
+        collectives.scatter(eng, world, send, piece, root)
+        back = (
+            BufferDesc.from_native(NativeMemory(n * each))
+            if ctx.rank == root
+            else None
+        )
+        collectives.gather(eng, world, piece, back, root)
+        return back.tobytes() if ctx.rank == root else piece.tobytes()
+
+    results = mpiexec(n, main, channel="shm")
+    assert results[root] == total
+    for r in range(n):
+        if r != root:
+            assert results[r] == total[r * each : (r + 1) * each]
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=5),
+    values=st.lists(
+        st.integers(min_value=-(2**30), max_value=2**30), min_size=5, max_size=5
+    ),
+    op=st.sampled_from(["sum", "max", "min"]),
+)
+def test_allreduce_matches_python_reduce(n, values, op):
+    from functools import reduce as py_reduce
+
+    from repro.mp.collectives import OPS
+
+    def main(ctx):
+        eng = ctx.engine
+        send = BufferDesc.from_bytes(INT.pack_values([values[ctx.rank]]))
+        recv = BufferDesc.from_native(NativeMemory(4))
+        collectives.allreduce(eng, eng.comm_world, send, recv, INT, op)
+        return INT.unpack_values(recv.tobytes())[0]
+
+    expected = py_reduce(OPS[op], values[:n])
+    assert mpiexec(n, main, channel="shm") == [expected] * n
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=5),
+    blobs=st.lists(st.binary(max_size=200), min_size=5, max_size=5),
+)
+def test_gather_bytes_preserves_order_and_content(n, blobs):
+    def main(ctx):
+        eng = ctx.engine
+        return collectives.gather_bytes(eng, eng.comm_world, blobs[ctx.rank], 0)
+
+    results = mpiexec(n, main, channel="shm")
+    assert results[0] == blobs[:n]
+    assert all(r is None for r in results[1:])
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=5),
+    values=st.lists(
+        st.integers(min_value=-1000, max_value=1000), min_size=5, max_size=5
+    ),
+)
+def test_scan_is_prefix_of_reduce(n, values):
+    def main(ctx):
+        eng = ctx.engine
+        sb = BufferDesc.from_bytes(INT.pack_values([values[ctx.rank]]))
+        rb = BufferDesc.from_native(NativeMemory(4))
+        collectives.scan(eng, eng.comm_world, sb, rb, INT, "sum")
+        return INT.unpack_values(rb.tobytes())[0]
+
+    results = mpiexec(n, main, channel="shm")
+    assert results == [sum(values[: r + 1]) for r in range(n)]

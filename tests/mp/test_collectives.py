@@ -1,0 +1,281 @@
+"""Collectives agree with their point-to-point definitions."""
+
+import struct
+
+import pytest
+
+from repro.cluster import mpiexec
+from repro.mp import collectives
+from repro.mp.buffers import BufferDesc, NativeMemory
+from repro.mp.datatypes import DOUBLE, INT
+from repro.mp.errors import MpiErrCount, MpiErrRoot
+
+
+def pack_ints(*vals):
+    return BufferDesc.from_bytes(INT.pack_values(vals))
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 5])
+class TestBarrier:
+    def test_barrier_completes(self, n):
+        def main(ctx):
+            for _ in range(3):
+                ctx.engine.barrier()
+            return True
+
+        assert all(mpiexec(n, main))
+
+
+@pytest.mark.parametrize("n", [2, 4, 5])
+class TestBcast:
+    def test_bcast_from_each_root(self, n):
+        def main(ctx):
+            eng = ctx.engine
+            out = []
+            for root in range(n):
+                if ctx.rank == root:
+                    buf = pack_ints(root * 100, root)
+                else:
+                    buf = BufferDesc.from_native(NativeMemory(8))
+                collectives.bcast(eng, eng.comm_world, buf, root)
+                out.append(INT.unpack_values(buf.tobytes()))
+            return out
+
+        results = mpiexec(n, main)
+        for r in results:
+            assert r == [(root * 100, root) for root in range(n)]
+
+
+@pytest.mark.parametrize("n", [2, 4])
+class TestScatterGather:
+    def test_scatter(self, n):
+        def main(ctx):
+            eng = ctx.engine
+            send = pack_ints(*range(n * 2)) if ctx.rank == 0 else None
+            recv = BufferDesc.from_native(NativeMemory(8))
+            collectives.scatter(eng, eng.comm_world, send, recv, 0)
+            return INT.unpack_values(recv.tobytes())
+
+        results = mpiexec(n, main)
+        for rank, r in enumerate(results):
+            assert r == (2 * rank, 2 * rank + 1)
+
+    def test_gather(self, n):
+        def main(ctx):
+            eng = ctx.engine
+            send = pack_ints(ctx.rank, ctx.rank * 10)
+            recv = BufferDesc.from_native(NativeMemory(8 * n)) if ctx.rank == 0 else None
+            collectives.gather(eng, eng.comm_world, send, recv, 0)
+            if ctx.rank == 0:
+                return INT.unpack_values(recv.tobytes())
+            return None
+
+        flat = mpiexec(n, main)[0]
+        assert flat == tuple(v for r in range(n) for v in (r, r * 10))
+
+    def test_scatter_gather_identity(self, n):
+        def main(ctx):
+            eng = ctx.engine
+            world = eng.comm_world
+            data = pack_ints(*range(n * 4)) if ctx.rank == 0 else None
+            piece = BufferDesc.from_native(NativeMemory(16))
+            collectives.scatter(eng, world, data, piece, 0)
+            back = BufferDesc.from_native(NativeMemory(16 * n)) if ctx.rank == 0 else None
+            collectives.gather(eng, world, piece, back, 0)
+            if ctx.rank == 0:
+                return INT.unpack_values(back.tobytes())
+            return None
+
+        assert mpiexec(n, main)[0] == tuple(range(n * 4))
+
+    def test_allgather(self, n):
+        def main(ctx):
+            eng = ctx.engine
+            send = pack_ints(ctx.rank + 1)
+            recv = BufferDesc.from_native(NativeMemory(4 * n))
+            collectives.allgather(eng, eng.comm_world, send, recv)
+            return INT.unpack_values(recv.tobytes())
+
+        for r in mpiexec(n, main):
+            assert r == tuple(range(1, n + 1))
+
+    def test_alltoall(self, n):
+        def main(ctx):
+            eng = ctx.engine
+            send = pack_ints(*[ctx.rank * 10 + j for j in range(n)])
+            recv = BufferDesc.from_native(NativeMemory(4 * n))
+            collectives.alltoall(eng, eng.comm_world, send, recv)
+            return INT.unpack_values(recv.tobytes())
+
+        results = mpiexec(n, main)
+        for rank, r in enumerate(results):
+            assert r == tuple(i * 10 + rank for i in range(n))
+
+
+class TestScatterVGatherV:
+    def test_scatterv(self):
+        def main(ctx):
+            eng = ctx.engine
+            counts = [4, 8, 12]
+            displs = [0, 4, 12]
+            if ctx.rank == 0:
+                send = BufferDesc.from_bytes(bytes(range(24)))
+            else:
+                send = None
+            recv = BufferDesc.from_native(NativeMemory(counts[ctx.rank]))
+            collectives.scatterv(eng, eng.comm_world, send, counts if ctx.rank == 0 else None, displs if ctx.rank == 0 else None, recv, 0)
+            return recv.tobytes()
+
+        results = mpiexec(3, main)
+        assert results[0] == bytes(range(0, 4))
+        assert results[1] == bytes(range(4, 12))
+        assert results[2] == bytes(range(12, 24))
+
+    def test_gatherv(self):
+        def main(ctx):
+            eng = ctx.engine
+            mine = bytes([ctx.rank]) * (ctx.rank + 1)
+            counts = [1, 2, 3]
+            displs = [0, 1, 3]
+            send = BufferDesc.from_bytes(mine)
+            recv = BufferDesc.from_native(NativeMemory(6)) if ctx.rank == 0 else None
+            collectives.gatherv(
+                eng, eng.comm_world, send, recv,
+                counts if ctx.rank == 0 else None,
+                displs if ctx.rank == 0 else None, 0,
+            )
+            return recv.tobytes() if ctx.rank == 0 else None
+
+        assert mpiexec(3, main)[0] == b"\x00\x01\x01\x02\x02\x02"
+
+
+@pytest.mark.parametrize("n", [2, 4])
+class TestReduce:
+    def test_reduce_sum(self, n):
+        def main(ctx):
+            eng = ctx.engine
+            send = pack_ints(ctx.rank + 1, 1)
+            recv = BufferDesc.from_native(NativeMemory(8)) if ctx.rank == 0 else None
+            collectives.reduce(eng, eng.comm_world, send, recv, INT, "sum", 0)
+            return INT.unpack_values(recv.tobytes()) if ctx.rank == 0 else None
+
+        total = mpiexec(n, main)[0]
+        assert total == (n * (n + 1) // 2, n)
+
+    def test_allreduce_max(self, n):
+        def main(ctx):
+            eng = ctx.engine
+            send = BufferDesc.from_bytes(DOUBLE.pack_values((float(ctx.rank),)))
+            recv = BufferDesc.from_native(NativeMemory(8))
+            collectives.allreduce(eng, eng.comm_world, send, recv, DOUBLE, "max")
+            return DOUBLE.unpack_values(recv.tobytes())[0]
+
+        assert mpiexec(n, main) == [float(n - 1)] * n
+
+    def test_allreduce_band(self, n):
+        def main(ctx):
+            eng = ctx.engine
+            send = pack_ints(0b1111 ^ (1 << ctx.rank))
+            recv = BufferDesc.from_native(NativeMemory(4))
+            collectives.allreduce(eng, eng.comm_world, send, recv, INT, "band")
+            return INT.unpack_values(recv.tobytes())[0]
+
+        expected = 0b1111
+        for r in range(n):
+            expected &= 0b1111 ^ (1 << r)
+        assert mpiexec(n, main) == [expected] * n
+
+
+class TestVarlenHelpers:
+    def test_gather_bytes(self):
+        def main(ctx):
+            eng = ctx.engine
+            mine = bytes([ctx.rank]) * (ctx.rank + 1)
+            out = collectives.gather_bytes(eng, eng.comm_world, mine, 0)
+            return out
+
+        results = mpiexec(3, main)
+        assert results[0] == [b"\x00", b"\x01\x01", b"\x02\x02\x02"]
+        assert results[1] is None and results[2] is None
+
+    def test_bcast_bytes(self):
+        def main(ctx):
+            eng = ctx.engine
+            data = b"broadcast me" if ctx.rank == 0 else None
+            return collectives.bcast_bytes(eng, eng.comm_world, data, 0)
+
+        assert mpiexec(3, main) == [b"broadcast me"] * 3
+
+
+class TestErrors:
+    def test_bad_root(self):
+        def main(ctx):
+            eng = ctx.engine
+            with pytest.raises(MpiErrRoot):
+                collectives.bcast(eng, eng.comm_world, BufferDesc.from_bytes(b"x"), 9)
+            return True
+
+        assert all(mpiexec(2, main))
+
+    def test_scatter_size_mismatch(self):
+        def main(ctx):
+            eng = ctx.engine
+            if ctx.rank == 0:
+                send = BufferDesc.from_bytes(b"abc")  # not divisible
+                recv = BufferDesc.from_native(NativeMemory(2))
+                with pytest.raises(MpiErrCount):
+                    collectives.scatter(eng, eng.comm_world, send, recv, 0)
+            return True
+
+        assert all(mpiexec(1, main))
+
+
+class TestCommManagement:
+    def test_dup_isolates_traffic(self):
+        def main(ctx):
+            eng = ctx.engine
+            dup = eng.comm_dup(eng.comm_world)
+            assert dup.context_id != eng.comm_world.context_id
+            if ctx.rank == 0:
+                eng.send(BufferDesc.from_bytes(b"w"), 1, 5, eng.comm_world)
+                eng.send(BufferDesc.from_bytes(b"d"), 1, 5, dup)
+            else:
+                b1 = NativeMemory(1)
+                b2 = NativeMemory(1)
+                eng.recv(BufferDesc.from_native(b1), 0, 5, dup)
+                eng.recv(BufferDesc.from_native(b2), 0, 5, eng.comm_world)
+                return (b1.tobytes(), b2.tobytes())
+            return None
+
+        assert mpiexec(2, main)[1] == (b"d", b"w")
+
+    def test_split_groups(self):
+        def main(ctx):
+            eng = ctx.engine
+            sub = eng.comm_split(eng.comm_world, ctx.rank % 2, ctx.rank)
+            return (sub.rank, sub.size, tuple(sub.group.ranks))
+
+        results = mpiexec(4, main)
+        assert results[0] == (0, 2, (0, 2))
+        assert results[2] == (1, 2, (0, 2))
+        assert results[1] == (0, 2, (1, 3))
+        assert results[3] == (1, 2, (1, 3))
+
+    def test_split_undefined_color(self):
+        def main(ctx):
+            eng = ctx.engine
+            color = -1 if ctx.rank == 0 else 0
+            sub = eng.comm_split(eng.comm_world, color, 0)
+            return sub if sub is None else (sub.rank, sub.size)
+
+        results = mpiexec(3, main)
+        assert results[0] is None
+        assert results[1] == (0, 2) and results[2] == (1, 2)
+
+    def test_comm_self(self):
+        def main(ctx):
+            eng = ctx.engine
+            assert eng.comm_self.size == 1 and eng.comm_self.rank == 0
+            return True
+
+        assert all(mpiexec(2, main))

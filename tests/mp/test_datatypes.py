@@ -1,0 +1,61 @@
+"""MPI datatypes: basic, contiguous and vector."""
+
+import pytest
+
+from repro.mp.datatypes import ALL_BASIC, BYTE, DOUBLE, INT, Datatype
+
+
+class TestBasic:
+    def test_sizes(self):
+        assert BYTE.size == 1
+        assert INT.size == 4
+        assert DOUBLE.size == 8
+
+    def test_pack_unpack_roundtrip(self):
+        for dt in ALL_BASIC:
+            if dt.fmt in ("f", "d"):
+                vals = (0.5, -1.25, 3.0)
+            else:
+                vals = (0, 1, 100)
+            data = dt.pack_values(vals)
+            assert len(data) == dt.size * 3
+            assert dt.unpack_values(data) == vals
+
+    def test_unpack_partial_trailing_ignored(self):
+        data = INT.pack_values((1, 2)) + b"\x01"
+        assert INT.unpack_values(data) == (1, 2)
+
+    def test_no_codec(self):
+        derived = Datatype("blob", 12)
+        with pytest.raises(TypeError):
+            derived.pack_values((1,))
+
+
+class TestContiguous:
+    def test_size(self):
+        assert INT.contiguous(5).size == 20
+
+
+class TestVector:
+    def test_gather_scatter_roundtrip(self):
+        # a 4x4 int matrix, column extraction via vector type
+        vec = INT.vector(count=4, blocklength=1, stride=4)
+        matrix = INT.pack_values(tuple(range(16)))
+        col0 = vec.gather_from(matrix, 0)
+        assert INT.unpack_values(col0) == (0, 4, 8, 12)
+        col1 = vec.gather_from(matrix, INT.size)
+        assert INT.unpack_values(col1) == (1, 5, 9, 13)
+
+        out = bytearray(64)
+        vec.scatter_to(out, col0, 0)
+        vals = INT.unpack_values(bytes(out))
+        assert vals[0] == 0 and vals[4] == 4 and vals[8] == 8 and vals[12] == 12
+
+    def test_blocklength(self):
+        vec = INT.vector(count=2, blocklength=2, stride=4)
+        data = INT.pack_values(tuple(range(8)))
+        got = vec.gather_from(data, 0)
+        assert INT.unpack_values(got) == (0, 1, 4, 5)
+
+    def test_size(self):
+        assert INT.vector(3, 2, 5).size == 24

@@ -1,0 +1,103 @@
+"""Message matching: FIFO, wildcards, non-overtaking."""
+
+from repro.mp.buffers import BufferDesc, NativeMemory
+from repro.mp.matching import ANY_SOURCE, ANY_TAG, MessageQueues, UnexpectedMsg
+from repro.mp.request import RECV, Request
+
+
+def recv_req(src=0, tag=1, comm=0, n=8) -> Request:
+    return Request(RECV, BufferDesc.from_native(NativeMemory(n)), src, tag, comm, n)
+
+
+def unexpected(src=0, tag=1, comm=0, payload=b"x", op=1) -> UnexpectedMsg:
+    return UnexpectedMsg(
+        src=src, tag=tag, comm_id=comm, total=len(payload),
+        staged=NativeMemory(payload), send_op_id=op,
+    )
+
+
+class TestPostedQueue:
+    def test_exact_match(self):
+        q = MessageQueues()
+        r = recv_req(src=2, tag=7)
+        q.post_recv(r)
+        assert q.match_posted(2, 7, 0) is r
+        assert q.match_posted(2, 7, 0) is None  # consumed
+
+    def test_no_match_on_wrong_tag(self):
+        q = MessageQueues()
+        q.post_recv(recv_req(src=2, tag=7))
+        assert q.match_posted(2, 8, 0) is None
+        assert len(q.posted) == 1
+
+    def test_comm_isolation(self):
+        q = MessageQueues()
+        q.post_recv(recv_req(src=0, tag=1, comm=5))
+        assert q.match_posted(0, 1, 6) is None
+        assert q.match_posted(0, 1, 5) is not None
+
+    def test_any_source_wildcard(self):
+        q = MessageQueues()
+        q.post_recv(recv_req(src=ANY_SOURCE, tag=3))
+        assert q.match_posted(9, 3, 0) is not None
+
+    def test_any_tag_wildcard(self):
+        q = MessageQueues()
+        q.post_recv(recv_req(src=1, tag=ANY_TAG))
+        assert q.match_posted(1, 99, 0) is not None
+
+    def test_fifo_order_among_matches(self):
+        q = MessageQueues()
+        r1 = recv_req(src=ANY_SOURCE, tag=ANY_TAG)
+        r2 = recv_req(src=ANY_SOURCE, tag=ANY_TAG)
+        q.post_recv(r1)
+        q.post_recv(r2)
+        assert q.match_posted(0, 0, 0) is r1
+        assert q.match_posted(0, 0, 0) is r2
+
+    def test_specific_before_later_wildcard(self):
+        q = MessageQueues()
+        specific = recv_req(src=1, tag=5)
+        wild = recv_req(src=ANY_SOURCE, tag=ANY_TAG)
+        q.post_recv(specific)
+        q.post_recv(wild)
+        assert q.match_posted(1, 5, 0) is specific
+
+    def test_cancel(self):
+        q = MessageQueues()
+        r = recv_req()
+        q.post_recv(r)
+        assert q.cancel_posted(r)
+        assert not q.cancel_posted(r)
+        assert q.match_posted(0, 1, 0) is None
+
+
+class TestUnexpectedQueue:
+    def test_match_consumes(self):
+        q = MessageQueues()
+        q.add_unexpected(unexpected(src=3, tag=4))
+        m = q.match_unexpected(3, 4, 0)
+        assert m is not None and m.src == 3
+        assert q.match_unexpected(3, 4, 0) is None
+
+    def test_wildcards_on_receive_side(self):
+        q = MessageQueues()
+        q.add_unexpected(unexpected(src=3, tag=4))
+        assert q.match_unexpected(ANY_SOURCE, ANY_TAG, 0) is not None
+
+    def test_fifo_earliest_message_wins(self):
+        q = MessageQueues()
+        q.add_unexpected(unexpected(src=1, tag=1, op=1))
+        q.add_unexpected(unexpected(src=1, tag=1, op=2))
+        assert q.match_unexpected(1, 1, 0).send_op_id == 1
+        assert q.match_unexpected(1, 1, 0).send_op_id == 2
+
+    def test_peek_does_not_consume(self):
+        q = MessageQueues()
+        q.add_unexpected(unexpected(src=2, tag=2))
+        assert q.peek_unexpected(2, 2, 0) is not None
+        assert q.peek_unexpected(2, 2, 0) is not None
+        assert len(q.unexpected) == 1
+
+    def test_peek_miss(self):
+        assert MessageQueues().peek_unexpected(0, 0, 0) is None

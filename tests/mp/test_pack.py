@@ -1,0 +1,68 @@
+"""MPI_Pack / MPI_Unpack (native baseline only — Motor abandoned them)."""
+
+import pytest
+
+from repro.mp import pack as mp_pack
+from repro.mp.buffers import BufferDesc, NativeMemory
+from repro.mp.datatypes import BYTE, DOUBLE, INT
+from repro.mp.errors import MpiErrBuffer, MpiErrCount
+
+
+class TestPackUnpack:
+    def test_roundtrip_mixed(self):
+        out = BufferDesc.from_native(NativeMemory(64))
+        ints = BufferDesc.from_bytes(INT.pack_values((1, 2, 3)))
+        dbls = BufferDesc.from_bytes(DOUBLE.pack_values((0.5, -2.0)))
+        pos = 0
+        pos = mp_pack.pack(ints, 3, INT, out, pos)
+        pos = mp_pack.pack(dbls, 2, DOUBLE, out, pos)
+        assert pos == 12 + 16
+
+        got_i = BufferDesc.from_native(NativeMemory(12))
+        got_d = BufferDesc.from_native(NativeMemory(16))
+        rpos = 0
+        rpos = mp_pack.unpack(out, rpos, got_i, 3, INT)
+        rpos = mp_pack.unpack(out, rpos, got_d, 2, DOUBLE)
+        assert INT.unpack_values(got_i.tobytes()) == (1, 2, 3)
+        assert DOUBLE.unpack_values(got_d.tobytes()) == (0.5, -2.0)
+
+    def test_pack_size(self):
+        assert mp_pack.pack_size(10, INT) == 40
+        assert mp_pack.pack_size(3, BYTE) == 3
+
+    def test_output_overflow(self):
+        out = BufferDesc.from_native(NativeMemory(4))
+        src = BufferDesc.from_bytes(INT.pack_values((1, 2)))
+        with pytest.raises(MpiErrBuffer):
+            mp_pack.pack(src, 2, INT, out, 0)
+
+    def test_input_too_small(self):
+        out = BufferDesc.from_native(NativeMemory(64))
+        src = BufferDesc.from_bytes(INT.pack_values((1,)))
+        with pytest.raises(MpiErrBuffer):
+            mp_pack.pack(src, 4, INT, out, 0)
+
+    def test_negative_count(self):
+        out = BufferDesc.from_native(NativeMemory(8))
+        with pytest.raises(MpiErrCount):
+            mp_pack.pack(out, -1, INT, out, 0)
+        with pytest.raises(MpiErrCount):
+            mp_pack.unpack(out, 0, out, -2, INT)
+
+    def test_unpack_off_end(self):
+        packed = BufferDesc.from_bytes(INT.pack_values((7,)))
+        out = BufferDesc.from_native(NativeMemory(8))
+        with pytest.raises(MpiErrBuffer):
+            mp_pack.unpack(packed, 0, out, 2, INT)
+
+    def test_vector_roundtrip(self):
+        # pack a strided column out of a 4x4 matrix and restore it
+        vec = INT.vector(count=4, blocklength=1, stride=4)
+        matrix = BufferDesc.from_bytes(INT.pack_values(tuple(range(16))))
+        out = BufferDesc.from_native(NativeMemory(16))
+        pos = mp_pack.pack(matrix, 1, vec, out, 0)
+        assert pos == 16
+        restored = BufferDesc.from_native(NativeMemory(64))
+        mp_pack.unpack(out, 0, restored, 1, vec)
+        vals = INT.unpack_values(restored.tobytes())
+        assert (vals[0], vals[4], vals[8], vals[12]) == (0, 4, 8, 12)

@@ -1,0 +1,88 @@
+"""Property tests over the transfer protocol and matching semantics."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import mpiexec
+from repro.mp.buffers import BufferDesc, NativeMemory
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    size=st.integers(min_value=0, max_value=300_000),
+    threshold=st.sampled_from([1 << 10, 64 << 10, 128 << 10, 1 << 22]),
+)
+def test_eager_and_rendezvous_deliver_identical_bytes(size, threshold):
+    """Whatever the protocol decision, bytes arrive intact and complete."""
+    payload = bytes(i % 251 for i in range(size))
+
+    def main(ctx):
+        eng = ctx.engine
+        if ctx.rank == 0:
+            eng.send(BufferDesc.from_bytes(payload), 1, 1)
+            return None
+        buf = NativeMemory(max(size, 1))
+        st_ = eng.recv(BufferDesc.from_native(buf, 0, size), 0, 1)
+        return (bytes(buf.mem[:size]), st_.count)
+
+    got, count = mpiexec(2, main, channel="shm", eager_threshold=threshold)[1]
+    assert got == payload
+    assert count == size
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    tags=st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=12),
+)
+def test_matching_respects_posting_order_per_tag(tags):
+    """Messages with the same tag arrive in send order; receives pull them
+    in posting order — a randomized non-overtaking check."""
+
+    def main(ctx):
+        eng = ctx.engine
+        if ctx.rank == 0:
+            for seq, tag in enumerate(tags):
+                eng.send(BufferDesc.from_bytes(bytes([seq])), 1, tag)
+            return None
+        # post receives tag by tag, in the same multiset order
+        out = []
+        for tag in tags:
+            buf = NativeMemory(1)
+            eng.recv(BufferDesc.from_native(buf), 0, tag)
+            out.append((tag, buf.mem[0]))
+        return out
+
+    received = mpiexec(2, main, channel="shm")[1]
+    # per tag, sequence numbers must be increasing (non-overtaking)
+    per_tag: dict[int, list[int]] = {}
+    for tag, seq in received:
+        per_tag.setdefault(tag, []).append(seq)
+    for tag, seqs in per_tag.items():
+        assert seqs == sorted(seqs), f"tag {tag} overtook: {seqs}"
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    sizes=st.lists(
+        st.integers(min_value=1, max_value=50_000), min_size=1, max_size=6
+    )
+)
+def test_back_to_back_messages_all_arrive(sizes):
+    def main(ctx):
+        eng = ctx.engine
+        if ctx.rank == 0:
+            for i, n in enumerate(sizes):
+                eng.send(BufferDesc.from_bytes(bytes([i % 256]) * n), 1, 3)
+            return None
+        out = []
+        for n in sizes:
+            buf = NativeMemory(n)
+            eng.recv(BufferDesc.from_native(buf), 0, 3)
+            out.append((len(buf.mem), buf.mem[0] if n else None))
+        return out
+
+    got = mpiexec(2, main, channel="sock")[1]
+    assert [g[0] for g in got] == sizes
+    assert [g[1] for g in got] == [i % 256 for i in range(len(sizes))]

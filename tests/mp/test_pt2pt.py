@@ -1,0 +1,284 @@
+"""Point-to-point semantics over the full stack (2-4 rank worlds)."""
+
+import pytest
+
+from repro.cluster import mpiexec
+from repro.mp import ANY_SOURCE, ANY_TAG, MpiErrRank, MpiErrTag, MpiErrTruncate
+from repro.mp.buffers import BufferDesc, NativeMemory
+
+
+def run2(fn, channel="shm", **kw):
+    return mpiexec(2, fn, channel=channel, **kw)
+
+
+class TestBlocking:
+    @pytest.mark.parametrize("channel", ["shm", "sock", "ssm"])
+    def test_roundtrip_eager(self, channel):
+        def main(ctx):
+            eng = ctx.engine
+            buf = NativeMemory(64)
+            if ctx.rank == 0:
+                buf.mem[:5] = b"hello"
+                eng.send(BufferDesc.from_native(buf), 1, 3)
+            else:
+                st = eng.recv(BufferDesc.from_native(buf), 0, 3)
+                return (bytes(buf.mem[:5]), st.source, st.tag, st.count)
+
+        assert run2(main, channel)[1] == (b"hello", 0, 3, 64)
+
+    @pytest.mark.parametrize("channel", ["shm", "sock"])
+    def test_roundtrip_rendezvous(self, channel):
+        size = 300 * 1024  # above the 128 KiB eager threshold
+
+        def main(ctx):
+            eng = ctx.engine
+            buf = NativeMemory(size)
+            if ctx.rank == 0:
+                buf.mem[::4096] = b"\x5a" * len(buf.mem[::4096])
+                eng.send(BufferDesc.from_native(buf), 1, 3)
+                assert eng.device.stats["rndv"] == 1
+            else:
+                st = eng.recv(BufferDesc.from_native(buf), 0, 3)
+                return (buf.mem[0], buf.mem[4096], st.count)
+
+        assert run2(main, channel)[1] == (0x5A, 0x5A, size)
+
+    def test_eager_rendezvous_identical_bytes(self):
+        payload = bytes((i * 7 + 3) % 256 for i in range(200 * 1024))
+
+        def main(ctx):
+            eng = ctx.engine
+            got = {}
+            for tag, threshold_note in ((1, "eager"), (2, "rndv")):
+                pass
+            if ctx.rank == 0:
+                eng.send(BufferDesc.from_bytes(payload), 1, 1)
+                return None
+            buf = NativeMemory(len(payload))
+            eng.recv(BufferDesc.from_native(buf), 0, 1)
+            return buf.tobytes() == payload
+
+        # run once under a huge threshold (eager) and once tiny (rndv)
+        for thr in (1 << 22, 1 << 10):
+            res = mpiexec(2, main, channel="shm", eager_threshold=thr)
+            assert res[1] is True
+
+    def test_zero_byte_message(self):
+        def main(ctx):
+            eng = ctx.engine
+            if ctx.rank == 0:
+                eng.send(BufferDesc.from_bytes(b""), 1, 1)
+            else:
+                st = eng.recv(BufferDesc.from_bytes(b""), 0, 1)
+                return st.count
+
+        assert run2(main)[1] == 0
+
+    def test_unexpected_message_staged(self):
+        """Send completes before the receive is posted (eager buffering)."""
+
+        def main(ctx):
+            eng = ctx.engine
+            if ctx.rank == 0:
+                eng.send(BufferDesc.from_bytes(b"early"), 1, 9)
+                eng.barrier()
+            else:
+                eng.barrier()  # guarantees the send happened first
+                buf = NativeMemory(5)
+                eng.recv(BufferDesc.from_native(buf), 0, 9)
+                return (buf.tobytes(), eng.device.stats["unexpected"] >= 1)
+
+        got = run2(main)[1]
+        assert got == (b"early", True)
+
+    def test_non_overtaking_same_pair(self):
+        def main(ctx):
+            eng = ctx.engine
+            if ctx.rank == 0:
+                for i in range(5):
+                    eng.send(BufferDesc.from_bytes(bytes([i])), 1, 4)
+            else:
+                out = []
+                for _ in range(5):
+                    buf = NativeMemory(1)
+                    eng.recv(BufferDesc.from_native(buf), 0, 4)
+                    out.append(buf.mem[0])
+                return out
+
+        assert run2(main)[1] == [0, 1, 2, 3, 4]
+
+    def test_tag_selectivity(self):
+        def main(ctx):
+            eng = ctx.engine
+            if ctx.rank == 0:
+                eng.send(BufferDesc.from_bytes(b"A"), 1, 10)
+                eng.send(BufferDesc.from_bytes(b"B"), 1, 20)
+            else:
+                b = NativeMemory(1)
+                eng.recv(BufferDesc.from_native(b), 0, 20)
+                first = b.tobytes()
+                eng.recv(BufferDesc.from_native(b), 0, 10)
+                return (first, b.tobytes())
+
+        assert run2(main)[1] == (b"B", b"A")
+
+    def test_any_source_any_tag(self):
+        def main(ctx):
+            eng = ctx.engine
+            if ctx.rank == 0:
+                eng.send(BufferDesc.from_bytes(b"wild"), 1, 17)
+            else:
+                buf = NativeMemory(4)
+                st = eng.recv(BufferDesc.from_native(buf), ANY_SOURCE, ANY_TAG)
+                return (buf.tobytes(), st.source, st.tag)
+
+        assert run2(main)[1] == (b"wild", 0, 17)
+
+    def test_truncation_raises(self):
+        def main(ctx):
+            eng = ctx.engine
+            if ctx.rank == 0:
+                eng.send(BufferDesc.from_bytes(b"too long"), 1, 1)
+            else:
+                buf = NativeMemory(3)
+                with pytest.raises(MpiErrTruncate):
+                    eng.recv(BufferDesc.from_native(buf), 0, 1)
+                return buf.tobytes()
+
+        # what fit was delivered (MPI truncation semantics)
+        assert run2(main)[1] == b"too"
+
+    def test_ssend_completes_after_match(self):
+        def main(ctx):
+            eng = ctx.engine
+            if ctx.rank == 0:
+                eng.ssend(BufferDesc.from_bytes(b"sync"), 1, 2)
+                return "sent"
+            buf = NativeMemory(4)
+            eng.recv(BufferDesc.from_native(buf), 0, 2)
+            return buf.tobytes()
+
+        assert run2(main) == ["sent", b"sync"]
+
+
+class TestNonBlocking:
+    def test_isend_irecv_wait(self):
+        def main(ctx):
+            eng = ctx.engine
+            if ctx.rank == 0:
+                req = eng.isend(BufferDesc.from_bytes(b"async"), 1, 5)
+                eng.progress.wait(req)
+            else:
+                buf = NativeMemory(5)
+                req = eng.irecv(BufferDesc.from_native(buf), 0, 5)
+                st = eng.wait(req)
+                return (buf.tobytes(), st.count)
+
+        assert run2(main)[1] == (b"async", 5)
+
+    def test_test_polls(self):
+        def main(ctx):
+            eng = ctx.engine
+            if ctx.rank == 0:
+                eng.barrier()
+                eng.send(BufferDesc.from_bytes(b"x"), 1, 6)
+            else:
+                buf = NativeMemory(1)
+                req = eng.irecv(BufferDesc.from_native(buf), 0, 6)
+                assert not eng.test(req)  # nothing sent yet
+                eng.barrier()
+                spins = 0
+                while not eng.test(req) and spins < 100000:
+                    spins += 1
+                return req.completed
+
+        assert run2(main)[1] is True
+
+    def test_wait_all(self):
+        def main(ctx):
+            eng = ctx.engine
+            n = 4
+            if ctx.rank == 0:
+                reqs = [
+                    eng.isend(BufferDesc.from_bytes(bytes([i])), 1, 30 + i)
+                    for i in range(n)
+                ]
+                eng.progress.wait_all(reqs)
+            else:
+                bufs = [NativeMemory(1) for _ in range(n)]
+                reqs = [
+                    eng.irecv(BufferDesc.from_native(bufs[i]), 0, 30 + i)
+                    for i in range(n)
+                ]
+                eng.wait_all(reqs)
+                return [b.mem[0] for b in bufs]
+
+        assert run2(main)[1] == [0, 1, 2, 3]
+
+    def test_cancel_posted_recv(self):
+        def main(ctx):
+            eng = ctx.engine
+            if ctx.rank == 1:
+                buf = NativeMemory(4)
+                req = eng.irecv(BufferDesc.from_native(buf), 0, 77)
+                assert eng.cancel(req)
+                return req.status.cancelled
+            return None
+
+        assert run2(main)[1] is True
+
+
+class TestProbe:
+    def test_iprobe_and_probe(self):
+        def main(ctx):
+            eng = ctx.engine
+            if ctx.rank == 0:
+                eng.send(BufferDesc.from_bytes(b"probe-me"), 1, 11)
+                eng.barrier()
+            else:
+                st = eng.probe(0, 11)
+                assert st.count == 8
+                buf = NativeMemory(st.count)
+                eng.recv(BufferDesc.from_native(buf), st.source, 11)
+                eng.barrier()
+                return buf.tobytes()
+
+        assert run2(main)[1] == b"probe-me"
+
+    def test_iprobe_miss(self):
+        def main(ctx):
+            if ctx.rank == 1:
+                return ctx.engine.iprobe(0, 1) is None
+            return None
+
+        assert run2(main)[1] is True
+
+
+class TestParameterChecking:
+    def test_bad_rank(self):
+        def main(ctx):
+            with pytest.raises(MpiErrRank):
+                ctx.engine.send(BufferDesc.from_bytes(b"x"), 5, 1)
+            return True
+
+        assert all(run2(main))
+
+    def test_bad_tag(self):
+        def main(ctx):
+            with pytest.raises(MpiErrTag):
+                ctx.engine.send(BufferDesc.from_bytes(b"x"), 1 - ctx.rank, -5)
+            with pytest.raises(MpiErrTag):
+                ctx.engine.send(BufferDesc.from_bytes(b"x"), 1 - ctx.rank, 1 << 21)
+            return True
+
+        assert all(run2(main))
+
+    def test_bad_buffer(self):
+        from repro.mp.errors import MpiErrBuffer
+
+        def main(ctx):
+            with pytest.raises(MpiErrBuffer):
+                ctx.engine.send(b"raw bytes", 1 - ctx.rank, 1)
+            return True
+
+        assert all(run2(main))

@@ -1,0 +1,79 @@
+"""Request state machine."""
+
+import pytest
+
+from repro.mp.buffers import BufferDesc
+from repro.mp.errors import MpiErrRequest
+from repro.mp.request import RECV, SEND, Request
+from repro.mp.status import Status
+
+
+def req(kind=SEND, n=4, sync=False) -> Request:
+    return Request(kind, BufferDesc.from_bytes(b"\x00" * n), 1, 2, 0, n, sync=sync)
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        r = req()
+        assert not r.completed
+        assert r.in_flight()
+        assert not r.started
+
+    def test_complete_sets_status(self):
+        r = req(RECV)
+        st = Status(source=3, tag=2, count=4)
+        r.complete(st)
+        assert r.completed
+        assert not r.in_flight()
+        assert r.status.source == 3
+
+    def test_complete_idempotent(self):
+        r = req()
+        calls = []
+        r.on_complete.append(lambda rq: calls.append(rq.op_id))
+        r.complete()
+        r.complete()
+        assert calls == [r.op_id]  # callback fired exactly once
+
+    def test_unique_ids(self):
+        assert req().op_id != req().op_id
+
+    def test_freed_request_unusable(self):
+        r = req()
+        r.free()
+        with pytest.raises(MpiErrRequest):
+            r.check_usable()
+        assert r.buf is None
+
+    def test_in_flight_is_the_conditional_pin_predicate(self):
+        """The exact callable Motor hands the collector (§4.3)."""
+        r = req()
+        pred = r.in_flight
+        assert pred() is True
+        r.complete()
+        assert pred() is False
+
+    def test_repr_states(self):
+        r = req()
+        assert "queued" in repr(r)
+        r.started = True
+        assert "active" in repr(r)
+        r.complete()
+        assert "done" in repr(r)
+
+
+class TestStatus:
+    def test_get_count(self):
+        from repro.mp.datatypes import INT
+
+        st = Status(count=12)
+        assert st.get_count(INT) == 3
+        st2 = Status(count=10)
+        assert st2.get_count(INT) == -1  # MPI_UNDEFINED
+
+    def test_raise_if_error(self):
+        from repro.mp.errors import MpiError
+
+        Status().raise_if_error()
+        with pytest.raises(MpiError):
+            Status(error="MPI_ERR_TRUNCATE").raise_if_error()

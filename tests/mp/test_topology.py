@@ -1,0 +1,145 @@
+"""Cartesian topologies."""
+
+import pytest
+
+from repro.cluster import mpiexec
+from repro.mp.errors import MpiErrComm, MpiErrRank
+from repro.mp.topology import CartComm, cart_create, dims_create
+
+
+class TestDimsCreate:
+    def test_balanced(self):
+        assert dims_create(4, 2) == [2, 2]
+        assert dims_create(12, 2) == [4, 3]
+        assert dims_create(8, 3) == [2, 2, 2]
+
+    def test_one_dim(self):
+        assert dims_create(6, 1) == [6]
+
+    def test_prime(self):
+        assert dims_create(7, 2) == [7, 1]
+
+    def test_product_invariant(self):
+        for n in (1, 2, 6, 24, 36, 60):
+            for d in (1, 2, 3):
+                dims = dims_create(n, d)
+                prod = 1
+                for x in dims:
+                    prod *= x
+                assert prod == n
+
+    def test_bad_args(self):
+        with pytest.raises(MpiErrComm):
+            dims_create(0, 2)
+
+
+def grid_ctx(n, fn, **kw):
+    return mpiexec(n, fn, channel="shm", **kw)
+
+
+class TestCoordinates:
+    def test_row_major_roundtrip(self):
+        def main(ctx):
+            cart = cart_create(ctx.engine.comm_world, (2, 3))
+            me = cart.coords()
+            assert cart.rank_of(me) == ctx.rank
+            return me
+
+        coords = grid_ctx(6, main)
+        assert coords == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+    def test_size_mismatch(self):
+        def main(ctx):
+            with pytest.raises(MpiErrComm):
+                cart_create(ctx.engine.comm_world, (2, 2))
+            return True
+
+        assert all(grid_ctx(3, main))
+
+    def test_out_of_grid_nonperiodic(self):
+        def main(ctx):
+            cart = cart_create(ctx.engine.comm_world, (2, 2))
+            with pytest.raises(MpiErrRank):
+                cart.rank_of((2, 0))
+            return True
+
+        assert all(grid_ctx(4, main))
+
+    def test_periodic_wrap(self):
+        def main(ctx):
+            cart = cart_create(ctx.engine.comm_world, (4,), periods=(True,))
+            return cart.rank_of((5,))
+
+        assert grid_ctx(4, main) == [1, 1, 1, 1]
+
+
+class TestShift:
+    def test_edges_give_proc_null(self):
+        def main(ctx):
+            cart = cart_create(ctx.engine.comm_world, (4,))
+            return cart.shift(0, 1)
+
+        shifts = grid_ctx(4, main)
+        assert shifts[0] == (None, 1)
+        assert shifts[1] == (0, 2)
+        assert shifts[3] == (2, None)
+
+    def test_periodic_ring(self):
+        def main(ctx):
+            cart = cart_create(ctx.engine.comm_world, (4,), periods=(True,))
+            return cart.shift(0, 1)
+
+        shifts = grid_ctx(4, main)
+        assert shifts[0] == (3, 1)
+        assert shifts[3] == (2, 0)
+
+    def test_2d_shift(self):
+        def main(ctx):
+            cart = cart_create(ctx.engine.comm_world, (2, 2))
+            down = cart.shift(0, 1)
+            right = cart.shift(1, 1)
+            return (down, right)
+
+        results = grid_ctx(4, main)
+        assert results[0] == ((None, 2), (None, 1))  # rank 0 = (0,0)
+        assert results[3] == ((1, None), (2, None))  # rank 3 = (1,1)
+
+    def test_shift_exchange_with_sendrecv(self):
+        """The canonical stencil pattern: shift + sendrecv, wired together."""
+        from repro.mp import collectives
+        from repro.mp.buffers import BufferDesc, NativeMemory
+        from repro.mp.datatypes import INT
+
+        def main(ctx):
+            eng = ctx.engine
+            cart = cart_create(eng.comm_world, (4,), periods=(True,))
+            src, dst = cart.shift(0, 1)
+            sb = BufferDesc.from_bytes(INT.pack_values([ctx.rank * 100]))
+            rb = BufferDesc.from_native(NativeMemory(4))
+            collectives.sendrecv(eng, eng.comm_world, sb, dst, rb, src)
+            return INT.unpack_values(rb.tobytes())[0]
+
+        results = grid_ctx(4, main)
+        assert results == [300, 0, 100, 200]
+
+
+class TestCartSub:
+    def test_rows_and_columns(self):
+        def main(ctx):
+            cart = cart_create(ctx.engine.comm_world, (2, 3))
+            row = cart.sub((False, True))  # keep the column dim -> row comms
+            return (cart.coords(), row.comm.size, row.comm.rank)
+
+        results = grid_ctx(6, main)
+        for coords, size, rank in results:
+            assert size == 3
+            assert rank == coords[1]  # position within the row
+
+    def test_sub_dims_shape(self):
+        def main(ctx):
+            cart = cart_create(ctx.engine.comm_world, (2, 2), periods=(True, False))
+            col = cart.sub((True, False))
+            return (col.dims, col.periods)
+
+        results = grid_ctx(4, main)
+        assert all(r == ((2,), (True,)) for r in results)

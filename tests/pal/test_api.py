@@ -1,0 +1,87 @@
+"""The PAL facade: API surface, backends and cost asymmetry."""
+
+import pytest
+
+from repro.pal import PAL, PalError
+from repro.pal.api import UNSUPPORTED_IN_PAL
+from repro.simtime import CostModel, VirtualClock
+
+
+class TestSurface:
+    def test_unknown_backend(self):
+        with pytest.raises(PalError):
+            PAL("solaris")
+
+    def test_supported_calls_work(self):
+        pal = PAL("windows")
+        e = pal.create_event()
+        pal.set_event(e)
+        assert pal.wait_for_single_object(e, timeout_ms=10)
+        pal.reset_event(e)
+        assert pal.get_tick_count() >= 0
+        assert pal.query_performance_counter() >= 0
+
+    def test_iocp_below_the_pal(self):
+        """The sock channel's IOCP calls are NOT PAL calls (paper §7.1)."""
+        pal = PAL("windows")
+        for api in UNSUPPORTED_IN_PAL:
+            with pytest.raises(PalError, match="below the PAL"):
+                pal._enter(api)
+
+    def test_unknown_api_rejected(self):
+        with pytest.raises(PalError, match="does not implement"):
+            PAL("windows")._enter("CreateNamedPipe")
+
+    def test_motor_extensions_toggle(self):
+        with_ext = PAL("windows", extensions_enabled=True)
+        without = PAL("windows", extensions_enabled=False)
+        assert with_ext.supports("InterlockedExchange")
+        assert not without.supports("InterlockedExchange")
+        with pytest.raises(PalError):
+            without.interlocked_exchange([1], 2)
+
+    def test_interlocked_exchange(self):
+        pal = PAL("windows")
+        cell = [41]
+        assert pal.interlocked_exchange(cell, 42) == 41
+        assert cell == [42]
+
+    def test_virtual_alloc_and_free(self):
+        pal = PAL("windows")
+        block = pal.virtual_alloc(128)
+        assert len(block) == 128
+        pal.virtual_free(block)
+        assert len(block) == 0
+        with pytest.raises(PalError):
+            pal.virtual_alloc(-1)
+
+    def test_critical_section(self):
+        pal = PAL("windows")
+        cs = pal.create_critical_section()
+        pal.enter_critical_section(cs)
+        pal.leave_critical_section(cs)
+
+    def test_call_counts(self):
+        pal = PAL("windows")
+        pal.create_event()
+        pal.create_event()
+        assert pal.call_counts["CreateEvent"] == 2
+
+
+class TestBackendAsymmetry:
+    def _charged(self, backend: str) -> float:
+        clock = VirtualClock()
+        pal = PAL(backend, clock=clock, costs=CostModel())
+        for _ in range(10):
+            pal.get_tick_count()
+        return clock.now()
+
+    def test_unix_pal_is_thicker(self):
+        """The UNIX PAL emulates Win32 semantics: every call costs more."""
+        assert self._charged("unix") > self._charged("windows")
+
+    def test_virtual_sleep_charges(self):
+        clock = VirtualClock()
+        pal = PAL("windows", clock=clock)
+        pal.sleep(2.0)  # ms
+        assert clock.now() >= 2e6  # ns

@@ -1,0 +1,72 @@
+"""PAL event kernel objects."""
+
+import threading
+import time
+
+from repro.pal import Event
+
+
+class TestManualReset:
+    def test_initial_state(self):
+        assert not Event().is_set()
+        assert Event(initial=True).is_set()
+
+    def test_set_reset(self):
+        e = Event()
+        e.set()
+        assert e.is_set()
+        e.reset()
+        assert not e.is_set()
+
+    def test_wait_already_signalled(self):
+        e = Event(initial=True)
+        assert e.wait(timeout=0.01)
+        # manual reset: stays signalled
+        assert e.is_set()
+
+    def test_wait_timeout(self):
+        assert not Event().wait(timeout=0.01)
+
+    def test_releases_all_waiters(self):
+        e = Event()
+        hits = []
+
+        def waiter():
+            e.wait(2.0)
+            hits.append(1)
+
+        threads = [threading.Thread(target=waiter) for _ in range(4)]
+        for t in threads:
+            t.start()
+        time.sleep(0.02)
+        e.set()
+        for t in threads:
+            t.join(2.0)
+        assert len(hits) == 4
+
+
+class TestAutoReset:
+    def test_consumes_signal(self):
+        e = Event(manual_reset=False, initial=True)
+        assert e.wait(0.01)
+        assert not e.is_set()
+        assert not e.wait(0.01)
+
+    def test_releases_one_waiter_per_set(self):
+        e = Event(manual_reset=False)
+        hits = []
+        done = threading.Event()
+
+        def waiter():
+            if e.wait(2.0):
+                hits.append(1)
+            done.set()
+
+        t1 = threading.Thread(target=waiter)
+        t1.start()
+        time.sleep(0.02)
+        e.set()
+        t1.join(2.0)
+        assert hits == [1]
+        # the signal was consumed: a fresh wait times out
+        assert not e.wait(0.01)

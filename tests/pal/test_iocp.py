@@ -1,0 +1,56 @@
+"""I/O completion port simulation."""
+
+from repro.pal import BytePipe, CompletionPort
+
+
+class TestCompletionPort:
+    def test_poll_empty(self):
+        assert CompletionPort().get_queued_completion_status(0.0) is None
+
+    def test_associated_pipe_posts_on_write(self):
+        port = CompletionPort()
+        pipe = BytePipe()
+        port.associate(pipe, key="peer-3")
+        pipe.write(b"hello")
+        cp = port.get_queued_completion_status(0.0)
+        assert cp is not None
+        assert cp.key == "peer-3"
+        assert cp.bytes_transferred >= 5
+
+    def test_pre_buffered_data_surfaces_at_associate(self):
+        pipe = BytePipe()
+        pipe.write(b"early")
+        port = CompletionPort()
+        port.associate(pipe, key=1)
+        assert port.get_queued_completion_status(0.0) is not None
+
+    def test_manual_post(self):
+        port = CompletionPort()
+        port.post(key="manual", nbytes=7)
+        cp = port.get_queued_completion_status(0.0)
+        assert cp.key == "manual" and cp.bytes_transferred == 7
+
+    def test_drain_empties_queue(self):
+        port = CompletionPort()
+        port.post(key=1)
+        port.post(key=2)
+        assert [c.key for c in port.drain()] == [1, 2]
+        assert port.drain() == []
+
+    def test_closed_port_drops_completions(self):
+        port = CompletionPort()
+        pipe = BytePipe()
+        port.associate(pipe, key=1)
+        port.close()
+        pipe.write(b"late")
+        assert port.get_queued_completion_status(0.0) is None
+
+    def test_multiple_pipes_distinct_keys(self):
+        port = CompletionPort()
+        pipes = {i: BytePipe() for i in range(3)}
+        for i, p in pipes.items():
+            port.associate(p, key=i)
+        pipes[2].write(b"x")
+        pipes[0].write(b"y")
+        keys = {c.key for c in port.drain()}
+        assert keys == {0, 2}

@@ -1,0 +1,81 @@
+"""Heap diagnostics."""
+
+from repro.runtime.diagnostics import heap_report, walk_live
+
+
+class TestWalkLive:
+    def test_roots_and_reachability(self, runtime):
+        runtime.define_class("DN", [("next", "DN")])
+        a = runtime.new("DN")
+        b = runtime.new("DN")
+        runtime.set_ref(a, "next", b)
+        live = walk_live(runtime)
+        assert live[a.addr] == "DN"
+        assert live[b.addr] == "DN"
+
+    def test_garbage_not_reported(self, runtime):
+        tmp = runtime.new_array("byte", 32)
+        addr = tmp.addr
+        del tmp
+        import gc as pygc
+
+        pygc.collect()
+        assert addr not in walk_live(runtime)
+
+    def test_cycles_terminate(self, runtime):
+        runtime.define_class("DC", [("next", "DC")])
+        a = runtime.new("DC")
+        runtime.set_ref(a, "next", a)
+        live = walk_live(runtime)
+        assert a.addr in live
+
+
+class TestHeapReport:
+    def test_aggregates_by_type(self, runtime):
+        runtime.define_class("DT", [("x", "int64")])
+        keep = [runtime.new("DT") for _ in range(5)]
+        arrs = [runtime.new_array("int32", 10) for _ in range(2)]
+        report = heap_report(runtime)
+        assert report.by_type["DT"].count == 5
+        assert report.by_type["int32[]"].count == 2
+        assert report.live_objects >= 7
+        assert report.live_bytes > 0
+        del keep, arrs
+
+    def test_generation_occupancy(self, runtime):
+        keep = runtime.new_array("byte", 256)
+        report = heap_report(runtime)
+        assert report.gen0_used > 0
+        assert report.gen0_capacity == runtime.heap.nursery.size
+        runtime.collect(0)
+        report2 = heap_report(runtime)
+        assert report2.gen0_used == 0
+        assert report2.gen1_allocated > 0
+        assert keep.addr in walk_live(runtime)
+
+    def test_pin_counts(self, runtime):
+        ref = runtime.new_array("byte", 16)
+        cookie = runtime.gc.pin(ref)
+        runtime.gc.register_conditional_pin(ref, lambda: True)
+        report = heap_report(runtime)
+        assert report.pins == 1
+        assert report.conditional_pins == 1
+        runtime.gc.unpin(cookie)
+
+    def test_fragmentation_reported(self, runtime):
+        ref = runtime.new_array("byte", 64)
+        runtime.new_array("byte", 128)  # garbage in the pinned block
+        cookie = runtime.gc.pin(ref)
+        runtime.collect(0)  # pinned collection: block promotion
+        report = heap_report(runtime)
+        assert report.fragmentation_bytes > 0
+        runtime.gc.unpin(cookie)
+
+    def test_render_contains_everything(self, runtime):
+        runtime.define_class("DR", [])
+        keep = runtime.new("DR")
+        text = heap_report(runtime).render()
+        assert "managed heap report" in text
+        assert "DR" in text
+        assert "gen0" in text and "gen1" in text
+        del keep

@@ -1,0 +1,151 @@
+"""Pinning: pinned objects, block promotion, conditional pin requests."""
+
+import pytest
+
+from repro.runtime.errors import GcInvariantError
+
+
+class TestHardPins:
+    def test_pinned_object_does_not_move(self, runtime):
+        ref = runtime.new_array("byte", 64)
+        addr = ref.addr
+        cookie = runtime.gc.pin(ref)
+        runtime.collect(0)
+        assert ref.addr == addr
+        runtime.gc.unpin(cookie)
+
+    def test_pinned_collection_promotes_nursery_block(self, runtime):
+        """SSCLI behaviour: the whole young block is assigned to the elder
+        generation (paper §5.2)."""
+        ref = runtime.new_array("byte", 64)
+        cookie = runtime.gc.pin(ref)
+        blocks_before = runtime.heap.stats.nursery_blocks_promoted
+        runtime.collect(0)
+        assert runtime.heap.stats.nursery_blocks_promoted == blocks_before + 1
+        assert runtime.heap.in_gen1(ref.addr)
+        assert runtime.gc.stats.pinned_collections >= 1
+        runtime.gc.unpin(cookie)
+
+    def test_unpinned_neighbours_still_compacted(self, runtime):
+        """Non-pinned survivors are copied and compacted as usual."""
+        pinned = runtime.new_array("byte", 64)
+        other = runtime.new_array("int32", 4, values=[1, 2, 3, 4])
+        cookie = runtime.gc.pin(pinned)
+        other_before = other.addr
+        runtime.collect(0)
+        assert pinned.addr != other.addr
+        assert other.addr != other_before  # moved out of the block
+        assert [runtime.get_elem(other, i) for i in range(4)] == [1, 2, 3, 4]
+        runtime.gc.unpin(cookie)
+
+    def test_pinned_objects_fields_still_fixed_up(self, runtime):
+        runtime.define_class("PH", [("child", "object")])
+        holder = runtime.new("PH")
+        child = runtime.new_array("int32", 2, values=[7, 8])
+        runtime.set_ref(holder, "child", child)
+        cookie = runtime.gc.pin(holder)
+        runtime.collect(0)
+        got = runtime.get_field(holder, "child")
+        assert [runtime.get_elem(got, i) for i in range(2)] == [7, 8]
+        runtime.gc.unpin(cookie)
+
+    def test_pin_keeps_otherwise_dead_object_alive(self, runtime):
+        ref = runtime.new_array("byte", 32)
+        cookie = runtime.gc.pin(ref)
+        addr = ref.addr
+        del ref
+        runtime.collect(0)
+        runtime.collect(1)
+        assert addr in runtime.heap.gen1_allocs
+        runtime.gc.unpin(cookie)
+        runtime.collect(1)
+        assert addr not in runtime.heap.gen1_allocs
+
+    def test_double_unpin_rejected(self, runtime):
+        cookie = runtime.gc.pin(runtime.new_array("byte", 8))
+        runtime.gc.unpin(cookie)
+        with pytest.raises(GcInvariantError):
+            runtime.gc.unpin(cookie)
+
+    def test_pin_accounting(self, runtime):
+        c1 = runtime.gc.pin(runtime.new_array("byte", 8))
+        c2 = runtime.gc.pin(runtime.new_array("byte", 8))
+        assert runtime.gc.active_pin_count == 2
+        runtime.gc.unpin(c1)
+        runtime.gc.unpin(c2)
+        assert runtime.gc.active_pin_count == 0
+        assert runtime.gc.stats.pin_calls == 2
+        assert runtime.gc.stats.unpin_calls == 2
+
+    def test_unpinned_collection_has_no_block_promotion(self, runtime):
+        runtime.new_array("byte", 64)
+        before = runtime.heap.stats.nursery_blocks_promoted
+        runtime.collect(0)
+        assert runtime.heap.stats.nursery_blocks_promoted == before
+
+
+class TestConditionalPins:
+    """Motor's GC augmentation: status-dependent pin requests (§4.3)."""
+
+    def test_active_request_pins(self, runtime):
+        ref = runtime.new_array("byte", 64)
+        addr = ref.addr
+        runtime.gc.register_conditional_pin(ref, lambda: True)
+        runtime.collect(0)
+        assert ref.addr == addr  # pinned: did not move
+        assert runtime.gc.stats.conditional_pins_honored == 1
+
+    def test_completed_request_dropped(self, runtime):
+        ref = runtime.new_array("byte", 64)
+        addr = ref.addr
+        runtime.gc.register_conditional_pin(ref, lambda: False)
+        runtime.collect(0)
+        assert ref.addr != addr  # not pinned: moved normally
+        assert runtime.gc.stats.conditional_pins_dropped == 1
+        assert runtime.gc.pending_conditional_count == 0
+
+    def test_request_survives_until_operation_completes(self, runtime):
+        state = {"in_flight": True}
+        ref = runtime.new_array("byte", 64)
+        addr = ref.addr
+        runtime.gc.register_conditional_pin(ref, lambda: state["in_flight"])
+        runtime.collect(0)
+        assert ref.addr == addr
+        assert runtime.gc.pending_conditional_count == 1
+        state["in_flight"] = False
+        runtime.collect(0)
+        assert runtime.gc.pending_conditional_count == 0
+        # no longer pinned: the elder object simply stays (elder never moves)
+
+    def test_no_unpin_call_needed(self, runtime):
+        """The whole point: nobody ever unpins; the collector handles it."""
+        ref = runtime.new_array("byte", 64)
+        runtime.gc.register_conditional_pin(ref, lambda: False)
+        runtime.collect(0)
+        runtime.collect(0)
+        assert runtime.gc.stats.unpin_calls == 0
+
+    def test_conditional_pin_roots_object_while_active(self, runtime):
+        ref = runtime.new_array("byte", 32)
+        addr = ref.addr
+        runtime.gc.register_conditional_pin(ref, lambda: True)
+        del ref
+        runtime.collect(1)
+        assert addr in runtime.heap.gen1_allocs
+
+    def test_dropped_conditional_releases_object(self, runtime):
+        ref = runtime.new_array("byte", 32)
+        runtime.gc.register_conditional_pin(ref, lambda: False)
+        runtime.collect(0)  # drops the request; ref still rooted by handle
+        addr = ref.addr
+        del ref
+        runtime.collect(1)
+        assert addr not in runtime.heap.gen1_allocs
+
+    def test_mark_phase_charges_check_cost(self, vruntime):
+        rt = vruntime
+        ref = rt.new_array("byte", 16)
+        rt.gc.register_conditional_pin(ref, lambda: True)
+        t0 = rt.clock.now()
+        rt.collect(0)
+        assert rt.clock.now() - t0 >= rt.costs.gc_mark_pin_check_ns

@@ -1,0 +1,98 @@
+"""The handle table and ObjRef lifetimes."""
+
+import gc as pygc
+
+import pytest
+
+from repro.runtime.errors import GcInvariantError, NullReferenceError_
+from repro.runtime.handles import HandleTable, ObjRef
+
+
+class TestHandleTable:
+    def test_alloc_get_set(self):
+        t = HandleTable()
+        s = t.alloc(0x100)
+        assert t.get(s) == 0x100
+        t.set(s, 0x200)
+        assert t.get(s) == 0x200
+
+    def test_free_and_reuse(self):
+        t = HandleTable()
+        s1 = t.alloc(1)
+        t.free(s1)
+        s2 = t.alloc(2)
+        assert s2 == s1  # slot reuse
+
+    def test_double_free(self):
+        t = HandleTable()
+        s = t.alloc(1)
+        t.free(s)
+        with pytest.raises(GcInvariantError):
+            t.free(s)
+
+    def test_use_after_free(self):
+        t = HandleTable()
+        s = t.alloc(1)
+        t.free(s)
+        with pytest.raises(GcInvariantError):
+            t.get(s)
+        with pytest.raises(GcInvariantError):
+            t.set(s, 5)
+
+    def test_live_slots(self):
+        t = HandleTable()
+        a = t.alloc(1)
+        b = t.alloc(2)
+        t.free(a)
+        assert t.live_slots() == [b]
+        assert len(t) == 1
+
+
+class TestObjRef:
+    def test_addr_tracks_table(self):
+        t = HandleTable()
+        r = ObjRef(t, 0x40)
+        t.set(r.slot, 0x80)  # what the GC does when the object moves
+        assert r.addr == 0x80
+
+    def test_null_semantics(self):
+        t = HandleTable()
+        r = ObjRef(t, 0)
+        assert r.is_null
+        with pytest.raises(NullReferenceError_):
+            r.require()
+
+    def test_equality_by_target(self):
+        t = HandleTable()
+        a = ObjRef(t, 0x40)
+        b = ObjRef(t, 0x40)
+        c = ObjRef(t, 0x48)
+        assert a == b
+        assert a != c
+        assert a.same_object(b)
+        assert not a.same_object(c)
+
+    def test_same_object_none(self):
+        t = HandleTable()
+        assert ObjRef(t, 0).same_object(None)
+        assert not ObjRef(t, 8).same_object(None)
+
+    def test_dropping_ref_frees_slot(self):
+        t = HandleTable()
+        r = ObjRef(t, 0x40)
+        slot = r.slot
+        del r
+        pygc.collect()
+        with pytest.raises(GcInvariantError):
+            t.get(slot)
+
+    def test_abandoned_object_becomes_collectable(self, runtime):
+        """Dropping the last Python reference makes the managed object
+        garbage — the root really disappears."""
+        ref = runtime.new_array("byte", 32)
+        runtime.collect(0)
+        addr = ref.addr
+        del ref
+        pygc.collect()
+        runtime.collect(1)
+        assert addr not in runtime.heap.gen1_allocs

@@ -1,0 +1,91 @@
+"""Property tests over the heap allocator: no overlap, stable contents."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.heap import ManagedHeap
+from repro.runtime.typesys import align8
+
+op_st = st.one_of(
+    st.tuples(st.just("alloc"), st.integers(min_value=1, max_value=2048)),
+    st.tuples(st.just("free"), st.integers(min_value=0, max_value=40)),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=st.lists(op_st, max_size=60))
+def test_gen1_allocations_never_overlap(ops):
+    heap = ManagedHeap(2 << 20, 16 << 10)
+    live: dict[int, int] = {}  # addr -> size
+    freed_order: list[int] = []
+    for kind, arg in ops:
+        if kind == "alloc":
+            addr = heap.alloc_gen1(arg)
+            size = align8(arg)
+            # no overlap with any live allocation
+            for a, s in live.items():
+                assert addr + size <= a or a + s <= addr, (
+                    f"overlap: new [{addr},{addr + size}) vs live [{a},{a + s})"
+                )
+            live[addr] = size
+            freed_order.append(addr)
+        elif live:
+            idx = arg % len(freed_order)
+            addr = freed_order[idx]
+            if addr in live:
+                heap.free_gen1(addr)
+                del live[addr]
+    # registry agrees with our model
+    assert set(heap.gen1_allocs) == set(live)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=512), min_size=1, max_size=40)
+)
+def test_gen0_bump_is_disjoint_and_ordered(sizes):
+    heap = ManagedHeap(2 << 20, 64 << 10)
+    prev_end = None
+    for n in sizes:
+        addr = heap.alloc_gen0(n)
+        if addr is None:
+            break
+        assert addr % 8 == 0
+        if prev_end is not None:
+            assert addr >= prev_end
+        prev_end = addr + align8(n)
+        assert heap.in_gen0(addr)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    blobs=st.lists(st.binary(min_size=1, max_size=200), min_size=1, max_size=20)
+)
+def test_contents_isolated_between_allocations(blobs):
+    """Writing one allocation never disturbs another."""
+    heap = ManagedHeap(2 << 20, 16 << 10)
+    placed: list[tuple[int, bytes]] = []
+    for blob in blobs:
+        addr = heap.alloc_gen1(len(blob))
+        heap.write_bytes(addr, blob)
+        placed.append((addr, blob))
+    for addr, blob in placed:
+        assert heap.read_bytes(addr, len(blob)) == blob
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    first=st.integers(min_value=8, max_value=1024),
+    second=st.integers(min_value=8, max_value=1024),
+)
+def test_free_reuse_first_fit(first, second):
+    heap = ManagedHeap(1 << 20, 8 << 10)
+    a = heap.alloc_gen1(first)
+    heap.free_gen1(a)
+    b = heap.alloc_gen1(second)
+    if align8(second) <= align8(first):
+        assert b == a  # hole reused
+    else:
+        assert b != a  # too small: fresh space

@@ -1,0 +1,126 @@
+"""The three managed-to-native gates: FCall, P/Invoke, JNI."""
+
+import pytest
+
+from repro.runtime.errors import InvalidOperation
+from repro.simtime import HOST_PROFILES
+
+
+class TestFCall:
+    def test_returns_value(self, runtime):
+        gate = runtime.gate("fcall")
+        assert gate.call(lambda a, b: a + b, 2, 3) == 5
+
+    def test_polls_on_entry_and_exit(self, runtime):
+        gate = runtime.gate("fcall")
+        before = runtime.safepoint.polls
+        gate.call(lambda: None)
+        assert runtime.safepoint.polls == before + 2
+
+    def test_polls_on_exception_exit(self, runtime):
+        gate = runtime.gate("fcall")
+        before = runtime.safepoint.polls
+        with pytest.raises(RuntimeError):
+            gate.call(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        assert runtime.safepoint.polls == before + 2
+
+    def test_pending_gc_runs_inside_fcall(self, runtime):
+        """An FCall must yield to a requested collection (paper §5.1)."""
+        ref = runtime.new_array("byte", 8)
+        young = ref.addr
+        runtime.safepoint.request(0)
+        runtime.gate("fcall").call(lambda: None)
+        assert ref.addr != young
+
+    def test_charges_fcall_cost(self, vruntime):
+        gate = vruntime.gate("fcall")
+        t0 = vruntime.clock.now()
+        gate.call(lambda: None)
+        assert vruntime.clock.now() - t0 >= vruntime.costs.fcall_ns
+
+
+class TestPInvoke:
+    def test_requires_profile(self, runtime):
+        with pytest.raises(InvalidOperation):
+            runtime.gate("pinvoke")
+
+    def test_marshals_every_arg(self, runtime):
+        gate = runtime.gate("pinvoke", HOST_PROFILES["sscli-free"])
+        ref = runtime.new_array("byte", 4)
+        gate.call(lambda *a: None, 1, 2.5, b"xy", ref, None, True, "str")
+        assert gate.stats.marshalled_args == 7
+        assert gate.stats.security_checks >= 1
+
+    def test_more_expensive_than_fcall(self, vruntime):
+        f = vruntime.gate("fcall")
+        p = vruntime.gate("pinvoke", HOST_PROFILES["sscli-free"])
+        t0 = vruntime.clock.now()
+        f.call(lambda: None)
+        f_cost = vruntime.clock.now() - t0
+        t0 = vruntime.clock.now()
+        p.call(lambda: None)
+        p_cost = vruntime.clock.now() - t0
+        assert p_cost > f_cost * 5
+
+    def test_profile_multiplier_applies(self, vruntime):
+        slow = vruntime.gate("pinvoke", HOST_PROFILES["sscli-fastchecked"])
+        fast = vruntime.gate("pinvoke", HOST_PROFILES["dotnet"])
+        t0 = vruntime.clock.now()
+        slow.call(lambda: None)
+        slow_cost = vruntime.clock.now() - t0
+        t0 = vruntime.clock.now()
+        fast.call(lambda: None)
+        fast_cost = vruntime.clock.now() - t0
+        assert slow_cost > fast_cost
+
+
+class TestJNI:
+    def test_auto_pins_object_args(self, runtime):
+        """JNI automatically pins and unpins objects (paper §2.3)."""
+        gate = runtime.gate("jni", HOST_PROFILES["jvm"])
+        ref = runtime.new_array("byte", 16)
+
+        pinned_during_call = []
+
+        def native(buf):
+            pinned_during_call.append(runtime.gc.active_pin_count)
+
+        gate.call(native, ref)
+        assert pinned_during_call == [1]
+        assert runtime.gc.active_pin_count == 0  # unpinned on return
+        assert gate.stats.auto_pins == 1
+
+    def test_null_refs_not_pinned(self, runtime):
+        gate = runtime.gate("jni", HOST_PROFILES["jvm"])
+        gate.call(lambda x: None, runtime.null_ref())
+        assert gate.stats.auto_pins == 0
+
+    def test_unpins_on_exception(self, runtime):
+        gate = runtime.gate("jni", HOST_PROFILES["jvm"])
+        ref = runtime.new_array("byte", 16)
+        with pytest.raises(ValueError):
+            gate.call(lambda buf: (_ for _ in ()).throw(ValueError()), ref)
+        assert runtime.gc.active_pin_count == 0
+
+    def test_distinct_functions_not_conflated(self, runtime):
+        """Regression: the JNIEnv table must not cache one lambda for all."""
+        gate = runtime.gate("jni", HOST_PROFILES["jvm"])
+        assert gate.call(lambda: "first") == "first"
+        assert gate.call(lambda: "second") == "second"
+
+    def test_costs_more_than_pinvoke(self, vruntime):
+        j = vruntime.gate("jni", HOST_PROFILES["jvm"])
+        p = vruntime.gate("pinvoke", HOST_PROFILES["sscli-free"])
+        t0 = vruntime.clock.now()
+        p.call(lambda: None)
+        p_cost = vruntime.clock.now() - t0
+        t0 = vruntime.clock.now()
+        j.call(lambda: None)
+        j_cost = vruntime.clock.now() - t0
+        assert j_cost > p_cost
+
+
+class TestGateFactory:
+    def test_unknown_gate(self, runtime):
+        with pytest.raises(InvalidOperation):
+            runtime.gate("syscall")

@@ -1,0 +1,124 @@
+"""Zero-copy NumPy views over managed arrays."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.errors import InvalidOperation, ObjectModelViolation
+from repro.runtime.numpy_interop import as_numpy, from_numpy, pinned_numpy
+
+
+class TestFromNumpy:
+    def test_roundtrip_dtypes(self, runtime):
+        for dtype in (np.int32, np.float64, np.uint8, np.int64, np.float32):
+            src = np.arange(10, dtype=dtype)
+            ref = from_numpy(runtime, src)
+            runtime.collect(0)  # promote so the view is safe
+            view = as_numpy(runtime, ref)
+            assert view.dtype == dtype
+            np.testing.assert_array_equal(view, src)
+
+    def test_multidim_rejected(self, runtime):
+        with pytest.raises(InvalidOperation, match="one-dimensional"):
+            from_numpy(runtime, np.zeros((2, 2)))
+
+    def test_unsupported_dtype(self, runtime):
+        with pytest.raises(InvalidOperation):
+            from_numpy(runtime, np.zeros(3, dtype=np.complex128))
+
+    def test_noncontiguous_input_copied_correctly(self, runtime):
+        src = np.arange(20, dtype=np.int32)[::2]
+        ref = from_numpy(runtime, src)
+        runtime.collect(0)
+        np.testing.assert_array_equal(as_numpy(runtime, ref), src)
+
+
+class TestAsNumpy:
+    def test_zero_copy_aliases_heap(self, runtime):
+        ref = runtime.new_array("int32", 4, values=[1, 2, 3, 4])
+        runtime.collect(0)  # promote: stable address
+        view = as_numpy(runtime, ref)
+        view[2] = 99  # write through numpy...
+        assert runtime.get_elem(ref, 2) == 99  # ...lands in the heap
+        runtime.set_elem(ref, 0, -5)
+        assert view[0] == -5  # and vice versa
+
+    def test_young_array_refused(self, runtime):
+        ref = runtime.new_array("float64", 4)
+        assert runtime.heap.in_gen0(ref.addr)
+        with pytest.raises(InvalidOperation, match="nursery"):
+            as_numpy(runtime, ref)
+
+    def test_young_allowed_explicitly(self, runtime):
+        ref = runtime.new_array("float64", 4)
+        view = as_numpy(runtime, ref, allow_young=True)
+        assert len(view) == 4
+
+    def test_pinned_young_allowed(self, runtime):
+        ref = runtime.new_array("int32", 4)
+        cookie = runtime.gc.pin(ref)
+        view = as_numpy(runtime, ref)
+        assert len(view) == 4
+        runtime.gc.unpin(cookie)
+
+    def test_ref_array_rejected(self, runtime):
+        runtime.define_class("NE", [])
+        arr = runtime.new_array("NE", 2)
+        with pytest.raises(ObjectModelViolation):
+            as_numpy(runtime, arr, allow_young=True)
+
+    def test_plain_object_rejected(self, runtime):
+        runtime.define_class("NO", [("x", "int32")])
+        with pytest.raises(ObjectModelViolation):
+            as_numpy(runtime, runtime.new("NO"), allow_young=True)
+
+
+class TestPinnedContext:
+    def test_view_survives_collection_inside_block(self, runtime):
+        ref = runtime.new_array("float64", 8, values=[float(i) for i in range(8)])
+        with pinned_numpy(runtime, ref) as view:
+            runtime.collect(0)  # pinned: the view stays valid
+            np.testing.assert_array_equal(view, np.arange(8.0))
+            view *= 2.0
+        assert runtime.get_elem(ref, 3) == 6.0
+        assert runtime.gc.active_pin_count == 0  # unpinned on exit
+
+    def test_unpins_on_exception(self, runtime):
+        ref = runtime.new_array("int32", 2)
+        with pytest.raises(RuntimeError):
+            with pinned_numpy(runtime, ref):
+                raise RuntimeError("boom")
+        assert runtime.gc.active_pin_count == 0
+
+    def test_stale_view_demonstrates_the_hazard(self, runtime):
+        """The §2.3 hazard through the numpy lens: an unpinned view goes
+        stale when the collector moves the array."""
+        ref = runtime.new_array("int32", 4, values=[7, 7, 7, 7])
+        view = as_numpy(runtime, ref, allow_young=True)
+        runtime.collect(0)  # the array moves...
+        runtime.set_elem(ref, 0, 123)
+        assert view[0] != 123  # ...the view still reads the old location
+
+
+class TestVectorisedWorkflows:
+    def test_numpy_compute_then_motor_send(self):
+        """The guides' idiom: vectorised compute on views, buffer send."""
+        from repro.cluster import mpiexec
+        from repro.motor import motor_session
+
+        def main(ctx):
+            vm = ctx.session
+            comm = vm.comm_world
+            if comm.Rank == 0:
+                data = from_numpy(vm.runtime, np.linspace(0, 1, 100))
+                with pinned_numpy(vm.runtime, data) as v:
+                    np.multiply(v, 3.0, out=v)  # vectorised, in place
+                comm.Send(vm.proxy(data), 1, 1)
+            else:
+                data = vm.new_array("float64", 100)
+                comm.Recv(data, 0, 1)
+                vm.runtime.collect(0)
+                v = as_numpy(vm.runtime, data.ref)
+                return float(v.sum())
+
+        total = mpiexec(2, main, session_factory=motor_session)[1]
+        assert abs(total - 3.0 * np.linspace(0, 1, 100).sum()) < 1e-9

@@ -1,0 +1,63 @@
+"""The ManagedProxy sugar layer."""
+
+import pytest
+
+from repro.runtime.errors import ObjectModelViolation
+from repro.runtime.proxy import ManagedProxy
+
+
+@pytest.fixture
+def vm_types(runtime):
+    runtime.define_class("Vec", [("x", "float64"), ("y", "float64")])
+    runtime.define_class("Body", [("pos", "Vec"), ("mass", "float64")])
+    return runtime
+
+
+class TestProxy:
+    def test_field_read_write(self, vm_types):
+        rt = vm_types
+        v = ManagedProxy(rt, rt.new("Vec"))
+        v.x = 1.5
+        v.y = -2.0
+        assert v.x == 1.5 and v.y == -2.0
+
+    def test_nested_refs(self, vm_types):
+        rt = vm_types
+        b = ManagedProxy(rt, rt.new("Body"))
+        v = ManagedProxy(rt, rt.new("Vec"))
+        v.x = 3.0
+        b.pos = v
+        assert isinstance(b.pos, ManagedProxy)
+        assert b.pos.x == 3.0
+        b.pos = None
+        assert b.pos is None
+
+    def test_array_indexing(self, runtime):
+        arr = ManagedProxy(runtime, runtime.new_array("int32", 3, values=[4, 5, 6]))
+        assert len(arr) == 3
+        assert arr[1] == 5
+        arr[1] = 50
+        assert arr[1] == 50
+
+    def test_ref_array_indexing(self, vm_types):
+        rt = vm_types
+        arr = ManagedProxy(rt, rt.new_array("Vec", 2))
+        assert arr[0] is None
+        v = ManagedProxy(rt, rt.new("Vec"))
+        arr[0] = v
+        assert arr[0].ref.same_object(v.ref)
+
+    def test_type_name(self, vm_types):
+        assert ManagedProxy(vm_types, vm_types.new("Vec")).type_name == "Vec"
+
+    def test_unknown_field(self, vm_types):
+        v = ManagedProxy(vm_types, vm_types.new("Vec"))
+        with pytest.raises(ObjectModelViolation):
+            _ = v.z
+
+    def test_survives_collection(self, vm_types):
+        rt = vm_types
+        v = ManagedProxy(rt, rt.new("Vec"))
+        v.x = 9.0
+        rt.collect(0)
+        assert v.x == 9.0

@@ -1,0 +1,42 @@
+"""Metadata / reflection: the slow path vs the FieldDesc bit."""
+
+from repro.workloads.linkedlist import define_linked_array
+
+
+class TestMetadata:
+    def test_type_row(self, runtime):
+        runtime.define_class("M", [("x", "int32")])
+        row = runtime.metadata.get_type_row("M")
+        assert row == {"name": "M", "base": "System.Object", "is_array": False}
+
+    def test_unknown_type_row(self, runtime):
+        assert runtime.metadata.get_type_row("Nope" if "Nope" not in runtime.registry else "?") is None
+
+    def test_fields(self, runtime):
+        runtime.define_class("M2", [("x", "int32"), ("r", "object")])
+        rows = runtime.metadata.get_fields("M2")
+        assert {r["name"] for r in rows} == {"x", "r"}
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["x"]["is_ref"] is False
+        assert by_name["r"]["is_ref"] is True
+
+    def test_custom_attributes_on_fields(self, runtime):
+        define_linked_array(runtime)
+        md = runtime.metadata
+        assert md.get_custom_attributes("LinkedArray", "array") == ["Transportable"]
+        assert md.get_custom_attributes("LinkedArray", "next") == ["Transportable"]
+        assert md.get_custom_attributes("LinkedArray", "next2") == []
+
+    def test_class_level_attribute(self, runtime):
+        define_linked_array(runtime)
+        assert runtime.metadata.get_custom_attributes("LinkedArray") == ["Transportable"]
+
+    def test_metadata_agrees_with_fielddesc_bit(self, runtime):
+        """The slow and fast paths must answer identically."""
+        define_linked_array(runtime)
+        mt = runtime.registry.resolve("LinkedArray")
+        for fd in mt.fields:
+            via_md = runtime.metadata.is_field_transportable_via_metadata(
+                "LinkedArray", fd.name
+            )
+            assert via_md == fd.is_transportable

@@ -1,0 +1,98 @@
+"""ManagedRuntime facade coverage: construction, strings, limits, config."""
+
+import pytest
+
+from repro.runtime.errors import InvalidOperation, OutOfManagedMemory
+from repro.runtime.runtime import ManagedRuntime, RuntimeConfig
+
+
+class TestConstruction:
+    def test_defaults(self):
+        rt = ManagedRuntime()
+        assert rt.heap.capacity == 32 << 20
+        assert rt.pal.backend == "windows"
+
+    def test_unix_pal_backend(self):
+        rt = ManagedRuntime(RuntimeConfig(pal_backend="unix"))
+        assert rt.pal.backend == "unix"
+
+    def test_new_requires_class(self, runtime):
+        with pytest.raises(InvalidOperation):
+            runtime.new("int32[]")  # arrays use new_array
+
+
+class TestStrings:
+    def test_new_string(self, runtime):
+        s = runtime.new_string("héllo")
+        assert runtime.array_length(s) == 5
+        chars = [chr(runtime.get_elem(s, i)) for i in range(5)]
+        assert "".join(chars) == "héllo"
+
+    def test_string_type_is_char_array(self, runtime):
+        s = runtime.new_string("ab")
+        mt = runtime.type_of(s)
+        assert mt.is_array and mt.element_type.name == "char"
+
+
+class TestByteArrays:
+    def test_new_byte_array(self, runtime):
+        arr = runtime.new_byte_array(b"\x01\x02\x03")
+        assert runtime.array_bytes(arr) == b"\x01\x02\x03"
+
+    def test_array_bytes_slice(self, runtime):
+        arr = runtime.new_byte_array(bytes(range(10)))
+        assert runtime.array_bytes(arr, offset=3, count=4) == bytes(range(3, 7))
+
+    def test_fill_rejects_misaligned(self, runtime):
+        arr = runtime.new_array("int32", 4)
+        with pytest.raises(InvalidOperation):
+            runtime.fill_array_bytes(arr, b"\x01\x02\x03")  # not 4-aligned
+
+    def test_fill_rejects_ref_array(self, runtime):
+        from repro.runtime.errors import ObjectModelViolation
+
+        runtime.define_class("FE", [])
+        arr = runtime.new_array("FE", 2)
+        with pytest.raises(ObjectModelViolation):
+            runtime.fill_array_bytes(arr, b"\x00" * 16)
+
+
+class TestMemoryLimits:
+    def test_out_of_memory_raises(self):
+        rt = ManagedRuntime(RuntimeConfig(heap_capacity=1 << 20, nursery_size=16 << 10))
+        keep = []
+        with pytest.raises(OutOfManagedMemory):
+            for _ in range(10000):
+                keep.append(rt.new_array("byte", 8 << 10))
+
+    def test_garbage_heavy_workload_survives(self):
+        """Tiny heap, lots of garbage: collection keeps up indefinitely."""
+        rt = ManagedRuntime(RuntimeConfig(heap_capacity=2 << 20, nursery_size=8 << 10))
+        for i in range(2000):
+            rt.new_array("byte", 256)  # all garbage
+        assert rt.gc.stats.gen0_collections > 10
+        assert rt.gc.stats.gen1_collections >= 1
+
+    def test_full_gc_every_configurable(self):
+        rt = ManagedRuntime(
+            RuntimeConfig(heap_capacity=2 << 20, nursery_size=8 << 10, full_gc_every=2)
+        )
+        for _ in range(300):
+            rt.new_array("byte", 256)
+        assert rt.gc.stats.gen1_collections >= rt.gc.stats.gen0_collections // 3
+
+
+class TestNullRef:
+    def test_null_ref_helpers(self, runtime):
+        n = runtime.null_ref()
+        assert n.is_null
+        runtime.define_class("NN", [("r", "object")])
+        obj = runtime.new("NN")
+        runtime.set_ref(obj, "r", n)  # storing null is fine
+        assert runtime.get_field(obj, "r") is None
+
+    def test_make_ref_roots_address(self, runtime):
+        arr = runtime.new_array("byte", 8)
+        extra = runtime.make_ref(arr.addr)
+        runtime.collect(0)
+        assert extra.addr == arr.addr  # both handles updated together

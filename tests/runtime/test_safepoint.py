@@ -1,0 +1,81 @@
+"""The safepoint / GC-polling protocol."""
+
+from repro.runtime.safepoint import EveryNStressor, SafepointState
+
+
+class TestSafepointState:
+    def test_no_pending_no_collect(self):
+        calls = []
+        sp = SafepointState(lambda gen: calls.append(gen))
+        assert not sp.poll()
+        assert calls == []
+        assert sp.polls == 1
+
+    def test_pending_collects_once(self):
+        calls = []
+        sp = SafepointState(lambda gen: calls.append(gen))
+        sp.request(0)
+        assert sp.pending
+        assert sp.poll()
+        assert calls == [0]
+        assert not sp.pending
+        assert not sp.poll()  # consumed
+
+    def test_higher_gen_wins(self):
+        calls = []
+        sp = SafepointState(lambda gen: calls.append(gen))
+        sp.request(0)
+        sp.request(1)
+        sp.request(0)
+        sp.poll()
+        assert calls == [1]
+
+    def test_poll_counter(self):
+        sp = SafepointState(lambda gen: None)
+        for _ in range(5):
+            sp.poll()
+        assert sp.polls == 5
+        assert sp.collections_at_poll == 0
+
+    def test_reentrant_poll_is_noop(self):
+        sp = SafepointState(lambda gen: inner())
+
+        def inner():
+            # a collection that itself polls must not recurse
+            assert not sp.poll()
+
+        sp.request(0)
+        assert sp.poll()
+
+
+class TestStressor:
+    def test_every_n(self):
+        calls = []
+        sp = SafepointState(lambda gen: calls.append(gen))
+        sp.stressor = EveryNStressor(3)
+        for _ in range(9):
+            sp.poll()
+        assert len(calls) == 3
+
+    def test_stressor_gen(self):
+        calls = []
+        sp = SafepointState(lambda gen: calls.append(gen))
+        sp.stressor = EveryNStressor(1, gen=1)
+        sp.poll()
+        assert calls == [1]
+
+    def test_bad_n(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            EveryNStressor(0)
+
+
+class TestRuntimeIntegration:
+    def test_requested_gc_runs_at_poll(self, runtime):
+        ref = runtime.new_array("byte", 16)
+        young = ref.addr
+        runtime.safepoint.request(0)
+        runtime.safepoint.poll()
+        assert ref.addr != young  # the collection actually ran
+        assert runtime.heap.in_gen1(ref.addr)

@@ -1,0 +1,39 @@
+"""Every example must run clean end-to-end (they are all self-checking)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_example_inventory():
+    assert set(EXAMPLES) == {
+        "quickstart.py",
+        "heat_diffusion.py",
+        "object_scatter_gather.py",
+        "managed_il_pingpong.py",
+        "compare_systems.py",
+        "dynamic_workers.py",
+        "grid_stencil_2d.py",
+    }
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    root = pathlib.Path(__file__).parent.parent
+    proc = subprocess.run(
+        [sys.executable, str(root / "examples" / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=root,
+    )
+    assert proc.returncode == 0, (
+        f"{name} failed\nstdout:\n{proc.stdout[-2000:]}\nstderr:\n{proc.stderr[-2000:]}"
+    )
+    assert "OK" in proc.stdout or "Motor vs" in proc.stdout or "rank" in proc.stdout

@@ -1,0 +1,77 @@
+"""The Figure 5 / Figure 10 LinkedArray workload builder."""
+
+import pytest
+
+from repro.workloads.linkedlist import (
+    build_linked_list,
+    count_objects,
+    define_linked_array,
+    list_payload_ints,
+    verify_linked_list,
+)
+
+
+class TestPayloads:
+    def test_even_distribution(self):
+        payloads = list_payload_ints(4, total_bytes=4096)
+        assert len(payloads) == 4
+        assert sum(len(p) for p in payloads) == 1024  # ints
+        assert all(len(p) == 256 for p in payloads)
+
+    def test_uneven_distribution(self):
+        payloads = list_payload_ints(3, total_bytes=40)
+        assert sum(len(p) for p in payloads) == 10
+        assert [len(p) for p in payloads] == [4, 3, 3]
+
+    def test_deterministic(self):
+        assert list_payload_ints(5, 400) == list_payload_ints(5, 400)
+
+    def test_count_objects(self):
+        """'The total number of objects transported is twice the number of
+        linked list elements' (§8)."""
+        assert count_objects(512) == 1024
+
+
+class TestBuilder:
+    def test_build_and_verify(self, runtime):
+        head = build_linked_list(runtime, 7, 280)
+        verify_linked_list(runtime, head, 7, 280)
+
+    def test_figure5_shape(self, runtime):
+        define_linked_array(runtime)
+        mt = runtime.registry.resolve("LinkedArray")
+        assert mt.transportable_class
+        assert mt.fields_by_name["array"].is_transportable
+        assert mt.fields_by_name["next"].is_transportable
+        assert not mt.fields_by_name["next2"].is_transportable
+
+    def test_next2_default_null(self, runtime):
+        head = build_linked_list(runtime, 3, 96)
+        assert runtime.get_field(head, "next2") is None
+
+    def test_wire_next2(self, runtime):
+        head = build_linked_list(runtime, 3, 96, wire_next2=True)
+        assert runtime.get_field(head, "next2") is not None
+
+    def test_single_element(self, runtime):
+        head = build_linked_list(runtime, 1, 64)
+        verify_linked_list(runtime, head, 1, 64)
+
+    def test_zero_elements_rejected(self, runtime):
+        with pytest.raises(ValueError):
+            build_linked_list(runtime, 0, 64)
+
+    def test_verify_catches_truncation(self, runtime):
+        head = build_linked_list(runtime, 4, 128)
+        # chop the list after the second node
+        second = runtime.get_field(head, "next")
+        runtime.set_ref(second, "next", None)
+        with pytest.raises(AssertionError):
+            verify_linked_list(runtime, head, 4, 128)
+
+    def test_verify_catches_data_corruption(self, runtime):
+        head = build_linked_list(runtime, 2, 64)
+        arr = runtime.get_field(head, "array")
+        runtime.set_elem(arr, 0, 12345)
+        with pytest.raises(AssertionError):
+            verify_linked_list(runtime, head, 2, 64)
