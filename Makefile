@@ -1,12 +1,15 @@
 PYTHON ?= python
 
-.PHONY: install test bench figures report examples clean
+.PHONY: install test test-faults bench figures report examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+test-faults:
+	$(PYTHON) -m pytest tests/ -m faults
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

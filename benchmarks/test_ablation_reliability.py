@@ -1,0 +1,58 @@
+"""A10 (wall clock): the reliability sublayer on a fault-free wire.
+
+The acceptance bar is a <=5% mean slowdown (checked against the virtual
+clock by ``python -m repro.bench ablate-reliability``); this suite pins
+the same comparison to real Python work — seq/CRC sealing, ack batches
+and retransmit bookkeeping on every packet versus none at all — and adds
+the faulty case to show where the cost actually lives.
+"""
+
+import pytest
+
+from repro.cluster import mpiexec
+from repro.mp.channels import FaultPlan
+from repro.workloads.adapters import make_adapter
+
+SIZE = 32 * 1024
+ITERS = 8
+
+
+def _session(reliable: bool | None = None, fault_plan: FaultPlan | None = None):
+    def main(ctx):
+        ad = make_adapter("cpp", ctx)
+        buf = ad.alloc(SIZE)
+        me, peer = ctx.rank, 1 - ctx.rank
+        ad.barrier()
+        for _ in range(ITERS):
+            if me == 0:
+                ad.send(buf, peer, 1)
+                ad.recv(buf, peer, 2)
+            else:
+                ad.recv(buf, peer, 1)
+                ad.send(buf, peer, 2)
+        return True
+
+    return lambda: mpiexec(
+        2, main, channel="shm", clock_mode="wall",
+        reliable=reliable, fault_plan=fault_plan,
+    )
+
+
+@pytest.mark.benchmark(group="ablate-reliability-32KiB")
+def test_baseline_unreliable(benchmark, bench_rounds):
+    """The seed path: raw packets, no seq/CRC/ack."""
+    benchmark.pedantic(_session(reliable=False), **bench_rounds)
+
+
+@pytest.mark.benchmark(group="ablate-reliability-32KiB")
+def test_reliable_fault_free(benchmark, bench_rounds):
+    """Sublayer on, wire clean: the insurance premium itself."""
+    benchmark.pedantic(_session(reliable=True), **bench_rounds)
+
+
+@pytest.mark.benchmark(group="ablate-reliability-32KiB")
+def test_reliable_under_drops(benchmark, bench_rounds):
+    """Sublayer earning its keep: 5% drops, recovered by retransmit."""
+    benchmark.pedantic(
+        _session(fault_plan=FaultPlan(seed=3, drop=0.05)), **bench_rounds
+    )

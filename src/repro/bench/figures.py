@@ -379,6 +379,38 @@ def ablate_interconnect(quick: bool = True, **_: object) -> SeriesSet:
     return out
 
 
+def ablate_reliability(quick: bool = True, channel: str = "sock") -> SeriesSet:
+    """A10: the reliability sublayer's fault-free cost.
+
+    Seq/CRC sealing, ack generation and retransmit bookkeeping run on
+    every packet once ``reliable`` is on; over a fault-free wire the whole
+    sublayer should be close to free (the target is a <=5% mean slowdown
+    on the Figure 9 ping-pong), which is what makes it acceptable to
+    enable whenever a fault plan is present.
+    """
+    sizes = [4, 1024, 65536, 262144] if quick else FIG9_SIZES
+    out = SeriesSet(
+        experiment="ablate-reliability",
+        title="Reliability sublayer overhead on a fault-free wire (native)",
+        x_label="bytes",
+        y_label="time per iteration (us)",
+    )
+    for label, reliable in (("baseline", False), ("reliable", True)):
+        out.add(
+            label,
+            sweep_buffer_pingpong(
+                "cpp", sizes, channel=channel, reliable=reliable,
+                **_protocol(quick),
+            ),
+        )
+    out.notes.append(
+        "acks are piggy-backed per poll batch and CRC32 is a single zlib "
+        "call, so the sublayer prices in as noise; faults are what cost "
+        "(retransmit timeouts), not the insurance"
+    )
+    return out
+
+
 #: experiment registry: id -> (title, callable)
 EXPERIMENTS = {
     "fig9": ("Figure 9: regular MPI ping-pong", figure9),
@@ -392,4 +424,5 @@ EXPERIMENTS = {
     "ablate-pure-managed": ("A7: pure managed MPI", ablate_pure_managed),
     "ablate-pal": ("A8: PAL backend thickness", ablate_pal),
     "ablate-interconnect": ("A9: interconnect port (future work)", ablate_interconnect),
+    "ablate-reliability": ("A10: reliability sublayer overhead", ablate_reliability),
 }

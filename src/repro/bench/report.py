@@ -290,6 +290,20 @@ def check_ablate_interconnect(s: SeriesSet) -> list[ClaimResult]:
     ]
 
 
+def check_ablate_reliability(s: SeriesSet) -> list[ClaimResult]:
+    base = s.series["baseline"]
+    rel = s.series["reliable"]
+    slowdown = mean(rel[x] / base[x] for x in s.xs())
+    return [
+        ClaimResult(
+            claim="reliability sublayer is nearly free on a fault-free wire",
+            paper="robustness extension: seq/CRC/ack costs <=5% on the Figure 9 ping-pong",
+            measured=f"reliable/baseline mean ratio {slowdown:.3f}x",
+            holds=slowdown <= 1.05,
+        )
+    ]
+
+
 CHECKS: dict[str, Callable[[SeriesSet], list[ClaimResult]]] = {
     "fig9": check_fig9,
     "fig10": check_fig10,
@@ -302,6 +316,7 @@ CHECKS: dict[str, Callable[[SeriesSet], list[ClaimResult]]] = {
     "ablate-pure-managed": check_ablate_pure_managed,
     "ablate-pal": check_ablate_pal,
     "ablate-interconnect": check_ablate_interconnect,
+    "ablate-reliability": check_ablate_reliability,
 }
 
 

@@ -6,7 +6,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.mp.channels import FABRICS
+from repro.mp.channels import FABRICS, FaultPlan, FaultyFabric
 from repro.mp.communicator import Communicator, Group
 from repro.mp.mpi import MpiEngine
 from repro.simtime import Clock, CostModel, VirtualClock, WallClock
@@ -59,6 +59,9 @@ class World:
         clock_mode: str = "wall",
         costs: CostModel | None = None,
         eager_threshold: int | None = None,
+        fault_plan: FaultPlan | None = None,
+        reliable: bool | None = None,
+        reliability_opts: dict | None = None,
     ) -> None:
         if size < 1:
             raise ValueError("world size must be >= 1")
@@ -71,7 +74,16 @@ class World:
         self.clock_mode = clock_mode
         self.costs = costs if costs is not None else CostModel()
         self.eager_threshold = eager_threshold
+        self.fault_plan = fault_plan
+        # a faulty wire needs the reliability sublayer unless told otherwise
+        self.reliable = (fault_plan is not None) if reliable is None else reliable
+        self.reliability_opts = reliability_opts
         self.fabric = FABRICS[channel](size)
+        if fault_plan is not None:
+            self.fabric = FaultyFabric(self.fabric, fault_plan)
+        self._engines: dict[int, MpiEngine] = {}
+        self._mains_done: set[int] = set()
+        self._done_lock = threading.Lock()
         self._clocks: dict[int, Clock] = {}
         self._spawn_lock = threading.Lock()
         self._spawn_contexts = 1 << 16
@@ -90,7 +102,7 @@ class World:
     def engine_for(self, rank: int, yield_fn: Callable[[], None] | None = None) -> MpiEngine:
         clock = self.clock_for(rank)
         ch = self.fabric.endpoint(rank, clock, self.costs)
-        return MpiEngine(
+        self._engines[rank] = eng = MpiEngine(
             rank,
             self.size,
             ch,
@@ -98,7 +110,10 @@ class World:
             costs=self.costs,
             yield_fn=yield_fn,
             eager_threshold=self.eager_threshold,
+            reliable=self.reliable,
+            reliability_opts=self.reliability_opts,
         )
+        return eng
 
     def context_for(self, rank: int, yield_fn: Callable[[], None] | None = None) -> RankContext:
         return RankContext(
@@ -169,7 +184,7 @@ class World:
                 )
                 if session_factory is not None:
                     ctx.session = session_factory(ctx)
-                t = _RankThread(f"spawned-{r}", child_main, ctx)
+                t = _RankThread(f"spawned-{r}", _draining(self, child_main), ctx)
                 self._spawned_threads.append(t)
                 t.start()
 
@@ -184,19 +199,72 @@ class World:
     def _child_engine(self, rank: int, child_group: Group, local: int) -> MpiEngine:
         clock = self.clock_for(rank)
         ch = self.fabric.endpoint(rank, clock, self.costs)
-        eng = MpiEngine(
+        self._engines[rank] = eng = MpiEngine(
             rank,
             self._next_rank,
             ch,
             clock=clock,
             costs=self.costs,
             eager_threshold=self.eager_threshold,
+            reliable=self.reliable,
+            reliability_opts=self.reliability_opts,
         )
         # Children's COMM_WORLD spans the spawned set only (MPI-2 semantics).
         eng.comm_world = Communicator(
             engine=eng, context_id=0, group=child_group, rank=local
         )
         return eng
+
+    # -- reliable-exit drain -------------------------------------------------------
+
+    def _dead(self) -> set[int]:
+        return set(self.fault_plan.dead_ranks) if self.fault_plan is not None else set()
+
+    def _all_drained(self) -> bool:
+        """True when no live rank still owes the wire anything."""
+        dead = self._dead()
+        for r, eng in list(self._engines.items()):
+            if r in dead:
+                continue
+            rel = eng.device.rel
+            if rel is not None and any(rel._unacked.values()):
+                return False
+            if eng.device._outbox:
+                return False
+            if getattr(eng.device.channel, "_held", None):
+                return False
+        return True
+
+    def quiesce(self, rank: int, engine: MpiEngine, timeout: float = 30.0) -> None:
+        """Linger after a rank's main returns, until the world is quiet.
+
+        Under the reliability sublayer a rank cannot just stop polling: a
+        dropped packet it sent still needs retransmitting, and a peer's
+        retransmission still needs acking.  Every rank therefore keeps the
+        progress engine turning until all mains have returned and every
+        live rank's unacked window is empty (the simulated analogue of the
+        drain inside MPI_Finalize).
+        """
+        import time as _time
+
+        with self._done_lock:
+            self._mains_done.add(rank)
+        if not self.reliable:
+            return
+        if self.fault_plan is not None and self.fault_plan.is_dead(rank):
+            return  # a crashed rank does not get a graceful drain
+        deadline = _time.monotonic() + timeout
+        spin = 0
+        while _time.monotonic() < deadline:
+            engine.progress.poll()
+            with self._done_lock:
+                expected = set(self._engines.keys()) - self._dead()
+                all_done = expected <= self._mains_done | self._dead()
+            if all_done and self._all_drained():
+                return
+            spin += 1
+            if spin & 0x3F == 0:
+                _time.sleep(0)
 
     def join_spawned(self, timeout: float = 30.0) -> None:
         for t in self._spawned_threads:
@@ -208,6 +276,18 @@ class World:
         self.fabric.shutdown()
 
 
+def _draining(world: World, main: Callable[[RankContext], Any]) -> Callable[[RankContext], Any]:
+    """Wrap a rank main so it drains the reliability window before exiting."""
+
+    def run(ctx: RankContext) -> Any:
+        try:
+            return main(ctx)
+        finally:
+            world.quiesce(ctx.rank, ctx.engine)
+
+    return run
+
+
 def mpiexec(
     n: int,
     main: Callable[[RankContext], Any],
@@ -217,29 +297,39 @@ def mpiexec(
     eager_threshold: int | None = None,
     session_factory: Callable[[RankContext], Any] | None = None,
     timeout: float = 120.0,
+    fault_plan: FaultPlan | None = None,
+    reliable: bool | None = None,
+    reliability_opts: dict | None = None,
 ) -> list[Any]:
     """Launch ``n`` ranks running ``main`` and return their results by rank.
 
     ``session_factory`` builds the per-rank programming environment (a
     Motor VM, a set of wrapper bindings, a bare native engine, ...) and is
     stored on ``ctx.session``.  The first rank exception is re-raised.
+
+    ``fault_plan`` injects seeded failures below the device (and enables
+    the reliability sublayer unless ``reliable`` overrides it).
     """
     world = World(n, channel=channel, clock_mode=clock_mode, costs=costs,
-                  eager_threshold=eager_threshold)
+                  eager_threshold=eager_threshold, fault_plan=fault_plan,
+                  reliable=reliable, reliability_opts=reliability_opts)
     threads: list[_RankThread] = []
-    for rank in range(n):
-        ctx = world.context_for(rank)
-        if session_factory is not None:
-            ctx.session = session_factory(ctx)
-        threads.append(_RankThread(f"rank-{rank}", main, ctx))
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join(timeout)
-        if t.is_alive():
-            raise TimeoutError(f"{t.name} did not finish within {timeout}s")
-    world.join_spawned(timeout)
-    world.shutdown()
+    try:
+        for rank in range(n):
+            ctx = world.context_for(rank)
+            if session_factory is not None:
+                ctx.session = session_factory(ctx)
+            threads.append(_RankThread(f"rank-{rank}", _draining(world, main), ctx))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout)
+            if t.is_alive():
+                raise TimeoutError(f"{t.name} did not finish within {timeout}s")
+        world.join_spawned(timeout)
+    finally:
+        # idempotent, best-effort: a crash mid-wiring must not leak endpoints
+        world.shutdown()
     for t in threads:
         if t.error is not None:
             raise t.error

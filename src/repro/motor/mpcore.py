@@ -26,6 +26,7 @@ from repro.mp import collectives
 from repro.mp.buffers import BufferDesc
 from repro.mp.communicator import Communicator
 from repro.mp.datatypes import Datatype
+from repro.mp.errors import MpiError
 from repro.mp.matching import ANY_SOURCE
 from repro.mp.mpi import MpiEngine
 from repro.mp.request import Request
@@ -185,8 +186,15 @@ class MessagePassingCore:
             guard = self.policy.pre_nonblocking(obj, req.in_flight)
         return NativeRequestHandle(req, guard, comm)
 
-    def mp_wait(self, handle: NativeRequestHandle) -> Status:
-        st = self.engine.wait(handle.req, handle.comm)
+    def mp_wait(self, handle: NativeRequestHandle, timeout: float | None = None) -> Status:
+        try:
+            st = self.engine.wait(handle.req, handle.comm, timeout=timeout)
+        except MpiError:
+            # proc-failed completes the request (release the pin guard);
+            # a timeout leaves it in flight (the buffer stays guarded)
+            if handle.req.completed:
+                self._release_guard(handle)
+            raise
         self._release_guard(handle)
         return st
 

@@ -20,6 +20,7 @@ from typing import Any
 
 from repro.motor.mpcore import MessagePassingCore, NativeRequestHandle
 from repro.mp.communicator import Communicator
+from repro.mp.errors import ERRORS_ARE_FATAL, ERRORS_RETURN
 from repro.mp.datatypes import Datatype
 from repro.mp.matching import ANY_SOURCE, ANY_TAG
 from repro.mp.status import Status
@@ -56,8 +57,10 @@ class MotorRequest:
         self._comm = comm
         self._handle = handle
 
-    def Wait(self, status: MPStatus | None = None) -> MPStatus:
-        native = self._comm._fcall(self._comm._core.mp_wait, self._handle)
+    def Wait(self, status: MPStatus | None = None, timeout: float | None = None) -> MPStatus:
+        """Wait for completion; ``timeout`` (seconds) bounds the polling-wait
+        and raises :class:`~repro.mp.errors.MpiErrTimeout` on expiry."""
+        native = self._comm._fcall(self._comm._core.mp_wait, self._handle, timeout)
         return (status or MPStatus())._fill(native)
 
     def Test(self) -> bool:
@@ -83,6 +86,8 @@ class MotorCommunicator:
 
     ANY_SOURCE = ANY_SOURCE
     ANY_TAG = ANY_TAG
+    ERRORS_ARE_FATAL = ERRORS_ARE_FATAL
+    ERRORS_RETURN = ERRORS_RETURN
 
     def __init__(self, vm, comm: Communicator) -> None:
         self._vm = vm
@@ -224,6 +229,25 @@ class MotorCommunicator:
         """MPI_Intercomm_merge over this inter-communicator (MPI-2)."""
         merged = self._vm.engine.intercomm_merge(self._comm, high)
         return MotorCommunicator(self._vm, merged)
+
+    # -- fault tolerance (ULFM-style) ----------------------------------------------
+
+    def SetErrhandler(self, handler: str) -> None:
+        """MPI_Comm_set_errhandler: ERRORS_ARE_FATAL or ERRORS_RETURN."""
+        self._comm.set_errhandler(handler)
+
+    def GetErrhandler(self) -> str:
+        return self._comm.errhandler
+
+    def Shrink(self) -> "MotorCommunicator":
+        """ULFM MPI_Comm_shrink: a survivors-only communicator after a
+        rank failure; collective over the survivors."""
+        return MotorCommunicator(self._vm, self._vm.engine.comm_shrink(self._comm))
+
+    @property
+    def FailedRanks(self) -> frozenset:
+        """World ranks this rank's reliability layer has declared dead."""
+        return frozenset(self._vm.engine.device.failed_ranks)
 
     def __repr__(self) -> str:
         return f"<System.MP.Communicator rank={self.Rank} size={self.Size}>"

@@ -32,7 +32,8 @@ from repro.mp.buffers import BufferDesc, NativeMemory
 from repro.mp.channels.base import Channel
 from repro.mp.errors import MpiErrInternal
 from repro.mp.matching import MessageQueues, UnexpectedMsg
-from repro.mp.packets import CTS, DATA, EAGER, FIN, RTS, Packet
+from repro.mp.packets import ACK, CTS, DATA, EAGER, FIN, PING, RTS, Packet
+from repro.mp.reliability import PROC_FAILED, ReliabilityLayer
 from repro.mp.request import RECV, SEND, Request
 from repro.mp.status import Status
 from repro.simtime import Clock, CostModel
@@ -61,6 +62,8 @@ class CH3Device:
         packet_size: int | None = None,
         max_packets_per_poll: int = 8,
         max_stream_per_poll: int = 4,
+        reliable: bool = False,
+        reliability_opts: dict | None = None,
     ) -> None:
         self.rank = rank
         self.channel = channel
@@ -81,12 +84,20 @@ class CH3Device:
         self._awaiting_fin: dict[int, Request] = {}
         self._outbox: list[Packet] = []
         self.stats = {"eager": 0, "rndv": 0, "unexpected": 0, "truncated": 0}
+        self.rel: ReliabilityLayer | None = None
+        if reliable:
+            self.rel = ReliabilityLayer(rank, **(reliability_opts or {}))
+            self.rel.on_peer_failed = self._peer_failed
+        self.failed_ranks: set[int] = set()
 
     # ------------------------------------------------------------------ send
 
     def start_send(self, req: Request, dst: int) -> None:
         total = req.buf.nbytes
         self.clock.charge(self.costs.posting_ns)
+        if dst in self.failed_ranks:
+            self._fail_request(req)
+            return
         if total <= self.eager_threshold:
             self.stats["eager"] += 1
             pkt = Packet(
@@ -124,6 +135,12 @@ class CH3Device:
             )
 
     def _emit(self, pkt: Packet) -> None:
+        if self.rel is not None:
+            pkt = self.rel.outbound(pkt)
+        self._emit_raw(pkt)
+
+    def _emit_raw(self, pkt: Packet) -> None:
+        """Hand a wire-ready packet to the channel (ACKs skip sequencing)."""
         if not self.channel.send_packet(pkt):
             self._outbox.append(pkt)
 
@@ -193,11 +210,25 @@ class CH3Device:
             if self.channel.send_packet(pkt):
                 self._outbox.remove(pkt)
         handled = 0
-        for pkt in self.channel.recv_packets(self.max_packets_per_poll):
+        arrivals = self.channel.recv_packets(self.max_packets_per_poll)
+        if self.rel is not None:
+            arrivals = self.rel.inbound(arrivals, self._emit_raw)
+        for pkt in arrivals:
             self._handle(pkt)
             handled += 1
+        if self.rel is not None:
+            self.rel.tick(self._emit_raw, self._interest())
         self._pump_streams()
         return handled
+
+    def _interest(self) -> set[int]:
+        """Peers whose silence would wedge us — heartbeat candidates."""
+        peers = {s.dst for s in self._rndv_sends.values()}
+        peers.update(src for src, _ in self._rndv_recvs)
+        peers.update(req.peer for req in self._awaiting_fin.values())
+        peers.update(req.peer for req in self.queues.posted if req.peer >= 0)
+        peers.discard(self.rank)
+        return peers
 
     def _handle(self, pkt: Packet) -> None:
         self.clock.merge(pkt.ts)
@@ -211,6 +242,8 @@ class CH3Device:
             self._on_data(pkt)
         elif pkt.ptype == FIN:
             self._on_fin(pkt)
+        elif pkt.ptype in (ACK, PING):
+            pass  # reliability control traffic; inert when the layer is off
         else:
             raise MpiErrInternal(f"unknown packet type {pkt.ptype}")
 
@@ -274,6 +307,8 @@ class CH3Device:
     def _on_cts(self, pkt: Packet) -> None:
         state = self._rndv_sends.get(pkt.op_id)
         if state is None:
+            if self.rel is not None:
+                return  # stale packet after a failure cleanup
             raise MpiErrInternal(f"CTS for unknown send op {pkt.op_id}")
         state.cleared = True
         state.req.started = True
@@ -282,6 +317,8 @@ class CH3Device:
         key = (pkt.src, pkt.op_id)
         req = self._rndv_recvs.get(key)
         if req is None:
+            if self.rel is not None:
+                return  # stale packet after a failure cleanup
             raise MpiErrInternal(f"DATA for unknown recv {key}")
         # Zero-copy landing: write straight into the latched destination.
         writable = max(0, min(len(pkt.payload), req.buf.nbytes - pkt.offset))
@@ -334,6 +371,34 @@ class CH3Device:
                 del self._rndv_sends[op_id]
                 req.complete()
 
+    # ------------------------------------------------------------------ failure
+
+    def _fail_request(self, req: Request) -> None:
+        req.status.error = PROC_FAILED
+        req.complete(req.status)
+
+    def _peer_failed(self, peer: int) -> None:
+        """Retries to ``peer`` are exhausted: it is dead.  Complete every
+        operation that depends on it with ``MPI_ERR_PROC_FAILED`` so no
+        waiter spins forever (the "progress for all" guarantee)."""
+        self.failed_ranks.add(peer)
+        for op_id, state in list(self._rndv_sends.items()):
+            if state.dst == peer:
+                del self._rndv_sends[op_id]
+                self._fail_request(state.req)
+        for op_id, req in list(self._awaiting_fin.items()):
+            if req.peer == peer:
+                del self._awaiting_fin[op_id]
+                self._fail_request(req)
+        for (src, op_id), req in list(self._rndv_recvs.items()):
+            if src == peer:
+                del self._rndv_recvs[(src, op_id)]
+                self._fail_request(req)
+        for req in [r for r in self.queues.posted if r.peer == peer]:
+            self.queues.cancel_posted(req)
+            self._fail_request(req)
+        self._outbox = [p for p in self._outbox if p.dst != peer]
+
     # ------------------------------------------------------------------ misc
 
     @property
@@ -345,4 +410,5 @@ class CH3Device:
             and not self._outbox
             and not self.queues.posted
             and not self.queues.unexpected
+            and (self.rel is None or self.rel.quiescent)
         )

@@ -8,9 +8,14 @@ Channel` is that five-function interface; the concrete channels are
 ``sock`` (framed packets over simulated loopback sockets + IOCP, the
 configuration Motor shipped with), ``shm`` (shared-memory queue) and
 ``ssm`` (sockets + shared memory, picking shm for local peers).
+
+:class:`FaultyChannel` is a wrapper, not a transport: it composes over
+any of the concrete channels and injects the failures described by a
+seeded :class:`FaultPlan` (see ``repro.mp.channels.faulty``).
 """
 
 from repro.mp.channels.base import Channel, ChannelFabric
+from repro.mp.channels.faulty import FaultPlan, FaultyChannel, FaultyFabric
 from repro.mp.channels.ib import IbChannel, IbFabric
 from repro.mp.channels.shm import ShmChannel, ShmFabric
 from repro.mp.channels.sock import SockChannel, SockFabric
@@ -34,5 +39,8 @@ __all__ = [
     "SsmFabric",
     "IbChannel",
     "IbFabric",
+    "FaultPlan",
+    "FaultyChannel",
+    "FaultyFabric",
     "FABRICS",
 ]

@@ -38,6 +38,9 @@ class Channel:
         self.packets_sent = 0
         self.packets_received = 0
         self.bytes_sent = 0
+        #: set by finalize(); implementations guard on it so teardown is
+        #: idempotent even when wiring crashed half-way
+        self._finalized = False
         #: virtual-clock link model: when each outgoing link drains
         self._link_busy_until: dict[int, float] = {}
 
@@ -56,7 +59,7 @@ class Channel:
         raise NotImplementedError
 
     def finalize(self) -> None:
-        raise NotImplementedError
+        self._finalized = True
 
     # -- shared accounting -------------------------------------------------------
 
@@ -98,6 +101,7 @@ class ChannelFabric:
     def __init__(self, world_size: int) -> None:
         self.world_size = world_size
         self._endpoints: dict[int, Channel] = {}
+        self._shut_down = False
 
     def endpoint(self, rank: int, clock: Clock, costs: CostModel) -> Channel:
         if rank in self._endpoints:
@@ -114,5 +118,20 @@ class ChannelFabric:
         return self._endpoints.values()
 
     def shutdown(self) -> None:
+        """Finalize every endpoint; idempotent and best-effort.
+
+        A crash during world wiring leaves some endpoints half-built, so
+        one endpoint's teardown failure must not leak the rest.
+        """
+        if self._shut_down:
+            return
+        self._shut_down = True
+        errors: list[Exception] = []
         for ch in self._endpoints.values():
-            ch.finalize()
+            try:
+                ch.finalize()
+            except Exception as exc:  # noqa: BLE001 - collect, keep tearing down
+                errors.append(exc)
+        self._endpoints.clear()
+        if errors:
+            raise errors[0]

@@ -86,7 +86,7 @@ class IbChannel(Channel):
         return len(self._queues[self.rank]) > 0
 
     def finalize(self) -> None:
-        pass
+        super().finalize()
 
 
 class IbFabric(ChannelFabric):

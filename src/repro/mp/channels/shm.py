@@ -79,7 +79,7 @@ class ShmChannel(Channel):
         return len(self._queues[self.rank]) > 0
 
     def finalize(self) -> None:
-        pass
+        super().finalize()
 
 
 class ShmFabric(ChannelFabric):

@@ -130,6 +130,9 @@ class SockChannel(Channel):
         return bool(self._partial) or any(p.peek_available() for p in self._rx.values())
 
     def finalize(self) -> None:
+        if self._finalized:
+            return
+        self._finalized = True
         self._iocp.close()
         for pipe in self._tx.values():
             pipe.close()

@@ -49,6 +49,9 @@ class SsmChannel(Channel):
         return self._shm.has_incoming() or self._sock.has_incoming()
 
     def finalize(self) -> None:
+        if self._finalized:
+            return
+        self._finalized = True
         self._shm.finalize()
         self._sock.finalize()
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.mp.errors import MpiErrComm, MpiErrRank
+from repro.mp.errors import ERRORS_ARE_FATAL, ERRORS_RETURN, MpiErrComm, MpiErrRank
 
 
 class Group:
@@ -93,6 +93,25 @@ class Communicator:
     rank: int  # local rank within group
     #: inter-communicator remote group (None for intracomms)
     remote_group: Group | None = None
+    #: per-communicator error handler (MPI-2 §4.13): how MPI-surface calls
+    #: report process failure and timeout
+    errhandler: str = ERRORS_ARE_FATAL
+
+    def set_errhandler(self, handler: str) -> None:
+        if handler not in (ERRORS_ARE_FATAL, ERRORS_RETURN):
+            raise MpiErrComm(f"unknown error handler {handler!r}")
+        self.errhandler = handler
+
+    def shrink(self) -> "Communicator":
+        """ULFM-style MPI_Comm_shrink: a new communicator of survivors.
+
+        Collective over the *surviving* ranks; every survivor must call it
+        (in the same order relative to other communicator-creating calls)
+        and gets a communicator excluding every rank the reliability layer
+        has declared failed.  The new communicator inherits this one's
+        error handler.
+        """
+        return self.engine.comm_shrink(self)
 
     @property
     def size(self) -> int:

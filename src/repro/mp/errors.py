@@ -53,3 +53,35 @@ class MpiErrRoot(MpiError):
 
 class MpiErrInternal(MpiError):
     mpi_class = "MPI_ERR_INTERN"
+
+
+class MpiErrTimeout(MpiError):
+    """A bounded wait expired before the request completed."""
+
+    mpi_class = "MPI_ERR_TIMEOUT"
+
+
+class MpiErrProcFailed(MpiError):
+    """A peer process is dead (ULFM MPI_ERR_PROC_FAILED)."""
+
+    mpi_class = "MPI_ERR_PROC_FAILED"
+
+    def __init__(self, *args, failed: frozenset = frozenset()) -> None:
+        super().__init__(*args)
+        #: the ranks known dead when the error was raised
+        self.failed = frozenset(failed)
+
+
+class MpiFatalError(MpiError):
+    """An error on a communicator whose handler is MPI_ERRORS_ARE_FATAL.
+
+    A real MPI would abort the job; here the engine is marked aborted and
+    this exception unwinds the rank so the harness can observe it.
+    """
+
+    mpi_class = "MPI_ERR_OTHER"
+
+
+#: per-communicator error handlers (MPI-2 §4.13)
+ERRORS_ARE_FATAL = "errors-are-fatal"
+ERRORS_RETURN = "errors-return"

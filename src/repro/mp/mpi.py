@@ -16,12 +16,15 @@ from repro.mp.ch3 import CH3Device
 from repro.mp.channels.base import Channel
 from repro.mp.communicator import Communicator, Group
 from repro.mp.errors import (
+    ERRORS_ARE_FATAL,
     MpiErrBuffer,
     MpiErrComm,
+    MpiErrProcFailed,
     MpiErrRank,
     MpiErrRequest,
     MpiErrTag,
     MpiErrTruncate,
+    MpiFatalError,
 )
 from repro.mp.matching import ANY_SOURCE, ANY_TAG
 from repro.mp.progress import ProgressEngine
@@ -45,13 +48,21 @@ class MpiEngine:
         costs: CostModel | None = None,
         yield_fn: Callable[[], None] | None = None,
         eager_threshold: int | None = None,
+        reliable: bool = False,
+        reliability_opts: dict | None = None,
     ) -> None:
         self.rank = rank
         self.world_size = world_size
         self.clock = clock if clock is not None else WallClock()
         self.costs = costs if costs is not None else CostModel()
         self.device = CH3Device(
-            rank, channel, self.clock, self.costs, eager_threshold=eager_threshold
+            rank,
+            channel,
+            self.clock,
+            self.costs,
+            eager_threshold=eager_threshold,
+            reliable=reliable,
+            reliability_opts=reliability_opts,
         )
         self.progress = ProgressEngine(self.device, yield_fn)
         self.comm_world = Communicator(
@@ -61,7 +72,11 @@ class MpiEngine:
             engine=self, context_id=2, group=Group([rank]), rank=0
         )
         self._next_context = 16
+        self._shrink_count = 0
         self.finalized = False
+        #: set when an MPI_ERRORS_ARE_FATAL handler fired (the simulated
+        #: equivalent of the job being aborted)
+        self.aborted = False
 
     # ------------------------------------------------------------- checking
 
@@ -126,17 +141,34 @@ class MpiEngine:
         self.device.post_recv(req)
         return req
 
+    def _guarded_wait(
+        self, req: Request, comm: Communicator, timeout: float | None = None
+    ) -> None:
+        """Progress-wait, reporting process failure per the communicator's
+        error handler: ERRORS_RETURN raises a catchable
+        :class:`MpiErrProcFailed`; ERRORS_ARE_FATAL marks the engine
+        aborted and raises :class:`MpiFatalError` (the simulated abort)."""
+        try:
+            self.progress.wait(req, timeout=timeout)
+        except MpiErrProcFailed as exc:
+            if comm.errhandler == ERRORS_ARE_FATAL:
+                self.aborted = True
+                raise MpiFatalError(
+                    f"rank {self.rank}: {exc} (MPI_ERRORS_ARE_FATAL)"
+                ) from exc
+            raise
+
     def send(self, buf: BufferDesc, dest: int, tag: int, comm: Communicator | None = None, **kw) -> None:
         req = self.isend(buf, dest, tag, comm, **kw)
-        self.progress.wait(req)
+        self._guarded_wait(req, comm or self.comm_world)
 
     def ssend(self, buf: BufferDesc, dest: int, tag: int, comm: Communicator | None = None) -> None:
         req = self.isend(buf, dest, tag, comm, sync=True)
-        self.progress.wait(req)
+        self._guarded_wait(req, comm or self.comm_world)
 
     def recv(self, buf: BufferDesc, source: int, tag: int, comm: Communicator | None = None, **kw) -> Status:
         req = self.irecv(buf, source, tag, comm, **kw)
-        self.progress.wait(req)
+        self._guarded_wait(req, comm or self.comm_world)
         return self._finish_recv(req, comm or self.comm_world)
 
     def _finish_recv(self, req: Request, comm: Communicator) -> Status:
@@ -153,15 +185,35 @@ class MpiEngine:
                 pass  # intercomm FIN paths may not translate; keep world rank
         return status
 
-    def wait(self, req: Request, comm: Communicator | None = None) -> Status:
+    def wait(
+        self,
+        req: Request,
+        comm: Communicator | None = None,
+        timeout: float | None = None,
+    ) -> Status:
         req.check_usable()
-        self.progress.wait(req)
+        self._guarded_wait(req, comm or self.comm_world, timeout=timeout)
         if req.kind == RECV:
             return self._finish_recv(req, comm or self.comm_world)
         return req.status
 
-    def wait_all(self, reqs, comm: Communicator | None = None) -> list[Status]:
-        return [self.wait(r, comm) for r in reqs]
+    def wait_all(
+        self, reqs, comm: Communicator | None = None, timeout: float | None = None
+    ) -> list[Status]:
+        deadline = None
+        if timeout is not None:
+            import time as _time
+
+            deadline = _time.monotonic() + timeout
+        out = []
+        for r in reqs:
+            remaining = None
+            if deadline is not None:
+                import time as _time
+
+                remaining = max(0.0, deadline - _time.monotonic())
+            out.append(self.wait(r, comm, timeout=remaining))
+        return out
 
     def test(self, req: Request) -> bool:
         req.check_usable()
@@ -172,12 +224,15 @@ class MpiEngine:
         self.progress.poll()
         return all(r.completed for r in reqs)
 
-    def wait_any(self, reqs) -> int:
+    def wait_any(self, reqs, timeout: float | None = None) -> int:
         """MPI_Waitany: block until one request completes; returns its index."""
         if not reqs:
             raise MpiErrRequest("wait_any on an empty request list")
         import time as _time
 
+        from repro.mp.errors import MpiErrTimeout
+
+        deadline = None if timeout is None else _time.monotonic() + timeout
         spin = 0
         while True:
             for i, r in enumerate(reqs):
@@ -187,10 +242,12 @@ class MpiEngine:
                 spin += 1
                 if spin & 0x3F == 0:
                     _time.sleep(0)
+            if deadline is not None and _time.monotonic() > deadline:
+                raise MpiErrTimeout(f"no request of {len(reqs)} completed after {timeout}s")
 
-    def wait_some(self, reqs) -> list[int]:
+    def wait_some(self, reqs, timeout: float | None = None) -> list[int]:
         """MPI_Waitsome: block until >= 1 completes; returns their indices."""
-        first = self.wait_any(reqs)
+        first = self.wait_any(reqs, timeout=timeout)
         self.progress.poll()
         return [i for i, r in enumerate(reqs) if r.completed] or [first]
 
@@ -228,6 +285,7 @@ class MpiEngine:
             context_id=self._alloc_context(),
             group=comm.group,
             rank=comm.rank,
+            errhandler=comm.errhandler,
         )
         collectives.barrier(self, comm)
         return newcomm
@@ -251,6 +309,7 @@ class MpiEngine:
             context_id=ctx,
             group=Group(ranks),
             rank=ranks.index(mine[2]),
+            errhandler=comm.errhandler,
         )
 
     def intercomm_merge(self, inter: Communicator, high: bool) -> Communicator:
@@ -273,6 +332,37 @@ class MpiEngine:
             context_id=inter.context_id + 2,
             group=merged,
             rank=merged.local_rank(me_world),
+        )
+
+    def comm_shrink(self, comm: Communicator) -> Communicator:
+        """ULFM-style MPI_Comm_shrink over ``comm``'s survivors.
+
+        The failed set is the union of what this rank's reliability layer
+        detected and what the channel's fault plan knows (standing in for
+        ULFM's agreement phase: in a real implementation the survivors run
+        a consensus round; in this simulation the shared fault plan *is*
+        the agreed truth, so every survivor derives the identical group
+        without extra traffic).  Context ids come from a dedicated range
+        advanced per shrink call, so survivors agree on the new context
+        as long as they call shrink the same number of times — the usual
+        collective-call discipline.
+        """
+        failed = set(self.device.failed_ranks)
+        plan = getattr(self.device.channel, "plan", None)
+        if plan is not None:
+            failed |= set(plan.dead_ranks)
+        if comm.group.world_rank(comm.rank) in failed:
+            raise MpiErrComm("a failed rank cannot shrink a communicator")
+        survivors = [r for r in comm.group.ranks if r not in failed]
+        self._shrink_count += 1
+        ctx = (1 << 18) + 4 * self._shrink_count
+        group = Group(survivors)
+        return Communicator(
+            engine=self,
+            context_id=ctx,
+            group=group,
+            rank=group.local_rank(comm.group.world_rank(comm.rank)),
+            errhandler=comm.errhandler,
         )
 
     def barrier(self, comm: Communicator | None = None) -> None:

@@ -8,14 +8,24 @@ CH3 moves five packet kinds:
 * ``DATA``    — one packetized chunk of a rendezvous payload;
 * ``FIN``     — sender-side completion notice for synchronous sends.
 
+The reliability sublayer (``repro.mp.reliability``) adds two more:
+
+* ``ACK``     — cumulative acknowledgement of a link's sequence stream;
+* ``PING``    — heartbeat probe for dead-peer detection (sequenced, so a
+  live peer's ack doubles as a liveness proof).
+
 The sock channel frames these over a byte pipe; the shm channel passes
 them as objects through a shared queue.  ``ts`` carries the virtual-clock
-arrival timestamp (ignored in wall-clock mode).
+arrival timestamp (ignored in wall-clock mode).  ``seq`` is the per-link
+(src, dst) sequence number (-1 when the packet is unsequenced) and ``crc``
+a CRC32 over the protocol-relevant header fields plus the payload; both
+are 0-cost until a reliability layer seals the packet.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass, field
 
 EAGER = 1
@@ -23,13 +33,27 @@ RTS = 2
 CTS = 3
 DATA = 4
 FIN = 5
+ACK = 6
+PING = 7
 
-_NAMES = {EAGER: "EAGER", RTS: "RTS", CTS: "CTS", DATA: "DATA", FIN: "FIN"}
+_NAMES = {
+    EAGER: "EAGER",
+    RTS: "RTS",
+    CTS: "CTS",
+    DATA: "DATA",
+    FIN: "FIN",
+    ACK: "ACK",
+    PING: "PING",
+}
 
 #: frame header: type, src, dst, tag, comm_id, op_id, offset, total, sync,
-#: ts, payload_len
-_HEADER = struct.Struct("<BiiiiqqqBdI")
+#: ts, seq, crc, payload_len
+_HEADER = struct.Struct("<BiiiiqqqBdqII")
 HEADER_SIZE = _HEADER.size
+
+#: the header fields covered by the checksum — everything the protocol
+#: layers act on.  ``ts`` is excluded: channels stamp it after sealing.
+_CRC_FIELDS = struct.Struct("<BiiiiqqqBq")
 
 
 @dataclass
@@ -44,11 +68,57 @@ class Packet:
     total: int = 0  # message length in bytes
     sync: bool = False  # EAGER/RTS: sender wants a FIN (MPI_Ssend)
     ts: float = 0.0  # virtual-clock arrival time
+    seq: int = -1  # per-link sequence number (-1: unsequenced)
+    crc: int = 0  # CRC32 seal (0: unsealed)
     payload: bytes = b""
 
     @property
     def kind(self) -> str:
         return _NAMES.get(self.ptype, f"?{self.ptype}")
+
+    # -- integrity (reliability sublayer) -------------------------------------
+
+    def compute_crc(self) -> int:
+        head = _CRC_FIELDS.pack(
+            self.ptype,
+            self.src,
+            self.dst,
+            self.tag,
+            self.comm_id,
+            self.op_id,
+            self.offset,
+            self.total,
+            1 if self.sync else 0,
+            self.seq,
+        )
+        return zlib.crc32(self.payload, zlib.crc32(head)) & 0xFFFFFFFF
+
+    def seal(self) -> "Packet":
+        """Stamp the CRC over the current header fields and payload."""
+        self.crc = self.compute_crc()
+        return self
+
+    def intact(self) -> bool:
+        """True when the seal matches (or the packet was never sealed)."""
+        return self.crc == 0 or self.crc == self.compute_crc()
+
+    def clone(self) -> "Packet":
+        """A shallow copy (payload bytes are immutable and shared)."""
+        return Packet(
+            ptype=self.ptype,
+            src=self.src,
+            dst=self.dst,
+            tag=self.tag,
+            comm_id=self.comm_id,
+            op_id=self.op_id,
+            offset=self.offset,
+            total=self.total,
+            sync=self.sync,
+            ts=self.ts,
+            seq=self.seq,
+            crc=self.crc,
+            payload=self.payload,
+        )
 
     # -- framing (sock channel) ------------------------------------------------
 
@@ -64,13 +134,15 @@ class Packet:
             self.total,
             1 if self.sync else 0,
             self.ts,
+            self.seq,
+            self.crc,
             len(self.payload),
         )
         return head + self.payload
 
     @classmethod
     def decode_header(cls, head: bytes) -> tuple["Packet", int]:
-        (ptype, src, dst, tag, comm_id, op_id, offset, total, sync, ts, plen) = _HEADER.unpack(head)
+        (ptype, src, dst, tag, comm_id, op_id, offset, total, sync, ts, seq, crc, plen) = _HEADER.unpack(head)
         return (
             cls(
                 ptype=ptype,
@@ -83,6 +155,8 @@ class Packet:
                 total=total,
                 sync=bool(sync),
                 ts=ts,
+                seq=seq,
+                crc=crc,
             ),
             plen,
         )
@@ -91,5 +165,5 @@ class Packet:
         return (
             f"<Pkt {self.kind} {self.src}->{self.dst} tag={self.tag} "
             f"op={self.op_id} off={self.offset} total={self.total} "
-            f"len={len(self.payload)}>"
+            f"seq={self.seq} len={len(self.payload)}>"
         )

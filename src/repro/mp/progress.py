@@ -11,6 +11,12 @@ where each integration plugs its own discipline:
 * the wrapper baselines pass nothing — their native MPI library knows
   nothing about the collector, which is exactly the architectural problem
   the paper identifies.
+
+The wait is bounded two ways ("MPI Progress For All"): an optional wall
+``timeout`` raises :class:`MpiErrTimeout`, and a request completed with
+``MPI_ERR_PROC_FAILED`` (the reliability sublayer's dead-peer verdict)
+raises :class:`MpiErrProcFailed` instead of returning garbage — so a dead
+peer can never wedge the polling loop.
 """
 
 from __future__ import annotations
@@ -19,6 +25,8 @@ import time
 from typing import Callable, Iterable
 
 from repro.mp.ch3 import CH3Device
+from repro.mp.errors import MpiErrProcFailed, MpiErrTimeout
+from repro.mp.reliability import PROC_FAILED
 from repro.mp.request import Request
 
 
@@ -40,8 +48,21 @@ class ProgressEngine:
             self.yield_fn()
         return handled
 
-    def wait(self, req: Request) -> None:
-        """Polling-wait until the request completes."""
+    def _check_failed(self, req: Request) -> None:
+        if req.status.error == PROC_FAILED:
+            raise MpiErrProcFailed(
+                f"peer {req.peer} failed during {req.kind}",
+                failed=frozenset(self.device.failed_ranks),
+            )
+
+    def wait(self, req: Request, timeout: float | None = None) -> None:
+        """Polling-wait until the request completes.
+
+        ``timeout`` (seconds, wall time) bounds the spin and raises
+        :class:`MpiErrTimeout`; a request that completes with a dead peer
+        raises :class:`MpiErrProcFailed`.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         spin = 0
         while not req.completed:
             if self.poll() == 0:
@@ -52,11 +73,25 @@ class ProgressEngine:
                     time.sleep(0)
             else:
                 spin = 0
+            # checked every iteration: a chatty-but-stuck peer (heartbeats,
+            # retransmits) must not defeat the bound
+            if deadline is not None and time.monotonic() > deadline:
+                raise MpiErrTimeout(
+                    f"request {req.op_id} incomplete after {timeout}s"
+                )
+        self._check_failed(req)
 
-    def wait_all(self, reqs: Iterable[Request]) -> None:
+    def wait_all(self, reqs: Iterable[Request], timeout: float | None = None) -> None:
+        """Wait for every request; ``timeout`` bounds the whole batch."""
+        deadline = None if timeout is None else time.monotonic() + timeout
         for req in reqs:
-            self.wait(req)
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            self.wait(req, timeout=remaining)
 
     def test(self, req: Request) -> bool:
         self.poll()
+        if req.completed:
+            self._check_failed(req)
         return req.completed

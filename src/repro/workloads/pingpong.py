@@ -85,12 +85,22 @@ def sweep_buffer_pingpong(
     verify: bool = True,
     eager_threshold: int | None = None,
     timeout: float = 900.0,
+    fault_plan=None,
+    reliable: bool | None = None,
+    reliability_opts: dict | None = None,
 ) -> dict[int, float]:
-    """Run the Figure 9 protocol for one system; {size: mean us/iter}."""
+    """Run the Figure 9 protocol for one system; {size: mean us/iter}.
+
+    ``reliable`` forces the seq/CRC/ack sublayer on (or off) regardless of
+    whether a ``fault_plan`` is present — the A10 ablation times it over a
+    fault-free wire to isolate its overhead.
+    """
     main = _buffer_main(flavor, list(sizes), iterations, timed, runs, verify)
     results = mpiexec(
         2, main, channel=channel, clock_mode=clock_mode, costs=costs,
         eager_threshold=eager_threshold, timeout=timeout,
+        fault_plan=fault_plan, reliable=reliable,
+        reliability_opts=reliability_opts,
     )[0]
     return {size: sum(vals) / len(vals) for size, vals in results.items()}
 

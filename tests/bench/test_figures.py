@@ -34,6 +34,7 @@ class TestRegistry:
             "ablate-pure-managed",
             "ablate-pal",
             "ablate-interconnect",
+            "ablate-reliability",
         } == set(EXPERIMENTS)
 
     def test_every_experiment_has_a_claim_check(self):

@@ -1,0 +1,162 @@
+"""The seeded fault matrix: every fault kind x protocol x channel.
+
+The acceptance bar for the reliability sublayer: under a seeded plan of
+dropped, corrupted and reordered packets, ping-pong and every collective
+still deliver byte-identical results on all four channels, and the same
+seed reproduces the same outcome run-to-run.
+
+These run threaded (mpiexec), so assertions are on delivered bytes and
+returned values — the things that are deterministic regardless of
+scheduling.  Exact fault-*sequence* determinism is covered by the
+lockstep tests in test_faults.py.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import mpiexec
+from repro.mp.buffers import BufferDesc, NativeMemory
+from repro.mp.channels import FaultPlan
+from repro.mp.datatypes import INT
+
+pytestmark = pytest.mark.faults
+
+#: quick retransmits with a capped backoff and a deep retry budget, so a
+#: 10%-loss link never gets mistaken for a dead peer
+OPTS = dict(retransmit_after=8, backoff=1.5, max_backoff_polls=64,
+            max_retries=30, heartbeat_after=512)
+
+
+def _pattern(n: int, salt: int = 0) -> bytes:
+    return bytes((i * 31 + salt + 7) % 256 for i in range(n))
+
+
+def _pingpong_main(payload: bytes):
+    def main(ctx):
+        eng = ctx.engine
+        buf = BufferDesc.from_native(NativeMemory(len(payload)))
+        if ctx.rank == 0:
+            eng.send(BufferDesc.from_bytes(payload), 1, 1)
+            eng.recv(buf, 1, 2)
+        else:
+            eng.recv(buf, 0, 1)
+            eng.send(buf, 0, 2)
+        return buf.tobytes()
+
+    return main
+
+
+def _run_pingpong(plan, channel: str, payload: bytes, eager_threshold=None):
+    return mpiexec(
+        2, _pingpong_main(payload), channel=channel, fault_plan=plan,
+        eager_threshold=eager_threshold, reliability_opts=OPTS,
+    )
+
+
+class TestPingPongMatrix:
+    """drop/corrupt/reorder x eager/rendezvous x sock/shm."""
+
+    @pytest.mark.parametrize("channel", ["sock", "shm"])
+    @pytest.mark.parametrize("protocol", ["eager", "rendezvous"])
+    @pytest.mark.parametrize("fault", ["drop", "corrupt", "reorder"])
+    def test_pingpong_byte_identical(self, fault, protocol, channel):
+        plan = FaultPlan(seed=7, **{fault: 0.1})
+        if protocol == "eager":
+            payload, threshold = _pattern(1500), None
+        else:
+            payload, threshold = _pattern(4096), 256
+        res = _run_pingpong(plan, channel, payload, eager_threshold=threshold)
+        assert res == [payload, payload]
+
+
+class TestCombinedFaultsAllChannels:
+    """The acceptance plan — 10% drop + 10% corrupt + 10% reorder — on
+    every transport, for point-to-point and the full collective suite."""
+
+    PLAN_KW = dict(drop=0.1, corrupt=0.1, reorder=0.1)
+    CHANNELS = ["sock", "shm", "ssm", "ib"]
+
+    @pytest.mark.parametrize("channel", CHANNELS)
+    def test_pingpong(self, channel):
+        payload = _pattern(2048)
+        res = _run_pingpong(FaultPlan(seed=11, **self.PLAN_KW), channel, payload)
+        assert res == [payload, payload]
+
+    @pytest.mark.parametrize("channel", CHANNELS)
+    def test_collectives(self, channel):
+        n = 3
+        chunk = 64
+
+        def main(ctx):
+            from repro.mp import collectives
+
+            eng, comm = ctx.engine, ctx.comm_world
+            r = comm.rank
+            out = {}
+
+            blob = _pattern(n * chunk)
+            buf = BufferDesc.from_bytes(blob if r == 0 else bytes(n * chunk))
+            collectives.bcast(eng, comm, buf, 0)
+            out["bcast"] = buf.tobytes() == blob
+
+            send = BufferDesc.from_bytes(blob) if r == 0 else None
+            recv = BufferDesc.from_native(NativeMemory(chunk))
+            collectives.scatter(eng, comm, send, recv, 0)
+            out["scatter"] = recv.tobytes() == blob[r * chunk:(r + 1) * chunk]
+
+            mine = BufferDesc.from_bytes(_pattern(chunk, salt=r))
+            sink = BufferDesc.from_native(NativeMemory(n * chunk)) if r == 0 else None
+            collectives.gather(eng, comm, mine, sink, 0)
+            out["gather"] = (
+                sink.tobytes() == b"".join(_pattern(chunk, salt=i) for i in range(n))
+                if r == 0 else True
+            )
+
+            send = BufferDesc.from_bytes(INT.pack_values([r + 1]))
+            recv = BufferDesc.from_native(NativeMemory(4))
+            collectives.allreduce(eng, comm, send, recv, INT)
+            out["allreduce"] = INT.unpack_values(recv.tobytes())[0] == n * (n + 1) // 2
+
+            send = BufferDesc.from_bytes(
+                b"".join(_pattern(chunk, salt=r * n + j) for j in range(n))
+            )
+            recv = BufferDesc.from_native(NativeMemory(n * chunk))
+            collectives.alltoall(eng, comm, send, recv)
+            out["alltoall"] = recv.tobytes() == b"".join(
+                _pattern(chunk, salt=i * n + r) for i in range(n)
+            )
+
+            send = BufferDesc.from_bytes(INT.pack_values([r + 1]))
+            recv = BufferDesc.from_native(NativeMemory(4))
+            collectives.scan(eng, comm, send, recv, INT)
+            out["scan"] = (
+                INT.unpack_values(recv.tobytes())[0] == (r + 1) * (r + 2) // 2
+            )
+            return out
+
+        res = mpiexec(n, main, channel=channel,
+                      fault_plan=FaultPlan(seed=23, **self.PLAN_KW),
+                      reliability_opts=OPTS)
+        for r, out in enumerate(res):
+            bad = [op for op, ok in out.items() if not ok]
+            assert not bad, f"rank {r} corrupted results for {bad}"
+
+    def test_same_seed_reproduces_results(self):
+        payload = _pattern(1024)
+        runs = [
+            _run_pingpong(FaultPlan(seed=42, **self.PLAN_KW), "shm", payload)
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1] == [payload, payload]
+
+
+class TestPingPongProperty:
+    """Property: any seed, any size — delivery stays byte-identical."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000), size=st.integers(1, 4096))
+    def test_faulty_pingpong_delivers_exactly(self, seed, size):
+        plan = FaultPlan(seed=seed, drop=0.08, corrupt=0.04, reorder=0.04)
+        payload = _pattern(size, salt=seed)
+        assert _run_pingpong(plan, "shm", payload) == [payload, payload]
