@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-faults bench figures report examples clean
+.PHONY: install test test-faults test-obs bench figures report examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -10,6 +10,9 @@ test:
 
 test-faults:
 	$(PYTHON) -m pytest tests/ -m faults
+
+test-obs:
+	$(PYTHON) -m pytest tests/ -m obs
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

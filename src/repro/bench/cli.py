@@ -6,6 +6,7 @@ Examples::
     python -m repro.bench fig10 --paper   # full 200/100/x3 protocol
     python -m repro.bench all --csv out/  # everything, plus CSV dumps
     python -m repro.bench report          # paper-vs-measured claim report
+    python -m repro.bench metrics         # instrumented run, merged pvar report
 """
 
 from __future__ import annotations
@@ -25,9 +26,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "report", "write-experiments"],
+        choices=sorted(EXPERIMENTS) + ["all", "report", "write-experiments", "metrics"],
         help="which experiment to run (or 'all' / 'report' / "
-        "'write-experiments' to refresh EXPERIMENTS.md's data section)",
+        "'write-experiments' to refresh EXPERIMENTS.md's data section, or "
+        "'metrics' for an instrumented ping-pong with a merged pvar report)",
     )
     parser.add_argument(
         "--paper",
@@ -40,8 +42,16 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="also write <experiment>.csv files into DIR",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="with 'metrics': also write a Chrome trace JSON (chrome://tracing)",
+    )
     args = parser.parse_args(argv)
     quick = not args.paper
+
+    if args.experiment == "metrics":
+        return _metrics(quick=quick, trace_path=args.trace)
 
     if args.experiment == "report":
         print("# Motor reproduction: paper vs measured\n")
@@ -77,6 +87,26 @@ def main(argv: list[str] | None = None) -> int:
             with open(path, "w") as fh:
                 fh.write(series.to_csv())
             print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+def _metrics(quick: bool, trace_path: str | None = None) -> int:
+    """One instrumented ping-pong run; print the merged cluster report."""
+    from repro.cluster.world import mpiexec_observed
+    from repro.obs import render_report, write_chrome_trace
+    from repro.workloads.pingpong import _buffer_main
+
+    sizes = [4, 1024, 65536] if quick else [4 << i for i in range(17)]
+    iters = 10 if quick else 200
+    timed = 5 if quick else 100
+    main_fn = _buffer_main("cpp", sizes, iters, timed, 1, verify=True)
+    _results, merged = mpiexec_observed(
+        2, main_fn, channel="sock", clock_mode="virtual"
+    )
+    print(render_report(merged))
+    if trace_path:
+        write_chrome_trace(merged, trace_path)
+        print(f"wrote {trace_path}", file=sys.stderr)
     return 0
 
 

@@ -411,6 +411,44 @@ def ablate_reliability(quick: bool = True, channel: str = "sock") -> SeriesSet:
     return out
 
 
+def ablate_obs(quick: bool = True, channel: str = "sock") -> SeriesSet:
+    """A11: the observability layer's cost on the fast path.
+
+    Three configurations of the same ping-pong: no instrumentation,
+    hooks attached but disabled (how a production run would ship — every
+    hot-path guard is crossed but nothing records), and full recording.
+    The claim is that attached-but-disabled instrumentation costs <=5%
+    (it is a handful of ``is not None`` tests per message), so leaving
+    the hooks compiled in is free; recording costs whatever the pvar
+    and span bookkeeping genuinely costs, which A11 also shows.
+    """
+    sizes = [4, 1024, 65536, 262144] if quick else FIG9_SIZES
+    out = SeriesSet(
+        experiment="ablate-obs",
+        title="Observability layer overhead on the ping-pong fast path (native)",
+        x_label="bytes",
+        y_label="time per iteration (us)",
+    )
+    for label, observe in (
+        ("baseline", None),
+        ("obs-disabled", "disabled"),
+        ("obs-enabled", "enabled"),
+    ):
+        out.add(
+            label,
+            sweep_buffer_pingpong(
+                "cpp", sizes, channel=channel, observe=observe,
+                **_protocol(quick),
+            ),
+        )
+    out.notes.append(
+        "pvars are pull-model (read at snapshot time, MPI_T-style), so the "
+        "progress loop carries no probe at all; disabled hooks cost one "
+        "branch per message event, which prices in as noise"
+    )
+    return out
+
+
 #: experiment registry: id -> (title, callable)
 EXPERIMENTS = {
     "fig9": ("Figure 9: regular MPI ping-pong", figure9),
@@ -425,4 +463,5 @@ EXPERIMENTS = {
     "ablate-pal": ("A8: PAL backend thickness", ablate_pal),
     "ablate-interconnect": ("A9: interconnect port (future work)", ablate_interconnect),
     "ablate-reliability": ("A10: reliability sublayer overhead", ablate_reliability),
+    "ablate-obs": ("A11: observability layer overhead", ablate_obs),
 }

@@ -304,6 +304,28 @@ def check_ablate_reliability(s: SeriesSet) -> list[ClaimResult]:
     ]
 
 
+def check_ablate_obs(s: SeriesSet) -> list[ClaimResult]:
+    base = s.series["baseline"]
+    disabled = s.series["obs-disabled"]
+    enabled = s.series["obs-enabled"]
+    off = mean(disabled[x] / base[x] for x in s.xs())
+    on = mean(enabled[x] / base[x] for x in s.xs())
+    return [
+        ClaimResult(
+            claim="attached-but-disabled instrumentation is nearly free",
+            paper="observability extension: inert hooks cost <=5% on the Figure 9 ping-pong",
+            measured=f"disabled/baseline mean ratio {off:.3f}x",
+            holds=off <= 1.05,
+        ),
+        ClaimResult(
+            claim="full recording stays in the same order of magnitude",
+            paper="observability extension: enabled recording costs <=50% on the ping-pong",
+            measured=f"enabled/baseline mean ratio {on:.3f}x",
+            holds=on <= 1.50,
+        ),
+    ]
+
+
 CHECKS: dict[str, Callable[[SeriesSet], list[ClaimResult]]] = {
     "fig9": check_fig9,
     "fig10": check_fig10,
@@ -317,6 +339,7 @@ CHECKS: dict[str, Callable[[SeriesSet], list[ClaimResult]]] = {
     "ablate-pal": check_ablate_pal,
     "ablate-interconnect": check_ablate_interconnect,
     "ablate-reliability": check_ablate_reliability,
+    "ablate-obs": check_ablate_obs,
 }
 
 

@@ -13,6 +13,6 @@ functionality such as dynamic process management and dynamic
 intercommunication routines").
 """
 
-from repro.cluster.world import RankContext, World, mpiexec
+from repro.cluster.world import RankContext, World, mpiexec, mpiexec_observed
 
-__all__ = ["World", "RankContext", "mpiexec"]
+__all__ = ["World", "RankContext", "mpiexec", "mpiexec_observed"]

@@ -24,6 +24,8 @@ class RankContext:
     parent_comm: Communicator | None = None
     #: free-form slot for session layers (Motor VM, baseline bindings, ...)
     session: Any = None
+    #: the rank's Instrumentation when the world was built with observe=...
+    obs: Any = None
 
     @property
     def size(self) -> int:
@@ -62,6 +64,7 @@ class World:
         fault_plan: FaultPlan | None = None,
         reliable: bool | None = None,
         reliability_opts: dict | None = None,
+        observe: str | None = None,
     ) -> None:
         if size < 1:
             raise ValueError("world size must be >= 1")
@@ -69,6 +72,8 @@ class World:
             raise ValueError(f"unknown channel {channel!r} (have {sorted(FABRICS)})")
         if clock_mode not in ("wall", "virtual"):
             raise ValueError(f"unknown clock mode {clock_mode!r}")
+        if observe not in (None, "disabled", "enabled"):
+            raise ValueError(f"unknown observe mode {observe!r}")
         self.size = size
         self.channel_name = channel
         self.clock_mode = clock_mode
@@ -78,6 +83,10 @@ class World:
         # a faulty wire needs the reliability sublayer unless told otherwise
         self.reliable = (fault_plan is not None) if reliable is None else reliable
         self.reliability_opts = reliability_opts
+        #: None (no hooks attached), "disabled" (hooks attached but inert —
+        #: the A11 overhead configuration) or "enabled" (full recording)
+        self.observe = observe
+        self._insts: dict[int, Any] = {}
         self.fabric = FABRICS[channel](size)
         if fault_plan is not None:
             self.fabric = FaultyFabric(self.fabric, fault_plan)
@@ -116,12 +125,44 @@ class World:
         return eng
 
     def context_for(self, rank: int, yield_fn: Callable[[], None] | None = None) -> RankContext:
-        return RankContext(
+        ctx = RankContext(
             world=self,
             rank=rank,
             engine=self.engine_for(rank, yield_fn),
             clock=self.clock_for(rank),
         )
+        self._attach_obs(ctx)
+        return ctx
+
+    def _attach_obs(self, ctx: RankContext) -> None:
+        if self.observe is None:
+            return
+        from repro.obs import Instrumentation, attach_engine
+
+        inst = Instrumentation(
+            ctx.rank, ctx.clock, costs=self.costs,
+            enabled=(self.observe == "enabled"),
+        )
+        attach_engine(inst, ctx.engine)
+        ctx.obs = inst
+        self._insts[ctx.rank] = inst
+
+    # -- merged per-run reporting -------------------------------------------------
+
+    def merged_snapshot(self) -> dict:
+        """In-process merge of every rank's snapshot (post-run, launcher side)."""
+        if self.observe is None:
+            raise RuntimeError("world was not built with observe=...")
+        from repro.obs import merge_snapshots
+
+        return merge_snapshots(
+            [self._insts[r].snapshot() for r in sorted(self._insts)]
+        )
+
+    def merged_report(self) -> str:
+        from repro.obs import render_report
+
+        return render_report(self.merged_snapshot())
 
     # -- MPI-2 dynamic process management ----------------------------------------
 
@@ -182,8 +223,10 @@ class World:
                     rank=i,
                     remote_group=parent_group,
                 )
+                self._attach_obs(ctx)
                 if session_factory is not None:
                     ctx.session = session_factory(ctx)
+                    _observe_session(ctx)
                 t = _RankThread(f"spawned-{r}", _draining(self, child_main), ctx)
                 self._spawned_threads.append(t)
                 t.start()
@@ -276,6 +319,16 @@ class World:
         self.fabric.shutdown()
 
 
+def _observe_session(ctx: RankContext) -> None:
+    """Extend a rank's instrumentation over its session layer (Motor VM)."""
+    if ctx.obs is None or ctx.session is None:
+        return
+    if hasattr(ctx.session, "runtime") and hasattr(ctx.session, "policy"):
+        from repro.obs import attach_vm
+
+        attach_vm(ctx.obs, ctx.session)
+
+
 def _draining(world: World, main: Callable[[RankContext], Any]) -> Callable[[RankContext], Any]:
     """Wrap a rank main so it drains the reliability window before exiting."""
 
@@ -300,6 +353,7 @@ def mpiexec(
     fault_plan: FaultPlan | None = None,
     reliable: bool | None = None,
     reliability_opts: dict | None = None,
+    observe: str | None = None,
 ) -> list[Any]:
     """Launch ``n`` ranks running ``main`` and return their results by rank.
 
@@ -309,16 +363,22 @@ def mpiexec(
 
     ``fault_plan`` injects seeded failures below the device (and enables
     the reliability sublayer unless ``reliable`` overrides it).
+
+    ``observe`` attaches the repro.obs instrumentation to every rank:
+    ``"enabled"`` records, ``"disabled"`` attaches inert hooks (the A11
+    overhead configuration), ``None`` leaves the stack untouched.
     """
     world = World(n, channel=channel, clock_mode=clock_mode, costs=costs,
                   eager_threshold=eager_threshold, fault_plan=fault_plan,
-                  reliable=reliable, reliability_opts=reliability_opts)
+                  reliable=reliable, reliability_opts=reliability_opts,
+                  observe=observe)
     threads: list[_RankThread] = []
     try:
         for rank in range(n):
             ctx = world.context_for(rank)
             if session_factory is not None:
                 ctx.session = session_factory(ctx)
+                _observe_session(ctx)
             threads.append(_RankThread(f"rank-{rank}", _draining(world, main), ctx))
         for t in threads:
             t.start()
@@ -334,3 +394,32 @@ def mpiexec(
         if t.error is not None:
             raise t.error
     return [t.result for t in threads]
+
+
+def mpiexec_observed(
+    n: int,
+    main: Callable[[RankContext], Any],
+    observe: str = "enabled",
+    **kw: Any,
+) -> tuple[list[Any], dict | None]:
+    """Run ``main`` under instrumentation and gather one merged snapshot.
+
+    After every rank's ``main`` returns, the ranks join a collective
+    gather (``collectives.gather_bytes``) of their local snapshots and
+    rank 0 merges them — the cluster-wide aggregation path, exercising
+    the wire rather than peeking across threads.  Returns
+    ``(results, merged_snapshot)``; render with ``repro.obs.render_report``.
+    """
+    from repro.obs import cluster_snapshot
+
+    box: dict[str, dict] = {}
+
+    def run(ctx: RankContext) -> Any:
+        result = main(ctx)
+        merged = cluster_snapshot(ctx.engine, ctx.comm_world, ctx.obs, root=0)
+        if merged is not None:
+            box["snapshot"] = merged
+        return result
+
+    results = mpiexec(n, run, observe=observe, **kw)
+    return results, box.get("snapshot")

@@ -56,6 +56,9 @@ class PinningPolicy:
         self.runtime = runtime
         self.enabled = enabled
         self.stats = PinPolicyStats()
+        #: observability hook (repro.obs); PinPolicyStats is exported as
+        #: pull-model pvars (gc.pins.checks, gc.pins.deferred_taken, ...)
+        self.obs = None
 
     # -- the generation test ---------------------------------------------------
 

@@ -43,7 +43,6 @@ from repro.runtime.typesys import (
     ARRAY_DATA_OFFSET,
     PRIMITIVES,
     MethodTable,
-    PrimitiveType,
 )
 
 MAGIC = 0x4D534552  # "MSER"
@@ -187,13 +186,22 @@ class MotorSerializer:
         self.visited_kind = visited
         self.objects_serialized = 0
         self.objects_deserialized = 0
+        #: observability hook (repro.obs): serialize/deserialize open spans,
+        #: the counters above are exported as pull-model pvars
+        self.obs = None
 
     # -- serialize ---------------------------------------------------------------
 
     def serialize(self, ref: ObjRef | None, out: bytearray | None = None) -> bytearray:
         """Produce a regular (non-split) representation of ``ref``'s tree."""
         out = out if out is not None else bytearray()
-        self._serialize_root(ref, out)
+        if self.obs is not None:
+            before = self.objects_serialized
+            with self.obs.span("motor.serialize"):
+                self._serialize_root(ref, out)
+            self.obs.event("motor.serialized", objects=self.objects_serialized - before, bytes=len(out))
+        else:
+            self._serialize_root(ref, out)
         return out
 
     def _serialize_root(self, ref: ObjRef | None, out: bytearray) -> None:
@@ -302,6 +310,12 @@ class MotorSerializer:
 
     def deserialize(self, data) -> ObjRef | None:
         """Reconstruct the object tree; returns the root (or None)."""
+        if self.obs is not None:
+            with self.obs.span("motor.deserialize", bytes=len(data)):
+                return self._deserialize(data)
+        return self._deserialize(data)
+
+    def _deserialize(self, data) -> ObjRef | None:
         rt = self.runtime
         rd = _Reader(data)
         if rd.u32() != MAGIC:
@@ -325,12 +339,10 @@ class MotorSerializer:
             mt = mts[rd.u32()]
             if mt.is_array:
                 length = rd.u32()
-                ref = rt.new_array(
-                    mt.element_type.name
-                    if isinstance(mt.element_type, PrimitiveType)
-                    else mt.element_type.name,
-                    length,
-                )
+                # element_type is a PrimitiveType or MethodTable; both carry
+                # the name the runtime resolves, so no branching is needed
+                # (the old isinstance ternary had two identical arms).
+                ref = rt.new_array(mt.element_type.name, length)
                 payloads.append((mt, length, rd.pos))
                 rd.raw(length * (8 if mt.element_is_ref else mt.element_size))
             else:

@@ -97,6 +97,9 @@ class MotorCommunicator:
     # -- plumbing -----------------------------------------------------------------
 
     def _fcall(self, fn, *args, **kw):
+        obs = self._vm.obs
+        if obs is not None:
+            obs.inc("motor.mp.fcalls")
         return self._vm.fcall.call(fn, *args, **kw)
 
     @property

@@ -50,6 +50,9 @@ class MotorVM:
             self.runtime, self.engine, self.serializer, self.pool, self.policy
         )
         # Integration point 2: System.MP reaches the core through FCalls.
+        #: observability hook (repro.obs.attach_vm wires GC, pin policy,
+        #: serializer and the System.MP fcall gate through it)
+        self.obs = None
         self.fcall = self.runtime.gate("fcall")
         self.comm_world = MotorCommunicator(self, self.engine.comm_world)
 

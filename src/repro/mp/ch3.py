@@ -76,6 +76,8 @@ class CH3Device:
         self.max_packets_per_poll = max_packets_per_poll
         self.max_stream_per_poll = max_stream_per_poll
 
+        #: explicit observability hook (repro.obs); None = uninstrumented
+        self.obs = None
         self.queues = MessageQueues()
         self._rndv_sends: dict[int, _SendState] = {}
         # (src_rank, send_op_id) -> streaming receive request
@@ -98,6 +100,15 @@ class CH3Device:
         if dst in self.failed_ranks:
             self._fail_request(req)
             return
+        if self.obs is not None:
+            self.obs.event(
+                "mp.send",
+                dst=dst,
+                tag=req.tag,
+                bytes=total,
+                proto="eager" if total <= self.eager_threshold else "rndv",
+            )
+            self.obs.observe("mp.ch3.msg_bytes", total)
         if total <= self.eager_threshold:
             self.stats["eager"] += 1
             pkt = Packet(
@@ -148,6 +159,10 @@ class CH3Device:
 
     def post_recv(self, req: Request) -> None:
         self.clock.charge(self.costs.posting_ns)
+        if self.obs is not None:
+            self.obs.event(
+                "mp.recv.post", src=req.peer, tag=req.tag, cap=req.buf.nbytes
+            )
         msg = self.queues.match_unexpected(req.peer, req.tag, req.comm_id)
         if msg is None:
             self.queues.post_recv(req)
@@ -160,6 +175,15 @@ class CH3Device:
             # the destination now and clear the sender to stream.
             self._accept_rndv(req, msg.src, msg.tag, msg.send_op_id, msg.total)
 
+    def _obs_recv_complete(self, status: Status) -> None:
+        if self.obs is not None:
+            self.obs.event(
+                "mp.recv.complete",
+                src=status.source,
+                tag=status.tag,
+                bytes=status.count,
+            )
+
     def _deliver_staged(self, req: Request, msg: UnexpectedMsg) -> None:
         n = min(msg.total, req.buf.nbytes)
         self.clock.charge(self.costs.copy_per_byte_ns * n)
@@ -171,6 +195,7 @@ class CH3Device:
         req.started = True
         req.bytes_moved = n
         req.complete(status)
+        self._obs_recv_complete(status)
 
     def _accept_rndv(self, req: Request, src: int, tag: int, send_op_id: int, total: int) -> None:
         if total > req.buf.nbytes:
@@ -282,6 +307,7 @@ class CH3Device:
         req.started = True
         req.bytes_moved = n
         req.complete(status)
+        self._obs_recv_complete(status)
         if pkt.sync:
             self._emit(Packet(ptype=FIN, src=self.rank, dst=pkt.src, op_id=pkt.op_id))
 
@@ -334,6 +360,7 @@ class CH3Device:
                 error=req.status.error,
             )
             req.complete(status)
+            self._obs_recv_complete(status)
 
     def _on_fin(self, pkt: Packet) -> None:
         req = self._awaiting_fin.pop(pkt.op_id, None)

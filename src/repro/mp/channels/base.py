@@ -38,6 +38,9 @@ class Channel:
         self.packets_sent = 0
         self.packets_received = 0
         self.bytes_sent = 0
+        #: observability hook; the counters above are exported as pull-model
+        #: pvars (mp.ch.packets_sent, ...) at snapshot time
+        self.obs = None
         #: set by finalize(); implementations guard on it so teardown is
         #: idempotent even when wiring crashed half-way
         self._finalized = False

@@ -14,11 +14,20 @@ above).
 from __future__ import annotations
 
 import struct
+from contextlib import nullcontext
 from typing import Callable
 
 from repro.mp.buffers import BufferDesc, NativeMemory
 from repro.mp.datatypes import Datatype
 from repro.mp.errors import MpiErrCount, MpiErrRoot
+
+_NULL_SPAN = nullcontext()
+
+
+def _span(engine, name: str, **args):
+    """Open a collective span on the engine's obs hook (no-op when absent)."""
+    obs = getattr(engine, "obs", None)
+    return _NULL_SPAN if obs is None else obs.span(name, **args)
 
 #: reserved tag space for collectives (above MPI_TAG_UB)
 _TAG_BARRIER = (1 << 20) + 1
@@ -60,17 +69,18 @@ def barrier(engine, comm) -> None:
     if n == 1:
         return
     rank = comm.rank
-    empty = BufferDesc.from_bytes(b"")
-    k = 1
-    while k < n:
-        dst = (rank + k) % n
-        src = (rank - k) % n
-        sreq = engine.isend(empty, dst, _TAG_BARRIER, comm, _internal=True)
-        rbuf = BufferDesc.from_bytes(b"")
-        rreq = engine.irecv(rbuf, src, _TAG_BARRIER, comm, _internal=True)
-        engine.progress.wait(sreq)
-        engine.progress.wait(rreq)
-        k <<= 1
+    with _span(engine, "coll.barrier", size=n):
+        empty = BufferDesc.from_bytes(b"")
+        k = 1
+        while k < n:
+            dst = (rank + k) % n
+            src = (rank - k) % n
+            sreq = engine.isend(empty, dst, _TAG_BARRIER, comm, _internal=True)
+            rbuf = BufferDesc.from_bytes(b"")
+            rreq = engine.irecv(rbuf, src, _TAG_BARRIER, comm, _internal=True)
+            engine.progress.wait(sreq)
+            engine.progress.wait(rreq)
+            k <<= 1
 
 
 # -- broadcast ------------------------------------------------------------------
@@ -82,27 +92,28 @@ def bcast(engine, comm, buf: BufferDesc, root: int = 0) -> None:
     n = comm.size
     if n == 1:
         return
-    # Rotate so the root is virtual rank 0.
-    vrank = (comm.rank - root) % n
-    mask = 1
-    # Receive phase: find parent.
-    while mask < n:
-        if vrank & mask:
-            parent = ((vrank & ~mask) + root) % n
-            engine.progress.wait(
-                engine.irecv(buf, parent, _TAG_BCAST, comm, _internal=True)
-            )
-            break
-        mask <<= 1
-    # Send phase: forward to children below the found bit.
-    mask >>= 1
-    while mask > 0:
-        if vrank + mask < n:
-            child = ((vrank + mask) + root) % n
-            engine.progress.wait(
-                engine.isend(buf, child, _TAG_BCAST, comm, _internal=True)
-            )
+    with _span(engine, "coll.bcast", root=root, bytes=buf.nbytes):
+        # Rotate so the root is virtual rank 0.
+        vrank = (comm.rank - root) % n
+        mask = 1
+        # Receive phase: find parent.
+        while mask < n:
+            if vrank & mask:
+                parent = ((vrank & ~mask) + root) % n
+                engine.progress.wait(
+                    engine.irecv(buf, parent, _TAG_BCAST, comm, _internal=True)
+                )
+                break
+            mask <<= 1
+        # Send phase: forward to children below the found bit.
         mask >>= 1
+        while mask > 0:
+            if vrank + mask < n:
+                child = ((vrank + mask) + root) % n
+                engine.progress.wait(
+                    engine.isend(buf, child, _TAG_BCAST, comm, _internal=True)
+                )
+            mask >>= 1
 
 
 # -- scatter / gather ------------------------------------------------------------
@@ -113,24 +124,25 @@ def scatter(engine, comm, sendbuf: BufferDesc | None, recvbuf: BufferDesc, root:
     _check_root(comm, root)
     n = comm.size
     each = recvbuf.nbytes
-    if comm.rank == root:
-        if sendbuf is None or sendbuf.nbytes != each * n:
-            raise MpiErrCount(
-                f"scatter: root buffer must be {each * n} bytes, "
-                f"got {None if sendbuf is None else sendbuf.nbytes}"
+    with _span(engine, "coll.scatter", root=root, bytes=each):
+        if comm.rank == root:
+            if sendbuf is None or sendbuf.nbytes != each * n:
+                raise MpiErrCount(
+                    f"scatter: root buffer must be {each * n} bytes, "
+                    f"got {None if sendbuf is None else sendbuf.nbytes}"
+                )
+            reqs = []
+            for i in range(n):
+                if i == root:
+                    recvbuf.write(0, sendbuf.read(i * each, each))
+                else:
+                    piece = BufferDesc(sendbuf.base, sendbuf.addr + i * each, each)
+                    reqs.append(engine.isend(piece, i, _TAG_SCATTER, comm, _internal=True))
+            engine.progress.wait_all(reqs)
+        else:
+            engine.progress.wait(
+                engine.irecv(recvbuf, root, _TAG_SCATTER, comm, _internal=True)
             )
-        reqs = []
-        for i in range(n):
-            if i == root:
-                recvbuf.write(0, sendbuf.read(i * each, each))
-            else:
-                piece = BufferDesc(sendbuf.base, sendbuf.addr + i * each, each)
-                reqs.append(engine.isend(piece, i, _TAG_SCATTER, comm, _internal=True))
-        engine.progress.wait_all(reqs)
-    else:
-        engine.progress.wait(
-            engine.irecv(recvbuf, root, _TAG_SCATTER, comm, _internal=True)
-        )
 
 
 def scatterv(engine, comm, sendbuf, counts, displs, recvbuf: BufferDesc, root: int = 0) -> None:
@@ -159,24 +171,25 @@ def gather(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc | None, root: 
     _check_root(comm, root)
     n = comm.size
     each = sendbuf.nbytes
-    if comm.rank == root:
-        if recvbuf is None or recvbuf.nbytes != each * n:
-            raise MpiErrCount(
-                f"gather: root buffer must be {each * n} bytes, "
-                f"got {None if recvbuf is None else recvbuf.nbytes}"
+    with _span(engine, "coll.gather", root=root, bytes=each):
+        if comm.rank == root:
+            if recvbuf is None or recvbuf.nbytes != each * n:
+                raise MpiErrCount(
+                    f"gather: root buffer must be {each * n} bytes, "
+                    f"got {None if recvbuf is None else recvbuf.nbytes}"
+                )
+            reqs = []
+            for i in range(n):
+                if i == root:
+                    recvbuf.write(root * each, sendbuf.view())
+                else:
+                    piece = BufferDesc(recvbuf.base, recvbuf.addr + i * each, each)
+                    reqs.append(engine.irecv(piece, i, _TAG_GATHER, comm, _internal=True))
+            engine.progress.wait_all(reqs)
+        else:
+            engine.progress.wait(
+                engine.isend(sendbuf, root, _TAG_GATHER, comm, _internal=True)
             )
-        reqs = []
-        for i in range(n):
-            if i == root:
-                recvbuf.write(root * each, sendbuf.view())
-            else:
-                piece = BufferDesc(recvbuf.base, recvbuf.addr + i * each, each)
-                reqs.append(engine.irecv(piece, i, _TAG_GATHER, comm, _internal=True))
-        engine.progress.wait_all(reqs)
-    else:
-        engine.progress.wait(
-            engine.isend(sendbuf, root, _TAG_GATHER, comm, _internal=True)
-        )
 
 
 def gatherv(engine, comm, sendbuf: BufferDesc, recvbuf, counts, displs, root: int = 0) -> None:
@@ -202,8 +215,9 @@ def gatherv(engine, comm, sendbuf: BufferDesc, recvbuf, counts, displs, root: in
 
 def allgather(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc) -> None:
     """gather to rank 0 then broadcast (fine at these scales)."""
-    gather(engine, comm, sendbuf, recvbuf if comm.rank == 0 else None, 0)
-    bcast(engine, comm, recvbuf, 0)
+    with _span(engine, "coll.allgather", bytes=sendbuf.nbytes):
+        gather(engine, comm, sendbuf, recvbuf if comm.rank == 0 else None, 0)
+        bcast(engine, comm, recvbuf, 0)
 
 
 def alltoall(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc) -> None:
@@ -213,19 +227,20 @@ def alltoall(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc) -> None:
         raise MpiErrCount("alltoall: buffers must be equal and divisible by size")
     each = sendbuf.nbytes // n
     rank = comm.rank
-    recvbuf.write(rank * each, sendbuf.read(rank * each, each))
-    reqs = []
-    for i in range(n):
-        if i == rank:
-            continue
-        rpiece = BufferDesc(recvbuf.base, recvbuf.addr + i * each, each)
-        reqs.append(engine.irecv(rpiece, i, _TAG_ALLTOALL, comm, _internal=True))
-    for i in range(n):
-        if i == rank:
-            continue
-        spiece = BufferDesc(sendbuf.base, sendbuf.addr + i * each, each)
-        reqs.append(engine.isend(spiece, i, _TAG_ALLTOALL, comm, _internal=True))
-    engine.progress.wait_all(reqs)
+    with _span(engine, "coll.alltoall", bytes=each):
+        recvbuf.write(rank * each, sendbuf.read(rank * each, each))
+        reqs = []
+        for i in range(n):
+            if i == rank:
+                continue
+            rpiece = BufferDesc(recvbuf.base, recvbuf.addr + i * each, each)
+            reqs.append(engine.irecv(rpiece, i, _TAG_ALLTOALL, comm, _internal=True))
+        for i in range(n):
+            if i == rank:
+                continue
+            spiece = BufferDesc(sendbuf.base, sendbuf.addr + i * each, each)
+            reqs.append(engine.isend(spiece, i, _TAG_ALLTOALL, comm, _internal=True))
+        engine.progress.wait_all(reqs)
 
 
 # -- reductions ------------------------------------------------------------------
@@ -240,33 +255,43 @@ def reduce(
     op: str = "sum",
     root: int = 0,
 ) -> None:
-    """Element-wise reduction at the root (linear combine)."""
+    """Element-wise reduction at the root (linear combine).
+
+    Contributions are folded in strict ascending rank order regardless of
+    ``root``, so non-associative (floating-point) results are bit-identical
+    for every choice of root.
+    """
     _check_root(comm, root)
     combine = OPS[op]
     n = comm.size
-    if comm.rank == root:
-        if recvbuf is None or recvbuf.nbytes != sendbuf.nbytes:
-            raise MpiErrCount("reduce: recv buffer must match send buffer size")
-        acc = list(datatype.unpack_values(sendbuf.tobytes()))
-        tmp = BufferDesc.from_native(NativeMemory(sendbuf.nbytes))
-        for i in range(n):
-            if i == root:
-                continue
+    with _span(engine, "coll.reduce", op=op, root=root, bytes=sendbuf.nbytes):
+        if comm.rank == root:
+            if recvbuf is None or recvbuf.nbytes != sendbuf.nbytes:
+                raise MpiErrCount("reduce: recv buffer must match send buffer size")
+            contribs: list[list | None] = [None] * n
+            contribs[root] = list(datatype.unpack_values(sendbuf.tobytes()))
+            tmp = BufferDesc.from_native(NativeMemory(sendbuf.nbytes))
+            for i in range(n):
+                if i == root:
+                    continue
+                engine.progress.wait(
+                    engine.irecv(tmp, i, _TAG_REDUCE, comm, _internal=True)
+                )
+                contribs[i] = list(datatype.unpack_values(tmp.tobytes()))
+            acc = contribs[0]
+            for i in range(1, n):
+                acc = [combine(a, b) for a, b in zip(acc, contribs[i])]
+            recvbuf.write(0, datatype.pack_values(acc))
+        else:
             engine.progress.wait(
-                engine.irecv(tmp, i, _TAG_REDUCE, comm, _internal=True)
+                engine.isend(sendbuf, root, _TAG_REDUCE, comm, _internal=True)
             )
-            vals = datatype.unpack_values(tmp.tobytes())
-            acc = [combine(a, b) for a, b in zip(acc, vals)]
-        recvbuf.write(0, datatype.pack_values(acc))
-    else:
-        engine.progress.wait(
-            engine.isend(sendbuf, root, _TAG_REDUCE, comm, _internal=True)
-        )
 
 
 def allreduce(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc, datatype: Datatype, op: str = "sum") -> None:
-    reduce(engine, comm, sendbuf, recvbuf, datatype, op, 0)
-    bcast(engine, comm, recvbuf, 0)
+    with _span(engine, "coll.allreduce", op=op, bytes=sendbuf.nbytes):
+        reduce(engine, comm, sendbuf, recvbuf, datatype, op, 0)
+        bcast(engine, comm, recvbuf, 0)
 
 
 def sendrecv(
@@ -302,20 +327,21 @@ def scan(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc, datatype: Datat
     """
     combine = OPS[op]
     rank, n = comm.rank, comm.size
-    mine = list(datatype.unpack_values(sendbuf.tobytes()))
-    if rank > 0:
-        prev = BufferDesc.from_native(NativeMemory(sendbuf.nbytes))
-        engine.progress.wait(
-            engine.irecv(prev, rank - 1, _TAG_SCAN, comm, _internal=True)
-        )
-        upstream = datatype.unpack_values(prev.tobytes())
-        mine = [combine(a, b) for a, b in zip(upstream, mine)]
-    packed = datatype.pack_values(mine)
-    if rank < n - 1:
-        engine.progress.wait(
-            engine.isend(BufferDesc.from_bytes(packed), rank + 1, _TAG_SCAN, comm, _internal=True)
-        )
-    recvbuf.write(0, packed)
+    with _span(engine, "coll.scan", op=op, bytes=sendbuf.nbytes):
+        mine = list(datatype.unpack_values(sendbuf.tobytes()))
+        if rank > 0:
+            prev = BufferDesc.from_native(NativeMemory(sendbuf.nbytes))
+            engine.progress.wait(
+                engine.irecv(prev, rank - 1, _TAG_SCAN, comm, _internal=True)
+            )
+            upstream = datatype.unpack_values(prev.tobytes())
+            mine = [combine(a, b) for a, b in zip(upstream, mine)]
+        packed = datatype.pack_values(mine)
+        if rank < n - 1:
+            engine.progress.wait(
+                engine.isend(BufferDesc.from_bytes(packed), rank + 1, _TAG_SCAN, comm, _internal=True)
+            )
+        recvbuf.write(0, packed)
 
 
 # -- variable-length blob exchange ------------------------------------------------
@@ -325,18 +351,24 @@ def gather_bytes(engine, comm, data: bytes, root: int = 0) -> list[bytes] | None
     """Gather arbitrary-length byte strings at the root."""
     lenbuf = BufferDesc.from_bytes(struct.pack("<q", len(data)))
     n = comm.size
-    if comm.rank == root:
-        lens = BufferDesc.from_native(NativeMemory(8 * n))
-        gather(engine, comm, lenbuf, lens, root)
-        counts = list(struct.unpack(f"<{n}q", lens.tobytes()))
-        displs = [sum(counts[:i]) for i in range(n)]
-        blob = BufferDesc.from_native(NativeMemory(sum(counts)))
-        gatherv(engine, comm, BufferDesc.from_bytes(data), blob, counts, displs, root)
-        raw = blob.tobytes()
-        return [raw[displs[i] : displs[i] + counts[i]] for i in range(n)]
-    gather(engine, comm, lenbuf, None, root)
-    gatherv(engine, comm, BufferDesc.from_bytes(data), None, None, None, root)
-    return None
+    with _span(engine, "coll.gather_bytes", root=root, bytes=len(data)):
+        if comm.rank == root:
+            lens = BufferDesc.from_native(NativeMemory(8 * n))
+            gather(engine, comm, lenbuf, lens, root)
+            counts = list(struct.unpack(f"<{n}q", lens.tobytes()))
+            # running prefix sum: O(n), not sum(counts[:i]) per rank (O(n^2))
+            displs = []
+            total = 0
+            for c in counts:
+                displs.append(total)
+                total += c
+            blob = BufferDesc.from_native(NativeMemory(total))
+            gatherv(engine, comm, BufferDesc.from_bytes(data), blob, counts, displs, root)
+            raw = blob.tobytes()
+            return [raw[displs[i] : displs[i] + counts[i]] for i in range(n)]
+        gather(engine, comm, lenbuf, None, root)
+        gatherv(engine, comm, BufferDesc.from_bytes(data), None, None, None, root)
+        return None
 
 
 def bcast_bytes(engine, comm, data: bytes | None, root: int = 0) -> bytes:

@@ -65,6 +65,8 @@ class MpiEngine:
             reliability_opts=reliability_opts,
         )
         self.progress = ProgressEngine(self.device, yield_fn)
+        #: observability hook (repro.obs): collectives open spans on it
+        self.obs = None
         self.comm_world = Communicator(
             engine=self, context_id=0, group=Group(range(world_size)), rank=rank
         )

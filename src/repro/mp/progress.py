@@ -38,6 +38,9 @@ class ProgressEngine:
         self.yield_fn = yield_fn
         self.polls = 0
         self.idle_polls = 0
+        #: observability hook (repro.obs reads polls via a pull provider,
+        #: so the poll loop itself stays probe-free)
+        self.obs = None
 
     def poll(self) -> int:
         self.polls += 1

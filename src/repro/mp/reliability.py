@@ -79,6 +79,9 @@ class ReliabilityLayer:
         self._last_heard: dict[int, int] = {}
         self.failed: set[int] = set()
         self.on_peer_failed: Callable[[int], None] | None = None
+        #: observability hook; the stats dict below is exported as pull-model
+        #: pvars (rel.retransmits, rel.acks_sent, ...) at snapshot time
+        self.obs = None
         self.stats = {
             "acks_sent": 0,
             "retransmits": 0,

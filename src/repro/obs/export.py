@@ -1,0 +1,150 @@
+"""Exporters: Chrome-trace JSON, aligned-text timeline, metrics tables.
+
+The Chrome exporter emits the ``chrome://tracing`` / Perfetto JSON object
+format: a ``traceEvents`` array of complete events (``"ph": "X"`` with
+microsecond ``ts``/``dur``) for spans, instant events (``"ph": "i"``)
+for point events, and metadata events naming each rank's process row.
+One rank maps to one ``pid``, so a merged multi-rank snapshot renders as
+stacked per-rank tracks on a shared timebase.
+
+The text exporters replace the old tracer's ``render_timeline`` and
+``summary``: same aligned layout, but fed from snapshot dicts so they
+work identically on one rank's data or a cluster-merged report.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+
+def _cat(name: str) -> str:
+    """Trace category = the first dotted component (mp, gc, coll, motor)."""
+    return name.split(".", 1)[0]
+
+
+def chrome_trace(snapshot: dict) -> dict:
+    """Build a chrome://tracing JSON object from a snapshot.
+
+    Accepts a single-rank snapshot (``instrument().snapshot()``) or a
+    merged cluster report (:func:`repro.obs.aggregate.merge_snapshots`);
+    both carry ``spans`` and ``events`` lists whose entries know their
+    rank.  Timestamps convert from nanoseconds to the format's
+    microseconds.
+    """
+    events: list[dict] = []
+    ranks = sorted(
+        {s["rank"] for s in snapshot.get("spans", [])}
+        | {e["rank"] for e in snapshot.get("events", [])}
+        | set(snapshot.get("ranks", []))
+    )
+    for rank in ranks:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": rank,
+                "tid": 0,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+    for s in snapshot.get("spans", []):
+        events.append(
+            {
+                "name": s["name"],
+                "cat": _cat(s["name"]),
+                "ph": "X",
+                "ts": s["ts"] / 1e3,
+                "dur": s["dur"] / 1e3,
+                "pid": s["rank"],
+                "tid": 0,
+                "args": s.get("args", {}),
+            }
+        )
+    for e in snapshot.get("events", []):
+        events.append(
+            {
+                "name": e["name"],
+                "cat": _cat(e["name"]),
+                "ph": "i",
+                "s": "t",  # thread-scoped instant
+                "ts": e["ts"] / 1e3,
+                "pid": e["rank"],
+                "tid": 0,
+                "args": e.get("args", {}),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(snapshot: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(snapshot), fh)
+
+
+# ---------------------------------------------------------------------------
+# text timeline
+# ---------------------------------------------------------------------------
+
+
+def _fmt_args(args: dict) -> str:
+    return " ".join(f"{k}={v}" for k, v in args.items())
+
+
+def render_timeline(snapshot: dict, limit: int | None = None) -> str:
+    """Aligned text timeline of spans and events, merged and time-sorted.
+
+    Spans print at their start time with their duration; events print as
+    instants.  Ties break on (rank, seq) so concurrent ranks interleave
+    deterministically.
+    """
+    rows = []
+    for s in snapshot.get("spans", []):
+        rows.append((s["ts"], s["rank"], s.get("seq", 0), s, True))
+    for e in snapshot.get("events", []):
+        rows.append((e["ts"], e["rank"], e.get("seq", 0), e, False))
+    rows.sort(key=lambda r: (r[0], r[1], r[2]))
+    buf = io.StringIO()
+    print(f"# {len(rows)} records", file=buf)
+    shown = rows if limit is None else rows[:limit]
+    t0 = rows[0][0] if rows else 0.0
+    for ts, rank, _seq, rec, is_span in shown:
+        indent = "  " * rec.get("depth", 0) if is_span else ""
+        if is_span:
+            body = f"{indent}[{rec['name']} {rec['dur'] / 1e3:.1f}us] {_fmt_args(rec.get('args', {}))}"
+        else:
+            body = f"{rec['name']:<18} {_fmt_args(rec.get('args', {}))}"
+        print(f"{(ts - t0) / 1e3:12.1f}us  r{rank}  {body}".rstrip(), file=buf)
+    if limit is not None and len(rows) > limit:
+        print(f"... {len(rows) - limit} more", file=buf)
+    return buf.getvalue()
+
+
+def render_metrics(snapshot: dict) -> str:
+    """Aligned table of counters (merged reports show per-rank columns)."""
+    counters = snapshot.get("counters", {})
+    buf = io.StringIO()
+    if not counters:
+        return "# no counters\n"
+    width = max(len(n) for n in counters)
+    merged = any(isinstance(v, dict) for v in counters.values())
+    if merged:
+        ranks = snapshot.get("ranks", [])
+        head = f"{'pvar':<{width}}  {'total':>12}  " + "  ".join(
+            f"r{r:>4}" for r in ranks
+        )
+        print(head, file=buf)
+        print("-" * len(head), file=buf)
+        for name in sorted(counters):
+            entry = counters[name]
+            cells = "  ".join(
+                f"{entry['by_rank'].get(str(r), entry['by_rank'].get(r, 0)):>5}"
+                for r in ranks
+            )
+            print(f"{name:<{width}}  {entry['total']:>12}  {cells}", file=buf)
+    else:
+        print(f"{'pvar':<{width}}  {'value':>12}", file=buf)
+        print("-" * (width + 14), file=buf)
+        for name in sorted(counters):
+            print(f"{name:<{width}}  {counters[name]:>12}", file=buf)
+    return buf.getvalue()

@@ -1,0 +1,288 @@
+"""The per-rank instrumentation facade and its explicit attach points.
+
+One :class:`Instrumentation` per rank bundles a metrics registry and a
+span recorder behind a narrow write API (``inc``/``observe``/``event``/
+``span``).  Subsystems do **not** get wrapped or monkey-patched; each one
+carries an ``obs`` attribute (``None`` by default) and guards every
+instrumented site with ``if self.obs is not None`` — the old tracer's
+failure mode (detach clobbering another layer's wrapper) cannot happen
+because there is nothing to unwrap.
+
+Cost model: an *enabled* hook charges the rank clock the calibrated cost
+of recording (``obs_event_ns`` etc.); an *attached but disabled* hook
+charges only ``obs_hook_ns`` — the branch-and-return a compiled-in but
+switched-off probe costs in a real runtime.  The A11 ablation measures
+exactly that disabled residue and holds it under 5% on the Figure 9
+ping-pong.  An unattached site (``obs is None``) costs one Python ``is``
+check and charges nothing.
+
+Attach helpers wire a rank's whole stack:
+
+* :func:`attach_engine` — CH3 device, progress engine, reliability
+  sublayer, channel, the MPI engine itself (collective spans);
+* :func:`attach_vm` — collector, pin policy, serializer, System.MP;
+* :func:`instrument` — dispatches on RankContext vs MotorVM, the
+  one-call entry point that replaces ``attach_tracer``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecorder, SpanRecord
+
+
+class _NullSpan:
+    """Reusable no-op context manager for disabled/absent spans."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanCtx:
+    """Context manager pairing start/end on the recorder."""
+
+    __slots__ = ("_inst", "_name", "_args", "span")
+
+    def __init__(self, inst: "Instrumentation", name: str, args: dict) -> None:
+        self._inst = inst
+        self._name = name
+        self._args = args
+        self.span: SpanRecord | None = None
+
+    def __enter__(self) -> SpanRecord:
+        self.span = self._inst.recorder.start(self._name, **self._args)
+        return self.span
+
+    def __exit__(self, *exc) -> bool:
+        self._inst.recorder.end(self.span)
+        return False
+
+
+class Instrumentation:
+    """One rank's observability surface (metrics + spans + events)."""
+
+    def __init__(self, rank: int, clock, costs=None, enabled: bool = True) -> None:
+        if costs is None:
+            from repro.simtime import CostModel
+
+            costs = CostModel()
+        self.rank = rank
+        self.clock = clock
+        self.costs = costs
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self.recorder = SpanRecorder(rank, clock)
+        #: every subsystem whose ``obs`` hook points at this instance
+        #: (maintained by the attach helpers; consumed by detach_all)
+        self.attached: list[Any] = []
+
+    # -- write API (the hook surface) -----------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        if not self.enabled:
+            self.clock.charge(self.costs.obs_hook_ns)
+            return
+        self.clock.charge(self.costs.obs_counter_ns)
+        self.metrics.counter(name).inc(n)
+
+    def gauge(self, name: str, value: float) -> None:
+        if not self.enabled:
+            self.clock.charge(self.costs.obs_hook_ns)
+            return
+        self.clock.charge(self.costs.obs_counter_ns)
+        self.metrics.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        if not self.enabled:
+            self.clock.charge(self.costs.obs_hook_ns)
+            return
+        self.clock.charge(self.costs.obs_counter_ns)
+        self.metrics.histogram(name).observe(value)
+
+    def event(self, name: str, **args: Any) -> None:
+        if not self.enabled:
+            self.clock.charge(self.costs.obs_hook_ns)
+            return
+        self.clock.charge(self.costs.obs_event_ns)
+        self.recorder.event(name, **args)
+
+    def span(self, name: str, **args: Any):
+        if not self.enabled:
+            self.clock.charge(self.costs.obs_hook_ns)
+            return _NULL_SPAN
+        self.clock.charge(self.costs.obs_span_ns)
+        return _SpanCtx(self, name, args)
+
+    # -- pull-model pvars -------------------------------------------------------
+
+    def register_provider(self, fn) -> None:
+        self.metrics.register_provider(fn)
+
+    # -- snapshot ---------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        out = {"rank": self.rank, "enabled": self.enabled}
+        out.update(self.metrics.snapshot())
+        out.update(self.recorder.snapshot())
+        return out
+
+
+# ---------------------------------------------------------------------------
+# attach points
+# ---------------------------------------------------------------------------
+
+
+def _scaled(prefix: str, stats: dict) -> dict:
+    return {f"{prefix}.{k}": v for k, v in stats.items()}
+
+
+def _hook(inst: Instrumentation, target) -> None:
+    target.obs = inst
+    inst.attached.append(target)
+
+
+def attach_engine(inst: Instrumentation, engine) -> None:
+    """Wire one rank's MPI stack: device, progress, reliability, channel."""
+    device = engine.device
+    _hook(inst, engine)
+    _hook(inst, device)
+    _hook(inst, engine.progress)
+    inst.register_provider(
+        lambda: {
+            "mp.ch3.eager_sends": device.stats["eager"],
+            "mp.ch3.rndv_sends": device.stats["rndv"],
+            "mp.ch3.unexpected": device.stats["unexpected"],
+            "mp.ch3.truncated": device.stats["truncated"],
+        }
+    )
+    progress = engine.progress
+    inst.register_provider(
+        lambda: {
+            "mp.progress.polls": progress.polls,
+            "mp.progress.idle_polls": progress.idle_polls,
+        }
+    )
+    channel = device.channel
+    _hook(inst, channel)
+    inst.register_provider(
+        lambda: {
+            "mp.ch.packets_sent": channel.packets_sent,
+            "mp.ch.packets_received": channel.packets_received,
+            "mp.ch.bytes_sent": channel.bytes_sent,
+        }
+    )
+    if device.rel is not None:
+        rel = device.rel
+        _hook(inst, rel)
+        inst.register_provider(lambda: _scaled("rel", rel.stats))
+
+
+def attach_gc(inst: Instrumentation, gc) -> None:
+    """Wire a collector: lifecycle events are pushed, GcStats is pulled."""
+    _hook(inst, gc)
+    stats = gc.stats
+    inst.register_provider(
+        lambda: {
+            "gc.collections.gen0": stats.gen0_collections,
+            "gc.collections.gen1": stats.gen1_collections,
+            "gc.objects_promoted": stats.objects_promoted,
+            "gc.bytes_promoted": stats.bytes_promoted,
+            "gc.pinned_collections": stats.pinned_collections,
+            "gc.pins.calls": stats.pin_calls,
+            "gc.pins.unpin_calls": stats.unpin_calls,
+            "gc.pins.active_peak": stats.pins_active_peak,
+            "gc.cond_pins.registered": stats.conditional_pins_registered,
+            "gc.cond_pins.honored": stats.conditional_pins_honored,
+            "gc.cond_pins.dropped": stats.conditional_pins_dropped,
+            "gc.objects_swept": stats.objects_swept,
+        }
+    )
+
+
+def attach_vm(inst: Instrumentation, vm) -> None:
+    """Wire a MotorVM: collector, pin policy, serializer, System.MP."""
+    _hook(inst, vm)
+    attach_gc(inst, vm.runtime.gc)
+    policy = vm.policy
+    _hook(inst, policy)
+    inst.register_provider(
+        lambda: {
+            "gc.pins.checks": policy.stats.checks,
+            "gc.pins.elder_skips": policy.stats.elder_skips,
+            "gc.pins.deferred": policy.stats.deferred,
+            "gc.pins.deferred_taken": policy.stats.deferred_pins_taken,
+            "gc.pins.conditional_registered": policy.stats.conditional_registered,
+            "gc.pins.unconditional": policy.stats.unconditional_pins,
+        }
+    )
+    ser = vm.serializer
+    _hook(inst, ser)
+    inst.register_provider(
+        lambda: {
+            "motor.ser.objects": ser.objects_serialized,
+            "motor.deser.objects": ser.objects_deserialized,
+        }
+    )
+
+
+def instrument(ctx_or_vm, enabled: bool = True, costs=None) -> Instrumentation:
+    """Attach a fresh :class:`Instrumentation` to a RankContext or MotorVM.
+
+    The explicit-hook replacement for the old ``attach_tracer``: nothing
+    is wrapped, so attaching and detaching never disturbs other layers.
+    """
+    # MotorVM: has .engine and .runtime
+    if hasattr(ctx_or_vm, "runtime") and hasattr(ctx_or_vm, "engine"):
+        vm = ctx_or_vm
+        inst = Instrumentation(
+            vm.engine.rank, vm.runtime.clock, costs=costs or vm.engine.costs,
+            enabled=enabled,
+        )
+        attach_engine(inst, vm.engine)
+        attach_vm(inst, vm)
+        return inst
+    ctx = ctx_or_vm
+    inst = Instrumentation(
+        ctx.rank, ctx.clock, costs=costs or ctx.engine.costs, enabled=enabled
+    )
+    attach_engine(inst, ctx.engine)
+    # a context whose session is a Motor VM gets its managed side wired too
+    session = getattr(ctx, "session", None)
+    if session is not None and hasattr(session, "runtime") and hasattr(session, "policy"):
+        attach_vm(inst, session)
+    ctx.obs = inst
+    return inst
+
+
+def detach(target, inst: Instrumentation | None = None) -> None:
+    """Clear a subsystem's ``obs`` hook (idempotent, layer-safe).
+
+    With ``inst`` given, clears only if the hook still points at *that*
+    instrumentation; if another layer attached its own after ours, the
+    newer attachment is left untouched — we never restore stale state
+    over it (the bug the old monkey-patching tracer had).
+    """
+    current = getattr(target, "obs", None)
+    if current is not None and (inst is None or current is inst):
+        target.obs = None
+
+
+def detach_all(inst: Instrumentation) -> None:
+    """Detach every subsystem this instrumentation attached to.
+
+    Layer-safe: a hook that another (newer) instrumentation has since
+    taken over is left pointing at the newer one.
+    """
+    for target in inst.attached:
+        detach(target, inst)
+    inst.attached.clear()

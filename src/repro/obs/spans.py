@@ -1,0 +1,142 @@
+"""Structured spans and instant events: the timeline half of the obs layer.
+
+A **span** is a named interval with arguments (``coll.reduce`` with
+``bytes=4096``); spans nest — the recorder keeps a per-rank stack, so a
+``motor.serialize`` span opened inside an ``mp.osend`` span records its
+parent and depth.  An **event** is an instant (``mp.send``, ``gc.collect``)
+with a detail dict.
+
+Both carry the rank's own clock timestamps (nanoseconds; virtual or wall,
+whichever the rank runs on), a monotonically increasing per-rank sequence
+number — the tiebreak that makes merged multi-rank timelines totally
+ordered — and serialise to plain dicts for the Chrome-trace exporter and
+the cluster aggregator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still-open) interval."""
+
+    id: int
+    name: str
+    rank: int
+    start_ns: float
+    end_ns: float | None = None
+    parent: int | None = None
+    depth: int = 0
+    seq: int = 0
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def dur_ns(self) -> float:
+        return 0.0 if self.end_ns is None else self.end_ns - self.start_ns
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "name": self.name,
+            "rank": self.rank,
+            "ts": self.start_ns,
+            "dur": self.dur_ns,
+            "parent": self.parent,
+            "depth": self.depth,
+            "seq": self.seq,
+            "args": self.args,
+        }
+
+
+@dataclass
+class EventRecord:
+    """One instant event."""
+
+    name: str
+    rank: int
+    ts_ns: float
+    seq: int = 0
+    args: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "rank": self.rank,
+            "ts": self.ts_ns,
+            "seq": self.seq,
+            "args": self.args,
+        }
+
+
+class SpanRecorder:
+    """Per-rank span/event store with a nesting stack.
+
+    Owned by one rank thread; no locking.  The stack is the source of the
+    ``parent``/``depth`` fields — a span started while another is open is
+    its child, whatever module either came from.
+    """
+
+    def __init__(self, rank: int, clock) -> None:
+        self.rank = rank
+        self.clock = clock
+        self.spans: list[SpanRecord] = []
+        self.events: list[EventRecord] = []
+        self._stack: list[SpanRecord] = []
+        self._seq = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- spans ----------------------------------------------------------------
+
+    def start(self, name: str, **args: Any) -> SpanRecord:
+        parent = self._stack[-1] if self._stack else None
+        span = SpanRecord(
+            id=self._next_seq(),
+            name=name,
+            rank=self.rank,
+            start_ns=self.clock.now(),
+            parent=None if parent is None else parent.id,
+            depth=len(self._stack),
+            seq=self._seq,
+            args=args,
+        )
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: SpanRecord) -> None:
+        span.end_ns = self.clock.now()
+        # unwind to (and including) the span being ended, so a missed end
+        # deeper in the stack cannot wedge nesting forever
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            if top.end_ns is None:
+                top.end_ns = span.end_ns
+
+    # -- events ---------------------------------------------------------------
+
+    def event(self, name: str, **args: Any) -> EventRecord:
+        ev = EventRecord(
+            name=name,
+            rank=self.rank,
+            ts_ns=self.clock.now(),
+            seq=self._next_seq(),
+            args=args,
+        )
+        self.events.append(ev)
+        return ev
+
+    # -- snapshot -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "spans": [s.to_dict() for s in self.spans],
+            "events": [e.to_dict() for e in self.events],
+        }

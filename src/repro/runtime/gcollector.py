@@ -86,6 +86,9 @@ class GenGC:
         self.clock = clock
         self.costs = costs
         self.stats = GcStats()
+        #: observability hook (repro.obs); GcStats is exported as pull-model
+        #: pvars, the events below mark pin/collect moments on the timeline
+        self.obs = None
         #: cookie-slot pins (classic GCHandle pinned handles)
         self._pins: dict[int, PinCookie] = {}
         #: Motor conditional pin requests, resolved at mark time
@@ -112,6 +115,8 @@ class GenGC:
         self.clock.charge(
             (self.costs.pin_ns + self.costs.pin_per_kb_ns * size_kb) * cost_mult
         )
+        if self.obs is not None:
+            self.obs.event("gc.pin", addr=hex(ref.addr), slot=slot)
         return cookie
 
     def unpin(self, cookie: PinCookie, cost_mult: float = 1.0) -> None:
@@ -122,6 +127,8 @@ class GenGC:
         self.handles.free(cookie.slot)
         self.stats.unpin_calls += 1
         self.clock.charge(self.costs.unpin_ns * cost_mult)
+        if self.obs is not None:
+            self.obs.event("gc.unpin", slot=cookie.slot)
 
     def register_conditional_pin(self, ref: ObjRef, is_active: Callable[[], bool]) -> ConditionalPin:
         """Register a pin that holds only while ``is_active()`` is true.
@@ -134,6 +141,8 @@ class GenGC:
         self._conditional.append(cp)
         self.stats.conditional_pins_registered += 1
         self.clock.charge(self.costs.conditional_pin_register_ns)
+        if self.obs is not None:
+            self.obs.event("gc.pin.conditional", addr=hex(ref.addr), slot=slot)
         return cp
 
     def pinned_addresses(self) -> set[int]:
@@ -160,6 +169,7 @@ class GenGC:
         """Stop-the-world collection of the given generation."""
         if self._collecting:
             raise GcInvariantError("re-entrant collection")
+        before = self.stats.bytes_promoted
         self._collecting = True
         try:
             self._collect_gen0()
@@ -167,6 +177,14 @@ class GenGC:
                 self._collect_gen1()
         finally:
             self._collecting = False
+        if self.obs is not None:
+            self.obs.event(
+                "gc.collect",
+                gen=gen,
+                promoted=self.stats.bytes_promoted - before,
+                pins=self.active_pin_count,
+                cond=self.pending_conditional_count,
+            )
         for hook in self.post_collect_hooks:
             hook(gen)
 

@@ -115,6 +115,14 @@ class CostModel:
     pal_call_thin_ns: float = 80.0
     pal_call_thick_ns: float = 260.0
 
+    # --- observability layer (repro.obs) ----------------------------------
+    #: attached-but-disabled probe: the branch-and-return residue the A11
+    #: ablation bounds at <=5% of a ping-pong iteration
+    obs_hook_ns: float = 4.0
+    obs_counter_ns: float = 15.0
+    obs_event_ns: float = 150.0
+    obs_span_ns: float = 400.0  # start/end pair, charged at start
+
     def scaled(self, **overrides: float) -> "CostModel":
         """A copy of this model with selected fields overridden."""
         return replace(self, **overrides)

@@ -1,16 +1,27 @@
-"""Event tracing: message and GC timelines for debugging and analysis.
+"""Backwards-compatible tracing facade over :mod:`repro.obs`.
 
-A release-grade runtime needs observability.  ``Tracer`` hooks one rank's
-device and collector, recording a timestamped event stream:
+The original ``Tracer`` wrapped device and collector methods
+(monkey-patching) and recorded a flat event stream.  That design had two
+real bugs:
 
-* ``send`` / ``recv-post`` / ``recv-complete`` — message lifecycle with
-  peer, tag, bytes and protocol (eager / rendezvous);
-* ``gc`` — collections with generation, promoted bytes and pin counts;
-* ``pin`` / ``unpin`` / ``conditional-pin`` — the §7.4 policy in action.
+* **detach clobbering** — ``detach`` blindly restored the originals it
+  had captured, so if another layer wrapped the same methods *after* the
+  tracer attached, detaching silently tore the newer layer off;
+* **missing GC attach** — ``attach_tracer(ctx)`` never attached the
+  collector even when the context carried a Motor session that had one.
 
-The stream renders as an aligned text timeline (`render_timeline`) or
-aggregates (`summary`).  Attach with :func:`attach_tracer`; it wraps the
-device and GC methods non-invasively and restores them on ``detach``.
+Both are gone structurally: this module now fronts the explicit-hook
+observability layer (``repro.obs``), where subsystems carry an ``obs``
+attribute and nothing is ever wrapped.  Detaching clears only hooks that
+still point at *this* tracer's instrumentation (layer-safe), and
+``attach_tracer`` wires the collector whenever one is reachable — from a
+MotorVM directly, or through ``ctx.session``.
+
+The old surface is preserved: ``Tracer.emit``, ``.events`` (as
+:class:`TraceEvent` with the historical kind names), ``render_timeline``,
+``summary``, ``attach_device``/``attach_gc``/``detach``.  New code should
+use :func:`repro.obs.instrument` directly, which adds pvars, spans,
+Chrome-trace export and cluster-wide aggregation.
 """
 
 from __future__ import annotations
@@ -18,6 +29,31 @@ from __future__ import annotations
 import io
 from dataclasses import dataclass, field
 from typing import Any
+
+from repro.obs import Instrumentation, attach_gc, attach_vm, detach_all
+
+#: new structured event names -> the historical tracer kinds
+_KIND_MAP = {
+    "mp.send": "send",
+    "mp.recv.post": "recv-post",
+    "mp.recv.complete": "recv-complete",
+    "gc.collect": "gc",
+    "gc.pin": "pin",
+    "gc.unpin": "unpin",
+    "gc.pin.conditional": "conditional-pin",
+}
+
+#: detail keys the historical kinds carried (extras from the richer
+#: structured events are dropped so consumers see the old shape)
+_DETAIL_KEYS = {
+    "send": ("dst", "tag", "bytes", "proto"),
+    "recv-post": ("src", "tag", "cap"),
+    "recv-complete": ("src", "tag", "bytes"),
+    "gc": ("gen", "promoted", "pins", "cond"),
+    "pin": ("addr",),
+    "unpin": ("slot",),
+    "conditional-pin": ("addr",),
+}
 
 
 @dataclass
@@ -33,115 +69,78 @@ class TraceEvent:
 
 
 class Tracer:
-    """Per-rank event recorder."""
+    """Per-rank event recorder (compat shim over :class:`Instrumentation`)."""
 
-    def __init__(self, rank: int, clock) -> None:
+    def __init__(self, rank: int, clock, inst: Instrumentation | None = None) -> None:
         self.rank = rank
         self.clock = clock
-        self.events: list[TraceEvent] = []
         self.enabled = True
-        self._detach_fns: list = []
+        self.inst = inst if inst is not None else Instrumentation(rank, clock)
+        #: events recorded through the direct ``emit`` API
+        self._own: list[TraceEvent] = []
+
+    # -- recording ------------------------------------------------------------
 
     def emit(self, kind: str, **detail) -> None:
         if self.enabled:
-            self.events.append(
-                TraceEvent(self.clock.now(), self.rank, kind, detail)
+            self._own.append(TraceEvent(self.clock.now(), self.rank, kind, detail))
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Direct emits plus hook-recorded events, in timestamp order."""
+        out = list(self._own)
+        for ev in self.inst.recorder.events:
+            kind = _KIND_MAP.get(ev.name, ev.name)
+            keys = _DETAIL_KEYS.get(kind)
+            detail = (
+                dict(ev.args)
+                if keys is None
+                else {k: ev.args[k] for k in keys if k in ev.args}
             )
+            out.append(TraceEvent(ev.ts_ns, ev.rank, kind, detail))
+        out.sort(key=lambda e: e.ts_ns)
+        return out
 
     # -- attachment -----------------------------------------------------------
 
     def attach_device(self, device) -> None:
-        orig_send = device.start_send
-        orig_post = device.post_recv
-
-        def traced_send(req, dst):
-            proto = "eager" if req.buf.nbytes <= device.eager_threshold else "rndv"
-            self.emit("send", dst=dst, tag=req.tag, bytes=req.buf.nbytes, proto=proto)
-            return orig_send(req, dst)
-
-        def traced_post(req):
-            self.emit("recv-post", src=req.peer, tag=req.tag, cap=req.buf.nbytes)
-            req.on_complete.append(
-                lambda r: self.emit(
-                    "recv-complete", src=r.status.source, tag=r.status.tag,
-                    bytes=r.status.count,
-                )
-            )
-            return orig_post(req)
-
-        device.start_send = traced_send
-        device.post_recv = traced_post
-        self._detach_fns.append(
-            lambda: (setattr(device, "start_send", orig_send),
-                     setattr(device, "post_recv", orig_post))
-        )
+        """Point the device's explicit hook at this tracer (no wrapping)."""
+        device.obs = self.inst
+        self.inst.attached.append(device)
 
     def attach_gc(self, gc) -> None:
-        orig_collect = gc.collect
-        orig_pin = gc.pin
-        orig_unpin = gc.unpin
-        orig_cond = gc.register_conditional_pin
-
-        def traced_collect(gen=0):
-            before = gc.stats.bytes_promoted
-            result = orig_collect(gen)
-            self.emit(
-                "gc",
-                gen=gen,
-                promoted=gc.stats.bytes_promoted - before,
-                pins=gc.active_pin_count,
-                cond=gc.pending_conditional_count,
-            )
-            return result
-
-        def traced_pin(ref, cost_mult=1.0):
-            self.emit("pin", addr=hex(ref.addr))
-            return orig_pin(ref, cost_mult)
-
-        def traced_unpin(cookie, cost_mult=1.0):
-            self.emit("unpin", slot=cookie.slot)
-            return orig_unpin(cookie, cost_mult)
-
-        def traced_cond(ref, is_active):
-            self.emit("conditional-pin", addr=hex(ref.addr))
-            return orig_cond(ref, is_active)
-
-        gc.collect = traced_collect
-        gc.pin = traced_pin
-        gc.unpin = traced_unpin
-        gc.register_conditional_pin = traced_cond
-        self._detach_fns.append(
-            lambda: (
-                setattr(gc, "collect", orig_collect),
-                setattr(gc, "pin", orig_pin),
-                setattr(gc, "unpin", orig_unpin),
-                setattr(gc, "register_conditional_pin", orig_cond),
-            )
-        )
+        """Point the collector's explicit hook at this tracer (no wrapping)."""
+        attach_gc(self.inst, gc)
 
     def detach(self) -> None:
-        for fn in self._detach_fns:
-            fn()
-        self._detach_fns.clear()
+        """Clear every hook that still points at this tracer.
+
+        Layer-safe by construction: hooks that a later layer has taken
+        over are left alone — there are no captured originals to restore,
+        so the old clobbering failure mode cannot occur.
+        """
+        detach_all(self.inst)
 
     # -- reporting -----------------------------------------------------------
 
     def render_timeline(self, limit: int | None = None) -> str:
         buf = io.StringIO()
-        events = self.events if limit is None else self.events[:limit]
+        all_events = self.events
+        events = all_events if limit is None else all_events[:limit]
         t0 = events[0].ts_ns if events else 0.0
-        print(f"# rank {self.rank}: {len(self.events)} events", file=buf)
+        print(f"# rank {self.rank}: {len(all_events)} events", file=buf)
         for ev in events:
             print(ev.fmt(t0), file=buf)
-        if limit is not None and len(self.events) > limit:
-            print(f"... {len(self.events) - limit} more", file=buf)
+        if limit is not None and len(all_events) > limit:
+            print(f"... {len(all_events) - limit} more", file=buf)
         return buf.getvalue()
 
     def summary(self) -> dict[str, Any]:
         counts: dict[str, int] = {}
         bytes_sent = 0
         bytes_recv = 0
-        for ev in self.events:
+        events = self.events
+        for ev in events:
             counts[ev.kind] = counts.get(ev.kind, 0) + 1
             if ev.kind == "send":
                 bytes_sent += ev.detail.get("bytes", 0)
@@ -149,7 +148,7 @@ class Tracer:
                 bytes_recv += ev.detail.get("bytes", 0)
         return {
             "rank": self.rank,
-            "events": len(self.events),
+            "events": len(events),
             "counts": counts,
             "bytes_sent": bytes_sent,
             "bytes_received": bytes_recv,
@@ -157,16 +156,24 @@ class Tracer:
 
 
 def attach_tracer(ctx_or_vm) -> Tracer:
-    """Attach a tracer to a RankContext (native) or a MotorVM."""
+    """Attach a tracer to a RankContext (native) or a MotorVM.
+
+    A RankContext whose ``session`` is a Motor VM now gets its collector
+    (and the rest of the managed side) attached too — previously the GC
+    was silently skipped on the context path.
+    """
     # MotorVM: has .engine and .runtime
     if hasattr(ctx_or_vm, "runtime") and hasattr(ctx_or_vm, "engine"):
         vm = ctx_or_vm
         tracer = Tracer(vm.engine.rank, vm.runtime.clock)
         tracer.attach_device(vm.engine.device)
-        tracer.attach_gc(vm.runtime.gc)
+        attach_vm(tracer.inst, vm)
         return tracer
     # RankContext
     ctx = ctx_or_vm
     tracer = Tracer(ctx.rank, ctx.clock)
     tracer.attach_device(ctx.engine.device)
+    session = getattr(ctx, "session", None)
+    if session is not None and hasattr(session, "runtime") and hasattr(session, "policy"):
+        attach_vm(tracer.inst, session)
     return tracer

@@ -88,19 +88,24 @@ def sweep_buffer_pingpong(
     fault_plan=None,
     reliable: bool | None = None,
     reliability_opts: dict | None = None,
+    observe: str | None = None,
 ) -> dict[int, float]:
     """Run the Figure 9 protocol for one system; {size: mean us/iter}.
 
     ``reliable`` forces the seq/CRC/ack sublayer on (or off) regardless of
     whether a ``fault_plan`` is present — the A10 ablation times it over a
     fault-free wire to isolate its overhead.
+
+    ``observe`` attaches the repro.obs instrumentation ("enabled" or
+    "disabled") — the A11 ablation times the disabled hooks against the
+    un-instrumented baseline.
     """
     main = _buffer_main(flavor, list(sizes), iterations, timed, runs, verify)
     results = mpiexec(
         2, main, channel=channel, clock_mode=clock_mode, costs=costs,
         eager_threshold=eager_threshold, timeout=timeout,
         fault_plan=fault_plan, reliable=reliable,
-        reliability_opts=reliability_opts,
+        reliability_opts=reliability_opts, observe=observe,
     )[0]
     return {size: sum(vals) / len(vals) for size, vals in results.items()}
 

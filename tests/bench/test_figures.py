@@ -35,6 +35,7 @@ class TestRegistry:
             "ablate-pal",
             "ablate-interconnect",
             "ablate-reliability",
+            "ablate-obs",
         } == set(EXPERIMENTS)
 
     def test_every_experiment_has_a_claim_check(self):

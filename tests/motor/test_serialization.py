@@ -234,3 +234,38 @@ class TestVisitedStructures:
     def test_unknown_visited_kind(self):
         with pytest.raises(ValueError):
             MotorSerializer(ManagedRuntime(), visited="btree")
+
+
+class TestElementTypeResolution:
+    """Array element types resolve uniformly at deserialize time.
+
+    The deserializer used to branch on ``isinstance(mt.element_type,
+    PrimitiveType)`` with two *identical* arms — dead code hiding the fact
+    that primitive and reference element types both resolve by name.  Both
+    paths are pinned here so the simplification stays honest.
+    """
+
+    def test_ref_array_roundtrip_resolves_class_element_type(self):
+        a, b = pair()
+        arr = a.new_array("Mixed", 3)
+        for i in range(3):
+            a.set_elem_ref(arr, i, a.new("Mixed", i=i * 11, f=float(i)))
+        got = MotorSerializer(b).deserialize(MotorSerializer(a).serialize(arr))
+        for i in range(3):
+            elem = b.get_elem(got, i)
+            assert b.get_field(elem, "i") == i * 11
+            assert b.get_field(elem, "f") == float(i)
+
+    def test_prim_array_roundtrip_resolves_primitive_element_type(self):
+        a, b = pair()
+        arr = a.new_array("int32", 5, values=[3, 1, 4, 1, 5])
+        got = MotorSerializer(b).deserialize(MotorSerializer(a).serialize(arr))
+        assert [b.get_elem(got, i) for i in range(5)] == [3, 1, 4, 1, 5]
+
+    def test_nested_ref_array_in_field(self):
+        a, b = pair()
+        obj = a.new("Mixed", i=7)
+        a.set_ref(obj, "tagged", a.new_array("int32", 2, values=[21, 42]))
+        got = MotorSerializer(b).deserialize(MotorSerializer(a).serialize(obj))
+        tagged = b.get_field(got, "tagged")
+        assert [b.get_elem(tagged, i) for i in range(2)] == [21, 42]

@@ -1,0 +1,103 @@
+"""Root-invariant reductions and gather_bytes displacements.
+
+Floating-point addition is not associative, so the *order* in which a
+linear reduce folds contributions is observable in the low bits.  The
+fixed ``reduce`` folds in strict ascending rank order regardless of the
+root, so every root computes the bit-identical result (the old code
+folded the root's own contribution first, so moving the root reordered
+the sum).
+"""
+
+import struct
+
+import pytest
+
+from repro.cluster import mpiexec
+from repro.mp import collectives
+from repro.mp.buffers import BufferDesc, NativeMemory
+from repro.mp.datatypes import DOUBLE
+
+
+def _contribution(rank: int) -> list[float]:
+    # Wildly different magnitudes make float addition order-sensitive:
+    # summing small-to-large vs large-to-small differs in the low bits.
+    return [10.0 ** (rank * 3) + 0.1 * rank, 1.0 / (rank + 1), rank * 1e-8]
+
+
+def _rank_order_fold(n: int) -> list[float]:
+    acc = _contribution(0)
+    for i in range(1, n):
+        acc = [a + b for a, b in zip(acc, _contribution(i))]
+    return acc
+
+
+@pytest.mark.parametrize("n", [2, 4, 5])
+class TestRootInvariantReduce:
+    def test_reduce_bit_identical_for_every_root(self, n):
+        def main(ctx):
+            eng = ctx.engine
+            out = []
+            for root in range(n):
+                send = BufferDesc.from_bytes(
+                    DOUBLE.pack_values(_contribution(ctx.rank))
+                )
+                recv = (
+                    BufferDesc.from_native(NativeMemory(send.nbytes))
+                    if ctx.rank == root
+                    else None
+                )
+                collectives.reduce(
+                    eng, eng.comm_world, send, recv, DOUBLE, "sum", root
+                )
+                out.append(recv.tobytes() if ctx.rank == root else None)
+            return out
+
+        results = mpiexec(n, main)
+        # collect the root's raw bytes for each choice of root
+        by_root = [results[root][root] for root in range(n)]
+        expected = DOUBLE.pack_values(_rank_order_fold(n))
+        for root, raw in enumerate(by_root):
+            assert raw == expected, (
+                f"root {root} produced different bits: "
+                f"{struct.unpack(f'<{len(raw) // 8}d', raw)}"
+            )
+
+    def test_allreduce_matches_rank_order_fold(self, n):
+        def main(ctx):
+            eng = ctx.engine
+            send = BufferDesc.from_bytes(DOUBLE.pack_values(_contribution(ctx.rank)))
+            recv = BufferDesc.from_native(NativeMemory(send.nbytes))
+            collectives.allreduce(eng, eng.comm_world, send, recv, DOUBLE)
+            return recv.tobytes()
+
+        results = mpiexec(n, main)
+        expected = DOUBLE.pack_values(_rank_order_fold(n))
+        assert all(raw == expected for raw in results)
+
+
+class TestGatherBytesManyRanks:
+    @pytest.mark.parametrize("n", [5, 8])
+    def test_varied_lengths_and_order(self, n):
+        def main(ctx):
+            # rank r contributes r+1 distinctive bytes (rank 0 included)
+            data = bytes([ctx.rank * 7 % 256]) * (ctx.rank + 1)
+            return collectives.gather_bytes(
+                ctx.engine, ctx.engine.comm_world, data, 0
+            )
+
+        blobs = mpiexec(n, main)[0]
+        assert len(blobs) == n
+        for r, blob in enumerate(blobs):
+            assert blob == bytes([r * 7 % 256]) * (r + 1)
+
+    def test_empty_and_large_mix(self):
+        def main(ctx):
+            data = b"" if ctx.rank % 2 == 0 else bytes(range(256)) * ctx.rank
+            return collectives.gather_bytes(
+                ctx.engine, ctx.engine.comm_world, data, 0
+            )
+
+        blobs = mpiexec(6, main)[0]
+        for r, blob in enumerate(blobs):
+            expected = b"" if r % 2 == 0 else bytes(range(256)) * r
+            assert blob == expected

@@ -1,0 +1,77 @@
+"""Cluster-wide merging: counters, histograms, and timeline ordering."""
+
+import pytest
+
+from repro.obs import Instrumentation, merge_snapshots
+from repro.simtime import VirtualClock
+
+pytestmark = pytest.mark.obs
+
+
+def _rank_snapshot(rank: int, charges: list[int], counter: int) -> dict:
+    clock = VirtualClock()
+    inst = Instrumentation(rank, clock)
+    inst.inc("mp.ch3.eager_sends", counter)
+    for i, c in enumerate(charges):
+        clock.charge(c)
+        inst.event(f"ev.{rank}.{i}")
+    return inst.snapshot()
+
+
+class TestCounterMerge:
+    def test_total_and_by_rank(self):
+        merged = merge_snapshots(
+            [_rank_snapshot(0, [], 5), _rank_snapshot(1, [], 7)]
+        )
+        entry = merged["counters"]["mp.ch3.eager_sends"]
+        assert entry["total"] == 12
+        assert entry["by_rank"] == {0: 5, 1: 7}
+        assert merged["ranks"] == [0, 1]
+
+    def test_histogram_merge(self):
+        snaps = []
+        for rank, values in ((0, [4, 8]), (1, [1024])):
+            inst = Instrumentation(rank, VirtualClock())
+            for v in values:
+                inst.observe("mp.ch3.msg_bytes", v)
+            snaps.append(inst.snapshot())
+        h = merge_snapshots(snaps)["hists"]["mp.ch3.msg_bytes"]
+        assert h["count"] == 3
+        assert h["min"] == 4 and h["max"] == 1024
+        assert h["buckets"] == {"3": 1, "4": 1, "11": 1}
+
+
+class TestTimelineOrdering:
+    def test_events_interleave_by_ts_then_rank_then_seq(self):
+        # rank 1's first event lands between rank 0's two events
+        s0 = _rank_snapshot(0, [100, 300], 0)  # events at t=100, t=400
+        s1 = _rank_snapshot(1, [250], 0)  # event at t=250
+        merged = merge_snapshots([s0, s1])
+        names = [e["name"] for e in merged["events"]]
+        assert names == ["ev.0.0", "ev.1.0", "ev.0.1"]
+
+    def test_equal_ts_ties_break_on_rank(self):
+        s0 = _rank_snapshot(0, [100], 0)
+        s1 = _rank_snapshot(1, [100], 0)
+        merged = merge_snapshots([s1, s0])  # deliberately out of order
+        assert [e["rank"] for e in merged["events"]] == [0, 1]
+
+    def test_same_rank_ties_break_on_seq(self):
+        clock = VirtualClock()
+        inst = Instrumentation(0, clock)
+        inst.event("first")
+        inst.event("second")  # same ts, later seq
+        merged = merge_snapshots([inst.snapshot()])
+        assert [e["name"] for e in merged["events"]] == ["first", "second"]
+
+    def test_spans_sorted_too(self):
+        snaps = []
+        for rank, delay in ((0, 500), (1, 100)):
+            clock = VirtualClock()
+            inst = Instrumentation(rank, clock)
+            clock.charge(delay)
+            with inst.span(f"span.{rank}"):
+                clock.charge(10)
+            snaps.append(inst.snapshot())
+        merged = merge_snapshots(snaps)
+        assert [s["name"] for s in merged["spans"]] == ["span.1", "span.0"]

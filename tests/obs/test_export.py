@@ -1,0 +1,95 @@
+"""Chrome-trace JSON schema validity and the text exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import Instrumentation, chrome_trace, render_metrics, render_timeline, write_chrome_trace
+from repro.simtime import VirtualClock
+
+pytestmark = pytest.mark.obs
+
+
+def _sample_inst() -> Instrumentation:
+    clock = VirtualClock()
+    inst = Instrumentation(0, clock)
+    with inst.span("coll.allreduce", bytes=64):
+        clock.charge(1000)
+        inst.event("mp.send", dst=1, bytes=64)
+        clock.charge(2000)
+    return inst
+
+
+class TestChromeTrace:
+    def test_schema_shape(self):
+        doc = chrome_trace(_sample_inst().snapshot())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        phases = [ev["ph"] for ev in doc["traceEvents"]]
+        assert "M" in phases and "X" in phases and "i" in phases
+        for ev in doc["traceEvents"]:
+            assert {"name", "ph", "pid", "tid"} <= set(ev)
+            if ev["ph"] == "X":
+                assert "ts" in ev and "dur" in ev and ev["dur"] >= 0
+            if ev["ph"] == "i":
+                assert ev["s"] == "t" and "ts" in ev
+
+    def test_ns_to_us_conversion(self):
+        inst = _sample_inst()
+        doc = chrome_trace(inst.snapshot())
+        span = next(ev for ev in doc["traceEvents"] if ev["ph"] == "X")
+        # 3000 ns of explicit charges + the inner event's own recording
+        # cost, converted to the format's microseconds
+        expected = (3000 + inst.costs.obs_event_ns) / 1e3
+        assert span["dur"] == pytest.approx(expected)
+
+    def test_category_is_first_dotted_component(self):
+        doc = chrome_trace(_sample_inst().snapshot())
+        cats = {ev["name"]: ev["cat"] for ev in doc["traceEvents"] if "cat" in ev}
+        assert cats["coll.allreduce"] == "coll"
+        assert cats["mp.send"] == "mp"
+
+    def test_json_serialisable_and_loadable(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(_sample_inst().snapshot(), path)
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert isinstance(doc["traceEvents"], list)
+
+    def test_one_pid_per_rank_with_metadata(self):
+        snaps = []
+        for rank in (0, 1):
+            inst = Instrumentation(rank, VirtualClock())
+            inst.event("mp.send", dst=1 - rank)
+            snaps.append(inst.snapshot())
+        from repro.obs import merge_snapshots
+
+        doc = chrome_trace(merge_snapshots(snaps))
+        meta = {ev["pid"]: ev["args"]["name"]
+                for ev in doc["traceEvents"] if ev["ph"] == "M"}
+        assert meta == {0: "rank 0", 1: "rank 1"}
+
+
+class TestTextExporters:
+    def test_timeline_alignment_and_indent(self):
+        out = render_timeline(_sample_inst().snapshot())
+        assert "# 2 records" in out
+        assert "[coll.allreduce " in out and "bytes=64" in out
+        assert "mp.send" in out and "dst=1" in out
+        assert "r0" in out
+
+    def test_timeline_limit(self):
+        inst = Instrumentation(0, VirtualClock())
+        for i in range(10):
+            inst.event("e", i=i)
+        out = render_timeline(inst.snapshot(), limit=3)
+        assert "... 7 more" in out
+
+    def test_metrics_table_single_rank(self):
+        inst = Instrumentation(0, VirtualClock())
+        inst.inc("rel.retransmits", 3)
+        out = render_metrics(inst.snapshot())
+        assert "rel.retransmits" in out and "3" in out
+
+    def test_metrics_empty(self):
+        assert render_metrics({"counters": {}}) == "# no counters\n"

@@ -1,0 +1,167 @@
+"""Hook attachment, layer-safe detach, and cluster integration."""
+
+import pytest
+
+from repro.cluster import mpiexec, mpiexec_observed
+from repro.cluster.world import World
+from repro.motor import motor_session
+from repro.mp.buffers import BufferDesc, NativeMemory
+from repro.obs import Instrumentation, attach_engine, detach, detach_all, instrument
+from repro.simtime import VirtualClock
+
+pytestmark = pytest.mark.obs
+
+
+class TestAttachDetach:
+    def test_instrument_context_attaches_stack(self):
+        def main(ctx):
+            inst = instrument(ctx)
+            assert ctx.engine.device.obs is inst
+            assert ctx.engine.progress.obs is inst
+            assert ctx.engine.device.channel.obs is inst
+            detach_all(inst)
+            assert ctx.engine.device.obs is None
+            return True
+
+        assert all(mpiexec(2, main))
+
+    def test_detach_is_layer_safe(self):
+        """Detaching an older instrumentation must not clobber a newer one."""
+
+        def main(ctx):
+            first = instrument(ctx)
+            second = instrument(ctx)  # takes over every hook
+            detach_all(first)  # must leave second's attachments alone
+            assert ctx.engine.device.obs is second
+            assert ctx.engine.progress.obs is second
+            detach_all(second)
+            assert ctx.engine.device.obs is None
+            return True
+
+        assert all(mpiexec(2, main))
+
+    def test_targeted_detach_respects_owner(self):
+        class Sub:
+            obs = None
+
+        sub = Sub()
+        a = Instrumentation(0, VirtualClock())
+        b = Instrumentation(0, VirtualClock())
+        sub.obs = a
+        detach(sub, b)  # b never owned the hook
+        assert sub.obs is a
+        detach(sub, a)
+        assert sub.obs is None
+
+    def test_hooks_capture_message_lifecycle(self):
+        def main(ctx):
+            inst = instrument(ctx)
+            buf = BufferDesc.from_native(NativeMemory(64))
+            if ctx.rank == 0:
+                ctx.engine.send(buf, 1, 9)
+            else:
+                ctx.engine.recv(buf, 0, 9)
+            snap = inst.snapshot()
+            return [e["name"] for e in snap["events"]], snap["counters"]
+
+        (ev0, c0), (ev1, c1) = mpiexec(2, main)
+        assert ev0 == ["mp.send"]
+        assert ev1 == ["mp.recv.post", "mp.recv.complete"]
+        assert c0["mp.ch3.eager_sends"] == 1
+        # the receiver must actually poll the progress engine to complete
+        assert c1["mp.progress.polls"] > 0
+
+
+class TestMotorAttach:
+    def test_vm_pvars_and_gc_events(self):
+        def main(ctx):
+            vm = ctx.session
+            inst = instrument(vm)
+            comm = vm.comm_world
+            # OSend/ORecv go through the serializer (plain Send of a
+            # primitive array takes the zero-copy path and never would)
+            if comm.Rank == 0:
+                arr = vm.new_array("byte", 64)
+                comm.OSend(arr, 1, 1)
+            else:
+                comm.ORecv(0, 1)
+            vm.collect(0)
+            snap = inst.snapshot()
+            names = {e["name"] for e in snap["events"]}
+            assert "gc.collect" in names
+            assert snap["counters"]["motor.mp.fcalls"] > 0
+            assert snap["counters"]["gc.collections.gen0"] >= 1
+            assert "gc.pins.checks" in snap["counters"]
+            spans = {s["name"] for s in snap["spans"]}
+            assert "motor.serialize" in spans or "motor.deserialize" in spans
+            return True
+
+        assert all(mpiexec(2, main, session_factory=motor_session))
+
+
+class TestClusterIntegration:
+    def test_mpiexec_observed_merges_all_ranks(self):
+        def main(ctx):
+            buf = BufferDesc.from_native(NativeMemory(32))
+            if ctx.rank == 0:
+                ctx.engine.send(buf, 1, 1)
+            else:
+                ctx.engine.recv(buf, 0, 1)
+            return ctx.rank
+
+        results, merged = mpiexec_observed(2, main, clock_mode="virtual")
+        assert results == [0, 1]
+        assert merged["ranks"] == [0, 1]
+        sends = merged["counters"]["mp.ch3.eager_sends"]
+        assert sends["total"] >= 1 and 0 in sends["by_rank"]
+        # the gather itself ran *after* each snapshot: the merged timeline
+        # must not contain the aggregation's own collective span
+        assert all(s["name"] != "coll.gather_bytes" for s in merged["spans"])
+
+    def test_world_in_process_merge(self):
+        world = World(2, clock_mode="virtual", observe="enabled")
+
+        def main(ctx):
+            buf = BufferDesc.from_native(NativeMemory(16))
+            if ctx.rank == 0:
+                ctx.engine.send(buf, 1, 2)
+            else:
+                ctx.engine.recv(buf, 0, 2)
+
+        import threading
+
+        ctxs = [world.context_for(r) for r in range(2)]
+        threads = [threading.Thread(target=main, args=(c,)) for c in ctxs]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        world.shutdown()
+        merged = world.merged_snapshot()
+        assert merged["counters"]["mp.ch3.eager_sends"]["total"] == 1
+        report = world.merged_report()
+        assert "cluster report" in report and "mp.ch3.eager_sends" in report
+
+    def test_unobserved_world_refuses_merge(self):
+        world = World(1)
+        with pytest.raises(RuntimeError):
+            world.merged_snapshot()
+
+    def test_observe_disabled_attaches_inert_hooks(self):
+        def main(ctx):
+            assert ctx.obs is not None and not ctx.obs.enabled
+            buf = BufferDesc.from_native(NativeMemory(8))
+            if ctx.rank == 0:
+                ctx.engine.send(buf, 1, 3)
+            else:
+                ctx.engine.recv(buf, 0, 3)
+            snap = ctx.obs.snapshot()
+            # no recorded events; pull-model pvars still readable on demand
+            assert snap["events"] == [] and snap["spans"] == []
+            if ctx.rank == 1:
+                # the receiver must poll; the sender's eager send can
+                # complete inline without ever entering the progress loop
+                assert snap["counters"]["mp.progress.polls"] > 0
+            return True
+
+        assert all(mpiexec(2, main, observe="disabled"))

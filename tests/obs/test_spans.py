@@ -1,0 +1,106 @@
+"""Span nesting, the recorder stack, and the instrumentation facade."""
+
+import pytest
+
+from repro.obs import Instrumentation, SpanRecorder
+from repro.simtime import CostModel, VirtualClock
+
+pytestmark = pytest.mark.obs
+
+
+class TestNesting:
+    def test_child_records_parent_and_depth(self):
+        clock = VirtualClock()
+        rec = SpanRecorder(0, clock)
+        outer = rec.start("coll.allreduce")
+        clock.charge(100)
+        inner = rec.start("coll.reduce")
+        clock.charge(50)
+        rec.end(inner)
+        rec.end(outer)
+        assert outer.depth == 0 and outer.parent is None
+        assert inner.depth == 1 and inner.parent == outer.id
+        assert inner.start_ns >= outer.start_ns
+        assert inner.end_ns <= outer.end_ns
+
+    def test_three_levels(self):
+        rec = SpanRecorder(0, VirtualClock())
+        a = rec.start("a")
+        b = rec.start("b")
+        c = rec.start("c")
+        rec.end(c)
+        rec.end(b)
+        rec.end(a)
+        assert [s.depth for s in rec.spans] == [0, 1, 2]
+        assert rec.spans[2].parent == b.id
+
+    def test_missed_end_unwinds_stack(self):
+        """Ending an outer span closes any dangling children."""
+        clock = VirtualClock()
+        rec = SpanRecorder(0, clock)
+        outer = rec.start("outer")
+        inner = rec.start("inner")  # never explicitly ended
+        clock.charge(10)
+        rec.end(outer)
+        assert inner.end_ns == outer.end_ns
+        # stack fully unwound: the next span is a root again
+        nxt = rec.start("next")
+        assert nxt.depth == 0 and nxt.parent is None
+
+    def test_sequence_numbers_strictly_increase(self):
+        rec = SpanRecorder(0, VirtualClock())
+        s = rec.start("s")
+        e1 = rec.event("e1")
+        rec.end(s)
+        e2 = rec.event("e2")
+        assert s.seq < e1.seq < e2.seq
+
+
+class TestInstrumentationFacade:
+    def test_span_context_manager_nests(self):
+        inst = Instrumentation(0, VirtualClock())
+        with inst.span("coll.allreduce", bytes=64):
+            with inst.span("coll.reduce"):
+                pass
+        spans = inst.recorder.spans
+        assert [s.name for s in spans] == ["coll.allreduce", "coll.reduce"]
+        assert spans[1].parent == spans[0].id
+        assert spans[0].args == {"bytes": 64}
+
+    def test_disabled_records_nothing_but_charges_hook(self):
+        clock = VirtualClock()
+        costs = CostModel()
+        inst = Instrumentation(0, clock, costs=costs, enabled=False)
+        t0 = clock.now()
+        inst.inc("c")
+        inst.event("e", x=1)
+        with inst.span("s"):
+            pass
+        assert inst.recorder.spans == [] and inst.recorder.events == []
+        assert inst.metrics.snapshot()["counters"] == {}
+        # three hook crossings, each the branch-and-return residue
+        assert clock.now() - t0 == pytest.approx(3 * costs.obs_hook_ns)
+
+    def test_enabled_charges_recording_costs(self):
+        clock = VirtualClock()
+        costs = CostModel()
+        inst = Instrumentation(0, clock, costs=costs, enabled=True)
+        t0 = clock.now()
+        inst.inc("c")
+        inst.event("e")
+        with inst.span("s"):
+            pass
+        expected = costs.obs_counter_ns + costs.obs_event_ns + costs.obs_span_ns
+        assert clock.now() - t0 == pytest.approx(expected)
+
+    def test_snapshot_shape(self):
+        inst = Instrumentation(3, VirtualClock())
+        inst.inc("n", 2)
+        inst.event("e", k="v")
+        with inst.span("s"):
+            pass
+        snap = inst.snapshot()
+        assert snap["rank"] == 3 and snap["enabled"] is True
+        assert snap["counters"] == {"n": 2}
+        assert len(snap["spans"]) == 1 and len(snap["events"]) == 1
+        assert snap["events"][0]["args"] == {"k": "v"}
