@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-faults test-obs bench figures report examples clean
+.PHONY: install test test-faults test-obs test-analyze lint bench figures report examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -13,6 +13,18 @@ test-faults:
 
 test-obs:
 	$(PYTHON) -m pytest tests/ -m obs
+
+test-analyze:
+	$(PYTHON) -m pytest tests/ -m analyze
+
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests examples; \
+	elif command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests examples; \
+	else \
+		echo "ruff not installed; skipping lint (CI runs it)"; \
+	fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

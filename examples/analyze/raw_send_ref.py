@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Buggy on purpose: a reference-bearing object in a raw transfer (MA-S01).
+
+Motor's regular MPI operations move *single objects* whose layout is
+transport-safe: primitive scalars and arrays.  An object holding
+references (here a list node pointing at another node) cannot go through
+``MP.Send`` — the addresses it carries are meaningless in the peer's
+address space.  At run time the binding raises ObjectModelViolation;
+the **static pass** rejects the program before it ever runs, the same
+way the verifier rejects type-unsafe IL.
+
+This example never executes the program: it assembles the IL, runs the
+call-site checker, and shows the MA-S01 finding (plus the verified-clean
+fixed version using ``MP.OSend``).
+
+Run:  python examples/analyze/raw_send_ref.py
+"""
+
+from repro.analyze import analyze_assembly
+from repro.il import assemble
+
+BUGGY_IL = """
+.class Node transportable {
+    float64[] values transportable
+    Node next transportable
+}
+
+// rank 0 builds a two-node chain and ships the head; rank 1 receives.
+.method main() returns {
+    .locals 1
+    callintern MP.Rank/0:r
+    brtrue receiver
+    newobj Node
+    stloc 0
+    ldloc 0
+    ldc.i4 1
+    ldc.i4 4
+    callintern MP.Send/3     // BUG: Node has reference fields
+    ldc.i4 0
+    ret
+receiver:
+    ldc.i4 0
+    ldc.i4 4
+    callintern MP.ORecv/2:r
+    pop
+    ldc.i4 0
+    ret
+}
+"""
+
+FIXED_IL = BUGGY_IL.replace(
+    "callintern MP.Send/3     // BUG: Node has reference fields",
+    "callintern MP.OSend/3    // object transport serializes the graph",
+)
+
+
+def run():
+    """Static-check the buggy program; return the Report."""
+    return analyze_assembly(assemble(BUGGY_IL, name="raw_send_ref"), world_size=2)
+
+
+if __name__ == "__main__":
+    report = run()
+    print(report.render_text())
+    assert report.by_rule("MA-S01"), "expected a raw-transfer-of-refs finding"
+
+    fixed = analyze_assembly(assemble(FIXED_IL, name="raw_send_ref_fixed"), world_size=2)
+    assert not fixed.findings, fixed.render_text()
+    print("OK: MP.Send of a linked Node rejected statically; MP.OSend version is clean")

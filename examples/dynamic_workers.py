@@ -13,7 +13,6 @@ Run:  python examples/dynamic_workers.py
 
 from repro.cluster import mpiexec
 from repro.motor import motor_session
-from repro.mp.datatypes import DOUBLE, INT
 
 SAMPLES_PER_RANK = 20_000
 WORKERS = 3

@@ -1,0 +1,54 @@
+"""Motor Analyzer: static binding-integrity checks + a runtime sanitizer.
+
+Two coordinated passes over the same safety claims the paper makes for
+Motor's restricted MPI bindings (§4.2/§4.3):
+
+* the **static pass** (:mod:`repro.analyze.static_mp`) walks IL
+  assemblies and models what reaches every ``System.MP`` ``callintern``
+  — rejecting reference-bearing buffers on raw transfers (MA-S01),
+  call-signature mismatches (MA-S02), statically unmatchable sends
+  (MA-S03) and unknown MP internals (MA-S04);
+* the **runtime pass** (:mod:`repro.analyze.sanitizer`) attaches through
+  explicit ``san`` hook points on the progress engine, device, matching
+  queues, collector and pin policy — detecting deadlock knots (MA-R01),
+  wildcard-receive races (MA-R02), buffers modified or reused while an
+  operation is in flight (MA-R03/MA-R04) and pin leaks (MA-R05).
+
+Both passes emit :class:`~repro.analyze.findings.Finding` records into a
+:class:`~repro.analyze.findings.Report`; ``python -m repro.analyze`` (or
+``python -m repro.bench analyze``) runs them from the command line.
+"""
+
+from repro.analyze.findings import (
+    RULES,
+    Finding,
+    Report,
+    Rule,
+    finding_from_diagnostic,
+)
+from repro.analyze.sanitizer import (
+    DeadlockError,
+    RankSanitizer,
+    Sanitizer,
+    attach_engine,
+    attach_gc,
+    attach_vm,
+    detach_engine,
+)
+from repro.analyze.static_mp import analyze_assembly
+
+__all__ = [
+    "Finding",
+    "Report",
+    "Rule",
+    "RULES",
+    "finding_from_diagnostic",
+    "analyze_assembly",
+    "Sanitizer",
+    "RankSanitizer",
+    "DeadlockError",
+    "attach_engine",
+    "attach_gc",
+    "attach_vm",
+    "detach_engine",
+]

@@ -1,0 +1,3 @@
+from repro.analyze.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,208 @@
+"""``python -m repro.analyze`` — run the Motor analyzer from the shell.
+
+Three subcommands::
+
+    python -m repro.analyze static app.il --world-size 2   # static pass
+    python -m repro.analyze run deadlock --json            # sanitized demo
+    python -m repro.analyze ablate                         # A12 overhead
+
+``static`` assembles each IL file and walks every ``System.MP`` call
+site (rules MA-S00..MA-S04); ``run`` executes a built-in scenario under
+the runtime sanitizer (rules MA-R01..MA-R05) and prints the findings;
+``ablate`` reruns the A12 three-way ping-pong (baseline / sanitizer
+disabled / sanitizer enabled) and reports the detached-hook residue.
+
+Exit status: 0 when no error-severity findings, 1 otherwise.  The buggy
+demos therefore exit 1 on purpose (except ``wildcard-race``, whose
+finding is a warning).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analyze.findings import SEV_ERROR, Report
+
+
+# --------------------------------------------------------------------------
+# Built-in sanitized scenarios (fuller, commented versions of the same bugs
+# live under examples/analyze/).
+# --------------------------------------------------------------------------
+
+def _clean_main(ctx):
+    """Two ranks exchange arrays both ways; nothing to report."""
+    vm = ctx.session
+    comm = vm.comm_world
+    me, peer = comm.Rank, 1 - comm.Rank
+    for tag in (1, 2, 3):
+        if me == 0:
+            buf = vm.new_array("int32", 64, values=list(range(64)))
+            comm.Send(buf, peer, tag)
+            echo = vm.new_array("int32", 64)
+            comm.Recv(echo, peer, tag)
+        else:
+            buf = vm.new_array("int32", 64)
+            comm.Recv(buf, peer, tag)
+            comm.Send(buf, peer, tag)
+    comm.Barrier()
+    return "ok"
+
+
+def _deadlock_main(ctx):
+    """Both ranks post a blocking receive first: a 2-cycle knot (MA-R01)."""
+    vm = ctx.session
+    comm = vm.comm_world
+    me, peer = comm.Rank, 1 - comm.Rank
+    buf = vm.new_array("int32", 16)
+    comm.Recv(buf, peer, tag=7)   # neither side ever sends
+    comm.Send(buf, peer, tag=7)   # unreachable
+    return "unreachable"
+
+
+def _wildcard_main(ctx):
+    """Ranks 1 and 2 race into rank 0's ANY_SOURCE receives (MA-R02)."""
+    vm = ctx.session
+    comm = vm.comm_world
+    me = comm.Rank
+    if me == 0:
+        comm.Barrier()  # both senders have staged before we look
+        got = []
+        for _ in range(2):
+            buf = vm.new_array("int32", 4)
+            st = comm.Recv(buf, comm.ANY_SOURCE, tag=5)
+            got.append(st.source)
+        return sorted(got)
+    buf = vm.new_array("int32", 4, values=[me] * 4)
+    comm.Send(buf, 0, tag=5)
+    comm.Barrier()
+    return me
+
+
+def _buffer_reuse_main(ctx):
+    """Rank 0 scribbles on a buffer while its Isend is in flight (MA-R03)."""
+    vm = ctx.session
+    comm = vm.comm_world
+    me = comm.Rank
+    n = 64 * 1024  # rendezvous-sized with the demo's 4 KiB eager threshold
+    if me == 0:
+        buf = vm.new_array("int32", n // 4, values=[1] * (n // 4))
+        req = comm.Isend(buf, 1, tag=9)
+        buf[0] = 999          # the bug: write while the send is posted
+        comm.Barrier()        # peer only posts its receive after this
+        req.Wait()
+    else:
+        comm.Barrier()
+        buf = vm.new_array("int32", n // 4)
+        comm.Recv(buf, 0, tag=9)
+    return "done"
+
+
+#: scenario name -> (ranks, main, mpiexec kwargs)
+SCENARIOS: dict[str, tuple[int, object, dict]] = {
+    "clean": (2, _clean_main, {}),
+    "deadlock": (2, _deadlock_main, {"timeout": 60.0}),
+    "wildcard-race": (3, _wildcard_main, {}),
+    "buffer-reuse": (2, _buffer_reuse_main, {"eager_threshold": 4096}),
+}
+
+
+def run_scenario(name: str) -> tuple[object, Report]:
+    """Run one built-in scenario under the sanitizer; (results, report)."""
+    from repro.cluster.world import mpiexec_sanitized
+    from repro.motor import motor_session
+
+    ranks, main, kw = SCENARIOS[name]
+    return mpiexec_sanitized(
+        ranks, main, session_factory=motor_session, **kw
+    )
+
+
+# --------------------------------------------------------------------------
+# Subcommand implementations
+# --------------------------------------------------------------------------
+
+def _emit(report: Report, as_json: bool) -> int:
+    print(report.to_json() if as_json else report.render_text())
+    return 1 if any(f.severity == SEV_ERROR for f in report.findings) else 0
+
+
+def _cmd_static(args: argparse.Namespace) -> int:
+    from repro.analyze.static_mp import analyze_assembly
+    from repro.il import AssembleError, assemble
+
+    report = Report()
+    for path in args.files:
+        try:
+            with open(path) as fh:
+                source = fh.read()
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+        try:
+            asm = assemble(source, name=name)
+        except AssembleError as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 2
+        analyze_assembly(asm, world_size=args.world_size, report=report)
+    return _emit(report, args.json)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    results, report = run_scenario(args.scenario)
+    code = _emit(report, args.json)
+    if results is None and not args.json:
+        print("(run halted by the sanitizer)", file=sys.stderr)
+    return code
+
+
+def _cmd_ablate(args: argparse.Namespace) -> int:
+    from repro.bench.figures import ablate_sanitize
+
+    series = ablate_sanitize(quick=not args.paper)
+    print(series.render_table())
+    base = series.series["baseline"]
+    disabled = series.series["san-disabled"]
+    worst = max(disabled[s] / base[s] for s in base if base[s] > 0)
+    print(f"worst-case disabled-hook overhead: {worst:.4f}x (bound: 1.01x)")
+    return 0 if worst <= 1.01 else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="Motor analyzer: static MP checks and runtime sanitizer.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_static = sub.add_parser(
+        "static", help="statically check System.MP call sites in IL files"
+    )
+    p_static.add_argument("files", nargs="+", metavar="FILE.il")
+    p_static.add_argument(
+        "--world-size", type=int, default=None,
+        help="assume this many ranks when checking peer ranges",
+    )
+    p_static.add_argument("--json", action="store_true")
+    p_static.set_defaults(func=_cmd_static)
+
+    p_run = sub.add_parser(
+        "run", help="run a built-in scenario under the runtime sanitizer"
+    )
+    p_run.add_argument("scenario", choices=sorted(SCENARIOS))
+    p_run.add_argument("--json", action="store_true")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_ablate = sub.add_parser(
+        "ablate", help="A12: sanitizer overhead ablation (ping-pong)"
+    )
+    p_ablate.add_argument("--paper", action="store_true")
+    p_ablate.set_defaults(func=_cmd_ablate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

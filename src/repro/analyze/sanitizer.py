@@ -1,0 +1,584 @@
+"""Runtime sanitizer: deadlock, race, buffer and pin-leak detection.
+
+A shared :class:`Sanitizer` watches every rank of a world through the
+same explicit-hook idiom ``repro.obs`` uses: each instrumented component
+(device, progress engine, matching queues, collector, pin policy) carries
+a ``san`` attribute that is ``None`` when uninstrumented, so the hot
+paths stay branch-cheap.  Per-rank :class:`RankSanitizer` views bind a
+rank, its clock and the cost model; all cross-rank state lives in the
+shared core behind one lock (rank threads only ever touch their own
+device, so the sanitizer is the only cross-thread reader).
+
+What it checks:
+
+* **MA-R01 deadlock** — a cross-rank wait-for graph over blocked
+  polling-waits.  A rank is *stuck* when nothing already in flight can
+  complete its request: a receive with no matching posted send anywhere,
+  or a rendezvous send whose RTS nobody has answered and whose peer has
+  no matching receive posted.  Eager sends are never stuck (the peer's
+  device stages them from its progress loop even while the peer itself
+  is blocked).  A deadlock is a *knot*: the largest set of blocked-stuck
+  ranks whose every dependency lies inside the set — ranks waiting on a
+  peer that can still run are pruned, so fault-injected and merely slow
+  runs stay clean.  On detection every blocked rank raises
+  :class:`DeadlockError` (when ``halt_on_deadlock``), naming the cycle.
+* **MA-R02 wildcard race** — an ``ANY_SOURCE`` receive that had more
+  than one candidate send in flight (or staged) from distinct sources:
+  the match order is timing, not program order.
+* **MA-R03 buffer modified in flight** — the send buffer's checksum at
+  completion differs from its checksum at post.
+* **MA-R04 overlapping buffers** — a region posted to a new operation
+  while an in-flight operation on an overlapping region could write it
+  (at least one of the two is a receive).
+* **MA-R05 pin leak** — at rank finalize: an unconditional pin never
+  unpinned, or a conditional pin whose transport operation is still in
+  flight (abandoned request).  Completed-but-not-yet-collected
+  conditional pins are the design working as intended and are ignored.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from dataclasses import dataclass
+
+from repro.analyze.findings import Finding, Report
+from repro.mp.matching import ANY_SOURCE, ANY_TAG
+from repro.mp.request import RECV, SEND, Request
+
+
+class DeadlockError(RuntimeError):
+    """Raised inside blocked ranks once a deadlock knot is confirmed."""
+
+    def __init__(self, message: str, finding: Finding | None = None) -> None:
+        super().__init__(message)
+        self.finding = finding
+
+
+def describe_request(req: Request) -> str:
+    """A human label for a blocked call (used in deadlock reports)."""
+    return req.describe()
+
+
+def _tag_match(send_tag: int, recv_sel: int) -> bool:
+    return recv_sel == ANY_TAG or recv_sel == send_tag
+
+
+@dataclass
+class _SendEntry:
+    """One posted send, tracked until a receive consumes it."""
+
+    src: int
+    dst: int
+    op_id: int
+    tag: int
+    comm_id: int
+    rndv: bool
+    seq: int
+
+
+@dataclass
+class _RecvEntry:
+    """One posted receive, tracked until it completes."""
+
+    rank: int
+    op_id: int
+    src_sel: int
+    tag_sel: int
+    comm_id: int
+    seq: int
+    #: set once the device matched a message to this receive; from then
+    #: on the transfer is the peer's progress loop's job, so the rank is
+    #: not *stuck* even though it is still blocked (rendezvous DATA leg)
+    matched: bool = False
+
+
+@dataclass
+class _Region:
+    """An in-flight operation's buffer region (per rank)."""
+
+    base_id: int
+    lo: int
+    hi: int
+    kind: str
+    op_id: int
+
+
+@dataclass
+class _PinRecord:
+    slot: int
+    kind: str  # "pin" | "conditional"
+    released: bool = False
+    is_active: object = None
+
+
+class Sanitizer:
+    """Shared cross-rank state and the checking core."""
+
+    def __init__(self, world_size: int, halt_on_deadlock: bool = True) -> None:
+        self.world_size = world_size
+        self.halt_on_deadlock = halt_on_deadlock
+        self.report = Report()
+        self._lock = threading.RLock()
+        self._seq = 0
+        #: (src_rank, op_id) -> _SendEntry
+        self._sends: dict[tuple[int, int], _SendEntry] = {}
+        #: (rank, op_id) -> _RecvEntry
+        self._recvs: dict[tuple[int, int], _RecvEntry] = {}
+        #: rank -> the request its polling-wait is blocked on
+        self._blocked: dict[int, Request] = {}
+        self._dead: set[int] = set()
+        #: set once a deadlock knot is confirmed; blocked ranks then raise
+        self._deadlock: Finding | None = None
+        #: per-rank in-flight buffer regions
+        self._regions: dict[int, list[_Region]] = {}
+        #: per-rank live pin records, keyed by handle slot
+        self._pins: dict[int, dict[int, _PinRecord]] = {}
+        #: per-rank current collective (report context only)
+        self.in_collective: dict[int, str | None] = {}
+
+    def rank_view(self, rank: int, clock=None, costs=None, enabled: bool = True) -> "RankSanitizer":
+        return RankSanitizer(self, rank, clock=clock, costs=costs, enabled=enabled)
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # ------------------------------------------------------------- p2p registry
+
+    def on_send_post(self, rank: int, req: Request, dst: int, rndv: bool) -> None:
+        with self._lock:
+            self._sends[(rank, req.op_id)] = _SendEntry(
+                rank, dst, req.op_id, req.tag, req.comm_id, rndv, self._next_seq()
+            )
+            self._track_buffer(rank, req)
+
+    def on_send_consumed(self, src: int, op_id: int) -> None:
+        with self._lock:
+            self._sends.pop((src, op_id), None)
+
+    def on_recv_post(self, rank: int, req: Request) -> None:
+        with self._lock:
+            self._recvs[(rank, req.op_id)] = _RecvEntry(
+                rank, req.op_id, req.peer, req.tag, req.comm_id, self._next_seq()
+            )
+            self._track_buffer(rank, req)
+        req.on_complete.append(lambda r, _rank=rank: self._recv_done(_rank, r))
+
+    def _recv_done(self, rank: int, req: Request) -> None:
+        with self._lock:
+            self._recvs.pop((rank, req.op_id), None)
+
+    def on_recv_matched(self, rank: int, req: Request, src: int) -> None:
+        """A receive just matched a message from *src* (device side)."""
+        with self._lock:
+            entry = self._recvs.get((rank, req.op_id))
+            if entry is not None:
+                entry.matched = True
+            if req.peer != ANY_SOURCE:
+                return
+            candidates = {
+                e.src
+                for e in self._sends.values()
+                if e.dst == rank
+                and e.comm_id == req.comm_id
+                and _tag_match(e.tag, req.tag)
+            }
+            candidates.add(src)
+            if len(candidates) >= 2:
+                self.report.add(
+                    Finding(
+                        "MA-R02",
+                        f"ANY_SOURCE receive (tag={req.tag}) matched rank {src} "
+                        f"but {len(candidates)} senders were candidates: "
+                        f"{sorted(candidates)}",
+                        rank=rank,
+                        details=(("candidates", sorted(candidates)),),
+                    )
+                )
+
+    def on_wildcard_scan(self, rank: int, tag_sel: int, comm_sel: int, sources: list[int]) -> None:
+        """The matching layer scanned the unexpected queue for ANY_SOURCE."""
+        distinct = sorted(set(sources))
+        if len(distinct) >= 2:
+            with self._lock:
+                self.report.add(
+                    Finding(
+                        "MA-R02",
+                        f"ANY_SOURCE receive (tag={tag_sel}) found "
+                        f"{len(distinct)} staged messages from distinct "
+                        f"sources {distinct}; match order is arrival order",
+                        rank=rank,
+                        details=(("candidates", distinct),),
+                    )
+                )
+
+    def on_peer_failed(self, rank: int, peer: int) -> None:
+        with self._lock:
+            self._dead.add(peer)
+
+    # ------------------------------------------------------------- buffer checks
+
+    def _track_buffer(self, rank: int, req: Request) -> None:
+        """Overlap check (MA-R04) + in-flight registration; caller holds lock."""
+        buf = req.buf
+        if buf is None:
+            return
+        region = _Region(id(buf.base), buf.addr, buf.addr + buf.nbytes, req.kind, req.op_id)
+        for other in self._regions.setdefault(rank, []):
+            if (
+                other.base_id == region.base_id
+                and region.lo < other.hi
+                and other.lo < region.hi
+                and (RECV in (other.kind, region.kind))
+            ):
+                self.report.add(
+                    Finding(
+                        "MA-R04",
+                        f"{req.kind} op #{req.op_id} posted on bytes "
+                        f"[{region.lo}, {region.hi}) while {other.kind} op "
+                        f"#{other.op_id} on overlapping [{other.lo}, "
+                        f"{other.hi}) is still in flight",
+                        rank=rank,
+                        details=(("other_op", other.op_id),),
+                    )
+                )
+        self._regions[rank].append(region)
+        crc = zlib.crc32(bytes(buf.view())) if req.kind == SEND else None
+        req.on_complete.append(
+            lambda r, _rank=rank, _crc=crc: self._op_done(_rank, r, _crc)
+        )
+
+    def _op_done(self, rank: int, req: Request, crc: int | None) -> None:
+        with self._lock:
+            regions = self._regions.get(rank, [])
+            self._regions[rank] = [x for x in regions if x.op_id != req.op_id]
+            if (
+                crc is not None
+                and req.buf is not None
+                and req.status.error is None
+                and zlib.crc32(bytes(req.buf.view())) != crc
+            ):
+                self.report.add(
+                    Finding(
+                        "MA-R03",
+                        f"send op #{req.op_id} (dst={req.peer}, tag={req.tag}) "
+                        "buffer contents changed between post and completion",
+                        rank=rank,
+                    )
+                )
+
+    # ------------------------------------------------------------- wait-for graph
+
+    def on_wait_enter(self, rank: int, req: Request) -> None:
+        with self._lock:
+            self._blocked[rank] = req
+            self._raise_if_halted(rank)
+
+    def on_wait_tick(self, rank: int, req: Request) -> None:
+        """Called from the polling-wait every idle-spin backoff."""
+        with self._lock:
+            self._raise_if_halted(rank)
+            self._deadlock_check()
+            self._raise_if_halted(rank)
+
+    def on_wait_exit(self, rank: int, req: Request) -> None:
+        with self._lock:
+            self._blocked.pop(rank, None)
+
+    def _raise_if_halted(self, rank: int) -> None:
+        if self._deadlock is not None and self.halt_on_deadlock:
+            raise DeadlockError(
+                f"rank {rank}: halted by deadlock detector: "
+                f"{self._deadlock.message}",
+                finding=self._deadlock,
+            )
+
+    def _stuck_deps(self, rank: int, req: Request) -> set[int] | None:
+        """The ranks *rank* is waiting on, or None if it is not stuck."""
+        if req.kind == RECV:
+            rentry = self._recvs.get((rank, req.op_id))
+            if rentry is None or rentry.matched:
+                # completed, or matched with the data leg in progress —
+                # either way a peer's progress loop will finish it
+                return None
+            if any(
+                e.dst == rank
+                and e.comm_id == req.comm_id
+                and _tag_match(e.tag, req.tag)
+                and (req.peer == ANY_SOURCE or e.src == req.peer)
+                for e in self._sends.values()
+            ):
+                return None  # a matching send is already in flight
+            if req.peer == ANY_SOURCE:
+                deps = set(range(self.world_size)) - {rank} - self._dead
+                return deps or None
+            if req.peer in self._dead:
+                return None  # the failure path will complete it
+            return {req.peer}
+        entry = self._sends.get((rank, req.op_id))
+        if entry is None or not entry.rndv:
+            # consumed / accepted / eager: the peer's progress loop finishes it
+            return None
+        if entry.dst in self._dead:
+            return None
+        if any(
+            r.rank == entry.dst
+            and r.comm_id == entry.comm_id
+            and _tag_match(entry.tag, r.tag_sel)
+            and (r.src_sel == ANY_SOURCE or r.src_sel == rank)
+            for r in self._recvs.values()
+        ):
+            return None  # the peer has a matching receive posted
+        return {entry.dst}
+
+    def _deadlock_check(self) -> None:
+        if self._deadlock is not None:
+            return
+        deps: dict[int, set[int]] = {}
+        for rank, req in self._blocked.items():
+            d = self._stuck_deps(rank, req)
+            if d:
+                deps[rank] = d
+        # Knot extraction: drop any rank with a dependency that can still
+        # run (not blocked-stuck itself); what remains can never progress.
+        knot = set(deps)
+        changed = True
+        while changed:
+            changed = False
+            for r in list(knot):
+                if any(p not in knot for p in deps[r]):
+                    knot.discard(r)
+                    changed = True
+        if not knot:
+            return
+        cycle = self._extract_cycle(knot, deps)
+        blocked_calls = {}
+        for r in sorted(cycle):
+            desc = describe_request(self._blocked[r])
+            coll = self.in_collective.get(r)
+            blocked_calls[r] = f"{desc} in {coll}" if coll else desc
+        chain = " -> ".join(
+            f"rank {r} [{blocked_calls[r]}]" for r in cycle
+        ) + f" -> rank {cycle[0]}"
+        finding = Finding(
+            "MA-R01",
+            f"deadlock cycle across {len(cycle)} rank(s): {chain}",
+            details=(
+                ("ranks", sorted(cycle)),
+                ("blocked", blocked_calls),
+            ),
+        )
+        self.report.add(finding)
+        self._deadlock = finding
+
+    @staticmethod
+    def _extract_cycle(knot: set[int], deps: dict[int, set[int]]) -> list[int]:
+        """Walk successors inside the knot until a rank repeats."""
+        start = min(knot)
+        path: list[int] = []
+        seen: dict[int, int] = {}
+        r = start
+        while r not in seen:
+            seen[r] = len(path)
+            path.append(r)
+            r = min(p for p in deps[r] if p in knot)
+        return path[seen[r] :]
+
+    # ------------------------------------------------------------- pins
+
+    def on_pin(self, rank: int, slot: int) -> None:
+        with self._lock:
+            self._pins.setdefault(rank, {})[slot] = _PinRecord(slot, "pin")
+
+    def on_unpin(self, rank: int, slot: int) -> None:
+        with self._lock:
+            rec = self._pins.get(rank, {}).get(slot)
+            if rec is not None:
+                rec.released = True
+
+    def on_conditional_pin(self, rank: int, slot: int, is_active) -> None:
+        with self._lock:
+            self._pins.setdefault(rank, {})[slot] = _PinRecord(
+                slot, "conditional", is_active=is_active
+            )
+
+    def on_conditional_drop(self, rank: int, slot: int) -> None:
+        with self._lock:
+            rec = self._pins.get(rank, {}).get(slot)
+            if rec is not None:
+                rec.released = True
+
+    # ------------------------------------------------------------- finalize
+
+    def finalize_rank(self, rank: int) -> None:
+        """Post-run scan for rank-held leaks (MA-R05)."""
+        with self._lock:
+            for rec in self._pins.get(rank, {}).values():
+                if rec.released:
+                    continue
+                if rec.kind == "pin":
+                    self.report.add(
+                        Finding(
+                            "MA-R05",
+                            f"pin on handle slot {rec.slot} never released "
+                            "(unconditional pins must be unpinned by the caller)",
+                            rank=rank,
+                            details=(("slot", rec.slot), ("kind", "pin")),
+                        )
+                    )
+                elif rec.is_active is not None and rec.is_active():
+                    self.report.add(
+                        Finding(
+                            "MA-R05",
+                            f"conditional pin on handle slot {rec.slot} still "
+                            "active at finalize: its transport operation was "
+                            "abandoned in flight",
+                            rank=rank,
+                            details=(("slot", rec.slot), ("kind", "conditional")),
+                        )
+                    )
+
+
+class RankSanitizer:
+    """One rank's view: binds rank + clock, charges hook costs, delegates.
+
+    ``enabled=False`` is the A12 "attached but detached" configuration:
+    every hook returns immediately after the branch, so the overhead
+    ablation measures exactly the residue of carrying the hooks.
+    """
+
+    def __init__(self, core: Sanitizer, rank: int, clock=None, costs=None, enabled: bool = True) -> None:
+        self.core = core
+        self.rank = rank
+        self.clock = clock
+        self.costs = costs
+        self.enabled = enabled
+
+    @property
+    def report(self) -> Report:
+        return self.core.report
+
+    def _charge(self, ns: float) -> None:
+        if self.clock is not None:
+            self.clock.charge(ns)
+
+    # -- device hooks ------------------------------------------------------
+
+    def send_posted(self, req: Request, dst: int, rndv: bool) -> None:
+        if not self.enabled:
+            return
+        self._charge(self.costs.san_check_ns if self.costs else 0.0)
+        self.core.on_send_post(self.rank, req, dst, rndv)
+
+    def send_consumed(self, src: int, op_id: int) -> None:
+        if not self.enabled:
+            return
+        self.core.on_send_consumed(src, op_id)
+
+    def recv_posted(self, req: Request) -> None:
+        if not self.enabled:
+            return
+        self._charge(self.costs.san_check_ns if self.costs else 0.0)
+        self.core.on_recv_post(self.rank, req)
+
+    def recv_matched(self, req: Request, src: int) -> None:
+        if not self.enabled:
+            return
+        self.core.on_recv_matched(self.rank, req, src)
+
+    def wildcard_scan(self, tag_sel: int, comm_sel: int, sources: list[int]) -> None:
+        if not self.enabled:
+            return
+        self.core.on_wildcard_scan(self.rank, tag_sel, comm_sel, sources)
+
+    def peer_failed(self, peer: int) -> None:
+        if not self.enabled:
+            return
+        self.core.on_peer_failed(self.rank, peer)
+
+    # -- progress-engine hooks ---------------------------------------------
+
+    def wait_enter(self, req: Request) -> None:
+        if not self.enabled:
+            return
+        self.core.on_wait_enter(self.rank, req)
+
+    def wait_tick(self, req: Request) -> None:
+        if not self.enabled:
+            return
+        self._charge(self.costs.san_deadlock_check_ns if self.costs else 0.0)
+        self.core.on_wait_tick(self.rank, req)
+
+    def wait_exit(self, req: Request) -> None:
+        if not self.enabled:
+            return
+        self.core.on_wait_exit(self.rank, req)
+
+    # -- collective scope (report context) ---------------------------------
+
+    def collective(self, name: str | None) -> None:
+        if not self.enabled:
+            return
+        self.core.in_collective[self.rank] = name
+
+    # -- GC / pin-policy hooks ---------------------------------------------
+
+    def pinned(self, slot: int) -> None:
+        if not self.enabled:
+            return
+        self.core.on_pin(self.rank, slot)
+
+    def unpinned(self, slot: int) -> None:
+        if not self.enabled:
+            return
+        self.core.on_unpin(self.rank, slot)
+
+    def conditional_pinned(self, slot: int, is_active) -> None:
+        if not self.enabled:
+            return
+        self.core.on_conditional_pin(self.rank, slot, is_active)
+
+    def conditional_dropped(self, slot: int) -> None:
+        if not self.enabled:
+            return
+        self.core.on_conditional_drop(self.rank, slot)
+
+    def pin_decision(self, decision: str) -> None:
+        if not self.enabled:
+            return
+
+    def finalize(self) -> None:
+        if not self.enabled:
+            return
+        self.core.finalize_rank(self.rank)
+
+
+# ---------------------------------------------------------------------------
+# attachment (mirrors repro.obs.instrument)
+# ---------------------------------------------------------------------------
+
+
+def attach_engine(san: RankSanitizer, engine) -> None:
+    """Wire a rank's MPI stack (device, queues, progress) to its view."""
+    engine.san = san
+    engine.device.san = san
+    engine.device.queues.san = san
+    engine.progress.san = san
+
+
+def attach_gc(san: RankSanitizer, gc) -> None:
+    gc.san = san
+
+
+def attach_vm(san: RankSanitizer, vm) -> None:
+    """Extend over a Motor VM session: collector + pinning policy."""
+    attach_gc(san, vm.runtime.gc)
+    vm.policy.san = san
+
+
+def detach_engine(engine) -> None:
+    engine.san = None
+    engine.device.san = None
+    engine.device.queues.san = None
+    engine.progress.san = None

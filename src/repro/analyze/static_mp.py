@@ -1,0 +1,367 @@
+"""Static pass: System.MP call-site checking over IL assemblies.
+
+A richer abstract interpretation than the baseline verifier: where the
+verifier tracks only verification types (``I``/``F``/``O``/``?``), this
+pass flows *values* — integer constants, the class or element type behind
+a ``newobj``/``newarr`` reference — through stack, locals and args so it
+can see what actually reaches each ``MP.*`` ``callintern``:
+
+* **MA-S01** — a reference-bearing class (or reference-array) reaches a
+  raw transfer's buffer argument.  The binding would raise
+  ``ObjectModelViolation`` at run time (§4.2.1); the object transport
+  (``MP.OSend``/``MP.ORecv``) is the fix.
+* **MA-S02** — the site disagrees with the declared call-signature table
+  (:data:`repro.motor.system_mp.MP_CALLSIGS`): wrong arity, wrong use of
+  the return value, or an argument of the wrong kind.
+* **MA-S03** — a send whose tag (and peer, when a world size is given)
+  can never be matched by any receive in the assembly.
+* **MA-S04** — a ``callintern`` naming an ``MP.*`` internal that does not
+  exist.
+* **MA-S00** — the method failed baseline IL verification; its sites were
+  not checked.
+
+The pass is conservative: a value that is statically unknown (merge of
+two control paths, method parameter, field load) is compatible with
+everything, so clean programs stay clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analyze.findings import Finding, Report, finding_from_diagnostic
+from repro.il.assembly import Assembly, ILMethod
+from repro.il.opcodes import OPCODES, T_FLOAT, T_INT, T_OBJ
+from repro.il.verifier import VerifyError, parse_intern, verify_method
+from repro.motor.system_mp import (
+    KIND_BUFFER,
+    KIND_INT,
+    MP_CALLSIGS,
+)
+from repro.mp.matching import ANY_SOURCE, ANY_TAG
+from repro.runtime.typesys import PRIMITIVES
+
+#: Abstract value: (verification type, info).  info is one of
+#: ``("const", int)``, ``("class", name)``, ``("array", elem)``,
+#: ``("handle",)``, ``("null",)`` or None (statically unknown).
+_UNKNOWN = ("?", None)
+
+_SEND_OPS = {"MP.Send", "MP.Ssend", "MP.Isend", "MP.OSend"}
+_RECV_OPS = {"MP.Recv", "MP.Irecv", "MP.ORecv"}
+
+
+@dataclass
+class MPSite:
+    """One MP.* call site with its statically-resolved arguments."""
+
+    method: str
+    pc: int
+    name: str
+    #: const ints (or None when unknown) for the peer/tag positions
+    peer: int | None
+    tag: int | None
+
+
+def _merge_value(a, b):
+    if a == b:
+        return a
+    vt = a[0] if a[0] == b[0] else "?"
+    return (vt, None)
+
+
+def _class_ref_fields(asm: Assembly, cname: str) -> bool:
+    """Does class *cname* (declared in *asm*) carry reference fields?"""
+    cls = asm.classes.get(cname)
+    if cls is None:
+        return False
+    return any(ftype not in PRIMITIVES for _fn, ftype, _tr in cls.fields)
+
+
+def _buffer_violation(asm: Assembly, info) -> str | None:
+    """A human message if *info* names a reference-bearing buffer."""
+    if info is None:
+        return None
+    if info[0] == "class":
+        if info[1] not in asm.classes and info[1] not in PRIMITIVES:
+            return None
+        if _class_ref_fields(asm, info[1]):
+            return f"instance of {info[1]!r} has reference fields"
+        return None
+    if info[0] == "array" and info[1] not in PRIMITIVES:
+        return f"array of reference type {info[1]!r}"
+    return None
+
+
+def _kind_ok(kind: str, value) -> bool:
+    vt = value[0]
+    if vt == "?":
+        return True
+    if kind == KIND_INT:
+        return vt == T_INT
+    # buffers, object-graph arguments and handles are all references
+    return vt == T_OBJ
+
+
+class _MethodAnalysis:
+    """Forward abstract interpretation of one verified method."""
+
+    def __init__(self, asm: Assembly, method: ILMethod, report: Report) -> None:
+        self.asm = asm
+        self.method = method
+        self.report = report
+        self.sites: dict[int, MPSite] = {}
+
+    def _finding(self, rule: str, pc: int, message: str, **details) -> None:
+        self.report.add(
+            Finding(
+                rule=rule,
+                message=message,
+                assembly=self.asm.name,
+                method=self.method.name,
+                pc=pc,
+                details=tuple(sorted(details.items())),
+            )
+        )
+
+    # -- the MP.* call-site check --------------------------------------------
+
+    def _check_mp_site(self, pc: int, name: str, arity: int, returns: bool, args) -> tuple:
+        """Check one MP callintern; returns the abstract result value."""
+        sig = MP_CALLSIGS.get(name)
+        if sig is None:
+            self._finding(
+                "MA-S04", pc, f"unknown System.MP internal {name!r}", name=name
+            )
+            return _UNKNOWN
+        if arity != len(sig.args) or returns != sig.returns:
+            self._finding(
+                "MA-S02",
+                pc,
+                f"{name} declared as {name}/{arity}{':r' if returns else ''}, "
+                f"signature is {sig.intern} ({sig.doc})",
+                declared=f"{name}/{arity}{':r' if returns else ''}",
+                expected=sig.intern,
+            )
+            return _UNKNOWN
+        for i, (kind, value) in enumerate(zip(sig.args, args)):
+            if not _kind_ok(kind, value):
+                self._finding(
+                    "MA-S02",
+                    pc,
+                    f"{name} argument {i} expects kind {kind!r}, "
+                    f"found verification type {value[0]!r}",
+                    argument=i,
+                    kind=kind,
+                )
+            elif kind == KIND_BUFFER:
+                why = _buffer_violation(self.asm, value[1])
+                if why is not None:
+                    self._finding(
+                        "MA-S01",
+                        pc,
+                        f"{name} buffer argument: {why}; use the O-prefixed "
+                        "object transport instead",
+                        buffer=str(value[1]),
+                    )
+
+        # record the site for whole-assembly send/recv matching (MA-S03)
+        if name in _SEND_OPS or name in _RECV_OPS:
+            peer_at = 1 if name != "MP.ORecv" else 0
+            peer = args[peer_at][1]
+            tag = args[peer_at + 1][1]
+            self.sites[pc] = MPSite(
+                self.method.name,
+                pc,
+                name,
+                peer[1] if peer is not None and peer[0] == "const" else None,
+                tag[1] if tag is not None and tag[0] == "const" else None,
+            )
+
+        if not sig.returns:
+            return _UNKNOWN
+        if name in ("MP.Isend", "MP.Irecv"):
+            return (T_OBJ, ("handle",))
+        if name in ("MP.ORecv", "MP.OBcast"):
+            return (T_OBJ, None)
+        return (T_INT, None)
+
+    # -- the interpreter -------------------------------------------------------
+
+    def run(self) -> None:
+        method = self.method
+        code = method.code
+        n = len(code)
+        init = (
+            (),
+            tuple(_UNKNOWN for _ in range(method.nlocals)),
+            tuple(_UNKNOWN for _ in range(method.nparams)),
+        )
+        states: dict[int, tuple] = {0: init}
+        work = [0]
+
+        def flow_to(pc: int, state: tuple) -> None:
+            prev = states.get(pc)
+            if prev is None:
+                states[pc] = state
+                work.append(pc)
+                return
+            merged = tuple(
+                tuple(_merge_value(a, b) for a, b in zip(ps, ns))
+                for ps, ns in zip(prev, state)
+            )
+            if merged != prev:
+                states[pc] = merged
+                work.append(pc)
+
+        while work:
+            pc = work.pop()
+            stack_t, locals_t, args_t = states[pc]
+            stack = list(stack_t)
+            locs = list(locals_t)
+            argv = list(args_t)
+            instr = code[pc]
+            op = instr.op
+            spec = OPCODES[op]
+
+            if op == "ret":
+                continue
+            if op == "ldc.i4":
+                stack.append((T_INT, ("const", instr.operand)))
+            elif op == "ldc.r8":
+                stack.append((T_FLOAT, None))
+            elif op == "ldnull":
+                stack.append((T_OBJ, ("null",)))
+            elif op == "ldloc":
+                stack.append(locs[instr.operand])
+            elif op == "stloc":
+                locs[instr.operand] = stack.pop()
+            elif op == "ldarg":
+                stack.append(argv[instr.operand])
+            elif op == "starg":
+                argv[instr.operand] = stack.pop()
+            elif op == "dup":
+                stack.append(stack[-1])
+            elif op == "newobj":
+                stack.append((T_OBJ, ("class", instr.operand)))
+            elif op == "newarr":
+                stack.pop()
+                stack.append((T_OBJ, ("array", instr.operand)))
+            elif op == "call":
+                callee = self.asm.methods[instr.operand]
+                if callee.nparams:
+                    del stack[len(stack) - callee.nparams :]
+                if callee.returns:
+                    stack.append(_UNKNOWN)
+            elif op == "callintern":
+                name, arity, returns = parse_intern(instr.operand)
+                call_args = tuple(stack[len(stack) - arity :]) if arity else ()
+                if arity:
+                    del stack[len(stack) - arity :]
+                if name.startswith("MP."):
+                    result = self._check_mp_site(pc, name, arity, returns, call_args)
+                    if returns:
+                        stack.append(result)
+                elif returns:
+                    stack.append(_UNKNOWN)
+            else:
+                if spec.pops:
+                    del stack[len(stack) - len(spec.pops) :]
+                for p in spec.pushes:
+                    if p == T_INT:
+                        stack.append((T_INT, None))
+                    elif p == T_FLOAT:
+                        stack.append((T_FLOAT, None))
+                    elif p == T_OBJ:
+                        stack.append((T_OBJ, None))
+                    else:  # "?" or NUMERIC
+                        stack.append(_UNKNOWN)
+
+            out = (tuple(stack), tuple(locs), tuple(argv))
+            if op == "switch":
+                for label in str(instr.operand).split(","):
+                    flow_to(method.labels[label.strip()], out)
+                flow_to(pc + 1, out)
+                continue
+            if spec.is_branch:
+                flow_to(method.labels[instr.operand], out)
+                if op == "br":
+                    continue
+            if pc + 1 < n:
+                flow_to(pc + 1, out)
+
+
+def _tag_compatible(send_tag: int | None, recv_tag: int | None) -> bool:
+    if send_tag is None or recv_tag is None:
+        return True
+    return recv_tag == ANY_TAG or recv_tag == send_tag
+
+
+def _match_sites(sites: list[MPSite], asm: Assembly, world_size: int | None, report: Report) -> None:
+    sends = [s for s in sites if s.name in _SEND_OPS]
+    recvs = [s for s in sites if s.name in _RECV_OPS]
+    for s in sends:
+        if world_size is not None and s.peer is not None and not (
+            0 <= s.peer < world_size
+        ):
+            report.add(
+                Finding(
+                    "MA-S03",
+                    f"{s.name} to peer {s.peer} outside world 0..{world_size - 1}",
+                    assembly=asm.name,
+                    method=s.method,
+                    pc=s.pc,
+                )
+            )
+            continue
+        if not any(_tag_compatible(s.tag, r.tag) for r in recvs):
+            report.add(
+                Finding(
+                    "MA-S03",
+                    f"{s.name} with tag {s.tag} has no receive in the assembly "
+                    "with a compatible tag",
+                    assembly=asm.name,
+                    method=s.method,
+                    pc=s.pc,
+                    details=(("tag", s.tag),),
+                )
+            )
+    for r in recvs:
+        if (
+            world_size is not None
+            and r.peer is not None
+            and r.peer != ANY_SOURCE
+            and not (0 <= r.peer < world_size)
+        ):
+            report.add(
+                Finding(
+                    "MA-S03",
+                    f"{r.name} from peer {r.peer} outside world 0..{world_size - 1}",
+                    assembly=asm.name,
+                    method=r.method,
+                    pc=r.pc,
+                )
+            )
+
+
+def analyze_assembly(
+    asm: Assembly, world_size: int | None = None, report: Report | None = None
+) -> Report:
+    """Run the static System.MP pass over every method of *asm*.
+
+    Methods failing baseline IL verification are reported as MA-S00 and
+    skipped.  When *world_size* is given, constant peers are also checked
+    against the world's rank range.
+    """
+    report = report if report is not None else Report()
+    sites: list[MPSite] = []
+    for m in asm.methods.values():
+        try:
+            verify_method(asm, m)
+        except VerifyError as exc:
+            report.add(finding_from_diagnostic(exc.diagnostic, "MA-S00"))
+            continue
+        analysis = _MethodAnalysis(asm, m, report)
+        analysis.run()
+        sites.extend(analysis.sites.values())
+    _match_sites(sites, asm, world_size, report)
+    return report

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import struct
 
-from repro.runtime.errors import ObjectModelViolation
 from repro.runtime.handles import ObjRef
 from repro.runtime.typesys import ARRAY_DATA_OFFSET, MethodTable
 from repro.simtime import HostProfile

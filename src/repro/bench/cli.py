@@ -20,6 +20,12 @@ from repro.bench.report import build_report, render_claims, run_experiment
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "analyze":
+        # `python -m repro.bench analyze ...` == `python -m repro.analyze ...`
+        from repro.analyze.cli import main as analyze_main
+
+        return analyze_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the Motor paper's evaluation figures.",
@@ -29,7 +35,8 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(EXPERIMENTS) + ["all", "report", "write-experiments", "metrics"],
         help="which experiment to run (or 'all' / 'report' / "
         "'write-experiments' to refresh EXPERIMENTS.md's data section, or "
-        "'metrics' for an instrumented ping-pong with a merged pvar report)",
+        "'metrics' for an instrumented ping-pong with a merged pvar report; "
+        "'analyze ...' forwards to the Motor analyzer CLI)",
     )
     parser.add_argument(
         "--paper",

@@ -449,6 +449,45 @@ def ablate_obs(quick: bool = True, channel: str = "sock") -> SeriesSet:
     return out
 
 
+def ablate_sanitize(quick: bool = True, channel: str = "sock") -> SeriesSet:
+    """A12: the runtime sanitizer's cost on the fast path.
+
+    Same three-way shape as A11: no sanitizer, sanitizer attached but
+    disabled (every ``san is not None`` guard is crossed and every rank
+    view early-returns), and full checking (registry updates, CRC
+    snapshots, wait-for-graph sweeps on idle waits).  The claim the
+    acceptance criteria bound is the middle column: a detached/disabled
+    sanitizer must price within 1% of the baseline, so the hooks can
+    stay compiled into the device and progress engine permanently.
+    """
+    sizes = [4, 1024, 65536, 262144] if quick else FIG9_SIZES
+    out = SeriesSet(
+        experiment="ablate-sanitize",
+        title="Runtime sanitizer overhead on the ping-pong fast path (native)",
+        x_label="bytes",
+        y_label="time per iteration (us)",
+    )
+    for label, sanitize in (
+        ("baseline", None),
+        ("san-disabled", "disabled"),
+        ("san-enabled", "enabled"),
+    ):
+        out.add(
+            label,
+            sweep_buffer_pingpong(
+                "cpp", sizes, channel=channel, sanitize=sanitize,
+                **_protocol(quick),
+            ),
+        )
+    out.notes.append(
+        "disabled rank views early-return before touching the shared core, "
+        "so the residue is one attribute test plus one enabled test per "
+        "message event; enabled runs pay registry locking, CRC snapshots "
+        "and a deadlock sweep each idle-wait backoff"
+    )
+    return out
+
+
 #: experiment registry: id -> (title, callable)
 EXPERIMENTS = {
     "fig9": ("Figure 9: regular MPI ping-pong", figure9),
@@ -464,4 +503,5 @@ EXPERIMENTS = {
     "ablate-interconnect": ("A9: interconnect port (future work)", ablate_interconnect),
     "ablate-reliability": ("A10: reliability sublayer overhead", ablate_reliability),
     "ablate-obs": ("A11: observability layer overhead", ablate_obs),
+    "ablate-sanitize": ("A12: runtime sanitizer overhead", ablate_sanitize),
 }

@@ -326,6 +326,28 @@ def check_ablate_obs(s: SeriesSet) -> list[ClaimResult]:
     ]
 
 
+def check_ablate_sanitize(s: SeriesSet) -> list[ClaimResult]:
+    base = s.series["baseline"]
+    disabled = s.series["san-disabled"]
+    enabled = s.series["san-enabled"]
+    off = mean(disabled[x] / base[x] for x in s.xs())
+    on = mean(enabled[x] / base[x] for x in s.xs())
+    return [
+        ClaimResult(
+            claim="a detached (disabled) sanitizer is free on the fast path",
+            paper="analyzer extension: inert san hooks cost <=1% on the Figure 9 ping-pong",
+            measured=f"disabled/baseline mean ratio {off:.3f}x",
+            holds=off <= 1.01,
+        ),
+        ClaimResult(
+            claim="full checking stays in the same order of magnitude",
+            paper="analyzer extension: enabled checking costs <=50% on the ping-pong",
+            measured=f"enabled/baseline mean ratio {on:.3f}x",
+            holds=on <= 1.50,
+        ),
+    ]
+
+
 CHECKS: dict[str, Callable[[SeriesSet], list[ClaimResult]]] = {
     "fig9": check_fig9,
     "fig10": check_fig10,
@@ -340,6 +362,7 @@ CHECKS: dict[str, Callable[[SeriesSet], list[ClaimResult]]] = {
     "ablate-interconnect": check_ablate_interconnect,
     "ablate-reliability": check_ablate_reliability,
     "ablate-obs": check_ablate_obs,
+    "ablate-sanitize": check_ablate_sanitize,
 }
 
 

@@ -13,6 +13,18 @@ functionality such as dynamic process management and dynamic
 intercommunication routines").
 """
 
-from repro.cluster.world import RankContext, World, mpiexec, mpiexec_observed
+from repro.cluster.world import (
+    RankContext,
+    World,
+    mpiexec,
+    mpiexec_observed,
+    mpiexec_sanitized,
+)
 
-__all__ = ["World", "RankContext", "mpiexec", "mpiexec_observed"]
+__all__ = [
+    "World",
+    "RankContext",
+    "mpiexec",
+    "mpiexec_observed",
+    "mpiexec_sanitized",
+]

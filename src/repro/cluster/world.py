@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.mp.channels import FABRICS, FaultPlan, FaultyFabric
@@ -26,6 +26,8 @@ class RankContext:
     session: Any = None
     #: the rank's Instrumentation when the world was built with observe=...
     obs: Any = None
+    #: the rank's RankSanitizer when the world was built with sanitize=...
+    san: Any = None
 
     @property
     def size(self) -> int:
@@ -65,6 +67,8 @@ class World:
         reliable: bool | None = None,
         reliability_opts: dict | None = None,
         observe: str | None = None,
+        sanitize: str | None = None,
+        halt_on_deadlock: bool = True,
     ) -> None:
         if size < 1:
             raise ValueError("world size must be >= 1")
@@ -74,6 +78,8 @@ class World:
             raise ValueError(f"unknown clock mode {clock_mode!r}")
         if observe not in (None, "disabled", "enabled"):
             raise ValueError(f"unknown observe mode {observe!r}")
+        if sanitize not in (None, "disabled", "enabled"):
+            raise ValueError(f"unknown sanitize mode {sanitize!r}")
         self.size = size
         self.channel_name = channel
         self.clock_mode = clock_mode
@@ -87,6 +93,14 @@ class World:
         #: the A11 overhead configuration) or "enabled" (full recording)
         self.observe = observe
         self._insts: dict[int, Any] = {}
+        #: None (no hooks), "disabled" (hooks attached but inert — the A12
+        #: overhead configuration) or "enabled" (full checking)
+        self.sanitize = sanitize
+        self.sanitizer: Any = None
+        if sanitize is not None:
+            from repro.analyze import Sanitizer
+
+            self.sanitizer = Sanitizer(size, halt_on_deadlock=halt_on_deadlock)
         self.fabric = FABRICS[channel](size)
         if fault_plan is not None:
             self.fabric = FaultyFabric(self.fabric, fault_plan)
@@ -132,7 +146,20 @@ class World:
             clock=self.clock_for(rank),
         )
         self._attach_obs(ctx)
+        self._attach_san(ctx)
         return ctx
+
+    def _attach_san(self, ctx: RankContext) -> None:
+        if self.sanitizer is None:
+            return
+        from repro.analyze import attach_engine as san_attach_engine
+
+        san = self.sanitizer.rank_view(
+            ctx.rank, clock=ctx.clock, costs=self.costs,
+            enabled=(self.sanitize == "enabled"),
+        )
+        san_attach_engine(san, ctx.engine)
+        ctx.san = san
 
     def _attach_obs(self, ctx: RankContext) -> None:
         if self.observe is None:
@@ -224,9 +251,11 @@ class World:
                     remote_group=parent_group,
                 )
                 self._attach_obs(ctx)
+                self._attach_san(ctx)
                 if session_factory is not None:
                     ctx.session = session_factory(ctx)
                     _observe_session(ctx)
+                    _sanitize_session(ctx)
                 t = _RankThread(f"spawned-{r}", _draining(self, child_main), ctx)
                 self._spawned_threads.append(t)
                 t.start()
@@ -329,6 +358,16 @@ def _observe_session(ctx: RankContext) -> None:
         attach_vm(ctx.obs, ctx.session)
 
 
+def _sanitize_session(ctx: RankContext) -> None:
+    """Extend a rank's sanitizer over its session layer (Motor VM)."""
+    if ctx.san is None or ctx.session is None:
+        return
+    if hasattr(ctx.session, "runtime") and hasattr(ctx.session, "policy"):
+        from repro.analyze import attach_vm as san_attach_vm
+
+        san_attach_vm(ctx.san, ctx.session)
+
+
 def _draining(world: World, main: Callable[[RankContext], Any]) -> Callable[[RankContext], Any]:
     """Wrap a rank main so it drains the reliability window before exiting."""
 
@@ -337,6 +376,10 @@ def _draining(world: World, main: Callable[[RankContext], Any]) -> Callable[[Ran
             return main(ctx)
         finally:
             world.quiesce(ctx.rank, ctx.engine)
+            if ctx.san is not None:
+                # post-drain leak scan (MA-R05): anything still pinned or
+                # in flight now was abandoned by the application
+                ctx.san.finalize()
 
     return run
 
@@ -354,6 +397,8 @@ def mpiexec(
     reliable: bool | None = None,
     reliability_opts: dict | None = None,
     observe: str | None = None,
+    sanitize: str | None = None,
+    halt_on_deadlock: bool = True,
 ) -> list[Any]:
     """Launch ``n`` ranks running ``main`` and return their results by rank.
 
@@ -367,11 +412,29 @@ def mpiexec(
     ``observe`` attaches the repro.obs instrumentation to every rank:
     ``"enabled"`` records, ``"disabled"`` attaches inert hooks (the A11
     overhead configuration), ``None`` leaves the stack untouched.
+
+    ``sanitize`` attaches the repro.analyze runtime sanitizer the same
+    way: ``"enabled"`` checks, ``"disabled"`` attaches inert hooks (the
+    A12 overhead configuration), ``None`` leaves the stack untouched.
+    When a deadlock knot is confirmed the blocked ranks raise
+    :class:`repro.analyze.DeadlockError` (unless ``halt_on_deadlock`` is
+    False, in which case the finding is recorded and the wait continues).
     """
     world = World(n, channel=channel, clock_mode=clock_mode, costs=costs,
                   eager_threshold=eager_threshold, fault_plan=fault_plan,
                   reliable=reliable, reliability_opts=reliability_opts,
-                  observe=observe)
+                  observe=observe, sanitize=sanitize,
+                  halt_on_deadlock=halt_on_deadlock)
+    return _launch(world, n, main, session_factory, timeout)
+
+
+def _launch(
+    world: World,
+    n: int,
+    main: Callable[[RankContext], Any],
+    session_factory: Callable[[RankContext], Any] | None,
+    timeout: float,
+) -> list[Any]:
     threads: list[_RankThread] = []
     try:
         for rank in range(n):
@@ -379,6 +442,7 @@ def mpiexec(
             if session_factory is not None:
                 ctx.session = session_factory(ctx)
                 _observe_session(ctx)
+                _sanitize_session(ctx)
             threads.append(_RankThread(f"rank-{rank}", _draining(world, main), ctx))
         for t in threads:
             t.start()
@@ -394,6 +458,32 @@ def mpiexec(
         if t.error is not None:
             raise t.error
     return [t.result for t in threads]
+
+
+def mpiexec_sanitized(
+    n: int,
+    main: Callable[[RankContext], Any],
+    sanitize: str = "enabled",
+    halt_on_deadlock: bool = True,
+    timeout: float = 120.0,
+    session_factory: Callable[[RankContext], Any] | None = None,
+    **kw: Any,
+) -> tuple[list[Any] | None, Any]:
+    """Run ``main`` under the runtime sanitizer; returns ``(results, report)``.
+
+    A confirmed deadlock does not propagate: the blocked ranks' raises are
+    swallowed, ``results`` comes back as ``None`` and the MA-R01 finding
+    (plus anything else recorded) is in the report.  Other rank errors
+    re-raise as with :func:`mpiexec`.
+    """
+    from repro.analyze import DeadlockError
+
+    world = World(n, sanitize=sanitize, halt_on_deadlock=halt_on_deadlock, **kw)
+    try:
+        results = _launch(world, n, main, session_factory, timeout)
+    except DeadlockError:
+        results = None
+    return results, world.sanitizer.report
 
 
 def mpiexec_observed(

@@ -22,12 +22,13 @@ face of the FCall mechanism.
 from repro.il.assembler import AssembleError, assemble
 from repro.il.assembly import Assembly, ILMethod
 from repro.il.engine import ExecutionEngine, ILRuntimeError
-from repro.il.verifier import VerifyError, verify_assembly, verify_method
+from repro.il.verifier import Diagnostic, VerifyError, verify_assembly, verify_method
 
 __all__ = [
     "assemble",
     "AssembleError",
     "Assembly",
+    "Diagnostic",
     "ILMethod",
     "ExecutionEngine",
     "ILRuntimeError",

@@ -19,15 +19,34 @@ engines refuse unverified methods unless explicitly asked.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.il.assembly import Assembly, ILMethod
 from repro.il.opcodes import NUMERIC, OPCODES, T_FLOAT, T_INT, T_OBJ
 
 
+@dataclass(frozen=True)
+class Diagnostic:
+    """A verification diagnostic as data (consumed by ``repro.analyze``)."""
+
+    assembly: str
+    method: str
+    pc: int
+    message: str
+    rule: str = "IL-VERIFY"
+
+    def __str__(self) -> str:
+        where = f"{self.assembly}::{self.method}" if self.assembly else self.method
+        return f"{where}@{self.pc}: {self.message}"
+
+
 class VerifyError(Exception):
-    def __init__(self, method: str, pc: int, message: str) -> None:
-        super().__init__(f"{method}@{pc}: {message}")
+    def __init__(self, method: str, pc: int, message: str, assembly: str = "") -> None:
+        self.diagnostic = Diagnostic(assembly, method, pc, message)
+        super().__init__(str(self.diagnostic))
         self.method = method
         self.pc = pc
+        self.assembly = assembly
 
 
 def parse_intern(operand: str) -> tuple[str, int, bool]:
@@ -55,6 +74,17 @@ def _compat(have: str, want: str) -> bool:
 
 def verify_method(asm: Assembly, method: ILMethod) -> None:
     """Raise :class:`VerifyError` unless the method is well-formed."""
+    try:
+        _verify_method(asm, method)
+    except VerifyError as exc:
+        if not exc.assembly:
+            raise VerifyError(
+                exc.method, exc.pc, exc.diagnostic.message, assembly=asm.name
+            ) from None
+        raise
+
+
+def _verify_method(asm: Assembly, method: ILMethod) -> None:
     code = method.code
     n = len(code)
     if n == 0:

@@ -26,7 +26,14 @@ the paper claims:
 from repro.motor.buffers import BufferPool
 from repro.motor.pinpolicy import PinDecision, PinningPolicy
 from repro.motor.serialization import MotorSerializer, SerializationError
-from repro.motor.system_mp import MotorCommunicator, MotorRequest, MPStatus
+from repro.motor.system_mp import (
+    MP_CALLSIGS,
+    MotorCommunicator,
+    MotorRequest,
+    MPCallSig,
+    MPStatus,
+    register_mp_internals,
+)
 from repro.motor.vm import MotorVM, motor_session
 
 __all__ = [
@@ -35,6 +42,9 @@ __all__ = [
     "MotorCommunicator",
     "MotorRequest",
     "MPStatus",
+    "MPCallSig",
+    "MP_CALLSIGS",
+    "register_mp_internals",
     "PinningPolicy",
     "PinDecision",
     "MotorSerializer",

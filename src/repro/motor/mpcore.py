@@ -27,7 +27,6 @@ from repro.mp.buffers import BufferDesc
 from repro.mp.communicator import Communicator
 from repro.mp.datatypes import Datatype
 from repro.mp.errors import MpiError
-from repro.mp.matching import ANY_SOURCE
 from repro.mp.mpi import MpiEngine
 from repro.mp.request import Request
 from repro.mp.status import Status

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Callable
 
-from repro.runtime.gcollector import ConditionalPin, PinCookie
+from repro.runtime.gcollector import PinCookie
 from repro.runtime.handles import ObjRef
 
 
@@ -59,6 +59,9 @@ class PinningPolicy:
         #: observability hook (repro.obs); PinPolicyStats is exported as
         #: pull-model pvars (gc.pins.checks, gc.pins.deferred_taken, ...)
         self.obs = None
+        #: sanitizer hook (repro.analyze); decisions feed the leak scan's
+        #: context (unconditional pins are the caller-must-unpin hazard)
+        self.san = None
 
     # -- the generation test ---------------------------------------------------
 
@@ -74,11 +77,15 @@ class PinningPolicy:
         """Decide at operation start, *before* any safepoint."""
         if not self.enabled:
             self.stats.unconditional_pins += 1
+            if self.san is not None:
+                self.san.pin_decision("pin-now")
             return PinDecision.PIN_NOW
         if not self._is_young(ref):
             self.stats.elder_skips += 1
             return PinDecision.NO_PIN
         self.stats.deferred += 1
+        if self.san is not None:
+            self.san.pin_decision("defer")
         return PinDecision.DEFER
 
     def on_enter_wait(self, decision: PinDecision, ref: ObjRef) -> PinCookie | None:
@@ -105,6 +112,8 @@ class PinningPolicy:
             # Without the policy the only safe discipline is to pin now and
             # leave release to the caller (the leak hazard of §2.3).
             self.stats.unconditional_pins += 1
+            if self.san is not None:
+                self.san.pin_decision("pin-now")
             return self.runtime.gc.pin(ref)
         if not self._is_young(ref):
             self.stats.elder_skips += 1

@@ -41,7 +41,6 @@ from repro.runtime.errors import ObjectModelViolation
 from repro.runtime.handles import ObjRef
 from repro.runtime.typesys import (
     ARRAY_DATA_OFFSET,
-    PRIMITIVES,
     MethodTable,
 )
 

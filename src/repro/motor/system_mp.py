@@ -16,7 +16,8 @@ The extended object-oriented operations carry the ``O`` prefix
 
 from __future__ import annotations
 
-from typing import Any
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.motor.mpcore import MessagePassingCore, NativeRequestHandle
 from repro.mp.communicator import Communicator
@@ -254,3 +255,98 @@ class MotorCommunicator:
 
     def __repr__(self) -> str:
         return f"<System.MP.Communicator rank={self.Rank} size={self.Size}>"
+
+
+# ---------------------------------------------------------------------------
+# The MPDirect InternalCall surface: what managed IL reaches through
+# ``callintern`` (Figure 8's FCall gate), plus the declared call-signature
+# table the static analyzer (repro.analyze.static_mp) checks sites against.
+# ---------------------------------------------------------------------------
+
+#: Argument kind codes for :class:`MPCallSig`:
+#:
+#: * ``I`` — int scalar (rank, tag, root)
+#: * ``B`` — message buffer: a reference-free single object or primitive
+#:   array (the §4.2.1 integrity rule; reference-bearing objects must use
+#:   the ``O``-prefixed transport)
+#: * ``A`` — any managed object (the object-graph transport serializes it)
+#: * ``H`` — native request handle returned by Isend/Irecv
+KIND_INT = "I"
+KIND_BUFFER = "B"
+KIND_ANY_OBJECT = "A"
+KIND_HANDLE = "H"
+
+
+@dataclass(frozen=True)
+class MPCallSig:
+    """Declared signature of one System.MP internal call."""
+
+    name: str
+    args: tuple[str, ...]
+    returns: bool
+    doc: str = ""
+
+    @property
+    def intern(self) -> str:
+        """The ``callintern`` operand spelling (``name/arity[:r]``)."""
+        suffix = ":r" if self.returns else ""
+        return f"{self.name}/{len(self.args)}{suffix}"
+
+
+def _sigs(*sigs: MPCallSig) -> dict[str, MPCallSig]:
+    return {s.name: s for s in sigs}
+
+
+#: Every System.MP internal, keyed by name.  ``repro.analyze`` rejects
+#: ``MP.*`` call sites that disagree with this table (rule MA-S02) and
+#: unknown ``MP.*`` names outright (rule MA-S04).
+MP_CALLSIGS: dict[str, MPCallSig] = _sigs(
+    MPCallSig("MP.Rank", (), True, "this rank in COMM_WORLD"),
+    MPCallSig("MP.Size", (), True, "number of ranks"),
+    MPCallSig("MP.Send", (KIND_BUFFER, KIND_INT, KIND_INT), False, "Send(buf, dest, tag)"),
+    MPCallSig("MP.Ssend", (KIND_BUFFER, KIND_INT, KIND_INT), False, "Ssend(buf, dest, tag)"),
+    MPCallSig("MP.Recv", (KIND_BUFFER, KIND_INT, KIND_INT), True, "Recv(buf, source, tag) -> count"),
+    MPCallSig("MP.Isend", (KIND_BUFFER, KIND_INT, KIND_INT), True, "Isend(buf, dest, tag) -> handle"),
+    MPCallSig("MP.Irecv", (KIND_BUFFER, KIND_INT, KIND_INT), True, "Irecv(buf, source, tag) -> handle"),
+    MPCallSig("MP.Wait", (KIND_HANDLE,), False, "Wait(handle)"),
+    MPCallSig("MP.Test", (KIND_HANDLE,), True, "Test(handle) -> 0|1"),
+    MPCallSig("MP.Barrier", (), False, "Barrier()"),
+    MPCallSig("MP.Bcast", (KIND_BUFFER, KIND_INT), False, "Bcast(buf, root)"),
+    MPCallSig("MP.OSend", (KIND_ANY_OBJECT, KIND_INT, KIND_INT), False, "OSend(obj, dest, tag)"),
+    MPCallSig("MP.ORecv", (KIND_INT, KIND_INT), True, "ORecv(source, tag) -> obj"),
+    MPCallSig("MP.OBcast", (KIND_ANY_OBJECT, KIND_INT), True, "OBcast(obj, root) -> obj"),
+)
+
+
+def register_mp_internals(vm) -> dict[str, Callable]:
+    """The ``callintern`` dispatch table for System.MP.
+
+    Returns a dict suitable for :class:`repro.il.ExecutionEngine`'s
+    ``internals`` argument, binding each ``MP.*`` name to the managed
+    communicator of *vm*'s COMM_WORLD.  Managed code sees exactly the
+    surface declared in :data:`MP_CALLSIGS`.
+    """
+    comm: MotorCommunicator = vm.comm_world
+
+    def mp_recv(buf, source: int, tag: int) -> int:
+        return comm.Recv(buf, source, tag).count
+
+    def mp_wait(handle: MotorRequest) -> None:
+        handle.Wait()
+
+    return {
+        "MP.Rank": lambda: comm.Rank,
+        "MP.Size": lambda: comm.Size,
+        "MP.Send": comm.Send,
+        "MP.Ssend": comm.Ssend,
+        "MP.Recv": mp_recv,
+        "MP.Isend": comm.Isend,
+        "MP.Irecv": comm.Irecv,
+        "MP.Wait": mp_wait,
+        "MP.Test": lambda handle: 1 if handle.Test() else 0,
+        "MP.Barrier": comm.Barrier,
+        "MP.Bcast": comm.Bcast,
+        "MP.OSend": comm.OSend,
+        "MP.ORecv": comm.ORecv,
+        "MP.OBcast": comm.OBcast,
+    }

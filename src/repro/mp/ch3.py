@@ -28,13 +28,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.mp.buffers import BufferDesc, NativeMemory
+from repro.mp.buffers import NativeMemory
 from repro.mp.channels.base import Channel
 from repro.mp.errors import MpiErrInternal
 from repro.mp.matching import MessageQueues, UnexpectedMsg
 from repro.mp.packets import ACK, CTS, DATA, EAGER, FIN, PING, RTS, Packet
 from repro.mp.reliability import PROC_FAILED, ReliabilityLayer
-from repro.mp.request import RECV, SEND, Request
+from repro.mp.request import Request
 from repro.mp.status import Status
 from repro.simtime import Clock, CostModel
 
@@ -78,6 +78,8 @@ class CH3Device:
 
         #: explicit observability hook (repro.obs); None = uninstrumented
         self.obs = None
+        #: explicit sanitizer hook (repro.analyze); None = unsanitized
+        self.san = None
         self.queues = MessageQueues()
         self._rndv_sends: dict[int, _SendState] = {}
         # (src_rank, send_op_id) -> streaming receive request
@@ -109,6 +111,8 @@ class CH3Device:
                 proto="eager" if total <= self.eager_threshold else "rndv",
             )
             self.obs.observe("mp.ch3.msg_bytes", total)
+        if self.san is not None:
+            self.san.send_posted(req, dst, rndv=total > self.eager_threshold)
         if total <= self.eager_threshold:
             self.stats["eager"] += 1
             pkt = Packet(
@@ -163,6 +167,8 @@ class CH3Device:
             self.obs.event(
                 "mp.recv.post", src=req.peer, tag=req.tag, cap=req.buf.nbytes
             )
+        if self.san is not None:
+            self.san.recv_posted(req)
         msg = self.queues.match_unexpected(req.peer, req.tag, req.comm_id)
         if msg is None:
             self.queues.post_recv(req)
@@ -185,6 +191,9 @@ class CH3Device:
             )
 
     def _deliver_staged(self, req: Request, msg: UnexpectedMsg) -> None:
+        if self.san is not None:
+            self.san.recv_matched(req, msg.src)
+            self.san.send_consumed(msg.src, msg.send_op_id)
         n = min(msg.total, req.buf.nbytes)
         self.clock.charge(self.costs.copy_per_byte_ns * n)
         req.buf.write(0, msg.staged.view(0, n))
@@ -198,6 +207,9 @@ class CH3Device:
         self._obs_recv_complete(status)
 
     def _accept_rndv(self, req: Request, src: int, tag: int, send_op_id: int, total: int) -> None:
+        if self.san is not None:
+            self.san.recv_matched(req, src)
+            self.san.send_consumed(src, send_op_id)
         if total > req.buf.nbytes:
             # Report truncation immediately; receive what fits.
             self.stats["truncated"] += 1
@@ -298,6 +310,9 @@ class CH3Device:
                 # the message is matched; we note the divergence).
                 self._emit(Packet(ptype=FIN, src=self.rank, dst=pkt.src, op_id=pkt.op_id))
             return
+        if self.san is not None:
+            self.san.recv_matched(req, pkt.src)
+            self.san.send_consumed(pkt.src, pkt.op_id)
         n = min(pkt.total, req.buf.nbytes)
         req.buf.write(0, memoryview(pkt.payload)[:n])
         status = Status(source=pkt.src, tag=pkt.tag, count=n)
@@ -409,6 +424,8 @@ class CH3Device:
         operation that depends on it with ``MPI_ERR_PROC_FAILED`` so no
         waiter spins forever (the "progress for all" guarantee)."""
         self.failed_ranks.add(peer)
+        if self.san is not None:
+            self.san.peer_failed(peer)
         for op_id, state in list(self._rndv_sends.items()):
             if state.dst == peer:
                 del self._rndv_sends[op_id]

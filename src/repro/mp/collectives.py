@@ -24,10 +24,32 @@ from repro.mp.errors import MpiErrCount, MpiErrRoot
 _NULL_SPAN = nullcontext()
 
 
+class _SanScope:
+    """Tell the rank's sanitizer which collective its p2p traffic belongs
+    to (deadlock reports then show 'coll.barrier' instead of raw tags)."""
+
+    __slots__ = ("san", "name", "inner")
+
+    def __init__(self, san, name: str, inner) -> None:
+        self.san = san
+        self.name = name
+        self.inner = inner
+
+    def __enter__(self):
+        self.san.collective(self.name)
+        return self.inner.__enter__()
+
+    def __exit__(self, *exc):
+        self.san.collective(None)
+        return self.inner.__exit__(*exc)
+
+
 def _span(engine, name: str, **args):
     """Open a collective span on the engine's obs hook (no-op when absent)."""
     obs = getattr(engine, "obs", None)
-    return _NULL_SPAN if obs is None else obs.span(name, **args)
+    span = _NULL_SPAN if obs is None else obs.span(name, **args)
+    san = getattr(engine, "san", None)
+    return span if san is None else _SanScope(san, name, span)
 
 #: reserved tag space for collectives (above MPI_TAG_UB)
 _TAG_BARRIER = (1 << 20) + 1

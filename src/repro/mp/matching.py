@@ -9,7 +9,7 @@ linearly, as in MPICH2's CH3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.mp.buffers import NativeMemory
 from repro.mp.request import Request
@@ -49,6 +49,8 @@ class MessageQueues:
     def __init__(self) -> None:
         self.posted: list[Request] = []
         self.unexpected: list[UnexpectedMsg] = []
+        #: explicit sanitizer hook (repro.analyze); None = unsanitized
+        self.san = None
 
     # -- posted receives ----------------------------------------------------
 
@@ -76,6 +78,18 @@ class MessageQueues:
 
     def match_unexpected(self, src_sel: int, tag_sel: int, comm_sel: int) -> UnexpectedMsg | None:
         """A newly posted receive (or probe) looks for an earlier arrival."""
+        if self.san is not None and src_sel == ANY_SOURCE:
+            # A wildcard receive scanning a queue holding messages from
+            # more than one source is the textbook nondeterministic match.
+            self.san.wildcard_scan(
+                tag_sel,
+                comm_sel,
+                [
+                    m.src
+                    for m in self.unexpected
+                    if _match(src_sel, tag_sel, comm_sel, m.src, m.tag, m.comm_id)
+                ],
+            )
         for i, msg in enumerate(self.unexpected):
             if _match(src_sel, tag_sel, comm_sel, msg.src, msg.tag, msg.comm_id):
                 return self.unexpected.pop(i)

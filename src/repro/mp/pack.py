@@ -9,7 +9,7 @@ pack-transport-unpack workflow to compare against.
 
 from __future__ import annotations
 
-from repro.mp.buffers import BufferDesc, NativeMemory
+from repro.mp.buffers import BufferDesc
 from repro.mp.datatypes import Datatype, VectorType
 from repro.mp.errors import MpiErrBuffer, MpiErrCount
 

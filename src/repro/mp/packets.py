@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import struct
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 EAGER = 1
 RTS = 2

@@ -41,6 +41,9 @@ class ProgressEngine:
         #: observability hook (repro.obs reads polls via a pull provider,
         #: so the poll loop itself stays probe-free)
         self.obs = None
+        #: sanitizer hook (repro.analyze): wait enter/tick/exit feed the
+        #: cross-rank wait-for graph; None = unsanitized
+        self.san = None
 
     def poll(self) -> int:
         self.polls += 1
@@ -67,21 +70,32 @@ class ProgressEngine:
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         spin = 0
-        while not req.completed:
-            if self.poll() == 0:
-                spin += 1
-                if spin & 0x3F == 0:
-                    # Let the peer thread run (simulated SwitchToThread);
-                    # real MPICH2 spins the same way before backing off.
-                    time.sleep(0)
-            else:
-                spin = 0
-            # checked every iteration: a chatty-but-stuck peer (heartbeats,
-            # retransmits) must not defeat the bound
-            if deadline is not None and time.monotonic() > deadline:
-                raise MpiErrTimeout(
-                    f"request {req.op_id} incomplete after {timeout}s"
-                )
+        san = self.san
+        if san is not None:
+            san.wait_enter(req)
+        try:
+            while not req.completed:
+                if self.poll() == 0:
+                    spin += 1
+                    if spin & 0x3F == 0:
+                        # Let the peer thread run (simulated SwitchToThread);
+                        # real MPICH2 spins the same way before backing off.
+                        time.sleep(0)
+                        if san is not None:
+                            # idle backoff: the quiet moment to look for a
+                            # cross-rank deadlock knot
+                            san.wait_tick(req)
+                else:
+                    spin = 0
+                # checked every iteration: a chatty-but-stuck peer (heartbeats,
+                # retransmits) must not defeat the bound
+                if deadline is not None and time.monotonic() > deadline:
+                    raise MpiErrTimeout(
+                        f"request {req.op_id} incomplete after {timeout}s"
+                    )
+        finally:
+            if san is not None:
+                san.wait_exit(req)
         self._check_failed(req)
 
     def wait_all(self, reqs: Iterable[Request], timeout: float | None = None) -> None:

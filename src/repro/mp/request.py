@@ -100,6 +100,15 @@ class Request:
         self.freed = True
         self.buf = None
 
+    def describe(self) -> str:
+        """A human label for the call this request stands for (used by the
+        repro.analyze deadlock reports: 'Recv(src=ANY_SOURCE, tag=7)')."""
+        if self.kind == RECV:
+            src = "ANY_SOURCE" if self.peer == -1 else str(self.peer)
+            tag = "ANY_TAG" if self.tag == -1 else str(self.tag)
+            return f"Recv(src={src}, tag={tag})"
+        return f"Send(dst={self.peer}, tag={self.tag})"
+
     def __repr__(self) -> str:
         state = "done" if self._done else ("active" if self.started else "queued")
         return f"<Request #{self.op_id} {self.kind} peer={self.peer} tag={self.tag} {state}>"

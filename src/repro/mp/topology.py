@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.mp.communicator import Communicator, Group
+from repro.mp.communicator import Communicator
 from repro.mp.errors import MpiErrComm, MpiErrRank
 
 

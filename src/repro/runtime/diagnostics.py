@@ -9,7 +9,7 @@ report.  Read-only: nothing here mutates runtime state.
 from __future__ import annotations
 
 import io
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

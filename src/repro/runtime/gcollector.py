@@ -24,7 +24,7 @@ Reproduces the collector the paper builds on (§5.2) plus Motor's extension
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.runtime.errors import GcInvariantError
@@ -89,6 +89,8 @@ class GenGC:
         #: observability hook (repro.obs); GcStats is exported as pull-model
         #: pvars, the events below mark pin/collect moments on the timeline
         self.obs = None
+        #: sanitizer hook (repro.analyze): pin lifecycle feeds the leak scan
+        self.san = None
         #: cookie-slot pins (classic GCHandle pinned handles)
         self._pins: dict[int, PinCookie] = {}
         #: Motor conditional pin requests, resolved at mark time
@@ -117,6 +119,8 @@ class GenGC:
         )
         if self.obs is not None:
             self.obs.event("gc.pin", addr=hex(ref.addr), slot=slot)
+        if self.san is not None:
+            self.san.pinned(slot)
         return cookie
 
     def unpin(self, cookie: PinCookie, cost_mult: float = 1.0) -> None:
@@ -129,6 +133,8 @@ class GenGC:
         self.clock.charge(self.costs.unpin_ns * cost_mult)
         if self.obs is not None:
             self.obs.event("gc.unpin", slot=cookie.slot)
+        if self.san is not None:
+            self.san.unpinned(cookie.slot)
 
     def register_conditional_pin(self, ref: ObjRef, is_active: Callable[[], bool]) -> ConditionalPin:
         """Register a pin that holds only while ``is_active()`` is true.
@@ -143,6 +149,8 @@ class GenGC:
         self.clock.charge(self.costs.conditional_pin_register_ns)
         if self.obs is not None:
             self.obs.event("gc.pin.conditional", addr=hex(ref.addr), slot=slot)
+        if self.san is not None:
+            self.san.conditional_pinned(slot, is_active)
         return cp
 
     def pinned_addresses(self) -> set[int]:
@@ -209,6 +217,8 @@ class GenGC:
                 cp.dropped = True
                 self.handles.free(cp.slot)
                 self.stats.conditional_pins_dropped += 1
+                if self.san is not None:
+                    self.san.conditional_dropped(cp.slot)
         self._conditional = kept
         pinned.discard(0)
         return pinned

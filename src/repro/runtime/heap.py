@@ -13,7 +13,7 @@ is the null reference and the first 64 bytes are never allocated.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.runtime.errors import GcInvariantError, OutOfManagedMemory
 from repro.runtime.typesys import align8

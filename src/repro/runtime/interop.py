@@ -26,7 +26,7 @@ import struct
 from typing import Any, Callable
 
 from repro.runtime.handles import ObjRef
-from repro.simtime import CostModel, HostProfile
+from repro.simtime import HostProfile
 
 
 class GateStats:

@@ -25,7 +25,6 @@ from repro.runtime.typesys import (
     REF_SIZE,
     FieldDesc,
     MethodTable,
-    PrimitiveType,
     TypeRegistry,
     align8,
 )

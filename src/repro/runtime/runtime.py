@@ -8,13 +8,12 @@ box of the paper's Figure 1/2, minus message passing (which Motor adds in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.pal import PAL
 from repro.runtime.errors import (
     InvalidOperation,
-    NullReferenceError_,
     ObjectModelViolation,
     OutOfManagedMemory,
 )

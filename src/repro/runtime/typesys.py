@@ -14,7 +14,7 @@ Mirrors the SSCLI structures the paper describes in §5.3:
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.runtime.errors import TypeLoadError
 

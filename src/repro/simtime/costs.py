@@ -26,7 +26,7 @@ cites:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)
@@ -122,6 +122,12 @@ class CostModel:
     obs_counter_ns: float = 15.0
     obs_event_ns: float = 150.0
     obs_span_ns: float = 400.0  # start/end pair, charged at start
+
+    # --- sanitizer (repro.analyze) -----------------------------------------
+    #: per-operation registry update (send/recv post bookkeeping)
+    san_check_ns: float = 120.0
+    #: one wait-for-graph sweep at an idle polling-wait backoff
+    san_deadlock_check_ns: float = 900.0
 
     def scaled(self, **overrides: float) -> "CostModel":
         """A copy of this model with selected fields overridden."""

@@ -89,6 +89,7 @@ def sweep_buffer_pingpong(
     reliable: bool | None = None,
     reliability_opts: dict | None = None,
     observe: str | None = None,
+    sanitize: str | None = None,
 ) -> dict[int, float]:
     """Run the Figure 9 protocol for one system; {size: mean us/iter}.
 
@@ -99,6 +100,9 @@ def sweep_buffer_pingpong(
     ``observe`` attaches the repro.obs instrumentation ("enabled" or
     "disabled") — the A11 ablation times the disabled hooks against the
     un-instrumented baseline.
+
+    ``sanitize`` attaches the repro.analyze runtime sanitizer ("enabled"
+    or "disabled") — the A12 ablation bounds the detached-hook residue.
     """
     main = _buffer_main(flavor, list(sizes), iterations, timed, runs, verify)
     results = mpiexec(
@@ -106,6 +110,7 @@ def sweep_buffer_pingpong(
         eager_threshold=eager_threshold, timeout=timeout,
         fault_plan=fault_plan, reliable=reliable,
         reliability_opts=reliability_opts, observe=observe,
+        sanitize=sanitize,
     )[0]
     return {size: sum(vals) / len(vals) for size, vals in results.items()}
 

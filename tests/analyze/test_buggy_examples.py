@@ -1,0 +1,63 @@
+"""Each buggy example under examples/analyze/ is flagged with its rule.
+
+The examples are deliberately-broken programs shipped as documentation;
+these tests import each one by path and assert the analyzer reports
+exactly the rule the example demonstrates.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+pytestmark = pytest.mark.analyze
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent.parent / "examples" / "analyze"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_inventory():
+    names = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert names == [
+        "buffer_reuse.py",
+        "deadlock_pair.py",
+        "raw_send_ref.py",
+        "wildcard_race.py",
+    ]
+
+
+def test_deadlock_pair_flags_ma_r01():
+    report = _load("deadlock_pair").run()
+    hits = report.by_rule("MA-R01")
+    assert hits and "Send" in hits[0].message
+
+
+def test_wildcard_race_flags_ma_r02():
+    report = _load("wildcard_race").run()
+    assert report.by_rule("MA-R02")
+    assert not report.errors  # a race is a warning, not an error
+
+
+def test_buffer_reuse_flags_ma_r03_and_r04():
+    report = _load("buffer_reuse").run()
+    assert report.by_rule("MA-R03")
+    assert report.by_rule("MA-R04")
+
+
+def test_raw_send_ref_flags_ma_s01():
+    mod = _load("raw_send_ref")
+    report = mod.run()
+    hits = report.by_rule("MA-S01")
+    assert hits and hits[0].assembly == "raw_send_ref"
+    # and the documented fix really is clean
+    from repro.analyze import analyze_assembly
+    from repro.il import assemble
+
+    fixed = analyze_assembly(assemble(mod.FIXED_IL, name="fixed"), world_size=2)
+    assert not fixed.findings, fixed.render_text()

@@ -1,0 +1,104 @@
+"""The analyzer CLI: static files, sanitized scenarios, bench forwarding."""
+
+import json
+
+import pytest
+
+from repro.analyze.cli import SCENARIOS, main, run_scenario
+
+pytestmark = pytest.mark.analyze
+
+BUGGY_IL = """
+.class Node transportable {
+    int32[] data transportable
+    Node next transportable
+}
+
+.method main() returns {
+    newobj Node
+    ldc.i4 1
+    ldc.i4 5
+    callintern MP.Send/3
+    ldc.i4 0
+    ret
+}
+"""
+
+CLEAN_IL = """
+.method main() returns {
+    ldc.i4 8
+    newarr int32
+    ldc.i4 1
+    ldc.i4 5
+    callintern MP.Send/3
+    ldc.i4 8
+    newarr int32
+    ldc.i4 0
+    ldc.i4 5
+    callintern MP.Recv/3:r
+    ret
+}
+"""
+
+
+@pytest.fixture
+def buggy_il(tmp_path):
+    path = tmp_path / "buggy.il"
+    path.write_text(BUGGY_IL)
+    return str(path)
+
+
+@pytest.fixture
+def clean_il(tmp_path):
+    path = tmp_path / "clean.il"
+    path.write_text(CLEAN_IL)
+    return str(path)
+
+
+class TestStatic:
+    def test_buggy_file_exits_nonzero(self, buggy_il, capsys):
+        assert main(["static", buggy_il, "--world-size", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "MA-S01" in out
+
+    def test_clean_file_exits_zero(self, clean_il, capsys):
+        assert main(["static", clean_il, "--world-size", "2"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_json_output_parses(self, buggy_il, capsys):
+        assert main(["static", buggy_il, "--json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        # the lone send also trips MA-S03 (no receive in the assembly)
+        assert data["counts"]["MA-S01"] == 1
+        assert data["counts"]["MA-S03"] == 1
+
+    def test_missing_file_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["static", str(tmp_path / "nope.il")]) == 2
+
+
+class TestRun:
+    def test_scenario_inventory(self):
+        assert set(SCENARIOS) == {
+            "clean", "deadlock", "wildcard-race", "buffer-reuse",
+        }
+
+    def test_clean_scenario_exits_zero(self, capsys):
+        assert main(["run", "clean"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_deadlock_scenario_reports_and_exits_nonzero(self, capsys):
+        assert main(["run", "deadlock", "--json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert "MA-R01" in data["counts"]
+
+    def test_run_scenario_returns_report(self):
+        _results, report = run_scenario("wildcard-race")
+        assert report.by_rule("MA-R02")
+
+
+class TestBenchForwarding:
+    def test_bench_cli_delegates_analyze(self, clean_il, capsys):
+        from repro.bench.cli import main as bench_main
+
+        assert bench_main(["analyze", "static", clean_il]) == 0
+        assert "no findings" in capsys.readouterr().out

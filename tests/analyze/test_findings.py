@@ -1,0 +1,71 @@
+"""Finding/Report: the diagnostic vocabulary both passes share."""
+
+import json
+
+import pytest
+
+from repro.analyze import RULES, Finding, Report, finding_from_diagnostic
+from repro.analyze.findings import SEV_ERROR, SEV_WARNING
+from repro.il.verifier import Diagnostic
+
+pytestmark = pytest.mark.analyze
+
+
+class TestRules:
+    def test_rule_table_covers_both_passes(self):
+        static = {r for r in RULES if r.startswith("MA-S")}
+        runtime = {r for r in RULES if r.startswith("MA-R")}
+        assert static == {"MA-S00", "MA-S01", "MA-S02", "MA-S03", "MA-S04"}
+        assert runtime == {"MA-R01", "MA-R02", "MA-R03", "MA-R04", "MA-R05"}
+
+    def test_every_rule_documented(self):
+        for rule in RULES.values():
+            assert rule.title and rule.description
+            assert rule.severity in (SEV_WARNING, SEV_ERROR)
+
+    def test_finding_severity_comes_from_rule_table(self):
+        assert Finding("MA-R02", "x").severity == SEV_WARNING
+        assert Finding("MA-R01", "x").severity == SEV_ERROR
+        # unknown rules are treated as errors, never silently dropped
+        assert Finding("MA-X99", "x").severity == SEV_ERROR
+
+
+class TestReport:
+    def test_dedup_on_identity(self):
+        rep = Report()
+        f = Finding("MA-R03", "same", rank=0)
+        assert rep.add(f) is True
+        assert rep.add(Finding("MA-R03", "same", rank=0)) is False
+        assert rep.add(Finding("MA-R03", "same", rank=1)) is True
+        assert len(rep) == 2
+
+    def test_sorted_puts_errors_first(self):
+        rep = Report()
+        rep.add(Finding("MA-R02", "warning one"))
+        rep.add(Finding("MA-R01", "error one"))
+        assert [f.rule for f in rep.sorted()] == ["MA-R01", "MA-R02"]
+
+    def test_render_text_mentions_rule_and_location(self):
+        rep = Report()
+        rep.add(Finding("MA-S01", "bad buffer", assembly="app", method="main", pc=4))
+        text = rep.render_text()
+        assert "MA-S01" in text and "app::main@4" in text
+        assert "reference-bearing" in text
+
+    def test_json_round_trips(self):
+        rep = Report()
+        rep.add(Finding("MA-R05", "leak", rank=1, details=(("slot", 3),)))
+        data = json.loads(rep.to_json())
+        assert data["counts"] == {"MA-R05": 1}
+        assert data["findings"][0]["details"] == {"slot": 3}
+
+    def test_empty_report_is_falsy_and_clean(self):
+        rep = Report()
+        assert not rep
+        assert "no findings" in rep.render_text()
+
+    def test_from_verifier_diagnostic(self):
+        diag = Diagnostic(method="m", pc=2, message="stack underflow", assembly="a")
+        f = finding_from_diagnostic(diag)
+        assert f.rule == "MA-S00"
+        assert (f.assembly, f.method, f.pc) == ("a", "m", 2)

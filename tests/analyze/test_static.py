@@ -1,0 +1,273 @@
+"""Static pass: every MA-S rule fires on its trigger, and clean IL is clean."""
+
+import pytest
+
+from repro.analyze import analyze_assembly
+from repro.il import assemble
+
+pytestmark = pytest.mark.analyze
+
+
+def _analyze(source: str, world_size=2):
+    return analyze_assembly(assemble(source, name="t"), world_size=world_size)
+
+
+REF_CLASS = """
+.class Node transportable {
+    int32[] data transportable
+    Node next transportable
+}
+"""
+
+FLAT_CLASS = """
+.class Pair transportable {
+    int32 a transportable
+    float64 b transportable
+}
+"""
+
+CLEAN = """
+.method main() returns {
+    .locals 1
+    callintern MP.Rank/0:r
+    brtrue follower
+    ldc.i4 8
+    newarr float64
+    stloc 0
+    ldloc 0
+    ldc.i4 1
+    ldc.i4 5
+    callintern MP.Send/3
+    callintern MP.Barrier/0
+    ldc.i4 0
+    ret
+follower:
+    ldc.i4 8
+    newarr float64
+    stloc 0
+    ldloc 0
+    ldc.i4 0
+    ldc.i4 5
+    callintern MP.Recv/3:r
+    callintern MP.Barrier/0
+    ret
+}
+"""
+
+
+class TestCleanPrograms:
+    def test_clean_send_recv_pair(self):
+        assert not _analyze(CLEAN).findings
+
+    def test_flat_class_is_a_legal_raw_buffer(self):
+        src = FLAT_CLASS + """
+.method main() returns {
+    newobj Pair
+    ldc.i4 1
+    ldc.i4 5
+    callintern MP.Send/3
+    ldc.i4 8
+    newarr int32
+    ldc.i4 1
+    ldc.i4 5
+    callintern MP.Recv/3:r
+    ret
+}
+"""
+        assert not _analyze(src).findings
+
+    def test_osend_of_linked_class_is_clean(self):
+        src = REF_CLASS + """
+.method main() returns {
+    newobj Node
+    ldc.i4 1
+    ldc.i4 5
+    callintern MP.OSend/3
+    ldc.i4 1
+    ldc.i4 5
+    callintern MP.ORecv/2:r
+    pop
+    ldc.i4 0
+    ret
+}
+"""
+        assert not _analyze(src).findings
+
+
+class TestMAS00VerifyFailure:
+    def test_broken_method_reported_not_raised(self):
+        src = """
+.method bad() returns {
+    add
+    ret
+}
+"""
+        rep = _analyze(src)
+        hits = rep.by_rule("MA-S00")
+        assert hits and hits[0].method == "bad"
+
+    def test_other_methods_still_checked(self):
+        src = REF_CLASS + """
+.method bad() returns {
+    add
+    ret
+}
+
+.method worse() returns {
+    newobj Node
+    ldc.i4 1
+    ldc.i4 5
+    callintern MP.Send/3
+    ldc.i4 0
+    ret
+}
+"""
+        rep = _analyze(src)
+        assert rep.by_rule("MA-S00")
+        assert rep.by_rule("MA-S01")
+
+
+class TestMAS01RawRefTransfer:
+    def test_linked_class_send_rejected(self):
+        src = REF_CLASS + """
+.method main() returns {
+    newobj Node
+    ldc.i4 1
+    ldc.i4 5
+    callintern MP.Send/3
+    ldc.i4 0
+    ret
+}
+"""
+        hits = _analyze(src).by_rule("MA-S01")
+        assert hits
+        assert "Node" in hits[0].message
+        assert hits[0].method == "main" and hits[0].pc is not None
+
+    def test_ref_array_send_rejected(self):
+        src = REF_CLASS + """
+.method main() returns {
+    ldc.i4 4
+    newarr Node
+    ldc.i4 1
+    ldc.i4 5
+    callintern MP.Send/3
+    ldc.i4 0
+    ret
+}
+"""
+        assert _analyze(src).by_rule("MA-S01")
+
+    def test_transitive_ref_through_value_flow(self):
+        # the bad object flows through a local before reaching the send
+        src = REF_CLASS + """
+.method main() returns {
+    .locals 1
+    newobj Node
+    stloc 0
+    ldloc 0
+    ldc.i4 1
+    ldc.i4 5
+    callintern MP.Isend/3:r
+    pop
+    ldc.i4 0
+    ret
+}
+"""
+        assert _analyze(src).by_rule("MA-S01")
+
+
+class TestMAS02SignatureMismatch:
+    def test_wrong_arity(self):
+        src = """
+.method main() returns {
+    ldc.i4 1
+    callintern MP.Barrier/1
+    ldc.i4 0
+    ret
+}
+"""
+        hits = _analyze(src).by_rule("MA-S02")
+        assert hits and "MP.Barrier/0" in hits[0].message
+
+    def test_ignored_return_flag(self):
+        src = """
+.method main() returns {
+    callintern MP.Rank/0
+    ldc.i4 0
+    ret
+}
+"""
+        assert _analyze(src).by_rule("MA-S02")
+
+    def test_int_where_buffer_expected(self):
+        src = """
+.method main() returns {
+    ldc.i4 42
+    ldc.i4 1
+    ldc.i4 5
+    callintern MP.Send/3
+    ldc.i4 0
+    ret
+}
+"""
+        assert _analyze(src).by_rule("MA-S02")
+
+
+class TestMAS03UnmatchedSend:
+    def test_send_tag_without_receive(self):
+        src = """
+.method main() returns {
+    ldc.i4 8
+    newarr int32
+    ldc.i4 1
+    ldc.i4 99
+    callintern MP.Send/3
+    ldc.i4 0
+    ret
+}
+"""
+        hits = _analyze(src).by_rule("MA-S03")
+        assert hits
+
+    def test_peer_out_of_world_range(self):
+        src = """
+.method main() returns {
+    ldc.i4 8
+    newarr int32
+    ldc.i4 9
+    ldc.i4 5
+    callintern MP.Send/3
+    ldc.i4 8
+    newarr int32
+    ldc.i4 0
+    ldc.i4 5
+    callintern MP.Recv/3:r
+    ret
+}
+"""
+        assert _analyze(src, world_size=2).by_rule("MA-S03")
+        # without a declared world size the peer range is unknowable
+        assert not _analyze(src, world_size=None).by_rule("MA-S03")
+
+
+class TestMAS04UnknownInternal:
+    def test_unknown_mp_internal(self):
+        src = """
+.method main() returns {
+    callintern MP.Bogus/0
+    ldc.i4 0
+    ret
+}
+"""
+        hits = _analyze(src).by_rule("MA-S04")
+        assert hits and "MP.Bogus" in hits[0].message
+
+    def test_non_mp_internals_are_not_our_business(self):
+        src = """
+.method main() returns {
+    callintern rank/0:r
+    ret
+}
+"""
+        assert not _analyze(src).findings

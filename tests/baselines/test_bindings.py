@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.baselines.indiana import IndianaComm, indiana_session
+from repro.baselines.indiana import indiana_session
 from repro.baselines.jmpi import jmpi_session
 from repro.baselines.mpijava import mpijava_session
 from repro.baselines.native_cpp import native_session

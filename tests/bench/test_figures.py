@@ -14,7 +14,6 @@ from repro.bench.figures import (
     ablate_split,
 )
 from repro.bench.report import CHECKS
-from repro.bench.harness import mean
 from repro.workloads.pingpong import sweep_buffer_pingpong, sweep_tree_pingpong
 
 QUICK = {"iterations": 6, "timed": 3, "runs": 1}
@@ -36,6 +35,7 @@ class TestRegistry:
             "ablate-interconnect",
             "ablate-reliability",
             "ablate-obs",
+            "ablate-sanitize",
         } == set(EXPERIMENTS)
 
     def test_every_experiment_has_a_claim_check(self):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.il import VerifyError, assemble, verify_assembly, verify_method
+from repro.il import VerifyError, assemble, verify_assembly
 
 
 def verify_src(src: str) -> None:

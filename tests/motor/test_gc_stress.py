@@ -6,7 +6,6 @@ the integration-level proof that the pinning policy, the conditional
 pins, the handle discipline and the write barrier compose.
 """
 
-import pytest
 
 from repro.cluster import mpiexec
 from repro.motor import motor_session

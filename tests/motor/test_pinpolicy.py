@@ -1,6 +1,5 @@
 """Motor's pinning policy in isolation (§4.3, §7.4)."""
 
-import pytest
 
 from repro.motor.pinpolicy import PinDecision, PinningPolicy
 from repro.runtime.gcollector import ConditionalPin, PinCookie

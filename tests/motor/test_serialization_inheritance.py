@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.motor.serialization import MotorSerializer, SerializationError
+from repro.motor.serialization import MotorSerializer
 from repro.runtime.runtime import ManagedRuntime, RuntimeConfig
 
 

@@ -1,6 +1,5 @@
 """System.MP end-to-end: the managed bindings over full Motor worlds."""
 
-import pytest
 
 from repro.cluster import mpiexec
 from repro.motor import motor_session

@@ -1,6 +1,5 @@
 """Collectives agree with their point-to-point definitions."""
 
-import struct
 
 import pytest
 

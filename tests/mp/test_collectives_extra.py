@@ -122,7 +122,6 @@ class TestIbChannel:
         assert ib[65536] < sock[65536] * 0.5
 
     def test_registration_cache(self):
-        from repro.mp.channels.ib import IbChannel
         from repro.mp.packets import EAGER, Packet
         from repro.simtime import CostModel, VirtualClock
 

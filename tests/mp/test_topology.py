@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster import mpiexec
 from repro.mp.errors import MpiErrComm, MpiErrRank
-from repro.mp.topology import CartComm, cart_create, dims_create
+from repro.mp.topology import cart_create, dims_create
 
 
 class TestDimsCreate:

@@ -6,7 +6,7 @@ from repro.cluster import mpiexec, mpiexec_observed
 from repro.cluster.world import World
 from repro.motor import motor_session
 from repro.mp.buffers import BufferDesc, NativeMemory
-from repro.obs import Instrumentation, attach_engine, detach, detach_all, instrument
+from repro.obs import Instrumentation, detach, detach_all, instrument
 from repro.simtime import VirtualClock
 
 pytestmark = pytest.mark.obs
