@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-faults test-obs test-analyze lint bench figures report examples clean
+.PHONY: install test test-faults test-obs test-analyze lint bench bench-smoke figures report examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -28,6 +28,9 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-smoke:
+	$(PYTHON) -m repro.bench smoke
 
 figures:
 	$(PYTHON) -m repro.bench all --csv out/

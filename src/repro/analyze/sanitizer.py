@@ -1,13 +1,13 @@
 """Runtime sanitizer: deadlock, race, buffer and pin-leak detection.
 
 A shared :class:`Sanitizer` watches every rank of a world through the
-same explicit-hook idiom ``repro.obs`` uses: each instrumented component
-(device, progress engine, matching queues, collector, pin policy) carries
-a ``san`` attribute that is ``None`` when uninstrumented, so the hot
-paths stay branch-cheap.  Per-rank :class:`RankSanitizer` views bind a
-rank, its clock and the cost model; all cross-rank state lives in the
-shared core behind one lock (rank threads only ever touch their own
-device, so the sanitizer is the only cross-thread reader).
+messaging stack's hook spine (:mod:`repro.mp.hooks`): each rank's
+:class:`RankSanitizer` view is a spine subscriber whose ``on_*`` methods
+receive the typed events the device, matching queues, progress engine
+and collector emit.  The view binds a rank, its clock and the cost
+model; all cross-rank state lives in the shared core behind one lock
+(rank threads only ever touch their own device, so the sanitizer is the
+only cross-thread reader).
 
 What it checks:
 
@@ -441,10 +441,10 @@ class Sanitizer:
 
 
 class RankSanitizer:
-    """One rank's view: binds rank + clock, charges hook costs, delegates.
+    """One rank's spine subscriber: binds rank + clock, charges, delegates.
 
-    ``enabled=False`` is the A12 "attached but detached" configuration:
-    every hook returns immediately after the branch, so the overhead
+    ``enabled=False`` is the A12 "attached but disabled" configuration:
+    every handler returns immediately after the branch, so the overhead
     ablation measures exactly the residue of carrying the hooks.
     """
 
@@ -463,88 +463,92 @@ class RankSanitizer:
         if self.clock is not None:
             self.clock.charge(ns)
 
-    # -- device hooks ------------------------------------------------------
+    # -- device events -----------------------------------------------------
 
-    def send_posted(self, req: Request, dst: int, rndv: bool) -> None:
+    def on_send_posted(self, req: Request, dst: int, rndv: bool) -> None:
         if not self.enabled:
             return
         self._charge(self.costs.san_check_ns if self.costs else 0.0)
         self.core.on_send_post(self.rank, req, dst, rndv)
 
-    def send_consumed(self, src: int, op_id: int) -> None:
-        if not self.enabled:
-            return
-        self.core.on_send_consumed(src, op_id)
-
-    def recv_posted(self, req: Request) -> None:
+    def on_recv_posted(self, req: Request) -> None:
         if not self.enabled:
             return
         self._charge(self.costs.san_check_ns if self.costs else 0.0)
         self.core.on_recv_post(self.rank, req)
 
-    def recv_matched(self, req: Request, src: int) -> None:
+    def on_match(self, req: Request, src: int, send_op_id: int) -> None:
+        """A receive matched a send: race check, then retire the send."""
         if not self.enabled:
             return
         self.core.on_recv_matched(self.rank, req, src)
+        self.core.on_send_consumed(src, send_op_id)
 
-    def wildcard_scan(self, tag_sel: int, comm_sel: int, sources: list[int]) -> None:
+    def on_wildcard_scan(self, tag_sel: int, comm_sel: int, sources: list[int]) -> None:
         if not self.enabled:
             return
         self.core.on_wildcard_scan(self.rank, tag_sel, comm_sel, sources)
 
-    def peer_failed(self, peer: int) -> None:
+    def on_peer_failed(self, peer: int) -> None:
         if not self.enabled:
             return
         self.core.on_peer_failed(self.rank, peer)
 
-    # -- progress-engine hooks ---------------------------------------------
+    # -- progress-engine events --------------------------------------------
 
-    def wait_enter(self, req: Request) -> None:
+    def on_wait_enter(self, req: Request) -> None:
         if not self.enabled:
             return
         self.core.on_wait_enter(self.rank, req)
 
-    def wait_tick(self, req: Request) -> None:
+    def on_wait_tick(self, req: Request) -> None:
         if not self.enabled:
             return
         self._charge(self.costs.san_deadlock_check_ns if self.costs else 0.0)
         self.core.on_wait_tick(self.rank, req)
 
-    def wait_exit(self, req: Request) -> None:
+    def on_wait_exit(self, req: Request) -> None:
         if not self.enabled:
             return
         self.core.on_wait_exit(self.rank, req)
 
     # -- collective scope (report context) ---------------------------------
 
-    def collective(self, name: str | None) -> None:
+    def on_region_begin(self, name: str, args: dict) -> None:
         if not self.enabled:
             return
-        self.core.in_collective[self.rank] = name
+        if name.startswith("coll."):
+            self.core.in_collective[self.rank] = name
 
-    # -- GC / pin-policy hooks ---------------------------------------------
+    def on_region_end(self, name: str) -> None:
+        if not self.enabled:
+            return
+        if name.startswith("coll."):
+            self.core.in_collective[self.rank] = None
 
-    def pinned(self, slot: int) -> None:
+    # -- GC / pin-policy events --------------------------------------------
+
+    def on_pin(self, addr: int, slot: int) -> None:
         if not self.enabled:
             return
         self.core.on_pin(self.rank, slot)
 
-    def unpinned(self, slot: int) -> None:
+    def on_unpin(self, slot: int) -> None:
         if not self.enabled:
             return
         self.core.on_unpin(self.rank, slot)
 
-    def conditional_pinned(self, slot: int, is_active) -> None:
+    def on_cond_pin(self, addr: int, slot: int, is_active) -> None:
         if not self.enabled:
             return
         self.core.on_conditional_pin(self.rank, slot, is_active)
 
-    def conditional_dropped(self, slot: int) -> None:
+    def on_cond_drop(self, slot: int) -> None:
         if not self.enabled:
             return
         self.core.on_conditional_drop(self.rank, slot)
 
-    def pin_decision(self, decision: str) -> None:
+    def on_pin_decision(self, decision: str) -> None:
         if not self.enabled:
             return
 
@@ -555,30 +559,38 @@ class RankSanitizer:
 
 
 # ---------------------------------------------------------------------------
-# attachment (mirrors repro.obs.instrument)
+# attachment (one spine per rank stack; mirrors repro.obs.instrument)
 # ---------------------------------------------------------------------------
 
 
 def attach_engine(san: RankSanitizer, engine) -> None:
-    """Wire a rank's MPI stack (device, queues, progress) to its view."""
-    engine.san = san
-    engine.device.san = san
-    engine.device.queues.san = san
-    engine.progress.san = san
+    """Subscribe a rank's view to its MPI stack's hook spine."""
+    engine.hooks.attach(san)
 
 
 def attach_gc(san: RankSanitizer, gc) -> None:
-    gc.san = san
+    from repro.mp.hooks import spine_of
+
+    spine_of(gc).attach(san)
 
 
 def attach_vm(san: RankSanitizer, vm) -> None:
-    """Extend over a Motor VM session: collector + pinning policy."""
+    """Extend over a Motor VM session: collector + pinning policy.
+
+    The VM shares its engine's spine (``repro.mp.hooks.wire_vm``), so
+    when :func:`attach_engine` already ran this is a no-op — the spine
+    attach is idempotent.
+    """
+    vm.hooks.attach(san)
     attach_gc(san, vm.runtime.gc)
-    vm.policy.san = san
 
 
-def detach_engine(engine) -> None:
-    engine.san = None
-    engine.device.san = None
-    engine.device.queues.san = None
-    engine.progress.san = None
+def detach_engine(engine, san: RankSanitizer | None = None) -> None:
+    """Remove sanitizer subscriber(s) from an engine's spine."""
+    spine = engine.hooks
+    if san is not None:
+        spine.detach(san)
+        return
+    for sub in list(spine.subscribers):
+        if isinstance(sub, RankSanitizer):
+            spine.detach(sub)

@@ -32,10 +32,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "report", "write-experiments", "metrics"],
+        choices=sorted(EXPERIMENTS)
+        + ["all", "report", "write-experiments", "metrics", "smoke"],
         help="which experiment to run (or 'all' / 'report' / "
         "'write-experiments' to refresh EXPERIMENTS.md's data section, or "
-        "'metrics' for an instrumented ping-pong with a merged pvar report; "
+        "'metrics' for an instrumented ping-pong with a merged pvar report, "
+        "or 'smoke' for the CI overhead gate over A10-A13; "
         "'analyze ...' forwards to the Motor analyzer CLI)",
     )
     parser.add_argument(
@@ -59,6 +61,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.experiment == "metrics":
         return _metrics(quick=quick, trace_path=args.trace)
+
+    if args.experiment == "smoke":
+        return _smoke(quick=quick)
 
     if args.experiment == "report":
         print("# Motor reproduction: paper vs measured\n")
@@ -94,6 +99,31 @@ def main(argv: list[str] | None = None) -> int:
             with open(path, "w") as fh:
                 fh.write(series.to_csv())
             print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+#: the overhead ablations gating CI: instrumentation must stay free
+SMOKE_EXPERIMENTS = (
+    "ablate-reliability",  # A10: seq/CRC/ack on a fault-free wire
+    "ablate-obs",          # A11: observability hooks
+    "ablate-sanitize",     # A12: sanitizer hooks
+    "ablate-spine",        # A13: detached hook-spine residue
+)
+
+
+def _smoke(quick: bool = True) -> int:
+    """Run the A10-A13 overhead claims; exit nonzero if any differs."""
+    failed = 0
+    for exp_id in SMOKE_EXPERIMENTS:
+        series, claims = run_experiment(exp_id, quick=quick)
+        print(f"== {EXPERIMENTS[exp_id][0]} ==")
+        print(render_claims(claims))
+        print()
+        failed += sum(1 for c in claims if not c.holds)
+    if failed:
+        print(f"bench smoke: {failed} claim(s) DIFFER", file=sys.stderr)
+        return 1
+    print("bench smoke: all overhead claims hold", file=sys.stderr)
     return 0
 
 

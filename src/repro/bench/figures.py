@@ -488,6 +488,47 @@ def ablate_sanitize(quick: bool = True, channel: str = "sock") -> SeriesSet:
     return out
 
 
+def ablate_spine(quick: bool = True, channel: str = "sock") -> SeriesSet:
+    """A13: the hook spine's residue on an unobserved run.
+
+    The unified spine replaced per-module ``obs``/``san`` attributes with
+    one compiled dispatcher: every emit site is a slot load plus a falsy
+    check on an empty tuple.  Three configurations of the ping-pong:
+    nothing ever attached (baseline), observer and sanitizer attached
+    then immediately detached (``"detached"`` — the emit sites cross an
+    empty spine that once held subscribers), and both attached but
+    disabled (the subscribers are dispatched to and early-return).  The
+    acceptance bound is the middle column: a detached spine must price
+    within 1% of never having attached at all.
+    """
+    sizes = [4, 1024, 65536, 262144] if quick else FIG9_SIZES
+    out = SeriesSet(
+        experiment="ablate-spine",
+        title="Hook spine residue on the ping-pong fast path (native)",
+        x_label="bytes",
+        y_label="time per iteration (us)",
+    )
+    for label, mode in (
+        ("baseline", None),
+        ("spine-detached", "detached"),
+        ("attached-disabled", "disabled"),
+    ):
+        out.add(
+            label,
+            sweep_buffer_pingpong(
+                "cpp", sizes, channel=channel, observe=mode, sanitize=mode,
+                **_protocol(quick),
+            ),
+        )
+    out.notes.append(
+        "detached dispatch tuples are empty, so each emit site costs one "
+        "attribute load and one truth test — indistinguishable from never "
+        "wiring the spine; disabled subscribers add the bound-method call "
+        "and an early return per subscribed event"
+    )
+    return out
+
+
 #: experiment registry: id -> (title, callable)
 EXPERIMENTS = {
     "fig9": ("Figure 9: regular MPI ping-pong", figure9),
@@ -504,4 +545,5 @@ EXPERIMENTS = {
     "ablate-reliability": ("A10: reliability sublayer overhead", ablate_reliability),
     "ablate-obs": ("A11: observability layer overhead", ablate_obs),
     "ablate-sanitize": ("A12: runtime sanitizer overhead", ablate_sanitize),
+    "ablate-spine": ("A13: hook spine residue", ablate_spine),
 }

@@ -348,6 +348,28 @@ def check_ablate_sanitize(s: SeriesSet) -> list[ClaimResult]:
     ]
 
 
+def check_ablate_spine(s: SeriesSet) -> list[ClaimResult]:
+    base = s.series["baseline"]
+    detached = s.series["spine-detached"]
+    disabled = s.series["attached-disabled"]
+    off = mean(detached[x] / base[x] for x in s.xs())
+    inert = mean(disabled[x] / base[x] for x in s.xs())
+    return [
+        ClaimResult(
+            claim="a detached hook spine leaves no measurable residue",
+            paper="spine refactor: empty dispatch tuples cost <=1% on the Figure 9 ping-pong",
+            measured=f"detached/baseline mean ratio {off:.3f}x",
+            holds=off <= 1.01,
+        ),
+        ClaimResult(
+            claim="attached-but-disabled observer+sanitizer stay nearly free",
+            paper="spine refactor: early-returning subscribers cost <=5% together",
+            measured=f"disabled/baseline mean ratio {inert:.3f}x",
+            holds=inert <= 1.05,
+        ),
+    ]
+
+
 CHECKS: dict[str, Callable[[SeriesSet], list[ClaimResult]]] = {
     "fig9": check_fig9,
     "fig10": check_fig10,
@@ -363,6 +385,7 @@ CHECKS: dict[str, Callable[[SeriesSet], list[ClaimResult]]] = {
     "ablate-reliability": check_ablate_reliability,
     "ablate-obs": check_ablate_obs,
     "ablate-sanitize": check_ablate_sanitize,
+    "ablate-spine": check_ablate_spine,
 }
 
 

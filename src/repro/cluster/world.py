@@ -76,9 +76,9 @@ class World:
             raise ValueError(f"unknown channel {channel!r} (have {sorted(FABRICS)})")
         if clock_mode not in ("wall", "virtual"):
             raise ValueError(f"unknown clock mode {clock_mode!r}")
-        if observe not in (None, "disabled", "enabled"):
+        if observe not in (None, "disabled", "enabled", "detached"):
             raise ValueError(f"unknown observe mode {observe!r}")
-        if sanitize not in (None, "disabled", "enabled"):
+        if sanitize not in (None, "disabled", "enabled", "detached"):
             raise ValueError(f"unknown sanitize mode {sanitize!r}")
         self.size = size
         self.channel_name = channel
@@ -89,12 +89,15 @@ class World:
         # a faulty wire needs the reliability sublayer unless told otherwise
         self.reliable = (fault_plan is not None) if reliable is None else reliable
         self.reliability_opts = reliability_opts
-        #: None (no hooks attached), "disabled" (hooks attached but inert —
-        #: the A11 overhead configuration) or "enabled" (full recording)
+        #: None (nothing attached), "disabled" (subscriber attached but
+        #: inert — the A11 overhead configuration), "enabled" (full
+        #: recording) or "detached" (attached then removed — the A13
+        #: empty-spine configuration)
         self.observe = observe
         self._insts: dict[int, Any] = {}
-        #: None (no hooks), "disabled" (hooks attached but inert — the A12
-        #: overhead configuration) or "enabled" (full checking)
+        #: None (nothing attached), "disabled" (subscriber attached but
+        #: inert — the A12 overhead configuration), "enabled" (full
+        #: checking) or "detached" (attached then removed, A13)
         self.sanitize = sanitize
         self.sanitizer: Any = None
         if sanitize is not None:
@@ -153,24 +156,33 @@ class World:
         if self.sanitizer is None:
             return
         from repro.analyze import attach_engine as san_attach_engine
+        from repro.analyze import detach_engine as san_detach_engine
 
         san = self.sanitizer.rank_view(
             ctx.rank, clock=ctx.clock, costs=self.costs,
             enabled=(self.sanitize == "enabled"),
         )
         san_attach_engine(san, ctx.engine)
+        if self.sanitize == "detached":
+            # A13: subscribe then unsubscribe, leaving an empty spine —
+            # measures the emit sites' falsy-tuple residue
+            san_detach_engine(ctx.engine, san)
+            return
         ctx.san = san
 
     def _attach_obs(self, ctx: RankContext) -> None:
         if self.observe is None:
             return
-        from repro.obs import Instrumentation, attach_engine
+        from repro.obs import Instrumentation, attach_engine, detach_all
 
         inst = Instrumentation(
             ctx.rank, ctx.clock, costs=self.costs,
             enabled=(self.observe == "enabled"),
         )
         attach_engine(inst, ctx.engine)
+        if self.observe == "detached":
+            detach_all(inst)
+            return
         ctx.obs = inst
         self._insts[ctx.rank] = inst
 

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Callable
 
+from repro.mp.hooks import NULL_SPINE
 from repro.runtime.gcollector import PinCookie
 from repro.runtime.handles import ObjRef
 
@@ -52,16 +53,21 @@ class PinPolicyStats:
 class PinningPolicy:
     """The decision procedure bound to one runtime's collector."""
 
+    #: the rank's hook spine (repro.mp.hooks): decisions are emitted as
+    #: ``pin_decision`` events; PinPolicyStats is exported as pull-model
+    #: pvars (gc.pins.checks, gc.pins.deferred_taken, ...)
+    hooks = NULL_SPINE
+
     def __init__(self, runtime, enabled: bool = True) -> None:
         self.runtime = runtime
         self.enabled = enabled
         self.stats = PinPolicyStats()
-        #: observability hook (repro.obs); PinPolicyStats is exported as
-        #: pull-model pvars (gc.pins.checks, gc.pins.deferred_taken, ...)
-        self.obs = None
-        #: sanitizer hook (repro.analyze); decisions feed the leak scan's
-        #: context (unconditional pins are the caller-must-unpin hazard)
-        self.san = None
+
+    def _decided(self, decision: str) -> None:
+        cbs = self.hooks.pin_decision
+        if cbs:
+            for cb in cbs:
+                cb(decision)
 
     # -- the generation test ---------------------------------------------------
 
@@ -77,15 +83,13 @@ class PinningPolicy:
         """Decide at operation start, *before* any safepoint."""
         if not self.enabled:
             self.stats.unconditional_pins += 1
-            if self.san is not None:
-                self.san.pin_decision("pin-now")
+            self._decided("pin-now")
             return PinDecision.PIN_NOW
         if not self._is_young(ref):
             self.stats.elder_skips += 1
             return PinDecision.NO_PIN
         self.stats.deferred += 1
-        if self.san is not None:
-            self.san.pin_decision("defer")
+        self._decided("defer")
         return PinDecision.DEFER
 
     def on_enter_wait(self, decision: PinDecision, ref: ObjRef) -> PinCookie | None:
@@ -112,8 +116,7 @@ class PinningPolicy:
             # Without the policy the only safe discipline is to pin now and
             # leave release to the caller (the leak hazard of §2.3).
             self.stats.unconditional_pins += 1
-            if self.san is not None:
-                self.san.pin_decision("pin-now")
+            self._decided("pin-now")
             return self.runtime.gc.pin(ref)
         if not self._is_young(ref):
             self.stats.elder_skips += 1

@@ -37,6 +37,7 @@ from __future__ import annotations
 import struct
 from typing import Iterable
 
+from repro.mp.hooks import NULL_SPINE
 from repro.runtime.errors import ObjectModelViolation
 from repro.runtime.handles import ObjRef
 from repro.runtime.typesys import (
@@ -178,6 +179,10 @@ class _Reader:
 class MotorSerializer:
     """Flatten / reconstruct object trees over one runtime's heap."""
 
+    #: the rank's hook spine (repro.mp.hooks): serialize/deserialize open
+    #: regions, the counters below are exported as pull-model pvars
+    hooks = NULL_SPINE
+
     def __init__(self, runtime, visited: str = "linear") -> None:
         if visited not in VISITED_KINDS:
             raise ValueError(f"unknown visited structure {visited!r}")
@@ -185,22 +190,29 @@ class MotorSerializer:
         self.visited_kind = visited
         self.objects_serialized = 0
         self.objects_deserialized = 0
-        #: observability hook (repro.obs): serialize/deserialize open spans,
-        #: the counters above are exported as pull-model pvars
-        self.obs = None
 
     # -- serialize ---------------------------------------------------------------
 
     def serialize(self, ref: ObjRef | None, out: bytearray | None = None) -> bytearray:
         """Produce a regular (non-split) representation of ``ref``'s tree."""
         out = out if out is not None else bytearray()
-        if self.obs is not None:
-            before = self.objects_serialized
-            with self.obs.span("motor.serialize"):
-                self._serialize_root(ref, out)
-            self.obs.event("motor.serialized", objects=self.objects_serialized - before, bytes=len(out))
-        else:
+        h = self.hooks
+        if not (h.region_begin or h.region_end or h.mark):
             self._serialize_root(ref, out)
+            return out
+        before = self.objects_serialized
+        for cb in h.region_begin:
+            cb("motor.serialize", {})
+        try:
+            self._serialize_root(ref, out)
+        finally:
+            for cb in h.region_end:
+                cb("motor.serialize")
+        for cb in h.mark:
+            cb(
+                "motor.serialized",
+                {"objects": self.objects_serialized - before, "bytes": len(out)},
+            )
         return out
 
     def _serialize_root(self, ref: ObjRef | None, out: bytearray) -> None:
@@ -309,10 +321,16 @@ class MotorSerializer:
 
     def deserialize(self, data) -> ObjRef | None:
         """Reconstruct the object tree; returns the root (or None)."""
-        if self.obs is not None:
-            with self.obs.span("motor.deserialize", bytes=len(data)):
-                return self._deserialize(data)
-        return self._deserialize(data)
+        h = self.hooks
+        if not (h.region_begin or h.region_end):
+            return self._deserialize(data)
+        for cb in h.region_begin:
+            cb("motor.deserialize", {"bytes": len(data)})
+        try:
+            return self._deserialize(data)
+        finally:
+            for cb in h.region_end:
+                cb("motor.deserialize")
 
     def _deserialize(self, data) -> ObjRef | None:
         rt = self.runtime

@@ -98,9 +98,10 @@ class MotorCommunicator:
     # -- plumbing -----------------------------------------------------------------
 
     def _fcall(self, fn, *args, **kw):
-        obs = self._vm.obs
-        if obs is not None:
-            obs.inc("motor.mp.fcalls")
+        cbs = self._vm.hooks.count
+        if cbs:
+            for cb in cbs:
+                cb("motor.mp.fcalls", 1)
         return self._vm.fcall.call(fn, *args, **kw)
 
     @property

@@ -20,6 +20,7 @@ from repro.motor.mpcore import MessagePassingCore
 from repro.motor.pinpolicy import PinningPolicy
 from repro.motor.serialization import MotorSerializer
 from repro.motor.system_mp import MotorCommunicator
+from repro.mp.hooks import wire_vm
 from repro.runtime.proxy import ManagedProxy
 from repro.runtime.runtime import ManagedRuntime, RuntimeConfig
 
@@ -50,9 +51,9 @@ class MotorVM:
             self.runtime, self.engine, self.serializer, self.pool, self.policy
         )
         # Integration point 2: System.MP reaches the core through FCalls.
-        #: observability hook (repro.obs.attach_vm wires GC, pin policy,
-        #: serializer and the System.MP fcall gate through it)
-        self.obs = None
+        #: one hook spine for the whole rank: the engine's spine, extended
+        #: over the collector, pin policy and serializer (repro.mp.hooks)
+        self.hooks = wire_vm(self)
         self.fcall = self.runtime.gate("fcall")
         self.comm_world = MotorCommunicator(self, self.engine.comm_world)
 

@@ -18,6 +18,12 @@ Protocol:
   completes when the last chunk is handed off.  The receive completes when
   every byte has landed.
 
+All protocol state lives in the unified :class:`~repro.mp.request.Request`
+state machine — a rendezvous send is simply a QUEUED request whose
+``cleared``/``cursor`` slots advance it once CTS arrives; there is no
+side-table of per-protocol structs.  Observers (repro.obs, the sanitizer)
+see the device exclusively through the hook spine (:mod:`repro.mp.hooks`).
+
 The bounded per-poll pump on both sides means a large transfer spans many
 progress polls; a garbage collection at any intervening safepoint will
 move an unpinned buffer and the remaining chunks will hit a stale address
@@ -26,11 +32,10 @@ move an unpinned buffer and the remaining chunks will hit a stale address
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.mp.buffers import NativeMemory
 from repro.mp.channels.base import Channel
 from repro.mp.errors import MpiErrInternal
+from repro.mp.hooks import NULL_SPINE
 from repro.mp.matching import MessageQueues, UnexpectedMsg
 from repro.mp.packets import ACK, CTS, DATA, EAGER, FIN, PING, RTS, Packet
 from repro.mp.reliability import PROC_FAILED, ReliabilityLayer
@@ -39,18 +44,11 @@ from repro.mp.status import Status
 from repro.simtime import Clock, CostModel
 
 
-@dataclass
-class _SendState:
-    """A rendezvous send in progress."""
-
-    req: Request
-    dst: int
-    cursor: int = 0
-    cleared: bool = False  # CTS received
-
-
 class CH3Device:
     """One rank's device instance."""
+
+    #: the rank's hook spine; wire_engine shares one across the stack
+    hooks = NULL_SPINE
 
     def __init__(
         self,
@@ -76,12 +74,9 @@ class CH3Device:
         self.max_packets_per_poll = max_packets_per_poll
         self.max_stream_per_poll = max_stream_per_poll
 
-        #: explicit observability hook (repro.obs); None = uninstrumented
-        self.obs = None
-        #: explicit sanitizer hook (repro.analyze); None = unsanitized
-        self.san = None
         self.queues = MessageQueues()
-        self._rndv_sends: dict[int, _SendState] = {}
+        #: rendezvous sends in progress, by op_id (state lives on the request)
+        self._rndv_sends: dict[int, Request] = {}
         # (src_rank, send_op_id) -> streaming receive request
         self._rndv_recvs: dict[tuple[int, int], Request] = {}
         # sync (Ssend) requests awaiting FIN, by op_id
@@ -99,21 +94,16 @@ class CH3Device:
     def start_send(self, req: Request, dst: int) -> None:
         total = req.buf.nbytes
         self.clock.charge(self.costs.posting_ns)
+        req.wdst = dst
         if dst in self.failed_ranks:
             self._fail_request(req)
             return
-        if self.obs is not None:
-            self.obs.event(
-                "mp.send",
-                dst=dst,
-                tag=req.tag,
-                bytes=total,
-                proto="eager" if total <= self.eager_threshold else "rndv",
-            )
-            self.obs.observe("mp.ch3.msg_bytes", total)
-        if self.san is not None:
-            self.san.send_posted(req, dst, rndv=total > self.eager_threshold)
-        if total <= self.eager_threshold:
+        rndv = total > self.eager_threshold
+        cbs = self.hooks.send_posted
+        if cbs:
+            for cb in cbs:
+                cb(req, dst, rndv)
+        if not rndv:
             self.stats["eager"] += 1
             pkt = Packet(
                 ptype=EAGER,
@@ -126,7 +116,7 @@ class CH3Device:
                 sync=req.sync,
                 payload=bytes(req.buf.view()),
             )
-            req.started = True
+            req.activate()
             req.bytes_moved = total
             self._emit(pkt)
             if req.sync:
@@ -135,7 +125,8 @@ class CH3Device:
                 req.complete()
         else:
             self.stats["rndv"] += 1
-            self._rndv_sends[req.op_id] = _SendState(req, dst)
+            req.mark_queued()
+            self._rndv_sends[req.op_id] = req
             self._emit(
                 Packet(
                     ptype=RTS,
@@ -158,19 +149,23 @@ class CH3Device:
         """Hand a wire-ready packet to the channel (ACKs skip sequencing)."""
         if not self.channel.send_packet(pkt):
             self._outbox.append(pkt)
+            return
+        cbs = self.hooks.packet_tx
+        if cbs:
+            for cb in cbs:
+                cb(pkt)
 
     # ------------------------------------------------------------------ recv
 
     def post_recv(self, req: Request) -> None:
         self.clock.charge(self.costs.posting_ns)
-        if self.obs is not None:
-            self.obs.event(
-                "mp.recv.post", src=req.peer, tag=req.tag, cap=req.buf.nbytes
-            )
-        if self.san is not None:
-            self.san.recv_posted(req)
+        cbs = self.hooks.recv_posted
+        if cbs:
+            for cb in cbs:
+                cb(req)
         msg = self.queues.match_unexpected(req.peer, req.tag, req.comm_id)
         if msg is None:
+            req.mark_queued()
             self.queues.post_recv(req)
             return
         self.clock.merge(msg.ts)
@@ -181,19 +176,20 @@ class CH3Device:
             # the destination now and clear the sender to stream.
             self._accept_rndv(req, msg.src, msg.tag, msg.send_op_id, msg.total)
 
-    def _obs_recv_complete(self, status: Status) -> None:
-        if self.obs is not None:
-            self.obs.event(
-                "mp.recv.complete",
-                src=status.source,
-                tag=status.tag,
-                bytes=status.count,
-            )
+    def _matched(self, req: Request, src: int, send_op_id: int) -> None:
+        cbs = self.hooks.match
+        if cbs:
+            for cb in cbs:
+                cb(req, src, send_op_id)
+
+    def _recv_complete(self, status: Status) -> None:
+        cbs = self.hooks.recv_complete
+        if cbs:
+            for cb in cbs:
+                cb(status)
 
     def _deliver_staged(self, req: Request, msg: UnexpectedMsg) -> None:
-        if self.san is not None:
-            self.san.recv_matched(req, msg.src)
-            self.san.send_consumed(msg.src, msg.send_op_id)
+        self._matched(req, msg.src, msg.send_op_id)
         n = min(msg.total, req.buf.nbytes)
         self.clock.charge(self.costs.copy_per_byte_ns * n)
         req.buf.write(0, msg.staged.view(0, n))
@@ -201,21 +197,19 @@ class CH3Device:
         if msg.total > req.buf.nbytes:
             self.stats["truncated"] += 1
             status.error = "MPI_ERR_TRUNCATE"
-        req.started = True
+        req.activate()
         req.bytes_moved = n
         req.complete(status)
-        self._obs_recv_complete(status)
+        self._recv_complete(status)
 
     def _accept_rndv(self, req: Request, src: int, tag: int, send_op_id: int, total: int) -> None:
-        if self.san is not None:
-            self.san.recv_matched(req, src)
-            self.san.send_consumed(src, send_op_id)
+        self._matched(req, src, send_op_id)
         if total > req.buf.nbytes:
             # Report truncation immediately; receive what fits.
             self.stats["truncated"] += 1
             req.status.error = "MPI_ERR_TRUNCATE"
         req.total = total
-        req.started = True
+        req.activate()
         self._rndv_recvs[(src, send_op_id)] = req
         # remember real source/tag for the final status
         req.status.source = src
@@ -235,8 +229,7 @@ class CH3Device:
     def cancel_recv(self, req: Request) -> bool:
         ok = self.queues.cancel_posted(req)
         if ok:
-            req.status.cancelled = True
-            req.complete()
+            req.cancel()
         return ok
 
     # ------------------------------------------------------------------ poll
@@ -246,6 +239,10 @@ class CH3Device:
         for pkt in list(self._outbox):
             if self.channel.send_packet(pkt):
                 self._outbox.remove(pkt)
+                cbs = self.hooks.packet_tx
+                if cbs:
+                    for cb in cbs:
+                        cb(pkt)
         handled = 0
         arrivals = self.channel.recv_packets(self.max_packets_per_poll)
         if self.rel is not None:
@@ -260,15 +257,19 @@ class CH3Device:
 
     def _interest(self) -> set[int]:
         """Peers whose silence would wedge us — heartbeat candidates."""
-        peers = {s.dst for s in self._rndv_sends.values()}
+        peers = {req.wdst for req in self._rndv_sends.values()}
         peers.update(src for src, _ in self._rndv_recvs)
         peers.update(req.peer for req in self._awaiting_fin.values())
-        peers.update(req.peer for req in self.queues.posted if req.peer >= 0)
+        peers.update(req.peer for req in self.queues.iter_posted() if req.peer >= 0)
         peers.discard(self.rank)
         return peers
 
     def _handle(self, pkt: Packet) -> None:
         self.clock.merge(pkt.ts)
+        cbs = self.hooks.packet_rx
+        if cbs:
+            for cb in cbs:
+                cb(pkt)
         if pkt.ptype == EAGER:
             self._on_eager(pkt)
         elif pkt.ptype == RTS:
@@ -310,19 +311,17 @@ class CH3Device:
                 # the message is matched; we note the divergence).
                 self._emit(Packet(ptype=FIN, src=self.rank, dst=pkt.src, op_id=pkt.op_id))
             return
-        if self.san is not None:
-            self.san.recv_matched(req, pkt.src)
-            self.san.send_consumed(pkt.src, pkt.op_id)
+        self._matched(req, pkt.src, pkt.op_id)
         n = min(pkt.total, req.buf.nbytes)
         req.buf.write(0, memoryview(pkt.payload)[:n])
         status = Status(source=pkt.src, tag=pkt.tag, count=n)
         if pkt.total > req.buf.nbytes:
             self.stats["truncated"] += 1
             status.error = "MPI_ERR_TRUNCATE"
-        req.started = True
+        req.activate()
         req.bytes_moved = n
         req.complete(status)
-        self._obs_recv_complete(status)
+        self._recv_complete(status)
         if pkt.sync:
             self._emit(Packet(ptype=FIN, src=self.rank, dst=pkt.src, op_id=pkt.op_id))
 
@@ -346,13 +345,13 @@ class CH3Device:
         self._accept_rndv(req, pkt.src, pkt.tag, pkt.op_id, pkt.total)
 
     def _on_cts(self, pkt: Packet) -> None:
-        state = self._rndv_sends.get(pkt.op_id)
-        if state is None:
+        req = self._rndv_sends.get(pkt.op_id)
+        if req is None:
             if self.rel is not None:
                 return  # stale packet after a failure cleanup
             raise MpiErrInternal(f"CTS for unknown send op {pkt.op_id}")
-        state.cleared = True
-        state.req.started = True
+        req.cleared = True
+        req.activate()
 
     def _on_data(self, pkt: Packet) -> None:
         key = (pkt.src, pkt.op_id)
@@ -375,7 +374,7 @@ class CH3Device:
                 error=req.status.error,
             )
             req.complete(status)
-            self._obs_recv_complete(status)
+            self._recv_complete(status)
 
     def _on_fin(self, pkt: Packet) -> None:
         req = self._awaiting_fin.pop(pkt.op_id, None)
@@ -385,31 +384,30 @@ class CH3Device:
     def _pump_streams(self) -> None:
         """Advance cleared rendezvous sends, a bounded number of chunks."""
         budget = self.max_stream_per_poll
-        for op_id, state in list(self._rndv_sends.items()):
-            if not state.cleared:
+        for op_id, req in list(self._rndv_sends.items()):
+            if not req.cleared:
                 continue
-            req = state.req
             total = req.total
-            while budget > 0 and state.cursor < total:
-                n = min(self.packet_size, total - state.cursor)
+            while budget > 0 and req.cursor < total:
+                n = min(self.packet_size, total - req.cursor)
                 # Read straight from the latched source buffer: if the
                 # object moved, this reads stale memory (the real hazard).
-                chunk = bytes(req.buf.read(state.cursor, n))
+                chunk = bytes(req.buf.read(req.cursor, n))
                 self._emit(
                     Packet(
                         ptype=DATA,
                         src=self.rank,
-                        dst=state.dst,
+                        dst=req.wdst,
                         op_id=op_id,
-                        offset=state.cursor,
+                        offset=req.cursor,
                         total=total,
                         payload=chunk,
                     )
                 )
-                state.cursor += n
-                req.bytes_moved = state.cursor
+                req.cursor += n
+                req.bytes_moved = req.cursor
                 budget -= 1
-            if state.cursor >= total:
+            if req.cursor >= total:
                 del self._rndv_sends[op_id]
                 req.complete()
 
@@ -417,19 +415,21 @@ class CH3Device:
 
     def _fail_request(self, req: Request) -> None:
         req.status.error = PROC_FAILED
-        req.complete(req.status)
+        req.fail(req.status)
 
     def _peer_failed(self, peer: int) -> None:
         """Retries to ``peer`` are exhausted: it is dead.  Complete every
         operation that depends on it with ``MPI_ERR_PROC_FAILED`` so no
         waiter spins forever (the "progress for all" guarantee)."""
         self.failed_ranks.add(peer)
-        if self.san is not None:
-            self.san.peer_failed(peer)
-        for op_id, state in list(self._rndv_sends.items()):
-            if state.dst == peer:
+        cbs = self.hooks.peer_failed
+        if cbs:
+            for cb in cbs:
+                cb(peer)
+        for op_id, req in list(self._rndv_sends.items()):
+            if req.wdst == peer:
                 del self._rndv_sends[op_id]
-                self._fail_request(state.req)
+                self._fail_request(req)
         for op_id, req in list(self._awaiting_fin.items()):
             if req.peer == peer:
                 del self._awaiting_fin[op_id]
@@ -452,7 +452,7 @@ class CH3Device:
             and not self._rndv_recvs
             and not self._awaiting_fin
             and not self._outbox
-            and not self.queues.posted
-            and not self.queues.unexpected
+            and not self.queues.posted_count
+            and not self.queues.unexpected_count
             and (self.rel is None or self.rel.quiescent)
         )

@@ -5,17 +5,27 @@ channel port implements five entry points; everything above (matching,
 protocol, collectives) is channel-independent.  Swapping the channel is
 how Motor would move from Windows sockets to shared memory or InfiniBand
 (paper §4.1).
+
+:class:`Channel` is the abstract transport contract (enforced with
+:mod:`abc` so a port that forgets an entry point fails at construction,
+not mid-run).  :class:`ChannelStack` is the base for *stacking* layers —
+wrappers like fault injection that compose over any concrete channel and
+delegate the five functions to an ``inner`` endpoint.  Hook wiring
+(:func:`repro.mp.hooks.wire_engine`) walks the ``inner`` chain so every
+layer of a stack shares the rank's spine.
 """
 
 from __future__ import annotations
 
+import abc
 from typing import Iterable
 
+from repro.mp.hooks import NULL_SPINE
 from repro.mp.packets import Packet
 from repro.simtime import Clock, CostModel
 
 
-class Channel:
+class Channel(abc.ABC):
     """One rank's endpoint into the interconnect.
 
     The five functions of the minimal channel port:
@@ -31,6 +41,10 @@ class Channel:
 
     name = "abstract"
 
+    #: the rank's hook spine; the counters below are exported as pull-model
+    #: pvars (mp.ch.packets_sent, ...) at snapshot time
+    hooks = NULL_SPINE
+
     def __init__(self, rank: int, clock: Clock, costs: CostModel) -> None:
         self.rank = rank
         self.clock = clock
@@ -38,9 +52,6 @@ class Channel:
         self.packets_sent = 0
         self.packets_received = 0
         self.bytes_sent = 0
-        #: observability hook; the counters above are exported as pull-model
-        #: pvars (mp.ch.packets_sent, ...) at snapshot time
-        self.obs = None
         #: set by finalize(); implementations guard on it so teardown is
         #: idempotent even when wiring crashed half-way
         self._finalized = False
@@ -49,15 +60,19 @@ class Channel:
 
     # -- the five functions ----------------------------------------------------
 
+    @abc.abstractmethod
     def init(self, world_size: int) -> None:
         raise NotImplementedError
 
+    @abc.abstractmethod
     def send_packet(self, pkt: Packet) -> bool:
         raise NotImplementedError
 
+    @abc.abstractmethod
     def recv_packets(self, limit: int | None = None) -> list[Packet]:
         raise NotImplementedError
 
+    @abc.abstractmethod
     def has_incoming(self) -> bool:
         raise NotImplementedError
 
@@ -91,6 +106,54 @@ class Channel:
         pkt.ts = drain + latency_ns
         self.packets_sent += 1
         self.bytes_sent += nbytes
+
+
+class ChannelStack(Channel):
+    """Base for stacking layers that wrap a concrete channel endpoint.
+
+    Default behaviour is pure delegation to ``inner``; a layer overrides
+    only the functions it perturbs (the fault injector overrides all of
+    them, a future compression layer might override just ``send_packet``
+    and ``recv_packets``).  ``init`` deliberately does not re-init the
+    inner endpoint — the inner fabric already did.
+    """
+
+    name = "stack"
+
+    def __init__(self, inner: Channel) -> None:
+        super().__init__(inner.rank, inner.clock, inner.costs)
+        self.inner = inner
+
+    def init(self, world_size: int) -> None:
+        self.world_size = world_size
+
+    def send_packet(self, pkt: Packet) -> bool:
+        ok = self.inner.send_packet(pkt)
+        if ok:
+            self.packets_sent += 1
+            self.bytes_sent += len(pkt.payload)
+        return ok
+
+    def recv_packets(self, limit: int | None = None) -> list[Packet]:
+        pkts = self.inner.recv_packets(limit)
+        self.packets_received += len(pkts)
+        return pkts
+
+    def has_incoming(self) -> bool:
+        return self.inner.has_incoming()
+
+    def finalize(self) -> None:
+        if self._finalized:
+            return
+        self._finalized = True
+        self.inner.finalize()
+
+    def unwrap(self) -> Channel:
+        """The innermost concrete channel under this stack."""
+        ch = self.inner
+        while isinstance(ch, ChannelStack):
+            ch = ch.inner
+        return ch
 
 
 class ChannelFabric:

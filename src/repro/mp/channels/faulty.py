@@ -27,7 +27,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.mp.channels.base import Channel, ChannelFabric
+from repro.mp.channels.base import Channel, ChannelFabric, ChannelStack
 from repro.mp.packets import Packet
 from repro.simtime import Clock, CostModel
 
@@ -124,14 +124,13 @@ class _Held:
         self.polls_left = polls_left
 
 
-class FaultyChannel(Channel):
-    """Wraps any channel endpoint and injects the plan's faults."""
+class FaultyChannel(ChannelStack):
+    """Stacking layer over any channel endpoint, injecting the plan's faults."""
 
     name = "faulty"
 
     def __init__(self, inner: Channel, plan: FaultPlan) -> None:
-        super().__init__(inner.rank, inner.clock, inner.costs)
-        self.inner = inner
+        super().__init__(inner)
         self.plan = plan
         self._rng: dict[int, random.Random] = {}
         self._link_index: dict[int, int] = {}
@@ -143,10 +142,6 @@ class FaultyChannel(Channel):
         self.fault_stats["to_dead"] = 0
 
     # -- the five functions --------------------------------------------------------
-
-    def init(self, world_size: int) -> None:
-        # the inner endpoint was initialised by its own fabric
-        self.world_size = world_size
 
     def send_packet(self, pkt: Packet) -> bool:
         if self.plan.is_dead(self.rank):
@@ -166,6 +161,10 @@ class FaultyChannel(Channel):
         if fault is not None:
             self.fault_log.append((dst, idx, fault, pkt.kind))
             self.fault_stats[fault] += 1
+            cbs = self.hooks.fault_injected
+            if cbs:
+                for cb in cbs:
+                    cb(dst, idx, fault, pkt.kind)
         ok = True
         if fault == DROP:
             pass

@@ -6,6 +6,19 @@ the root, reduce as gather-and-combine.  All collective traffic runs on
 the communicator's odd (collective) context id with reserved tags, so it
 can never match user receives.
 
+Every algorithm is written once, as a *schedule* generator (``_sched_*``)
+yielding rounds of nonblocking point-to-point requests; see
+:mod:`repro.mp.schedule`.  The blocking entry points (``barrier``,
+``bcast``, …) drive the generator inline, waiting out each round — byte
+for byte the same traffic in the same order as before the refactor.  The
+nonblocking entry points (``ibarrier``, ``ibcast``, …) hand the generator
+to the progress core and return a request immediately.
+
+Schedules mark their extent with ``region_begin``/``region_end`` on the
+engine's hook spine: the observability layer turns regions into spans
+("coll.bcast"), the sanitizer uses them to label point-to-point traffic
+with the collective it belongs to in deadlock reports.
+
 Byte-counted interfaces take :class:`BufferDesc`; the ``*_bytes`` helpers
 exchange variable-length blobs (used by comm_split and the object layers
 above).
@@ -14,42 +27,42 @@ above).
 from __future__ import annotations
 
 import struct
-from contextlib import nullcontext
 from typing import Callable
 
 from repro.mp.buffers import BufferDesc, NativeMemory
 from repro.mp.datatypes import Datatype
 from repro.mp.errors import MpiErrCount, MpiErrRoot
 
-_NULL_SPAN = nullcontext()
 
+class _Region:
+    """Emit region_begin/region_end on the engine's spine (cheap when
+    nothing is attached: two empty-tuple checks)."""
 
-class _SanScope:
-    """Tell the rank's sanitizer which collective its p2p traffic belongs
-    to (deadlock reports then show 'coll.barrier' instead of raw tags)."""
+    __slots__ = ("hooks", "name", "args")
 
-    __slots__ = ("san", "name", "inner")
-
-    def __init__(self, san, name: str, inner) -> None:
-        self.san = san
+    def __init__(self, hooks, name: str, args: dict) -> None:
+        self.hooks = hooks
         self.name = name
-        self.inner = inner
+        self.args = args
 
     def __enter__(self):
-        self.san.collective(self.name)
-        return self.inner.__enter__()
+        cbs = self.hooks.region_begin
+        if cbs:
+            for cb in cbs:
+                cb(self.name, self.args)
+        return self
 
     def __exit__(self, *exc):
-        self.san.collective(None)
-        return self.inner.__exit__(*exc)
+        cbs = self.hooks.region_end
+        if cbs:
+            for cb in cbs:
+                cb(self.name)
+        return False
 
 
-def _span(engine, name: str, **args):
-    """Open a collective span on the engine's obs hook (no-op when absent)."""
-    obs = getattr(engine, "obs", None)
-    span = _NULL_SPAN if obs is None else obs.span(name, **args)
-    san = getattr(engine, "san", None)
-    return span if san is None else _SanScope(san, name, span)
+def _region(engine, name: str, **args) -> _Region:
+    return _Region(engine.hooks, name, args)
+
 
 #: reserved tag space for collectives (above MPI_TAG_UB)
 _TAG_BARRIER = (1 << 20) + 1
@@ -82,16 +95,41 @@ def _check_root(comm, root: int) -> None:
         raise MpiErrRoot(f"root {root} invalid for communicator of size {comm.size}")
 
 
+def _check_op(op: str) -> Callable:
+    try:
+        return OPS[op]
+    except KeyError:
+        raise KeyError(f"unknown reduction op {op!r} (have {sorted(OPS)})") from None
+
+
+# -- executors ----------------------------------------------------------------
+
+
+def _run_inline(engine, gen) -> None:
+    """Drive a schedule to completion, waiting out each round (blocking)."""
+    try:
+        for rnd in gen:
+            for req in rnd:
+                engine.progress.wait(req)
+    finally:
+        gen.close()
+
+
+def _start(engine, name: str, comm, gen):
+    """Hand a schedule to the progress core; returns its CollRequest."""
+    return engine.start_schedule(name, comm, gen)
+
+
 # -- barrier ------------------------------------------------------------------
 
 
-def barrier(engine, comm) -> None:
+def _sched_barrier(engine, comm):
     """Dissemination barrier: ceil(log2 n) rounds of empty messages."""
     n = comm.size
     if n == 1:
         return
     rank = comm.rank
-    with _span(engine, "coll.barrier", size=n):
+    with _region(engine, "coll.barrier", size=n):
         empty = BufferDesc.from_bytes(b"")
         k = 1
         while k < n:
@@ -100,21 +138,27 @@ def barrier(engine, comm) -> None:
             sreq = engine.isend(empty, dst, _TAG_BARRIER, comm, _internal=True)
             rbuf = BufferDesc.from_bytes(b"")
             rreq = engine.irecv(rbuf, src, _TAG_BARRIER, comm, _internal=True)
-            engine.progress.wait(sreq)
-            engine.progress.wait(rreq)
+            yield [sreq, rreq]
             k <<= 1
+
+
+def barrier(engine, comm) -> None:
+    _run_inline(engine, _sched_barrier(engine, comm))
+
+
+def ibarrier(engine, comm):
+    return _start(engine, "coll.barrier", comm, _sched_barrier(engine, comm))
 
 
 # -- broadcast ------------------------------------------------------------------
 
 
-def bcast(engine, comm, buf: BufferDesc, root: int = 0) -> None:
+def _sched_bcast(engine, comm, buf: BufferDesc, root: int):
     """Binomial-tree broadcast of ``buf`` bytes from ``root``."""
-    _check_root(comm, root)
     n = comm.size
     if n == 1:
         return
-    with _span(engine, "coll.bcast", root=root, bytes=buf.nbytes):
+    with _region(engine, "coll.bcast", root=root, bytes=buf.nbytes):
         # Rotate so the root is virtual rank 0.
         vrank = (comm.rank - root) % n
         mask = 1
@@ -122,9 +166,7 @@ def bcast(engine, comm, buf: BufferDesc, root: int = 0) -> None:
         while mask < n:
             if vrank & mask:
                 parent = ((vrank & ~mask) + root) % n
-                engine.progress.wait(
-                    engine.irecv(buf, parent, _TAG_BCAST, comm, _internal=True)
-                )
+                yield [engine.irecv(buf, parent, _TAG_BCAST, comm, _internal=True)]
                 break
             mask <<= 1
         # Send phase: forward to children below the found bit.
@@ -132,21 +174,28 @@ def bcast(engine, comm, buf: BufferDesc, root: int = 0) -> None:
         while mask > 0:
             if vrank + mask < n:
                 child = ((vrank + mask) + root) % n
-                engine.progress.wait(
-                    engine.isend(buf, child, _TAG_BCAST, comm, _internal=True)
-                )
+                yield [engine.isend(buf, child, _TAG_BCAST, comm, _internal=True)]
             mask >>= 1
+
+
+def bcast(engine, comm, buf: BufferDesc, root: int = 0) -> None:
+    _check_root(comm, root)
+    _run_inline(engine, _sched_bcast(engine, comm, buf, root))
+
+
+def ibcast(engine, comm, buf: BufferDesc, root: int = 0):
+    _check_root(comm, root)
+    return _start(engine, "coll.bcast", comm, _sched_bcast(engine, comm, buf, root))
 
 
 # -- scatter / gather ------------------------------------------------------------
 
 
-def scatter(engine, comm, sendbuf: BufferDesc | None, recvbuf: BufferDesc, root: int = 0) -> None:
+def _sched_scatter(engine, comm, sendbuf, recvbuf, root):
     """Equal-slice scatter: rank i gets slice i of the root's buffer."""
-    _check_root(comm, root)
     n = comm.size
     each = recvbuf.nbytes
-    with _span(engine, "coll.scatter", root=root, bytes=each):
+    with _region(engine, "coll.scatter", root=root, bytes=each):
         if comm.rank == root:
             if sendbuf is None or sendbuf.nbytes != each * n:
                 raise MpiErrCount(
@@ -160,16 +209,23 @@ def scatter(engine, comm, sendbuf: BufferDesc | None, recvbuf: BufferDesc, root:
                 else:
                     piece = BufferDesc(sendbuf.base, sendbuf.addr + i * each, each)
                     reqs.append(engine.isend(piece, i, _TAG_SCATTER, comm, _internal=True))
-            engine.progress.wait_all(reqs)
+            yield reqs
         else:
-            engine.progress.wait(
-                engine.irecv(recvbuf, root, _TAG_SCATTER, comm, _internal=True)
-            )
+            yield [engine.irecv(recvbuf, root, _TAG_SCATTER, comm, _internal=True)]
 
 
-def scatterv(engine, comm, sendbuf, counts, displs, recvbuf: BufferDesc, root: int = 0) -> None:
-    """Variable-slice scatter (MPI_Scatterv), counts/displs in bytes."""
+def scatter(engine, comm, sendbuf: BufferDesc | None, recvbuf: BufferDesc, root: int = 0) -> None:
     _check_root(comm, root)
+    _run_inline(engine, _sched_scatter(engine, comm, sendbuf, recvbuf, root))
+
+
+def iscatter(engine, comm, sendbuf: BufferDesc | None, recvbuf: BufferDesc, root: int = 0):
+    _check_root(comm, root)
+    return _start(engine, "coll.scatter", comm, _sched_scatter(engine, comm, sendbuf, recvbuf, root))
+
+
+def _sched_scatterv(engine, comm, sendbuf, counts, displs, recvbuf, root):
+    """Variable-slice scatter (MPI_Scatterv), counts/displs in bytes."""
     n = comm.size
     if comm.rank == root:
         if len(counts) != n or len(displs) != n:
@@ -181,19 +237,29 @@ def scatterv(engine, comm, sendbuf, counts, displs, recvbuf: BufferDesc, root: i
                 recvbuf.write(0, piece.view())
             else:
                 reqs.append(engine.isend(piece, i, _TAG_SCATTER, comm, _internal=True))
-        engine.progress.wait_all(reqs)
+        yield reqs
     else:
-        engine.progress.wait(
-            engine.irecv(recvbuf, root, _TAG_SCATTER, comm, _internal=True)
-        )
+        yield [engine.irecv(recvbuf, root, _TAG_SCATTER, comm, _internal=True)]
 
 
-def gather(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc | None, root: int = 0) -> None:
-    """Equal-slice gather into the root's buffer."""
+def scatterv(engine, comm, sendbuf, counts, displs, recvbuf: BufferDesc, root: int = 0) -> None:
     _check_root(comm, root)
+    _run_inline(engine, _sched_scatterv(engine, comm, sendbuf, counts, displs, recvbuf, root))
+
+
+def iscatterv(engine, comm, sendbuf, counts, displs, recvbuf: BufferDesc, root: int = 0):
+    _check_root(comm, root)
+    return _start(
+        engine, "coll.scatterv", comm,
+        _sched_scatterv(engine, comm, sendbuf, counts, displs, recvbuf, root),
+    )
+
+
+def _sched_gather(engine, comm, sendbuf, recvbuf, root):
+    """Equal-slice gather into the root's buffer."""
     n = comm.size
     each = sendbuf.nbytes
-    with _span(engine, "coll.gather", root=root, bytes=each):
+    with _region(engine, "coll.gather", root=root, bytes=each):
         if comm.rank == root:
             if recvbuf is None or recvbuf.nbytes != each * n:
                 raise MpiErrCount(
@@ -207,16 +273,23 @@ def gather(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc | None, root: 
                 else:
                     piece = BufferDesc(recvbuf.base, recvbuf.addr + i * each, each)
                     reqs.append(engine.irecv(piece, i, _TAG_GATHER, comm, _internal=True))
-            engine.progress.wait_all(reqs)
+            yield reqs
         else:
-            engine.progress.wait(
-                engine.isend(sendbuf, root, _TAG_GATHER, comm, _internal=True)
-            )
+            yield [engine.isend(sendbuf, root, _TAG_GATHER, comm, _internal=True)]
 
 
-def gatherv(engine, comm, sendbuf: BufferDesc, recvbuf, counts, displs, root: int = 0) -> None:
-    """Variable-slice gather (MPI_Gatherv), counts/displs in bytes."""
+def gather(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc | None, root: int = 0) -> None:
     _check_root(comm, root)
+    _run_inline(engine, _sched_gather(engine, comm, sendbuf, recvbuf, root))
+
+
+def igather(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc | None, root: int = 0):
+    _check_root(comm, root)
+    return _start(engine, "coll.gather", comm, _sched_gather(engine, comm, sendbuf, recvbuf, root))
+
+
+def _sched_gatherv(engine, comm, sendbuf, recvbuf, counts, displs, root):
+    """Variable-slice gather (MPI_Gatherv), counts/displs in bytes."""
     n = comm.size
     if comm.rank == root:
         if len(counts) != n or len(displs) != n:
@@ -228,28 +301,51 @@ def gatherv(engine, comm, sendbuf: BufferDesc, recvbuf, counts, displs, root: in
             else:
                 piece = BufferDesc(recvbuf.base, recvbuf.addr + displs[i], counts[i])
                 reqs.append(engine.irecv(piece, i, _TAG_GATHER, comm, _internal=True))
-        engine.progress.wait_all(reqs)
+        yield reqs
     else:
-        engine.progress.wait(
-            engine.isend(sendbuf, root, _TAG_GATHER, comm, _internal=True)
-        )
+        yield [engine.isend(sendbuf, root, _TAG_GATHER, comm, _internal=True)]
+
+
+def gatherv(engine, comm, sendbuf: BufferDesc, recvbuf, counts, displs, root: int = 0) -> None:
+    _check_root(comm, root)
+    _run_inline(engine, _sched_gatherv(engine, comm, sendbuf, recvbuf, counts, displs, root))
+
+
+def igatherv(engine, comm, sendbuf: BufferDesc, recvbuf, counts, displs, root: int = 0):
+    _check_root(comm, root)
+    return _start(
+        engine, "coll.gatherv", comm,
+        _sched_gatherv(engine, comm, sendbuf, recvbuf, counts, displs, root),
+    )
+
+
+def _sched_allgather(engine, comm, sendbuf, recvbuf):
+    """gather to rank 0 then broadcast (fine at these scales)."""
+    with _region(engine, "coll.allgather", bytes=sendbuf.nbytes):
+        yield from _sched_gather(engine, comm, sendbuf, recvbuf if comm.rank == 0 else None, 0)
+        yield from _sched_bcast(engine, comm, recvbuf, 0)
 
 
 def allgather(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc) -> None:
-    """gather to rank 0 then broadcast (fine at these scales)."""
-    with _span(engine, "coll.allgather", bytes=sendbuf.nbytes):
-        gather(engine, comm, sendbuf, recvbuf if comm.rank == 0 else None, 0)
-        bcast(engine, comm, recvbuf, 0)
+    _run_inline(engine, _sched_allgather(engine, comm, sendbuf, recvbuf))
 
 
-def alltoall(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc) -> None:
-    """Pairwise exchange of equal slices."""
+def iallgather(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc):
+    return _start(engine, "coll.allgather", comm, _sched_allgather(engine, comm, sendbuf, recvbuf))
+
+
+def _check_alltoall(comm, sendbuf, recvbuf) -> int:
     n = comm.size
     if sendbuf.nbytes != recvbuf.nbytes or sendbuf.nbytes % n:
         raise MpiErrCount("alltoall: buffers must be equal and divisible by size")
-    each = sendbuf.nbytes // n
+    return sendbuf.nbytes // n
+
+
+def _sched_alltoall(engine, comm, sendbuf, recvbuf, each):
+    """Pairwise exchange of equal slices."""
+    n = comm.size
     rank = comm.rank
-    with _span(engine, "coll.alltoall", bytes=each):
+    with _region(engine, "coll.alltoall", bytes=each):
         recvbuf.write(rank * each, sendbuf.read(rank * each, each))
         reqs = []
         for i in range(n):
@@ -262,10 +358,49 @@ def alltoall(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc) -> None:
                 continue
             spiece = BufferDesc(sendbuf.base, sendbuf.addr + i * each, each)
             reqs.append(engine.isend(spiece, i, _TAG_ALLTOALL, comm, _internal=True))
-        engine.progress.wait_all(reqs)
+        yield reqs
+
+
+def alltoall(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc) -> None:
+    each = _check_alltoall(comm, sendbuf, recvbuf)
+    _run_inline(engine, _sched_alltoall(engine, comm, sendbuf, recvbuf, each))
+
+
+def ialltoall(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc):
+    each = _check_alltoall(comm, sendbuf, recvbuf)
+    return _start(engine, "coll.alltoall", comm, _sched_alltoall(engine, comm, sendbuf, recvbuf, each))
 
 
 # -- reductions ------------------------------------------------------------------
+
+
+def _sched_reduce(engine, comm, sendbuf, recvbuf, datatype, op, root):
+    """Element-wise reduction at the root (linear combine).
+
+    Contributions are folded in strict ascending rank order regardless of
+    ``root``, so non-associative (floating-point) results are bit-identical
+    for every choice of root.
+    """
+    combine = OPS[op]
+    n = comm.size
+    with _region(engine, "coll.reduce", op=op, root=root, bytes=sendbuf.nbytes):
+        if comm.rank == root:
+            if recvbuf is None or recvbuf.nbytes != sendbuf.nbytes:
+                raise MpiErrCount("reduce: recv buffer must match send buffer size")
+            contribs: list[list | None] = [None] * n
+            contribs[root] = list(datatype.unpack_values(sendbuf.tobytes()))
+            tmp = BufferDesc.from_native(NativeMemory(sendbuf.nbytes))
+            for i in range(n):
+                if i == root:
+                    continue
+                yield [engine.irecv(tmp, i, _TAG_REDUCE, comm, _internal=True)]
+                contribs[i] = list(datatype.unpack_values(tmp.tobytes()))
+            acc = contribs[0]
+            for i in range(1, n):
+                acc = [combine(a, b) for a, b in zip(acc, contribs[i])]
+            recvbuf.write(0, datatype.pack_values(acc))
+        else:
+            yield [engine.isend(sendbuf, root, _TAG_REDUCE, comm, _internal=True)]
 
 
 def reduce(
@@ -277,43 +412,45 @@ def reduce(
     op: str = "sum",
     root: int = 0,
 ) -> None:
-    """Element-wise reduction at the root (linear combine).
-
-    Contributions are folded in strict ascending rank order regardless of
-    ``root``, so non-associative (floating-point) results are bit-identical
-    for every choice of root.
-    """
     _check_root(comm, root)
-    combine = OPS[op]
-    n = comm.size
-    with _span(engine, "coll.reduce", op=op, root=root, bytes=sendbuf.nbytes):
-        if comm.rank == root:
-            if recvbuf is None or recvbuf.nbytes != sendbuf.nbytes:
-                raise MpiErrCount("reduce: recv buffer must match send buffer size")
-            contribs: list[list | None] = [None] * n
-            contribs[root] = list(datatype.unpack_values(sendbuf.tobytes()))
-            tmp = BufferDesc.from_native(NativeMemory(sendbuf.nbytes))
-            for i in range(n):
-                if i == root:
-                    continue
-                engine.progress.wait(
-                    engine.irecv(tmp, i, _TAG_REDUCE, comm, _internal=True)
-                )
-                contribs[i] = list(datatype.unpack_values(tmp.tobytes()))
-            acc = contribs[0]
-            for i in range(1, n):
-                acc = [combine(a, b) for a, b in zip(acc, contribs[i])]
-            recvbuf.write(0, datatype.pack_values(acc))
-        else:
-            engine.progress.wait(
-                engine.isend(sendbuf, root, _TAG_REDUCE, comm, _internal=True)
-            )
+    _check_op(op)
+    _run_inline(engine, _sched_reduce(engine, comm, sendbuf, recvbuf, datatype, op, root))
+
+
+def ireduce(
+    engine,
+    comm,
+    sendbuf: BufferDesc,
+    recvbuf: BufferDesc | None,
+    datatype: Datatype,
+    op: str = "sum",
+    root: int = 0,
+):
+    _check_root(comm, root)
+    _check_op(op)
+    return _start(
+        engine, "coll.reduce", comm,
+        _sched_reduce(engine, comm, sendbuf, recvbuf, datatype, op, root),
+    )
+
+
+def _sched_allreduce(engine, comm, sendbuf, recvbuf, datatype, op):
+    with _region(engine, "coll.allreduce", op=op, bytes=sendbuf.nbytes):
+        yield from _sched_reduce(engine, comm, sendbuf, recvbuf, datatype, op, 0)
+        yield from _sched_bcast(engine, comm, recvbuf, 0)
 
 
 def allreduce(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc, datatype: Datatype, op: str = "sum") -> None:
-    with _span(engine, "coll.allreduce", op=op, bytes=sendbuf.nbytes):
-        reduce(engine, comm, sendbuf, recvbuf, datatype, op, 0)
-        bcast(engine, comm, recvbuf, 0)
+    _check_op(op)
+    _run_inline(engine, _sched_allreduce(engine, comm, sendbuf, recvbuf, datatype, op))
+
+
+def iallreduce(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc, datatype: Datatype, op: str = "sum"):
+    _check_op(op)
+    return _start(
+        engine, "coll.allreduce", comm,
+        _sched_allreduce(engine, comm, sendbuf, recvbuf, datatype, op),
+    )
 
 
 def sendrecv(
@@ -341,7 +478,7 @@ def sendrecv(
     return rreq.status
 
 
-def scan(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc, datatype: Datatype, op: str = "sum") -> None:
+def _sched_scan(engine, comm, sendbuf, recvbuf, datatype, op):
     """MPI_Scan: inclusive prefix reduction (rank i gets op over 0..i).
 
     Linear pipeline: each rank combines its predecessor's prefix with its
@@ -349,21 +486,31 @@ def scan(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc, datatype: Datat
     """
     combine = OPS[op]
     rank, n = comm.rank, comm.size
-    with _span(engine, "coll.scan", op=op, bytes=sendbuf.nbytes):
+    with _region(engine, "coll.scan", op=op, bytes=sendbuf.nbytes):
         mine = list(datatype.unpack_values(sendbuf.tobytes()))
         if rank > 0:
             prev = BufferDesc.from_native(NativeMemory(sendbuf.nbytes))
-            engine.progress.wait(
-                engine.irecv(prev, rank - 1, _TAG_SCAN, comm, _internal=True)
-            )
+            yield [engine.irecv(prev, rank - 1, _TAG_SCAN, comm, _internal=True)]
             upstream = datatype.unpack_values(prev.tobytes())
             mine = [combine(a, b) for a, b in zip(upstream, mine)]
         packed = datatype.pack_values(mine)
         if rank < n - 1:
-            engine.progress.wait(
-                engine.isend(BufferDesc.from_bytes(packed), rank + 1, _TAG_SCAN, comm, _internal=True)
-            )
+            yield [
+                engine.isend(
+                    BufferDesc.from_bytes(packed), rank + 1, _TAG_SCAN, comm, _internal=True
+                )
+            ]
         recvbuf.write(0, packed)
+
+
+def scan(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc, datatype: Datatype, op: str = "sum") -> None:
+    _check_op(op)
+    _run_inline(engine, _sched_scan(engine, comm, sendbuf, recvbuf, datatype, op))
+
+
+def iscan(engine, comm, sendbuf: BufferDesc, recvbuf: BufferDesc, datatype: Datatype, op: str = "sum"):
+    _check_op(op)
+    return _start(engine, "coll.scan", comm, _sched_scan(engine, comm, sendbuf, recvbuf, datatype, op))
 
 
 # -- variable-length blob exchange ------------------------------------------------
@@ -373,7 +520,7 @@ def gather_bytes(engine, comm, data: bytes, root: int = 0) -> list[bytes] | None
     """Gather arbitrary-length byte strings at the root."""
     lenbuf = BufferDesc.from_bytes(struct.pack("<q", len(data)))
     n = comm.size
-    with _span(engine, "coll.gather_bytes", root=root, bytes=len(data)):
+    with _region(engine, "coll.gather_bytes", root=root, bytes=len(data)):
         if comm.rank == root:
             lens = BufferDesc.from_native(NativeMemory(8 * n))
             gather(engine, comm, lenbuf, lens, root)

@@ -26,9 +26,11 @@ from repro.mp.errors import (
     MpiErrTruncate,
     MpiFatalError,
 )
+from repro.mp.hooks import wire_engine
 from repro.mp.matching import ANY_SOURCE, ANY_TAG
 from repro.mp.progress import ProgressEngine
 from repro.mp.request import RECV, SEND, Request
+from repro.mp.schedule import Schedule
 from repro.mp.status import Status
 from repro.simtime import Clock, CostModel, WallClock
 
@@ -65,8 +67,9 @@ class MpiEngine:
             reliability_opts=reliability_opts,
         )
         self.progress = ProgressEngine(self.device, yield_fn)
-        #: observability hook (repro.obs): collectives open spans on it
-        self.obs = None
+        #: the rank's hook spine, shared by every layer of this stack;
+        #: observers (repro.obs, repro.analyze) attach here
+        self.hooks = wire_engine(self)
         self.comm_world = Communicator(
             engine=self, context_id=0, group=Group(range(world_size)), rank=rank
         )
@@ -117,7 +120,9 @@ class MpiEngine:
             self._check_tag(tag)
         comm.check_rank(dest)
         ctx = comm.coll_context_id if _internal else comm.context_id
-        req = Request(SEND, buf, dest, tag, ctx, total=buf.nbytes, sync=sync)
+        req = Request(
+            SEND, buf, dest, tag, ctx, total=buf.nbytes, sync=sync, hooks=self.hooks
+        )
         self.device.start_send(req, comm.world_rank_of(dest))
         return req
 
@@ -139,7 +144,7 @@ class MpiEngine:
         src_world = (
             ANY_SOURCE if source == ANY_SOURCE else comm.world_rank_of(source)
         )
-        req = Request(RECV, buf, src_world, tag, ctx, total=buf.nbytes)
+        req = Request(RECV, buf, src_world, tag, ctx, total=buf.nbytes, hooks=self.hooks)
         self.device.post_recv(req)
         return req
 
@@ -367,10 +372,63 @@ class MpiEngine:
             errhandler=comm.errhandler,
         )
 
+    # ------------------------------------------------------------- collectives
+
+    def start_schedule(self, name: str, comm: Communicator, gen) -> Request:
+        """Register a collective schedule with the progress core.
+
+        The first advance runs synchronously so parameter errors raise at
+        the call site; a schedule that finishes immediately (size-1
+        communicator, root with nothing to wait for) never registers.
+        """
+        sched = Schedule(self, name, comm, gen)
+        if not sched.step():
+            self.progress.add_schedule(sched)
+        return sched.req
+
     def barrier(self, comm: Communicator | None = None) -> None:
         from repro.mp import collectives
 
         collectives.barrier(self, comm or self.comm_world)
+
+    def ibarrier(self, comm: Communicator | None = None) -> Request:
+        from repro.mp import collectives
+
+        return collectives.ibarrier(self, comm or self.comm_world)
+
+    def ibcast(self, buf: BufferDesc, root: int = 0, comm: Communicator | None = None) -> Request:
+        from repro.mp import collectives
+
+        return collectives.ibcast(self, comm or self.comm_world, buf, root)
+
+    def ireduce(
+        self,
+        sendbuf: BufferDesc,
+        recvbuf: BufferDesc | None,
+        datatype,
+        op: str = "sum",
+        root: int = 0,
+        comm: Communicator | None = None,
+    ) -> Request:
+        from repro.mp import collectives
+
+        return collectives.ireduce(
+            self, comm or self.comm_world, sendbuf, recvbuf, datatype, op, root
+        )
+
+    def iallreduce(
+        self,
+        sendbuf: BufferDesc,
+        recvbuf: BufferDesc,
+        datatype,
+        op: str = "sum",
+        comm: Communicator | None = None,
+    ) -> Request:
+        from repro.mp import collectives
+
+        return collectives.iallreduce(
+            self, comm or self.comm_world, sendbuf, recvbuf, datatype, op
+        )
 
     def finalize(self) -> None:
         self.finalized = True

@@ -12,6 +12,11 @@ where each integration plugs its own discipline:
   nothing about the collector, which is exactly the architectural problem
   the paper identifies.
 
+Besides point-to-point requests, the progress engine executes collective
+*schedules* (:mod:`repro.mp.schedule`): each registered schedule is
+advanced once per poll, which is what makes ``ibarrier``/``ibcast``/…
+progress while the caller computes.
+
 The wait is bounded two ways ("MPI Progress For All"): an optional wall
 ``timeout`` raises :class:`MpiErrTimeout`, and a request completed with
 ``MPI_ERR_PROC_FAILED`` (the reliability sublayer's dead-peer verdict)
@@ -26,6 +31,7 @@ from typing import Callable, Iterable
 
 from repro.mp.ch3 import CH3Device
 from repro.mp.errors import MpiErrProcFailed, MpiErrTimeout
+from repro.mp.hooks import NULL_SPINE
 from repro.mp.reliability import PROC_FAILED
 from repro.mp.request import Request
 
@@ -33,21 +39,29 @@ from repro.mp.request import Request
 class ProgressEngine:
     """Drives one rank's device until requests complete."""
 
+    #: the rank's hook spine (wait enter/tick/exit feed the sanitizer's
+    #: cross-rank wait-for graph; polls are exported as pull-model pvars)
+    hooks = NULL_SPINE
+
     def __init__(self, device: CH3Device, yield_fn: Callable[[], None] | None = None) -> None:
         self.device = device
         self.yield_fn = yield_fn
         self.polls = 0
         self.idle_polls = 0
-        #: observability hook (repro.obs reads polls via a pull provider,
-        #: so the poll loop itself stays probe-free)
-        self.obs = None
-        #: sanitizer hook (repro.analyze): wait enter/tick/exit feed the
-        #: cross-rank wait-for graph; None = unsanitized
-        self.san = None
+        #: collective schedules the progress core is executing
+        self._schedules: list = []
+
+    def add_schedule(self, sched) -> None:
+        """Register a collective schedule for per-poll advancement."""
+        self._schedules.append(sched)
 
     def poll(self) -> int:
         self.polls += 1
         handled = self.device.poll()
+        if self._schedules:
+            for sched in list(self._schedules):
+                if sched.step():
+                    self._schedules.remove(sched)
         if handled == 0:
             self.idle_polls += 1
         if self.yield_fn is not None:
@@ -70,9 +84,11 @@ class ProgressEngine:
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         spin = 0
-        san = self.san
-        if san is not None:
-            san.wait_enter(req)
+        h = self.hooks
+        cbs = h.wait_enter
+        if cbs:
+            for cb in cbs:
+                cb(req)
         try:
             while not req.completed:
                 if self.poll() == 0:
@@ -81,10 +97,12 @@ class ProgressEngine:
                         # Let the peer thread run (simulated SwitchToThread);
                         # real MPICH2 spins the same way before backing off.
                         time.sleep(0)
-                        if san is not None:
+                        ticks = h.wait_tick
+                        if ticks:
                             # idle backoff: the quiet moment to look for a
                             # cross-rank deadlock knot
-                            san.wait_tick(req)
+                            for cb in ticks:
+                                cb(req)
                 else:
                     spin = 0
                 # checked every iteration: a chatty-but-stuck peer (heartbeats,
@@ -94,8 +112,10 @@ class ProgressEngine:
                         f"request {req.op_id} incomplete after {timeout}s"
                     )
         finally:
-            if san is not None:
-                san.wait_exit(req)
+            cbs = h.wait_exit
+            if cbs:
+                for cb in cbs:
+                    cb(req)
         self._check_failed(req)
 
     def wait_all(self, reqs: Iterable[Request], timeout: float | None = None) -> None:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable
 
+from repro.mp.hooks import NULL_SPINE
 from repro.mp.packets import ACK, PING, Packet
 
 #: sentinel error string carried in Status.error for failed peers
@@ -44,6 +45,10 @@ class _Unacked:
 
 class ReliabilityLayer:
     """One rank's reliable-delivery state over an unreliable channel."""
+
+    #: the rank's hook spine (emits ``retransmit``; the stats dict below is
+    #: exported as pull-model pvars — rel.retransmits, rel.acks_sent, ...)
+    hooks = NULL_SPINE
 
     def __init__(
         self,
@@ -79,9 +84,6 @@ class ReliabilityLayer:
         self._last_heard: dict[int, int] = {}
         self.failed: set[int] = set()
         self.on_peer_failed: Callable[[int], None] | None = None
-        #: observability hook; the stats dict below is exported as pull-model
-        #: pvars (rel.retransmits, rel.acks_sent, ...) at snapshot time
-        self.obs = None
         self.stats = {
             "acks_sent": 0,
             "retransmits": 0,
@@ -188,6 +190,10 @@ class ReliabilityLayer:
             entry.retries += 1
             entry.sent_at = self.polls
             self.stats["retransmits"] += 1
+            cbs = self.hooks.retransmit
+            if cbs:
+                for cb in cbs:
+                    cb(entry.pkt, entry.retries)
             emit(entry.pkt.clone())
         for peer in interest:
             if peer in self.failed or peer == self.rank:

@@ -1,4 +1,19 @@
-"""Request objects: the handle for a (possibly non-blocking) operation.
+"""Request objects: one state machine for every nonblocking operation.
+
+Every operation the stack tracks — eager and rendezvous point-to-point,
+reliability-backed retransmitted sends, object transport, scheduled
+collectives — is a :class:`Request` driven through one lifecycle::
+
+    INIT ──► QUEUED ──► ACTIVE ──► COMPLETE
+      │         │          │  ├──► FAILED     (peer declared dead)
+      └─────────┴──────────┘  └──► CANCELLED  (MPI_Cancel on a recv)
+
+``QUEUED`` means the operation is parked waiting for a remote event (a
+rendezvous send waiting for CTS, a posted receive waiting for its match);
+``ACTIVE`` means the transport is moving bytes.  Eager sends may skip
+QUEUED entirely; tiny operations may pass INIT → ACTIVE → COMPLETE in one
+call.  Transitions are emitted on the rank's hook spine (``req_transition``)
+when the request was created by a wired engine.
 
 A request's ``in_flight`` predicate is exactly what Motor's conditional
 pin registers with the collector (paper §4.3): during the mark phase the
@@ -20,10 +35,22 @@ _ids = itertools.count(1)
 
 SEND = "send"
 RECV = "recv"
+COLL = "coll"
+
+#: request lifecycle states
+INIT = "init"
+QUEUED = "queued"
+ACTIVE = "active"
+COMPLETE = "complete"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: terminal states: the transport will never touch the buffer again
+DONE_STATES = frozenset((COMPLETE, FAILED, CANCELLED))
 
 
 class Request:
-    """One outstanding point-to-point operation."""
+    """One outstanding operation (point-to-point or collective)."""
 
     __slots__ = (
         "op_id",
@@ -33,14 +60,18 @@ class Request:
         "tag",
         "comm_id",
         "total",
-        "_done",
+        "state",
         "status",
-        "started",
         "bytes_moved",
         "on_complete",
         "_lock",
         "freed",
         "sync",
+        # rendezvous-send progress, folded in from CH3's old _SendState:
+        "cursor",   # next byte offset to stream
+        "cleared",  # CTS received; streaming may proceed
+        "wdst",     # world-rank destination (peer stays communicator-local)
+        "hooks",    # the creating engine's spine; None outside a wired stack
     )
 
     def __init__(
@@ -52,6 +83,7 @@ class Request:
         comm_id: int,
         total: int,
         sync: bool = False,
+        hooks=None,
     ) -> None:
         self.op_id = next(_ids)
         self.kind = kind
@@ -60,37 +92,79 @@ class Request:
         self.tag = tag
         self.comm_id = comm_id
         self.total = total
-        self._done = False
+        self.state = INIT
         self.status = Status()
-        #: transport has actually begun moving bytes (the paper's deferred
-        #: pinning decision hinges on this)
-        self.started = False
         self.bytes_moved = 0
         self.on_complete: list[Callable[["Request"], None]] = []
         self._lock = threading.Lock()
         self.freed = False
         #: synchronous-mode send (MPI_Ssend): completes only on match
         self.sync = sync
+        self.cursor = 0
+        self.cleared = False
+        self.wdst = -1
+        self.hooks = hooks
 
     # -- state ---------------------------------------------------------------
 
     @property
     def completed(self) -> bool:
-        return self._done
+        return self.state in DONE_STATES
+
+    @property
+    def started(self) -> bool:
+        """True once the transport has actually begun moving bytes (the
+        paper's deferred-pinning decision hinges on this)."""
+        return self.state not in (INIT, QUEUED)
 
     def in_flight(self) -> bool:
         """True while the transport may still touch the buffer."""
-        return not self._done
+        return self.state not in DONE_STATES
 
-    def complete(self, status: Status | None = None) -> None:
+    def _transition(self, new: str) -> None:
+        old = self.state
+        self.state = new
+        h = self.hooks
+        if h is not None:
+            cbs = h.req_transition
+            if cbs:
+                for cb in cbs:
+                    cb(self, old, new)
+
+    def mark_queued(self) -> None:
+        """Park the operation on a remote event (match / CTS)."""
+        if self.state == INIT:
+            self._transition(QUEUED)
+
+    def activate(self) -> None:
+        """The transport has started moving this operation's bytes."""
+        if self.state in (INIT, QUEUED):
+            self._transition(ACTIVE)
+
+    def _finish(self, terminal: str, status: Status | None = None) -> bool:
         with self._lock:
-            if self._done:
-                return
+            if self.state in DONE_STATES:
+                return False
             if status is not None:
                 self.status = status
-            self._done = True
+            self._transition(terminal)
         for cb in self.on_complete:
             cb(self)
+        return True
+
+    def complete(self, status: Status | None = None) -> None:
+        self._finish(COMPLETE, status)
+
+    def fail(self, status: Status | None = None) -> None:
+        """Terminal failure (peer death); ``status.error`` names the cause."""
+        self._finish(FAILED, status)
+
+    def cancel(self) -> None:
+        """Terminal cancellation (only receives can be cancelled)."""
+        self.status.cancelled = True
+        self._finish(CANCELLED)
+
+    # -- bookkeeping ---------------------------------------------------------
 
     def check_usable(self) -> None:
         if self.freed:
@@ -107,8 +181,12 @@ class Request:
             src = "ANY_SOURCE" if self.peer == -1 else str(self.peer)
             tag = "ANY_TAG" if self.tag == -1 else str(self.tag)
             return f"Recv(src={src}, tag={tag})"
-        return f"Send(dst={self.peer}, tag={self.tag})"
+        if self.kind == SEND:
+            return f"Send(dst={self.peer}, tag={self.tag})"
+        return f"{self.kind}()"
 
     def __repr__(self) -> str:
-        state = "done" if self._done else ("active" if self.started else "queued")
-        return f"<Request #{self.op_id} {self.kind} peer={self.peer} tag={self.tag} {state}>"
+        return (
+            f"<Request #{self.op_id} {self.kind} peer={self.peer} "
+            f"tag={self.tag} {self.state}>"
+        )

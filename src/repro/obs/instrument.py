@@ -1,26 +1,29 @@
-"""The per-rank instrumentation facade and its explicit attach points.
+"""The per-rank instrumentation facade, attached through the hook spine.
 
 One :class:`Instrumentation` per rank bundles a metrics registry and a
 span recorder behind a narrow write API (``inc``/``observe``/``event``/
-``span``).  Subsystems do **not** get wrapped or monkey-patched; each one
-carries an ``obs`` attribute (``None`` by default) and guards every
-instrumented site with ``if self.obs is not None`` — the old tracer's
-failure mode (detach clobbering another layer's wrapper) cannot happen
-because there is nothing to unwrap.
+``span``).  Nothing is wrapped or monkey-patched and no subsystem knows
+this module exists: the messaging stack emits typed events on its
+:class:`repro.mp.hooks.HookSpine`, and one :class:`_ObsSubscriber` per
+instrumentation translates the events it cares about into metric and
+timeline writes.  Detaching removes the subscriber from the spine; other
+subscribers (the sanitizer, tests) are untouched.
 
 Cost model: an *enabled* hook charges the rank clock the calibrated cost
 of recording (``obs_event_ns`` etc.); an *attached but disabled* hook
 charges only ``obs_hook_ns`` — the branch-and-return a compiled-in but
 switched-off probe costs in a real runtime.  The A11 ablation measures
 exactly that disabled residue and holds it under 5% on the Figure 9
-ping-pong.  An unattached site (``obs is None``) costs one Python ``is``
-check and charges nothing.
+ping-pong.  An unattached site costs one empty-tuple check on the spine
+and charges nothing (bounded ≤1% by ablation A13).
 
 Attach helpers wire a rank's whole stack:
 
-* :func:`attach_engine` — CH3 device, progress engine, reliability
-  sublayer, channel, the MPI engine itself (collective spans);
-* :func:`attach_vm` — collector, pin policy, serializer, System.MP;
+* :func:`attach_engine` — subscribes to the engine's spine and registers
+  pull-model pvars for the device, progress engine, reliability sublayer
+  and channel;
+* :func:`attach_vm` — extends over a Motor VM: collector, pin policy,
+  serializer, System.MP;
 * :func:`instrument` — dispatches on RankContext vs MotorVM, the
   one-call entry point that replaces ``attach_tracer``.
 """
@@ -29,6 +32,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.mp.hooks import NULL_SPINE, HookSpine, spine_of
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanRecorder, SpanRecord
 
@@ -68,6 +72,81 @@ class _SpanCtx:
         return False
 
 
+class _ObsSubscriber:
+    """Spine subscriber: typed stack events -> the write API.
+
+    Subscribes to exactly the events the pre-spine hooks recorded, so the
+    charge sequence — and therefore the A11 virtual-clock ratios — is
+    identical to the old per-module ``obs`` attribute plumbing.  Regions
+    become spans (one stack per rank; regions nest strictly), marks
+    become events, counts become counter increments.
+    """
+
+    __slots__ = ("inst", "_regions")
+
+    def __init__(self, inst: "Instrumentation") -> None:
+        self.inst = inst
+        #: stack of open span context managers (regions nest per rank)
+        self._regions: list = []
+
+    # -- messaging core -----------------------------------------------------
+
+    def on_send_posted(self, req, dst: int, rndv: bool) -> None:
+        total = req.buf.nbytes
+        self.inst.event(
+            "mp.send",
+            dst=dst,
+            tag=req.tag,
+            bytes=total,
+            proto="rndv" if rndv else "eager",
+        )
+        self.inst.observe("mp.ch3.msg_bytes", total)
+
+    def on_recv_posted(self, req) -> None:
+        self.inst.event(
+            "mp.recv.post", src=req.peer, tag=req.tag, cap=req.buf.nbytes
+        )
+
+    def on_recv_complete(self, status) -> None:
+        self.inst.event(
+            "mp.recv.complete",
+            src=status.source,
+            tag=status.tag,
+            bytes=status.count,
+        )
+
+    # -- regions / marks / counts ------------------------------------------
+
+    def on_region_begin(self, name: str, args: dict) -> None:
+        ctx = self.inst.span(name, **args)
+        ctx.__enter__()
+        self._regions.append(ctx)
+
+    def on_region_end(self, name: str) -> None:
+        if self._regions:
+            self._regions.pop().__exit__(None, None, None)
+
+    def on_mark(self, name: str, args: dict) -> None:
+        self.inst.event(name, **args)
+
+    def on_count(self, name: str, n: int) -> None:
+        self.inst.inc(name, n)
+
+    # -- GC lifecycle -------------------------------------------------------
+
+    def on_pin(self, addr: int, slot: int) -> None:
+        self.inst.event("gc.pin", addr=hex(addr), slot=slot)
+
+    def on_unpin(self, slot: int) -> None:
+        self.inst.event("gc.unpin", slot=slot)
+
+    def on_cond_pin(self, addr: int, slot: int, active) -> None:
+        self.inst.event("gc.pin.conditional", addr=hex(addr), slot=slot)
+
+    def on_gc_phase(self, gen: int, info: dict) -> None:
+        self.inst.event("gc.collect", gen=gen, **info)
+
+
 class Instrumentation:
     """One rank's observability surface (metrics + spans + events)."""
 
@@ -82,9 +161,10 @@ class Instrumentation:
         self.enabled = enabled
         self.metrics = MetricsRegistry()
         self.recorder = SpanRecorder(rank, clock)
-        #: every subsystem whose ``obs`` hook points at this instance
-        #: (maintained by the attach helpers; consumed by detach_all)
-        self.attached: list[Any] = []
+        #: the spine subscriber carrying this instance's event handlers
+        self.subscriber = _ObsSubscriber(self)
+        #: every spine the subscriber is attached to (consumed by detach_all)
+        self.attached: list[HookSpine] = []
 
     # -- write API (the hook surface) -----------------------------------------
 
@@ -146,17 +226,16 @@ def _scaled(prefix: str, stats: dict) -> dict:
     return {f"{prefix}.{k}": v for k, v in stats.items()}
 
 
-def _hook(inst: Instrumentation, target) -> None:
-    target.obs = inst
-    inst.attached.append(target)
+def _subscribe(inst: Instrumentation, spine: HookSpine) -> None:
+    spine.attach(inst.subscriber)  # idempotent: one spine per rank stack
+    if spine not in inst.attached:
+        inst.attached.append(spine)
 
 
 def attach_engine(inst: Instrumentation, engine) -> None:
     """Wire one rank's MPI stack: device, progress, reliability, channel."""
+    _subscribe(inst, engine.hooks)
     device = engine.device
-    _hook(inst, engine)
-    _hook(inst, device)
-    _hook(inst, engine.progress)
     inst.register_provider(
         lambda: {
             "mp.ch3.eager_sends": device.stats["eager"],
@@ -173,7 +252,6 @@ def attach_engine(inst: Instrumentation, engine) -> None:
         }
     )
     channel = device.channel
-    _hook(inst, channel)
     inst.register_provider(
         lambda: {
             "mp.ch.packets_sent": channel.packets_sent,
@@ -183,13 +261,12 @@ def attach_engine(inst: Instrumentation, engine) -> None:
     )
     if device.rel is not None:
         rel = device.rel
-        _hook(inst, rel)
         inst.register_provider(lambda: _scaled("rel", rel.stats))
 
 
 def attach_gc(inst: Instrumentation, gc) -> None:
     """Wire a collector: lifecycle events are pushed, GcStats is pulled."""
-    _hook(inst, gc)
+    _subscribe(inst, spine_of(gc))
     stats = gc.stats
     inst.register_provider(
         lambda: {
@@ -210,11 +287,15 @@ def attach_gc(inst: Instrumentation, gc) -> None:
 
 
 def attach_vm(inst: Instrumentation, vm) -> None:
-    """Wire a MotorVM: collector, pin policy, serializer, System.MP."""
-    _hook(inst, vm)
+    """Wire a MotorVM: collector, pin policy, serializer, System.MP.
+
+    The whole VM shares one spine (``repro.mp.hooks.wire_vm``), so the
+    subscription is a no-op if :func:`attach_engine` already ran; only
+    the managed-side pull providers are new.
+    """
+    _subscribe(inst, vm.hooks)
     attach_gc(inst, vm.runtime.gc)
     policy = vm.policy
-    _hook(inst, policy)
     inst.register_provider(
         lambda: {
             "gc.pins.checks": policy.stats.checks,
@@ -226,7 +307,6 @@ def attach_vm(inst: Instrumentation, vm) -> None:
         }
     )
     ser = vm.serializer
-    _hook(inst, ser)
     inst.register_provider(
         lambda: {
             "motor.ser.objects": ser.objects_serialized,
@@ -238,8 +318,8 @@ def attach_vm(inst: Instrumentation, vm) -> None:
 def instrument(ctx_or_vm, enabled: bool = True, costs=None) -> Instrumentation:
     """Attach a fresh :class:`Instrumentation` to a RankContext or MotorVM.
 
-    The explicit-hook replacement for the old ``attach_tracer``: nothing
-    is wrapped, so attaching and detaching never disturbs other layers.
+    The spine replacement for the old ``attach_tracer``: nothing is
+    wrapped, so attaching and detaching never disturbs other layers.
     """
     # MotorVM: has .engine and .runtime
     if hasattr(ctx_or_vm, "runtime") and hasattr(ctx_or_vm, "engine"):
@@ -265,24 +345,25 @@ def instrument(ctx_or_vm, enabled: bool = True, costs=None) -> Instrumentation:
 
 
 def detach(target, inst: Instrumentation | None = None) -> None:
-    """Clear a subsystem's ``obs`` hook (idempotent, layer-safe).
+    """Remove an instrumentation's subscriber from a component's spine.
 
-    With ``inst`` given, clears only if the hook still points at *that*
-    instrumentation; if another layer attached its own after ours, the
-    newer attachment is left untouched — we never restore stale state
-    over it (the bug the old monkey-patching tracer had).
+    ``target`` may be a spine or any component carrying one (``engine``,
+    ``device``, a collector, ...).  With ``inst`` given, removes only
+    that instrumentation's subscriber; without, removes every
+    observability subscriber.  Other subscribers — a second
+    instrumentation, the sanitizer — are never disturbed (the bug the
+    old monkey-patching tracer had).
     """
-    current = getattr(target, "obs", None)
-    if current is not None and (inst is None or current is inst):
-        target.obs = None
+    spine = target if isinstance(target, HookSpine) else getattr(target, "hooks", None)
+    if spine is None or spine is NULL_SPINE:
+        return
+    for sub in list(spine.subscribers):
+        if isinstance(sub, _ObsSubscriber) and (inst is None or sub.inst is inst):
+            spine.detach(sub)
 
 
 def detach_all(inst: Instrumentation) -> None:
-    """Detach every subsystem this instrumentation attached to.
-
-    Layer-safe: a hook that another (newer) instrumentation has since
-    taken over is left pointing at the newer one.
-    """
-    for target in inst.attached:
-        detach(target, inst)
+    """Detach this instrumentation from every spine it subscribed to."""
+    for spine in inst.attached:
+        spine.detach(inst.subscriber)
     inst.attached.clear()

@@ -27,6 +27,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.mp.hooks import NULL_SPINE
 from repro.runtime.errors import GcInvariantError
 from repro.runtime.handles import HandleTable, ObjRef
 from repro.runtime.heap import GEN0, GEN1, ManagedHeap
@@ -72,6 +73,10 @@ class ConditionalPin:
 class GenGC:
     """The collector bound to one rank's heap."""
 
+    #: the rank's hook spine (repro.mp.hooks): pin/collect lifecycle is
+    #: emitted as typed events; GcStats is exported as pull-model pvars
+    hooks = NULL_SPINE
+
     def __init__(
         self,
         heap: ManagedHeap,
@@ -86,11 +91,6 @@ class GenGC:
         self.clock = clock
         self.costs = costs
         self.stats = GcStats()
-        #: observability hook (repro.obs); GcStats is exported as pull-model
-        #: pvars, the events below mark pin/collect moments on the timeline
-        self.obs = None
-        #: sanitizer hook (repro.analyze): pin lifecycle feeds the leak scan
-        self.san = None
         #: cookie-slot pins (classic GCHandle pinned handles)
         self._pins: dict[int, PinCookie] = {}
         #: Motor conditional pin requests, resolved at mark time
@@ -117,10 +117,10 @@ class GenGC:
         self.clock.charge(
             (self.costs.pin_ns + self.costs.pin_per_kb_ns * size_kb) * cost_mult
         )
-        if self.obs is not None:
-            self.obs.event("gc.pin", addr=hex(ref.addr), slot=slot)
-        if self.san is not None:
-            self.san.pinned(slot)
+        cbs = self.hooks.pin
+        if cbs:
+            for cb in cbs:
+                cb(ref.addr, slot)
         return cookie
 
     def unpin(self, cookie: PinCookie, cost_mult: float = 1.0) -> None:
@@ -131,10 +131,10 @@ class GenGC:
         self.handles.free(cookie.slot)
         self.stats.unpin_calls += 1
         self.clock.charge(self.costs.unpin_ns * cost_mult)
-        if self.obs is not None:
-            self.obs.event("gc.unpin", slot=cookie.slot)
-        if self.san is not None:
-            self.san.unpinned(cookie.slot)
+        cbs = self.hooks.unpin
+        if cbs:
+            for cb in cbs:
+                cb(cookie.slot)
 
     def register_conditional_pin(self, ref: ObjRef, is_active: Callable[[], bool]) -> ConditionalPin:
         """Register a pin that holds only while ``is_active()`` is true.
@@ -147,10 +147,10 @@ class GenGC:
         self._conditional.append(cp)
         self.stats.conditional_pins_registered += 1
         self.clock.charge(self.costs.conditional_pin_register_ns)
-        if self.obs is not None:
-            self.obs.event("gc.pin.conditional", addr=hex(ref.addr), slot=slot)
-        if self.san is not None:
-            self.san.conditional_pinned(slot, is_active)
+        cbs = self.hooks.cond_pin
+        if cbs:
+            for cb in cbs:
+                cb(ref.addr, slot, is_active)
         return cp
 
     def pinned_addresses(self) -> set[int]:
@@ -185,14 +185,15 @@ class GenGC:
                 self._collect_gen1()
         finally:
             self._collecting = False
-        if self.obs is not None:
-            self.obs.event(
-                "gc.collect",
-                gen=gen,
-                promoted=self.stats.bytes_promoted - before,
-                pins=self.active_pin_count,
-                cond=self.pending_conditional_count,
-            )
+        cbs = self.hooks.gc_phase
+        if cbs:
+            info = {
+                "promoted": self.stats.bytes_promoted - before,
+                "pins": self.active_pin_count,
+                "cond": self.pending_conditional_count,
+            }
+            for cb in cbs:
+                cb(gen, info)
         for hook in self.post_collect_hooks:
             hook(gen)
 
@@ -217,8 +218,10 @@ class GenGC:
                 cp.dropped = True
                 self.handles.free(cp.slot)
                 self.stats.conditional_pins_dropped += 1
-                if self.san is not None:
-                    self.san.conditional_dropped(cp.slot)
+                cbs = self.hooks.cond_drop
+                if cbs:
+                    for cb in cbs:
+                        cb(cp.slot)
         self._conditional = kept
         pinned.discard(0)
         return pinned

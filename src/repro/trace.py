@@ -1,179 +1,35 @@
-"""Backwards-compatible tracing facade over :mod:`repro.obs`.
+"""Retired: the tracing facade is gone — use :mod:`repro.obs`.
 
-The original ``Tracer`` wrapped device and collector methods
-(monkey-patching) and recorded a flat event stream.  That design had two
-real bugs:
+The original ``Tracer`` monkey-patched device and collector methods; its
+successor fronted :mod:`repro.obs` behind the historical event names.
+Both are now retired: the messaging stack emits typed events on one hook
+spine (:mod:`repro.mp.hooks`) and :mod:`repro.obs` is the only recording
+surface.  Migration map:
 
-* **detach clobbering** — ``detach`` blindly restored the originals it
-  had captured, so if another layer wrapped the same methods *after* the
-  tracer attached, detaching silently tore the newer layer off;
-* **missing GC attach** — ``attach_tracer(ctx)`` never attached the
-  collector even when the context carried a Motor session that had one.
+=====================================  ====================================
+``attach_tracer(ctx_or_vm)``           ``repro.obs.instrument(ctx_or_vm)``
+``tracer.events`` / ``.summary()``     ``inst.recorder.events`` /
+                                       ``inst.snapshot()``
+``tracer.render_timeline()``           ``repro.obs.render_timeline(
+                                       inst.snapshot())``
+``tracer.detach()``                    ``repro.obs.detach_all(inst)``
+historical kinds (``send``,            structured names (``mp.send``,
+``recv-post``, ``gc``, ``pin``, ...)   ``mp.recv.post``, ``gc.collect``,
+                                       ``gc.pin``, ...)
+=====================================  ====================================
 
-Both are gone structurally: this module now fronts the explicit-hook
-observability layer (``repro.obs``), where subsystems carry an ``obs``
-attribute and nothing is ever wrapped.  Detaching clears only hooks that
-still point at *this* tracer's instrumentation (layer-safe), and
-``attach_tracer`` wires the collector whenever one is reachable — from a
-MotorVM directly, or through ``ctx.session``.
-
-The old surface is preserved: ``Tracer.emit``, ``.events`` (as
-:class:`TraceEvent` with the historical kind names), ``render_timeline``,
-``summary``, ``attach_device``/``attach_gc``/``detach``.  New code should
-use :func:`repro.obs.instrument` directly, which adds pvars, spans,
-Chrome-trace export and cluster-wide aggregation.
+Any attribute access on this module raises :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import io
-from dataclasses import dataclass, field
-from typing import Any
-
-from repro.obs import Instrumentation, attach_gc, attach_vm, detach_all
-
-#: new structured event names -> the historical tracer kinds
-_KIND_MAP = {
-    "mp.send": "send",
-    "mp.recv.post": "recv-post",
-    "mp.recv.complete": "recv-complete",
-    "gc.collect": "gc",
-    "gc.pin": "pin",
-    "gc.unpin": "unpin",
-    "gc.pin.conditional": "conditional-pin",
-}
-
-#: detail keys the historical kinds carried (extras from the richer
-#: structured events are dropped so consumers see the old shape)
-_DETAIL_KEYS = {
-    "send": ("dst", "tag", "bytes", "proto"),
-    "recv-post": ("src", "tag", "cap"),
-    "recv-complete": ("src", "tag", "bytes"),
-    "gc": ("gen", "promoted", "pins", "cond"),
-    "pin": ("addr",),
-    "unpin": ("slot",),
-    "conditional-pin": ("addr",),
-}
+_RETIRED = (
+    "repro.trace is retired: use repro.obs.instrument(...) for recording, "
+    "repro.obs.render_timeline(inst.snapshot()) for timelines, and "
+    "repro.obs.detach_all(inst) to detach (see the migration map in "
+    "repro/trace.py)"
+)
 
 
-@dataclass
-class TraceEvent:
-    ts_ns: float
-    rank: int
-    kind: str
-    detail: dict[str, Any] = field(default_factory=dict)
-
-    def fmt(self, t0: float = 0.0) -> str:
-        args = " ".join(f"{k}={v}" for k, v in self.detail.items())
-        return f"{(self.ts_ns - t0) / 1e3:12.1f}us  r{self.rank}  {self.kind:<14} {args}"
-
-
-class Tracer:
-    """Per-rank event recorder (compat shim over :class:`Instrumentation`)."""
-
-    def __init__(self, rank: int, clock, inst: Instrumentation | None = None) -> None:
-        self.rank = rank
-        self.clock = clock
-        self.enabled = True
-        self.inst = inst if inst is not None else Instrumentation(rank, clock)
-        #: events recorded through the direct ``emit`` API
-        self._own: list[TraceEvent] = []
-
-    # -- recording ------------------------------------------------------------
-
-    def emit(self, kind: str, **detail) -> None:
-        if self.enabled:
-            self._own.append(TraceEvent(self.clock.now(), self.rank, kind, detail))
-
-    @property
-    def events(self) -> list[TraceEvent]:
-        """Direct emits plus hook-recorded events, in timestamp order."""
-        out = list(self._own)
-        for ev in self.inst.recorder.events:
-            kind = _KIND_MAP.get(ev.name, ev.name)
-            keys = _DETAIL_KEYS.get(kind)
-            detail = (
-                dict(ev.args)
-                if keys is None
-                else {k: ev.args[k] for k in keys if k in ev.args}
-            )
-            out.append(TraceEvent(ev.ts_ns, ev.rank, kind, detail))
-        out.sort(key=lambda e: e.ts_ns)
-        return out
-
-    # -- attachment -----------------------------------------------------------
-
-    def attach_device(self, device) -> None:
-        """Point the device's explicit hook at this tracer (no wrapping)."""
-        device.obs = self.inst
-        self.inst.attached.append(device)
-
-    def attach_gc(self, gc) -> None:
-        """Point the collector's explicit hook at this tracer (no wrapping)."""
-        attach_gc(self.inst, gc)
-
-    def detach(self) -> None:
-        """Clear every hook that still points at this tracer.
-
-        Layer-safe by construction: hooks that a later layer has taken
-        over are left alone — there are no captured originals to restore,
-        so the old clobbering failure mode cannot occur.
-        """
-        detach_all(self.inst)
-
-    # -- reporting -----------------------------------------------------------
-
-    def render_timeline(self, limit: int | None = None) -> str:
-        buf = io.StringIO()
-        all_events = self.events
-        events = all_events if limit is None else all_events[:limit]
-        t0 = events[0].ts_ns if events else 0.0
-        print(f"# rank {self.rank}: {len(all_events)} events", file=buf)
-        for ev in events:
-            print(ev.fmt(t0), file=buf)
-        if limit is not None and len(all_events) > limit:
-            print(f"... {len(all_events) - limit} more", file=buf)
-        return buf.getvalue()
-
-    def summary(self) -> dict[str, Any]:
-        counts: dict[str, int] = {}
-        bytes_sent = 0
-        bytes_recv = 0
-        events = self.events
-        for ev in events:
-            counts[ev.kind] = counts.get(ev.kind, 0) + 1
-            if ev.kind == "send":
-                bytes_sent += ev.detail.get("bytes", 0)
-            elif ev.kind == "recv-complete":
-                bytes_recv += ev.detail.get("bytes", 0)
-        return {
-            "rank": self.rank,
-            "events": len(events),
-            "counts": counts,
-            "bytes_sent": bytes_sent,
-            "bytes_received": bytes_recv,
-        }
-
-
-def attach_tracer(ctx_or_vm) -> Tracer:
-    """Attach a tracer to a RankContext (native) or a MotorVM.
-
-    A RankContext whose ``session`` is a Motor VM now gets its collector
-    (and the rest of the managed side) attached too — previously the GC
-    was silently skipped on the context path.
-    """
-    # MotorVM: has .engine and .runtime
-    if hasattr(ctx_or_vm, "runtime") and hasattr(ctx_or_vm, "engine"):
-        vm = ctx_or_vm
-        tracer = Tracer(vm.engine.rank, vm.runtime.clock)
-        tracer.attach_device(vm.engine.device)
-        attach_vm(tracer.inst, vm)
-        return tracer
-    # RankContext
-    ctx = ctx_or_vm
-    tracer = Tracer(ctx.rank, ctx.clock)
-    tracer.attach_device(ctx.engine.device)
-    session = getattr(ctx, "session", None)
-    if session is not None and hasattr(session, "runtime") and hasattr(session, "policy"):
-        attach_vm(tracer.inst, session)
-    return tracer
+def __getattr__(name: str):
+    raise DeprecationWarning(f"{_RETIRED} — tried to access {name!r}")

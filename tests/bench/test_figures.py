@@ -36,6 +36,7 @@ class TestRegistry:
             "ablate-reliability",
             "ablate-obs",
             "ablate-sanitize",
+            "ablate-spine",
         } == set(EXPERIMENTS)
 
     def test_every_experiment_has_a_claim_check(self):

@@ -5,8 +5,8 @@ import numpy as np
 from repro.cluster import mpiexec
 from repro.il import ExecutionEngine, assemble
 from repro.motor import motor_session
+from repro.obs import detach_all, instrument, render_timeline
 from repro.runtime.numpy_interop import as_numpy, from_numpy
-from repro.trace import attach_tracer
 from repro.workloads.linkedlist import define_linked_array
 
 
@@ -105,12 +105,12 @@ class TestNumpyWithCollectives:
         assert results[1] == [4.0, 5.0, 6.0, 7.0]
 
 
-class TestTracedWorkload:
-    def test_trace_summary_of_oo_workload(self):
+class TestObservedWorkload:
+    def test_event_summary_of_oo_workload(self):
         def main(ctx):
             vm = ctx.session
             define_linked_array(vm.runtime)
-            tracer = attach_tracer(vm)
+            inst = instrument(vm)
             comm = vm.comm_world
             from repro.workloads.linkedlist import build_linked_list
 
@@ -119,12 +119,14 @@ class TestTracedWorkload:
                     comm.OSend(build_linked_list(vm.runtime, 4, 128), 1, 1)
                 else:
                     comm.ORecv(0, 1)
-            tracer.detach()
-            s = tracer.summary()
+            detach_all(inst)
+            events = inst.recorder.events
             if comm.Rank == 0:
                 # each OSend = size header + payload = 2 sends
-                return (s["counts"]["send"], s["bytes_sent"] > 0)
-            return (s["counts"]["recv-complete"], s["bytes_received"] > 0)
+                sends = [e for e in events if e.name == "mp.send"]
+                return (len(sends), sum(e.args["bytes"] for e in sends) > 0)
+            recvs = [e for e in events if e.name == "mp.recv.complete"]
+            return (len(recvs), sum(e.args["bytes"] for e in recvs) > 0)
 
         sender, receiver = motor2(main)
         assert sender == (6, True)
@@ -133,7 +135,7 @@ class TestTracedWorkload:
     def test_timeline_renders_for_real_workload(self):
         def main(ctx):
             vm = ctx.session
-            tracer = attach_tracer(vm)
+            inst = instrument(vm)
             comm = vm.comm_world
             arr = vm.new_array("byte", 64)
             if comm.Rank == 0:
@@ -141,9 +143,9 @@ class TestTracedWorkload:
             else:
                 comm.Recv(arr, 0, 1)
             vm.collect(1)
-            tracer.detach()
-            text = tracer.render_timeline()
-            assert "gc" in text
+            detach_all(inst)
+            text = render_timeline(inst.snapshot())
+            assert "gc.collect" in text
             return True
 
         assert all(motor2(main))

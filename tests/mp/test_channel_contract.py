@@ -1,0 +1,151 @@
+"""One conformance contract for every Channel ABC implementation.
+
+The five-function channel port (paper §6) is only swappable if every
+implementation honours the same observable contract.  This suite runs
+each concrete fabric — and the fault wrapper with an *empty* FaultPlan,
+which must be indistinguishable from its inner channel — through the
+same checks: per-source FIFO ordering, partial reads, drain quiescence
+and idempotent teardown.
+"""
+
+import abc
+
+import pytest
+
+from repro.mp.channels import FABRICS, FaultPlan, FaultyFabric
+from repro.mp.channels.base import Channel, ChannelStack
+from repro.mp.packets import EAGER, Packet
+from repro.simtime import CostModel, WallClock
+
+
+def _fabric(name):
+    if name.startswith("faulty-"):
+        inner = FABRICS[name.removeprefix("faulty-")](2)
+        return FaultyFabric(inner, FaultPlan())
+    return FABRICS[name](2)
+
+
+IMPLS = sorted(FABRICS) + ["faulty-shm", "faulty-sock"]
+
+
+@pytest.fixture(params=IMPLS)
+def pair(request):
+    fab = _fabric(request.param)
+    c0 = fab.endpoint(0, WallClock(), CostModel())
+    c1 = fab.endpoint(1, WallClock(), CostModel())
+    yield fab, c0, c1
+    fab.shutdown()
+
+
+def _pkt(i=0, payload=b"x"):
+    return Packet(ptype=EAGER, src=0, dst=1, tag=i, op_id=i, payload=payload)
+
+
+class TestContract:
+    def test_is_a_channel(self, pair):
+        _, c0, _ = pair
+        assert isinstance(c0, Channel)
+
+    def test_per_source_fifo(self, pair):
+        _, c0, c1 = pair
+        for i in range(16):
+            assert c0.send_packet(_pkt(i, payload=bytes([i])))
+        got = []
+        while len(got) < 16:
+            got.extend(c1.recv_packets())
+        assert [p.tag for p in got] == list(range(16))
+
+    def test_partial_reads_preserve_order(self, pair):
+        _, c0, c1 = pair
+        for i in range(10):
+            c0.send_packet(_pkt(i))
+        got = []
+        while len(got) < 10:
+            chunk = c1.recv_packets(limit=3)
+            assert len(chunk) <= 3
+            got.extend(chunk)
+        assert [p.tag for p in got] == list(range(10))
+
+    def test_quiescent_after_drain(self, pair):
+        _, c0, c1 = pair
+        c0.send_packet(_pkt())
+        while not c1.recv_packets():
+            pass
+        # a drained endpoint reports nothing incoming and returns empty
+        assert not c1.has_incoming()
+        assert c1.recv_packets() == []
+
+    def test_empty_recv_on_idle_endpoint(self, pair):
+        _, _, c1 = pair
+        assert c1.recv_packets() == []
+        assert not c1.has_incoming()
+
+    def test_counters_track_traffic(self, pair):
+        _, c0, c1 = pair
+        c0.send_packet(_pkt(payload=b"abcd"))
+        got = []
+        while not got:
+            got.extend(c1.recv_packets())
+        assert c0.packets_sent == 1
+        assert c0.bytes_sent == 4
+        assert c1.packets_received == 1
+
+    def test_finalize_idempotent(self, pair):
+        fab, c0, _ = pair
+        c0.finalize()
+        c0.finalize()  # second teardown must be a no-op, not an error
+
+    def test_fabric_shutdown_idempotent(self, pair):
+        fab, _, _ = pair
+        fab.shutdown()
+        fab.shutdown()
+
+    def test_endpoint_cached_per_rank(self, pair):
+        fab, c0, _ = pair
+        assert fab.endpoint(0, WallClock(), CostModel()) is c0
+
+
+class TestAbc:
+    def test_partial_port_fails_at_construction(self):
+        class Halfway(Channel):
+            def init(self, world_size):
+                pass
+
+            def send_packet(self, pkt):
+                return True
+
+            # recv_packets / has_incoming missing
+
+        with pytest.raises(TypeError):
+            Halfway(0, WallClock(), CostModel())
+
+    def test_abstract_methods_are_declared(self):
+        declared = Channel.__abstractmethods__
+        assert {"init", "send_packet", "recv_packets", "has_incoming"} <= set(
+            declared
+        )
+        assert isinstance(Channel, abc.ABCMeta)
+
+    def test_stack_unwraps_to_concrete(self):
+        fab = _fabric("faulty-shm")
+        ch = fab.endpoint(0, WallClock(), CostModel())
+        assert isinstance(ch, ChannelStack)
+        inner = ch.unwrap()
+        assert not isinstance(inner, ChannelStack)
+        assert inner.name == "shm"
+        fab.shutdown()
+
+    def test_empty_plan_wrapper_is_transparent(self):
+        """FaultyChannel with no faults must behave as pure delegation."""
+        fab = _fabric("faulty-sock")
+        c0 = fab.endpoint(0, WallClock(), CostModel())
+        c1 = fab.endpoint(1, WallClock(), CostModel())
+        for i in range(8):
+            c0.send_packet(_pkt(i))
+        got = []
+        while len(got) < 8:
+            got.extend(c1.recv_packets())
+        assert [p.tag for p in got] == list(range(8))
+        assert c0.fault_log == []
+        assert all(v == 0 for v in c0.fault_stats.values())
+        fab.shutdown()

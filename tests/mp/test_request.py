@@ -55,11 +55,50 @@ class TestLifecycle:
 
     def test_repr_states(self):
         r = req()
+        assert "init" in repr(r)
+        r.mark_queued()
         assert "queued" in repr(r)
-        r.started = True
+        r.activate()
         assert "active" in repr(r)
         r.complete()
-        assert "done" in repr(r)
+        assert "complete" in repr(r)
+
+    def test_transitions_emit_on_spine(self):
+        from repro.mp.hooks import HookSpine
+
+        spine = HookSpine()
+        seen = []
+
+        class Sub:
+            def on_req_transition(self, rq, old, new):
+                seen.append((old, new))
+
+        spine.attach(Sub())
+        r = Request(SEND, BufferDesc.from_bytes(b"\x00" * 4), 1, 2, 0, 4, hooks=spine)
+        r.mark_queued()
+        r.activate()
+        r.complete()
+        assert seen == [
+            ("init", "queued"),
+            ("queued", "active"),
+            ("active", "complete"),
+        ]
+
+    def test_cancel_is_terminal(self):
+        r = req(RECV)
+        r.cancel()
+        assert r.completed
+        assert r.status.cancelled
+        r.complete()  # terminal states are sticky
+        assert r.status.cancelled
+
+    def test_fail_sets_error_state(self):
+        r = req()
+        r.status.error = "MPI_ERR_PROC_FAILED"
+        r.fail(r.status)
+        assert r.completed
+        assert not r.in_flight()
+        assert "failed" in repr(r)
 
 
 class TestStatus:

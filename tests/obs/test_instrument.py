@@ -16,11 +16,15 @@ class TestAttachDetach:
     def test_instrument_context_attaches_stack(self):
         def main(ctx):
             inst = instrument(ctx)
-            assert ctx.engine.device.obs is inst
-            assert ctx.engine.progress.obs is inst
-            assert ctx.engine.device.channel.obs is inst
+            spine = ctx.engine.hooks
+            # one spine shared by every layer, carrying our subscriber
+            assert ctx.engine.device.hooks is spine
+            assert ctx.engine.progress.hooks is spine
+            assert ctx.engine.device.channel.hooks is spine
+            assert inst.subscriber in spine.subscribers
             detach_all(inst)
-            assert ctx.engine.device.obs is None
+            assert inst.subscriber not in spine.subscribers
+            assert not spine.active
             return True
 
         assert all(mpiexec(2, main))
@@ -30,28 +34,51 @@ class TestAttachDetach:
 
         def main(ctx):
             first = instrument(ctx)
-            second = instrument(ctx)  # takes over every hook
-            detach_all(first)  # must leave second's attachments alone
-            assert ctx.engine.device.obs is second
-            assert ctx.engine.progress.obs is second
+            second = instrument(ctx)  # subscribes alongside, not instead
+            spine = ctx.engine.hooks
+            detach_all(first)  # must leave second's subscription alone
+            assert second.subscriber in spine.subscribers
+            assert first.subscriber not in spine.subscribers
             detach_all(second)
-            assert ctx.engine.device.obs is None
+            assert not spine.active
             return True
 
         assert all(mpiexec(2, main))
 
     def test_targeted_detach_respects_owner(self):
+        from repro.mp.hooks import HookSpine
+
         class Sub:
-            obs = None
+            hooks = HookSpine()
 
         sub = Sub()
         a = Instrumentation(0, VirtualClock())
         b = Instrumentation(0, VirtualClock())
-        sub.obs = a
-        detach(sub, b)  # b never owned the hook
-        assert sub.obs is a
+        sub.hooks.attach(a.subscriber)
+        detach(sub, b)  # b never subscribed here
+        assert a.subscriber in sub.hooks.subscribers
         detach(sub, a)
-        assert sub.obs is None
+        assert a.subscriber not in sub.hooks.subscribers
+
+    def test_both_observers_see_the_same_traffic(self):
+        """Two instrumentations attached at once both record (the old
+        single-attribute plumbing could only carry one)."""
+
+        def main(ctx):
+            first = instrument(ctx)
+            second = instrument(ctx)
+            buf = BufferDesc.from_native(NativeMemory(16))
+            if ctx.rank == 0:
+                ctx.engine.send(buf, 1, 4)
+            else:
+                ctx.engine.recv(buf, 0, 4)
+            return (
+                [e.name for e in first.recorder.events],
+                [e.name for e in second.recorder.events],
+            )
+
+        (ev0a, ev0b), _ = mpiexec(2, main)
+        assert ev0a == ev0b == ["mp.send"]
 
     def test_hooks_capture_message_lifecycle(self):
         def main(ctx):
