@@ -37,7 +37,7 @@ def main(argv: list[str] | None = None) -> int:
         help="which experiment to run (or 'all' / 'report' / "
         "'write-experiments' to refresh EXPERIMENTS.md's data section, or "
         "'metrics' for an instrumented ping-pong with a merged pvar report, "
-        "or 'smoke' for the CI overhead gate over A10-A13; "
+        "or 'smoke' for the CI overhead gate over A10-A14; "
         "'analyze ...' forwards to the Motor analyzer CLI)",
     )
     parser.add_argument(
@@ -108,11 +108,12 @@ SMOKE_EXPERIMENTS = (
     "ablate-obs",          # A11: observability hooks
     "ablate-sanitize",     # A12: sanitizer hooks
     "ablate-spine",        # A13: detached hook-spine residue
+    "ablate-copies",       # A14: copy accounting per delivery path
 )
 
 
 def _smoke(quick: bool = True) -> int:
-    """Run the A10-A13 overhead claims; exit nonzero if any differs."""
+    """Run the A10-A14 overhead claims; exit nonzero if any differs."""
     failed = 0
     for exp_id in SMOKE_EXPERIMENTS:
         series, claims = run_experiment(exp_id, quick=quick)

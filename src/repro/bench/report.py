@@ -370,6 +370,35 @@ def check_ablate_spine(s: SeriesSet) -> list[ClaimResult]:
     ]
 
 
+def check_ablate_copies(s: SeriesSet) -> list[ClaimResult]:
+    eager = s.series["eager-matched"]
+    rndv = s.series["rendezvous"]
+    unexp = s.series["eager-unexpected"]
+    e_peak = max(eager.values())
+    r_peak = max(rndv.values())
+    u_exact = all(abs(v - 2.0) < 1e-9 for v in unexp.values())
+    return [
+        ClaimResult(
+            claim="matched eager delivers with at most one copy per byte",
+            paper="zero-copy data plane: the packet's wire view lands straight in the posted buffer",
+            measured=f"copies/byte peak {e_peak:.3f}",
+            holds=e_peak <= 1.0,
+        ),
+        ClaimResult(
+            claim="rendezvous lands with at most one copy per byte",
+            paper="zero-copy data plane: DATA chunks window the latched source buffer",
+            measured=f"copies/byte peak {r_peak:.3f}",
+            holds=r_peak <= 1.0,
+        ),
+        ClaimResult(
+            claim="unexpected eager pays exactly the one staging copy",
+            paper="zero-copy data plane: stage + deliver = exactly 2 copies per byte",
+            measured=", ".join(f"{v:.3f}" for v in unexp.values()) + " copies/byte",
+            holds=u_exact,
+        ),
+    ]
+
+
 CHECKS: dict[str, Callable[[SeriesSet], list[ClaimResult]]] = {
     "fig9": check_fig9,
     "fig10": check_fig10,
@@ -386,6 +415,7 @@ CHECKS: dict[str, Callable[[SeriesSet], list[ClaimResult]]] = {
     "ablate-obs": check_ablate_obs,
     "ablate-sanitize": check_ablate_sanitize,
     "ablate-spine": check_ablate_spine,
+    "ablate-copies": check_ablate_copies,
 }
 
 

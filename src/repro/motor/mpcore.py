@@ -21,7 +21,7 @@ from typing import Callable
 
 from repro.motor.buffers import BufferPool
 from repro.motor.pinpolicy import PinDecision, PinningPolicy
-from repro.motor.serialization import MotorSerializer
+from repro.motor.serialization import MotorSerializer, PooledWriter
 from repro.mp import collectives
 from repro.mp.buffers import BufferDesc
 from repro.mp.communicator import Communicator
@@ -318,13 +318,16 @@ class MessagePassingCore:
 
     # ------------------------------------------------------------- OO operations
 
-    def _send_blob(self, blob, dest: int, comm: Communicator, tag_size: int, tag_data: int) -> None:
+    def _send_window(self, buf: BufferDesc, dest: int, comm: Communicator, tag_size: int, tag_data: int) -> None:
         """Size first, then payload — paper §7.5: "Before sending the
-        serialized buffer, Motor sends the size of the buffer"."""
-        size = len(blob)
-        hdr = BufferDesc.from_bytes(size.to_bytes(_SIZE_HDR, "little"))
+        serialized buffer, Motor sends the size of the buffer".
+
+        ``buf`` is a latched window (typically over pooled memory a
+        :class:`PooledWriter` filled); the payload streams from it with no
+        intermediate ``bytes`` blob."""
+        hdr = BufferDesc.from_bytes(buf.nbytes.to_bytes(_SIZE_HDR, "little"))
         self.engine.send(hdr, dest, tag_size, comm, _internal=True)
-        self.engine.send(BufferDesc(blob, 0, size), dest, tag_data, comm, _internal=True)
+        self.engine.send(buf, dest, tag_data, comm, _internal=True)
 
     def _recv_blob(self, source: int, comm: Communicator, tag_size: int, tag_data: int):
         """Returns (pooled NativeMemory, nbytes, Status of size message)."""
@@ -351,17 +354,18 @@ class MessagePassingCore:
         offset: int | None = None,
         numcomponents: int | None = None,
     ) -> None:
-        if offset is not None or numcomponents is not None:
-            # Array-subset overload: serialize only the slice, as a split
-            # set framed into one representation.
-            name, parts = self.serializer.serialize_array_split(
-                obj, offset or 0, numcomponents
-            )
-            blob = bytearray(self.serializer.frame_parts(name, parts))
-        else:
-            blob = self.serializer.serialize(obj)
-        tsize, tdata = _oo_tags(tag)
-        self._send_blob(blob, dest, comm, tsize, tdata)
+        w = PooledWriter(self.pool)
+        try:
+            if offset is not None or numcomponents is not None:
+                # Array-subset overload: the slice's split representation is
+                # framed straight into the pooled buffer, one pass.
+                self.serializer.write_split_frame(w, obj, offset or 0, numcomponents)
+            else:
+                self.serializer.serialize(obj, out=w)
+            tsize, tdata = _oo_tags(tag)
+            self._send_window(w.window(), dest, comm, tsize, tdata)
+        finally:
+            w.release()
 
     def mp_orecv(
         self, source: int, tag: int, comm: Communicator
@@ -402,48 +406,83 @@ class MessagePassingCore:
         if comm.rank == root:
             if array is None:
                 raise InvalidOperation("OScatter root requires an array")
-            name, parts = self.serializer.serialize_array_split(array)
-            counts = [len(parts) // n + (1 if i < len(parts) % n else 0) for i in range(n)]
-            start = 0
-            my_blob = None
-            for i in range(n):
-                chunk = parts[start : start + counts[i]]
-                start += counts[i]
-                framed = self.serializer.frame_parts(name, chunk)
-                if i == root:
-                    my_blob = framed
-                else:
-                    self._send_blob(bytearray(framed), i, comm, _TAG_OO_COLL, _TAG_OO_COLL + 1)
-            name, mine = self.serializer.unframe_parts(my_blob)
-            return self.serializer.build_array_from_parts(name, mine)
+            # Per-rank part counts follow from the array length alone, so
+            # the root lays every destination's complete framed chunk out
+            # contiguously in ONE pooled buffer as it serializes — each
+            # send is then a window over that buffer, never a reassembled
+            # blob.
+            _name, _off, length = self.serializer._split_slice(array, 0, None)
+            counts = [length // n + (1 if i < length % n else 0) for i in range(n)]
+            w = PooledWriter(self.pool)
+            try:
+                spans: list[tuple[int, int]] = []
+                start = 0
+                for i in range(n):
+                    begin = len(w)
+                    self.serializer.write_split_frame(w, array, start, counts[i])
+                    spans.append((begin, len(w)))
+                    start += counts[i]
+                for i in range(n):
+                    if i == root:
+                        continue
+                    begin, end = spans[i]
+                    self._send_window(
+                        w.window(begin, end), i, comm, _TAG_OO_COLL, _TAG_OO_COLL + 1
+                    )
+                begin, end = spans[root]
+                name, mine = self.serializer.unframe_parts(w.view(begin, end))
+                return self.serializer.build_array_from_parts(name, mine)
+            finally:
+                w.release()
         native, size, _st = self._recv_blob(root, comm, _TAG_OO_COLL, _TAG_OO_COLL + 1)
         try:
+            # parts are views into the pooled receive buffer: deserialize
+            # before the buffer goes back to the pool
             name, mine = self.serializer.unframe_parts(native.view(0, size))
+            return self.serializer.build_array_from_parts(name, mine)
         finally:
             self.pool.release(native)
-        return self.serializer.build_array_from_parts(name, mine)
 
     def mp_ogather(
         self, array: ObjRef, root: int, comm: Communicator
     ) -> ObjRef | None:
         """Gather per-rank object arrays into one array at the root."""
         n = comm.size
-        name, parts = self.serializer.serialize_array_split(array)
+        rt = self.runtime
         if comm.rank != root:
-            framed = self.serializer.frame_parts(name, parts)
-            self._send_blob(bytearray(framed), root, comm, _TAG_OO_COLL + 2, _TAG_OO_COLL + 3)
+            w = PooledWriter(self.pool)
+            try:
+                self.serializer.write_split_frame(w, array)
+                self._send_window(
+                    w.window(), root, comm, _TAG_OO_COLL + 2, _TAG_OO_COLL + 3
+                )
+            finally:
+                w.release()
             return None
-        all_parts: list[bytes] = []
-        elem_name = name
+        # Root: deserialize each contribution's parts while its backing
+        # buffer is still live (parts are views, not copies), in rank order.
+        elems: list = []
+        elem_name = ""
         for i in range(n):
             if i == root:
-                all_parts.extend(parts)
-                continue
-            native, size, _st = self._recv_blob(i, comm, _TAG_OO_COLL + 2, _TAG_OO_COLL + 3)
-            try:
-                pname, pparts = self.serializer.unframe_parts(native.view(0, size))
-            finally:
-                self.pool.release(native)
+                w = PooledWriter(self.pool)
+                try:
+                    self.serializer.write_split_frame(w, array)
+                    pname, pparts = self.serializer.unframe_parts(w.view())
+                    elems.extend(self.serializer.deserialize(p) for p in pparts)
+                finally:
+                    w.release()
+            else:
+                native, size, _st = self._recv_blob(
+                    i, comm, _TAG_OO_COLL + 2, _TAG_OO_COLL + 3
+                )
+                try:
+                    pname, pparts = self.serializer.unframe_parts(native.view(0, size))
+                    elems.extend(self.serializer.deserialize(p) for p in pparts)
+                finally:
+                    self.pool.release(native)
             elem_name = pname
-            all_parts.extend(pparts)
-        return self.serializer.build_array_from_parts(elem_name, all_parts)
+        arr = rt.new_array(elem_name, len(elems))
+        for i, e in enumerate(elems):
+            rt.set_elem_ref(arr, i, e)
+        return arr

@@ -37,6 +37,7 @@ from __future__ import annotations
 import struct
 from typing import Iterable
 
+from repro.mp.buffers import BufferDesc
 from repro.mp.hooks import NULL_SPINE
 from repro.runtime.errors import ObjectModelViolation
 from repro.runtime.handles import ObjRef
@@ -127,10 +128,75 @@ VISITED_KINDS = {"linear": LinearVisited, "hashed": HashedVisited}
 # ---------------------------------------------------------------------------
 
 
-def _w_str(out: bytearray, s: str) -> None:
+def _w_str(out, s: str) -> None:
     enc = s.encode("utf-8")
     out += struct.pack("<H", len(enc))
     out += enc
+
+
+def _patch_u32(out, at: int, value: int) -> None:
+    """Backpatch a u32 length placeholder at offset ``at`` of ``out``."""
+    if isinstance(out, PooledWriter):
+        out.patch_u32(at, value)
+    else:
+        _u32.pack_into(out, at, value)
+
+
+class PooledWriter:
+    """Serializer output over one pooled native buffer (paper §7.5).
+
+    A drop-in for the ``out`` bytearray :meth:`MotorSerializer.serialize`
+    accepts — it supports ``+=``, ``append`` and ``len()`` — but the bytes
+    land in a :class:`~repro.mp.buffers.NativeMemory` acquired from the
+    VM's :class:`~repro.motor.buffers.BufferPool`, grown in place when the
+    representation outruns it.  :meth:`window` latches the written span as
+    a :class:`~repro.mp.buffers.BufferDesc`, so the OO operations send
+    scatter-gather segments straight out of pooled memory — no terminal
+    ``bytes(out)`` copy, and the buffer returns to the pool afterwards.
+    """
+
+    __slots__ = ("pool", "native", "pos")
+
+    def __init__(self, pool, size_hint: int = 256) -> None:
+        self.pool = pool
+        self.native = pool.acquire(size_hint)
+        self.pos = 0
+
+    def _ensure(self, n: int) -> None:
+        short = self.pos + n - len(self.native.mem)
+        if short > 0:
+            # at least double, so repeated small appends stay amortized O(1)
+            self.native.mem.extend(bytes(max(short, len(self.native.mem))))
+
+    def __iadd__(self, data) -> "PooledWriter":
+        n = len(data)
+        self._ensure(n)
+        self.native.mem[self.pos : self.pos + n] = data
+        self.pos += n
+        return self
+
+    def append(self, byte: int) -> None:
+        self._ensure(1)
+        self.native.mem[self.pos] = byte
+        self.pos += 1
+
+    def __len__(self) -> int:
+        return self.pos
+
+    def patch_u32(self, at: int, value: int) -> None:
+        _u32.pack_into(self.native.mem, at, value)
+
+    def view(self, begin: int = 0, end: int | None = None) -> memoryview:
+        return memoryview(self.native.mem)[begin : self.pos if end is None else end]
+
+    def window(self, begin: int = 0, end: int | None = None) -> BufferDesc:
+        """Latch [begin, end) of the written span for the transport."""
+        end = self.pos if end is None else end
+        return BufferDesc(self.native.mem, begin, end - begin)
+
+    def release(self) -> None:
+        """Return the buffer to the pool (the transport is done with it)."""
+        self.pool.release(self.native)
 
 
 class _Reader:
@@ -193,8 +259,13 @@ class MotorSerializer:
 
     # -- serialize ---------------------------------------------------------------
 
-    def serialize(self, ref: ObjRef | None, out: bytearray | None = None) -> bytearray:
-        """Produce a regular (non-split) representation of ``ref``'s tree."""
+    def serialize(
+        self, ref: ObjRef | None, out: bytearray | PooledWriter | None = None
+    ) -> bytearray | PooledWriter:
+        """Produce a regular (non-split) representation of ``ref``'s tree.
+
+        ``out`` may be a plain bytearray or a :class:`PooledWriter`; the
+        representation is appended either way."""
         out = out if out is not None else bytearray()
         h = self.hooks
         if not (h.region_begin or h.region_end or h.mark):
@@ -215,7 +286,7 @@ class MotorSerializer:
             )
         return out
 
-    def _serialize_root(self, ref: ObjRef | None, out: bytearray) -> None:
+    def _serialize_root(self, ref: ObjRef | None, out) -> None:
         rt = self.runtime
         om, heap = rt.om, rt.heap
         clock, costs = rt.clock, rt.costs
@@ -300,7 +371,7 @@ class MotorSerializer:
         out += records
 
     @staticmethod
-    def _write_type_entry(out: bytearray, mt: MethodTable) -> None:
+    def _write_type_entry(out, mt: MethodTable) -> None:
         if mt.is_array:
             if mt.element_is_ref:
                 out.append(_K_REF_ARRAY)
@@ -433,6 +504,18 @@ class MotorSerializer:
         elements is duplicated across parts — the price of independent
         deserializability, and why gather can reassemble on any rank).
         """
+        name, offset, count = self._split_slice(array_ref, offset, count)
+        rt = self.runtime
+        parts: list[bytes] = []
+        for i in range(offset, offset + count):
+            elem = rt.get_elem(array_ref, i)
+            parts.append(bytes(self.serialize(elem)))
+        return name, parts
+
+    def _split_slice(
+        self, array_ref: ObjRef, offset: int, count: int | None
+    ) -> tuple[str, int, int]:
+        """Validate a split request; returns (element type name, offset, count)."""
         rt = self.runtime
         mt = rt.om.method_table(array_ref.require())
         if not mt.is_array or not mt.element_is_ref:
@@ -446,11 +529,34 @@ class MotorSerializer:
             raise SerializationError(
                 f"split slice [{offset}:{offset + count}] exceeds length {length}"
             )
-        parts: list[bytes] = []
+        return mt.element_type.name, offset, count
+
+    def write_split_frame(
+        self,
+        out: bytearray | PooledWriter,
+        array_ref: ObjRef,
+        offset: int = 0,
+        count: int | None = None,
+    ) -> tuple[str, int]:
+        """One-pass framed split representation, straight into ``out``.
+
+        Equivalent to ``frame_parts(*serialize_array_split(...))`` but each
+        element serializes directly into the output (a pooled writer on the
+        OO paths) behind a backpatched length prefix — no per-part
+        ``bytes()`` copies and no reassembly.  Returns
+        ``(element_type_name, part_count)``.
+        """
+        name, offset, count = self._split_slice(array_ref, offset, count)
+        rt = self.runtime
+        out += _u32.pack(SPLIT_MAGIC)
+        _w_str(out, name)
+        out += _u32.pack(count)
         for i in range(offset, offset + count):
-            elem = rt.get_elem(array_ref, i)
-            parts.append(bytes(self.serialize(elem)))
-        return mt.element_type.name, parts
+            at = len(out)
+            out += _u32.pack(0)  # length prefix, backpatched below
+            self.serialize(rt.get_elem(array_ref, i), out)
+            _patch_u32(out, at, len(out) - at - 4)
+        return name, count
 
     def build_array_from_parts(self, element_type_name: str, parts: Iterable[bytes]) -> ObjRef:
         """Gather-side reassembly: parts -> one array of objects."""
@@ -475,11 +581,16 @@ class MotorSerializer:
         return bytes(out)
 
     @staticmethod
-    def unframe_parts(data) -> tuple[str, list[bytes]]:
+    def unframe_parts(data) -> tuple[str, list[memoryview]]:
+        """Split a frame into its parts — as *views* into ``data``.
+
+        No copies: each part windows the caller's buffer, so consume the
+        parts (deserialize/compare) before recycling that buffer.
+        """
         rd = _Reader(data)
         if rd.u32() != SPLIT_MAGIC:
             raise SerializationError("bad split magic")
         name = rd.text()
         nparts = rd.u32()
-        parts = [bytes(rd.raw(rd.u32())) for _ in range(nparts)]
+        parts = [rd.raw(rd.u32()) for _ in range(nparts)]
         return name, parts

@@ -254,6 +254,24 @@ class MotorCommunicator:
         """World ranks this rank's reliability layer has declared dead."""
         return frozenset(self._vm.engine.device.failed_ranks)
 
+    # -- data-plane introspection ---------------------------------------------------
+
+    @property
+    def CopyStats(self) -> dict:
+        """This rank's data-plane copy accounting (device-level).
+
+        ``bytes_moved`` counts payload bytes accepted off the wire;
+        ``bytes_copied`` counts payload memcpys above the channel (matched
+        eager and rendezvous land at <=1 copy per byte, unexpected eager
+        at exactly 2); ``outbox_owned`` counts flow-control snapshots.
+        """
+        stats = self._vm.engine.device.stats
+        return {
+            "bytes_moved": stats["bytes_moved"],
+            "bytes_copied": stats["bytes_copied"],
+            "outbox_owned": stats["outbox_owned"],
+        }
+
     def __repr__(self) -> str:
         return f"<System.MP.Communicator rank={self.Rank} size={self.Size}>"
 

@@ -7,6 +7,14 @@ if the collector moves the object mid-transfer the descriptor goes stale
 and the transfer corrupts memory — the precise hazard the paper's pinning
 machinery exists to prevent (§2.3).  Nothing in this class re-resolves the
 address; that honesty is the point.
+
+:class:`WireView` is the data plane's ownership descriptor: a payload
+window (memoryview) plus the object it is leased from.  Packets carry
+WireViews instead of ``bytes`` so the eager and rendezvous paths hand the
+channel a window of the *latched* source buffer rather than a copy; the
+channel releases the lease once it has consumed the window (framed it, or
+copied it into its shared segment — the one write that models the wire
+crossing).
 """
 
 from __future__ import annotations
@@ -33,6 +41,78 @@ class NativeMemory:
 
     def tobytes(self) -> bytes:
         return bytes(self.mem)
+
+
+class WireView:
+    """A leased window of payload bytes with explicit ownership.
+
+    ``owner`` identifies where the bytes live:
+
+    * ``None`` — the view is *self-owned*: an immutable snapshot (bytes)
+      or memory nothing else will reuse.  Safe to hold indefinitely.
+    * a :class:`~repro.mp.request.Request` — the view windows the
+      request's latched source buffer.  The lease is counted on
+      ``req.wire_leases`` and must be released once the wire has
+      consumed the window; until then the sender must not recycle the
+      buffer (the same contract MPI places on an ``MPI_Isend`` buffer).
+    * any other object (e.g. a pooled :class:`NativeMemory`) — the view
+      windows that object's memory; releasing is bookkeeping only.
+
+    A WireView deliberately is *not* a buffer object (no ``__buffer__``
+    on this Python); consumers go through :attr:`mv` explicitly, which
+    keeps every materialization point visible and accountable.
+    """
+
+    __slots__ = ("mv", "owner", "released")
+
+    def __init__(self, mv, owner=None) -> None:
+        self.mv = mv if isinstance(mv, memoryview) else memoryview(mv)
+        self.owner = owner
+        self.released = False
+
+    @classmethod
+    def lease(cls, mv, owner) -> "WireView":
+        """Lease a window from ``owner``, counting it when possible."""
+        wv = cls(mv, owner)
+        if owner is not None:
+            try:
+                owner.wire_leases += 1
+            except AttributeError:
+                pass
+        return wv
+
+    def release(self) -> None:
+        """The wire is done with this window; return the lease."""
+        if self.released:
+            return
+        self.released = True
+        owner = self.owner
+        if owner is not None:
+            try:
+                owner.wire_leases -= 1
+            except AttributeError:
+                pass
+
+    def __len__(self) -> int:
+        return self.mv.nbytes
+
+    def __bytes__(self) -> bytes:
+        return bytes(self.mv)
+
+    def tobytes(self) -> bytes:
+        return bytes(self.mv)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, WireView):
+            return self.mv == other.mv
+        if isinstance(other, (bytes, bytearray, memoryview)):
+            return self.mv == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        own = type(self.owner).__name__ if self.owner is not None else "self"
+        state = "released" if self.released else "live"
+        return f"<WireView {self.mv.nbytes}B owner={own} {state}>"
 
 
 class BufferDesc:

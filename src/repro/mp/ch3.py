@@ -32,7 +32,7 @@ move an unpinned buffer and the remaining chunks will hit a stale address
 
 from __future__ import annotations
 
-from repro.mp.buffers import NativeMemory
+from repro.mp.buffers import NativeMemory, WireView
 from repro.mp.channels.base import Channel
 from repro.mp.errors import MpiErrInternal
 from repro.mp.hooks import NULL_SPINE
@@ -82,7 +82,22 @@ class CH3Device:
         # sync (Ssend) requests awaiting FIN, by op_id
         self._awaiting_fin: dict[int, Request] = {}
         self._outbox: list[Packet] = []
-        self.stats = {"eager": 0, "rndv": 0, "unexpected": 0, "truncated": 0}
+        self.stats = {
+            "eager": 0,
+            "rndv": 0,
+            "unexpected": 0,
+            "truncated": 0,
+            # copy accounting (the zero-copy discipline, measured):
+            # payload bytes accepted off the wire ...
+            "bytes_moved": 0,
+            # ... vs. payload bytes the receive path copied.  Matched
+            # eager and rendezvous land straight in the posted buffer
+            # (ratio 1.0); unexpected eager stages then delivers (2.0).
+            "bytes_copied": 0,
+            # sender-side flow control: payloads materialized because the
+            # channel refused a packet and the view could not stay live
+            "outbox_owned": 0,
+        }
         self.rel: ReliabilityLayer | None = None
         if reliable:
             self.rel = ReliabilityLayer(rank, **(reliability_opts or {}))
@@ -114,7 +129,11 @@ class CH3Device:
                 op_id=req.op_id,
                 total=total,
                 sync=req.sync,
-                payload=bytes(req.buf.view()),
+                # zero-copy: the packet windows the latched source buffer;
+                # the channel consumes (frames or segment-copies) the view
+                # synchronously inside _emit, so buffered-send completion
+                # below remains sound.
+                payload=WireView.lease(req.buf.view(), req),
             )
             req.activate()
             req.bytes_moved = total
@@ -148,12 +167,31 @@ class CH3Device:
     def _emit_raw(self, pkt: Packet) -> None:
         """Hand a wire-ready packet to the channel (ACKs skip sequencing)."""
         if not self.channel.send_packet(pkt):
+            # Flow control: the packet waits in the outbox across polls,
+            # so a leased view must be materialized now — the sender is
+            # free to recycle its buffer the moment the send completes.
+            if type(pkt.payload) is not bytes:
+                n = len(pkt.payload)
+                pkt.freeze_payload()
+                self.stats["outbox_owned"] += n
+                cbs = self.hooks.copy
+                if cbs:
+                    for cb in cbs:
+                        cb("outbox-own", n)
             self._outbox.append(pkt)
             return
         cbs = self.hooks.packet_tx
         if cbs:
             for cb in cbs:
                 cb(pkt)
+
+    def _copied(self, where: str, n: int) -> None:
+        """Account one receive-path payload copy of ``n`` bytes."""
+        self.stats["bytes_copied"] += n
+        cbs = self.hooks.copy
+        if cbs:
+            for cb in cbs:
+                cb(where, n)
 
     # ------------------------------------------------------------------ recv
 
@@ -192,6 +230,7 @@ class CH3Device:
         self._matched(req, msg.src, msg.send_op_id)
         n = min(msg.total, req.buf.nbytes)
         self.clock.charge(self.costs.copy_per_byte_ns * n)
+        self._copied("staged-deliver", n)
         req.buf.write(0, msg.staged.view(0, n))
         status = Status(source=msg.src, tag=msg.tag, count=n)
         if msg.total > req.buf.nbytes:
@@ -236,13 +275,19 @@ class CH3Device:
 
     def poll(self) -> int:
         """One progress step; returns the number of packets handled."""
-        for pkt in list(self._outbox):
-            if self.channel.send_packet(pkt):
-                self._outbox.remove(pkt)
-                cbs = self.hooks.packet_tx
-                if cbs:
-                    for cb in cbs:
-                        cb(pkt)
+        if self._outbox:
+            # Order-preserving O(n) drain: packets the channel still
+            # refuses are kept, in order, for the next poll.
+            kept = []
+            tx = self.hooks.packet_tx
+            for pkt in self._outbox:
+                if self.channel.send_packet(pkt):
+                    if tx:
+                        for cb in tx:
+                            cb(pkt)
+                else:
+                    kept.append(pkt)
+            self._outbox = kept
         handled = 0
         arrivals = self.channel.recv_packets(self.max_packets_per_poll)
         if self.rel is not None:
@@ -286,19 +331,21 @@ class CH3Device:
             raise MpiErrInternal(f"unknown packet type {pkt.ptype}")
 
     def _on_eager(self, pkt: Packet) -> None:
+        self.stats["bytes_moved"] += len(pkt.payload)
         req = self.queues.match_posted(pkt.src, pkt.tag, pkt.comm_id)
         if req is None:
             self.stats["unexpected"] += 1
             # Stage in native memory: the unavoidable extra copy for
             # unexpected messages.
             self.clock.charge(self.costs.copy_per_byte_ns * len(pkt.payload))
+            self._copied("unexpected-stage", len(pkt.payload))
             self.queues.add_unexpected(
                 UnexpectedMsg(
                     src=pkt.src,
                     tag=pkt.tag,
                     comm_id=pkt.comm_id,
                     total=pkt.total,
-                    staged=NativeMemory(pkt.payload),
+                    staged=NativeMemory(pkt.payload_mv()),
                     send_op_id=pkt.op_id,
                     eager=True,
                     ts=pkt.ts,
@@ -313,7 +360,11 @@ class CH3Device:
             return
         self._matched(req, pkt.src, pkt.op_id)
         n = min(pkt.total, req.buf.nbytes)
-        req.buf.write(0, memoryview(pkt.payload)[:n])
+        # The matched delivery is the path's one copy (wire payload into
+        # the posted buffer) — charged like every other payload copy.
+        self.clock.charge(self.costs.copy_per_byte_ns * n)
+        self._copied("eager-deliver", n)
+        req.buf.write(0, pkt.payload_mv()[:n])
         status = Status(source=pkt.src, tag=pkt.tag, count=n)
         if pkt.total > req.buf.nbytes:
             self.stats["truncated"] += 1
@@ -360,10 +411,14 @@ class CH3Device:
             if self.rel is not None:
                 return  # stale packet after a failure cleanup
             raise MpiErrInternal(f"DATA for unknown recv {key}")
-        # Zero-copy landing: write straight into the latched destination.
+        # Single-copy landing: write straight into the latched destination
+        # (no virtual-clock charge — this models the NIC's RDMA placement,
+        # but the byte accounting still records it as the path's one copy).
+        self.stats["bytes_moved"] += len(pkt.payload)
         writable = max(0, min(len(pkt.payload), req.buf.nbytes - pkt.offset))
         if writable:
-            req.buf.write(pkt.offset, memoryview(pkt.payload)[:writable])
+            self._copied("rndv-land", writable)
+            req.buf.write(pkt.offset, pkt.payload_mv()[:writable])
         req.bytes_moved += len(pkt.payload)
         if req.bytes_moved >= req.total:
             del self._rndv_recvs[key]
@@ -390,9 +445,10 @@ class CH3Device:
             total = req.total
             while budget > 0 and req.cursor < total:
                 n = min(self.packet_size, total - req.cursor)
-                # Read straight from the latched source buffer: if the
-                # object moved, this reads stale memory (the real hazard).
-                chunk = bytes(req.buf.read(req.cursor, n))
+                # Stream straight from the latched source buffer — a leased
+                # window, not a copy.  If the object moved, the window reads
+                # stale memory (the real hazard).
+                chunk = WireView.lease(req.buf.read(req.cursor, n), req)
                 self._emit(
                     Packet(
                         ptype=DATA,

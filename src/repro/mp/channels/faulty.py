@@ -140,6 +140,8 @@ class FaultyChannel(ChannelStack):
         self.fault_stats: dict[str, int] = {k: 0 for k in _KINDS}
         self.fault_stats["partitioned"] = 0
         self.fault_stats["to_dead"] = 0
+        #: payload bytes copied so a fault could own (not alias) a live view
+        self.fault_stats["cow_bytes"] = 0
 
     # -- the five functions --------------------------------------------------------
 
@@ -156,6 +158,7 @@ class FaultyChannel(ChannelStack):
         if self.plan.is_dead(dst) or self.plan.is_partitioned(self.rank, dst):
             key = "to_dead" if self.plan.is_dead(dst) else "partitioned"
             self.fault_stats[key] += 1
+            pkt.release_payload()  # the packet vanishes; end its lease
             self._release_expired()
             return True  # the wire accepted it; it just never arrives
         if fault is not None:
@@ -167,18 +170,23 @@ class FaultyChannel(ChannelStack):
                     cb(dst, idx, fault, pkt.kind)
         ok = True
         if fault == DROP:
-            pass
+            pkt.release_payload()  # dropped on the floor; end the lease
         elif fault == DUPLICATE:
+            # copy-on-write: the duplicate owns its payload bytes so it can
+            # outlive the original's lease on the sender's latched buffer
+            dup = self._owned_clone(pkt)
             ok = self._forward(pkt)
-            self._forward(pkt.clone())
+            self._forward(dup)
         elif fault == CORRUPT:
-            ok = self._forward(self._corrupted(pkt, dst))
+            bad = self._corrupted(pkt, dst)
+            pkt.release_payload()  # only the corrupted copy travels
+            ok = self._forward(bad)
         elif fault == REORDER:
             # released after `reorder_depth` later sends overtake it, or
             # after a poll budget if the sender goes quiet on this link
-            self._held.append(_Held(pkt, self.plan.reorder_depth, self.plan.delay_polls))
+            self._hold(pkt, self.plan.reorder_depth, self.plan.delay_polls)
         elif fault == DELAY:
-            self._held.append(_Held(pkt, None, self.plan.delay_polls))
+            self._hold(pkt, None, self.plan.delay_polls)
         else:
             ok = self._forward(pkt)
         self._release_expired()
@@ -233,19 +241,40 @@ class FaultyChannel(ChannelStack):
         return None
 
     def _corrupted(self, pkt: Packet, dst: int) -> Packet:
-        """Flip one payload bit (or a header field for empty payloads)."""
+        """Flip one payload bit (or a header field for empty payloads).
+
+        Strictly copy-on-write: the bit flips in an owned copy of the
+        payload, never in a live view of the sender's latched buffer.
+        """
         bad = pkt.clone()
         rng = self._rng.get(dst)
         if rng is None:
             rng = self._rng[dst] = self.plan.rng_for(self.rank, dst)
-        if bad.payload:
-            data = bytearray(bad.payload)
+        if len(bad.payload):
+            data = bytearray(pkt.payload_mv())
+            self.fault_stats["cow_bytes"] += len(data)
             bit = rng.randrange(len(data) * 8)
             data[bit // 8] ^= 1 << (bit % 8)
             bad.payload = bytes(data)
         else:
             bad.tag ^= 1  # header-only packet: corrupt a sealed field
         return bad
+
+    def _owned_clone(self, pkt: Packet) -> Packet:
+        """A clone whose payload is an owned snapshot (COW for duplicates)."""
+        dup = pkt.clone()
+        if type(dup.payload) is not bytes:
+            self.fault_stats["cow_bytes"] += len(dup.payload)
+            dup.payload = bytes(pkt.payload_mv())
+        return dup
+
+    def _hold(self, pkt: Packet, sends_left: int | None, polls_left: int | None) -> None:
+        """Park a packet; a held payload must own its bytes (the sender may
+        recycle its buffer long before the release fires)."""
+        if type(pkt.payload) is not bytes:
+            self.fault_stats["cow_bytes"] += len(pkt.payload)
+            pkt.freeze_payload()
+        self._held.append(_Held(pkt, sends_left, polls_left))
 
     def _forward(self, pkt: Packet) -> bool:
         ok = self.inner.send_packet(pkt)

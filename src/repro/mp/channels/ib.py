@@ -71,7 +71,9 @@ class IbChannel(Channel):
             latency_ns=latency,
             per_byte_ns=self.costs.per_byte_ns * self.PER_BYTE_FRACTION,
         )
-        pkt.payload = bytes(pkt.payload)
+        # HCA takes the bytes here (and the lease on the source ends);
+        # registration above priced the right to read them in place
+        pkt.freeze_payload()
         ok = self._queues[pkt.dst].put(pkt)
         if not ok:
             self.packets_sent -= 1

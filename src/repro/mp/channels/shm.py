@@ -63,8 +63,9 @@ class ShmChannel(Channel):
             latency_ns=self.costs.message_latency_ns * 0.25,
             per_byte_ns=self.costs.per_byte_ns * 0.5,
         )
-        # copy into the 'shared segment'
-        pkt.payload = bytes(pkt.payload)
+        # copy into the 'shared segment' — the wire crossing; this also
+        # ends any lease on the sender's buffer
+        pkt.freeze_payload()
         ok = self._queues[pkt.dst].put(pkt)
         if not ok:
             self.packets_sent -= 1

@@ -49,7 +49,10 @@ class SockChannel(Channel):
 
     def send_packet(self, pkt: Packet) -> bool:
         self._stamp_and_charge(pkt)
+        # Framing is the wire write: header + payload view stream into the
+        # socket buffer in one pass, and the payload lease ends here.
         frame = pkt.encode()
+        pkt.release_payload()
         backlog = self._txq.setdefault(pkt.dst, bytearray())
         backlog += frame
         self._flush(pkt.dst)

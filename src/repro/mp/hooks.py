@@ -27,6 +27,10 @@ Event catalog (arguments each ``on_<event>`` receives):
 ========================  =====================================================
 ``packet_tx(pkt)``        device handed a wire-ready packet to the channel
 ``packet_rx(pkt)``        device accepted a verified packet from the channel
+``copy(where, nbytes)``   the data plane copied payload bytes; ``where``
+                          names the point ("eager-deliver",
+                          "unexpected-stage", "staged-deliver",
+                          "rndv-land", "outbox-own", "cow-corrupt", ...)
 ``req_transition(req, old, new)``  request state machine moved
 ``send_posted(req, dst, rndv)``    send entered the device (dst = world rank)
 ``recv_posted(req)``      receive entered the device
@@ -58,6 +62,7 @@ from __future__ import annotations
 EVENTS: tuple[str, ...] = (
     "packet_tx",
     "packet_rx",
+    "copy",
     "req_transition",
     "send_posted",
     "recv_posted",
@@ -183,6 +188,9 @@ def wire_vm(vm) -> HookSpine:
     vm.runtime.gc.hooks = spine
     vm.policy.hooks = spine
     vm.serializer.hooks = spine
+    pool = getattr(vm, "pool", None)
+    if pool is not None:
+        pool.hooks = spine
     return spine
 
 

@@ -28,6 +28,8 @@ import struct
 import zlib
 from dataclasses import dataclass
 
+from repro.mp.buffers import WireView
+
 EAGER = 1
 RTS = 2
 CTS = 3
@@ -70,11 +72,45 @@ class Packet:
     ts: float = 0.0  # virtual-clock arrival time
     seq: int = -1  # per-link sequence number (-1: unsequenced)
     crc: int = 0  # CRC32 seal (0: unsealed)
-    payload: bytes = b""
+    #: payload bytes — either an owned immutable snapshot (``bytes``) or a
+    #: :class:`WireView` leased from the sender's latched buffer
+    payload: bytes | WireView = b""
 
     @property
     def kind(self) -> str:
         return _NAMES.get(self.ptype, f"?{self.ptype}")
+
+    # -- payload ownership -----------------------------------------------------
+
+    def payload_mv(self) -> memoryview:
+        """The payload window, without materializing a copy."""
+        p = self.payload
+        return p.mv if type(p) is WireView else memoryview(p)
+
+    @property
+    def payload_nbytes(self) -> int:
+        return len(self.payload)
+
+    def freeze_payload(self) -> bytes:
+        """Materialize the payload into owned bytes and drop any lease.
+
+        Channels call this at the wire crossing (copy into the "shared
+        segment", stash for retransmit); after it the packet can be held
+        indefinitely without aliasing the sender's buffer.
+        """
+        p = self.payload
+        if type(p) is WireView:
+            self.payload = bytes(p.mv)
+            p.release()
+        elif type(p) is not bytes:
+            self.payload = bytes(p)
+        return self.payload
+
+    def release_payload(self) -> None:
+        """Return the payload lease (the wire consumed the window)."""
+        p = self.payload
+        if type(p) is WireView:
+            p.release()
 
     # -- integrity (reliability sublayer) -------------------------------------
 
@@ -91,7 +127,9 @@ class Packet:
             1 if self.sync else 0,
             self.seq,
         )
-        return zlib.crc32(self.payload, zlib.crc32(head)) & 0xFFFFFFFF
+        # crc32 accepts any C-contiguous buffer: seal straight over the
+        # view, no materialized copy.
+        return zlib.crc32(self.payload_mv(), zlib.crc32(head)) & 0xFFFFFFFF
 
     def seal(self) -> "Packet":
         """Stamp the CRC over the current header fields and payload."""
@@ -103,7 +141,10 @@ class Packet:
         return self.crc == 0 or self.crc == self.compute_crc()
 
     def clone(self) -> "Packet":
-        """A shallow copy (payload bytes are immutable and shared)."""
+        """A shallow copy.  The payload object is shared: for ``bytes``
+        that is free (immutable); for a :class:`WireView` both packets
+        alias the same live window, so whichever consumer needs the
+        content beyond the lease must :meth:`freeze_payload` first."""
         return Packet(
             ptype=self.ptype,
             src=self.src,
@@ -138,7 +179,12 @@ class Packet:
             self.crc,
             len(self.payload),
         )
-        return head + self.payload
+        p = self.payload
+        if type(p) is bytes:
+            return head + p
+        frame = bytearray(head)
+        frame += self.payload_mv()  # one append straight from the view
+        return bytes(frame)
 
     @classmethod
     def decode_header(cls, head: bytes) -> tuple["Packet", int]:

@@ -102,9 +102,14 @@ class ReliabilityLayer:
         seq = self._next_seq.get(dst, 0)
         self._next_seq[dst] = seq + 1
         pkt.seq = seq
-        pkt.seal()
-        # stash a clone: fault injectors and channels may mutate in flight
-        self._unacked.setdefault(dst, {})[seq] = _Unacked(pkt.clone(), self.polls)
+        pkt.seal()  # CRC straight over the payload view, no copy
+        # Stash a clone with an *owned* payload snapshot: fault injectors
+        # and channels may mutate the packet in flight, and a leased view
+        # may be recycled by the sender long before a retransmit fires.
+        stash = pkt.clone()
+        if type(stash.payload) is not bytes:
+            stash.payload = bytes(stash.payload_mv())
+        self._unacked.setdefault(dst, {})[seq] = _Unacked(stash, self.polls)
         return pkt
 
     # ------------------------------------------------------------------ recv

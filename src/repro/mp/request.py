@@ -72,6 +72,7 @@ class Request:
         "cleared",  # CTS received; streaming may proceed
         "wdst",     # world-rank destination (peer stays communicator-local)
         "hooks",    # the creating engine's spine; None outside a wired stack
+        "wire_leases",  # live WireViews leased from this request's buffer
     )
 
     def __init__(
@@ -104,6 +105,7 @@ class Request:
         self.cleared = False
         self.wdst = -1
         self.hooks = hooks
+        self.wire_leases = 0
 
     # -- state ---------------------------------------------------------------
 

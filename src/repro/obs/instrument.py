@@ -242,6 +242,9 @@ def attach_engine(inst: Instrumentation, engine) -> None:
             "mp.ch3.rndv_sends": device.stats["rndv"],
             "mp.ch3.unexpected": device.stats["unexpected"],
             "mp.ch3.truncated": device.stats["truncated"],
+            "mp.ch3.bytes_moved": device.stats["bytes_moved"],
+            "mp.ch3.bytes_copied": device.stats["bytes_copied"],
+            "mp.ch3.outbox_owned": device.stats["outbox_owned"],
         }
     )
     progress = engine.progress
@@ -313,6 +316,16 @@ def attach_vm(inst: Instrumentation, vm) -> None:
             "motor.deser.objects": ser.objects_deserialized,
         }
     )
+    pool = getattr(vm, "pool", None)
+    if pool is not None:
+        inst.register_provider(
+            lambda: {
+                "motor.pool.created": pool.created,
+                "motor.pool.reused": pool.reused,
+                "motor.pool.swept": pool.swept,
+                "motor.pool.pooled": pool.pooled,
+            }
+        )
 
 
 def instrument(ctx_or_vm, enabled: bool = True, costs=None) -> Instrumentation:

@@ -11,6 +11,7 @@ from repro.bench.figures import (
     EXPERIMENTS,
     ablate_buildtype,
     ablate_calls,
+    ablate_copies,
     ablate_split,
 )
 from repro.bench.report import CHECKS
@@ -37,6 +38,7 @@ class TestRegistry:
             "ablate-obs",
             "ablate-sanitize",
             "ablate-spine",
+            "ablate-copies",
         } == set(EXPERIMENTS)
 
     def test_every_experiment_has_a_claim_check(self):
@@ -61,6 +63,15 @@ class TestCheapAblations:
         s = ablate_split(quick=True)
         claims = CHECKS["ablate-split"](s)
         assert all(c.holds for c in claims)
+
+    def test_copies(self):
+        s = ablate_copies(quick=True)
+        claims = CHECKS["ablate-copies"](s)
+        assert all(c.holds for c in claims), [c.measured for c in claims]
+        # the ratios are exact, not merely bounded
+        assert all(v == 1.0 for v in s.series["eager-matched"].values())
+        assert all(v == 1.0 for v in s.series["rendezvous"].values())
+        assert all(v == 2.0 for v in s.series["eager-unexpected"].values())
 
 
 class TestFigure9Shape:

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.motor.serialization import MotorSerializer, SerializationError
+from repro.motor.buffers import BufferPool
+from repro.motor.serialization import MotorSerializer, PooledWriter, SerializationError
 from repro.runtime.runtime import ManagedRuntime, RuntimeConfig
 from repro.workloads.linkedlist import define_linked_array
 
@@ -98,6 +99,68 @@ class TestSplit:
     def test_frame_bad_magic(self):
         with pytest.raises(SerializationError, match="split magic"):
             MotorSerializer.unframe_parts(b"\x00\x00\x00\x00")
+
+    def test_pooled_split_roundtrip_across_gc(self):
+        """The split frame lives in pool-acquired native memory, so a
+        collection moving every managed object cannot disturb it — the
+        §7.4 'serialized representation cannot move' property."""
+        a, b = rt_pair()
+        arr = make_array(a, 6)
+        pool = BufferPool(a)
+        w = PooledWriter(pool)
+        name, count = MotorSerializer(a).write_split_frame(w, arr)
+        assert (name, count) == ("LinkedArray", 6)
+        a.collect(1)  # full collections between framing and unframing
+        a.collect(1)
+        name2, parts = MotorSerializer.unframe_parts(w.view())
+        assert name2 == "LinkedArray"
+        assert len(parts) == 6
+        rebuilt = MotorSerializer(b).build_array_from_parts(name2, parts)
+        for i in range(6):
+            node = b.get_elem(rebuilt, i)
+            assert b.get_elem(b.get_field(node, "array"), 1) == i * i
+        w.release()
+        assert pool.pooled == 1  # the backing buffer went back to its bin
+
+    def test_released_pooled_frame_buffer_is_reused(self):
+        a, _ = rt_pair()
+        arr = make_array(a, 4)
+        pool = BufferPool(a)
+        ser = MotorSerializer(a)
+        w1 = PooledWriter(pool)
+        ser.write_split_frame(w1, arr)
+        first = w1.native
+        w1.release()
+        w2 = PooledWriter(pool)
+        ser.write_split_frame(w2, arr)
+        assert w2.native is first
+        assert pool.reused == 1
+        w2.release()
+
+    def test_idle_pooled_frame_buffer_is_swept(self):
+        """A released frame buffer untouched across two collections is
+        unallocated by the pool's GC hook (paper §7.5)."""
+        a, _ = rt_pair()
+        arr = make_array(a, 4)
+        pool = BufferPool(a)
+        w = PooledWriter(pool)
+        MotorSerializer(a).write_split_frame(w, arr)
+        w.release()
+        a.collect(1)
+        a.collect(1)
+        assert pool.pooled == 0
+        assert pool.swept == 1
+
+    def test_write_split_frame_slice_matches_parts(self):
+        a, _ = rt_pair()
+        arr = make_array(a, 8)
+        ser = MotorSerializer(a)
+        out = bytearray()
+        name, count = ser.write_split_frame(out, arr, offset=2, count=3)
+        assert (name, count) == ("LinkedArray", 3)
+        name2, parts = MotorSerializer.unframe_parts(bytes(out))
+        _, direct = ser.serialize_array_split(arr, offset=2, count=3)
+        assert [bytes(p) for p in parts] == [bytes(p) for p in direct]
 
     def test_trees_inside_elements_travel_whole(self):
         """Each element's full Transportable closure rides in its part."""

@@ -12,6 +12,7 @@ import abc
 
 import pytest
 
+from repro.mp.buffers import WireView
 from repro.mp.channels import FABRICS, FaultPlan, FaultyFabric
 from repro.mp.channels.base import Channel, ChannelStack
 from repro.mp.packets import EAGER, Packet
@@ -103,6 +104,115 @@ class TestContract:
     def test_endpoint_cached_per_rank(self, pair):
         fab, c0, _ = pair
         assert fab.endpoint(0, WallClock(), CostModel()) is c0
+
+
+class _Owner:
+    """Stand-in for a Request: anything carrying a lease counter."""
+
+    def __init__(self):
+        self.wire_leases = 0
+
+
+def _view_pkt(src_buf, owner, tag=0):
+    return Packet(
+        ptype=EAGER, src=0, dst=1, tag=tag, op_id=tag,
+        payload=WireView.lease(memoryview(src_buf), owner),
+    )
+
+
+class TestViewPayloads:
+    """Channels consume WireView payloads synchronously: send_packet is
+    the wire crossing, so the lease ends inside the call and later
+    mutation of the source buffer cannot reach the receiver."""
+
+    def test_lease_released_by_send(self, pair):
+        _, c0, _ = pair
+        src = bytearray(b"leased-bytes")
+        owner = _Owner()
+        assert c0.send_packet(_view_pkt(src, owner))
+        assert owner.wire_leases == 0
+
+    def test_sender_mutation_after_send_is_invisible(self, pair):
+        _, c0, c1 = pair
+        src = bytearray(b"original")
+        assert c0.send_packet(_view_pkt(src, _Owner()))
+        src[:] = b"mutated!"  # the wire already crossed
+        got = []
+        while not got:
+            got.extend(c1.recv_packets())
+        assert bytes(got[0].payload_mv()) == b"original"
+
+
+class TestFaultCopyOnWrite:
+    """Faults that materialize a payload must copy, never alias: the
+    sender's latched buffer stays byte-identical through every fault."""
+
+    def _faulty_pair(self, plan):
+        fab = FaultyFabric(FABRICS["shm"](2), plan)
+        c0 = fab.endpoint(0, WallClock(), CostModel())
+        c1 = fab.endpoint(1, WallClock(), CostModel())
+        return fab, c0, c1
+
+    def test_corrupt_copies_on_write(self):
+        plan = FaultPlan().force(0, 1, 0, "corrupt")
+        fab, c0, c1 = self._faulty_pair(plan)
+        src = bytearray(b"pristine-payload")
+        owner = _Owner()
+        assert c0.send_packet(_view_pkt(src, owner))
+        assert src == b"pristine-payload"  # the bit flipped in a copy
+        assert owner.wire_leases == 0
+        assert c0.fault_stats["cow_bytes"] == len(src)
+        got = []
+        while not got:
+            got.extend(c1.recv_packets())
+        delivered = bytes(got[0].payload_mv())
+        assert delivered != bytes(src)
+        diff = [a ^ b for a, b in zip(delivered, src)]
+        assert sum(bin(d).count("1") for d in diff) == 1  # exactly one bit
+        fab.shutdown()
+
+    def test_duplicate_copies_on_write(self):
+        plan = FaultPlan().force(0, 1, 0, "duplicate")
+        fab, c0, c1 = self._faulty_pair(plan)
+        src = bytearray(b"dup-me")
+        owner = _Owner()
+        assert c0.send_packet(_view_pkt(src, owner))
+        assert owner.wire_leases == 0
+        assert c0.fault_stats["cow_bytes"] == len(src)
+        src[:] = b"XXXXXX"
+        got = []
+        while len(got) < 2:
+            got.extend(c1.recv_packets())
+        assert all(bytes(p.payload_mv()) == b"dup-me" for p in got)
+        fab.shutdown()
+
+    def test_delay_freezes_the_view(self):
+        plan = FaultPlan().force(0, 1, 0, "delay")
+        plan.delay_polls = 2
+        fab, c0, c1 = self._faulty_pair(plan)
+        src = bytearray(b"held-payload")
+        owner = _Owner()
+        assert c0.send_packet(_view_pkt(src, owner))
+        assert owner.wire_leases == 0  # frozen when parked
+        assert c0.fault_stats["cow_bytes"] == len(src)
+        src[:] = b"recycled!!!!"  # sender reuses the buffer while held
+        got = []
+        for _ in range(8):
+            c0.recv_packets()  # the sender's own polls expire the hold
+            got.extend(c1.recv_packets())
+            if got:
+                break
+        assert bytes(got[0].payload_mv()) == b"held-payload"
+        fab.shutdown()
+
+    def test_drop_releases_the_lease(self):
+        plan = FaultPlan().force(0, 1, 0, "drop")
+        fab, c0, _c1 = self._faulty_pair(plan)
+        owner = _Owner()
+        assert c0.send_packet(_view_pkt(bytearray(b"gone"), owner))
+        assert owner.wire_leases == 0
+        assert c0.fault_stats["cow_bytes"] == 0  # dropping never copies
+        fab.shutdown()
 
 
 class TestAbc:

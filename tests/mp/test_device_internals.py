@@ -28,11 +28,17 @@ class TestRendezvousTruncation:
             return (
                 bytes(region.mem[:cap]) == payload[:cap],
                 bytes(region.mem[cap:]) == guard_before,
+                eng.device.stats["bytes_moved"],
+                eng.device.stats["bytes_copied"],
             )
 
-        prefix_ok, canary_ok = mpiexec(2, main, channel="shm")[1]
+        prefix_ok, canary_ok, moved, copied = mpiexec(2, main, channel="shm")[1]
         assert prefix_ok, "received prefix differs"
         assert canary_ok, "transport wrote past the descriptor"
+        # every streamed byte is accepted (moved) but only the landing
+        # prefix is ever copied — truncated tail bytes touch no memory
+        assert moved == size
+        assert copied == cap
 
     def test_unexpected_rndv_then_small_recv(self):
         """RTS arrives before the receive is posted AND the receive is too
