@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-faults test-obs test-analyze lint bench bench-smoke figures report examples clean
+.PHONY: install test test-faults test-obs test-analyze test-recovery lint bench bench-smoke chaos figures report examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -17,6 +17,9 @@ test-obs:
 test-analyze:
 	$(PYTHON) -m pytest tests/ -m analyze
 
+test-recovery:
+	$(PYTHON) -m pytest tests/ -m recovery
+
 lint:
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check src tests examples; \
@@ -31,6 +34,9 @@ bench:
 
 bench-smoke:
 	$(PYTHON) -m repro.bench smoke
+
+chaos:
+	$(PYTHON) -m repro.bench chaos
 
 figures:
 	$(PYTHON) -m repro.bench all --csv out/

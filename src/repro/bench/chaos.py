@@ -1,0 +1,198 @@
+"""Chaos soak: seeded fault schedules against the elastic work queue.
+
+Each soak run takes a seed, derives a :class:`~repro.workloads.elastic.
+ChaosEvent` schedule from it (kills at unit thresholds, an occasional
+short partition), and drives :func:`~repro.workloads.elastic.run_elastic`
+through the full detect → agree → shrink → replace → restore sequence.
+A run passes only if the work-unit ledger closes exactly — no unit lost,
+none duplicated — so the soak is an end-to-end proof of the recovery
+protocol, not a latency benchmark that happens to survive.
+
+``python -m repro.bench chaos`` sweeps the seeds and writes the summary
+(pass rate, recovery counts, recovery latency, checkpoint overhead) to
+``BENCH_recovery.json`` so CI can diff robustness across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Iterable, Sequence
+
+from repro.workloads.elastic import ChaosEvent, ElasticConfig, run_elastic
+
+#: reliability opts for soak runs: generous enough that a GIL-descheduled
+#: worker thread is never declared dead (the budget must exceed a few
+#: scheduling quanta of the busiest spinner), tight enough that a real
+#: kill is detected in milliseconds of wall time.
+SOAK_RELIABILITY = dict(retransmit_after=16, max_retries=10, heartbeat_after=128)
+
+#: the soak workload: enough units that every victim reaches its kill
+#: threshold, a checkpoint cadence that commits several epochs per run
+SOAK_CONFIG = ElasticConfig(total=160, batch=8, window=2, ckpt_every=24)
+
+
+def make_schedule(
+    seed: int, nranks: int, cfg: ElasticConfig
+) -> list[ChaosEvent]:
+    """Derive a deterministic fault schedule from ``seed``.
+
+    Kill thresholds stay below half a worker's fair share of the unit
+    stream so every scheduled kill actually fires (a victim that never
+    processes ``at_units`` units never crashes); partitions cut the
+    root's link to one worker briefly, within the retransmit budget.
+    """
+    rng = random.Random(seed)
+    workers = nranks - 1
+    share = max(cfg.batch * 2, cfg.total // workers)
+    events: list[ChaosEvent] = []
+    for slot in rng.sample(range(1, nranks), rng.randint(1, min(2, workers))):
+        at = rng.randrange(cfg.batch, max(cfg.batch + 1, share // 2))
+        events.append(ChaosEvent("kill", slot, at))
+    if rng.random() < 0.5:
+        events.append(
+            ChaosEvent(
+                "partition",
+                rng.randrange(1, nranks),
+                rng.randrange(cfg.batch, max(cfg.batch + 1, cfg.total // 2)),
+            )
+        )
+    return events
+
+
+def run_chaos(
+    seeds: int | Iterable[int] = 20,
+    nranks: int = 4,
+    cfg: ElasticConfig | None = None,
+    echo=None,
+) -> dict:
+    """Sweep the seeded schedules; return the soak summary dict."""
+    cfg = cfg if cfg is not None else SOAK_CONFIG
+    seed_list: Sequence[int] = (
+        range(seeds) if isinstance(seeds, int) else list(seeds)
+    )
+    runs = []
+    for seed in seed_list:
+        events = make_schedule(seed, nranks, cfg)
+        res = run_elastic(
+            nranks,
+            cfg,
+            events=events,
+            reliability_opts=SOAK_RELIABILITY,
+            timeout=240.0,
+        )
+        row = {
+            "seed": seed,
+            "ok": res["ok"],
+            "scheduled": [(e.kind, e.slot, e.at_units) for e in events],
+            "fired": res["fired"],
+            "recoveries": res["recoveries"],
+            "ranks_replaced": res["ranks_replaced"],
+            "checkpoints": res["checkpoints"],
+            "partitions": res["partitions"],
+            "epochs_rolled_back": res["epochs_rolled_back"],
+            "recovery_latency_ns": res["recovery_latency_ns"],
+            "elapsed_ns": res["elapsed_ns"],
+        }
+        runs.append(row)
+        if echo is not None:
+            echo(
+                f"seed {seed:3d}: {'ok' if row['ok'] else 'LEDGER BROKEN'} "
+                f"recoveries={row['recoveries']} replaced={row['ranks_replaced']} "
+                f"partitions={row['partitions']} fired={row['fired']}"
+            )
+    recovered = [r for r in runs if r["recoveries"]]
+    summary = {
+        "workload": {
+            "nranks": nranks,
+            "total_units": cfg.total,
+            "batch": cfg.batch,
+            "window": cfg.window,
+            "ckpt_every": cfg.ckpt_every,
+            "placement": cfg.placement,
+        },
+        "seeds": len(runs),
+        "passed": sum(1 for r in runs if r["ok"]),
+        "failed_seeds": [r["seed"] for r in runs if not r["ok"]],
+        "kills_fired": sum(
+            1 for r in runs for ev in r["fired"] if ev[0] == "kill"
+        ),
+        "partitions_fired": sum(
+            1 for r in runs for ev in r["fired"] if ev[0] == "partition"
+        ),
+        "recoveries": sum(r["recoveries"] for r in runs),
+        "ranks_replaced": sum(r["ranks_replaced"] for r in runs),
+        "epochs_rolled_back": sum(r["epochs_rolled_back"] for r in runs),
+        "mean_recovery_latency_us": (
+            sum(r["recovery_latency_ns"] / r["recoveries"] for r in recovered)
+            / len(recovered)
+            / 1e3
+            if recovered
+            else None
+        ),
+        "runs": runs,
+    }
+    return summary
+
+
+#: timers for fault-free overhead runs: quiet enough that no heartbeat or
+#: retransmit ever fires, so wall-clock thread scheduling cannot leak
+#: spurious packet charges into the virtual elapsed being compared
+QUIET_RELIABILITY = dict(
+    retransmit_after=1_000_000, max_retries=10, heartbeat_after=1_000_000
+)
+
+#: the A15 workload: 0.4 ms simulated requests, strict round-robin
+#: assignment (deterministic placement), drained single-batch windows
+OVERHEAD_CONFIG = ElasticConfig(
+    total=600, batch=4, window=1, ckpt_every=200,
+    unit_cost_ns=400_000, round_robin=True,
+)
+
+
+def checkpoint_overhead(
+    cfg: ElasticConfig | None = None, nranks: int = 4, reps: int = 3
+) -> dict:
+    """Fault-free checkpoint cost: same run with and without the cadence.
+
+    Both runs are fault-free under the virtual clock, so the difference
+    is exactly the checkpoint protocol (drain, snapshot encode, off-rank
+    replication, commit barrier) — the insurance premium a run pays when
+    nothing ever fails.  Round-robin assignment pins unit placement, and
+    the ratio is taken over rep means: ack piggybacking still varies a
+    little with thread scheduling, and averaging keeps that noise out of
+    the verdict.
+    """
+    cfg = cfg if cfg is not None else OVERHEAD_CONFIG
+    bare = ElasticConfig(**{**cfg.__dict__, "ckpt_every": 0})
+    base_ns, ckpt_ns, checkpoints = [], [], 0
+    for _ in range(reps):
+        base = run_elastic(nranks, bare, reliability_opts=QUIET_RELIABILITY)
+        ckpt = run_elastic(nranks, cfg, reliability_opts=QUIET_RELIABILITY)
+        assert base["ok"] and ckpt["ok"]
+        base_ns.append(base["elapsed_ns"])
+        ckpt_ns.append(ckpt["elapsed_ns"])
+        checkpoints = ckpt["checkpoints"]
+    mean = lambda xs: sum(xs) / len(xs)
+    return {
+        "baseline_ns": base_ns,
+        "checkpointed_ns": ckpt_ns,
+        "checkpoints": checkpoints,
+        "ratio": mean(ckpt_ns) / mean(base_ns),
+    }
+
+
+def write_bench_json(path: str, summary: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+__all__ = [
+    "SOAK_CONFIG",
+    "SOAK_RELIABILITY",
+    "make_schedule",
+    "run_chaos",
+    "checkpoint_overhead",
+    "write_bench_json",
+]

@@ -33,11 +33,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS)
-        + ["all", "report", "write-experiments", "metrics", "smoke"],
+        + ["all", "report", "write-experiments", "metrics", "smoke", "chaos"],
         help="which experiment to run (or 'all' / 'report' / "
         "'write-experiments' to refresh EXPERIMENTS.md's data section, or "
         "'metrics' for an instrumented ping-pong with a merged pvar report, "
-        "or 'smoke' for the CI overhead gate over A10-A14; "
+        "or 'smoke' for the CI overhead gate over A10-A15, or 'chaos' for "
+        "the seeded fault-schedule soak (writes BENCH_recovery.json); "
         "'analyze ...' forwards to the Motor analyzer CLI)",
     )
     parser.add_argument(
@@ -56,6 +57,21 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="with 'metrics': also write a Chrome trace JSON (chrome://tracing)",
     )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with 'chaos': number of seeded fault schedules to sweep "
+        "(default 20, or 50 with --paper)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="with 'chaos': where to write the soak summary "
+        "(default ./BENCH_recovery.json)",
+    )
     args = parser.parse_args(argv)
     quick = not args.paper
 
@@ -64,6 +80,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.experiment == "smoke":
         return _smoke(quick=quick)
+
+    if args.experiment == "chaos":
+        return _chaos(
+            seeds=args.seeds if args.seeds is not None else (50 if args.paper else 20),
+            json_path=args.json or os.path.join(os.getcwd(), "BENCH_recovery.json"),
+        )
 
     if args.experiment == "report":
         print("# Motor reproduction: paper vs measured\n")
@@ -109,6 +131,7 @@ SMOKE_EXPERIMENTS = (
     "ablate-sanitize",     # A12: sanitizer hooks
     "ablate-spine",        # A13: detached hook-spine residue
     "ablate-copies",       # A14: copy accounting per delivery path
+    "ablate-checkpoint",   # A15: fault-free coordinated-checkpoint cost
 )
 
 
@@ -126,6 +149,28 @@ def _smoke(quick: bool = True) -> int:
         return 1
     print("bench smoke: all overhead claims hold", file=sys.stderr)
     return 0
+
+
+def _chaos(seeds: int, json_path: str) -> int:
+    """Soak the recovery path over seeded fault schedules; write the JSON."""
+    from repro.bench.chaos import checkpoint_overhead, run_chaos, write_bench_json
+
+    summary = run_chaos(seeds=seeds, echo=print)
+    summary["checkpoint_overhead"] = checkpoint_overhead()
+    write_bench_json(json_path, summary)
+    lat = summary["mean_recovery_latency_us"]
+    print(
+        f"chaos soak: {summary['passed']}/{summary['seeds']} ledgers exact, "
+        f"{summary['recoveries']} recoveries, "
+        f"{summary['ranks_replaced']} ranks replaced, "
+        f"mean recovery latency "
+        f"{'n/a' if lat is None else f'{lat:.1f} us'}, "
+        f"fault-free checkpoint overhead "
+        f"{summary['checkpoint_overhead']['ratio']:.4f}x",
+        file=sys.stderr,
+    )
+    print(f"wrote {json_path}", file=sys.stderr)
+    return 0 if summary["passed"] == summary["seeds"] else 1
 
 
 def _metrics(quick: bool, trace_path: str | None = None) -> int:

@@ -280,6 +280,111 @@ class World:
             remote_group=child_group,
         )
 
+    def replace_failed(
+        self,
+        parent_ctx: RankContext,
+        old_comm: Communicator,
+        shrunken: Communicator,
+        replacement_main: Callable[[RankContext], Any],
+        session_factory: Callable[[RankContext], Any] | None = None,
+    ) -> Communicator:
+        """Respawn the ranks ``old_comm`` lost and rebuild it full-size.
+
+        Collective over ``shrunken`` (the agreed survivor communicator
+        from ``old_comm.shrink()``): rank 0 of the shrunken communicator
+        allocates fresh world ranks — one per failed slot — and spawns
+        them running ``replacement_main``; every survivor returns a new
+        communicator with ``old_comm``'s size and slot layout, where each
+        failed slot is now a replacement rank.  The replacements' own
+        ``comm_world`` *is* that rebuilt communicator, so application
+        code is uniform across survivors and replacements.
+
+        Restoring state is the recovery manager's job
+        (:meth:`repro.mp.recovery.RecoveryManager.resync`), driven by
+        :func:`repro.mp.recovery.recover`.
+        """
+        from repro.mp import collectives
+
+        lost = [r for r in old_comm.group.ranks if not shrunken.group.contains(r)]
+        if not lost:
+            raise ValueError("replace_failed: no failed ranks to replace")
+        nprocs = len(lost)
+        if shrunken.rank == 0:
+            if not getattr(self.fabric, "supports_dynamic_ranks", False):
+                raise RuntimeError(
+                    f"{self.channel_name} fabric cannot add replacement "
+                    "ranks; use the shm or ib channel"
+                )
+            with self._spawn_lock:
+                base = self._next_rank
+                self._next_rank += nprocs
+                ctx_id = self._spawn_contexts
+                self._spawn_contexts += 4
+            # endpoints must exist before any survivor can learn the new
+            # rank ids (a send to an unknown rank has no mailbox)
+            for i in range(nprocs):
+                self.fabric.add_rank(base + i)
+            info = f"{base},{ctx_id}".encode()
+        else:
+            info = None
+        info = collectives.bcast_bytes(parent_ctx.engine, shrunken, info, 0)
+        base, ctx_id = (int(x) for x in info.decode().split(","))
+        replaced = {w: base + i for i, w in enumerate(lost)}
+        full_group = Group(replaced.get(w, w) for w in old_comm.group.ranks)
+        if shrunken.rank == 0:
+            for w in lost:
+                slot = old_comm.group.local_rank(w)
+                rank = replaced[w]
+                rctx = RankContext(
+                    world=self,
+                    rank=rank,
+                    engine=self._replacement_engine(
+                        rank, full_group, slot, ctx_id, old_comm.errhandler
+                    ),
+                    clock=self.clock_for(rank),
+                )
+                self._attach_obs(rctx)
+                self._attach_san(rctx)
+                if session_factory is not None:
+                    rctx.session = session_factory(rctx)
+                    _observe_session(rctx)
+                    _sanitize_session(rctx)
+                t = _RankThread(
+                    f"replacement-{rank}", _draining(self, replacement_main), rctx
+                )
+                self._spawned_threads.append(t)
+                t.start()
+        return Communicator(
+            engine=parent_ctx.engine,
+            context_id=ctx_id,
+            group=full_group,
+            rank=old_comm.rank,
+            errhandler=old_comm.errhandler,
+        )
+
+    def _replacement_engine(
+        self, rank: int, full_group: Group, slot: int, ctx_id: int, errhandler: str
+    ) -> MpiEngine:
+        clock = self.clock_for(rank)
+        ch = self.fabric.endpoint(rank, clock, self.costs)
+        self._engines[rank] = eng = MpiEngine(
+            rank,
+            full_group.size,
+            ch,
+            clock=clock,
+            costs=self.costs,
+            eager_threshold=self.eager_threshold,
+            reliable=self.reliable,
+            reliability_opts=self.reliability_opts,
+        )
+        # The replacement's world IS the rebuilt communicator: same context
+        # id and group as every survivor's copy, same slot the dead rank had.
+        eng.comm_world = Communicator(
+            engine=eng, context_id=ctx_id, group=full_group, rank=slot,
+            errhandler=errhandler,
+        )
+        return eng
+
     def _child_engine(self, rank: int, child_group: Group, local: int) -> MpiEngine:
         clock = self.clock_for(rank)
         ch = self.fabric.endpoint(rank, clock, self.costs)

@@ -254,6 +254,33 @@ class MotorCommunicator:
         """World ranks this rank's reliability layer has declared dead."""
         return frozenset(self._vm.engine.device.failed_ranks)
 
+    def Agree(self, value: int = -1, op: str = "band") -> tuple[int, frozenset]:
+        """ULFM MPI_Comm_agree: fold ``value`` with ``op`` across the
+        survivors and agree on the failed set.  Returns ``(folded_value,
+        failed_world_ranks)``, identical on every survivor even when
+        their local failure detectors disagreed at call time."""
+        return self._fcall(self._comm.agree, value, op)
+
+    def Checkpoint(self, state, placement: str | None = None, root: int = 0) -> int:
+        """Coordinated checkpoint of rank-local ``state``; collective.
+
+        ``state`` must be plain data (None/bool/int/float/bytes/str and
+        lists/tuples/dicts of the same) — the deterministic checkpoint
+        codec rejects reference-bearing managed objects, mirroring the
+        §4.2.1 buffer-integrity rule.
+        Replicates the encoded snapshot off-rank (``"root"``: gathered
+        at ``root``; ``"peer"``: mirrored to the right-hand neighbour)
+        and commits the epoch with a barrier.  Returns the committed
+        epoch; a failure before the barrier raises
+        :class:`~repro.mp.errors.MpiErrProcFailed` and leaves the epoch
+        uncommitted on every rank."""
+        return self._fcall(self._comm.checkpoint, state, placement, root)
+
+    def Restore(self, epoch: int | None = None):
+        """Rank-local state from the last committed checkpoint epoch
+        (or an explicit earlier ``epoch``)."""
+        return self._fcall(self._comm.restore, epoch)
+
     # -- data-plane introspection ---------------------------------------------------
 
     @property
@@ -334,6 +361,9 @@ MP_CALLSIGS: dict[str, MPCallSig] = _sigs(
     MPCallSig("MP.OSend", (KIND_ANY_OBJECT, KIND_INT, KIND_INT), False, "OSend(obj, dest, tag)"),
     MPCallSig("MP.ORecv", (KIND_INT, KIND_INT), True, "ORecv(source, tag) -> obj"),
     MPCallSig("MP.OBcast", (KIND_ANY_OBJECT, KIND_INT), True, "OBcast(obj, root) -> obj"),
+    MPCallSig("MP.Agree", (KIND_INT,), True, "Agree(value) -> band-fold over survivors"),
+    MPCallSig("MP.Checkpoint", (KIND_ANY_OBJECT,), True, "Checkpoint(state) -> committed epoch"),
+    MPCallSig("MP.Restore", (), True, "Restore() -> state from the last committed epoch"),
 )
 
 
@@ -368,4 +398,7 @@ def register_mp_internals(vm) -> dict[str, Callable]:
         "MP.OSend": comm.OSend,
         "MP.ORecv": comm.ORecv,
         "MP.OBcast": comm.OBcast,
+        "MP.Agree": lambda value: comm.Agree(value)[0],
+        "MP.Checkpoint": lambda state: comm.Checkpoint(state),
+        "MP.Restore": comm.Restore,
     }

@@ -37,7 +37,7 @@ from repro.mp.channels.base import Channel
 from repro.mp.errors import MpiErrInternal
 from repro.mp.hooks import NULL_SPINE
 from repro.mp.matching import MessageQueues, UnexpectedMsg
-from repro.mp.packets import ACK, CTS, DATA, EAGER, FIN, PING, RTS, Packet
+from repro.mp.packets import ACK, CTS, DATA, EAGER, FAILN, FIN, PING, RTS, Packet
 from repro.mp.reliability import PROC_FAILED, ReliabilityLayer
 from repro.mp.request import Request
 from repro.mp.status import Status
@@ -103,6 +103,9 @@ class CH3Device:
             self.rel = ReliabilityLayer(rank, **(reliability_opts or {}))
             self.rel.on_peer_failed = self._peer_failed
         self.failed_ranks: set[int] = set()
+        #: who to gossip failure verdicts to (the engine points this at the
+        #: current world group); None disables propagation
+        self.gossip_ranks: "Callable[[], Iterable[int]] | None" = None
 
     # ------------------------------------------------------------------ send
 
@@ -201,6 +204,14 @@ class CH3Device:
         if cbs:
             for cb in cbs:
                 cb(req)
+        if req.peer >= 0 and req.peer in self.failed_ranks:
+            # mirror start_send: a receive from an already-declared-dead
+            # peer can never match (its unacked traffic was purged), so
+            # fail it now instead of letting the waiter spin forever —
+            # unless the dead peer's message already landed unexpectedly.
+            if self.queues.peek_unexpected(req.peer, req.tag, req.comm_id) is None:
+                self._fail_request(req)
+                return
         msg = self.queues.match_unexpected(req.peer, req.tag, req.comm_id)
         if msg is None:
             req.mark_queued()
@@ -325,6 +336,11 @@ class CH3Device:
             self._on_data(pkt)
         elif pkt.ptype == FIN:
             self._on_fin(pkt)
+        elif pkt.ptype == FAILN:
+            # gossiped failure verdict: adopt it (and re-gossip) as if our
+            # own detector had fired, so indirect waiters unwedge too
+            if pkt.op_id != self.rank:
+                self._peer_failed(pkt.op_id)
         elif pkt.ptype in (ACK, PING):
             pass  # reliability control traffic; inert when the layer is off
         else:
@@ -477,7 +493,17 @@ class CH3Device:
         """Retries to ``peer`` are exhausted: it is dead.  Complete every
         operation that depends on it with ``MPI_ERR_PROC_FAILED`` so no
         waiter spins forever (the "progress for all" guarantee)."""
+        if peer in self.failed_ranks:
+            return
         self.failed_ranks.add(peer)
+        if self.rel is not None:
+            # silence the link whichever side learned first (gossip may
+            # outrun this rank's own retransmit budget)
+            self.rel.mark_failed(peer)
+        if self.gossip_ranks is not None and self.rel is not None:
+            for r in self.gossip_ranks():
+                if r != self.rank and r != peer and r not in self.failed_ranks:
+                    self._emit(Packet(ptype=FAILN, src=self.rank, dst=r, op_id=peer))
         cbs = self.hooks.peer_failed
         if cbs:
             for cb in cbs:

@@ -113,6 +113,24 @@ class Communicator:
         """
         return self.engine.comm_shrink(self)
 
+    def agree(self, value: int = -1, op: str = "band") -> tuple[int, frozenset]:
+        """ULFM-style MPI_Comm_agree over this communicator's survivors.
+
+        Returns ``(folded_value, failed_world_ranks)`` — the ``op``-fold
+        of every survivor's ``value`` plus the agreed failed set, identical
+        on every survivor even when their local detectors disagreed.
+        """
+        return self.engine.recovery.agree(self, value, op)
+
+    def checkpoint(self, state, placement: str | None = None, root: int = 0) -> int:
+        """Coordinated checkpoint of rank-local ``state``; returns the
+        committed epoch.  Collective over the communicator."""
+        return self.engine.recovery.checkpoint(self, state, placement=placement, root=root)
+
+    def restore(self, epoch: int | None = None):
+        """Rank-local state from the last committed checkpoint epoch."""
+        return self.engine.recovery.restore(self, epoch)
+
     @property
     def size(self) -> int:
         return self.group.size

@@ -54,6 +54,12 @@ Event catalog (arguments each ``on_<event>`` receives):
 ``cond_drop(slot)``       conditional pin resolved as not needed
 ``pin_decision(decision)``         pin policy verdict ("pin-now", "defer", ...)
 ``gc_phase(gen, info)``   a collection finished (info: promoted/pins/cond)
+``agree_round(seq, role, survivors)``  one attempt of the survivor agreement
+                          protocol finished (role: "lead" or "follow")
+``checkpoint_taken(epoch, nbytes)``    a checkpoint epoch committed locally
+``checkpoint_restored(epoch, nbytes)`` rank-local state restored from an epoch
+``recovery_begin(failed)``         detect → agree → shrink → replace started
+``recovery_end(info)``    recovery finished (info: epoch/replaced/latency_ns)
 ========================  =====================================================
 """
 
@@ -85,6 +91,11 @@ EVENTS: tuple[str, ...] = (
     "cond_drop",
     "pin_decision",
     "gc_phase",
+    "agree_round",
+    "checkpoint_taken",
+    "checkpoint_restored",
+    "recovery_begin",
+    "recovery_end",
 )
 
 

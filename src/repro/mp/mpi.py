@@ -76,8 +76,12 @@ class MpiEngine:
         self.comm_self = Communicator(
             engine=self, context_id=2, group=Group([rank]), rank=0
         )
+        # failure gossip targets: whoever the current world communicator
+        # spans (replacement engines override comm_world before first use)
+        self.device.gossip_ranks = lambda: self.comm_world.group.ranks
         self._next_context = 16
         self._shrink_count = 0
+        self._recovery = None
         self.finalized = False
         #: set when an MPI_ERRORS_ARE_FATAL handler fired (the simulated
         #: equivalent of the job being aborted)
@@ -341,36 +345,87 @@ class MpiEngine:
             rank=merged.local_rank(me_world),
         )
 
+    @property
+    def recovery(self):
+        """The rank's :class:`repro.mp.recovery.RecoveryManager` (lazy)."""
+        if self._recovery is None:
+            from repro.mp.recovery import RecoveryManager
+
+            self._recovery = RecoveryManager(self)
+        return self._recovery
+
     def comm_shrink(self, comm: Communicator) -> Communicator:
         """ULFM-style MPI_Comm_shrink over ``comm``'s survivors.
 
-        The failed set is the union of what this rank's reliability layer
-        detected and what the channel's fault plan knows (standing in for
-        ULFM's agreement phase: in a real implementation the survivors run
-        a consensus round; in this simulation the shared fault plan *is*
-        the agreed truth, so every survivor derives the identical group
-        without extra traffic).  Context ids come from a dedicated range
-        advanced per shrink call, so survivors agree on the new context
-        as long as they call shrink the same number of times — the usual
-        collective-call discipline.
+        With the reliability sublayer on (i.e. failure detection exists),
+        the survivors run the message-based agreement protocol
+        (:meth:`repro.mp.recovery.RecoveryManager.shrink_agree`): they
+        agree on the failed set *and* on a shared shrink epoch — the max
+        of every survivor's engine-local shrink counter plus one — from
+        which the context id derives.  Survivors whose counters drifted
+        (one shrank a sub-communicator the others never saw) still get
+        one identical context id.
+
+        Without the reliability sublayer there is no detector to agree
+        over, so the failed set comes from the shared fault plan and the
+        counters are *validated* instead: every rank allgathers its
+        counter and a mismatch raises :class:`MpiErrComm` — loudly, where
+        the old behaviour silently returned colliding context ids.
         """
+        me_world = comm.group.world_rank(comm.rank)
         failed = set(self.device.failed_ranks)
         plan = getattr(self.device.channel, "plan", None)
         if plan is not None:
             failed |= set(plan.dead_ranks)
-        if comm.group.world_rank(comm.rank) in failed:
+        if me_world in failed:
             raise MpiErrComm("a failed rank cannot shrink a communicator")
+        if self.device.rel is not None:
+            epoch, agreed = self.recovery.shrink_agree(comm)
+            failed |= set(agreed)
+        else:
+            epoch = self._validated_shrink_epoch(comm, failed)
+        self._shrink_count = epoch
+        ctx = (1 << 18) + 4 * epoch
         survivors = [r for r in comm.group.ranks if r not in failed]
-        self._shrink_count += 1
-        ctx = (1 << 18) + 4 * self._shrink_count
         group = Group(survivors)
         return Communicator(
             engine=self,
             context_id=ctx,
             group=group,
-            rank=group.local_rank(comm.group.world_rank(comm.rank)),
+            rank=group.local_rank(me_world),
             errhandler=comm.errhandler,
         )
+
+    def _validated_shrink_epoch(self, comm: Communicator, failed: set) -> int:
+        """Exchange shrink counters over the survivors; mismatch raises.
+
+        The legacy counter scheme relied on every survivor having called
+        shrink the same number of times; a drifted counter produced a
+        silent context-id collision.  The counters are now compared via
+        an allgather over the survivors and any disagreement surfaces as
+        a clear :class:`MpiErrComm` on every rank.
+        """
+        from repro.mp import collectives
+
+        survivors = [r for r in comm.group.ranks if r not in failed]
+        sub = Communicator(
+            engine=self,
+            context_id=comm.context_id,
+            group=Group(survivors),
+            rank=survivors.index(comm.group.world_rank(comm.rank)),
+            errhandler=comm.errhandler,
+        )
+        counts = collectives.allgather_obj(
+            self, sub, (self._shrink_count, 0, sub.group.world_rank(sub.rank))
+        )
+        seen = {c[0] for c in counts}
+        if len(seen) != 1:
+            raise MpiErrComm(
+                "shrink counters disagree across survivors "
+                f"({sorted(seen)}): context ids would silently collide; "
+                "shrink must be called collectively the same number of times"
+            )
+        return seen.pop() + 1
 
     # ------------------------------------------------------------- collectives
 

@@ -12,7 +12,12 @@ The reliability sublayer (``repro.mp.reliability``) adds two more:
 
 * ``ACK``     — cumulative acknowledgement of a link's sequence stream;
 * ``PING``    — heartbeat probe for dead-peer detection (sequenced, so a
-  live peer's ack doubles as a liveness proof).
+  live peer's ack doubles as a liveness proof);
+* ``FAILN``   — failure notification: a rank that declared a peer dead
+  gossips the verdict (``op_id`` carries the dead rank), so ranks with no
+  direct link to the failure learn it too (ULFM-style propagation — a
+  collective participant waiting on a live-but-aborted neighbour would
+  otherwise hang).
 
 The sock channel frames these over a byte pipe; the shm channel passes
 them as objects through a shared queue.  ``ts`` carries the virtual-clock
@@ -37,6 +42,7 @@ DATA = 4
 FIN = 5
 ACK = 6
 PING = 7
+FAILN = 8
 
 _NAMES = {
     EAGER: "EAGER",
@@ -46,6 +52,7 @@ _NAMES = {
     FIN: "FIN",
     ACK: "ACK",
     PING: "PING",
+    FAILN: "FAILN",
 }
 
 #: frame header: type, src, dst, tag, comm_id, op_id, offset, total, sync,

@@ -118,6 +118,29 @@ class ProgressEngine:
                     cb(req)
         self._check_failed(req)
 
+    def poll_until(self, cond: Callable[[], bool], timeout: float | None = None,
+                   what: str = "condition") -> None:
+        """Poll until ``cond()`` holds; the recovery protocols' wait.
+
+        Unlike :meth:`wait` this is not tied to a single request — the
+        agreement and snapshot-redistribution rounds juggle a shifting
+        set of requests whose failures are part of the protocol, not an
+        error.  The wall ``timeout`` still bounds the spin (``MPI
+        Progress For All``: no recovery step may hang forever), raising
+        :class:`MpiErrTimeout` naming ``what``.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        spin = 0
+        while not cond():
+            if self.poll() == 0:
+                spin += 1
+                if spin & 0x3F == 0:
+                    time.sleep(0)
+            else:
+                spin = 0
+            if deadline is not None and time.monotonic() > deadline:
+                raise MpiErrTimeout(f"{what} unmet after {timeout}s")
+
     def wait_all(self, reqs: Iterable[Request], timeout: float | None = None) -> None:
         """Wait for every request; ``timeout`` bounds the whole batch."""
         deadline = None if timeout is None else time.monotonic() + timeout

@@ -59,6 +59,9 @@ class ReliabilityLayer:
         max_retries: int = 16,
         heartbeat_after: int = 512,
         ooo_window: int = 4096,
+        jitter: float = 0.1,
+        jitter_seed: int = 0,
+        connect_retries: int | None = None,
     ) -> None:
         self.rank = rank
         self.retransmit_after = retransmit_after
@@ -70,6 +73,25 @@ class ReliabilityLayer:
         self.max_retries = max_retries
         self.heartbeat_after = heartbeat_after
         self.ooo_window = ooo_window
+        #: deterministic-seeded retransmit jitter, as a fraction of the
+        #: capped deadline.  When a partition heals, every survivor's
+        #: backed-off timer sits at the same cap; without jitter they all
+        #: retry on the same poll and the thundering herd re-collides.
+        #: The spread is a pure hash of (rank, seed, dst, seq, retries) —
+        #: no RNG stream — so it is reproducible regardless of poll
+        #: interleaving yet differs across ranks.
+        self.jitter = jitter
+        self.jitter_seed = jitter_seed
+        #: first-contact budget (TCP SYN-retry style): a peer we have
+        #: *never heard from* is most likely a rank whose thread has not
+        #: been scheduled yet — its silence proves nothing.  A spinning
+        #: sender can burn the whole normal budget inside one scheduling
+        #: quantum and falsely declare a healthy newborn (initial launch
+        #: or a just-spawned replacement) dead, so unheard links get a
+        #: larger allowance before the verdict.
+        self.connect_retries = (
+            connect_retries if connect_retries is not None else max_retries * 4
+        )
 
         self.polls = 0
         #: dst -> next sequence number to assign
@@ -82,6 +104,9 @@ class ReliabilityLayer:
         self._ooo: dict[int, dict[int, Packet]] = {}
         #: src -> poll count when we last heard anything from it
         self._last_heard: dict[int, int] = {}
+        #: peers that have ever delivered an intact packet (``_last_heard``
+        #: can't serve: the heartbeat path seeds it without evidence)
+        self._heard: set[int] = set()
         self.failed: set[int] = set()
         self.on_peer_failed: Callable[[int], None] | None = None
         self.stats = {
@@ -127,6 +152,7 @@ class ReliabilityLayer:
                 continue
             src = pkt.src
             self._last_heard[src] = self.polls
+            self._heard.add(src)
             if pkt.ptype == ACK:
                 self._on_ack(src, pkt.seq)
                 continue
@@ -187,9 +213,12 @@ class ReliabilityLayer:
                 self.retransmit_after * (self.backoff ** entry.retries),
                 self.max_backoff_polls,
             )
+            if self.jitter:
+                deadline += self._jitter_polls(dst, seq, entry.retries, deadline)
             if self.polls - entry.sent_at < deadline:
                 continue
-            if entry.retries >= self.max_retries:
+            budget = self.max_retries if dst in self._heard else self.connect_retries
+            if entry.retries >= budget:
                 self._fail_peer(dst)
                 continue
             entry.retries += 1
@@ -212,13 +241,40 @@ class ReliabilityLayer:
                 emit(ping)
                 self._last_heard[peer] = self.polls  # next probe via retransmit
 
+    def _jitter_polls(self, dst: int, seq: int, retries: int, deadline: float) -> int:
+        """Deterministic per-(rank, link, packet, retry) jitter in polls."""
+        span = int(deadline * self.jitter)
+        if span <= 0:
+            return 0
+        x = (
+            (self.rank * 0x9E3779B1)
+            ^ (self.jitter_seed * 0x85EBCA6B)
+            ^ (dst * 0xC2B2AE35)
+            ^ (seq * 0x27D4EB2F)
+            ^ (retries * 0x165667B1)
+        ) & 0xFFFFFFFF
+        # xorshift finisher: decorrelate the low bits the mix leaves aligned
+        x ^= x >> 16
+        x = (x * 0x45D9F3B) & 0xFFFFFFFF
+        x ^= x >> 16
+        return x % (span + 1)
+
     def _fail_peer(self, dst: int) -> None:
+        if dst in self.failed:
+            return
         self.failed.add(dst)
         self.stats["peers_failed"] += 1
         self._unacked.pop(dst, None)
         self._ooo.pop(dst, None)
         if self.on_peer_failed is not None:
             self.on_peer_failed(dst)
+
+    def mark_failed(self, dst: int) -> None:
+        """Adopt an externally-learned verdict (gossip): stop the link's
+        timers without counting a local detection."""
+        self.failed.add(dst)
+        self._unacked.pop(dst, None)
+        self._ooo.pop(dst, None)
 
     # ------------------------------------------------------------------ misc
 

@@ -233,7 +233,8 @@ def _subscribe(inst: Instrumentation, spine: HookSpine) -> None:
 
 
 def attach_engine(inst: Instrumentation, engine) -> None:
-    """Wire one rank's MPI stack: device, progress, reliability, channel."""
+    """Wire one rank's MPI stack: device, progress, reliability, channel,
+    and (once it exists) the recovery manager."""
     _subscribe(inst, engine.hooks)
     device = engine.device
     inst.register_provider(
@@ -265,6 +266,15 @@ def attach_engine(inst: Instrumentation, engine) -> None:
     if device.rel is not None:
         rel = device.rel
         inst.register_provider(lambda: _scaled("rel", rel.stats))
+    # recovery pvars: read through the engine property each snapshot so an
+    # engine that never checkpoints or agrees reports nothing (the manager
+    # is lazy; don't instantiate it just to export zeros)
+    inst.register_provider(
+        lambda: (
+            {} if engine._recovery is None
+            else _scaled("recovery", engine._recovery.stats)
+        )
+    )
 
 
 def attach_gc(inst: Instrumentation, gc) -> None:

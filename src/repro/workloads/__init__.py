@@ -9,9 +9,13 @@
 * :mod:`repro.workloads.adapters` — a uniform five-verb interface
   (alloc/fill/send/recv + tree variants) over Motor and every baseline, so
   the same driver measures every system.
+* :mod:`repro.workloads.elastic` — the self-healing runtime's acceptance
+  workload: a sharded work queue with coordinated checkpoints that
+  survives scheduled kills and partitions with an exactly-once ledger.
 """
 
 from repro.workloads.adapters import ADAPTERS, make_adapter
+from repro.workloads.elastic import ChaosEvent, ChaosSchedule, ElasticConfig, run_elastic
 from repro.workloads.linkedlist import build_linked_list, list_payload_ints, verify_linked_list
 from repro.workloads.pingpong import (
     sweep_buffer_pingpong,
@@ -26,4 +30,8 @@ __all__ = [
     "list_payload_ints",
     "sweep_buffer_pingpong",
     "sweep_tree_pingpong",
+    "ChaosEvent",
+    "ChaosSchedule",
+    "ElasticConfig",
+    "run_elastic",
 ]

@@ -39,6 +39,7 @@ class TestRegistry:
             "ablate-sanitize",
             "ablate-spine",
             "ablate-copies",
+            "ablate-checkpoint",
         } == set(EXPERIMENTS)
 
     def test_every_experiment_has_a_claim_check(self):

@@ -1,0 +1,91 @@
+"""Elastic work queue: exactly-once unit accounting under injected faults.
+
+Every test's oracle is the work-unit ledger — the (count, sum, xor) fold
+of the surviving workers' aggregates checked against the closed forms —
+so a lost unit, a replayed unit or a double-counted aggregate all fail
+loudly regardless of thread interleaving.
+"""
+
+import pytest
+
+from repro.bench.chaos import SOAK_CONFIG, SOAK_RELIABILITY, make_schedule
+from repro.workloads.elastic import ChaosEvent, ElasticConfig, run_elastic
+
+pytestmark = pytest.mark.recovery
+
+OPTS = dict(SOAK_RELIABILITY)
+
+
+def run(cfg, events=(), nranks=4):
+    return run_elastic(nranks, cfg, events=events,
+                       reliability_opts=OPTS, timeout=240.0)
+
+
+class TestFaultFree:
+    def test_ledger_closes_exactly(self):
+        res = run(ElasticConfig(total=64, batch=8, window=2, ckpt_every=0))
+        assert res["ok"]
+        assert (res["count"], res["sum"], res["xor"]) == (
+            res["total"], res["expected_sum"], res["expected_xor"])
+        assert res["recoveries"] == 0
+        assert res["checkpoints"] == 0
+
+    def test_checkpoint_cadence_commits_epochs(self):
+        # acks drain in bursts, so the exact count is timing-dependent;
+        # at least one epoch must commit well before the stream ends
+        res = run(ElasticConfig(total=64, batch=8, window=2, ckpt_every=16))
+        assert res["ok"]
+        assert res["checkpoints"] >= 1
+        assert res["recoveries"] == 0
+
+    def test_peer_placement_ledger(self):
+        res = run(ElasticConfig(total=48, batch=8, window=2, ckpt_every=16,
+                                placement="peer"))
+        assert res["ok"]
+        assert res["checkpoints"] >= 1
+
+
+class TestInjectedFaults:
+    def test_kill_triggers_recovery_and_ledger_closes(self):
+        res = run(ElasticConfig(total=96, batch=8, window=2, ckpt_every=24),
+                  events=[ChaosEvent("kill", 2, 12)])
+        assert res["ok"]
+        assert ("kill", 2) in [(k, s) for k, s, _ in res["fired"]]
+        assert res["recoveries"] >= 1
+        assert res["ranks_replaced"] >= 1
+
+    def test_kill_before_any_checkpoint_replays_from_zero(self):
+        res = run(ElasticConfig(total=64, batch=8, window=2, ckpt_every=0),
+                  events=[ChaosEvent("kill", 1, 8)])
+        assert res["ok"]
+        assert res["recoveries"] >= 1
+        assert res["checkpoints"] == 0
+
+    def test_partition_heals_without_recovery(self):
+        res = run(ElasticConfig(total=64, batch=8, window=2, ckpt_every=16,
+                                partition_polls=40),
+                  events=[ChaosEvent("partition", 1, 16)])
+        assert res["ok"]
+        assert res["partitions"] == 1
+        assert res["recoveries"] == 0
+
+    def test_two_kills_ledger_still_exact(self):
+        res = run(ElasticConfig(total=96, batch=8, window=2, ckpt_every=24),
+                  events=[ChaosEvent("kill", 1, 10),
+                          ChaosEvent("kill", 3, 14)])
+        assert res["ok"]
+        assert res["ranks_replaced"] == 2
+
+
+class TestChaosSweep:
+    def test_seeded_schedules_are_deterministic(self):
+        a = make_schedule(7, 4, SOAK_CONFIG)
+        b = make_schedule(7, 4, SOAK_CONFIG)
+        assert a == b
+        assert a != make_schedule(8, 4, SOAK_CONFIG)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_small_sweep_ledgers_exact(self, seed):
+        events = make_schedule(seed, 4, SOAK_CONFIG)
+        res = run(SOAK_CONFIG, events=events)
+        assert res["ok"], f"seed {seed} broke the ledger: {res}"
