@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-faults test-obs test-analyze test-recovery lint bench bench-smoke chaos figures report examples clean
+.PHONY: install test test-faults test-obs test-analyze test-recovery test-progress lint bench bench-smoke chaos figures report examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -19,6 +19,9 @@ test-analyze:
 
 test-recovery:
 	$(PYTHON) -m pytest tests/ -m recovery
+
+test-progress:
+	$(PYTHON) -m pytest tests/ -m progress
 
 lint:
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \

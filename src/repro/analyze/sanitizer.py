@@ -296,6 +296,13 @@ class Sanitizer:
 
     def _stuck_deps(self, rank: int, req: Request) -> set[int] | None:
         """The ranks *rank* is waiting on, or None if it is not stuck."""
+        if req.completed:
+            # Third-party progression (async progress mode, or a nested
+            # drive during the waiter's own backoff charges) finished the
+            # request between polls; the waiter just hasn't observed it.
+            # Not a wait edge — without this, a completed-but-unobserved
+            # request could anchor a phantom knot.
+            return None
         if req.kind == RECV:
             rentry = self._recvs.get((rank, req.op_id))
             if rentry is None or rentry.matched:

@@ -37,7 +37,7 @@ def main(argv: list[str] | None = None) -> int:
         help="which experiment to run (or 'all' / 'report' / "
         "'write-experiments' to refresh EXPERIMENTS.md's data section, or "
         "'metrics' for an instrumented ping-pong with a merged pvar report, "
-        "or 'smoke' for the CI overhead gate over A10-A15, or 'chaos' for "
+        "or 'smoke' for the CI overhead gate over A10-A16, or 'chaos' for "
         "the seeded fault-schedule soak (writes BENCH_recovery.json); "
         "'analyze ...' forwards to the Motor analyzer CLI)",
     )
@@ -132,11 +132,12 @@ SMOKE_EXPERIMENTS = (
     "ablate-spine",        # A13: detached hook-spine residue
     "ablate-copies",       # A14: copy accounting per delivery path
     "ablate-checkpoint",   # A15: fault-free coordinated-checkpoint cost
+    "ablate-progress",     # A16: polled vs. async progress overlap
 )
 
 
 def _smoke(quick: bool = True) -> int:
-    """Run the A10-A14 overhead claims; exit nonzero if any differs."""
+    """Run the A10-A16 overhead/overlap claims; exit nonzero if any differs."""
     failed = 0
     for exp_id in SMOKE_EXPERIMENTS:
         series, claims = run_experiment(exp_id, quick=quick)

@@ -659,6 +659,111 @@ def ablate_checkpoint(quick: bool = True, **_: object) -> SeriesSet:
     return out
 
 
+def _overlap_main(rounds: int, compute_ns: float, chunk_ns: float, bcast_bytes: int):
+    """Rank main for A16: compute+communicate with ``i*`` collectives.
+
+    Each round posts a rendezvous-sized ``ibcast`` plus a small
+    ``iallreduce``, then simulates ``compute_ns`` of application work as a
+    stream of small clock charges (with a thread yield per chunk, the
+    simulated analogue of other cores running).  In polled mode nothing
+    progresses until the waits; in async mode the recurring progress task
+    streams and consumes the collective traffic *during* the charges.
+    Returns per-rank results, elapsed/blocked virtual time and the
+    progress core's overlap ledger.
+    """
+    import struct
+    import time as _time
+
+    def main(ctx):
+        eng = ctx.engine
+        core = eng.progress.core
+        digest: list = []
+        wait_ns = 0.0
+        t0 = ctx.clock.now()
+        for rnd in range(rounds):
+            # align the ranks in real time so the overlap window is shared
+            eng.barrier()
+            mem = NativeMemory(bcast_bytes)
+            if ctx.rank == 0:
+                mem.view()[:] = struct.pack("<I", rnd * 2654435761 % (1 << 32)) * (
+                    bcast_bytes // 4
+                )
+            breq = eng.ibcast(BufferDesc.from_native(mem), root=0)
+            send = BufferDesc.from_bytes(struct.pack("<2i", ctx.rank + rnd, rnd * 3 + 1))
+            recv = BufferDesc.from_native(NativeMemory(8))
+            from repro.mp.datatypes import INT
+
+            areq = eng.iallreduce(send, recv, INT, "sum")
+            done = 0.0
+            while done < compute_ns:
+                ctx.clock.charge(chunk_ns)  # the overlapped computation
+                _time.sleep(0)
+                done += chunk_ns
+            w0 = ctx.clock.now()
+            eng.wait(breq)
+            eng.wait(areq)
+            wait_ns += ctx.clock.now() - w0
+            digest.append(
+                (bytes(mem.view(0, 8)).hex(), list(struct.unpack("<2i", bytes(recv.view()))))
+            )
+        return {
+            "digest": digest,
+            "elapsed_ms": (ctx.clock.now() - t0) / 1e6,
+            "wait_ms": wait_ns / 1e6,
+            "overlap": core.overlap_ratio,
+            "async_polls": core.async_polls,
+        }
+
+    return main
+
+
+def ablate_progress(quick: bool = True, channel: str = "sock") -> SeriesSet:
+    """A16: polled vs. async progress on a compute+communicate workload.
+
+    The polling-wait pathology ("MPI Progress For All"): with polled
+    progress a rendezvous ``ibcast`` cannot stream while the application
+    computes, so its wire time serialises after the compute phase.  Async
+    progress mode drives each rank's progress core from a recurring task
+    on its clock, so the same traffic flows during the charges: the
+    overlap ratio pvar goes from 0 to ~1, the blocked-in-wait time
+    collapses, elapsed virtual time drops toward max(compute, comm) — and
+    the numerical results are identical byte for byte.
+    """
+    rounds = 4 if quick else 10
+    compute_ns = 3_000_000.0  # 3 ms of simulated application work per round
+    chunk_ns = 5_000.0
+    bcast_bytes = 256 * 1024  # rendezvous-sized: must be pumped to flow
+    out = SeriesSet(
+        experiment="ablate-progress",
+        title="Progress modes: polled vs. async on compute+communicate",
+        x_label="rank",
+        y_label="virtual ms (elapsed/blocked) and ratios",
+    )
+    per_mode: dict[str, list[dict]] = {}
+    for mode in ("polled", "async"):
+        per_mode[mode] = mpiexec(
+            2, _overlap_main(rounds, compute_ns, chunk_ns, bcast_bytes),
+            channel=channel, clock_mode="virtual", progress=mode,
+        )
+        out.add(f"{mode}-elapsed-ms", {r: o["elapsed_ms"] for r, o in enumerate(per_mode[mode])})
+        out.add(f"{mode}-wait-ms", {r: o["wait_ms"] for r, o in enumerate(per_mode[mode])})
+        out.add(f"{mode}-overlap", {r: o["overlap"] for r, o in enumerate(per_mode[mode])})
+    out.add(
+        "results-identical",
+        {
+            r: 1.0 if per_mode["polled"][r]["digest"] == per_mode["async"][r]["digest"] else 0.0
+            for r in range(2)
+        },
+    )
+    out.notes.append(
+        "async progress defers clock merges for packets handled during "
+        "compute (the arrival lands when the data is consumed), so the "
+        "rendezvous stream's wire time hides under the charges instead of "
+        "serialising after them"
+    )
+    return out
+
+
 #: experiment registry: id -> (title, callable)
 EXPERIMENTS = {
     "fig9": ("Figure 9: regular MPI ping-pong", figure9),
@@ -678,4 +783,5 @@ EXPERIMENTS = {
     "ablate-spine": ("A13: hook spine residue", ablate_spine),
     "ablate-copies": ("A14: copy accounting per delivery path", ablate_copies),
     "ablate-checkpoint": ("A15: coordinated checkpoint overhead", ablate_checkpoint),
+    "ablate-progress": ("A16: polled vs. async progress overlap", ablate_progress),
 }

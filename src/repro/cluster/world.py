@@ -69,6 +69,7 @@ class World:
         observe: str | None = None,
         sanitize: str | None = None,
         halt_on_deadlock: bool = True,
+        progress: str = "polled",
     ) -> None:
         if size < 1:
             raise ValueError("world size must be >= 1")
@@ -76,6 +77,8 @@ class World:
             raise ValueError(f"unknown channel {channel!r} (have {sorted(FABRICS)})")
         if clock_mode not in ("wall", "virtual"):
             raise ValueError(f"unknown clock mode {clock_mode!r}")
+        if progress not in ("polled", "async"):
+            raise ValueError(f"unknown progress mode {progress!r}")
         if observe not in (None, "disabled", "enabled", "detached"):
             raise ValueError(f"unknown observe mode {observe!r}")
         if sanitize not in (None, "disabled", "enabled", "detached"):
@@ -83,6 +86,10 @@ class World:
         self.size = size
         self.channel_name = channel
         self.clock_mode = clock_mode
+        #: "polled" (progress only when a rank calls into the library) or
+        #: "async" (each rank's progress core also driven by a recurring
+        #: task on its clock; see docs/ARCHITECTURE.md "Progress modes")
+        self.progress = progress
         self.costs = costs if costs is not None else CostModel()
         self.eager_threshold = eager_threshold
         self.fault_plan = fault_plan
@@ -138,6 +145,7 @@ class World:
             eager_threshold=self.eager_threshold,
             reliable=self.reliable,
             reliability_opts=self.reliability_opts,
+            progress=self.progress,
         )
         return eng
 
@@ -376,6 +384,7 @@ class World:
             eager_threshold=self.eager_threshold,
             reliable=self.reliable,
             reliability_opts=self.reliability_opts,
+            progress=self.progress,
         )
         # The replacement's world IS the rebuilt communicator: same context
         # id and group as every survivor's copy, same slot the dead rank had.
@@ -397,6 +406,7 @@ class World:
             eager_threshold=self.eager_threshold,
             reliable=self.reliable,
             reliability_opts=self.reliability_opts,
+            progress=self.progress,
         )
         # Children's COMM_WORLD spans the spawned set only (MPI-2 semantics).
         eng.comm_world = Communicator(
@@ -516,6 +526,7 @@ def mpiexec(
     observe: str | None = None,
     sanitize: str | None = None,
     halt_on_deadlock: bool = True,
+    progress: str = "polled",
 ) -> list[Any]:
     """Launch ``n`` ranks running ``main`` and return their results by rank.
 
@@ -541,7 +552,7 @@ def mpiexec(
                   eager_threshold=eager_threshold, fault_plan=fault_plan,
                   reliable=reliable, reliability_opts=reliability_opts,
                   observe=observe, sanitize=sanitize,
-                  halt_on_deadlock=halt_on_deadlock)
+                  halt_on_deadlock=halt_on_deadlock, progress=progress)
     return _launch(world, n, main, session_factory, timeout)
 
 

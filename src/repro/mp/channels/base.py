@@ -100,7 +100,10 @@ class Channel(abc.ABC):
             latency_ns = self.costs.message_latency_ns
         if per_byte_ns is None:
             per_byte_ns = self.costs.per_byte_ns
-        enter = max(self.clock.now(), self._link_busy_until.get(pkt.dst, 0.0))
+        # causal_now: a packet emitted after an async-handled receive may
+        # depend on that data; its stamp must carry the deferred arrival
+        # floor even though the local clock has not merged it yet
+        enter = max(self.clock.causal_now(), self._link_busy_until.get(pkt.dst, 0.0))
         drain = enter + self.costs.packet_overhead_ns + per_byte_ns * nbytes
         self._link_busy_until[pkt.dst] = drain
         pkt.ts = drain + latency_ns

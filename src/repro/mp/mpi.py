@@ -28,7 +28,7 @@ from repro.mp.errors import (
 )
 from repro.mp.hooks import wire_engine
 from repro.mp.matching import ANY_SOURCE, ANY_TAG
-from repro.mp.progress import ProgressEngine
+from repro.mp.progress import AsyncProgressDriver, ProgressEngine
 from repro.mp.request import RECV, SEND, Request
 from repro.mp.schedule import Schedule
 from repro.mp.status import Status
@@ -52,7 +52,12 @@ class MpiEngine:
         eager_threshold: int | None = None,
         reliable: bool = False,
         reliability_opts: dict | None = None,
+        progress: str = "polled",
     ) -> None:
+        if progress not in ("polled", "async"):
+            raise ValueError(
+                f"progress must be 'polled' or 'async', got {progress!r}"
+            )
         self.rank = rank
         self.world_size = world_size
         self.clock = clock if clock is not None else WallClock()
@@ -67,6 +72,17 @@ class MpiEngine:
             reliability_opts=reliability_opts,
         )
         self.progress = ProgressEngine(self.device, yield_fn)
+        self.progress_mode = progress
+        #: async progress mode: a recurring task on the rank's clock steps
+        #: the progress core whenever simulated time advances (None when
+        #: polled).  Keyed scheduling means a rebuilt engine on the same
+        #: clock takes over progression from its predecessor.
+        self.async_driver = None
+        if progress == "async":
+            self.async_driver = AsyncProgressDriver(
+                self.progress.core, self.clock, self.costs.async_poll_period_ns
+            )
+            self.async_driver.start()
         #: the rank's hook spine, shared by every layer of this stack;
         #: observers (repro.obs, repro.analyze) attach here
         self.hooks = wire_engine(self)
@@ -188,10 +204,12 @@ class MpiEngine:
             raise MpiErrTruncate(
                 f"message of {req.total} bytes truncated to {req.buf.nbytes}"
             )
-        # Translate world source back to communicator-local rank.
-        if status.source >= 0:
+        # Translate world source back to communicator-local rank (once:
+        # test_all and wait may both finish the same recv).
+        if status.source >= 0 and not status.source_is_local:
             try:
                 status.source = comm.local_rank_of_world(status.source)
+                status.source_is_local = True
             except MpiErrRank:
                 pass  # intercomm FIN paths may not translate; keep world rank
         return status
@@ -222,7 +240,17 @@ class MpiEngine:
             if deadline is not None:
                 import time as _time
 
-                remaining = max(0.0, deadline - _time.monotonic())
+                remaining = deadline - _time.monotonic()
+                if remaining <= 0.0:
+                    # batch deadline already passed: raise immediately for
+                    # stragglers instead of N delayed zero-timeout waits
+                    if not r.completed:
+                        from repro.mp.errors import MpiErrTimeout
+
+                        raise MpiErrTimeout(
+                            f"request {r.op_id} incomplete after {timeout}s (batch deadline)"
+                        )
+                    remaining = None  # already done: just collect its status
             out.append(self.wait(r, comm, timeout=remaining))
         return out
 
@@ -230,10 +258,22 @@ class MpiEngine:
         req.check_usable()
         return self.progress.test(req)
 
-    def test_all(self, reqs) -> bool:
-        """MPI_Testall: one progress step, True iff every request is done."""
+    def test_all(self, reqs, comm: Communicator | None = None) -> bool:
+        """MPI_Testall: one progress step, True iff every request is done.
+
+        Like ``test``/``wait``, a request completed by a dead peer raises
+        :class:`MpiErrProcFailed` instead of reading as plain success, and
+        completed recvs get their status source translated (once).
+        """
         self.progress.poll()
-        return all(r.completed for r in reqs)
+        if not all(r.completed for r in reqs):
+            return False
+        comm = comm or self.comm_world
+        for r in reqs:
+            self.progress._check_failed(r)
+            if r.kind == RECV:
+                self._finish_recv(r, comm)
+        return True
 
     def wait_any(self, reqs, timeout: float | None = None) -> int:
         """MPI_Waitany: block until one request completes; returns its index."""
@@ -248,11 +288,19 @@ class MpiEngine:
         while True:
             for i, r in enumerate(reqs):
                 if r.completed:
+                    # may have completed via async progress mid-compute:
+                    # consumption applies the deferred arrival time
+                    self.clock.apply_pending()
                     return i
             if self.progress.poll() == 0:
                 spin += 1
                 if spin & 0x3F == 0:
                     _time.sleep(0)
+            else:
+                # a productive poll resets the backoff, same as wait():
+                # otherwise 64 cumulative idle polls lock in sleep(0)
+                # cadence forever, even on a busy link
+                spin = 0
             if deadline is not None and _time.monotonic() > deadline:
                 raise MpiErrTimeout(f"no request of {len(reqs)} completed after {timeout}s")
 
@@ -487,3 +535,5 @@ class MpiEngine:
 
     def finalize(self) -> None:
         self.finalized = True
+        if self.async_driver is not None:
+            self.async_driver.stop()

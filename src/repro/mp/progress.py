@@ -1,4 +1,4 @@
-"""The progress engine and its polling-wait.
+"""The progress core, its polling-wait, and the async progress driver.
 
 Motor replaced MPICH2's blocking system calls with "a polling-wait, which
 periodically releases and polls the garbage collector ... to ensure that
@@ -12,10 +12,26 @@ where each integration plugs its own discipline:
   nothing about the collector, which is exactly the architectural problem
   the paper identifies.
 
-Besides point-to-point requests, the progress engine executes collective
+Besides point-to-point requests, the progress core executes collective
 *schedules* (:mod:`repro.mp.schedule`): each registered schedule is
 advanced once per poll, which is what makes ``ibarrier``/``ibcast``/…
 progress while the caller computes.
+
+The layering here is MPICH's progress split made explicit:
+
+:class:`ProgressCore`
+    The one callable progress step — device poll plus schedule
+    advancement — with counters distinguishing caller-initiated from
+    async-initiated steps.  Everything that completes a request goes
+    through :meth:`ProgressCore.step`.
+:class:`ProgressEngine`
+    The caller-facing façade: the polling-wait family (``wait``,
+    ``wait_all``, ``poll_until``, ``test``) built on the core.
+:class:`AsyncProgressDriver`
+    Progress mode ``"async"``: a recurring task on the rank's clock
+    (:mod:`repro.simtime.sched`) steps the core whenever simulated time
+    advances — during application *compute*, not just library calls.  The
+    driver is the seam where a real progress thread plugs in later.
 
 The wait is bounded two ways ("MPI Progress For All"): an optional wall
 ``timeout`` raises :class:`MpiErrTimeout`, and a request completed with
@@ -34,45 +50,199 @@ from repro.mp.errors import MpiErrProcFailed, MpiErrTimeout
 from repro.mp.hooks import NULL_SPINE
 from repro.mp.reliability import PROC_FAILED
 from repro.mp.request import Request
+from repro.simtime.sched import ensure_scheduler
+
+#: scheduler key for a rank's async progress task — keyed (not per-engine)
+#: so an engine rebuilt on the same clock (communicator shrink, rank
+#: replacement) *replaces* the driver instead of leaving an orphan polling
+#: a retired device
+ASYNC_TASK_KEY = "mp.progress"
 
 
-class ProgressEngine:
-    """Drives one rank's device until requests complete."""
+class ProgressCore:
+    """One rank's callable progress step: device poll + schedules.
 
-    #: the rank's hook spine (wait enter/tick/exit feed the sanitizer's
-    #: cross-rank wait-for graph; polls are exported as pull-model pvars)
-    hooks = NULL_SPINE
+    Both the caller's polling-wait and the async driver funnel through
+    :meth:`step`; the ``from_async`` flag keeps the overlap ledger —
+    packets handled while the application computes versus packets handled
+    because the caller entered the library.
+    """
 
     def __init__(self, device: CH3Device, yield_fn: Callable[[], None] | None = None) -> None:
         self.device = device
         self.yield_fn = yield_fn
+        #: the rank's hook spine (wait enter/tick/exit feed the sanitizer's
+        #: cross-rank wait-for graph; polls are exported as pull-model pvars)
+        self.hooks = NULL_SPINE
         self.polls = 0
         self.idle_polls = 0
+        #: steps initiated by the async driver rather than a caller
+        self.async_polls = 0
+        #: packets handled, total and by async-initiated steps
+        self.handled = 0
+        self.async_handled = 0
         #: collective schedules the progress core is executing
         self._schedules: list = []
+        #: re-entrancy guard: a charge made *inside* device.poll (copy
+        #: costs, merges) may drive the clock's scheduler; the nested step
+        #: must not re-enter the device mid-poll
+        self._in_step = False
 
     def add_schedule(self, sched) -> None:
         """Register a collective schedule for per-poll advancement."""
         self._schedules.append(sched)
 
+    def step(self, from_async: bool = False) -> int:
+        """One progress step; returns the number of packets handled.
+
+        Async-initiated steps defer clock merges: a packet handled while
+        the application computes records its arrival as a pending causal
+        floor instead of jumping the rank clock (which would serialise the
+        wire latency into compute time).  Caller-initiated steps fold the
+        floor back in — entering the library is a consumption point, which
+        is exactly when polled mode would have merged.
+        """
+        if self._in_step:
+            return 0
+        clock = self.device.clock
+        defer_prev = False
+        if from_async:
+            defer_prev = clock.defer_merges
+            clock.defer_merges = True
+        self._in_step = True
+        try:
+            self.polls += 1
+            if from_async:
+                self.async_polls += 1
+            handled = self.device.poll()
+            if self._schedules:
+                for sched in list(self._schedules):
+                    if sched.step():
+                        self._schedules.remove(sched)
+            if handled == 0:
+                self.idle_polls += 1
+            else:
+                self.handled += handled
+                if from_async:
+                    self.async_handled += handled
+            if not from_async and self.yield_fn is not None:
+                # async-initiated steps skip the safepoint/pinning yield:
+                # they run *inside* a charge, possibly mid-allocation —
+                # not a safe point by definition
+                self.yield_fn()
+            return handled
+        finally:
+            self._in_step = False
+            if from_async:
+                clock.defer_merges = defer_prev
+            else:
+                clock.apply_pending()
+
+    @property
+    def overlap_ratio(self) -> float:
+        """Fraction of handled packets progressed by the async driver."""
+        return self.async_handled / self.handled if self.handled else 0.0
+
+
+class AsyncProgressDriver:
+    """Progress mode ``"async"``: steps a core on the clock's cadence.
+
+    Registers a recurring task (period ``async_poll_period_ns``) on the
+    rank clock's :class:`~repro.simtime.sched.TaskScheduler`, so the core
+    is stepped whenever the rank charges simulated work — decoupling
+    progression from library entry.  A future real-execution mode replaces
+    this with a thread calling ``core.step(from_async=True)`` on a wall
+    cadence; nothing above this class would change.
+    """
+
+    def __init__(self, core: ProgressCore, clock, period_ns: float) -> None:
+        self.core = core
+        self.clock = clock
+        self.period_ns = float(period_ns)
+        self.task = None
+
+    def start(self) -> None:
+        sched = ensure_scheduler(self.clock)
+        self.task = sched.schedule(ASYNC_TASK_KEY, self._tick, self.period_ns)
+
+    def stop(self) -> None:
+        if self.task is not None and not self.task.cancelled:
+            sched = self.clock.scheduler
+            if sched is not None and self.task in sched._tasks:
+                sched.cancel(ASYNC_TASK_KEY)
+        self.task = None
+
+    @property
+    def running(self) -> bool:
+        return self.task is not None and not self.task.cancelled
+
+    def _tick(self) -> None:
+        self.core.step(from_async=True)
+
+
+class ProgressEngine:
+    """Drives one rank's device until requests complete."""
+
+    def __init__(self, device: CH3Device, yield_fn: Callable[[], None] | None = None,
+                 core: ProgressCore | None = None) -> None:
+        self.core = core if core is not None else ProgressCore(device, yield_fn)
+
+    # -- façade over the core (existing call sites keep working) ----------
+
+    @property
+    def device(self) -> CH3Device:
+        return self.core.device
+
+    @property
+    def yield_fn(self):
+        return self.core.yield_fn
+
+    @yield_fn.setter
+    def yield_fn(self, fn) -> None:
+        self.core.yield_fn = fn
+
+    @property
+    def hooks(self):
+        return self.core.hooks
+
+    @hooks.setter
+    def hooks(self, spine) -> None:
+        self.core.hooks = spine
+
+    @property
+    def polls(self) -> int:
+        return self.core.polls
+
+    @property
+    def idle_polls(self) -> int:
+        return self.core.idle_polls
+
+    @property
+    def async_polls(self) -> int:
+        return self.core.async_polls
+
+    @property
+    def overlap_ratio(self) -> float:
+        return self.core.overlap_ratio
+
+    @property
+    def _schedules(self) -> list:
+        return self.core._schedules
+
+    def add_schedule(self, sched) -> None:
+        self.core.add_schedule(sched)
+
     def poll(self) -> int:
-        self.polls += 1
-        handled = self.device.poll()
-        if self._schedules:
-            for sched in list(self._schedules):
-                if sched.step():
-                    self._schedules.remove(sched)
-        if handled == 0:
-            self.idle_polls += 1
-        if self.yield_fn is not None:
-            self.yield_fn()
-        return handled
+        """One caller-initiated progress step."""
+        return self.core.step()
+
+    # -- the polling-wait family ------------------------------------------
 
     def _check_failed(self, req: Request) -> None:
         if req.status.error == PROC_FAILED:
             raise MpiErrProcFailed(
                 f"peer {req.peer} failed during {req.kind}",
-                failed=frozenset(self.device.failed_ranks),
+                failed=frozenset(self.core.device.failed_ranks),
             )
 
     def wait(self, req: Request, timeout: float | None = None) -> None:
@@ -84,14 +254,14 @@ class ProgressEngine:
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         spin = 0
-        h = self.hooks
+        h = self.core.hooks
         cbs = h.wait_enter
         if cbs:
             for cb in cbs:
                 cb(req)
         try:
             while not req.completed:
-                if self.poll() == 0:
+                if self.core.step() == 0:
                     spin += 1
                     if spin & 0x3F == 0:
                         # Let the peer thread run (simulated SwitchToThread);
@@ -116,6 +286,9 @@ class ProgressEngine:
             if cbs:
                 for cb in cbs:
                     cb(req)
+        # the request may have completed during application compute (async
+        # progress) — consuming its result is where the arrival time lands
+        self.core.device.clock.apply_pending()
         self._check_failed(req)
 
     def poll_until(self, cond: Callable[[], bool], timeout: float | None = None,
@@ -132,7 +305,7 @@ class ProgressEngine:
         deadline = None if timeout is None else time.monotonic() + timeout
         spin = 0
         while not cond():
-            if self.poll() == 0:
+            if self.core.step() == 0:
                 spin += 1
                 if spin & 0x3F == 0:
                     time.sleep(0)
@@ -140,18 +313,32 @@ class ProgressEngine:
                 spin = 0
             if deadline is not None and time.monotonic() > deadline:
                 raise MpiErrTimeout(f"{what} unmet after {timeout}s")
+        self.core.device.clock.apply_pending()
 
     def wait_all(self, reqs: Iterable[Request], timeout: float | None = None) -> None:
-        """Wait for every request; ``timeout`` bounds the whole batch."""
+        """Wait for every request; ``timeout`` bounds the whole batch.
+
+        Once the batch deadline has passed, any request still incomplete
+        raises :class:`MpiErrTimeout` immediately — no zero-timeout wait
+        cycles for the stragglers.  Requests that already completed are
+        still checked for dead-peer failure.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
         for req in reqs:
             remaining = None
             if deadline is not None:
-                remaining = max(0.0, deadline - time.monotonic())
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    if req.completed:
+                        self._check_failed(req)
+                        continue
+                    raise MpiErrTimeout(
+                        f"request {req.op_id} incomplete after {timeout}s (batch deadline)"
+                    )
             self.wait(req, timeout=remaining)
 
     def test(self, req: Request) -> bool:
-        self.poll()
+        self.core.step()
         if req.completed:
             self._check_failed(req)
         return req.completed

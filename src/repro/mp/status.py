@@ -20,6 +20,10 @@ class Status:
     count: int = 0
     error: str | None = None
     cancelled: bool = False
+    #: True once ``source`` has been translated from a world rank to a
+    #: communicator-local rank — the translation is not idempotent, and
+    #: both ``test_all`` and a subsequent ``wait`` may finish the same recv
+    source_is_local: bool = False
 
     def get_count(self, datatype) -> int:
         """MPI_Get_count: received elements of ``datatype`` (or -1)."""

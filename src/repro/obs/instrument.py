@@ -253,6 +253,11 @@ def attach_engine(inst: Instrumentation, engine) -> None:
         lambda: {
             "mp.progress.polls": progress.polls,
             "mp.progress.idle_polls": progress.idle_polls,
+            # async progress mode: steps initiated by the clock-driven
+            # driver, and the fraction of packets they handled (0.0 in
+            # polled mode — nothing progresses without a caller)
+            "mp.progress.async_polls": progress.async_polls,
+            "mp.progress.overlap_ratio": progress.overlap_ratio,
         }
     )
     channel = device.channel

@@ -22,6 +22,30 @@ class Clock:
     #: True when charges actually advance the clock (virtual mode).
     virtual: bool = False
 
+    #: optional :class:`repro.simtime.sched.TaskScheduler` driven from
+    #: ``charge`` — the hook async progress mode hangs its recurring
+    #: progress task on (see :mod:`repro.simtime.sched`)
+    scheduler = None
+
+    #: when True, ``merge`` records arrivals as a pending causal floor
+    #: instead of jumping the clock (async progress: a packet handled
+    #: mid-compute must not serialise its wire latency into compute time;
+    #: the floor is applied when the data is *consumed*)
+    defer_merges: bool = False
+
+    def causal_now(self) -> float:
+        """``now`` including any pending (deferred) causal floor.
+
+        Outbound packets are stamped with this, so messages that depend on
+        asynchronously-received data still carry causally-correct times
+        even while the receive's merge is deferred.
+        """
+        return self.now()
+
+    def apply_pending(self) -> None:
+        """Fold the deferred causal floor into the clock (consumption)."""
+        return None
+
     def now(self) -> float:
         """Current time in nanoseconds."""
         raise NotImplementedError
@@ -48,7 +72,12 @@ class WallClock(Clock):
         return float(time.perf_counter_ns())
 
     def charge(self, ns: float) -> None:  # noqa: ARG002 - interface parity
-        return None
+        # Wall time passes on its own, but a charge is still the moment a
+        # rank accounts for work — the scheduler gets its chance to run
+        # recurring tasks against real elapsed time.
+        s = self.scheduler
+        if s is not None:
+            s.drive()
 
     def merge(self, ts_ns: float) -> None:  # noqa: ARG002
         return None
@@ -64,12 +93,18 @@ class VirtualClock(Clock):
 
     virtual = True
 
-    __slots__ = ("_now_ns", "charges")
+    __slots__ = ("_now_ns", "charges", "scheduler", "defer_merges", "_pending_ns")
 
     def __init__(self, start_ns: float = 0.0) -> None:
         self._now_ns = float(start_ns)
         #: number of charge() calls, useful for cost-model audits in tests
         self.charges = 0
+        #: recurring-task scheduler driven by charges (async progress mode)
+        self.scheduler = None
+        #: True while an async progress step runs: merges become a pending
+        #: causal floor rather than immediate jumps (see Clock.defer_merges)
+        self.defer_merges = False
+        self._pending_ns = 0.0
 
     def now(self) -> float:
         return self._now_ns
@@ -79,11 +114,33 @@ class VirtualClock(Clock):
             raise ValueError(f"negative charge: {ns}")
         self._now_ns += ns
         self.charges += 1
+        s = self.scheduler
+        if s is not None:
+            s.drive()
 
     def merge(self, ts_ns: float) -> None:
+        if self.defer_merges:
+            # A packet handled while the application computes: remember its
+            # causal time, but do not serialise the wire latency into the
+            # compute timeline — the jump (if still ahead of local time)
+            # happens when the data is consumed (apply_pending).
+            if ts_ns > self._pending_ns:
+                self._pending_ns = ts_ns
+            return
         if ts_ns > self._now_ns:
             self._now_ns = ts_ns
+
+    def causal_now(self) -> float:
+        p = self._pending_ns
+        return p if p > self._now_ns else self._now_ns
+
+    def apply_pending(self) -> None:
+        if self._pending_ns > self._now_ns:
+            self._now_ns = self._pending_ns
+        self._pending_ns = 0.0
 
     def reset(self, start_ns: float = 0.0) -> None:
         self._now_ns = float(start_ns)
         self.charges = 0
+        self.defer_merges = False
+        self._pending_ns = 0.0

@@ -86,6 +86,9 @@ class CostModel:
     eager_threshold: int = 128 * 1024
     packet_size: int = 16 * 1024
     posting_ns: float = 1_200.0  # queueing/matching work per message
+    #: cadence of the async progress task on the rank's clock (progress
+    #: mode "async"); roughly an MPICH progress-thread wakeup interval
+    async_poll_period_ns: float = 5_000.0
 
     # --- Motor custom serializer ------------------------------------------
     motor_ser_per_obj_ns: float = 620.0

@@ -40,6 +40,7 @@ class TestRegistry:
             "ablate-spine",
             "ablate-copies",
             "ablate-checkpoint",
+            "ablate-progress",
         } == set(EXPERIMENTS)
 
     def test_every_experiment_has_a_claim_check(self):

@@ -1,0 +1,345 @@
+"""Async progress mode: the continuously-driven progress core.
+
+Covers the recurring-task scheduler (repro.simtime.sched), deferred causal
+merges, completion *without* caller polls in ``progress="async"`` worlds,
+mode parity (identical results), the sanitizer under third-party
+progression, and the wait/test-family regressions the async work exposed:
+``test_all`` swallowing dead-peer failures, ``wait_any`` never resetting
+its backoff, and expired-deadline ``wait_all`` grinding through N
+zero-timeout waits.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster import mpiexec
+from repro.cluster.world import World, mpiexec_sanitized
+from repro.mp import MpiEngine
+from repro.mp.buffers import BufferDesc, NativeMemory
+from repro.mp.channels import FaultPlan, FaultyFabric, ShmFabric
+from repro.mp.errors import MpiErrProcFailed, MpiErrTimeout
+from repro.simtime import CostModel, VirtualClock, WallClock, ensure_scheduler
+
+pytestmark = pytest.mark.progress
+
+# quick failure detection for the dead-peer regression (same knobs as
+# tests/mp/test_faults.py)
+FAST = dict(retransmit_after=4, backoff=1.5, max_backoff_polls=32,
+            max_retries=40, heartbeat_after=16)
+
+
+def ints(*vals):
+    import struct
+
+    mem = NativeMemory(4 * len(vals))
+    mem.view()[:] = struct.pack(f"<{len(vals)}i", *vals)
+    return BufferDesc.from_native(mem)
+
+
+def read_ints(buf):
+    import struct
+
+    return list(struct.unpack(f"<{buf.nbytes // 4}i", bytes(buf.view())))
+
+
+# --------------------------------------------------------------- scheduler
+
+
+class TestTaskScheduler:
+    def test_fires_on_charges_at_period(self):
+        clock = VirtualClock()
+        sched = ensure_scheduler(clock)
+        fired = []
+        sched.schedule("t", lambda: fired.append(clock.now()), 1_000.0)
+        clock.charge(2_500.0)  # periods at 1000 and 2000 are due
+        assert len(fired) == 2
+        clock.charge(500.0)  # crosses 3000
+        assert len(fired) == 3
+
+    def test_catchup_cap_snaps_past_horizon(self):
+        clock = VirtualClock()
+        sched = ensure_scheduler(clock)
+        n = []
+        task = sched.schedule("t", lambda: n.append(1), 1_000.0, max_catchup=4)
+        clock.charge(100_000.0)  # 100 periods due, burst capped at 4
+        assert len(n) == 4
+        assert task.next_due_ns == clock.now() + 1_000.0  # snapped, on cadence
+        clock.charge(1_000.0)
+        assert len(n) == 5
+
+    def test_task_charging_does_not_recurse(self):
+        clock = VirtualClock()
+        sched = ensure_scheduler(clock)
+        fired = []
+
+        def fn():
+            fired.append(1)
+            clock.charge(10_000.0)  # a charging task must not nest a drive
+
+        sched.schedule("t", fn, 1_000.0, max_catchup=2)
+        clock.charge(1_500.0)
+        # horizon was captured at drive entry: only the one fire at t=1000,
+        # regardless of how far the task's own charges moved the clock
+        assert fired == [1]
+
+    def test_key_replacement_cancels_predecessor(self):
+        clock = VirtualClock()
+        sched = ensure_scheduler(clock)
+        a_calls, b_calls = [], []
+        ta = sched.schedule("k", lambda: a_calls.append(1), 1_000.0)
+        sched.schedule("k", lambda: b_calls.append(1), 1_000.0)
+        assert ta.cancelled
+        clock.charge(3_000.0)
+        assert a_calls == []
+        assert len(b_calls) == 3
+
+    def test_cancel(self):
+        clock = VirtualClock()
+        sched = ensure_scheduler(clock)
+        calls = []
+        sched.schedule("k", lambda: calls.append(1), 1_000.0)
+        assert sched.cancel("k")
+        assert not sched.cancel("k")
+        clock.charge(5_000.0)
+        assert calls == []
+
+    def test_rejects_nonpositive_period(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            ensure_scheduler(clock).schedule("k", lambda: None, 0.0)
+
+    def test_ensure_scheduler_is_idempotent(self):
+        clock = VirtualClock()
+        assert ensure_scheduler(clock) is ensure_scheduler(clock)
+
+    def test_wall_clock_charge_drives_scheduler(self):
+        clock = WallClock()
+        sched = ensure_scheduler(clock)
+        fired = []
+        sched.schedule("t", lambda: fired.append(1), 1_000.0)  # 1 us period
+        deadline = time.monotonic() + 5.0
+        while not fired and time.monotonic() < deadline:
+            clock.charge(0)  # no simulated cost; real time still advances
+        assert fired
+
+
+class TestDeferredMerges:
+    def test_merge_floors_instead_of_jumping(self):
+        clock = VirtualClock()
+        clock.charge(1_000.0)
+        clock.defer_merges = True
+        clock.merge(5_000.0)
+        assert clock.now() == 1_000.0  # no mid-compute jump
+        assert clock.causal_now() == 5_000.0  # dependent sends stay causal
+        clock.defer_merges = False
+        clock.apply_pending()
+        assert clock.now() == 5_000.0
+
+    def test_immediate_merge_without_defer(self):
+        clock = VirtualClock()
+        clock.merge(2_000.0)
+        assert clock.now() == 2_000.0
+        clock.apply_pending()  # nothing pending: no-op
+        assert clock.now() == 2_000.0
+
+
+# ------------------------------------------------------------- async mode
+
+
+class TestAsyncMode:
+    def test_world_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            World(1, progress="eager")
+
+    def test_async_completes_without_caller_polls(self):
+        """The tentpole property: a rank that only computes (charges) still
+        makes progress — the recurring task completes its collective."""
+
+        def main(ctx):
+            if ctx.rank == 0:
+                buf = ints(*range(64))
+                ctx.engine.wait(ctx.engine.ibcast(buf, root=0))
+                return None
+            buf = ints(*([0] * 64))
+            req = ctx.engine.ibcast(buf, root=0)
+            spun = 0
+            while not req.completed and spun < 20_000:
+                ctx.clock.charge(5_000.0)  # pure compute, never a poll
+                time.sleep(0)
+                spun += 1
+            assert req.completed, "async progress never completed the ibcast"
+            core = ctx.engine.progress.core
+            return (read_ints(buf), core.async_polls, core.overlap_ratio)
+
+        res = mpiexec(2, main, channel="sock", clock_mode="virtual",
+                      progress="async")
+        vals, async_polls, overlap = res[1]
+        assert vals == list(range(64))
+        assert async_polls > 0
+        assert overlap > 0.0  # the handling happened inside async steps
+
+    def test_async_on_wall_clock(self):
+        """WallClock.charge is a timing no-op but still drives progress."""
+
+        def main(ctx):
+            if ctx.rank == 0:
+                ctx.engine.wait(ctx.engine.isend(ints(1, 2, 3), dest=1, tag=7))
+                return None
+            buf = ints(0, 0, 0)
+            req = ctx.engine.irecv(buf, source=0, tag=7)
+            deadline = time.monotonic() + 30.0
+            while not req.completed and time.monotonic() < deadline:
+                ctx.clock.charge(0)
+                time.sleep(0)
+            assert req.completed
+            return read_ints(buf)
+
+        res = mpiexec(2, main, channel="shm", progress="async")
+        assert res[1] == [1, 2, 3]
+
+    def test_polled_mode_counters_stay_zero(self):
+        def main(ctx):
+            buf = ints(*range(8)) if ctx.rank == 0 else ints(*([0] * 8))
+            ctx.engine.wait(ctx.engine.ibcast(buf, root=0))
+            core = ctx.engine.progress.core
+            return (read_ints(buf), core.async_polls, core.overlap_ratio)
+
+        for vals, async_polls, overlap in mpiexec(2, main):
+            assert vals == list(range(8))
+            assert async_polls == 0
+            assert overlap == 0.0
+
+    def test_modes_produce_identical_results(self):
+        def main(ctx):
+            buf = ints(*range(32)) if ctx.rank == 0 else ints(*([0] * 32))
+            req = ctx.engine.ibcast(buf, root=0)
+            ctx.clock.charge(100_000.0)  # overlap window for the async task
+            ctx.engine.wait(req)
+            return read_ints(buf)
+
+        kw = dict(channel="sock", clock_mode="virtual")
+        polled = mpiexec(2, main, progress="polled", **kw)
+        asynced = mpiexec(2, main, progress="async", **kw)
+        assert polled == asynced == [list(range(32))] * 2
+
+    def test_sanitizer_clean_under_async(self):
+        """Third-party progression must not fake a wait-for edge: requests
+        completed between a waiter's polls are not deadlock-knot members."""
+
+        def main(ctx):
+            buf = ints(*range(16)) if ctx.rank == 0 else ints(*([0] * 16))
+            req = ctx.engine.ibcast(buf, root=0)
+            ctx.clock.charge(200_000.0)
+            ctx.engine.wait(req)
+            return read_ints(buf)
+
+        results, report = mpiexec_sanitized(
+            2, main, channel="sock", clock_mode="virtual", progress="async"
+        )
+        assert results == [list(range(16))] * 2
+        assert not report.findings, report.render_text()
+
+
+# ------------------------------------------- wait/test family regressions
+
+
+def _engine_pair(plan, **kw):
+    """Two MpiEngines over a fault-injecting shm fabric (wall clocks)."""
+    fab = FaultyFabric(ShmFabric(2), plan)
+    cm = CostModel()
+
+    def mk(rank):
+        clock = WallClock()
+        return MpiEngine(rank, 2, fab.endpoint(rank, clock, cm), clock=clock,
+                         costs=cm, reliable=True,
+                         reliability_opts=dict(FAST), **kw)
+
+    return mk(0), mk(1)
+
+
+def _lonely_engine(**kw):
+    fab = ShmFabric(1)
+    clock = WallClock()
+    cm = CostModel()
+    return MpiEngine(0, 1, fab.endpoint(0, clock, cm), clock=clock, costs=cm,
+                     **kw)
+
+
+class _FakeReq:
+    """Just enough of a Request for the wait-family control flow."""
+
+    def __init__(self, completed=False):
+        self.done = completed
+        self.op_id = 99
+
+    @property
+    def completed(self):
+        return self.done
+
+    def check_usable(self):
+        pass
+
+
+class TestTestAllDeadPeer:
+    def test_test_all_raises_on_dead_peer(self):
+        """Regression: test_all used to report plain True for a recv
+        completed by peer failure, swallowing MPI_ERR_PROC_FAILED."""
+        plan = FaultPlan(seed=3)
+        e0, _e1 = _engine_pair(plan)
+        plan.kill(1)
+        req = e0.irecv(ints(0, 0), source=1, tag=1)
+        with pytest.raises(MpiErrProcFailed) as ei:
+            for _ in range(20_000):
+                if e0.test_all([req]):
+                    break
+            else:
+                pytest.fail("dead peer never detected")
+        assert 1 in ei.value.failed
+
+
+class TestWaitAnySpinReset:
+    def test_productive_poll_resets_backoff(self, monkeypatch):
+        """Regression: wait_any never reset ``spin`` after a productive
+        poll, so 64 cumulative idle polls locked in sleep(0) forever."""
+        eng = _lonely_engine()
+        req = _FakeReq()
+        sleeps = []
+        monkeypatch.setattr(time, "sleep", lambda s: sleeps.append(s))
+        # alternate idle/productive: spin never accumulates to 64 once
+        # productive polls reset it (the old code slept from iteration 128)
+        script = [0, 1] * 200
+
+        def scripted_poll():
+            if script:
+                return script.pop(0)
+            req.done = True
+            return 1
+
+        monkeypatch.setattr(eng.progress, "poll", scripted_poll)
+        assert eng.wait_any([req]) == 0
+        assert sleeps == []
+
+
+class TestWaitAllExpiredDeadline:
+    def test_engine_raises_immediately_for_stragglers(self):
+        """Regression: an expired batch deadline used to hand every
+        remaining request a zero-timeout wait cycle instead of raising."""
+        eng = _lonely_engine()
+        stuck = [_FakeReq(), _FakeReq()]
+        before = eng.progress.polls
+        with pytest.raises(MpiErrTimeout):
+            eng.wait_all(stuck, timeout=0.0)
+        assert eng.progress.polls == before  # no wait cycles ran
+
+    def test_progress_engine_checks_completed_then_raises(self):
+        from repro.mp.status import Status
+
+        eng = _lonely_engine()
+        done = _FakeReq(completed=True)
+        done.status = Status()
+        stuck = _FakeReq()
+        before = eng.progress.polls
+        with pytest.raises(MpiErrTimeout):
+            eng.progress.wait_all([done, stuck], timeout=0.0)
+        assert eng.progress.polls == before

@@ -104,8 +104,9 @@ class TestCompletion:
         assert mpiexec(3, main) == [1, 3, 6]  # prefix sums
 
 
+@pytest.mark.parametrize("progress", ["polled", "async"])
 class TestOverlap:
-    def test_computation_overlaps_ibcast(self):
+    def test_computation_overlaps_ibcast(self, progress):
         """The point of nonblocking collectives: traffic progresses while
         the caller computes between test() polls."""
 
@@ -126,9 +127,10 @@ class TestOverlap:
                 assert spins > 0
             return bytes(mem.view(0, 4))
 
-        assert mpiexec(2, main, channel="sock") == [b"\x5a\x5a\x5a\x5a"] * 2
+        res = mpiexec(2, main, channel="sock", progress=progress)
+        assert res == [b"\x5a\x5a\x5a\x5a"] * 2
 
-    def test_two_collectives_in_flight(self):
+    def test_two_collectives_in_flight(self, progress):
         """Two independent schedules progress concurrently."""
 
         def main(ctx):
@@ -139,9 +141,9 @@ class TestOverlap:
             eng.progress.wait_all([r1, r2])
             return read_ints(recv)[0]
 
-        assert mpiexec(3, main) == [6, 6, 6]
+        assert mpiexec(3, main, progress=progress) == [6, 6, 6]
 
-    def test_wait_all_on_mixed_requests(self):
+    def test_wait_all_on_mixed_requests(self, progress):
         def main(ctx):
             eng = ctx.engine
             coll = eng.ibarrier()
@@ -153,7 +155,7 @@ class TestOverlap:
             eng.progress.wait_all([coll, p2p])
             return coll.completed and p2p.completed
 
-        assert all(mpiexec(2, main))
+        assert all(mpiexec(2, main, progress=progress))
 
 
 class TestValidation:

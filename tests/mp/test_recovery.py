@@ -175,7 +175,8 @@ class TestCheckpointRestore:
 
 
 class TestFullRecovery:
-    def test_kill_recover_restore_rebuilds_full_world(self):
+    @pytest.mark.parametrize("progress", ["polled", "async"])
+    def test_kill_recover_restore_rebuilds_full_world(self, progress):
         """The tentpole cycle: checkpoint, kill, detect, then
         recover() returns a full-size communicator where the replacement
         has restored the victim's committed state."""
@@ -207,7 +208,8 @@ class TestFullRecovery:
                     stats["ranks_replaced"])
 
         res = mpiexec(4, main, channel="shm", fault_plan=plan,
-                      reliability_opts=OPTS, timeout=120.0)
+                      reliability_opts=OPTS, timeout=120.0,
+                      progress=progress)
         assert res[2] == "crashed"
         # 10 + 11 + 12 (restored by the replacement) + 13
         for out in (res[0], res[1], res[3]):
@@ -254,7 +256,8 @@ class TestNonblockingCollectiveFailure:
     """A rank dying mid-i*-collective must surface MpiErrProcFailed on a
     bounded wait — never a hang, never a timeout — on every survivor."""
 
-    def test_kill_mid_iallreduce_fails_all_survivors(self):
+    @pytest.mark.parametrize("progress", ["polled", "async"])
+    def test_kill_mid_iallreduce_fails_all_survivors(self, progress):
         plan = FaultPlan(seed=9)
 
         def main(ctx):
@@ -276,14 +279,16 @@ class TestNonblockingCollectiveFailure:
             return "completed"
 
         res = mpiexec(3, main, channel="shm", fault_plan=plan,
-                      reliability_opts=OPTS, timeout=120.0)
+                      reliability_opts=OPTS, timeout=120.0,
+                      progress=progress)
         assert res[2] == "crashed"
         # allreduce needs the dead rank's contribution: no survivor may
         # complete, and none may hang into the timeout
         assert res[0] == ("proc-failed", True)
         assert res[1] == ("proc-failed", True)
 
-    def test_kill_mid_ibcast_no_rank_hangs(self):
+    @pytest.mark.parametrize("progress", ["polled", "async"])
+    def test_kill_mid_ibcast_no_rank_hangs(self, progress):
         # the payload must exceed the eager threshold: an eager send to a
         # dead peer completes locally, but rendezvous stalls on the CTS
         # and the sender's retransmit budget surfaces the failure
@@ -312,7 +317,7 @@ class TestNonblockingCollectiveFailure:
 
         res = mpiexec(3, main, channel="shm", fault_plan=plan,
                       eager_threshold=64, reliability_opts=OPTS,
-                      timeout=120.0)
+                      timeout=120.0, progress=progress)
         assert res[2] == "crashed"
         # a survivor off the dead subtree may legitimately finish, but
         # whoever feeds the dead rank must fail — and nobody may hang
