@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-faults test-obs test-analyze test-recovery test-progress lint bench bench-smoke chaos figures report examples clean
+.PHONY: install test test-faults test-obs test-analyze test-recovery test-progress analyze-gate analyze-baseline lint bench bench-smoke chaos figures report examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -19,6 +19,12 @@ test-analyze:
 
 test-recovery:
 	$(PYTHON) -m pytest tests/ -m recovery
+
+analyze-gate:
+	$(PYTHON) -m repro.analyze gate
+
+analyze-baseline:
+	$(PYTHON) -m repro.analyze gate --update-baseline
 
 test-progress:
 	$(PYTHON) -m pytest tests/ -m progress

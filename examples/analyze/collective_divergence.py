@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Buggy on purpose: rank-dependent collective sequences (MA-S05).
+
+Every rank of a communicator must call the same collectives in the same
+order — a collective only completes when *all* ranks reach it.  Here
+rank 0 calls ``Barrier`` while every other rank calls ``Bcast``: rank 0
+waits forever inside the barrier and the others wait forever inside the
+broadcast.  The program deadlocks on any world, but nothing is wrong at
+any *single* call site — only the whole-program, rank-aware view sees
+it.
+
+The rank-symbolic pass splits execution on the ``MP.Rank()`` branch,
+summarizes each path's collective sequence, and flags the first
+position where two rank-disjoint paths disagree.
+
+Run:  python examples/analyze/collective_divergence.py
+"""
+
+from repro.analyze import analyze_assembly
+from repro.il import assemble
+
+BUGGY_IL = """
+.method main() returns {
+    callintern MP.Rank/0:r
+    brtrue workers
+    callintern MP.Barrier/0      // BUG: rank 0 is alone in this barrier
+    ldc.i4 0
+    ret
+workers:
+    ldc.i4 4
+    newarr int32
+    ldc.i4 0
+    callintern MP.Bcast/2        // BUG: the others are alone in this bcast
+    ldc.i4 0
+    ret
+}
+"""
+
+# The fixed twin: ranks still branch (rank 0 does extra local work), but
+# every path reaches the identical collective sequence Barrier -> Bcast.
+CLEAN_IL = """
+.method main() returns {
+    .locals 1
+    callintern MP.Rank/0:r
+    brtrue workers
+    ldc.i4 42
+    stloc 0
+    callintern MP.Barrier/0
+    ldc.i4 4
+    newarr int32
+    ldc.i4 0
+    callintern MP.Bcast/2
+    ldc.i4 0
+    ret
+workers:
+    callintern MP.Barrier/0
+    ldc.i4 4
+    newarr int32
+    ldc.i4 0
+    callintern MP.Bcast/2
+    ldc.i4 0
+    ret
+}
+"""
+
+
+def run():
+    """Static-check the buggy program; return the Report."""
+    return analyze_assembly(
+        assemble(BUGGY_IL, name="collective_divergence"), world_size=2
+    )
+
+
+if __name__ == "__main__":
+    report = run()
+    print(report.render_text())
+    assert report.by_rule("MA-S05"), "expected a collective-divergence finding"
+
+    clean = analyze_assembly(assemble(CLEAN_IL, name="fixed"), world_size=2)
+    assert not clean.findings, clean.render_text()
+    print("OK: diverging Barrier/Bcast caught statically; aligned version is clean")

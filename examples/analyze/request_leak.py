@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Buggy on purpose: a nonblocking request that is never completed (MA-S08).
+
+``Irecv`` hands back a request handle; until ``Wait`` (or a ``Test``)
+completes it, the runtime owns the buffer and the operation may not
+have happened at all.  Here rank 1 posts the receive and simply returns
+— the handle is dropped, the message may never be consumed, and the
+buffer stays pinned.
+
+The rank-symbolic pass tracks every created handle along each path; a
+handle that reaches ``ret`` without a Wait/Test — and without escaping
+(returned to the caller, stored to a field, passed to a callee) — is a
+leak.
+
+Run:  python examples/analyze/request_leak.py
+"""
+
+from repro.analyze import analyze_assembly
+from repro.il import assemble
+
+BUGGY_IL = """
+.method main() returns {
+    .locals 1
+    callintern MP.Rank/0:r
+    brtrue receiver
+    ldc.i4 8
+    newarr int32
+    ldc.i4 1
+    ldc.i4 6
+    callintern MP.Send/3
+    ldc.i4 0
+    ret
+receiver:
+    ldc.i4 8
+    newarr int32
+    ldc.i4 0
+    ldc.i4 6
+    callintern MP.Irecv/3:r
+    pop                          // BUG: the request handle is dropped
+    ldc.i4 0
+    ret
+}
+"""
+
+CLEAN_IL = """
+.method main() returns {
+    .locals 1
+    callintern MP.Rank/0:r
+    brtrue receiver
+    ldc.i4 8
+    newarr int32
+    ldc.i4 1
+    ldc.i4 6
+    callintern MP.Send/3
+    ldc.i4 0
+    ret
+receiver:
+    ldc.i4 8
+    newarr int32
+    ldc.i4 0
+    ldc.i4 6
+    callintern MP.Irecv/3:r
+    stloc 0
+    ldloc 0
+    callintern MP.Wait/1         // the handle is completed before exit
+    ldc.i4 0
+    ret
+}
+"""
+
+
+def run():
+    """Static-check the buggy program; return the Report."""
+    return analyze_assembly(assemble(BUGGY_IL, name="request_leak"), world_size=2)
+
+
+if __name__ == "__main__":
+    report = run()
+    print(report.render_text())
+    assert report.by_rule("MA-S08"), "expected a request-leak finding"
+
+    clean = analyze_assembly(assemble(CLEAN_IL, name="fixed"), world_size=2)
+    assert not clean.findings, clean.render_text()
+    print("OK: dropped Irecv handle caught statically; waited version is clean")

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Buggy on purpose: a matched send/recv pair that disagrees on type (MA-S06).
+
+Motor's regular MPI operations move raw memory: the §4.2.1 binding
+checks that a buffer is reference-free, but it cannot know what the
+*peer* will pour into its own buffer.  Here rank 0 sends eight
+``float64`` elements and rank 1 receives them into an ``int32`` array —
+the bytes land, reinterpreted, and the program silently computes
+garbage.
+
+The rank-symbolic pass concretizes both rank paths over a small world,
+runs the message-matching simulation, and checks every matched pair:
+element types must agree and the receive buffer must hold the payload.
+
+Run:  python examples/analyze/type_mismatch.py
+"""
+
+from repro.analyze import analyze_assembly
+from repro.il import assemble
+
+BUGGY_IL = """
+.method main() returns {
+    callintern MP.Rank/0:r
+    brtrue receiver
+    ldc.i4 8
+    newarr float64
+    ldc.i4 1
+    ldc.i4 3
+    callintern MP.Send/3         // 8 x float64 on the wire
+    ldc.i4 0
+    ret
+receiver:
+    ldc.i4 8
+    newarr int32                 // BUG: reinterprets the floats as ints
+    ldc.i4 0
+    ldc.i4 3
+    callintern MP.Recv/3:r
+    pop
+    ldc.i4 0
+    ret
+}
+"""
+
+CLEAN_IL = """
+.method main() returns {
+    callintern MP.Rank/0:r
+    brtrue receiver
+    ldc.i4 8
+    newarr float64
+    ldc.i4 1
+    ldc.i4 3
+    callintern MP.Send/3
+    ldc.i4 0
+    ret
+receiver:
+    ldc.i4 8
+    newarr float64               // matching element type and length
+    ldc.i4 0
+    ldc.i4 3
+    callintern MP.Recv/3:r
+    pop
+    ldc.i4 0
+    ret
+}
+"""
+
+
+def run():
+    """Static-check the buggy program; return the Report."""
+    return analyze_assembly(assemble(BUGGY_IL, name="type_mismatch"), world_size=2)
+
+
+if __name__ == "__main__":
+    report = run()
+    print(report.render_text())
+    assert report.by_rule("MA-S06"), "expected a type-mismatch finding"
+
+    clean = analyze_assembly(assemble(CLEAN_IL, name="fixed"), world_size=2)
+    assert not clean.findings, clean.render_text()
+    print("OK: float64->int32 match rejected statically; typed version is clean")

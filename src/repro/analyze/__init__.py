@@ -7,7 +7,14 @@ Motor's restricted MPI bindings (§4.2/§4.3):
   assemblies and models what reaches every ``System.MP`` ``callintern``
   — rejecting reference-bearing buffers on raw transfers (MA-S01),
   call-signature mismatches (MA-S02), statically unmatchable sends
-  (MA-S03) and unknown MP internals (MA-S04);
+  (MA-S03) and unknown MP internals (MA-S04).  Its **rank-symbolic
+  message-flow pass** (:mod:`repro.analyze.rankflow`) then executes each
+  method once per rank predicate over a CFG
+  (:mod:`repro.analyze.cfg` / :mod:`repro.analyze.dataflow`) and checks
+  the whole program's communication structure: collective divergence
+  (MA-S05), matched-pair type/length mismatches (MA-S06), stores into
+  in-flight buffers (MA-S07), request leaks (MA-S08), cyclic blocking
+  dependencies (MA-S09) and ambiguous wildcard receives (MA-S10);
 * the **runtime pass** (:mod:`repro.analyze.sanitizer`) attaches through
   explicit ``san`` hook points on the progress engine, device, matching
   queues, collector and pin policy — detecting deadlock knots (MA-R01),
@@ -15,17 +22,26 @@ Motor's restricted MPI bindings (§4.2/§4.3):
   operation is in flight (MA-R03/MA-R04) and pin leaks (MA-R05).
 
 Both passes emit :class:`~repro.analyze.findings.Finding` records into a
-:class:`~repro.analyze.findings.Report`; ``python -m repro.analyze`` (or
-``python -m repro.bench analyze``) runs them from the command line.
+:class:`~repro.analyze.findings.Report`, exportable as text, JSON or
+SARIF 2.1.0 (:mod:`repro.analyze.sarif`); ``python -m repro.analyze``
+(or ``python -m repro.bench analyze``) runs them from the command line,
+and ``python -m repro.analyze gate`` sweeps the repository's IL against
+the checked-in baseline (:mod:`repro.analyze.gate`).
 """
 
+from repro.analyze.cfg import CFG, BasicBlock, build_cfg
+from repro.analyze.dataflow import FixpointDivergence, solve
 from repro.analyze.findings import (
     RULES,
     Finding,
     Report,
     Rule,
     finding_from_diagnostic,
+    meets_threshold,
 )
+from repro.analyze.gate import discover_il_units, run_gate
+from repro.analyze.rankflow import RankFlow, run_rankflow
+from repro.analyze.sarif import render_sarif, to_sarif
 from repro.analyze.sanitizer import (
     DeadlockError,
     RankSanitizer,
@@ -43,7 +59,19 @@ __all__ = [
     "Rule",
     "RULES",
     "finding_from_diagnostic",
+    "meets_threshold",
     "analyze_assembly",
+    "BasicBlock",
+    "CFG",
+    "build_cfg",
+    "FixpointDivergence",
+    "solve",
+    "RankFlow",
+    "run_rankflow",
+    "to_sarif",
+    "render_sarif",
+    "discover_il_units",
+    "run_gate",
     "Sanitizer",
     "RankSanitizer",
     "DeadlockError",

@@ -1,0 +1,86 @@
+"""A generic worklist fixed-point engine over analyzer CFGs.
+
+The engine is deliberately small: a forward may-analysis needs only an
+entry state, a block transfer function, and a join.  Termination is the
+caller's lattice obligation — but because analyses over growing domains
+(path counts, symbolic constants) can diverge, the engine enforces an
+**iteration bound** and supports **widening**:
+
+* every run is capped at ``max_passes`` block executions (default
+  ``64 * len(blocks)``); exceeding it raises :class:`FixpointDivergence`
+  instead of spinning;
+* an optional ``widen(prev, merged)`` hook replaces the join result once
+  a block has been re-entered more than ``widen_after`` times, letting
+  infinite-ascending-chain domains jump to a fixed point.
+
+Used by :mod:`repro.analyze.static_mp` for its value-flow pass; the
+rank-symbolic interpreter (:mod:`repro.analyze.rankflow`) shares the CFG
+but enumerates paths instead of joining them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.analyze.cfg import CFG, BasicBlock
+
+S = TypeVar("S")
+
+
+class FixpointDivergence(Exception):
+    """The worklist exceeded its iteration bound without converging."""
+
+    def __init__(self, method: str, passes: int) -> None:
+        super().__init__(
+            f"dataflow over {method!r} did not converge within {passes} block "
+            "executions; the transfer/join pair is not ascending-chain finite "
+            "(add a widen hook or raise max_passes)"
+        )
+        self.method = method
+        self.passes = passes
+
+
+def solve(
+    cfg: CFG,
+    entry_state: S,
+    transfer: Callable[[BasicBlock, S], S],
+    join: Callable[[S, S], S],
+    *,
+    max_passes: int | None = None,
+    widen: Callable[[S, S], S] | None = None,
+    widen_after: int = 8,
+) -> dict[int, S]:
+    """Run *transfer* to a fixed point; returns block start pc -> in-state.
+
+    ``transfer(block, in_state)`` produces the out-state propagated to
+    every successor; ``join(prev, incoming)`` merges at block entries and
+    must return a value equal to ``prev`` when nothing changed (equality
+    is the convergence test).
+    """
+    limit = max_passes if max_passes is not None else 64 * max(1, len(cfg.blocks))
+    states: dict[int, S] = {cfg.entry: entry_state}
+    work: list[int] = [cfg.entry]
+    updates: dict[int, int] = {}
+    passes = 0
+    while work:
+        passes += 1
+        if passes > limit:
+            raise FixpointDivergence(cfg.method.name, limit)
+        start = work.pop()
+        out = transfer(cfg.blocks[start], states[start])
+        for succ in cfg.blocks[start].succs:
+            prev = states.get(succ)
+            if prev is None:
+                states[succ] = out
+                work.append(succ)
+                continue
+            merged = join(prev, out)
+            if merged != prev:
+                updates[succ] = updates.get(succ, 0) + 1
+                if widen is not None and updates[succ] > widen_after:
+                    merged = widen(prev, merged)
+                    if merged == prev:
+                        continue
+                states[succ] = merged
+                work.append(succ)
+    return states

@@ -13,7 +13,7 @@ are runtime (sanitizer) rules.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.il.verifier import Diagnostic
 
@@ -77,6 +77,56 @@ RULES: dict[str, Rule] = _rules(
         "unknown MP internal",
         "A callintern names an MP.* internal that does not exist in the "
         "System.MP surface.",
+    ),
+    # ---- rank-symbolic message-flow pass (repro.analyze.rankflow) ---------
+    Rule(
+        "MA-S05",
+        SEV_ERROR,
+        "collective sequence divergence across rank paths",
+        "Two rank-disjoint execution paths call collectives in different "
+        "orders (or different collectives, or different counts); every "
+        "rank must reach the same collective sequence or the program "
+        "deadlocks at the first divergence.",
+    ),
+    Rule(
+        "MA-S06",
+        SEV_ERROR,
+        "matched send/receive type or length mismatch",
+        "A statically matched send/receive pair disagrees on the buffer "
+        "element type or the receive buffer is shorter than the send "
+        "(truncation / type confusion at the match).",
+    ),
+    Rule(
+        "MA-S07",
+        SEV_ERROR,
+        "buffer written while a nonblocking transfer is in flight",
+        "A store hits a buffer between the nonblocking operation that "
+        "posted it and the Wait that completes it on some path — the "
+        "static shadow of the runtime sanitizer's MA-R03.",
+    ),
+    Rule(
+        "MA-S08",
+        SEV_WARNING,
+        "request leak",
+        "A nonblocking request handle reaches method exit without a Wait "
+        "or Test on some path; its operation may never complete and its "
+        "buffer is pinned forever.",
+    ),
+    Rule(
+        "MA-S09",
+        SEV_ERROR,
+        "cyclic blocking dependency",
+        "The rank-symbolic send/receive graph contains a cycle of "
+        "synchronous operations (the classic head-to-head Ssend/Recv "
+        "exchange): every rank in the cycle blocks on another member.",
+    ),
+    Rule(
+        "MA-S10",
+        SEV_WARNING,
+        "wildcard receive races a matched pair",
+        "An ANY_SOURCE/ANY_TAG receive has more than one statically "
+        "matched candidate message in flight; which one it consumes is "
+        "timing-dependent — the static shadow of MA-R02.",
     ),
     # ---- runtime pass (repro.analyze.sanitizer) ---------------------------
     Rule(
@@ -171,6 +221,11 @@ class Finding:
         return f"{self.rule} ({self.severity}){loc}: {self.message}"
 
 
+def meets_threshold(severity: str, threshold: str) -> bool:
+    """Is *severity* at least as grave as *threshold*?"""
+    return _SEV_ORDER.get(severity, 0) >= _SEV_ORDER.get(threshold, 0)
+
+
 def finding_from_diagnostic(diag: Diagnostic, rule: str = "MA-S00") -> Finding:
     """Convert an IL-verifier :class:`Diagnostic` into a :class:`Finding`."""
     return Finding(
@@ -187,11 +242,15 @@ class Report:
     """Deduplicating container for findings from both passes."""
 
     findings: list[Finding] = field(default_factory=list)
-    _seen: set = field(default_factory=set, repr=False)
+    _seen: dict = field(default_factory=dict, repr=False)
 
-    def add(self, finding: Finding) -> bool:
-        """Add *finding* unless an identical one is already present."""
-        key = (
+    #: The identity of a finding for deduplication purposes.  A finding
+    #: reachable along several execution paths is ONE finding; re-adding
+    #: an identical record bumps a ``paths`` count on the original
+    #: instead of appending a duplicate.
+    @staticmethod
+    def dedup_key(finding: Finding) -> tuple:
+        return (
             finding.rule,
             finding.rank,
             finding.assembly,
@@ -199,9 +258,26 @@ class Report:
             finding.pc,
             finding.message,
         )
-        if key in self._seen:
+
+    def add(self, finding: Finding, *, paths: int = 1) -> bool:
+        """Add *finding*; identical findings collapse, carrying a path count.
+
+        Returns True when the finding is new.  A duplicate (same
+        :meth:`dedup_key`) increments the stored finding's ``paths``
+        detail by *paths* — the number of distinct paths that reached
+        the same (rule, method, pc) diagnosis — and returns False.
+        """
+        key = self.dedup_key(finding)
+        idx = self._seen.get(key)
+        if idx is not None:
+            old = self.findings[idx]
+            details = dict(old.details)
+            details["paths"] = details.get("paths", 1) + paths
+            self.findings[idx] = replace(
+                old, details=tuple(sorted(details.items()))
+            )
             return False
-        self._seen.add(key)
+        self._seen[key] = len(self.findings)
         self.findings.append(finding)
         return True
 

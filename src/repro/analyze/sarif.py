@@ -1,0 +1,118 @@
+"""SARIF 2.1.0 export for analyzer reports.
+
+SARIF (Static Analysis Results Interchange Format, OASIS) is the lingua
+franca of code-scanning UIs: one ``run`` per tool invocation, a
+``tool.driver`` advertising the rule catalog, and one ``result`` per
+finding.  Emitting it lets the Motor analyzer's findings land in any
+SARIF viewer or CI annotation surface without bespoke glue.
+
+The mapping is deliberately boring and deterministic:
+
+* every rule in :data:`~repro.analyze.findings.RULES` becomes a
+  ``reportingDescriptor`` (sorted by ID), so viewers can show titles and
+  help text even for rules with no findings;
+* every finding becomes a ``result`` with ``ruleId``, SARIF ``level``
+  (``info`` maps to ``note``), the message, and a *logical* location
+  (``assembly::method@pc``) — IL methods have no source files, so the
+  physical location is the assembled artifact name;
+* ``rank`` and the finding's detail pairs ride in ``properties``.
+
+Output is byte-stable for a given report: findings are emitted in
+:meth:`Report.sorted` order and dictionaries are built in fixed key
+order, so baselines and golden tests can compare strings.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analyze.findings import RULES, SEV_INFO, Finding, Report
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+TOOL_NAME = "motor-analyzer"
+TOOL_URI = "https://example.invalid/motor/analyzer"  # repo-relative docs
+TOOL_DOC = "docs/ANALYZE.md"
+
+
+def _rule_descriptor(rule_id: str) -> dict:
+    rule = RULES[rule_id]
+    return {
+        "id": rule.id,
+        "name": rule.title,
+        "shortDescription": {"text": rule.title},
+        "fullDescription": {"text": rule.description},
+        "defaultConfiguration": {"level": _level(rule.severity)},
+        "helpUri": f"{TOOL_URI}#{rule.id.lower()}",
+    }
+
+
+def _level(severity: str) -> str:
+    # SARIF has note/warning/error; our "info" is SARIF's "note".
+    return "note" if severity == SEV_INFO else severity
+
+
+def _result(finding: Finding, rule_index: dict[str, int]) -> dict:
+    logical = finding.method or ""
+    if finding.assembly:
+        logical = f"{finding.assembly}::{logical}" if logical else finding.assembly
+    location: dict = {
+        "logicalLocations": [
+            {"fullyQualifiedName": logical or "<unknown>", "kind": "function"}
+        ]
+    }
+    if finding.assembly:
+        location["physicalLocation"] = {
+            "artifactLocation": {"uri": f"{finding.assembly}.il"}
+        }
+    result: dict = {
+        "ruleId": finding.rule,
+        "level": _level(finding.severity),
+        "message": {"text": finding.message},
+        "locations": [location],
+    }
+    if finding.rule in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule]
+    properties: dict = {}
+    if finding.rank is not None:
+        properties["rank"] = finding.rank
+    if finding.pc is not None:
+        properties["pc"] = finding.pc
+    for key, value in finding.details:
+        properties[str(key)] = value
+    if properties:
+        result["properties"] = properties
+    return result
+
+
+def to_sarif(report: Report) -> dict:
+    """The report as a SARIF 2.1.0 log object (plain dicts/lists)."""
+    rule_ids = sorted(RULES)
+    rule_index = {rid: i for i, rid in enumerate(rule_ids)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "rules": [_rule_descriptor(rid) for rid in rule_ids],
+                    }
+                },
+                "results": [
+                    _result(f, rule_index) for f in report.sorted()
+                ],
+            }
+        ],
+    }
+
+
+def render_sarif(report: Report) -> str:
+    """Serialize :func:`to_sarif` deterministically (stable byte output)."""
+    return json.dumps(to_sarif(report), indent=2) + "\n"

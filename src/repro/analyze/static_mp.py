@@ -29,7 +29,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analyze.cfg import build_cfg
+from repro.analyze.dataflow import solve
 from repro.analyze.findings import Finding, Report, finding_from_diagnostic
+from repro.analyze.rankflow import run_rankflow
 from repro.il.assembly import Assembly, ILMethod
 from repro.il.opcodes import OPCODES, T_FLOAT, T_INT, T_OBJ
 from repro.il.verifier import VerifyError, parse_intern, verify_method
@@ -188,106 +191,94 @@ class _MethodAnalysis:
     # -- the interpreter -------------------------------------------------------
 
     def run(self) -> None:
+        """Flow values over the method's CFG to a fixed point.
+
+        The CFG (:mod:`repro.analyze.cfg`) supplies the blocks, the
+        generic worklist engine (:mod:`repro.analyze.dataflow`) drives
+        them; this class only provides the block transfer function.
+        Findings and recorded sites are idempotent across re-execution
+        of a block (the report deduplicates, sites key by pc).
+        """
         method = self.method
-        code = method.code
-        n = len(code)
+        cfg = build_cfg(method)
         init = (
             (),
             tuple(_UNKNOWN for _ in range(method.nlocals)),
             tuple(_UNKNOWN for _ in range(method.nparams)),
         )
-        states: dict[int, tuple] = {0: init}
-        work = [0]
 
-        def flow_to(pc: int, state: tuple) -> None:
-            prev = states.get(pc)
-            if prev is None:
-                states[pc] = state
-                work.append(pc)
-                return
-            merged = tuple(
+        def join(prev: tuple, incoming: tuple) -> tuple:
+            return tuple(
                 tuple(_merge_value(a, b) for a, b in zip(ps, ns))
-                for ps, ns in zip(prev, state)
+                for ps, ns in zip(prev, incoming)
             )
-            if merged != prev:
-                states[pc] = merged
-                work.append(pc)
 
-        while work:
-            pc = work.pop()
-            stack_t, locals_t, args_t = states[pc]
-            stack = list(stack_t)
-            locs = list(locals_t)
-            argv = list(args_t)
-            instr = code[pc]
-            op = instr.op
-            spec = OPCODES[op]
+        def transfer(block, state: tuple) -> tuple:
+            stack_t, locals_t, args_t = state
+            stack, locs, argv = list(stack_t), list(locals_t), list(args_t)
+            for pc in block.pcs():
+                self._step(pc, stack, locs, argv)
+            return (tuple(stack), tuple(locs), tuple(argv))
 
-            if op == "ret":
-                continue
-            if op == "ldc.i4":
-                stack.append((T_INT, ("const", instr.operand)))
-            elif op == "ldc.r8":
-                stack.append((T_FLOAT, None))
-            elif op == "ldnull":
-                stack.append((T_OBJ, ("null",)))
-            elif op == "ldloc":
-                stack.append(locs[instr.operand])
-            elif op == "stloc":
-                locs[instr.operand] = stack.pop()
-            elif op == "ldarg":
-                stack.append(argv[instr.operand])
-            elif op == "starg":
-                argv[instr.operand] = stack.pop()
-            elif op == "dup":
-                stack.append(stack[-1])
-            elif op == "newobj":
-                stack.append((T_OBJ, ("class", instr.operand)))
-            elif op == "newarr":
-                stack.pop()
-                stack.append((T_OBJ, ("array", instr.operand)))
-            elif op == "call":
-                callee = self.asm.methods[instr.operand]
-                if callee.nparams:
-                    del stack[len(stack) - callee.nparams :]
-                if callee.returns:
+        solve(cfg, init, transfer, join)
+
+    def _step(self, pc: int, stack: list, locs: list, argv: list) -> None:
+        instr = self.method.code[pc]
+        op = instr.op
+        spec = OPCODES[op]
+
+        if op == "ret":
+            return
+        if op == "ldc.i4":
+            stack.append((T_INT, ("const", instr.operand)))
+        elif op == "ldc.r8":
+            stack.append((T_FLOAT, None))
+        elif op == "ldnull":
+            stack.append((T_OBJ, ("null",)))
+        elif op == "ldloc":
+            stack.append(locs[instr.operand])
+        elif op == "stloc":
+            locs[instr.operand] = stack.pop()
+        elif op == "ldarg":
+            stack.append(argv[instr.operand])
+        elif op == "starg":
+            argv[instr.operand] = stack.pop()
+        elif op == "dup":
+            stack.append(stack[-1])
+        elif op == "newobj":
+            stack.append((T_OBJ, ("class", instr.operand)))
+        elif op == "newarr":
+            stack.pop()
+            stack.append((T_OBJ, ("array", instr.operand)))
+        elif op == "call":
+            callee = self.asm.methods[instr.operand]
+            if callee.nparams:
+                del stack[len(stack) - callee.nparams :]
+            if callee.returns:
+                stack.append(_UNKNOWN)
+        elif op == "callintern":
+            name, arity, returns = parse_intern(instr.operand)
+            call_args = tuple(stack[len(stack) - arity :]) if arity else ()
+            if arity:
+                del stack[len(stack) - arity :]
+            if name.startswith("MP."):
+                result = self._check_mp_site(pc, name, arity, returns, call_args)
+                if returns:
+                    stack.append(result)
+            elif returns:
+                stack.append(_UNKNOWN)
+        else:
+            if spec.pops:
+                del stack[len(stack) - len(spec.pops) :]
+            for p in spec.pushes:
+                if p == T_INT:
+                    stack.append((T_INT, None))
+                elif p == T_FLOAT:
+                    stack.append((T_FLOAT, None))
+                elif p == T_OBJ:
+                    stack.append((T_OBJ, None))
+                else:  # "?" or NUMERIC
                     stack.append(_UNKNOWN)
-            elif op == "callintern":
-                name, arity, returns = parse_intern(instr.operand)
-                call_args = tuple(stack[len(stack) - arity :]) if arity else ()
-                if arity:
-                    del stack[len(stack) - arity :]
-                if name.startswith("MP."):
-                    result = self._check_mp_site(pc, name, arity, returns, call_args)
-                    if returns:
-                        stack.append(result)
-                elif returns:
-                    stack.append(_UNKNOWN)
-            else:
-                if spec.pops:
-                    del stack[len(stack) - len(spec.pops) :]
-                for p in spec.pushes:
-                    if p == T_INT:
-                        stack.append((T_INT, None))
-                    elif p == T_FLOAT:
-                        stack.append((T_FLOAT, None))
-                    elif p == T_OBJ:
-                        stack.append((T_OBJ, None))
-                    else:  # "?" or NUMERIC
-                        stack.append(_UNKNOWN)
-
-            out = (tuple(stack), tuple(locs), tuple(argv))
-            if op == "switch":
-                for label in str(instr.operand).split(","):
-                    flow_to(method.labels[label.strip()], out)
-                flow_to(pc + 1, out)
-                continue
-            if spec.is_branch:
-                flow_to(method.labels[instr.operand], out)
-                if op == "br":
-                    continue
-            if pc + 1 < n:
-                flow_to(pc + 1, out)
 
 
 def _tag_compatible(send_tag: int | None, recv_tag: int | None) -> bool:
@@ -354,14 +345,17 @@ def analyze_assembly(
     """
     report = report if report is not None else Report()
     sites: list[MPSite] = []
+    verified: list[ILMethod] = []
     for m in asm.methods.values():
         try:
             verify_method(asm, m)
         except VerifyError as exc:
             report.add(finding_from_diagnostic(exc.diagnostic, "MA-S00"))
             continue
+        verified.append(m)
         analysis = _MethodAnalysis(asm, m, report)
         analysis.run()
         sites.extend(analysis.sites.values())
     _match_sites(sites, asm, world_size, report)
+    run_rankflow(asm, verified, world_size, report)
     return report

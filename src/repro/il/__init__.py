@@ -22,7 +22,13 @@ face of the FCall mechanism.
 from repro.il.assembler import AssembleError, assemble
 from repro.il.assembly import Assembly, ILMethod
 from repro.il.engine import ExecutionEngine, ILRuntimeError
-from repro.il.verifier import Diagnostic, VerifyError, verify_assembly, verify_method
+from repro.il.verifier import (
+    Diagnostic,
+    VerifyError,
+    instruction_successors,
+    verify_assembly,
+    verify_method,
+)
 
 __all__ = [
     "assemble",
@@ -32,6 +38,7 @@ __all__ = [
     "ILMethod",
     "ExecutionEngine",
     "ILRuntimeError",
+    "instruction_successors",
     "verify_method",
     "verify_assembly",
     "VerifyError",

@@ -49,6 +49,41 @@ class VerifyError(Exception):
         self.assembly = assembly
 
 
+def instruction_successors(method: ILMethod, pc: int) -> tuple[int, ...]:
+    """Control successors of the instruction at *pc* — the CFG seam.
+
+    One definition of branch-target resolution shared by the verifier and
+    the analyzer's CFG builder (:mod:`repro.analyze.cfg`): ``ret`` has no
+    successors, ``br`` only its target, conditional branches their target
+    plus the fall-through, ``switch`` every case label plus the
+    fall-through.  Raises :class:`VerifyError` on an undefined label;
+    falling off the end (a successor ``>= len(code)``) is the caller's
+    check, since only the verifier knows the flow that reached it.
+    """
+    instr = method.code[pc]
+    spec = OPCODES.get(instr.op)
+    if spec is None:
+        raise VerifyError(method.name, pc, f"unknown opcode {instr.op}")
+    if instr.op == "ret":
+        return ()
+    if instr.op == "switch":
+        targets = []
+        for label in str(instr.operand).split(","):
+            target = method.labels.get(label.strip())
+            if target is None:
+                raise VerifyError(method.name, pc, f"undefined label {label.strip()!r}")
+            targets.append(target)
+        return (*targets, pc + 1)
+    if spec.is_branch:
+        target = method.labels.get(instr.operand)
+        if target is None:
+            raise VerifyError(method.name, pc, f"undefined label {instr.operand!r}")
+        if instr.op == "br":
+            return (target,)
+        return (target, pc + 1)
+    return (pc + 1,)
+
+
 def parse_intern(operand: str) -> tuple[str, int, bool]:
     """``name/arity`` or ``name/arity:r`` -> (name, arity, returns)."""
     name, _, rest = operand.partition("/")
@@ -198,25 +233,9 @@ def _verify_method(asm: Assembly, method: ILMethod) -> None:
 
         out = tuple(stack)
 
-        # ---- control flow ---------------------------------------------------
-        if instr.op == "switch":
-            for label in str(instr.operand).split(","):
-                target = method.labels.get(label.strip())
-                if target is None:
-                    raise VerifyError(
-                        method.name, pc, f"undefined label {label.strip()!r}"
-                    )
-                flow_to(target, out, pc)
-            flow_to(pc + 1, out, pc)
-            continue
-        if spec.is_branch:
-            target = method.labels.get(instr.operand)
-            if target is None:
-                raise VerifyError(method.name, pc, f"undefined label {instr.operand!r}")
-            flow_to(target, out, pc)
-            if instr.op == "br":
-                continue
-        flow_to(pc + 1, out, pc)
+        # ---- control flow (one seam with the CFG builder) -------------------
+        for succ in instruction_successors(method, pc):
+            flow_to(succ, out, pc)
 
     method_attr_ok = True  # reserved for future attribute checks
     assert method_attr_ok

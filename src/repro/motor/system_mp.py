@@ -322,21 +322,62 @@ KIND_BUFFER = "B"
 KIND_ANY_OBJECT = "A"
 KIND_HANDLE = "H"
 
+#: Argument *roles* — what each position means to the message-flow
+#: analyzer (:mod:`repro.analyze.rankflow`), refining the kind codes:
+#: a peer and a tag are both ``KIND_INT``, but only the peer is matched
+#: against the world and only the tag against receives.
+ROLE_BUFFER = "buffer"
+ROLE_PEER = "peer"
+ROLE_TAG = "tag"
+ROLE_ROOT = "root"
+ROLE_HANDLE = "handle"
+ROLE_VALUE = "value"
+
+#: Call categories: how an internal participates in the communication
+#: structure of a program.
+CAT_RANKQUERY = "rankquery"  # MP.Rank / MP.Size — the analyzer's symbols
+CAT_PT2PT = "pt2pt"  # matched send/recv endpoints
+CAT_COLLECTIVE = "collective"  # must be called in the same order by all ranks
+CAT_REQUEST = "request"  # completes / probes a nonblocking handle
+CAT_OTHER = "other"
+
 
 @dataclass(frozen=True)
 class MPCallSig:
-    """Declared signature of one System.MP internal call."""
+    """Declared signature + analyzer metadata of one System.MP internal.
+
+    ``args`` keeps the MA-S02 kind codes; ``roles`` names what each
+    position is (same length as ``args`` when given); ``category``,
+    ``direction``, ``blocking``/``sync`` and the request flags describe
+    the call's communication semantics for the whole-program
+    message-flow rules (MA-S05..S10).
+    """
 
     name: str
     args: tuple[str, ...]
     returns: bool
     doc: str = ""
+    roles: tuple[str, ...] = ()
+    category: str = CAT_OTHER
+    direction: str | None = None  # "send" | "recv" for pt2pt ops
+    blocking: bool = True  # completes only when matched/progressed
+    sync: bool = False  # synchronous: completion requires the matching recv
+    creates_request: bool = False  # returns a nonblocking handle
+    completes_request: bool = False  # Wait: ends the handle's in-flight window
+    query: str | None = None  # "rank" | "size" for CAT_RANKQUERY
 
     @property
     def intern(self) -> str:
         """The ``callintern`` operand spelling (``name/arity[:r]``)."""
         suffix = ":r" if self.returns else ""
         return f"{self.name}/{len(self.args)}{suffix}"
+
+    def role_index(self, role: str) -> int | None:
+        """Position of *role* in the argument list, or None."""
+        try:
+            return self.roles.index(role)
+        except ValueError:
+            return None
 
 
 def _sigs(*sigs: MPCallSig) -> dict[str, MPCallSig]:
@@ -345,24 +386,51 @@ def _sigs(*sigs: MPCallSig) -> dict[str, MPCallSig]:
 
 #: Every System.MP internal, keyed by name.  ``repro.analyze`` rejects
 #: ``MP.*`` call sites that disagree with this table (rule MA-S02) and
-#: unknown ``MP.*`` names outright (rule MA-S04).
+#: unknown ``MP.*`` names outright (rule MA-S04); the rank-symbolic
+#: message-flow pass (MA-S05..S10) consumes the role/category metadata.
 MP_CALLSIGS: dict[str, MPCallSig] = _sigs(
-    MPCallSig("MP.Rank", (), True, "this rank in COMM_WORLD"),
-    MPCallSig("MP.Size", (), True, "number of ranks"),
-    MPCallSig("MP.Send", (KIND_BUFFER, KIND_INT, KIND_INT), False, "Send(buf, dest, tag)"),
-    MPCallSig("MP.Ssend", (KIND_BUFFER, KIND_INT, KIND_INT), False, "Ssend(buf, dest, tag)"),
-    MPCallSig("MP.Recv", (KIND_BUFFER, KIND_INT, KIND_INT), True, "Recv(buf, source, tag) -> count"),
-    MPCallSig("MP.Isend", (KIND_BUFFER, KIND_INT, KIND_INT), True, "Isend(buf, dest, tag) -> handle"),
-    MPCallSig("MP.Irecv", (KIND_BUFFER, KIND_INT, KIND_INT), True, "Irecv(buf, source, tag) -> handle"),
-    MPCallSig("MP.Wait", (KIND_HANDLE,), False, "Wait(handle)"),
-    MPCallSig("MP.Test", (KIND_HANDLE,), True, "Test(handle) -> 0|1"),
-    MPCallSig("MP.Barrier", (), False, "Barrier()"),
-    MPCallSig("MP.Bcast", (KIND_BUFFER, KIND_INT), False, "Bcast(buf, root)"),
-    MPCallSig("MP.OSend", (KIND_ANY_OBJECT, KIND_INT, KIND_INT), False, "OSend(obj, dest, tag)"),
-    MPCallSig("MP.ORecv", (KIND_INT, KIND_INT), True, "ORecv(source, tag) -> obj"),
-    MPCallSig("MP.OBcast", (KIND_ANY_OBJECT, KIND_INT), True, "OBcast(obj, root) -> obj"),
-    MPCallSig("MP.Agree", (KIND_INT,), True, "Agree(value) -> band-fold over survivors"),
-    MPCallSig("MP.Checkpoint", (KIND_ANY_OBJECT,), True, "Checkpoint(state) -> committed epoch"),
+    MPCallSig("MP.Rank", (), True, "this rank in COMM_WORLD",
+              category=CAT_RANKQUERY, query="rank"),
+    MPCallSig("MP.Size", (), True, "number of ranks",
+              category=CAT_RANKQUERY, query="size"),
+    MPCallSig("MP.Send", (KIND_BUFFER, KIND_INT, KIND_INT), False, "Send(buf, dest, tag)",
+              roles=(ROLE_BUFFER, ROLE_PEER, ROLE_TAG),
+              category=CAT_PT2PT, direction="send"),
+    MPCallSig("MP.Ssend", (KIND_BUFFER, KIND_INT, KIND_INT), False, "Ssend(buf, dest, tag)",
+              roles=(ROLE_BUFFER, ROLE_PEER, ROLE_TAG),
+              category=CAT_PT2PT, direction="send", sync=True),
+    MPCallSig("MP.Recv", (KIND_BUFFER, KIND_INT, KIND_INT), True,
+              "Recv(buf, source, tag) -> count",
+              roles=(ROLE_BUFFER, ROLE_PEER, ROLE_TAG),
+              category=CAT_PT2PT, direction="recv"),
+    MPCallSig("MP.Isend", (KIND_BUFFER, KIND_INT, KIND_INT), True,
+              "Isend(buf, dest, tag) -> handle",
+              roles=(ROLE_BUFFER, ROLE_PEER, ROLE_TAG),
+              category=CAT_PT2PT, direction="send", blocking=False, creates_request=True),
+    MPCallSig("MP.Irecv", (KIND_BUFFER, KIND_INT, KIND_INT), True,
+              "Irecv(buf, source, tag) -> handle",
+              roles=(ROLE_BUFFER, ROLE_PEER, ROLE_TAG),
+              category=CAT_PT2PT, direction="recv", blocking=False, creates_request=True),
+    MPCallSig("MP.Wait", (KIND_HANDLE,), False, "Wait(handle)",
+              roles=(ROLE_HANDLE,), category=CAT_REQUEST, completes_request=True),
+    MPCallSig("MP.Test", (KIND_HANDLE,), True, "Test(handle) -> 0|1",
+              roles=(ROLE_HANDLE,), category=CAT_REQUEST, blocking=False),
+    MPCallSig("MP.Barrier", (), False, "Barrier()", category=CAT_COLLECTIVE),
+    MPCallSig("MP.Bcast", (KIND_BUFFER, KIND_INT), False, "Bcast(buf, root)",
+              roles=(ROLE_BUFFER, ROLE_ROOT), category=CAT_COLLECTIVE),
+    MPCallSig("MP.OSend", (KIND_ANY_OBJECT, KIND_INT, KIND_INT), False,
+              "OSend(obj, dest, tag)",
+              roles=(ROLE_BUFFER, ROLE_PEER, ROLE_TAG),
+              category=CAT_PT2PT, direction="send"),
+    MPCallSig("MP.ORecv", (KIND_INT, KIND_INT), True, "ORecv(source, tag) -> obj",
+              roles=(ROLE_PEER, ROLE_TAG), category=CAT_PT2PT, direction="recv"),
+    MPCallSig("MP.OBcast", (KIND_ANY_OBJECT, KIND_INT), True, "OBcast(obj, root) -> obj",
+              roles=(ROLE_BUFFER, ROLE_ROOT), category=CAT_COLLECTIVE),
+    MPCallSig("MP.Agree", (KIND_INT,), True, "Agree(value) -> band-fold over survivors",
+              roles=(ROLE_VALUE,), category=CAT_COLLECTIVE),
+    MPCallSig("MP.Checkpoint", (KIND_ANY_OBJECT,), True,
+              "Checkpoint(state) -> committed epoch",
+              roles=(ROLE_VALUE,), category=CAT_COLLECTIVE),
     MPCallSig("MP.Restore", (), True, "Restore() -> state from the last committed epoch"),
 )
 

@@ -26,9 +26,15 @@ def test_inventory():
     names = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
     assert names == [
         "buffer_reuse.py",
+        "collective_divergence.py",
         "deadlock_pair.py",
+        "head_to_head.py",
+        "inflight_store.py",
         "raw_send_ref.py",
+        "request_leak.py",
+        "type_mismatch.py",
         "wildcard_race.py",
+        "wildcard_static.py",
     ]
 
 
@@ -61,3 +67,45 @@ def test_raw_send_ref_flags_ma_s01():
 
     fixed = analyze_assembly(assemble(mod.FIXED_IL, name="fixed"), world_size=2)
     assert not fixed.findings, fixed.render_text()
+
+
+# -- the rank-symbolic message-flow demos (MA-S05..S10) ---------------------
+#
+# Each demo ships a BUGGY_IL that trips exactly its rule and a CLEAN_IL
+# twin the analyzer accepts; the pairs double as the TP/TN corpus for
+# the whole-program pass.
+
+#: (demo, its rule, the world size the demo is written for)
+MESSAGE_FLOW_DEMOS = [
+    ("collective_divergence", "MA-S05", 2),
+    ("type_mismatch", "MA-S06", 2),
+    ("inflight_store", "MA-S07", 2),
+    ("request_leak", "MA-S08", 2),
+    ("head_to_head", "MA-S09", 2),
+    ("wildcard_static", "MA-S10", 3),
+]
+
+
+@pytest.mark.parametrize("name,rule,world", MESSAGE_FLOW_DEMOS)
+def test_message_flow_demo_flags_its_rule(name, rule, world):
+    mod = _load(name)
+    report = mod.run()
+    hits = report.by_rule(rule)
+    assert hits, f"{name} should trip {rule}:\n{report.render_text()}"
+    # the demo trips its own rule and nothing else
+    assert set(report.counts()) == {rule}, report.render_text()
+
+
+@pytest.mark.parametrize("name,rule,world", MESSAGE_FLOW_DEMOS)
+def test_message_flow_demo_clean_twin_is_clean(name, rule, world):
+    from repro.analyze import analyze_assembly
+    from repro.il import assemble
+
+    mod = _load(name)
+    # at the demo's own world size, and with the size left symbolic (the
+    # gate's configuration, where the pass samples small worlds itself)
+    for world_size in (world, None):
+        report = analyze_assembly(
+            assemble(mod.CLEAN_IL, name=f"{name}_clean"), world_size=world_size
+        )
+        assert not report.findings, report.render_text()

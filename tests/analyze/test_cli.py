@@ -102,3 +102,52 @@ class TestBenchForwarding:
 
         assert bench_main(["analyze", "static", clean_il]) == 0
         assert "no findings" in capsys.readouterr().out
+
+
+WARNING_ONLY_IL = """
+.method main() returns {
+    ldc.i4 8
+    newarr int32
+    ldc.i4 1
+    ldc.i4 5
+    callintern MP.Send/3
+    ldc.i4 0
+    ret
+}
+"""
+
+UNVERIFIABLE_IL = """
+.method main() returns {
+    pop
+    ldc.i4 0
+    ret
+}
+"""
+
+
+class TestOutputOptions:
+    def test_sarif_output_parses(self, buggy_il, capsys):
+        assert main(["static", buggy_il, "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        rules = {r["ruleId"] for r in log["runs"][0]["results"]}
+        assert "MA-S01" in rules
+
+    def test_severity_threshold_gates_the_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "warn.il"
+        path.write_text(WARNING_ONLY_IL)
+        # the lone send is MA-S03, a warning: fails the default threshold…
+        assert main(["static", str(path), "--world-size", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "MA-S03" in out and "MA-S0" not in out.replace("MA-S03", "")
+        # …but passes when only errors gate
+        assert main([
+            "static", str(path), "--world-size", "2",
+            "--severity-threshold", "error",
+        ]) == 0
+
+    def test_verification_failure_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.il"
+        path.write_text(UNVERIFIABLE_IL)
+        assert main(["static", str(path)]) == 2
+        assert "MA-S00" in capsys.readouterr().out

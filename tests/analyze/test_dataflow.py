@@ -1,0 +1,85 @@
+"""The worklist fixed-point engine: convergence, bounds, widening."""
+
+import pytest
+
+from repro.analyze.cfg import build_cfg
+from repro.analyze.dataflow import FixpointDivergence, solve
+from repro.il import assemble
+
+pytestmark = pytest.mark.analyze
+
+LOOP = """
+.method main() returns {
+    .locals 1
+    ldc.i4 3
+    stloc 0
+top:
+    ldloc 0
+    ldc.i4 1
+    sub
+    stloc 0
+    ldloc 0
+    brtrue top
+    ldc.i4 0
+    ret
+}
+"""
+
+
+def _cfg(source: str = LOOP):
+    return build_cfg(assemble(source, name="t").methods["main"])
+
+
+class TestSolve:
+    def test_finite_lattice_reaches_fixed_point(self):
+        cfg = _cfg()
+        # state: set of block starts seen on some path to this block
+        states = solve(
+            cfg,
+            frozenset(),
+            lambda block, s: s | {block.start},
+            lambda prev, new: prev | new,
+        )
+        assert set(states) == set(cfg.blocks)  # every block reached
+        # the loop's back edge merged the body into its own in-state
+        (frm, to), = cfg.back_edges()
+        assert frm in states[to]
+
+    def test_divergent_transfer_raises_instead_of_spinning(self):
+        cfg = _cfg()
+        # a strictly-growing counter never satisfies join(prev, out) == prev
+        with pytest.raises(FixpointDivergence) as exc:
+            solve(
+                cfg,
+                0,
+                lambda block, s: s + 1,
+                lambda prev, new: max(prev, new),
+            )
+        assert "did not converge" in str(exc.value)
+        assert exc.value.method == "main"
+
+    def test_widening_terminates_an_infinite_chain(self):
+        cfg = _cfg()
+        TOP = 10**9
+        # same divergent domain, but the widen hook jumps to TOP
+        states = solve(
+            cfg,
+            0,
+            lambda block, s: s + 1 if s < TOP else TOP,
+            lambda prev, new: max(prev, new),
+            widen=lambda prev, new: TOP,
+            widen_after=4,
+        )
+        assert any(s == TOP for s in states.values())
+
+    def test_max_passes_is_respected(self):
+        cfg = _cfg()
+        with pytest.raises(FixpointDivergence) as exc:
+            solve(
+                cfg,
+                0,
+                lambda block, s: s + 1,
+                lambda prev, new: max(prev, new),
+                max_passes=7,
+            )
+        assert exc.value.passes == 7

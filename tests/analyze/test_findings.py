@@ -15,7 +15,10 @@ class TestRules:
     def test_rule_table_covers_both_passes(self):
         static = {r for r in RULES if r.startswith("MA-S")}
         runtime = {r for r in RULES if r.startswith("MA-R")}
-        assert static == {"MA-S00", "MA-S01", "MA-S02", "MA-S03", "MA-S04"}
+        assert static == {
+            "MA-S00", "MA-S01", "MA-S02", "MA-S03", "MA-S04",
+            "MA-S05", "MA-S06", "MA-S07", "MA-S08", "MA-S09", "MA-S10",
+        }
         assert runtime == {"MA-R01", "MA-R02", "MA-R03", "MA-R04", "MA-R05"}
 
     def test_every_rule_documented(self):
@@ -69,3 +72,29 @@ class TestReport:
         f = finding_from_diagnostic(diag)
         assert f.rule == "MA-S00"
         assert (f.assembly, f.method, f.pc) == ("a", "m", 2)
+
+
+class TestDedupKey:
+    def test_key_is_rule_rank_location_message(self):
+        f = Finding("MA-S08", "leak", rank=None, assembly="a", method="m", pc=3)
+        assert Report.dedup_key(f) == ("MA-S08", None, "a", "m", 3, "leak")
+
+    def test_details_do_not_affect_identity(self):
+        rep = Report()
+        rep.add(Finding("MA-S08", "leak", assembly="a", method="m", pc=3,
+                        details=(("op", "MP.Irecv"),)))
+        added = rep.add(Finding("MA-S08", "leak", assembly="a", method="m",
+                                pc=3, details=(("op", "MP.Isend"),)))
+        assert added is False
+        assert len(rep) == 1
+
+    def test_duplicate_adds_bump_the_paths_count(self):
+        rep = Report()
+        f = Finding("MA-S07", "store in flight", assembly="a", method="m", pc=9)
+        rep.add(f)
+        rep.add(Finding("MA-S07", "store in flight", assembly="a", method="m",
+                        pc=9))
+        rep.add(Finding("MA-S07", "store in flight", assembly="a", method="m",
+                        pc=9), paths=3)
+        (stored,) = rep.findings
+        assert dict(stored.details)["paths"] == 5

@@ -1,0 +1,115 @@
+"""SARIF 2.1.0 export (repro.analyze.sarif)."""
+
+import json
+
+import pytest
+
+from repro.analyze import analyze_assembly
+from repro.analyze.findings import RULES, Finding, Report
+from repro.analyze.sarif import (
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    TOOL_NAME,
+    _level,
+    render_sarif,
+    to_sarif,
+)
+from repro.il import assemble
+
+pytestmark = pytest.mark.analyze
+
+
+def _report() -> Report:
+    report = Report()
+    report.add(
+        Finding(
+            rule="MA-S08",
+            message="request leaked",
+            assembly="demo",
+            method="main",
+            pc=13,
+            details=(("op", "MP.Irecv"),),
+        )
+    )
+    report.add(
+        Finding(rule="MA-R02", message="wildcard race", rank=1, assembly="demo")
+    )
+    return report
+
+
+class TestToSarif:
+    def test_log_envelope(self):
+        log = to_sarif(Report())
+        assert log["version"] == SARIF_VERSION
+        assert log["$schema"] == SARIF_SCHEMA
+        assert len(log["runs"]) == 1
+        assert log["runs"][0]["results"] == []
+
+    def test_driver_advertises_the_full_rule_catalog(self):
+        driver = to_sarif(Report())["runs"][0]["tool"]["driver"]
+        assert driver["name"] == TOOL_NAME
+        ids = [r["id"] for r in driver["rules"]]
+        assert ids == sorted(RULES)
+        for descriptor in driver["rules"]:
+            assert descriptor["shortDescription"]["text"]
+            assert descriptor["defaultConfiguration"]["level"] in (
+                "note",
+                "warning",
+                "error",
+            )
+
+    def test_results_carry_rule_level_and_location(self):
+        results = to_sarif(_report())["runs"][0]["results"]
+        assert len(results) == 2
+        by_rule = {r["ruleId"]: r for r in results}
+        leak = by_rule["MA-S08"]
+        assert leak["level"] == "warning"
+        assert (
+            leak["locations"][0]["logicalLocations"][0]["fullyQualifiedName"]
+            == "demo::main"
+        )
+        assert leak["locations"][0]["physicalLocation"]["artifactLocation"][
+            "uri"
+        ] == "demo.il"
+        assert leak["properties"]["pc"] == 13
+        assert leak["properties"]["op"] == "MP.Irecv"
+        race = by_rule["MA-R02"]
+        assert race["properties"]["rank"] == 1
+        # ruleIndex points back into the driver's rules array
+        driver_rules = to_sarif(_report())["runs"][0]["tool"]["driver"]["rules"]
+        assert driver_rules[leak["ruleIndex"]]["id"] == "MA-S08"
+
+    def test_info_maps_to_note(self):
+        assert _level("info") == "note"
+        assert _level("warning") == "warning"
+        assert _level("error") == "error"
+
+    def test_render_is_byte_stable_json(self):
+        report = _report()
+        first = render_sarif(report)
+        assert first == render_sarif(report)
+        assert first.endswith("\n")
+        assert json.loads(first)["version"] == SARIF_VERSION
+
+
+DROPPED_REQUEST = """
+.method main() returns {
+    ldc.i4 8
+    newarr int32
+    ldc.i4 0
+    ldc.i4 6
+    callintern MP.Irecv/3:r
+    pop
+    ldc.i4 0
+    ret
+}
+"""
+
+
+def test_analyzer_report_exports_cleanly():
+    report = analyze_assembly(assemble(DROPPED_REQUEST, name="t"), world_size=2)
+    assert report.findings
+    log = json.loads(render_sarif(report))
+    results = log["runs"][0]["results"]
+    assert [r["ruleId"] for r in results] == ["MA-S08"]
+    assert results[0]["level"] == "warning"
