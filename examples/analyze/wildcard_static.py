@@ -93,6 +93,18 @@ def run():
     return analyze_assembly(assemble(BUGGY_IL, name="wildcard_static"), world_size=3)
 
 
+def main(ctx):
+    """Rank main: execute BUGGY_IL on this rank's Motor VM (module-level
+    per the spawn-safety rule, even though sanitize mode is inproc-only)."""
+    from repro.il import ExecutionEngine
+    from repro.motor.system_mp import register_mp_internals
+
+    vm = ctx.session
+    asm = assemble(BUGGY_IL, name="wildcard_static")
+    engine = ExecutionEngine(vm.runtime, asm, register_mp_internals(vm))
+    return engine.call("main")
+
+
 def run_sanitized():
     """Execute BUGGY_IL under the runtime sanitizer; return its Report.
 
@@ -100,15 +112,7 @@ def run_sanitized():
     finding are the same nondeterminism seen by the two passes.
     """
     from repro.cluster.world import mpiexec_sanitized
-    from repro.il import ExecutionEngine
     from repro.motor import motor_session
-    from repro.motor.system_mp import register_mp_internals
-
-    def main(ctx):
-        vm = ctx.session
-        asm = assemble(BUGGY_IL, name="wildcard_static")
-        engine = ExecutionEngine(vm.runtime, asm, register_mp_internals(vm))
-        return engine.call("main")
 
     _results, report = mpiexec_sanitized(3, main, session_factory=motor_session)
     return report

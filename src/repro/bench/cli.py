@@ -69,8 +69,8 @@ def main(argv: list[str] | None = None) -> int:
         "--json",
         metavar="FILE",
         default=None,
-        help="with 'chaos': where to write the soak summary "
-        "(default ./BENCH_recovery.json)",
+        help="with 'chaos'/'smoke': where to write the JSON summary "
+        "(default ./BENCH_recovery.json / ./BENCH_smoke.json)",
     )
     args = parser.parse_args(argv)
     quick = not args.paper
@@ -79,7 +79,10 @@ def main(argv: list[str] | None = None) -> int:
         return _metrics(quick=quick, trace_path=args.trace)
 
     if args.experiment == "smoke":
-        return _smoke(quick=quick)
+        return _smoke(
+            quick=quick,
+            json_path=args.json or os.path.join(os.getcwd(), "BENCH_smoke.json"),
+        )
 
     if args.experiment == "chaos":
         return _chaos(
@@ -136,15 +139,58 @@ SMOKE_EXPERIMENTS = (
 )
 
 
-def _smoke(quick: bool = True) -> int:
-    """Run the A10-A16 overhead/overlap claims; exit nonzero if any differs."""
+def _smoke(quick: bool = True, json_path: str | None = None) -> int:
+    """Run the A10-A16 overhead/overlap claims; exit nonzero if any differs.
+
+    When ``json_path`` is given, a standalone machine-readable summary is
+    written there: one entry per ablation with its claims (paper bound,
+    measured ratio, verdict) and per-experiment elapsed seconds — the CI
+    artifact mirroring ``BENCH_recovery.json`` on the overhead side.
+    """
+    import json
+    import time
+
     failed = 0
+    experiments = []
+    t0 = time.monotonic()
     for exp_id in SMOKE_EXPERIMENTS:
+        e0 = time.monotonic()
         series, claims = run_experiment(exp_id, quick=quick)
+        exp_elapsed = time.monotonic() - e0
         print(f"== {EXPERIMENTS[exp_id][0]} ==")
         print(render_claims(claims))
         print()
         failed += sum(1 for c in claims if not c.holds)
+        experiments.append(
+            {
+                "id": exp_id,
+                "title": EXPERIMENTS[exp_id][0],
+                "elapsed_s": round(exp_elapsed, 3),
+                "claims": [
+                    {
+                        "claim": c.claim,
+                        "paper": c.paper,
+                        "measured": c.measured,
+                        "holds": c.holds,
+                    }
+                    for c in claims
+                ],
+            }
+        )
+    if json_path:
+        summary = {
+            "suite": "smoke",
+            "quick": quick,
+            "experiments": experiments,
+            "claims_total": sum(len(e["claims"]) for e in experiments),
+            "claims_failed": failed,
+            "holds": failed == 0,
+            "elapsed_s": round(time.monotonic() - t0, 3),
+        }
+        with open(json_path, "w") as fh:
+            json.dump(summary, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {json_path}", file=sys.stderr)
     if failed:
         print(f"bench smoke: {failed} claim(s) DIFFER", file=sys.stderr)
         return 1

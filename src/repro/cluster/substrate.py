@@ -1,0 +1,219 @@
+"""Execution substrates: where ranks live and how the world boots them.
+
+Everything above the :class:`~repro.mp.channels.base.Channel` seam —
+matching, protocol, collectives, recovery — is address-space agnostic;
+what actually *hosts* a rank is not.  A :class:`Substrate` owns exactly
+the decisions that differ between a simulated and a real deployment:
+
+* **rank hosting** — threads in one process (``inproc``) or one OS
+  process per rank (``proc``);
+* **fabric construction** — an in-memory fabric built from
+  ``FABRICS[channel]`` versus a packet router plus per-worker socket
+  endpoints;
+* **clock selection** — which :class:`~repro.simtime.Clock` each rank
+  gets (both substrates honour ``clock_mode``; packets carry their
+  virtual timestamps across the real wire too);
+* **the boot barrier** — inproc ranks are born connected, proc ranks
+  block on the router's ``GO`` before their mains run;
+* **async progress realization** — a recurring task on the rank's clock
+  (simulated time) versus a real progress thread on a wall cadence.
+
+:class:`InprocSubstrate` is the original thread-per-rank behaviour,
+verbatim; :class:`repro.cluster.procsub.ProcSubstrate` boots real worker
+processes over the same seam.  ``make_substrate`` resolves the
+``substrate=`` mode flag threaded through :class:`~repro.cluster.world.
+World` and the ``mpiexec`` family.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from typing import Any, Callable
+
+from repro.mp.channels import FABRICS, FaultyFabric
+
+
+class _RankThread(threading.Thread):
+    def __init__(self, name: str, fn: Callable, ctx) -> None:
+        super().__init__(name=name, daemon=True)
+        self.fn = fn
+        self.ctx = ctx
+        self.result: Any = None
+        self.error: BaseException | None = None
+
+    def run(self) -> None:  # noqa: D102
+        try:
+            self.result = self.fn(self.ctx)
+        except BaseException as exc:  # propagate to the launcher
+            self.error = exc
+
+
+def observe_session(ctx) -> None:
+    """Extend a rank's instrumentation over its session layer (Motor VM)."""
+    if ctx.obs is None or ctx.session is None:
+        return
+    if hasattr(ctx.session, "runtime") and hasattr(ctx.session, "policy"):
+        from repro.obs import attach_vm
+
+        attach_vm(ctx.obs, ctx.session)
+
+
+def sanitize_session(ctx) -> None:
+    """Extend a rank's sanitizer over its session layer (Motor VM)."""
+    if ctx.san is None or ctx.session is None:
+        return
+    if hasattr(ctx.session, "runtime") and hasattr(ctx.session, "policy"):
+        from repro.analyze import attach_vm as san_attach_vm
+
+        san_attach_vm(ctx.san, ctx.session)
+
+
+def draining(world, main: Callable) -> Callable:
+    """Wrap a rank main so it drains the reliability window before exiting."""
+
+    def run(ctx) -> Any:
+        try:
+            return main(ctx)
+        finally:
+            world.quiesce(ctx.rank, ctx.engine)
+            if ctx.san is not None:
+                # post-drain leak scan (MA-R05): anything still pinned or
+                # in flight now was abandoned by the application
+                ctx.san.finalize()
+
+    return run
+
+
+class Substrate(abc.ABC):
+    """One way of hosting a world's ranks.  Bound to a single World."""
+
+    name = "abstract"
+
+    #: how ``progress="async"`` is realized on this substrate: ``"task"``
+    #: (recurring task on the rank's clock — simulated time) or
+    #: ``"thread"`` (a real daemon thread on a wall cadence)
+    async_driver = "task"
+
+    #: True when the substrate can host extra ranks after boot
+    #: (MPI-2 spawn / recovery replacement need thread hosting)
+    supports_dynamic_ranks = True
+
+    def __init__(self, world) -> None:
+        self.world = world
+
+    @abc.abstractmethod
+    def validate(self) -> None:
+        """Reject world options this substrate cannot honour (early, loudly)."""
+        raise NotImplementedError
+
+    @abc.abstractmethod
+    def build_fabric(self):
+        """Construct the world's channel fabric (launcher side)."""
+        raise NotImplementedError
+
+    def make_clock(self, rank: int):
+        """The clock a rank runs on; both substrates honour ``clock_mode``."""
+        from repro.simtime import VirtualClock, WallClock
+
+        del rank
+        return VirtualClock() if self.world.clock_mode == "virtual" else WallClock()
+
+    @abc.abstractmethod
+    def launch(
+        self,
+        n: int,
+        main: Callable,
+        session_factory: Callable | None,
+        timeout: float,
+    ) -> list[Any]:
+        """Host ``n`` ranks running ``main``; results by rank, first error re-raised."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        self.world.fabric.shutdown()
+
+
+class InprocSubstrate(Substrate):
+    """Thread-per-rank in one Python process — the simulated machine.
+
+    The original ``World`` behaviour, unchanged: every rank is a
+    cooperative daemon thread, the fabric moves packets between them
+    in-memory, clocks are per-rank objects, and ranks are born connected
+    (no boot barrier is needed because the fabric wires every endpoint
+    before any main starts).
+    """
+
+    name = "inproc"
+    async_driver = "task"
+    supports_dynamic_ranks = True
+
+    def validate(self) -> None:
+        return None
+
+    def build_fabric(self):
+        w = self.world
+        fabric = FABRICS[w.channel_name](w.size)
+        if w.fault_plan is not None:
+            fabric = FaultyFabric(fabric, w.fault_plan)
+        return fabric
+
+    def launch(
+        self,
+        n: int,
+        main: Callable,
+        session_factory: Callable | None,
+        timeout: float,
+    ) -> list[Any]:
+        world = self.world
+        threads: list[_RankThread] = []
+        try:
+            for rank in range(n):
+                ctx = world.context_for(rank)
+                if session_factory is not None:
+                    ctx.session = session_factory(ctx)
+                    observe_session(ctx)
+                    sanitize_session(ctx)
+                threads.append(_RankThread(f"rank-{rank}", draining(world, main), ctx))
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout)
+                if t.is_alive():
+                    raise TimeoutError(f"{t.name} did not finish within {timeout}s")
+            world.join_spawned(timeout)
+        finally:
+            # idempotent, best-effort: a crash mid-wiring must not leak endpoints
+            world.shutdown()
+        for t in threads:
+            if t.error is not None:
+                raise t.error
+        return [t.result for t in threads]
+
+
+def make_substrate(spec, world, opts: dict | None = None) -> Substrate:
+    """Resolve a ``substrate=`` flag into a bound Substrate.
+
+    ``spec`` is ``"inproc"``, ``"proc"``, a Substrate subclass, or a
+    callable ``(world) -> Substrate`` (how worker processes bind their
+    single-rank substrate).  ``opts`` are keyword arguments for the
+    substrate's constructor (e.g. ``start_method``/``boot_timeout`` for
+    ``proc``).
+    """
+    opts = opts or {}
+    if isinstance(spec, str):
+        if spec == "inproc":
+            return InprocSubstrate(world, **opts)
+        if spec == "proc":
+            from repro.cluster.procsub import ProcSubstrate
+
+            return ProcSubstrate(world, **opts)
+        raise ValueError(f"unknown substrate {spec!r} (have 'inproc', 'proc')")
+    if isinstance(spec, type) and issubclass(spec, Substrate):
+        return spec(world, **opts)
+    if callable(spec):
+        sub = spec(world)
+        if not isinstance(sub, Substrate):
+            raise TypeError(f"substrate factory returned {type(sub).__name__}")
+        return sub
+    raise TypeError(f"substrate must be a name, class or factory, got {spec!r}")

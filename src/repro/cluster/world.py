@@ -1,4 +1,13 @@
-"""World construction, the mpiexec launcher and dynamic process spawning."""
+"""World construction, the mpiexec launcher and dynamic process spawning.
+
+Where ranks actually *live* is delegated to an execution substrate
+(:mod:`repro.cluster.substrate`): ``substrate="inproc"`` hosts every rank
+as a thread of this process over a simulated fabric (the default, and
+the original behaviour), ``substrate="proc"`` boots one real OS process
+per rank wired through a packet router
+(:mod:`repro.cluster.procsub`).  Everything above the channel seam —
+matching, protocol, collectives, observation — is identical either way.
+"""
 
 from __future__ import annotations
 
@@ -6,10 +15,18 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.mp.channels import FABRICS, FaultPlan, FaultyFabric
+from repro.cluster.substrate import (
+    _RankThread,
+    draining,
+    make_substrate,
+    observe_session,
+    sanitize_session,
+)
+from repro.mp.channels import FABRICS, FaultPlan
+from repro.mp.channels.base import ChannelStack
 from repro.mp.communicator import Communicator, Group
 from repro.mp.mpi import MpiEngine
-from repro.simtime import Clock, CostModel, VirtualClock, WallClock
+from repro.simtime import Clock, CostModel
 
 
 @dataclass
@@ -38,23 +55,8 @@ class RankContext:
         return self.engine.comm_world
 
 
-class _RankThread(threading.Thread):
-    def __init__(self, name: str, fn: Callable, ctx: RankContext) -> None:
-        super().__init__(name=name, daemon=True)
-        self.fn = fn
-        self.ctx = ctx
-        self.result: Any = None
-        self.error: BaseException | None = None
-
-    def run(self) -> None:  # noqa: D102
-        try:
-            self.result = self.fn(self.ctx)
-        except BaseException as exc:  # propagate to the launcher
-            self.error = exc
-
-
 class World:
-    """One simulated machine: a channel fabric plus per-rank stacks."""
+    """One machine — simulated or real: a channel fabric plus per-rank stacks."""
 
     def __init__(
         self,
@@ -70,6 +72,8 @@ class World:
         sanitize: str | None = None,
         halt_on_deadlock: bool = True,
         progress: str = "polled",
+        substrate: Any = "inproc",
+        substrate_opts: dict | None = None,
     ) -> None:
         if size < 1:
             raise ValueError("world size must be >= 1")
@@ -111,9 +115,11 @@ class World:
             from repro.analyze import Sanitizer
 
             self.sanitizer = Sanitizer(size, halt_on_deadlock=halt_on_deadlock)
-        self.fabric = FABRICS[channel](size)
-        if fault_plan is not None:
-            self.fabric = FaultyFabric(self.fabric, fault_plan)
+        #: the execution substrate: owns rank hosting, fabric construction,
+        #: clock selection and the boot barrier (see repro.cluster.substrate)
+        self.substrate = make_substrate(substrate, self, substrate_opts)
+        self.substrate.validate()
+        self.fabric = self.substrate.build_fabric()
         self._engines: dict[int, MpiEngine] = {}
         self._mains_done: set[int] = set()
         self._done_lock = threading.Lock()
@@ -127,9 +133,7 @@ class World:
 
     def clock_for(self, rank: int) -> Clock:
         if rank not in self._clocks:
-            self._clocks[rank] = (
-                VirtualClock() if self.clock_mode == "virtual" else WallClock()
-            )
+            self._clocks[rank] = self.substrate.make_clock(rank)
         return self._clocks[rank]
 
     def engine_for(self, rank: int, yield_fn: Callable[[], None] | None = None) -> MpiEngine:
@@ -146,8 +150,23 @@ class World:
             reliable=self.reliable,
             reliability_opts=self.reliability_opts,
             progress=self.progress,
+            async_driver=self.substrate.async_driver,
         )
+        self._wire_peer_death(ch, eng)
         return eng
+
+    @staticmethod
+    def _wire_peer_death(ch, eng: MpiEngine) -> None:
+        """Route transport-level death verdicts into the device.
+
+        Channels with a failure detector of their own (the proc channel's
+        router gossips DEAD frames) expose ``on_peer_dead``; wiring it to
+        ``device._peer_failed`` turns a dead OS process into ordinary
+        ``MPI_ERR_PROC_FAILED`` completions for every waiter.
+        """
+        base = ch.unwrap() if isinstance(ch, ChannelStack) else ch
+        if hasattr(base, "on_peer_dead"):
+            base.on_peer_dead = eng.device._peer_failed
 
     def context_for(self, rank: int, yield_fn: Callable[[], None] | None = None) -> RankContext:
         ctx = RankContext(
@@ -200,6 +219,12 @@ class World:
         """In-process merge of every rank's snapshot (post-run, launcher side)."""
         if self.observe is None:
             raise RuntimeError("world was not built with observe=...")
+        if not self._insts:
+            raise RuntimeError(
+                "no in-process rank snapshots to merge (the proc substrate "
+                "hosts ranks in worker processes; use mpiexec_observed or "
+                "repro.obs.cluster_snapshot, which gather over the wire)"
+            )
         from repro.obs import merge_snapshots
 
         return merge_snapshots(
@@ -274,9 +299,9 @@ class World:
                 self._attach_san(ctx)
                 if session_factory is not None:
                     ctx.session = session_factory(ctx)
-                    _observe_session(ctx)
-                    _sanitize_session(ctx)
-                t = _RankThread(f"spawned-{r}", _draining(self, child_main), ctx)
+                    observe_session(ctx)
+                    sanitize_session(ctx)
+                t = _RankThread(f"spawned-{r}", draining(self, child_main), ctx)
                 self._spawned_threads.append(t)
                 t.start()
 
@@ -355,10 +380,10 @@ class World:
                 self._attach_san(rctx)
                 if session_factory is not None:
                     rctx.session = session_factory(rctx)
-                    _observe_session(rctx)
-                    _sanitize_session(rctx)
+                    observe_session(rctx)
+                    sanitize_session(rctx)
                 t = _RankThread(
-                    f"replacement-{rank}", _draining(self, replacement_main), rctx
+                    f"replacement-{rank}", draining(self, replacement_main), rctx
                 )
                 self._spawned_threads.append(t)
                 t.start()
@@ -385,7 +410,9 @@ class World:
             reliable=self.reliable,
             reliability_opts=self.reliability_opts,
             progress=self.progress,
+            async_driver=self.substrate.async_driver,
         )
+        self._wire_peer_death(ch, eng)
         # The replacement's world IS the rebuilt communicator: same context
         # id and group as every survivor's copy, same slot the dead rank had.
         eng.comm_world = Communicator(
@@ -407,7 +434,9 @@ class World:
             reliable=self.reliable,
             reliability_opts=self.reliability_opts,
             progress=self.progress,
+            async_driver=self.substrate.async_driver,
         )
+        self._wire_peer_death(ch, eng)
         # Children's COMM_WORLD spans the spawned set only (MPI-2 semantics).
         eng.comm_world = Communicator(
             engine=eng, context_id=0, group=child_group, rank=local
@@ -471,44 +500,20 @@ class World:
             if t.error is not None:
                 raise t.error
 
+    # -- launching ----------------------------------------------------------------
+
+    def launch(
+        self,
+        n: int,
+        main: Callable[[RankContext], Any],
+        session_factory: Callable[[RankContext], Any] | None = None,
+        timeout: float = 120.0,
+    ) -> list[Any]:
+        """Host ``n`` ranks running ``main`` on this world's substrate."""
+        return self.substrate.launch(n, main, session_factory, timeout)
+
     def shutdown(self) -> None:
-        self.fabric.shutdown()
-
-
-def _observe_session(ctx: RankContext) -> None:
-    """Extend a rank's instrumentation over its session layer (Motor VM)."""
-    if ctx.obs is None or ctx.session is None:
-        return
-    if hasattr(ctx.session, "runtime") and hasattr(ctx.session, "policy"):
-        from repro.obs import attach_vm
-
-        attach_vm(ctx.obs, ctx.session)
-
-
-def _sanitize_session(ctx: RankContext) -> None:
-    """Extend a rank's sanitizer over its session layer (Motor VM)."""
-    if ctx.san is None or ctx.session is None:
-        return
-    if hasattr(ctx.session, "runtime") and hasattr(ctx.session, "policy"):
-        from repro.analyze import attach_vm as san_attach_vm
-
-        san_attach_vm(ctx.san, ctx.session)
-
-
-def _draining(world: World, main: Callable[[RankContext], Any]) -> Callable[[RankContext], Any]:
-    """Wrap a rank main so it drains the reliability window before exiting."""
-
-    def run(ctx: RankContext) -> Any:
-        try:
-            return main(ctx)
-        finally:
-            world.quiesce(ctx.rank, ctx.engine)
-            if ctx.san is not None:
-                # post-drain leak scan (MA-R05): anything still pinned or
-                # in flight now was abandoned by the application
-                ctx.san.finalize()
-
-    return run
+        self.substrate.shutdown()
 
 
 def mpiexec(
@@ -527,6 +532,8 @@ def mpiexec(
     sanitize: str | None = None,
     halt_on_deadlock: bool = True,
     progress: str = "polled",
+    substrate: Any = "inproc",
+    substrate_opts: dict | None = None,
 ) -> list[Any]:
     """Launch ``n`` ranks running ``main`` and return their results by rank.
 
@@ -547,45 +554,20 @@ def mpiexec(
     When a deadlock knot is confirmed the blocked ranks raise
     :class:`repro.analyze.DeadlockError` (unless ``halt_on_deadlock`` is
     False, in which case the finding is recorded and the wait continues).
+
+    ``substrate`` picks the execution substrate: ``"inproc"`` (default,
+    thread-per-rank in this process) or ``"proc"`` (one OS process per
+    rank; ``main`` and its results must be picklable, and
+    ``sanitize``/``fault_plan`` are not available — they are
+    cross-address-space concepts).
     """
     world = World(n, channel=channel, clock_mode=clock_mode, costs=costs,
                   eager_threshold=eager_threshold, fault_plan=fault_plan,
                   reliable=reliable, reliability_opts=reliability_opts,
                   observe=observe, sanitize=sanitize,
-                  halt_on_deadlock=halt_on_deadlock, progress=progress)
-    return _launch(world, n, main, session_factory, timeout)
-
-
-def _launch(
-    world: World,
-    n: int,
-    main: Callable[[RankContext], Any],
-    session_factory: Callable[[RankContext], Any] | None,
-    timeout: float,
-) -> list[Any]:
-    threads: list[_RankThread] = []
-    try:
-        for rank in range(n):
-            ctx = world.context_for(rank)
-            if session_factory is not None:
-                ctx.session = session_factory(ctx)
-                _observe_session(ctx)
-                _sanitize_session(ctx)
-            threads.append(_RankThread(f"rank-{rank}", _draining(world, main), ctx))
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout)
-            if t.is_alive():
-                raise TimeoutError(f"{t.name} did not finish within {timeout}s")
-        world.join_spawned(timeout)
-    finally:
-        # idempotent, best-effort: a crash mid-wiring must not leak endpoints
-        world.shutdown()
-    for t in threads:
-        if t.error is not None:
-            raise t.error
-    return [t.result for t in threads]
+                  halt_on_deadlock=halt_on_deadlock, progress=progress,
+                  substrate=substrate, substrate_opts=substrate_opts)
+    return world.launch(n, main, session_factory, timeout)
 
 
 def mpiexec_sanitized(
@@ -608,7 +590,7 @@ def mpiexec_sanitized(
 
     world = World(n, sanitize=sanitize, halt_on_deadlock=halt_on_deadlock, **kw)
     try:
-        results = _launch(world, n, main, session_factory, timeout)
+        results = world.launch(n, main, session_factory, timeout)
     except DeadlockError:
         results = None
     return results, world.sanitizer.report
@@ -628,16 +610,25 @@ def mpiexec_observed(
     the wire rather than peeking across threads.  Returns
     ``(results, merged_snapshot)``; render with ``repro.obs.render_report``.
     """
-    from repro.obs import cluster_snapshot
+    pairs = mpiexec(n, _ObservedMain(main), observe=observe, **kw)
+    snapshot = next((m for _r, m in pairs if m is not None), None)
+    return [r for r, _m in pairs], snapshot
 
-    box: dict[str, dict] = {}
 
-    def run(ctx: RankContext) -> Any:
-        result = main(ctx)
+class _ObservedMain:
+    """Picklable rank-main wrapper for :func:`mpiexec_observed`.
+
+    A module-level class (not a closure) so the proc substrate can ship
+    it to worker processes; the merged snapshot travels back inside each
+    rank's result tuple instead of a shared in-process box.
+    """
+
+    def __init__(self, main: Callable[[RankContext], Any]) -> None:
+        self.main = main
+
+    def __call__(self, ctx: RankContext) -> tuple[Any, dict | None]:
+        from repro.obs import cluster_snapshot
+
+        result = self.main(ctx)
         merged = cluster_snapshot(ctx.engine, ctx.comm_world, ctx.obs, root=0)
-        if merged is not None:
-            box["snapshot"] = merged
-        return result
-
-    results = mpiexec(n, run, observe=observe, **kw)
-    return results, box.get("snapshot")
+        return result, merged

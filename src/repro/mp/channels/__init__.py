@@ -6,8 +6,11 @@ which define the simplest functionality required to move a message from
 one address space to another" (paper §6).  :class:`repro.mp.channels.base.
 Channel` is that five-function interface; the concrete channels are
 ``sock`` (framed packets over simulated loopback sockets + IOCP, the
-configuration Motor shipped with), ``shm`` (shared-memory queue) and
-``ssm`` (sockets + shared memory, picking shm for local peers).
+configuration Motor shipped with), ``shm`` (shared-memory queue),
+``ssm`` (sockets + shared memory, picking shm for local peers) and
+``proc`` (framed packets over a *real* OS socket through the packet
+router — the transport the proc execution substrate runs worker
+processes on; see :mod:`repro.cluster.substrate`).
 
 :class:`FaultyChannel` is a wrapper, not a transport: it composes over
 any of the concrete channels and injects the failures described by a
@@ -17,6 +20,7 @@ seeded :class:`FaultPlan` (see ``repro.mp.channels.faulty``).
 from repro.mp.channels.base import Channel, ChannelFabric
 from repro.mp.channels.faulty import FaultPlan, FaultyChannel, FaultyFabric
 from repro.mp.channels.ib import IbChannel, IbFabric
+from repro.mp.channels.proc import ProcChannel, ProcFabric
 from repro.mp.channels.shm import ShmChannel, ShmFabric
 from repro.mp.channels.sock import SockChannel, SockFabric
 from repro.mp.channels.ssm import SsmChannel, SsmFabric
@@ -26,6 +30,7 @@ FABRICS = {
     "sock": SockFabric,
     "ssm": SsmFabric,
     "ib": IbFabric,
+    "proc": ProcFabric,
 }
 
 __all__ = [
@@ -39,6 +44,8 @@ __all__ = [
     "SsmFabric",
     "IbChannel",
     "IbFabric",
+    "ProcChannel",
+    "ProcFabric",
     "FaultPlan",
     "FaultyChannel",
     "FaultyFabric",

@@ -1,0 +1,139 @@
+"""The proc substrate's wire format: length-framed control + packet frames.
+
+Everything that crosses a real process boundary — MPI packets, the boot
+handshake, results, failure notices — travels as one frame stream over a
+stream socket:
+
+    [u32 length] [u8 ftype] [i32 arg] [body ...]
+
+``length`` covers ``ftype + arg + body``.  ``PKT`` bodies reuse the
+split-frame packet serializer from the sock channel
+(:meth:`repro.mp.packets.Packet.encode` /
+:meth:`~repro.mp.packets.Packet.decode_header`): the header packs in one
+struct and the payload view streams in behind it without an intermediate
+copy, so a leased :class:`~repro.mp.buffers.WireView` payload is consumed
+at the frame write — the same wire-crossing discipline the simulated
+channels follow.  Keeping ``arg`` (the destination rank for ``PKT``)
+outside the body lets the router forward frames verbatim, without
+decoding the MPI packet header at all.
+
+Control frames:
+
+``HELLO``   worker -> router: "rank ``arg`` is connected";
+``GO``      router -> worker: every rank connected (``arg`` = world size)
+            — the barrier-at-boot the substrate owns;
+``RESULT``  worker -> launcher: rank ``arg``'s main returned (pickled body);
+``ERROR``   worker -> launcher: rank ``arg``'s main raised (pickled
+            ``(type_name, message, traceback_text)`` body);
+``DEAD``    router -> worker: rank ``arg``'s process died without a BYE —
+            the transport-level failure verdict that surfaces as
+            :class:`~repro.mp.errors.MpiErrProcFailed` above;
+``BYE``     worker -> router: rank ``arg`` is finished and closing cleanly.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.mp.packets import HEADER_SIZE, Packet
+
+#: frame types
+PKT = 1
+HELLO = 2
+GO = 3
+RESULT = 4
+ERROR = 5
+DEAD = 6
+BYE = 7
+
+FRAME_NAMES = {
+    PKT: "PKT",
+    HELLO: "HELLO",
+    GO: "GO",
+    RESULT: "RESULT",
+    ERROR: "ERROR",
+    DEAD: "DEAD",
+    BYE: "BYE",
+}
+
+_PREFIX = struct.Struct("<I")
+_HEAD = struct.Struct("<Bi")
+
+#: refuse frames beyond this size (a corrupted length prefix must not
+#: allocate gigabytes); generous for 256 KiB rendezvous chunks
+MAX_FRAME = 64 << 20
+
+
+def encode_frame(ftype: int, arg: int, body: bytes | bytearray | memoryview = b"") -> bytes:
+    """One wire-ready frame.  ``body`` is appended without re-copying
+    when already contiguous (the split-frame discipline)."""
+    head = _HEAD.pack(ftype, arg)
+    frame = bytearray(_PREFIX.pack(_HEAD.size + len(body)))
+    frame += head
+    frame += body
+    return bytes(frame)
+
+
+def encode_packet_frame(pkt: Packet) -> bytes:
+    """Frame one MPI packet for the router (``arg`` carries ``pkt.dst``).
+
+    ``Packet.encode`` streams the payload view straight into the frame;
+    the caller releases the payload lease afterwards, exactly as the sock
+    channel does at its wire write.
+    """
+    body = pkt.encode()
+    head = _HEAD.pack(PKT, pkt.dst)
+    frame = bytearray(_PREFIX.pack(_HEAD.size + len(body)))
+    frame += head
+    frame += body
+    return bytes(frame)
+
+
+def decode_packet_body(body: bytes) -> Packet:
+    """Rebuild a :class:`Packet` from a PKT frame body."""
+    pkt, plen = Packet.decode_header(body[:HEADER_SIZE])
+    payload = body[HEADER_SIZE:HEADER_SIZE + plen]
+    if len(payload) != plen:
+        raise ValueError(
+            f"torn packet frame: payload {len(payload)} of {plen} bytes"
+        )
+    pkt.payload = bytes(payload)
+    return pkt
+
+
+class FrameReader:
+    """Incremental frame decoder over a byte stream.
+
+    Feed it whatever ``recv`` returned; it yields every complete frame
+    and keeps the tail of a torn frame for the next feed — the proc
+    analogue of the sock channel's partial-frame decode state.
+    """
+
+    __slots__ = ("_buf",)
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> Iterator[tuple[int, int, bytes]]:
+        """Yield ``(ftype, arg, body)`` for each completed frame."""
+        buf = self._buf
+        buf += data
+        while True:
+            if len(buf) < _PREFIX.size:
+                return
+            (length,) = _PREFIX.unpack_from(buf)
+            if length > MAX_FRAME:
+                raise ValueError(f"frame of {length} bytes exceeds MAX_FRAME")
+            end = _PREFIX.size + length
+            if len(buf) < end:
+                return
+            ftype, arg = _HEAD.unpack_from(buf, _PREFIX.size)
+            body = bytes(buf[_PREFIX.size + _HEAD.size:end])
+            del buf[:end]
+            yield ftype, arg, body
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buf)

@@ -53,10 +53,15 @@ class MpiEngine:
         reliable: bool = False,
         reliability_opts: dict | None = None,
         progress: str = "polled",
+        async_driver: str = "task",
     ) -> None:
         if progress not in ("polled", "async"):
             raise ValueError(
                 f"progress must be 'polled' or 'async', got {progress!r}"
+            )
+        if async_driver not in ("task", "thread"):
+            raise ValueError(
+                f"async_driver must be 'task' or 'thread', got {async_driver!r}"
             )
         self.rank = rank
         self.world_size = world_size
@@ -73,15 +78,27 @@ class MpiEngine:
         )
         self.progress = ProgressEngine(self.device, yield_fn)
         self.progress_mode = progress
-        #: async progress mode: a recurring task on the rank's clock steps
-        #: the progress core whenever simulated time advances (None when
-        #: polled).  Keyed scheduling means a rebuilt engine on the same
-        #: clock takes over progression from its predecessor.
+        #: async progress mode: how the core is stepped during application
+        #: compute.  "task" (simulated substrates) — a recurring task on
+        #: the rank's clock steps the core whenever simulated time
+        #: advances; keyed scheduling means a rebuilt engine on the same
+        #: clock takes over progression from its predecessor.  "thread"
+        #: (the proc substrate) — a real daemon thread on a wall cadence,
+        #: serialised against this rank's calls by the core's lock.
         self.async_driver = None
+        #: the progress core's lock when a progress *thread* exists; every
+        #: device mutation below must hold it (None costs one check)
+        self._plock = None
         if progress == "async":
-            self.async_driver = AsyncProgressDriver(
-                self.progress.core, self.clock, self.costs.async_poll_period_ns
-            )
+            if async_driver == "thread":
+                from repro.mp.progress import ThreadAsyncProgressDriver
+
+                self.async_driver = ThreadAsyncProgressDriver(self.progress.core)
+                self._plock = self.progress.core.lock
+            else:
+                self.async_driver = AsyncProgressDriver(
+                    self.progress.core, self.clock, self.costs.async_poll_period_ns
+                )
             self.async_driver.start()
         #: the rank's hook spine, shared by every layer of this stack;
         #: observers (repro.obs, repro.analyze) attach here
@@ -143,7 +160,11 @@ class MpiEngine:
         req = Request(
             SEND, buf, dest, tag, ctx, total=buf.nbytes, sync=sync, hooks=self.hooks
         )
-        self.device.start_send(req, comm.world_rank_of(dest))
+        if self._plock is None:
+            self.device.start_send(req, comm.world_rank_of(dest))
+        else:
+            with self._plock:
+                self.device.start_send(req, comm.world_rank_of(dest))
         return req
 
     def irecv(
@@ -165,7 +186,11 @@ class MpiEngine:
             ANY_SOURCE if source == ANY_SOURCE else comm.world_rank_of(source)
         )
         req = Request(RECV, buf, src_world, tag, ctx, total=buf.nbytes, hooks=self.hooks)
-        self.device.post_recv(req)
+        if self._plock is None:
+            self.device.post_recv(req)
+        else:
+            with self._plock:
+                self.device.post_recv(req)
         return req
 
     def _guarded_wait(
@@ -314,7 +339,11 @@ class MpiEngine:
         comm = comm or self.comm_world
         self.progress.poll()
         src_world = ANY_SOURCE if source == ANY_SOURCE else comm.world_rank_of(source)
-        st = self.device.iprobe(src_world, tag, comm.context_id)
+        if self._plock is None:
+            st = self.device.iprobe(src_world, tag, comm.context_id)
+        else:
+            with self._plock:
+                st = self.device.iprobe(src_world, tag, comm.context_id)
         if st is not None and st.source >= 0:
             st.source = comm.local_rank_of_world(st.source)
         return st
@@ -326,7 +355,10 @@ class MpiEngine:
                 return st
 
     def cancel(self, req: Request) -> bool:
-        return self.device.cancel_recv(req)
+        if self._plock is None:
+            return self.device.cancel_recv(req)
+        with self._plock:
+            return self.device.cancel_recv(req)
 
     # ------------------------------------------------------------- comm mgmt
 

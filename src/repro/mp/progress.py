@@ -71,6 +71,10 @@ class ProgressCore:
     def __init__(self, device: CH3Device, yield_fn: Callable[[], None] | None = None) -> None:
         self.device = device
         self.yield_fn = yield_fn
+        #: None on simulated substrates (single-threaded per rank, zero
+        #: overhead); a threading.RLock when a ThreadAsyncProgressDriver
+        #: steps this core concurrently with the owning rank
+        self.lock = None
         #: the rank's hook spine (wait enter/tick/exit feed the sanitizer's
         #: cross-rank wait-for graph; polls are exported as pull-model pvars)
         self.hooks = NULL_SPINE
@@ -102,6 +106,13 @@ class ProgressCore:
         floor back in — entering the library is a consumption point, which
         is exactly when polled mode would have merged.
         """
+        lock = self.lock
+        if lock is None:
+            return self._step(from_async)
+        with lock:
+            return self._step(from_async)
+
+    def _step(self, from_async: bool) -> int:
         if self._in_step:
             return 0
         clock = self.device.clock
@@ -178,6 +189,66 @@ class AsyncProgressDriver:
 
     def _tick(self) -> None:
         self.core.step(from_async=True)
+
+
+class ThreadAsyncProgressDriver:
+    """Progress mode ``"async"`` on a real substrate: a daemon thread.
+
+    The seam :class:`AsyncProgressDriver` documents, filled in: where
+    the simulated substrate steps the core whenever the rank's *clock*
+    advances, a real multi-process world has no simulated clock driving
+    anything — so a daemon thread calls ``core.step(from_async=True)``
+    on a wall cadence instead.  Construction installs ``core.lock`` (an
+    RLock), which serialises the thread's steps against the owning
+    rank's device calls; on simulated substrates the lock stays ``None``
+    and the hot path pays a single ``is None`` test.
+    """
+
+    def __init__(self, core: ProgressCore, period_s: float = 50e-6) -> None:
+        import threading
+
+        self.core = core
+        self.period_s = max(float(period_s), 10e-6)
+        if core.lock is None:
+            core.lock = threading.RLock()
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+        #: set if the progress loop died; surfaced instead of silence
+        self.error: BaseException | None = None
+
+    def start(self) -> None:
+        import threading
+
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="mp-progress", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        t = self._thread
+        if t is not None:
+            t.join(timeout=2.0)
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def _run(self) -> None:
+        step = self.core.step
+        wait = self._stop.wait
+        period = self.period_s
+        while not self._stop.is_set():
+            try:
+                step(from_async=True)
+            except BaseException as exc:  # keep the verdict, stop spinning
+                self.error = exc
+                return
+            wait(period)
 
 
 class ProgressEngine:

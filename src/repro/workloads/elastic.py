@@ -333,6 +333,30 @@ def _root(ctx, comm, cfg: ElasticConfig, schedule: ChaosSchedule, plan: FaultPla
 # -- driver --------------------------------------------------------------------
 
 
+class ElasticMain:
+    """Module-level rank main (spawn-safety rule: no closure mains).
+
+    The elastic workload itself stays inproc-only — it leans on the
+    shared fault plan and dynamic rank replacement — but every rank main
+    in this package is importable at module level so the audit holds
+    uniformly.
+    """
+
+    def __init__(self, cfg: ElasticConfig, schedule: ChaosSchedule,
+                 plan: FaultPlan) -> None:
+        self.cfg = cfg
+        self.schedule = schedule
+        self.plan = plan
+
+    def __call__(self, ctx):
+        comm = ctx.comm_world
+        comm.set_errhandler(ERRORS_RETURN)
+        if comm.rank == 0:
+            return _root(ctx, comm, self.cfg, self.schedule, self.plan)
+        return _worker(ctx, comm, self.cfg, self.schedule, self.plan,
+                       _fresh_state())
+
+
 def run_elastic(
     nranks: int = 4,
     cfg: ElasticConfig | None = None,
@@ -356,14 +380,7 @@ def run_elastic(
         raise ValueError("elastic needs a root and at least one worker")
     plan = fault_plan if fault_plan is not None else FaultPlan(seed=0)
     schedule = ChaosSchedule(events)
-
-    def main(ctx):
-        comm = ctx.comm_world
-        comm.set_errhandler(ERRORS_RETURN)
-        if comm.rank == 0:
-            return _root(ctx, comm, cfg, schedule, plan)
-        return _worker(ctx, comm, cfg, schedule, plan, _fresh_state())
-
+    main = ElasticMain(cfg, schedule, plan)
     results = mpiexec(
         nranks, main, channel=channel, clock_mode=clock_mode, costs=costs,
         fault_plan=plan, reliability_opts=reliability_opts, timeout=timeout,

@@ -9,6 +9,10 @@ in microseconds per iteration was calculated for all three experiments."
 The drivers time on rank 0's clock: in wall mode that is real elapsed
 time; in virtual mode the Lamport merges at each receive carry the full
 causal round-trip time, so the same code measures both.
+
+Every rank main here is a module-level class instance — spawn-safe and
+picklable — so the same driver runs unchanged on the inproc substrate
+(threads) and the proc substrate (real OS processes).
 """
 
 from __future__ import annotations
@@ -32,19 +36,31 @@ def _pattern(nbytes: int) -> bytes:
     return bytes((i * 37 + 11) % 256 for i in range(nbytes))
 
 
-def _buffer_main(flavor: str, sizes, iterations: int, timed: int, runs: int, verify: bool):
-    def main(ctx):
-        ad = make_adapter(flavor, ctx)
+class BufferPingPong:
+    """Figure 9 rank main: raw-buffer round trips between ranks 0 and 1."""
+
+    def __init__(self, flavor: str, sizes, iterations: int, timed: int,
+                 runs: int, verify: bool) -> None:
+        self.flavor = flavor
+        self.sizes = list(sizes)
+        self.iterations = iterations
+        self.timed = timed
+        self.runs = runs
+        self.verify = verify
+
+    def __call__(self, ctx):
+        ad = make_adapter(self.flavor, ctx)
         clock = ctx.clock
         me = ctx.rank
         peer = 1 - me
+        iterations, timed, verify = self.iterations, self.timed, self.verify
         results: dict[int, list[float]] = {}
-        for size in sizes:
+        for size in self.sizes:
             buf = ad.alloc(size)
             if me == 0:
                 ad.fill(buf, _pattern(size))
             per_run: list[float] = []
-            for _run in range(runs):
+            for _run in range(self.runs):
                 ad.barrier()
                 t0 = 0.0
                 for i in range(iterations):
@@ -57,7 +73,7 @@ def _buffer_main(flavor: str, sizes, iterations: int, timed: int, runs: int, ver
                         ad.recv(buf, peer, 1)
                         if verify and i == 0:
                             assert ad.read(buf) == _pattern(size), (
-                                f"{flavor}: ping payload corrupted at size {size}"
+                                f"{self.flavor}: ping payload corrupted at size {size}"
                             )
                         ad.send(buf, peer, 2)
                 if me == 0:
@@ -65,12 +81,15 @@ def _buffer_main(flavor: str, sizes, iterations: int, timed: int, runs: int, ver
             if me == 0:
                 if verify:
                     assert ad.read(buf) == _pattern(size), (
-                        f"{flavor}: payload corrupted at size {size}"
+                        f"{self.flavor}: payload corrupted at size {size}"
                     )
                 results[size] = per_run
         return results if me == 0 else None
 
-    return main
+
+def _buffer_main(flavor: str, sizes, iterations: int, timed: int, runs: int, verify: bool):
+    """Factory kept for existing callers; returns a picklable rank main."""
+    return BufferPingPong(flavor, sizes, iterations, timed, runs, verify)
 
 
 def sweep_buffer_pingpong(
@@ -90,6 +109,7 @@ def sweep_buffer_pingpong(
     reliability_opts: dict | None = None,
     observe: str | None = None,
     sanitize: str | None = None,
+    substrate: str = "inproc",
 ) -> dict[int, float]:
     """Run the Figure 9 protocol for one system; {size: mean us/iter}.
 
@@ -103,6 +123,10 @@ def sweep_buffer_pingpong(
 
     ``sanitize`` attaches the repro.analyze runtime sanitizer ("enabled"
     or "disabled") — the A12 ablation bounds the detached-hook residue.
+
+    ``substrate`` picks where the two ranks live: ``"inproc"`` (threads
+    over the simulated channel) or ``"proc"`` (real OS processes over the
+    packet router).
     """
     main = _buffer_main(flavor, list(sizes), iterations, timed, runs, verify)
     results = mpiexec(
@@ -110,19 +134,32 @@ def sweep_buffer_pingpong(
         eager_threshold=eager_threshold, timeout=timeout,
         fault_plan=fault_plan, reliable=reliable,
         reliability_opts=reliability_opts, observe=observe,
-        sanitize=sanitize,
+        sanitize=sanitize, substrate=substrate,
     )[0]
     return {size: sum(vals) / len(vals) for size, vals in results.items()}
 
 
-def _tree_main(flavor: str, counts, total_bytes, iterations, timed, runs, verify):
-    def main(ctx):
-        ad = make_adapter(flavor, ctx)
+class TreePingPong:
+    """Figure 10 rank main: linked-tree round trips between ranks 0 and 1."""
+
+    def __init__(self, flavor: str, counts, total_bytes, iterations, timed,
+                 runs, verify) -> None:
+        self.flavor = flavor
+        self.counts = list(counts)
+        self.total_bytes = total_bytes
+        self.iterations = iterations
+        self.timed = timed
+        self.runs = runs
+        self.verify = verify
+
+    def __call__(self, ctx):
+        ad = make_adapter(self.flavor, ctx)
         clock = ctx.clock
         me = ctx.rank
         peer = 1 - me
+        iterations, timed = self.iterations, self.timed
         results: dict[int, list[float] | None] = {}
-        for total_objects in counts:
+        for total_objects in self.counts:
             elements = max(1, total_objects // 2)
             # Both ranks can predict the serializer stack overflow locally
             # (the paper's mpiJava series stops at 1024 objects for this
@@ -131,9 +168,9 @@ def _tree_main(flavor: str, counts, total_bytes, iterations, timed, runs, verify
                 if me == 0:
                     results[total_objects] = None
                 continue
-            tree = ad.build_tree(elements, total_bytes) if me == 0 else None
+            tree = ad.build_tree(elements, self.total_bytes) if me == 0 else None
             per_run: list[float] = []
-            for _run in range(runs):
+            for _run in range(self.runs):
                 ad.barrier()
                 t0 = 0.0
                 got = None
@@ -149,13 +186,16 @@ def _tree_main(flavor: str, counts, total_bytes, iterations, timed, runs, verify
                         got = None
                 if me == 0:
                     per_run.append((clock.now() - t0) / timed / 1e3)
-                    if verify and got is not None:
-                        ad.verify_tree(got, elements, total_bytes)
+                    if self.verify and got is not None:
+                        ad.verify_tree(got, elements, self.total_bytes)
             if me == 0:
                 results[total_objects] = per_run
         return results if me == 0 else None
 
-    return main
+
+def _tree_main(flavor: str, counts, total_bytes, iterations, timed, runs, verify):
+    """Factory kept for existing callers; returns a picklable rank main."""
+    return TreePingPong(flavor, counts, total_bytes, iterations, timed, runs, verify)
 
 
 def sweep_tree_pingpong(
@@ -170,6 +210,7 @@ def sweep_tree_pingpong(
     costs: CostModel | None = None,
     verify: bool = True,
     timeout: float = 1800.0,
+    substrate: str = "inproc",
 ) -> dict[int, float | None]:
     """Run the Figure 10 protocol; {total_objects: mean us/iter or None}.
 
@@ -181,9 +222,63 @@ def sweep_tree_pingpong(
     )
     results = mpiexec(
         2, main, channel=channel, clock_mode=clock_mode, costs=costs,
-        timeout=timeout,
+        timeout=timeout, substrate=substrate,
     )[0]
     return {
         k: (None if vals is None else sum(vals) / len(vals))
         for k, vals in results.items()
     }
+
+
+class PairPingPong:
+    """Fig 9-style pingpong across an N-rank world, pairwise.
+
+    Ranks pair up (2k with 2k+1); each pair runs the buffer round-trip
+    protocol concurrently.  An odd final rank idles (returns ``None``).
+    The ``python -m repro.cluster`` CLI's workload.
+    """
+
+    def __init__(self, flavor: str = "cpp", sizes=None, iterations: int = ITERATIONS,
+                 timed: int = TIMED, runs: int = 1, verify: bool = True) -> None:
+        self.flavor = flavor
+        self.sizes = list(sizes) if sizes is not None else list(FIG9_SIZES)
+        self.iterations = iterations
+        self.timed = timed
+        self.runs = runs
+        self.verify = verify
+
+    def __call__(self, ctx):
+        if ctx.size % 2 and ctx.rank == ctx.size - 1:
+            return None  # odd rank out: nobody to pong with
+        ad = make_adapter(self.flavor, ctx)
+        clock = ctx.clock
+        me = ctx.rank
+        lead = me % 2 == 0
+        peer = me + 1 if lead else me - 1
+        iterations, timed = self.iterations, self.timed
+        results: dict[int, list[float]] = {}
+        for size in self.sizes:
+            buf = ad.alloc(size)
+            if lead:
+                ad.fill(buf, _pattern(size))
+            per_run: list[float] = []
+            for _run in range(self.runs):
+                t0 = 0.0
+                for i in range(iterations):
+                    if i == iterations - timed:
+                        t0 = clock.now()
+                    if lead:
+                        ad.send(buf, peer, 1)
+                        ad.recv(buf, peer, 2)
+                    else:
+                        ad.recv(buf, peer, 1)
+                        ad.send(buf, peer, 2)
+                if lead:
+                    per_run.append((clock.now() - t0) / timed / 1e3)
+            if lead:
+                if self.verify:
+                    assert ad.read(buf) == _pattern(size), (
+                        f"pair {me}<->{peer}: payload corrupted at size {size}"
+                    )
+                results[size] = per_run
+        return {s: sum(v) / len(v) for s, v in results.items()} if lead else None

@@ -9,6 +9,7 @@ and idempotent teardown.
 """
 
 import abc
+import time
 
 import pytest
 
@@ -27,6 +28,25 @@ def _fabric(name):
 
 
 IMPLS = sorted(FABRICS) + ["faulty-shm", "faulty-sock"]
+
+#: hard per-loop bound: every receive loop in this suite must finish well
+#: inside it on any healthy transport (the proc channel crosses a real
+#: kernel socket, so "eventually" needs a wall deadline, not faith)
+DRAIN_TIMEOUT = 10.0
+
+
+def _drain(ch, want, limit=None):
+    """Receive until ``want`` packets arrive or the hard deadline hits."""
+    got = []
+    deadline = time.monotonic() + DRAIN_TIMEOUT
+    while len(got) < want:
+        chunk = ch.recv_packets(limit)
+        got.extend(chunk)
+        if not chunk and time.monotonic() > deadline:
+            raise AssertionError(
+                f"{ch.name}: {len(got)}/{want} packets after {DRAIN_TIMEOUT}s"
+            )
+    return got
 
 
 @pytest.fixture(params=IMPLS)
@@ -51,27 +71,20 @@ class TestContract:
         _, c0, c1 = pair
         for i in range(16):
             assert c0.send_packet(_pkt(i, payload=bytes([i])))
-        got = []
-        while len(got) < 16:
-            got.extend(c1.recv_packets())
+        got = _drain(c1, 16)
         assert [p.tag for p in got] == list(range(16))
 
     def test_partial_reads_preserve_order(self, pair):
         _, c0, c1 = pair
         for i in range(10):
             c0.send_packet(_pkt(i))
-        got = []
-        while len(got) < 10:
-            chunk = c1.recv_packets(limit=3)
-            assert len(chunk) <= 3
-            got.extend(chunk)
+        got = _drain(c1, 10, limit=3)
         assert [p.tag for p in got] == list(range(10))
 
     def test_quiescent_after_drain(self, pair):
         _, c0, c1 = pair
         c0.send_packet(_pkt())
-        while not c1.recv_packets():
-            pass
+        _drain(c1, 1)
         # a drained endpoint reports nothing incoming and returns empty
         assert not c1.has_incoming()
         assert c1.recv_packets() == []
@@ -84,9 +97,7 @@ class TestContract:
     def test_counters_track_traffic(self, pair):
         _, c0, c1 = pair
         c0.send_packet(_pkt(payload=b"abcd"))
-        got = []
-        while not got:
-            got.extend(c1.recv_packets())
+        _drain(c1, 1)
         assert c0.packets_sent == 1
         assert c0.bytes_sent == 4
         assert c1.packets_received == 1
@@ -137,9 +148,7 @@ class TestViewPayloads:
         src = bytearray(b"original")
         assert c0.send_packet(_view_pkt(src, _Owner()))
         src[:] = b"mutated!"  # the wire already crossed
-        got = []
-        while not got:
-            got.extend(c1.recv_packets())
+        got = _drain(c1, 1)
         assert bytes(got[0].payload_mv()) == b"original"
 
 
@@ -162,9 +171,7 @@ class TestFaultCopyOnWrite:
         assert src == b"pristine-payload"  # the bit flipped in a copy
         assert owner.wire_leases == 0
         assert c0.fault_stats["cow_bytes"] == len(src)
-        got = []
-        while not got:
-            got.extend(c1.recv_packets())
+        got = _drain(c1, 1)
         delivered = bytes(got[0].payload_mv())
         assert delivered != bytes(src)
         diff = [a ^ b for a, b in zip(delivered, src)]
@@ -180,9 +187,7 @@ class TestFaultCopyOnWrite:
         assert owner.wire_leases == 0
         assert c0.fault_stats["cow_bytes"] == len(src)
         src[:] = b"XXXXXX"
-        got = []
-        while len(got) < 2:
-            got.extend(c1.recv_packets())
+        got = _drain(c1, 2)
         assert all(bytes(p.payload_mv()) == b"dup-me" for p in got)
         fab.shutdown()
 
@@ -252,9 +257,7 @@ class TestAbc:
         c1 = fab.endpoint(1, WallClock(), CostModel())
         for i in range(8):
             c0.send_packet(_pkt(i))
-        got = []
-        while len(got) < 8:
-            got.extend(c1.recv_packets())
+        got = _drain(c1, 8)
         assert [p.tag for p in got] == list(range(8))
         assert c0.fault_log == []
         assert all(v == 0 for v in c0.fault_stats.values())

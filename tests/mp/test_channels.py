@@ -136,4 +136,4 @@ class TestSsm:
         assert c0._sock.packets_sent == 1
 
     def test_registry(self):
-        assert set(FABRICS) == {"shm", "sock", "ssm", "ib"}
+        assert set(FABRICS) == {"shm", "sock", "ssm", "ib", "proc"}
