@@ -128,6 +128,15 @@ RULES: dict[str, Rule] = _rules(
         "matched candidate message in flight; which one it consumes is "
         "timing-dependent — the static shadow of MA-R02.",
     ),
+    Rule(
+        "MA-S11",
+        SEV_ERROR,
+        "one-sided operation outside any epoch on a path",
+        "An MP.WinPut/WinGet/WinAccumulate site is reachable along a path "
+        "on which no epoch-opening call (WinFence, lock, start) has run; "
+        "the runtime window layer would report MA-R06 at that site — the "
+        "static shadow of the sanitizer's epoch-discipline rule.",
+    ),
     # ---- runtime pass (repro.analyze.sanitizer) ---------------------------
     Rule(
         "MA-R01",
@@ -165,6 +174,24 @@ RULES: dict[str, Rule] = _rules(
         "pin leak at finalize",
         "A pin outlived the run: an unconditional pin never released, or a "
         "conditional pin whose request was still in flight at finalize.",
+    ),
+    Rule(
+        "MA-R06",
+        SEV_ERROR,
+        "one-sided operation outside an access epoch",
+        "A Put/Get/Accumulate was issued on a window with no access epoch "
+        "open toward the target (no fence open, target not in the start() "
+        "group, no lock held); the operation's completion semantics are "
+        "undefined by MPI-2 one-sided rules.",
+    ),
+    Rule(
+        "MA-R07",
+        SEV_ERROR,
+        "unordered overlapping one-sided operations",
+        "Two one-sided operations in the same access epoch touch "
+        "overlapping bytes of the same target window and at least one of "
+        "them writes without an ordering guarantee (only same-op "
+        "accumulates may overlap); the result depends on delivery order.",
     ),
 )
 

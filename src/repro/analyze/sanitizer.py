@@ -34,6 +34,17 @@ What it checks:
   unpinned, or a conditional pin whose transport operation is still in
   flight (abandoned request).  Completed-but-not-yet-collected
   conditional pins are the design working as intended and are ignored.
+* **MA-R06 one-sided op outside an access epoch** — the window layer
+  detects the violation itself (it owns the epoch state) and reports it
+  through the ``rma_violation`` hook; the sanitizer turns the event into
+  a finding.  The op still executes — tolerate-and-report, like MA-R03.
+* **MA-R07 unordered overlapping one-sided ops** — detected *here*, from
+  the ``rma_op``/``rma_epoch`` event stream: per (window, target) the
+  sanitizer keeps the byte intervals each access epoch has touched and
+  flags a new op that overlaps an earlier one when at least one of the
+  two writes and they are not both accumulates (the one overlap MPI
+  orders).  Interval state clears at every epoch close, so the hot path
+  in the window layer stays free of the bookkeeping.
 """
 
 from __future__ import annotations
@@ -105,6 +116,25 @@ class _Region:
 
 
 @dataclass
+class _RmaInterval:
+    """One one-sided op's target byte range within the current epoch."""
+
+    kind: str  # "put" | "get" | "acc"
+    lo: int
+    hi: int
+
+
+def _rma_conflict(a: str, b: str) -> bool:
+    """Do two overlapping one-sided ops race?  Reads may share; same-op
+    accumulates are ordered by MPI; everything else is unordered."""
+    if a == "get" and b == "get":
+        return False
+    if a == "acc" and b == "acc":
+        return False
+    return True
+
+
+@dataclass
 class _PinRecord:
     slot: int
     kind: str  # "pin" | "conditional"
@@ -136,6 +166,8 @@ class Sanitizer:
         self._pins: dict[int, dict[int, _PinRecord]] = {}
         #: per-rank current collective (report context only)
         self.in_collective: dict[int, str | None] = {}
+        #: (rank, win_id, target) -> intervals this access epoch touched
+        self._rma_spans: dict[tuple[int, int, int], list[_RmaInterval]] = {}
 
     def rank_view(self, rank: int, clock=None, costs=None, enabled: bool = True) -> "RankSanitizer":
         return RankSanitizer(self, rank, clock=clock, costs=costs, enabled=enabled)
@@ -392,6 +424,58 @@ class Sanitizer:
             r = min(p for p in deps[r] if p in knot)
         return path[seen[r] :]
 
+    # ------------------------------------------------------------- one-sided
+
+    def on_rma_op(
+        self, rank: int, win_id: int, kind: str, target: int,
+        offset: int, nbytes: int, native: bool,
+    ) -> None:
+        """MA-R07: overlap against every earlier op of this access epoch."""
+        if nbytes <= 0:
+            return
+        lo, hi = offset, offset + nbytes
+        with self._lock:
+            spans = self._rma_spans.setdefault((rank, win_id, target), [])
+            for other in spans:
+                if lo < other.hi and other.lo < hi and _rma_conflict(kind, other.kind):
+                    self.report.add(
+                        Finding(
+                            "MA-R07",
+                            f"{kind} on win {win_id} target {target} bytes "
+                            f"[{lo}, {hi}) overlaps an earlier {other.kind} "
+                            f"on [{other.lo}, {other.hi}) in the same access "
+                            "epoch with no ordering between them",
+                            rank=rank,
+                            details=(("win", win_id), ("target", target)),
+                        )
+                    )
+                    break
+            spans.append(_RmaInterval(kind, lo, hi))
+
+    def on_rma_epoch(self, rank: int, win_id: int, kind: str, phase: str) -> None:
+        """An epoch boundary orders everything before it against
+        everything after: closing any access epoch clears the window's
+        interval state for this rank."""
+        if phase != "close":
+            return
+        with self._lock:
+            for key in [k for k in self._rma_spans if k[0] == rank and k[1] == win_id]:
+                del self._rma_spans[key]
+
+    def on_rma_violation(self, rank: int, win_id: int, rule: str, info: dict) -> None:
+        """The window layer diagnosed a discipline violation (MA-R06)."""
+        with self._lock:
+            self.report.add(
+                Finding(
+                    rule,
+                    f"{info.get('kind', 'op')} on win {win_id} target "
+                    f"{info.get('target')} issued outside any access epoch "
+                    "(no fence open, no start() group, no lock held)",
+                    rank=rank,
+                    details=tuple(sorted({"win": win_id, **info}.items())),
+                )
+            )
+
     # ------------------------------------------------------------- pins
 
     def on_pin(self, rank: int, slot: int) -> None:
@@ -532,6 +616,24 @@ class RankSanitizer:
             return
         if name.startswith("coll."):
             self.core.in_collective[self.rank] = None
+
+    # -- one-sided (RMA) events --------------------------------------------
+
+    def on_rma_op(self, win_id: int, kind: str, target: int, offset: int, nbytes: int, native: bool) -> None:
+        if not self.enabled:
+            return
+        self._charge(self.costs.san_check_ns if self.costs else 0.0)
+        self.core.on_rma_op(self.rank, win_id, kind, target, offset, nbytes, native)
+
+    def on_rma_epoch(self, win_id: int, kind: str, phase: str) -> None:
+        if not self.enabled:
+            return
+        self.core.on_rma_epoch(self.rank, win_id, kind, phase)
+
+    def on_rma_violation(self, win_id: int, rule: str, info: dict) -> None:
+        if not self.enabled:
+            return
+        self.core.on_rma_violation(self.rank, win_id, rule, info)
 
     # -- GC / pin-policy events --------------------------------------------
 

@@ -17,6 +17,12 @@ can see what actually reaches each ``MP.*`` ``callintern``:
   can never be matched by any receive in the assembly.
 * **MA-S04** — a ``callintern`` naming an ``MP.*`` internal that does not
   exist.
+* **MA-S11** — a one-sided op (``MP.WinPut``/``WinGet``/``WinAccumulate``)
+  reachable with every window epoch *definitely closed*: the epoch state
+  flows through the same fixed point as the values (``closed``/``open``
+  merge to unknown at joins, ``MP.WinFence`` toggles, ``MP.WinFree``
+  closes), so only sites where no path opened an epoch are flagged — the
+  static shadow of the runtime MA-R06.
 * **MA-S00** — the method failed baseline IL verification; its sites were
   not checked.
 
@@ -184,6 +190,8 @@ class _MethodAnalysis:
             return _UNKNOWN
         if name in ("MP.Isend", "MP.Irecv"):
             return (T_OBJ, ("handle",))
+        if name == "MP.WinCreate":
+            return (T_OBJ, ("window",))
         if name in ("MP.ORecv", "MP.OBcast"):
             return (T_OBJ, None)
         return (T_INT, None)
@@ -201,10 +209,15 @@ class _MethodAnalysis:
         """
         method = self.method
         cfg = build_cfg(method)
+        # The fourth state component is the window-epoch abstraction for
+        # MA-S11: a single ("epoch", "closed"|"open"|None) cell that joins
+        # to unknown when paths disagree (methods juggling several windows
+        # collapse to unknown at the first divergence — conservative).
         init = (
             (),
             tuple(_UNKNOWN for _ in range(method.nlocals)),
             tuple(_UNKNOWN for _ in range(method.nparams)),
+            (("epoch", "closed"),),
         )
 
         def join(prev: tuple, incoming: tuple) -> tuple:
@@ -214,15 +227,34 @@ class _MethodAnalysis:
             )
 
         def transfer(block, state: tuple) -> tuple:
-            stack_t, locals_t, args_t = state
+            stack_t, locals_t, args_t, epoch_t = state
             stack, locs, argv = list(stack_t), list(locals_t), list(args_t)
+            epoch = [epoch_t[0][1]]
             for pc in block.pcs():
-                self._step(pc, stack, locs, argv)
-            return (tuple(stack), tuple(locs), tuple(argv))
+                self._step(pc, stack, locs, argv, epoch)
+            return (tuple(stack), tuple(locs), tuple(argv), (("epoch", epoch[0]),))
 
         solve(cfg, init, transfer, join)
 
-    def _step(self, pc: int, stack: list, locs: list, argv: list) -> None:
+    def _rma_step(self, pc: int, name: str, epoch: list) -> None:
+        """MA-S11 transfer: epoch effects of one MP.Win* site."""
+        sig = MP_CALLSIGS.get(name)
+        rma = sig.rma if sig is not None else None
+        if rma == "fence":
+            epoch[0] = {"closed": "open", "open": "closed"}.get(epoch[0], epoch[0])
+        elif rma == "free":
+            epoch[0] = "closed"
+        elif rma == "op" and epoch[0] == "closed":
+            self._finding(
+                "MA-S11",
+                pc,
+                f"{name} reachable with every window epoch closed: no "
+                "WinFence (or other epoch open) dominates this site — the "
+                "runtime would report MA-R06 here",
+                name=name,
+            )
+
+    def _step(self, pc: int, stack: list, locs: list, argv: list, epoch: list) -> None:
         instr = self.method.code[pc]
         op = instr.op
         spec = OPCODES[op]
@@ -263,6 +295,8 @@ class _MethodAnalysis:
                 del stack[len(stack) - arity :]
             if name.startswith("MP."):
                 result = self._check_mp_site(pc, name, arity, returns, call_args)
+                if name.startswith("MP.Win"):
+                    self._rma_step(pc, name, epoch)
                 if returns:
                     stack.append(result)
             elif returns:

@@ -183,6 +183,15 @@ def checkpoint_overhead(
 
 
 def write_bench_json(path: str, summary: dict) -> None:
+    from repro.bench.report import BENCH_SCHEMA_VERSION, run_metadata
+
+    if "schema_version" not in summary:
+        summary = {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "run": run_metadata(),
+            "suite": summary.get("suite", "recovery"),
+            **summary,
+        }
     with open(path, "w") as fh:
         json.dump(summary, fh, indent=2, sort_keys=False)
         fh.write("\n")

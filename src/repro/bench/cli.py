@@ -136,6 +136,7 @@ SMOKE_EXPERIMENTS = (
     "ablate-copies",       # A14: copy accounting per delivery path
     "ablate-checkpoint",   # A15: fault-free coordinated-checkpoint cost
     "ablate-progress",     # A16: polled vs. async progress overlap
+    "ablate-rma",          # A17: one-sided windows native vs emulated
 )
 
 
@@ -178,7 +179,11 @@ def _smoke(quick: bool = True, json_path: str | None = None) -> int:
             }
         )
     if json_path:
+        from repro.bench.report import BENCH_SCHEMA_VERSION, run_metadata
+
         summary = {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "run": run_metadata(),
             "suite": "smoke",
             "quick": quick,
             "experiments": experiments,

@@ -59,6 +59,30 @@ class NativeRequestHandle:
         self.comm = comm
 
 
+#: managed array element type -> RMA window dtype (accumulate units);
+#: anything else transfers as raw bytes
+_WIN_DTYPES = {"int32": "int32", "int64": "int64", "float64": "double"}
+
+
+class MotorWindowHandle:
+    """What MP_WinCreate hands back up to the managed layer.
+
+    Beside the native :class:`~repro.mp.win.Win` it carries the managed
+    object the window latched and the epoch's pin bookkeeping: the
+    window buffer's epoch-wide cookie plus one cookie per op buffer
+    issued during the current access epoch (released when the epoch
+    closes — fence, complete or unlock).
+    """
+
+    __slots__ = ("win", "obj", "epoch_cookie", "op_cookies")
+
+    def __init__(self, win, obj: ObjRef) -> None:
+        self.win = win
+        self.obj = obj
+        self.epoch_cookie: PinCookie | None = None
+        self.op_cookies: list[PinCookie] = []
+
+
 class MessagePassingCore:
     """Runtime-internal MPI core bound to one rank."""
 
@@ -315,6 +339,105 @@ class MessagePassingCore:
         finally:
             for c in cookies:
                 self.policy.release(c)
+
+    # ------------------------------------------------------------- one-sided
+
+    def _win_dtype(self, obj: ObjRef) -> str:
+        mt = self.runtime.om.method_table(obj.require())
+        if mt.is_array and not mt.element_is_ref:
+            return _WIN_DTYPES.get(mt.element_type.name, "byte")
+        return "byte"
+
+    def mp_win_create(
+        self, obj: ObjRef, comm: Communicator, force_emulation: bool = False
+    ) -> MotorWindowHandle:
+        """MP_WinCreate FCIMPL: collective; latches the object's data
+        window and registers it with the transport.  The §4.2.1 integrity
+        rule applies unchanged — a reference-bearing object can never
+        become remotely writable memory."""
+        buf = self._data_window(obj, None, None)
+        win = self.engine.win_create(
+            buf, comm, dtype=self._win_dtype(obj), force_emulation=force_emulation
+        )
+        return MotorWindowHandle(win, obj)
+
+    def _win_epoch_open(self, handle: MotorWindowHandle) -> None:
+        """The local window becomes remotely writable: unconditional pin
+        for the whole epoch (no safepoint argument helps — a peer's
+        native put can land between any two instructions)."""
+        if handle.epoch_cookie is None:
+            handle.epoch_cookie = self.policy.window_pin(handle.obj)
+
+    def _win_epoch_close(self, handle: MotorWindowHandle) -> None:
+        self.policy.window_release(handle.epoch_cookie)
+        handle.epoch_cookie = None
+
+    def _win_access_close(self, handle: MotorWindowHandle) -> None:
+        for cookie in handle.op_cookies:
+            self.policy.window_release(cookie)
+        handle.op_cookies.clear()
+
+    def mp_win_fence(self, handle: MotorWindowHandle) -> None:
+        if handle.win._fence_open:
+            handle.win.fence()
+            self._win_access_close(handle)
+            self._win_epoch_close(handle)
+        else:
+            self._win_epoch_open(handle)
+            handle.win.fence()
+
+    def _win_op_buf(self, handle: MotorWindowHandle, obj: ObjRef):
+        """Latch + pin an op buffer until the access epoch closes: the
+        emulated lowering may keep the transfer in flight until the
+        closing synchronization polls it done, and polling-waits are
+        collection points."""
+        buf = self._data_window(obj, None, None)
+        handle.op_cookies.append(self.policy.window_pin(obj))
+        return buf
+
+    def mp_win_put(
+        self, handle: MotorWindowHandle, obj: ObjRef, target: int, target_offset: int = 0
+    ) -> None:
+        handle.win.put(self._win_op_buf(handle, obj), target, target_offset)
+
+    def mp_win_get(
+        self, handle: MotorWindowHandle, obj: ObjRef, target: int, target_offset: int = 0
+    ) -> None:
+        handle.win.get(self._win_op_buf(handle, obj), target, target_offset)
+
+    def mp_win_accumulate(
+        self, handle: MotorWindowHandle, obj: ObjRef, target: int, target_offset: int = 0
+    ) -> None:
+        handle.win.accumulate(self._win_op_buf(handle, obj), target, target_offset)
+
+    def mp_win_post(self, handle: MotorWindowHandle, origins) -> None:
+        self._win_epoch_open(handle)
+        handle.win.post(origins)
+
+    def mp_win_start(self, handle: MotorWindowHandle, targets) -> None:
+        handle.win.start(targets)
+
+    def mp_win_complete(self, handle: MotorWindowHandle) -> None:
+        handle.win.complete()
+        self._win_access_close(handle)
+
+    def mp_win_wait(self, handle: MotorWindowHandle) -> None:
+        handle.win.wait()
+        self._win_epoch_close(handle)
+
+    def mp_win_lock(self, handle: MotorWindowHandle, target: int, exclusive: bool = True) -> None:
+        handle.win.lock(target, exclusive)
+
+    def mp_win_unlock(self, handle: MotorWindowHandle, target: int) -> None:
+        handle.win.unlock(target)
+        self._win_access_close(handle)
+
+    def mp_win_free(self, handle: MotorWindowHandle) -> None:
+        """Collective; implicitly closes anything still open so the pin
+        ledger balances even on abandoned epochs."""
+        handle.win.free()
+        self._win_access_close(handle)
+        self._win_epoch_close(handle)
 
     # ------------------------------------------------------------- OO operations
 

@@ -48,6 +48,8 @@ class PinPolicyStats:
     deferred_pins_taken: int = 0
     conditional_registered: int = 0
     unconditional_pins: int = 0
+    window_pins: int = 0
+    window_releases: int = 0
 
 
 class PinningPolicy:
@@ -106,6 +108,26 @@ class PinningPolicy:
 
     def release(self, cookie: PinCookie | None) -> None:
         if cookie is not None:
+            self.runtime.gc.unpin(cookie)
+
+    # -- one-sided windows -------------------------------------------------------
+
+    def window_pin(self, ref: ObjRef) -> PinCookie:
+        """An exposed RMA window is an *unconditional* pin for the whole
+        epoch: remote ranks may write the buffer at any moment between the
+        epoch open and its close, so neither the elder-generation test nor
+        deferral applies — even a never-moving elder object must not be
+        *collected*, and there is no per-operation in-flight predicate a
+        conditional pin could test.  The cookie MUST be released at the
+        epoch close (the sanitizer's MA-R05 leak check sees the pair)."""
+        self.stats.window_pins += 1
+        self._decided("window-pin")
+        return self.runtime.gc.pin(ref)
+
+    def window_release(self, cookie: PinCookie | None) -> None:
+        """Close of the epoch that took :meth:`window_pin`."""
+        if cookie is not None and not cookie.released:
+            self.stats.window_releases += 1
             self.runtime.gc.unpin(cookie)
 
     # -- non-blocking operations -----------------------------------------------------

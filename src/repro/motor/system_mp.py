@@ -19,7 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.motor.mpcore import MessagePassingCore, NativeRequestHandle
+from repro.motor.mpcore import (
+    MessagePassingCore,
+    MotorWindowHandle,
+    NativeRequestHandle,
+)
 from repro.mp.communicator import Communicator
 from repro.mp.errors import ERRORS_ARE_FATAL, ERRORS_RETURN
 from repro.mp.datatypes import Datatype
@@ -70,6 +74,68 @@ class MotorRequest:
     @property
     def completed(self) -> bool:
         return self._handle.req.completed
+
+
+class MotorWindow:
+    """System.MP.Window — the managed one-sided window handle.
+
+    Wraps the MP_Win* FCIMPLs: every epoch call keeps the pin ledger
+    balanced (the window buffer is unconditionally pinned while an epoch
+    exposes it, op buffers until their access epoch closes) and every op
+    goes through the §4.2.1 integrity check in the core.
+    """
+
+    __slots__ = ("_comm", "_handle")
+
+    def __init__(self, comm: "MotorCommunicator", handle: MotorWindowHandle) -> None:
+        self._comm = comm
+        self._handle = handle
+
+    def Put(self, obj, target: int, target_offset: int = 0) -> None:
+        self._comm._fcall(
+            self._comm._core.mp_win_put, self._handle, _unwrap(obj), target, target_offset
+        )
+
+    def Get(self, obj, target: int, target_offset: int = 0) -> None:
+        self._comm._fcall(
+            self._comm._core.mp_win_get, self._handle, _unwrap(obj), target, target_offset
+        )
+
+    def Accumulate(self, obj, target: int, target_offset: int = 0) -> None:
+        self._comm._fcall(
+            self._comm._core.mp_win_accumulate, self._handle, _unwrap(obj), target, target_offset
+        )
+
+    def Fence(self) -> None:
+        self._comm._fcall(self._comm._core.mp_win_fence, self._handle)
+
+    def Post(self, origins) -> None:
+        self._comm._fcall(self._comm._core.mp_win_post, self._handle, origins)
+
+    def Start(self, targets) -> None:
+        self._comm._fcall(self._comm._core.mp_win_start, self._handle, targets)
+
+    def Complete(self) -> None:
+        self._comm._fcall(self._comm._core.mp_win_complete, self._handle)
+
+    def Wait(self) -> None:
+        self._comm._fcall(self._comm._core.mp_win_wait, self._handle)
+
+    def Lock(self, target: int, exclusive: bool = True) -> None:
+        self._comm._fcall(self._comm._core.mp_win_lock, self._handle, target, exclusive)
+
+    def Unlock(self, target: int) -> None:
+        self._comm._fcall(self._comm._core.mp_win_unlock, self._handle, target)
+
+    def Free(self) -> None:
+        self._comm._fcall(self._comm._core.mp_win_free, self._handle)
+
+    @property
+    def native(self):
+        return self._handle.win
+
+    def __repr__(self) -> str:
+        return f"<System.MP.Window id={self._handle.win.id}>"
 
 
 def _unwrap(obj) -> ObjRef | None:
@@ -221,6 +287,21 @@ class MotorCommunicator:
     def OGather(self, array, root: int = 0):
         return self._fcall(self._core.mp_ogather, _unwrap(array), root, self._comm)
 
+    # -- one-sided windows (MPI-2 §11 shape) ------------------------------------
+
+    def WinCreate(self, obj, force_emulation: bool = False) -> MotorWindow:
+        """Collectively expose ``obj``'s data as an RMA window.
+
+        ``obj`` must satisfy the §4.2.1 integrity rule (reference-free);
+        the window dtype follows the array element type, so Accumulate
+        reduces in elements, not bytes.  ``force_emulation`` skips the
+        channel's native registration — the A17 control arm.
+        """
+        handle = self._fcall(
+            self._core.mp_win_create, _unwrap(obj), self._comm, force_emulation
+        )
+        return MotorWindow(self, handle)
+
     # -- communicator management ---------------------------------------------------
 
     def Dup(self) -> "MotorCommunicator":
@@ -317,10 +398,12 @@ class MotorCommunicator:
 #:   the ``O``-prefixed transport)
 #: * ``A`` — any managed object (the object-graph transport serializes it)
 #: * ``H`` — native request handle returned by Isend/Irecv
+#: * ``W`` — one-sided window handle returned by WinCreate
 KIND_INT = "I"
 KIND_BUFFER = "B"
 KIND_ANY_OBJECT = "A"
 KIND_HANDLE = "H"
+KIND_WINDOW = "W"
 
 #: Argument *roles* — what each position means to the message-flow
 #: analyzer (:mod:`repro.analyze.rankflow`), refining the kind codes:
@@ -332,6 +415,7 @@ ROLE_TAG = "tag"
 ROLE_ROOT = "root"
 ROLE_HANDLE = "handle"
 ROLE_VALUE = "value"
+ROLE_WINDOW = "window"
 
 #: Call categories: how an internal participates in the communication
 #: structure of a program.
@@ -339,6 +423,7 @@ CAT_RANKQUERY = "rankquery"  # MP.Rank / MP.Size — the analyzer's symbols
 CAT_PT2PT = "pt2pt"  # matched send/recv endpoints
 CAT_COLLECTIVE = "collective"  # must be called in the same order by all ranks
 CAT_REQUEST = "request"  # completes / probes a nonblocking handle
+CAT_RMA = "rma"  # one-sided window ops and epoch synchronization
 CAT_OTHER = "other"
 
 
@@ -365,6 +450,9 @@ class MPCallSig:
     creates_request: bool = False  # returns a nonblocking handle
     completes_request: bool = False  # Wait: ends the handle's in-flight window
     query: str | None = None  # "rank" | "size" for CAT_RANKQUERY
+    #: CAT_RMA refinement for the MA-S11 epoch-discipline pass:
+    #: "create" | "op" | "fence" (toggles) | "open" | "close" | "free"
+    rma: str | None = None
 
     @property
     def intern(self) -> str:
@@ -432,6 +520,27 @@ MP_CALLSIGS: dict[str, MPCallSig] = _sigs(
               "Checkpoint(state) -> committed epoch",
               roles=(ROLE_VALUE,), category=CAT_COLLECTIVE),
     MPCallSig("MP.Restore", (), True, "Restore() -> state from the last committed epoch"),
+    MPCallSig("MP.WinCreate", (KIND_BUFFER,), True,
+              "WinCreate(buf) -> window (collective)",
+              roles=(ROLE_BUFFER,), category=CAT_RMA, rma="create"),
+    MPCallSig("MP.WinPut", (KIND_WINDOW, KIND_BUFFER, KIND_INT, KIND_INT), False,
+              "WinPut(win, buf, target, offset)",
+              roles=(ROLE_WINDOW, ROLE_BUFFER, ROLE_PEER, ROLE_VALUE),
+              category=CAT_RMA, blocking=False, rma="op"),
+    MPCallSig("MP.WinGet", (KIND_WINDOW, KIND_BUFFER, KIND_INT, KIND_INT), False,
+              "WinGet(win, buf, target, offset)",
+              roles=(ROLE_WINDOW, ROLE_BUFFER, ROLE_PEER, ROLE_VALUE),
+              category=CAT_RMA, blocking=False, rma="op"),
+    MPCallSig("MP.WinAccumulate", (KIND_WINDOW, KIND_BUFFER, KIND_INT, KIND_INT), False,
+              "WinAccumulate(win, buf, target, offset)",
+              roles=(ROLE_WINDOW, ROLE_BUFFER, ROLE_PEER, ROLE_VALUE),
+              category=CAT_RMA, blocking=False, rma="op"),
+    MPCallSig("MP.WinFence", (KIND_WINDOW,), False,
+              "WinFence(win) — toggles the fence epoch (collective)",
+              roles=(ROLE_WINDOW,), category=CAT_RMA, rma="fence"),
+    MPCallSig("MP.WinFree", (KIND_WINDOW,), False,
+              "WinFree(win) (collective)",
+              roles=(ROLE_WINDOW,), category=CAT_RMA, rma="free"),
 )
 
 
@@ -469,4 +578,10 @@ def register_mp_internals(vm) -> dict[str, Callable]:
         "MP.Agree": lambda value: comm.Agree(value)[0],
         "MP.Checkpoint": lambda state: comm.Checkpoint(state),
         "MP.Restore": comm.Restore,
+        "MP.WinCreate": comm.WinCreate,
+        "MP.WinPut": lambda win, buf, target, offset: win.Put(buf, target, offset),
+        "MP.WinGet": lambda win, buf, target, offset: win.Get(buf, target, offset),
+        "MP.WinAccumulate": lambda win, buf, target, offset: win.Accumulate(buf, target, offset),
+        "MP.WinFence": lambda win: win.Fence(),
+        "MP.WinFree": lambda win: win.Free(),
     }

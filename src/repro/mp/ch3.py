@@ -37,7 +37,28 @@ from repro.mp.channels.base import Channel
 from repro.mp.errors import MpiErrInternal
 from repro.mp.hooks import NULL_SPINE
 from repro.mp.matching import MessageQueues, UnexpectedMsg
-from repro.mp.packets import ACK, CTS, DATA, EAGER, FAILN, FIN, PING, RTS, Packet
+from repro.mp.packets import (
+    ACC,
+    ACK,
+    CTS,
+    DATA,
+    EAGER,
+    FAILN,
+    FIN,
+    GET,
+    GETRESP,
+    PING,
+    PUT,
+    RTS,
+    WCOMPLETE,
+    WLOCK,
+    WLOCKGRANT,
+    WPOST,
+    WSYNC,
+    WUNLOCK,
+    WUNLOCKACK,
+    Packet,
+)
 from repro.mp.reliability import PROC_FAILED, ReliabilityLayer
 from repro.mp.request import Request
 from repro.mp.status import Status
@@ -97,7 +118,14 @@ class CH3Device:
             # sender-side flow control: payloads materialized because the
             # channel refused a packet and the view could not stay live
             "outbox_owned": 0,
+            # one-sided ops by lowering: native channel fast path vs
+            # packet-plane emulation (the A17 ablation's evidence)
+            "rma_native_ops": 0,
+            "rma_emulated_ops": 0,
         }
+        #: registered RMA windows by id (repro.mp.win.Win); RMA packets
+        #: dispatch into the window's target-side handlers
+        self.windows: dict[int, "Win"] = {}
         self.rel: ReliabilityLayer | None = None
         if reliable:
             self.rel = ReliabilityLayer(rank, **(reliability_opts or {}))
@@ -321,6 +349,9 @@ class CH3Device:
         return peers
 
     def _handle(self, pkt: Packet) -> None:
+        if PUT <= pkt.ptype <= WUNLOCKACK:
+            self._handle_rma(pkt)
+            return
         self.clock.merge(pkt.ts)
         cbs = self.hooks.packet_rx
         if cbs:
@@ -345,6 +376,77 @@ class CH3Device:
             pass  # reliability control traffic; inert when the layer is off
         else:
             raise MpiErrInternal(f"unknown packet type {pkt.ptype}")
+
+    def _handle_rma(self, pkt: Packet) -> None:
+        """Dispatch a one-sided packet without jumping the clock.
+
+        The receiver does not logically observe one-sided traffic until
+        its own synchronization call — draining a peer's epoch-close
+        packet early (a wall-time race against a rank still in its
+        opening barrier) must not serialize two concurrent epochs.  The
+        arrival merge runs deferred so replies emitted by the handler
+        (GETRESP, lock grants, unlock acks) still carry the causal floor
+        via ``causal_now``; afterwards the floor is parked on the window
+        — its closing sync applies it — and the clock's pending state is
+        restored so an unrelated wait in progress does not fold it.
+        """
+        clk = self.clock
+        before = clk.peek_pending()
+        prev = clk.defer_merges
+        clk.defer_merges = True
+        try:
+            clk.merge(pkt.ts)
+            cbs = self.hooks.packet_rx
+            if cbs:
+                for cb in cbs:
+                    cb(pkt)
+            self._on_rma(pkt)
+        finally:
+            clk.defer_merges = prev
+        after = clk.peek_pending()
+        if after > before:
+            win = self.windows.get(pkt.tag)
+            if win is not None:
+                win.note_floor(after)
+            clk.drop_pending_to(before)
+
+    #: RMA packet type -> the Win method that lands it (filled below the
+    #: class: the handlers live with the window's epoch state)
+    _RMA_DISPATCH: dict[int, str] = {
+        PUT: "_on_put",
+        GET: "_on_get",
+        GETRESP: "_on_getresp",
+        ACC: "_on_acc",
+        WSYNC: "_on_wsync",
+        WPOST: "_on_wpost",
+        WCOMPLETE: "_on_wcomplete",
+        WLOCK: "_on_wlock",
+        WLOCKGRANT: "_on_wlockgrant",
+        WUNLOCK: "_on_wunlock",
+        WUNLOCKACK: "_on_wunlockack",
+    }
+
+    def _on_rma(self, pkt: Packet) -> None:
+        """Route a one-sided packet into its window's target-side handler.
+
+        This runs on the poll path, so the progress core — polled or
+        async — drives target-side completion; the application holding
+        the window never has to call in (passive-target progression).
+        """
+        win = self.windows.get(pkt.tag)
+        if win is None:
+            raise MpiErrInternal(
+                f"RMA packet {pkt.kind} for unknown window {pkt.tag} "
+                "(windows are created collectively; this origin raced "
+                "creation or freed early)"
+            )
+        getattr(win, self._RMA_DISPATCH[pkt.ptype])(pkt)
+
+    def add_window(self, win) -> None:
+        self.windows[win.id] = win
+
+    def remove_window(self, win_id: int) -> None:
+        self.windows.pop(win_id, None)
 
     def _on_eager(self, pkt: Packet) -> None:
         self.stats["bytes_moved"] += len(pkt.payload)

@@ -79,6 +79,45 @@ class Channel(abc.ABC):
     def finalize(self) -> None:
         self._finalized = True
 
+    # -- one-sided (RMA) capability --------------------------------------------
+    #
+    # A channel may expose a *native* one-sided path: Put/Get/Accumulate
+    # that land straight in the target's window memory without involving
+    # the target's message path (Liu et al.'s MPICH2-over-InfiniBand
+    # design).  Capability is negotiated, never assumed: the window layer
+    # asks ``rma_caps()`` and lowers unsupported ops onto the two-sided
+    # emulation (PUT/GET/ACC packets through the CH3 device).  The
+    # defaults below are that graceful fallback — a transport that cannot
+    # do RMA reports no caps and every native entry point returns False.
+
+    def rma_caps(self) -> frozenset[str]:
+        """The ops this transport can complete natively ("put", "get",
+        "accumulate").  Empty set == emulation only; never raises."""
+        return frozenset()
+
+    def rma_register(self, win_id: int, rank: int, desc) -> None:
+        """Expose ``desc`` (a BufferDesc) as window ``win_id``'s memory on
+        ``rank``.  No-op on transports without a native path."""
+
+    def rma_deregister(self, win_id: int, rank: int) -> None:
+        """Withdraw a window exposure; idempotent, never raises."""
+
+    def rma_put(self, win_id: int, target: int, offset: int, src_mv) -> bool:
+        """Native direct write into the target window; False == no path
+        (caller must fall back to emulation)."""
+        return False
+
+    def rma_get(self, win_id: int, target: int, offset: int, dst_mv) -> bool:
+        """Native direct read from the target window; False == no path."""
+        return False
+
+    def rma_accumulate(
+        self, win_id: int, target: int, offset: int, src_mv, dtype: str
+    ) -> bool:
+        """Native element-wise sum into the target window; False == no
+        path."""
+        return False
+
     # -- shared accounting -------------------------------------------------------
 
     def _stamp_and_charge(
@@ -157,6 +196,33 @@ class ChannelStack(Channel):
         while isinstance(ch, ChannelStack):
             ch = ch.inner
         return ch
+
+    # -- RMA delegation --------------------------------------------------------
+    # Stacking layers are transparent to the window seam: a fault wrapper
+    # over an RMA-capable channel keeps the native path (faults perturb
+    # the *packet* plane; the direct-memory plane models a different NIC
+    # engine).  A layer that wants to disable or perturb RMA overrides
+    # these.
+
+    def rma_caps(self) -> frozenset[str]:
+        return self.inner.rma_caps()
+
+    def rma_register(self, win_id: int, rank: int, desc) -> None:
+        self.inner.rma_register(win_id, rank, desc)
+
+    def rma_deregister(self, win_id: int, rank: int) -> None:
+        self.inner.rma_deregister(win_id, rank)
+
+    def rma_put(self, win_id: int, target: int, offset: int, src_mv) -> bool:
+        return self.inner.rma_put(win_id, target, offset, src_mv)
+
+    def rma_get(self, win_id: int, target: int, offset: int, dst_mv) -> bool:
+        return self.inner.rma_get(win_id, target, offset, dst_mv)
+
+    def rma_accumulate(
+        self, win_id: int, target: int, offset: int, src_mv, dtype: str
+    ) -> bool:
+        return self.inner.rma_accumulate(win_id, target, offset, src_mv, dtype)
 
 
 class ChannelFabric:

@@ -18,8 +18,9 @@ transport with RDMA-flavoured behaviour:
 
 from __future__ import annotations
 
+from repro.mp.buffers import accumulate_into
 from repro.mp.channels.base import Channel, ChannelFabric
-from repro.mp.channels.shm import _SharedQueue
+from repro.mp.channels.shm import _SharedQueue, _WindowRegistry
 from repro.mp.packets import Packet
 from repro.simtime import Clock, CostModel
 
@@ -38,9 +39,22 @@ class IbChannel(Channel):
     LATENCY_FRACTION = 0.08  # ~2 us instead of ~24 us
     PER_BYTE_FRACTION = 0.12  # ~1 GB/s-class fabric
 
-    def __init__(self, rank: int, clock: Clock, costs: CostModel, queues: dict[int, _SharedQueue]) -> None:
+    #: RDMA write/read engine: same fabric bandwidth, but no packet
+    #: header processing and no completion on the target side
+    RMA_PER_BYTE_FRACTION = 0.06
+
+    def __init__(
+        self,
+        rank: int,
+        clock: Clock,
+        costs: CostModel,
+        queues: dict[int, _SharedQueue],
+        windows: _WindowRegistry | None = None,
+    ) -> None:
         super().__init__(rank, clock, costs)
         self._queues = queues
+        self._windows = windows if windows is not None else _WindowRegistry()
+        self.rma_bytes = 0
         #: registered 'pages' (id(base buffer) is unavailable here, so the
         #: cache keys on payload length class — a coarse but monotone model)
         self._reg_cache: set[int] = set()
@@ -90,6 +104,58 @@ class IbChannel(Channel):
     def finalize(self) -> None:
         super().finalize()
 
+    # -- native one-sided path (RDMA write/read) -------------------------------
+
+    def rma_caps(self) -> frozenset[str]:
+        return frozenset({"put", "get", "accumulate"})
+
+    def rma_register(self, win_id: int, rank: int, desc) -> None:
+        # window memory is registered with the HCA once, up front — the
+        # classic RDMA deal: pay registration here, then every one-sided
+        # op is pure wire time
+        self.clock.charge(REGISTRATION_NS * (1 + len(desc) // (256 * PAGE)))
+        self.registrations += 1
+        self._windows.register(win_id, rank, desc)
+
+    def rma_deregister(self, win_id: int, rank: int) -> None:
+        self._windows.deregister(win_id, rank)
+
+    def _rma_charge(self, nbytes: int) -> None:
+        self.clock.charge(
+            self.costs.packet_overhead_ns
+            + self.costs.message_latency_ns * self.LATENCY_FRACTION
+            + nbytes * self.costs.per_byte_ns * self.RMA_PER_BYTE_FRACTION
+        )
+
+    def rma_put(self, win_id: int, target: int, offset: int, src_mv) -> bool:
+        desc = self._windows.lookup(win_id, target)
+        if desc is None:
+            return False
+        self._rma_charge(len(src_mv))
+        desc.write(offset, src_mv)
+        self.rma_bytes += len(src_mv)
+        return True
+
+    def rma_get(self, win_id: int, target: int, offset: int, dst_mv) -> bool:
+        desc = self._windows.lookup(win_id, target)
+        if desc is None:
+            return False
+        self._rma_charge(len(dst_mv))
+        dst_mv[:] = desc.read(offset, len(dst_mv))
+        self.rma_bytes += len(dst_mv)
+        return True
+
+    def rma_accumulate(
+        self, win_id: int, target: int, offset: int, src_mv, dtype: str
+    ) -> bool:
+        desc = self._windows.lookup(win_id, target)
+        if desc is None:
+            return False
+        self._rma_charge(2 * len(src_mv))
+        accumulate_into(desc.read(offset, len(src_mv)), src_mv, dtype)
+        self.rma_bytes += len(src_mv)
+        return True
+
 
 class IbFabric(ChannelFabric):
     channel_cls = IbChannel
@@ -98,9 +164,10 @@ class IbFabric(ChannelFabric):
     def __init__(self, world_size: int, queue_capacity: int = 4096) -> None:
         super().__init__(world_size)
         self._queues = {r: _SharedQueue(queue_capacity) for r in range(world_size)}
+        self._windows = _WindowRegistry()
 
     def _make(self, rank: int, clock: Clock, costs: CostModel) -> IbChannel:
-        return IbChannel(rank, clock, costs, self._queues)
+        return IbChannel(rank, clock, costs, self._queues, self._windows)
 
     def add_rank(self, rank: int, queue_capacity: int = 4096) -> None:
         if rank not in self._queues:

@@ -11,6 +11,7 @@ from __future__ import annotations
 import threading
 from collections import deque
 
+from repro.mp.buffers import accumulate_into
 from repro.mp.channels.base import Channel, ChannelFabric
 from repro.mp.packets import Packet
 from repro.simtime import Clock, CostModel
@@ -45,12 +46,53 @@ class _SharedQueue:
             return len(self._q)
 
 
+class _WindowRegistry:
+    """Fabric-shared map of exposed RMA windows.
+
+    Ranks on a shared-address-space fabric (shm, ib) can reach each
+    other's window memory directly; the registry is the "registered
+    memory" table: ``(win_id, rank) -> BufferDesc``.  An origin's channel
+    looks the target's descriptor up and lands bytes with one direct
+    write — no packet, no target-side message path.
+    """
+
+    def __init__(self) -> None:
+        self._map: dict[tuple[int, int], object] = {}
+        self._lock = threading.Lock()
+
+    def register(self, win_id: int, rank: int, desc) -> None:
+        with self._lock:
+            self._map[(win_id, rank)] = desc
+
+    def deregister(self, win_id: int, rank: int) -> None:
+        with self._lock:
+            self._map.pop((win_id, rank), None)
+
+    def lookup(self, win_id: int, rank: int):
+        with self._lock:
+            return self._map.get((win_id, rank))
+
+
 class ShmChannel(Channel):
     name = "shm"
 
-    def __init__(self, rank: int, clock: Clock, costs: CostModel, queues: dict[int, _SharedQueue]) -> None:
+    #: native RMA per-byte discount: a direct write into the target's
+    #: window is one memory traversal — no queue enqueue+drain pair, no
+    #: packet header processing (vs the 0.5x wire fraction below)
+    RMA_PER_BYTE_FRACTION = 0.2
+
+    def __init__(
+        self,
+        rank: int,
+        clock: Clock,
+        costs: CostModel,
+        queues: dict[int, _SharedQueue],
+        windows: _WindowRegistry | None = None,
+    ) -> None:
         super().__init__(rank, clock, costs)
         self._queues = queues  # dest rank -> its inbound queue
+        self._windows = windows if windows is not None else _WindowRegistry()
+        self.rma_bytes = 0  # native one-sided bytes landed by this rank
 
     def init(self, world_size: int) -> None:
         self.world_size = world_size
@@ -82,6 +124,55 @@ class ShmChannel(Channel):
     def finalize(self) -> None:
         super().finalize()
 
+    # -- native one-sided path -------------------------------------------------
+
+    def rma_caps(self) -> frozenset[str]:
+        return frozenset({"put", "get", "accumulate"})
+
+    def rma_register(self, win_id: int, rank: int, desc) -> None:
+        self._windows.register(win_id, rank, desc)
+
+    def rma_deregister(self, win_id: int, rank: int) -> None:
+        self._windows.deregister(win_id, rank)
+
+    def _rma_charge(self, nbytes: int) -> None:
+        self.clock.charge(
+            self.costs.packet_overhead_ns
+            + self.costs.message_latency_ns * 0.25
+            + nbytes * self.costs.per_byte_ns * self.RMA_PER_BYTE_FRACTION
+        )
+
+    def rma_put(self, win_id: int, target: int, offset: int, src_mv) -> bool:
+        desc = self._windows.lookup(win_id, target)
+        if desc is None:
+            return False
+        self._rma_charge(len(src_mv))
+        desc.write(offset, src_mv)
+        self.rma_bytes += len(src_mv)
+        return True
+
+    def rma_get(self, win_id: int, target: int, offset: int, dst_mv) -> bool:
+        desc = self._windows.lookup(win_id, target)
+        if desc is None:
+            return False
+        self._rma_charge(len(dst_mv))
+        dst_mv[:] = desc.read(offset, len(dst_mv))
+        self.rma_bytes += len(dst_mv)
+        return True
+
+    def rma_accumulate(
+        self, win_id: int, target: int, offset: int, src_mv, dtype: str
+    ) -> bool:
+        desc = self._windows.lookup(win_id, target)
+        if desc is None:
+            return False
+        # read-modify-write in place on the target's heap; the elementwise
+        # sum traverses both operands, so charge two byte streams
+        self._rma_charge(2 * len(src_mv))
+        accumulate_into(desc.read(offset, len(src_mv)), src_mv, dtype)
+        self.rma_bytes += len(src_mv)
+        return True
+
 
 class ShmFabric(ChannelFabric):
     channel_cls = ShmChannel
@@ -90,9 +181,10 @@ class ShmFabric(ChannelFabric):
     def __init__(self, world_size: int, queue_capacity: int = 4096) -> None:
         super().__init__(world_size)
         self._queues = {r: _SharedQueue(queue_capacity) for r in range(world_size)}
+        self._windows = _WindowRegistry()
 
     def _make(self, rank: int, clock: Clock, costs: CostModel) -> ShmChannel:
-        return ShmChannel(rank, clock, costs, self._queues)
+        return ShmChannel(rank, clock, costs, self._queues, self._windows)
 
     def add_rank(self, rank: int, queue_capacity: int = 4096) -> None:
         """Dynamic process management support: grow the fabric."""

@@ -61,6 +61,13 @@ class MpiErrTimeout(MpiError):
     mpi_class = "MPI_ERR_TIMEOUT"
 
 
+class MpiErrRma(MpiError):
+    """One-sided window misuse: bad window handle, out-of-range access,
+    or an epoch-discipline error the window layer cannot tolerate."""
+
+    mpi_class = "MPI_ERR_RMA_SYNC"
+
+
 class MpiErrProcFailed(MpiError):
     """A peer process is dead (ULFM MPI_ERR_PROC_FAILED)."""
 

@@ -60,6 +60,16 @@ Event catalog (arguments each ``on_<event>`` receives):
 ``checkpoint_restored(epoch, nbytes)`` rank-local state restored from an epoch
 ``recovery_begin(failed)``         detect → agree → shrink → replace started
 ``recovery_end(info)``    recovery finished (info: epoch/replaced/latency_ns)
+``rma_op(win_id, kind, target, offset, nbytes, native)``  an origin issued
+                          a one-sided op ("put"/"get"/"acc"); ``native``
+                          is True on a channel RMA fast path
+``rma_epoch(win_id, kind, phase)`` an epoch transition: kind is "fence",
+                          "pscw-access", "pscw-exposure" or "lock",
+                          phase "open" or "close"
+``rma_violation(win_id, rule, info)``  the window layer observed an
+                          epoch-discipline violation (rule: "MA-R06"
+                          op outside an access epoch, "MA-R07"
+                          unordered overlapping ops)
 ========================  =====================================================
 """
 
@@ -96,6 +106,9 @@ EVENTS: tuple[str, ...] = (
     "checkpoint_restored",
     "recovery_begin",
     "recovery_end",
+    "rma_op",
+    "rma_epoch",
+    "rma_violation",
 )
 
 

@@ -32,6 +32,7 @@ from repro.mp.progress import AsyncProgressDriver, ProgressEngine
 from repro.mp.request import RECV, SEND, Request
 from repro.mp.schedule import Schedule
 from repro.mp.status import Status
+from repro.mp.win import Win
 from repro.simtime import Clock, CostModel, WallClock
 
 #: MPI_TAG_UB for user tags; higher tags are reserved for collectives.
@@ -113,6 +114,10 @@ class MpiEngine:
         # spans (replacement engines override comm_world before first use)
         self.device.gossip_ranks = lambda: self.comm_world.group.ranks
         self._next_context = 16
+        #: window ids allocate engine-locally but deterministically, like
+        #: context ids: ranks creating windows in the same (collective)
+        #: order agree on every id
+        self._next_win_id = 1
         self._shrink_count = 0
         self._recovery = None
         self.finalized = False
@@ -359,6 +364,45 @@ class MpiEngine:
             return self.device.cancel_recv(req)
         with self._plock:
             return self.device.cancel_recv(req)
+
+    # ------------------------------------------------------------- one-sided
+
+    def win_create(
+        self,
+        buf: BufferDesc,
+        comm: Communicator | None = None,
+        dtype: str = "byte",
+        force_emulation: bool = False,
+    ) -> Win:
+        """Collectively create an RMA window over ``buf``.
+
+        Every rank of ``comm`` must call, in the same order relative to
+        other window creations (ids allocate deterministically, like
+        context ids).  The trailing barrier guarantees every peer's
+        window exists — and, on RMA-capable channels, is registered for
+        the native path — before any origin issues a one-sided op.
+
+        ``force_emulation`` skips native registration, so every op on
+        this window (from this rank, and from peers targeting it) lowers
+        onto the two-sided packet plane — the A17 ablation's control arm.
+        """
+        comm = comm or self.comm_world
+        self._check_comm(comm)
+        self._check_buf(buf)
+        win_id = self._next_win_id
+        self._next_win_id += 1
+        win = Win(self, win_id, buf, comm, dtype=dtype, force_emulation=force_emulation)
+        if self._plock is None:
+            self.device.add_window(win)
+            if not force_emulation:
+                self.device.channel.rma_register(win_id, self.rank, buf)
+        else:
+            with self._plock:
+                self.device.add_window(win)
+                if not force_emulation:
+                    self.device.channel.rma_register(win_id, self.rank, buf)
+        self.barrier(comm)
+        return win
 
     # ------------------------------------------------------------- comm mgmt
 

@@ -19,6 +19,15 @@ The reliability sublayer (``repro.mp.reliability``) adds two more:
   collective participant waiting on a live-but-aborted neighbour would
   otherwise hang).
 
+The one-sided window subsystem (``repro.mp.win``) adds the RMA family:
+``PUT``/``GET``/``GETRESP``/``ACC`` move window data when a channel has no
+native RMA path (the emulation lowering), and ``WSYNC``/``WPOST``/
+``WCOMPLETE``/``WLOCK``/``WLOCKGRANT``/``WUNLOCK``/``WUNLOCKACK`` carry
+the epoch synchronization (fence, post/start/complete/wait, passive
+lock/unlock).  Target-side handling of all of these lives in the CH3
+device's poll path, so the async progress core — not the target
+application — drives completion.
+
 The sock channel frames these over a byte pipe; the shm channel passes
 them as objects through a shared queue.  ``ts`` carries the virtual-clock
 arrival timestamp (ignored in wall-clock mode).  ``seq`` is the per-link
@@ -44,6 +53,20 @@ ACK = 6
 PING = 7
 FAILN = 8
 
+# One-sided (RMA) window protocol.  ``tag`` carries the window id on all
+# of these; ``offset`` is the byte offset into the *target* window.
+PUT = 9  # origin -> target: land payload into the window at offset
+GET = 10  # origin -> target: request ``total`` bytes from offset
+GETRESP = 11  # target -> origin: GET reply (op_id correlates)
+ACC = 12  # origin -> target: element-wise accumulate into the window
+WSYNC = 13  # fence closure: op_id carries the emulated-op count owed
+WPOST = 14  # PSCW: target posted an exposure epoch toward origin
+WCOMPLETE = 15  # PSCW: origin completed; op_id carries the op count owed
+WLOCK = 16  # passive: lock request (sync flag: exclusive)
+WLOCKGRANT = 17  # passive: target's device granted the lock
+WUNLOCK = 18  # passive: unlock; op_id carries the op count owed
+WUNLOCKACK = 19  # passive: target's device released + all ops landed
+
 _NAMES = {
     EAGER: "EAGER",
     RTS: "RTS",
@@ -53,6 +76,17 @@ _NAMES = {
     ACK: "ACK",
     PING: "PING",
     FAILN: "FAILN",
+    PUT: "PUT",
+    GET: "GET",
+    GETRESP: "GETRESP",
+    ACC: "ACC",
+    WSYNC: "WSYNC",
+    WPOST: "WPOST",
+    WCOMPLETE: "WCOMPLETE",
+    WLOCK: "WLOCK",
+    WLOCKGRANT: "WLOCKGRANT",
+    WUNLOCK: "WUNLOCK",
+    WUNLOCKACK: "WUNLOCKACK",
 }
 
 #: frame header: type, src, dst, tag, comm_id, op_id, offset, total, sync,

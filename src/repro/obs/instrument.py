@@ -115,6 +115,25 @@ class _ObsSubscriber:
             bytes=status.count,
         )
 
+    # -- one-sided windows --------------------------------------------------
+
+    def on_rma_op(self, win_id, kind, target, offset, nbytes, native) -> None:
+        self.inst.event(
+            "mp.rma.op",
+            win=win_id,
+            kind=kind,
+            target=target,
+            bytes=nbytes,
+            native=native,
+        )
+        self.inst.observe("mp.rma.op_bytes", nbytes)
+
+    def on_rma_epoch(self, win_id, kind, phase) -> None:
+        self.inst.event("mp.rma.epoch", win=win_id, kind=kind, phase=phase)
+
+    def on_rma_violation(self, win_id, rule, info) -> None:
+        self.inst.event("mp.rma.violation", win=win_id, rule=rule)
+
     # -- regions / marks / counts ------------------------------------------
 
     def on_region_begin(self, name: str, args: dict) -> None:

@@ -46,6 +46,19 @@ class Clock:
         """Fold the deferred causal floor into the clock (consumption)."""
         return None
 
+    def peek_pending(self) -> float:
+        """The deferred causal floor without applying it (0.0 if none)."""
+        return 0.0
+
+    def drop_pending_to(self, ns: float) -> None:
+        """Lower the deferred floor back to ``ns`` (a prior ``peek``).
+
+        Used when an arrival's floor is parked elsewhere — the one-sided
+        device records it on the window so an unrelated wait in progress
+        does not fold it early; see ``CH3Device._handle_rma``.
+        """
+        return None
+
     def now(self) -> float:
         """Current time in nanoseconds."""
         raise NotImplementedError
@@ -138,6 +151,13 @@ class VirtualClock(Clock):
         if self._pending_ns > self._now_ns:
             self._now_ns = self._pending_ns
         self._pending_ns = 0.0
+
+    def peek_pending(self) -> float:
+        return self._pending_ns
+
+    def drop_pending_to(self, ns: float) -> None:
+        if self._pending_ns > ns:
+            self._pending_ns = ns
 
     def reset(self, start_ns: float = 0.0) -> None:
         self._now_ns = float(start_ns)

@@ -12,10 +12,14 @@
 * :mod:`repro.workloads.elastic` — the self-healing runtime's acceptance
   workload: a sharded work queue with coordinated checkpoints that
   survives scheduled kills and partitions with an exactly-once ledger.
+* :mod:`repro.workloads.halo` — 2-D halo exchange over one-sided RMA
+  windows; the same rank main runs the native and emulated window arms
+  (ablation A17) with bit-identical grids.
 """
 
 from repro.workloads.adapters import ADAPTERS, make_adapter
 from repro.workloads.elastic import ChaosEvent, ChaosSchedule, ElasticConfig, run_elastic
+from repro.workloads.halo import HaloExchange, run_halo
 from repro.workloads.linkedlist import build_linked_list, list_payload_ints, verify_linked_list
 from repro.workloads.pingpong import (
     sweep_buffer_pingpong,
@@ -34,4 +38,6 @@ __all__ = [
     "ChaosSchedule",
     "ElasticConfig",
     "run_elastic",
+    "HaloExchange",
+    "run_halo",
 ]

@@ -28,6 +28,7 @@ def test_inventory():
         "buffer_reuse.py",
         "collective_divergence.py",
         "deadlock_pair.py",
+        "halo_epoch.py",
         "head_to_head.py",
         "inflight_store.py",
         "raw_send_ref.py",
@@ -83,6 +84,7 @@ MESSAGE_FLOW_DEMOS = [
     ("request_leak", "MA-S08", 2),
     ("head_to_head", "MA-S09", 2),
     ("wildcard_static", "MA-S10", 3),
+    ("halo_epoch", "MA-S11", 2),
 ]
 
 

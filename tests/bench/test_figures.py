@@ -41,6 +41,7 @@ class TestRegistry:
             "ablate-copies",
             "ablate-checkpoint",
             "ablate-progress",
+            "ablate-rma",
         } == set(EXPERIMENTS)
 
     def test_every_experiment_has_a_claim_check(self):

@@ -1,0 +1,138 @@
+"""Motor System.MP one-sided windows: WinCreate through the FCALL plane.
+
+The §4.2.1 integrity restrictions carry over: only flat (reference-free)
+managed arrays may back a window, the window dtype derives from the
+element type so ``Accumulate`` reduces in elements, and every surface
+call runs through the verifier-checked MP call signatures.
+"""
+
+from repro.cluster import mpiexec
+from repro.motor import motor_session
+from repro.runtime.errors import ObjectModelViolation
+
+
+def _fence_halo(ctx):
+    vm = ctx.session
+    comm = vm.comm_world
+    arr = vm.new_array("int32", 4, values=[comm.Rank * 100 + i for i in range(4)])
+    win = comm.WinCreate(arr)
+    src = vm.new_array("int32", 2, values=[7 + comm.Rank, 8 + comm.Rank])
+    win.Fence()
+    win.Put(src, (comm.Rank + 1) % comm.Size, 8)  # elements 2..3 of neighbour
+    win.Fence()
+    out = [arr[i] for i in range(4)]
+    win.Fence()
+    win.Accumulate(src, (comm.Rank + 1) % comm.Size, 0)
+    win.Fence()
+    out2 = [arr[i] for i in range(4)]
+    win.Free()
+    return out, out2
+
+
+class TestMotorWindows:
+    def test_fence_put_and_accumulate(self):
+        res = mpiexec(2, _fence_halo, channel="shm",
+                      session_factory=motor_session, timeout=120)
+        # rank 0's window gets rank 1's src (8, 9) at elems 2..3; rank 1 (7, 8)
+        assert res[0][0] == [0, 1, 8, 9]
+        assert res[1][0] == [100, 101, 7, 8]
+        # accumulate adds src element-wise into elems 0..1
+        assert res[0][1] == [8, 10, 8, 9]
+        assert res[1][1] == [107, 109, 7, 8]
+
+    def test_pscw_over_sock(self):
+        def main(ctx):
+            vm = ctx.session
+            comm = vm.comm_world
+            arr = vm.new_array("int32", 4)
+            win = comm.WinCreate(arr)
+            if comm.Rank == 0:
+                src = vm.new_array("int32", 4, values=[5, 6, 7, 8])
+                win.Start([1])
+                win.Put(src, 1, 0)
+                win.Complete()
+            else:
+                win.Post([0])
+                win.Wait()
+            out = [arr[i] for i in range(4)]
+            win.Free()
+            return out
+
+        res = mpiexec(2, main, channel="sock", session_factory=motor_session,
+                      timeout=120)
+        assert res[1] == [5, 6, 7, 8]
+
+    def test_get_reads_remote_window(self):
+        def main(ctx):
+            vm = ctx.session
+            comm = vm.comm_world
+            arr = vm.new_array("int32", 4, values=[comm.Rank * 10 + i for i in range(4)])
+            win = comm.WinCreate(arr)
+            dst = vm.new_array("int32", 2)
+            win.Fence()
+            win.Get(dst, (comm.Rank + 1) % comm.Size, 4)
+            win.Fence()
+            out = [dst[i] for i in range(2)]
+            win.Free()
+            return out
+
+        res = mpiexec(2, main, channel="shm", session_factory=motor_session,
+                      timeout=120)
+        assert res[0] == [11, 12]
+        assert res[1] == [1, 2]
+
+    def test_lock_unlock_passive(self):
+        def main(ctx):
+            vm = ctx.session
+            comm = vm.comm_world
+            arr = vm.new_array("int32", 2)
+            win = comm.WinCreate(arr)
+            if comm.Rank == 0:
+                src = vm.new_array("int32", 2, values=[31, 32])
+                win.Lock(1)
+                win.Put(src, 1, 0)
+                win.Unlock(1)
+            comm.Barrier()
+            out = [arr[i] for i in range(2)]
+            win.Free()
+            return out
+
+        res = mpiexec(2, main, channel="shm", session_factory=motor_session,
+                      timeout=120)
+        assert res[1] == [31, 32]
+
+    def test_reference_array_rejected(self):
+        # §4.2.1: a window must expose flat data, never references
+        def main(ctx):
+            vm = ctx.session
+            comm = vm.comm_world
+            arr = vm.new_array("int32", 2)
+            win = comm.WinCreate(arr)
+            win.Free()
+            try:
+                obj = vm.new_array("object", 2)
+                comm.WinCreate(obj)
+                return "no-raise"
+            except ObjectModelViolation:
+                return "raised"
+
+        res = mpiexec(2, main, channel="shm", session_factory=motor_session,
+                      timeout=120)
+        assert res == ["raised", "raised"]
+
+    def test_native_flag_reflects_channel(self):
+        def main(ctx):
+            vm = ctx.session
+            comm = vm.comm_world
+            arr = vm.new_array("int32", 2)
+            win = comm.WinCreate(arr)
+            caps = sorted(win.native.caps)  # .native: the engine-level Win
+            win.Free()
+            return caps
+
+        res = mpiexec(2, main, channel="shm", session_factory=motor_session,
+                      timeout=120)
+        assert all(c == ["accumulate", "get", "put"] for c in res), res
+        res = mpiexec(2, main, channel="sock", session_factory=motor_session,
+                      timeout=120)
+        assert all(c == [] for c in res), res

@@ -262,3 +262,75 @@ class TestAbc:
         assert c0.fault_log == []
         assert all(v == 0 for v in c0.fault_stats.values())
         fab.shutdown()
+
+
+class TestRmaContract:
+    """Capability negotiation is part of the port contract.
+
+    A channel either implements the native one-sided surface (``shm``,
+    ``ib``) or inherits the ABC defaults — an empty capability set and
+    ``False`` from every fast-path entry.  Either way the calls must be
+    graceful on every fabric, including ``proc``: a miss means "fall
+    back to the packet plane", never an exception.
+    """
+
+    def test_caps_well_formed(self, pair):
+        _fab, c0, c1 = pair
+        for ch in (c0, c1):
+            caps = ch.rma_caps()
+            assert isinstance(caps, frozenset)
+            assert caps <= {"put", "get", "accumulate"}
+
+    def test_ops_without_registration_never_raise(self, pair):
+        """An unregistered window degrades the op, it does not fail."""
+        _fab, c0, _ = pair
+        buf = bytearray(8)
+        assert c0.rma_put(99, 1, 0, memoryview(buf)) is False
+        assert c0.rma_get(99, 1, 0, memoryview(buf)) is False
+        assert c0.rma_accumulate(99, 1, 0, memoryview(buf), "int32") is False
+
+    def test_register_deregister_idempotent(self, pair):
+        from repro.mp.buffers import BufferDesc
+
+        _fab, c0, _ = pair
+        desc = BufferDesc.from_bytes(bytes(16))
+        c0.rma_register(7, 0, desc)
+        c0.rma_deregister(7, 0)
+        c0.rma_deregister(7, 0)   # second withdrawal is a no-op
+        c0.rma_deregister(42, 3)  # never-registered: also a no-op
+
+    def test_native_path_reaches_registered_peer(self, pair):
+        """Where caps exist, a registered peer window accepts direct ops."""
+        from repro.mp.buffers import BufferDesc
+
+        _fab, c0, c1 = pair
+        if not c0.rma_caps():
+            pytest.skip("channel has no native RMA surface")
+        desc = BufferDesc.from_bytes(bytes(8))
+        c1.rma_register(5, 1, desc)
+        ok = c0.rma_put(5, 1, 0, memoryview(b"\x01\x02\x03\x04"))
+        assert ok is True
+        assert bytes(desc.view())[:4] == b"\x01\x02\x03\x04"
+        c1.rma_deregister(5, 1)
+        assert c0.rma_put(5, 1, 0, memoryview(b"\x05\x06")) is False
+
+    def test_finalize_then_rma_calls_stay_graceful(self, pair):
+        """Teardown ordering gap: late one-sided calls after finalize
+        must degrade like any other miss, not explode."""
+        _fab, c0, _ = pair
+        c0.finalize()
+        c0.finalize()  # idempotent, as elsewhere in the contract
+        assert c0.rma_caps() <= {"put", "get", "accumulate"}
+        assert c0.rma_put(1, 1, 0, memoryview(b"zz")) is False
+
+    def test_finalize_idempotent_after_traffic(self, pair):
+        """Idempotency must hold on a *used* endpoint, not just a fresh
+        one: queues drained, leases released, then torn down twice."""
+        _fab, c0, c1 = pair
+        for i in range(4):
+            c0.send_packet(_pkt(i))
+        _drain(c1, 4)
+        c1.finalize()
+        c1.finalize()
+        c0.finalize()
+        c0.finalize()

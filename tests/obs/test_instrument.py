@@ -99,6 +99,29 @@ class TestAttachDetach:
         assert c1["mp.progress.polls"] > 0
 
 
+    def test_hooks_capture_rma_lifecycle(self):
+        def main(ctx):
+            inst = instrument(ctx)
+            win = ctx.engine.win_create(
+                BufferDesc.from_native(NativeMemory(16)), dtype="int32"
+            )
+            win.fence()
+            if ctx.rank == 0:
+                win.put(BufferDesc.from_native(NativeMemory(8)), 1, 0)
+            win.fence()
+            win.free()
+            snap = inst.snapshot()
+            return [e["name"] for e in snap["events"]]
+
+        ev0, ev1 = mpiexec(2, main, channel="shm")
+        # origin: epoch open, the put, epoch close
+        assert ev0.count("mp.rma.epoch") >= 2
+        assert "mp.rma.op" in ev0
+        # the put is native on shm — the target records only its epochs
+        assert ev1.count("mp.rma.epoch") >= 2
+        assert "mp.rma.violation" not in ev0 + ev1
+
+
 class TestMotorAttach:
     def test_vm_pvars_and_gc_events(self):
         def main(ctx):

@@ -1,30 +1,19 @@
-"""The retired tracer module and its repro.obs replacement coverage."""
+"""The coverage the retired tracer tests carried, on the real surface.
+
+``repro.trace`` (a deprecation stub for one release) is gone; the
+recording surface is :mod:`repro.obs`.  These tests keep the behaviour
+the old tracer suite pinned down: message lifecycle events, protocol
+annotation, detach silencing, and GC timelines for Motor workloads.
+"""
 
 import pytest
 
 from repro.cluster import mpiexec
 
-
-class TestRetiredModule:
-    def test_module_still_imports(self):
-        import repro.trace  # noqa: F401 - the stub itself must import clean
-
-    def test_any_attribute_raises(self):
-        import repro.trace
-
-        with pytest.raises(DeprecationWarning, match="repro.obs"):
-            repro.trace.Tracer  # noqa: B018
-        with pytest.raises(DeprecationWarning, match="attach_tracer"):
-            repro.trace.attach_tracer  # noqa: B018
-
-    def test_from_import_raises(self):
-        with pytest.raises(DeprecationWarning):
-            from repro.trace import attach_tracer  # noqa: F401
+pytestmark = pytest.mark.obs
 
 
 class TestObsReplacement:
-    """The coverage the old tracer tests carried, on the real surface."""
-
     def test_message_lifecycle_recorded(self):
         from repro.mp.buffers import BufferDesc, NativeMemory
         from repro.obs import detach_all, instrument
